@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Shared experiment harness for the paper-reproduction benches.
+ *
+ * Each bench binary regenerates one table or figure from the paper.
+ * The common piece is a single-accelerator testbench: kernel +
+ * private scratchpad + communications interface, run to completion
+ * with seeded data and checked against the golden reference, with
+ * all statistics surfaced for the experiment to print.
+ */
+
+#ifndef SALAM_BENCH_COMMON_HH
+#define SALAM_BENCH_COMMON_HH
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "core/compute_unit.hh"
+#include "core/power_report.hh"
+#include "kernels/machsuite.hh"
+#include "mem/backdoor.hh"
+#include "mem/scratchpad.hh"
+#include "sim/simulation.hh"
+
+namespace salam::bench
+{
+
+/** Memory configuration for the single-accelerator testbench. */
+struct BenchMemory
+{
+    unsigned spmReadPorts = 2;
+    unsigned spmWritePorts = 2;
+    unsigned spmLatency = 1;
+    unsigned spmBanks = 1;
+};
+
+/** Everything an experiment wants to know about one run. */
+struct BenchRun
+{
+    std::uint64_t cycles = 0;
+    core::EngineStats stats;
+    core::AcceleratorReport report;
+    std::uint64_t spmReads = 0;
+    std::uint64_t spmWrites = 0;
+    /** Wall-clock seconds: IR construction + optimization. */
+    double compileSeconds = 0.0;
+    /** Wall-clock seconds: timed simulation. */
+    double simulateSeconds = 0.0;
+    /** Golden-check diagnostic; empty on success. */
+    std::string checkFailure;
+
+    double
+    runtimeUs(const core::DeviceConfig &dev) const
+    {
+        return static_cast<double>(cycles) *
+            static_cast<double>(dev.clockPeriod) / 1e6;
+    }
+};
+
+/**
+ * Run @p kernel on the single-accelerator SALAM testbench.
+ * fatal()s if the functional check fails — an experiment over wrong
+ * results is meaningless.
+ */
+inline BenchRun
+runSalam(const kernels::Kernel &kernel,
+         const core::DeviceConfig &dev = {},
+         const BenchMemory &memcfg = {})
+{
+    using clock = std::chrono::steady_clock;
+    BenchRun out;
+
+    auto t0 = clock::now();
+    ir::Module mod("bench");
+    ir::IRBuilder builder(mod);
+    ir::Function *fn = kernel.buildOptimized(builder);
+    auto t1 = clock::now();
+
+    Simulation sim;
+    constexpr std::uint64_t spm_base = 0x10000;
+    std::uint64_t spm_bytes =
+        ((kernel.footprintBytes() + 0xFFF) & ~0xFFFull) + 0x1000;
+
+    mem::ScratchpadConfig scfg;
+    scfg.range = mem::AddrRange{spm_base, spm_base + spm_bytes};
+    scfg.latencyCycles = memcfg.spmLatency;
+    scfg.readPorts = memcfg.spmReadPorts;
+    scfg.writePorts = memcfg.spmWritePorts;
+    scfg.banks = memcfg.spmBanks;
+    auto &spm = sim.create<mem::Scratchpad>("spm", dev.clockPeriod,
+                                            scfg);
+
+    core::CommInterfaceConfig ccfg;
+    ccfg.mmrRange = mem::AddrRange{0x2000, 0x2000 + 256};
+    ccfg.dataPorts.push_back({"spm", {scfg.range}});
+    auto &comm = sim.create<core::CommInterface>(
+        "comm", dev.clockPeriod, ccfg);
+    mem::bindPorts(comm.dataPort(0), spm.port(0));
+    auto &cu =
+        sim.create<core::ComputeUnit>("acc", *fn, dev, comm);
+
+    mem::ScratchpadBackdoor backdoor(spm);
+    kernel.seed(backdoor, spm_base);
+
+    auto t2 = clock::now();
+    cu.start(kernel.args(spm_base));
+    sim.run();
+    auto t3 = clock::now();
+
+    if (!cu.finished())
+        fatal("bench: %s did not finish", kernel.name().c_str());
+    out.checkFailure = kernel.check(backdoor, spm_base);
+    if (!out.checkFailure.empty())
+        fatal("bench: %s wrong result: %s", kernel.name().c_str(),
+              out.checkFailure.c_str());
+
+    out.cycles = cu.cycleCount();
+    out.stats = cu.stats();
+    out.report = core::buildReport(cu, &spm);
+    out.spmReads = spm.readCount();
+    out.spmWrites = spm.writeCount();
+    out.compileSeconds =
+        std::chrono::duration<double>(t1 - t0).count();
+    out.simulateSeconds =
+        std::chrono::duration<double>(t3 - t2).count();
+    return out;
+}
+
+/** Percent error of @p measured against @p reference. */
+inline double
+pctError(double measured, double reference)
+{
+    if (reference == 0.0)
+        return 0.0;
+    return 100.0 * (measured - reference) / reference;
+}
+
+/** Print a section header. */
+inline void
+header(const char *title)
+{
+    std::printf("\n=== %s ===\n", title);
+}
+
+} // namespace salam::bench
+
+#endif // SALAM_BENCH_COMMON_HH

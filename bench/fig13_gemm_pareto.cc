@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Fig. 13 reproduction: GEMM design-space Pareto curve.
+ *
+ * Sweeps functional-unit allocations and memory bandwidth for the
+ * GEMM accelerator and reports (execution time, power) points for
+ * three accounting scopes: datapath only, datapath + SPM, and
+ * datapath + cache. Over-allocated configurations show up as
+ * duplicate runtimes at higher power — the paper's observation
+ * motivating the co-design study of Figs. 14-15.
+ */
+
+#include "common.hh"
+#include "hw/cacti_lite.hh"
+
+using namespace salam;
+using namespace salam::bench;
+using namespace salam::kernels;
+
+int
+main()
+{
+    header("Fig. 13: GEMM design space Pareto sweep");
+    std::printf("%-6s %-6s %10s | %12s %12s %12s\n", "fu", "ports",
+                "time(us)", "datapath(mW)", "+SPM(mW)",
+                "+cache(mW)");
+
+    constexpr unsigned gemmN = 32;
+    constexpr unsigned unroll = 32;
+
+    for (unsigned fu_limit : {8u, 16u, 32u, 64u}) {
+        for (unsigned ports : {4u, 8u, 16u, 32u, 64u}) {
+            auto kernel = makeGemm(gemmN, unroll);
+
+            core::DeviceConfig dev;
+            dev.setFuLimit(hw::FuType::FpAddSubDouble, fu_limit);
+            dev.setFuLimit(hw::FuType::FpMultiplierDouble,
+                           fu_limit);
+            dev.readPortsPerCycle = ports;
+            dev.writePortsPerCycle = ports;
+            dev.readQueueSize = std::max(ports, 16u);
+            dev.writeQueueSize = std::max(ports, 16u);
+
+            BenchMemory memcfg;
+            memcfg.spmReadPorts = ports;
+            memcfg.spmWritePorts = ports;
+
+            BenchRun run = runSalam(*kernel, dev, memcfg);
+            const hw::PowerBreakdown &p = run.report.power;
+
+            double datapath = p.dynamicFuMw +
+                p.dynamicRegisterMw + p.staticFuMw +
+                p.staticRegisterMw;
+            double with_spm = datapath + p.dynamicSpmReadMw +
+                p.dynamicSpmWriteMw + p.staticSpmMw;
+
+            // Cache alternative: same accesses through a cache
+            // sized for the working set.
+            hw::SramConfig cache_cfg;
+            cache_cfg.sizeBytes = 16 * 1024;
+            cache_cfg.wordBytes = 8;
+            cache_cfg.ports = std::max(1u, ports / 8);
+            auto cache =
+                hw::CactiLite::evaluateCache(cache_cfg, 4);
+            double runtime_ns = run.report.runtimeNs;
+            double with_cache = datapath +
+                (static_cast<double>(run.spmReads) *
+                     cache.readEnergyPj +
+                 static_cast<double>(run.spmWrites) *
+                     cache.writeEnergyPj) /
+                    runtime_ns +
+                cache.leakagePowerMw;
+
+            std::printf("%-6u %-6u %10.2f | %12.3f %12.3f "
+                        "%12.3f\n",
+                        fu_limit, ports, run.runtimeUs(dev),
+                        datapath, with_spm, with_cache);
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Table I reproduction: Aladdin datapath vs data-dependent
+ * execution.
+ *
+ * The SPMV-CRS kernel carries a bit-shift on the column index behind
+ * a data-dependent branch. Dataset 1 never triggers it; dataset 2
+ * does. The trace-based baseline reverse-engineers a different
+ * datapath for each dataset — including dropping the shifter
+ * entirely for dataset 1 — while gem5-SALAM's static elaboration
+ * yields one datapath for the kernel regardless of input.
+ */
+
+#include "baseline/aladdin.hh"
+#include "common.hh"
+#include "core/static_cdfg.hh"
+
+using namespace salam;
+using namespace salam::bench;
+using namespace salam::kernels;
+using namespace salam::baseline;
+
+namespace
+{
+
+AladdinResult
+aladdinRun(unsigned dataset)
+{
+    auto kernel = makeSpmv(64, 8, /*guarded=*/true, dataset);
+    ir::Module mod("m");
+    ir::IRBuilder b(mod);
+    ir::Function *fn = kernel->buildOptimized(b);
+    ir::FlatMemory mem;
+    kernel->seed(mem, 0x10000);
+    AladdinSimulator sim;
+    return sim.run(*fn, kernel->args(0x10000), mem,
+                   "/tmp/salam_table1_trace.txt");
+}
+
+unsigned
+count(const AladdinResult &result, hw::FuType type)
+{
+    return result.fuCounts[static_cast<std::size_t>(type)];
+}
+
+} // namespace
+
+int
+main()
+{
+    header("Table I: Aladdin datapath vs data-dependent execution");
+    std::printf("%-12s %-9s %6s %6s %12s\n", "Accelerator",
+                "Dataset", "FMUL", "FADD", "Int Shifter");
+
+    AladdinResult sets[2] = {aladdinRun(1), aladdinRun(2)};
+    for (unsigned d = 0; d < 2; ++d) {
+        std::printf("%-12s %-9u %6u %6u %12u\n", "SPMV-CRS", d + 1,
+                    count(sets[d], hw::FuType::FpMultiplierDouble),
+                    count(sets[d], hw::FuType::FpAddSubDouble),
+                    count(sets[d], hw::FuType::Shifter));
+    }
+
+    // Contrast: gem5-SALAM's static elaboration is input-invariant.
+    auto kernel = makeSpmv(64, 8, true, 1);
+    ir::Module mod("m");
+    ir::IRBuilder b(mod);
+    ir::Function *fn = kernel->buildOptimized(b);
+    core::DeviceConfig dev;
+    core::StaticCdfg cdfg(*fn, dev);
+    std::printf("\ngem5-SALAM static datapath (any dataset): "
+                "FMUL=%u FADD=%u Shifter=%u\n",
+                cdfg.fuDemand(hw::FuType::FpMultiplierDouble),
+                cdfg.fuDemand(hw::FuType::FpAddSubDouble),
+                cdfg.fuDemand(hw::FuType::Shifter));
+
+    bool shifter_dropped =
+        count(sets[0], hw::FuType::Shifter) == 0 &&
+        count(sets[1], hw::FuType::Shifter) > 0;
+    std::printf("\nShape check (paper: shifter absent for dataset 1,"
+                " present for dataset 2): %s\n",
+                shifter_dropped ? "REPRODUCED" : "NOT REPRODUCED");
+    return shifter_dropped ? 0 : 1;
+}

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Table II reproduction: Aladdin datapath vs memory design.
+ *
+ * GEMM n-cubed with a fully unrolled inner loop is run through the
+ * trace-based baseline over a sweep of cache sizes (and a
+ * multi-ported SPM). Because the datapath is reverse-engineered
+ * from the memory-retimed trace, the functional-unit allocation
+ * changes with every memory configuration — the coupling
+ * gem5-SALAM eliminates by separating datapath from memory.
+ */
+
+#include "baseline/aladdin.hh"
+#include "common.hh"
+#include "core/static_cdfg.hh"
+
+using namespace salam;
+using namespace salam::bench;
+using namespace salam::kernels;
+using namespace salam::baseline;
+
+namespace
+{
+
+constexpr unsigned gemmN = 16;
+
+AladdinResult
+run(const AladdinConfig &cfg)
+{
+    // Fully unrolled inner loop (unroll == N).
+    auto kernel = makeGemm(gemmN, gemmN);
+    ir::Module mod("m");
+    ir::IRBuilder b(mod);
+    ir::Function *fn = kernel->buildOptimized(b);
+    ir::FlatMemory mem;
+    kernel->seed(mem, 0x10000);
+    AladdinSimulator sim(cfg);
+    return sim.run(*fn, kernel->args(0x10000), mem,
+                   "/tmp/salam_table2_trace.txt");
+}
+
+} // namespace
+
+int
+main()
+{
+    header("Table II: Aladdin datapath vs. memory design "
+           "(GEMM, fully unrolled inner loop)");
+    std::printf("%-8s %-8s %6s %6s\n", "Type", "Size", "FMUL",
+                "FADD");
+
+    auto fmul =
+        static_cast<std::size_t>(hw::FuType::FpMultiplierDouble);
+    auto fadd =
+        static_cast<std::size_t>(hw::FuType::FpAddSubDouble);
+
+    std::vector<unsigned> fmul_seen;
+    for (std::uint64_t size :
+         {256u, 512u, 1024u, 2048u, 4096u, 8192u, 16384u}) {
+        AladdinConfig cfg;
+        cfg.memory.kind = AladdinMemoryConfig::Kind::Cache;
+        cfg.memory.cacheSizeBytes = size;
+        auto result = run(cfg);
+        std::string label = size >= 1024
+            ? std::to_string(size / 1024) + "kB"
+            : std::to_string(size) + "B";
+        std::printf("%-8s %-8s %6u %6u\n", "Cache", label.c_str(),
+                    result.fuCounts[fmul], result.fuCounts[fadd]);
+        fmul_seen.push_back(result.fuCounts[fmul]);
+    }
+
+    AladdinConfig spm_cfg;
+    spm_cfg.memory.spmReadPorts = 4;
+    spm_cfg.memory.spmWritePorts = 4;
+    auto spm = run(spm_cfg);
+    std::printf("%-8s %-8s %6u %6u\n", "SPM", "-",
+                spm.fuCounts[fmul], spm.fuCounts[fadd]);
+    fmul_seen.push_back(spm.fuCounts[fmul]);
+
+    // Contrast: SALAM's static datapath is memory-invariant.
+    auto kernel = makeGemm(gemmN, gemmN);
+    ir::Module mod("m");
+    ir::IRBuilder b(mod);
+    ir::Function *fn = kernel->buildOptimized(b);
+    core::StaticCdfg cdfg(*fn, core::DeviceConfig{});
+    std::printf("\ngem5-SALAM static datapath (any memory): "
+                "FMUL=%u FADD=%u\n",
+                cdfg.fuDemand(hw::FuType::FpMultiplierDouble),
+                cdfg.fuDemand(hw::FuType::FpAddSubDouble));
+
+    bool varies = false;
+    for (unsigned c : fmul_seen)
+        varies |= (c != fmul_seen.front());
+    std::printf("\nShape check (paper: FU allocation varies across "
+                "the memory sweep): %s\n",
+                varies ? "REPRODUCED" : "NOT REPRODUCED");
+    return varies ? 0 : 1;
+}

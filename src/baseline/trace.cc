@@ -1,0 +1,99 @@
+#include "trace.hh"
+
+#include <cstdio>
+#include <map>
+#include <fstream>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace salam::baseline
+{
+
+using namespace salam::ir;
+
+std::uint64_t
+TraceFile::generate(const Function &fn,
+                    const std::vector<RuntimeValue> &args,
+                    MemoryAccessor &memory, const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out)
+        fatal("cannot write trace file '%s'", path.c_str());
+
+    std::uint64_t count = 0;
+    Interpreter interp(memory);
+    interp.setObserver([&](const ExecRecord &rec) {
+        const Instruction *inst = rec.inst;
+        out << count << ' ' << opcodeName(inst->opcode()) << ' '
+            << static_cast<int>(hw::fuTypeFor(*inst)) << ' '
+            << (inst->type()->isVoid() ? "-" : inst->name());
+        out << ' ' << rec.memAddr << ' ' << rec.memSize;
+        // Operand register names; constants and block refs skipped.
+        for (std::size_t o = 0; o < inst->numOperands(); ++o) {
+            const Value *op = inst->operand(o);
+            if (op->isConstant() ||
+                op->valueKind() == Value::ValueKind::BasicBlock) {
+                continue;
+            }
+            out << ' ' << op->name();
+        }
+        out << '\n';
+        ++count;
+    });
+    interp.run(fn, args);
+    return count;
+}
+
+std::vector<TraceEntry>
+TraceFile::parse(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot read trace file '%s'", path.c_str());
+
+    // Opcode name -> opcode lookup built once.
+    static const auto opcode_table = [] {
+        std::map<std::string, Opcode> table;
+        for (int op = 0; op <= static_cast<int>(Opcode::Ret); ++op) {
+            table[opcodeName(static_cast<Opcode>(op))] =
+                static_cast<Opcode>(op);
+        }
+        return table;
+    }();
+
+    std::vector<TraceEntry> entries;
+    std::string line;
+    while (std::getline(in, line)) {
+        std::istringstream fields(line);
+        TraceEntry entry;
+        std::string op_name, result;
+        int fu = 0;
+        fields >> entry.seq >> op_name >> fu >> result >>
+            entry.memAddr >> entry.memSize;
+        if (!fields && line.empty())
+            continue;
+        auto it = opcode_table.find(op_name);
+        if (it == opcode_table.end())
+            fatal("bad trace line: '%s'", line.c_str());
+        entry.opcode = it->second;
+        entry.fu = static_cast<hw::FuType>(fu);
+        entry.result = result == "-" ? "" : result;
+        std::string operand;
+        while (fields >> operand)
+            entry.operands.push_back(operand);
+        entries.push_back(std::move(entry));
+    }
+    return entries;
+}
+
+std::uint64_t
+TraceFile::fileBytes(const std::string &path)
+{
+    std::ifstream in(path, std::ios::ate | std::ios::binary);
+    if (!in)
+        return 0;
+    return static_cast<std::uint64_t>(in.tellg());
+}
+
+} // namespace salam::baseline

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Dynamic-trace generation and parsing for the Aladdin-style
+ * baseline simulator.
+ *
+ * Like the original Aladdin flow, the baseline instruments a
+ * functional execution of the kernel and writes every executed
+ * LLVM-IR operation to an on-disk trace, then re-reads that file to
+ * drive simulation. The file round-trip is kept deliberately real:
+ * the preprocessing and trace-loading costs in the Table IV
+ * comparison come from here.
+ */
+
+#ifndef SALAM_BASELINE_TRACE_HH
+#define SALAM_BASELINE_TRACE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hw/functional_unit.hh"
+#include "ir/interpreter.hh"
+
+namespace salam::baseline
+{
+
+/** One executed operation in the trace. */
+struct TraceEntry
+{
+    std::uint64_t seq = 0;
+    ir::Opcode opcode = ir::Opcode::Add;
+    hw::FuType fu = hw::FuType::None;
+    /** Result register name ("" for void results). */
+    std::string result;
+    /** Operand register names (constants omitted). */
+    std::vector<std::string> operands;
+    std::uint64_t memAddr = 0;
+    std::uint32_t memSize = 0;
+
+    bool isLoad() const { return opcode == ir::Opcode::Load; }
+
+    bool isStore() const { return opcode == ir::Opcode::Store; }
+};
+
+/** Generates and parses trace files. */
+class TraceFile
+{
+  public:
+    /**
+     * Execute @p fn functionally and write the dynamic trace to
+     * @p path.
+     * @return number of trace entries written.
+     */
+    static std::uint64_t
+    generate(const ir::Function &fn,
+             const std::vector<ir::RuntimeValue> &args,
+             ir::MemoryAccessor &memory, const std::string &path);
+
+    /** Parse a trace file back into memory. */
+    static std::vector<TraceEntry> parse(const std::string &path);
+
+    /** Size of the trace file in bytes (footprint statistics). */
+    static std::uint64_t fileBytes(const std::string &path);
+};
+
+} // namespace salam::baseline
+
+#endif // SALAM_BASELINE_TRACE_HH

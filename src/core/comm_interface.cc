@@ -1,0 +1,184 @@
+#include "comm_interface.hh"
+
+namespace salam::core
+{
+
+using namespace salam::mem;
+
+CommInterface::CommInterface(Simulation &sim, std::string name,
+                             Tick clock_period,
+                             const CommInterfaceConfig &config)
+    : ClockedObject(sim, std::move(name), clock_period), cfg(config),
+      pioPort(*this),
+      regs(config.mmrRange.size() / 8, 0),
+      mmrEvent([this] { sendMmrResponses(); },
+               this->name() + ".mmr", Event::memoryResponsePri)
+{
+    if (cfg.mmrRange.size() == 0 || cfg.mmrRange.size() % 8 != 0)
+        fatal("%s: MMR range must be a multiple of 8 bytes",
+              this->name().c_str());
+    for (const auto &spec : cfg.dataPorts) {
+        dataPorts.push_back(
+            std::make_unique<DataPort>(*this, spec.label));
+    }
+}
+
+RequestPort &
+CommInterface::dataPort(unsigned i)
+{
+    if (i >= dataPorts.size())
+        fatal("%s: no data port %u", name().c_str(), i);
+    return *dataPorts[i];
+}
+
+int
+CommInterface::portFor(std::uint64_t addr, unsigned size) const
+{
+    for (std::size_t p = 0; p < cfg.dataPorts.size(); ++p) {
+        for (const AddrRange &range : cfg.dataPorts[p].ranges) {
+            if (range.contains(addr, size))
+                return static_cast<int>(p);
+        }
+    }
+    return -1;
+}
+
+bool
+CommInterface::issueMemory(DynInst *op)
+{
+    int port = portFor(op->memAddr, op->memSize);
+    if (port < 0)
+        fatal("%s: no data port serves address 0x%llx",
+              name().c_str(),
+              static_cast<unsigned long long>(op->memAddr));
+
+    PacketPtr pkt;
+    if (op->isLoad) {
+        pkt = new Packet(MemCmd::ReadReq, op->memAddr, op->memSize);
+    } else {
+        pkt = new Packet(MemCmd::WriteReq, op->memAddr, op->memSize);
+        // Store data is operand 0 of the store instruction.
+        pkt->setData(&op->operandValues[0].bits, op->memSize);
+    }
+    pkt->context = op;
+    if (!dataPorts[static_cast<unsigned>(port)]->sendTimingReq(pkt)) {
+        blockedRequests.emplace_back(pkt,
+                                     static_cast<unsigned>(port));
+    }
+    return true;
+}
+
+void
+CommInterface::retryBlockedRequests()
+{
+    while (!blockedRequests.empty()) {
+        auto [pkt, port] = blockedRequests.front();
+        if (!dataPorts[port]->sendTimingReq(pkt))
+            return;
+        blockedRequests.pop_front();
+    }
+}
+
+bool
+CommInterface::handleDataResponse(PacketPtr pkt)
+{
+    auto *op = static_cast<DynInst *>(pkt->context);
+    SALAM_ASSERT(op != nullptr);
+    if (onResponse)
+        onResponse(op, pkt->data(), pkt->size());
+    delete pkt;
+    return true;
+}
+
+std::uint64_t
+CommInterface::readReg(unsigned index) const
+{
+    SALAM_ASSERT(index < regs.size());
+    return regs[index];
+}
+
+void
+CommInterface::writeReg(unsigned index, std::uint64_t value)
+{
+    SALAM_ASSERT(index < regs.size());
+    if (index == 0) {
+        controlWrite(value);
+    } else {
+        regs[index] = value;
+    }
+}
+
+void
+CommInterface::controlWrite(std::uint64_t value)
+{
+    bool started = (value & ctrl_bits::start) != 0 && !running();
+    // The start bit is self-clearing; done is cleared by writing a
+    // zero (host acknowledge).
+    std::uint64_t keep = regs[0] &
+        (ctrl_bits::running | ctrl_bits::done);
+    regs[0] = (value & ~(ctrl_bits::start | ctrl_bits::running |
+                         ctrl_bits::done)) |
+        keep;
+    if ((value & ctrl_bits::done) == 0)
+        regs[0] &= ~ctrl_bits::done;
+    if (started) {
+        regs[0] |= ctrl_bits::running;
+        regs[0] &= ~ctrl_bits::done;
+        if (onStart)
+            onStart();
+    }
+}
+
+void
+CommInterface::signalDone()
+{
+    regs[0] &= ~ctrl_bits::running;
+    regs[0] |= ctrl_bits::done;
+    if ((regs[0] & ctrl_bits::irqEnable) && irq)
+        irq();
+}
+
+bool
+CommInterface::handleMmrAccess(PacketPtr pkt)
+{
+    SALAM_ASSERT(cfg.mmrRange.contains(pkt->addr(), pkt->size()));
+    SALAM_ASSERT(pkt->size() == 8 &&
+                 (pkt->addr() - cfg.mmrRange.start) % 8 == 0);
+    unsigned index = static_cast<unsigned>(
+        (pkt->addr() - cfg.mmrRange.start) / 8);
+
+    if (pkt->cmd() == MemCmd::ReadReq) {
+        std::uint64_t value = readReg(index);
+        pkt->setData(&value, 8);
+        ++mmrReadCount;
+    } else {
+        std::uint64_t value = 0;
+        pkt->copyData(&value, 8);
+        writeReg(index, value);
+        ++mmrWriteCount;
+    }
+    pkt->makeResponse();
+    mmrResponses.push_back(PendingMmr{
+        pkt, clockEdge(Cycles(cfg.mmrLatencyCycles))});
+    if (!mmrEvent.scheduled())
+        schedule(mmrEvent, mmrResponses.front().readyAt);
+    return true;
+}
+
+void
+CommInterface::sendMmrResponses()
+{
+    while (!mmrResponses.empty()) {
+        PendingMmr &front = mmrResponses.front();
+        if (front.readyAt > curTick()) {
+            if (!mmrEvent.scheduled())
+                schedule(mmrEvent, front.readyAt);
+            return;
+        }
+        if (!pioPort.sendTimingResp(front.pkt))
+            return;
+        mmrResponses.pop_front();
+    }
+}
+
+} // namespace salam::core

@@ -1,0 +1,76 @@
+#include "compute_unit.hh"
+
+#include "ir/verifier.hh"
+
+namespace salam::core
+{
+
+ComputeUnit::ComputeUnit(Simulation &sim, std::string name,
+                         const ir::Function &fn,
+                         const DeviceConfig &config,
+                         CommInterface &comm)
+    : ClockedObject(sim, std::move(name), config.clockPeriod),
+      cfg(config), staticCdfg(fn, cfg), comm(comm),
+      engine(staticCdfg, cfg,
+             RuntimeEngine::Hooks{
+                 [this](DynInst *op) {
+                     return this->comm.issueMemory(op);
+                 },
+                 [this] { requestTick(); },
+                 [this] {
+                     this->comm.signalDone();
+                     if (onDone)
+                         onDone();
+                 },
+             }),
+      tickEvent([this] { tick(); }, this->name() + ".tick",
+                Event::cpuTickPri)
+{
+    ir::Verifier::verifyOrDie(fn);
+    comm.setResponseHandler(
+        [this](DynInst *op, const std::uint8_t *data, unsigned size) {
+            engine.memoryResponse(op, data, size);
+        });
+    comm.setStartHandler([this] { startFromMmrs(); });
+}
+
+void
+ComputeUnit::start(const std::vector<ir::RuntimeValue> &args)
+{
+    engine.start(args);
+}
+
+void
+ComputeUnit::startFromMmrs()
+{
+    const ir::Function &fn = staticCdfg.function();
+    std::vector<ir::RuntimeValue> args;
+    for (std::size_t i = 0; i < fn.numArguments(); ++i) {
+        ir::RuntimeValue value;
+        value.bits = comm.readReg(static_cast<unsigned>(i) + 1);
+        args.push_back(value);
+    }
+    start(args);
+}
+
+void
+ComputeUnit::requestTick()
+{
+    Tick next = clockEdge();
+    if (lastCycleTick != maxTick && next <= lastCycleTick)
+        next = lastCycleTick + clockPeriod();
+    if (!tickEvent.scheduled()) {
+        schedule(tickEvent, next);
+    } else if (tickEvent.when() > next) {
+        reschedule(tickEvent, next);
+    }
+}
+
+void
+ComputeUnit::tick()
+{
+    lastCycleTick = curTick();
+    engine.cycle();
+}
+
+} // namespace salam::core

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * ComputeUnit: the accelerator datapath SimObject.
+ *
+ * Owns the statically elaborated CDFG and the dynamic runtime
+ * engine, drives the engine on its clock, and bridges it to a
+ * CommInterface. The split matches the paper's API: a ComputeUnit
+ * models computation; a CommInterface models system communication;
+ * either can be replaced independently.
+ */
+
+#ifndef SALAM_CORE_COMPUTE_UNIT_HH
+#define SALAM_CORE_COMPUTE_UNIT_HH
+
+#include <functional>
+
+#include "comm_interface.hh"
+#include "runtime_engine.hh"
+#include "sim/sim_object.hh"
+#include "sim/simulation.hh"
+
+namespace salam::core
+{
+
+/** The accelerator compute unit. */
+class ComputeUnit : public ClockedObject
+{
+  public:
+    /**
+     * @param fn Verified kernel IR; must outlive the unit.
+     * @param comm The communications interface this datapath uses.
+     */
+    ComputeUnit(Simulation &sim, std::string name,
+                const ir::Function &fn, const DeviceConfig &config,
+                CommInterface &comm);
+
+    /** Begin execution directly (bypassing MMR programming). */
+    void start(const std::vector<ir::RuntimeValue> &args);
+
+    /**
+     * Begin execution from the argument registers: MMR reg 1..N are
+     * bound in order to the kernel's N arguments. Wired to the
+     * CommInterface start bit by the constructor.
+     */
+    void startFromMmrs();
+
+    /** Completion hook (in addition to CommInterface::signalDone). */
+    void setDoneCallback(std::function<void()> callback)
+    { onDone = std::move(callback); }
+
+    bool finished() const { return engine.finished(); }
+
+    bool running() const { return engine.running(); }
+
+    /** Kernel execution length in accelerator cycles. */
+    std::uint64_t cycleCount() const
+    { return engine.stats().totalCycles; }
+
+    const EngineStats &stats() const { return engine.stats(); }
+
+    const StaticCdfg &cdfg() const { return staticCdfg; }
+
+    const DeviceConfig &deviceConfig() const { return cfg; }
+
+    CommInterface &commInterface() { return comm; }
+
+  private:
+    void tick();
+
+    void requestTick();
+
+    DeviceConfig cfg;
+    StaticCdfg staticCdfg;
+    CommInterface &comm;
+    RuntimeEngine engine;
+    EventFunctionWrapper tickEvent;
+    Tick lastCycleTick = maxTick;
+    std::function<void()> onDone;
+};
+
+} // namespace salam::core
+
+#endif // SALAM_CORE_COMPUTE_UNIT_HH

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Device configuration: the per-accelerator tuning knobs.
+ *
+ * Mirrors gem5-SALAM's "device config" file: accelerator clock,
+ * functional-unit constraints (to force reuse), runtime scheduler
+ * queue sizes, and the memory-interface issue widths. The separation
+ * from the kernel IR is the paper's third contribution — datapath and
+ * memory can be swept independently.
+ */
+
+#ifndef SALAM_CORE_DEVICE_CONFIG_HH
+#define SALAM_CORE_DEVICE_CONFIG_HH
+
+#include <array>
+#include <cstdint>
+
+#include "hw/functional_unit.hh"
+#include "hw/hardware_profile.hh"
+#include "sim/types.hh"
+
+namespace salam::core
+{
+
+/** Per-accelerator datapath and scheduler configuration. */
+struct DeviceConfig
+{
+    /** Accelerator clock period in ticks (default 100 MHz). */
+    Tick clockPeriod = periodFromMhz(100);
+
+    /**
+     * Maximum functional units per type. 0 means the default 1-to-1
+     * map: every static instruction gets a dedicated unit.
+     */
+    std::array<unsigned, hw::numFuTypes> fuLimits{};
+
+    /** Hardware characterization (latency/power/area). */
+    hw::HardwareProfile profile = hw::HardwareProfile::defaultProfile();
+
+    /** Reservation queue capacity in dynamic instructions. */
+    unsigned reservationQueueSize = 1024;
+
+    /**
+     * Runtime-scheduler option: import a *different* successor block
+     * only after all in-flight work drains, while self-loop
+     * back-edges still import immediately (pipelined loops). This
+     * matches the block-sequential FSM semantics HLS tools
+     * synthesize and is the configuration the timing-validation
+     * experiments use (the paper's "IR tuned to the same ILP as the
+     * HLS datapath"). The default keeps the fully dynamic dataflow
+     * behaviour.
+     */
+    bool blockSequentialImport = false;
+
+    /** In-flight load limit (read queue depth). */
+    unsigned readQueueSize = 16;
+
+    /** In-flight store limit (write queue depth). */
+    unsigned writeQueueSize = 16;
+
+    /** Loads issued to the memory interface per cycle. */
+    unsigned readPortsPerCycle = 2;
+
+    /** Stores issued to the memory interface per cycle. */
+    unsigned writePortsPerCycle = 2;
+
+    unsigned
+    fuLimit(hw::FuType type) const
+    {
+        return fuLimits[static_cast<std::size_t>(type)];
+    }
+
+    void
+    setFuLimit(hw::FuType type, unsigned limit)
+    {
+        fuLimits[static_cast<std::size_t>(type)] = limit;
+    }
+};
+
+} // namespace salam::core
+
+#endif // SALAM_CORE_DEVICE_CONFIG_HH

@@ -1,0 +1,176 @@
+#include "dma.hh"
+
+#include <algorithm>
+
+namespace salam::core
+{
+
+using namespace salam::mem;
+
+Dma::Dma(Simulation &sim, std::string name, Tick clock_period,
+         const DmaConfig &config)
+    : ClockedObject(sim, std::move(name), clock_period), cfg(config),
+      pioPort(*this), dmaPort(*this),
+      mmrEvent([this] { sendMmrResponses(); },
+               this->name() + ".mmr", Event::memoryResponsePri),
+      pumpEvent([this] { pump(); }, this->name() + ".pump")
+{
+    if (cfg.burstBytes == 0 || cfg.maxOutstanding == 0)
+        fatal("%s: bad DMA configuration", this->name().c_str());
+}
+
+std::uint64_t
+Dma::readReg(unsigned index) const
+{
+    SALAM_ASSERT(index < regs.size());
+    return regs[index];
+}
+
+void
+Dma::writeReg(unsigned index, std::uint64_t value)
+{
+    SALAM_ASSERT(index < regs.size());
+    if (index == 0) {
+        bool start = (value & ctrl_bits::start) != 0 && !active;
+        regs[0] = (value & ctrl_bits::irqEnable) |
+            (regs[0] & (ctrl_bits::running | ctrl_bits::done));
+        if ((value & ctrl_bits::done) == 0)
+            regs[0] &= ~ctrl_bits::done;
+        if (start)
+            startTransfer(regs[1], regs[2], regs[3]);
+    } else {
+        regs[index] = value;
+    }
+}
+
+void
+Dma::startTransfer(std::uint64_t src, std::uint64_t dst,
+                   std::uint64_t bytes)
+{
+    if (active)
+        fatal("%s: transfer started while busy", name().c_str());
+    if (bytes == 0) {
+        finishTransfer();
+        return;
+    }
+    active = true;
+    regs[1] = src;
+    regs[2] = dst;
+    regs[3] = bytes;
+    regs[0] |= ctrl_bits::running;
+    regs[0] &= ~ctrl_bits::done;
+    srcCursor = src;
+    dstCursor = dst;
+    bytesRemainingToRead = bytes;
+    bytesRemainingToWrite = bytes;
+    outstanding = 0;
+    startedAt = curTick();
+    if (!pumpEvent.scheduled())
+        schedule(pumpEvent, clockEdge());
+}
+
+void
+Dma::pump()
+{
+    while (active && bytesRemainingToRead > 0 &&
+           outstanding < cfg.maxOutstanding) {
+        unsigned chunk = static_cast<unsigned>(std::min<std::uint64_t>(
+            cfg.burstBytes, bytesRemainingToRead));
+        auto *pkt = new Packet(MemCmd::ReadReq, srcCursor, chunk);
+        // Stash the destination for this chunk in the context.
+        pkt->context = reinterpret_cast<void *>(dstCursor);
+        if (!dmaPort.sendTimingReq(pkt)) {
+            delete pkt;
+            return; // retried via recvReqRetry
+        }
+        ++outstanding;
+        bytesRemainingToRead -= chunk;
+        if (cfg.incrementSrc)
+            srcCursor += chunk;
+        if (cfg.incrementDst)
+            dstCursor += chunk;
+    }
+}
+
+bool
+Dma::handleDataResponse(PacketPtr pkt)
+{
+    if (pkt->cmd() == MemCmd::ReadResp) {
+        // Turn the read data around into a write burst.
+        auto dst = reinterpret_cast<std::uint64_t>(pkt->context);
+        auto *wr = new Packet(MemCmd::WriteReq, dst, pkt->size());
+        wr->setData(pkt->data(), pkt->size());
+        if (!dmaPort.sendTimingReq(wr)) {
+            // Our simple devices accept requests; a refusal here
+            // would need a retry queue. Fail loudly if it happens.
+            panic("%s: write burst refused", name().c_str());
+        }
+        delete pkt;
+        return true;
+    }
+
+    SALAM_ASSERT(pkt->cmd() == MemCmd::WriteResp);
+    SALAM_ASSERT(outstanding > 0);
+    --outstanding;
+    bytesRemainingToWrite -= pkt->size();
+    totalBytes += pkt->size();
+    delete pkt;
+    if (bytesRemainingToWrite == 0) {
+        finishTransfer();
+    } else if (bytesRemainingToRead > 0 &&
+               !pumpEvent.scheduled()) {
+        schedule(pumpEvent, clockEdge(Cycles(1)));
+    }
+    return true;
+}
+
+void
+Dma::finishTransfer()
+{
+    active = false;
+    lastDuration = curTick() - startedAt;
+    regs[0] &= ~ctrl_bits::running;
+    regs[0] |= ctrl_bits::done;
+    if ((regs[0] & ctrl_bits::irqEnable) && irq)
+        irq();
+}
+
+bool
+Dma::handleMmrAccess(PacketPtr pkt)
+{
+    SALAM_ASSERT(cfg.mmrRange.contains(pkt->addr(), pkt->size()));
+    SALAM_ASSERT(pkt->size() == 8);
+    unsigned index = static_cast<unsigned>(
+        (pkt->addr() - cfg.mmrRange.start) / 8);
+    if (pkt->cmd() == MemCmd::ReadReq) {
+        std::uint64_t value = readReg(index);
+        pkt->setData(&value, 8);
+    } else {
+        std::uint64_t value = 0;
+        pkt->copyData(&value, 8);
+        writeReg(index, value);
+    }
+    pkt->makeResponse();
+    mmrResponses.push_back(PendingMmr{pkt, clockEdge(Cycles(1))});
+    if (!mmrEvent.scheduled())
+        schedule(mmrEvent, mmrResponses.front().readyAt);
+    return true;
+}
+
+void
+Dma::sendMmrResponses()
+{
+    while (!mmrResponses.empty()) {
+        PendingMmr &front = mmrResponses.front();
+        if (front.readyAt > curTick()) {
+            if (!mmrEvent.scheduled())
+                schedule(mmrEvent, front.readyAt);
+            return;
+        }
+        if (!pioPort.sendTimingResp(front.pkt))
+            return;
+        mmrResponses.pop_front();
+    }
+}
+
+} // namespace salam::core

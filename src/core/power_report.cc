@@ -1,0 +1,57 @@
+#include "power_report.hh"
+
+#include "sim/logging.hh"
+
+namespace salam::core
+{
+
+AcceleratorReport
+buildReport(const ComputeUnit &cu, const mem::Scratchpad *private_spm)
+{
+    const EngineStats &stats = cu.stats();
+    const StaticCdfg &cdfg = cu.cdfg();
+    const DeviceConfig &cfg = cu.deviceConfig();
+
+    AcceleratorReport report;
+    report.cycles = stats.totalCycles;
+    report.runtimeNs = static_cast<double>(stats.totalCycles) *
+        static_cast<double>(cfg.clockPeriod) / 1000.0;
+    if (report.runtimeNs <= 0.0) {
+        warn("power report requested before execution finished");
+        report.runtimeNs = 1.0;
+    }
+
+    // Dynamic power: accumulated energy (pJ) over runtime (ns) is
+    // directly milliwatts.
+    report.power.dynamicFuMw = stats.fuEnergyPj / report.runtimeNs;
+    report.power.dynamicRegisterMw =
+        (stats.registerReadEnergyPj + stats.registerWriteEnergyPj) /
+        report.runtimeNs;
+
+    // Static power and datapath area from elaboration.
+    report.power.staticFuMw = cdfg.staticFuPowerMw();
+    report.power.staticRegisterMw = cdfg.staticRegisterPowerMw();
+    report.area = cdfg.area();
+
+    if (private_spm != nullptr) {
+        const mem::ScratchpadConfig &scfg = private_spm->config();
+        hw::SramConfig sram;
+        sram.sizeBytes = scfg.range.size();
+        sram.wordBytes = scfg.wordBytes;
+        sram.ports = std::max(scfg.readPorts, scfg.writePorts);
+        sram.banks = scfg.banks;
+        hw::SramMetrics metrics = hw::CactiLite::evaluate(sram);
+
+        report.power.dynamicSpmReadMw =
+            static_cast<double>(private_spm->readCount()) *
+            metrics.readEnergyPj / report.runtimeNs;
+        report.power.dynamicSpmWriteMw =
+            static_cast<double>(private_spm->writeCount()) *
+            metrics.writeEnergyPj / report.runtimeNs;
+        report.power.staticSpmMw = metrics.leakagePowerMw;
+        report.area.spmUm2 = metrics.areaUm2;
+    }
+    return report;
+}
+
+} // namespace salam::core

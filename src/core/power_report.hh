@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Power/area report generation (Sec. III-C metrics estimation).
+ *
+ * Combines the static CDFG (leakage, area), the runtime engine's
+ * per-cycle energy accounting (dynamic FU and register power), and
+ * CactiLite scratchpad models driven by SPM usage statistics, into
+ * the Fig. 4-style breakdown.
+ */
+
+#ifndef SALAM_CORE_POWER_REPORT_HH
+#define SALAM_CORE_POWER_REPORT_HH
+
+#include "compute_unit.hh"
+#include "hw/cacti_lite.hh"
+#include "hw/power_model.hh"
+#include "mem/scratchpad.hh"
+
+namespace salam::core
+{
+
+/** Full power/area accounting for one accelerator. */
+struct AcceleratorReport
+{
+    hw::PowerBreakdown power;
+    hw::AreaBreakdown area;
+    std::uint64_t cycles = 0;
+    double runtimeNs = 0.0;
+};
+
+/**
+ * Build the report for @p cu.
+ *
+ * @param cu The finished compute unit.
+ * @param private_spm Optional private scratchpad whose power/area is
+ *        attributed to this accelerator (nullptr when using caches
+ *        or shared memory only).
+ */
+AcceleratorReport
+buildReport(const ComputeUnit &cu,
+            const mem::Scratchpad *private_spm = nullptr);
+
+} // namespace salam::core
+
+#endif // SALAM_CORE_POWER_REPORT_HH

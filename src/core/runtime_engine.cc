@@ -1,0 +1,725 @@
+#include "runtime_engine.hh"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstdio>
+
+#include "sim/logging.hh"
+
+namespace salam::core
+{
+
+using namespace salam::ir;
+using namespace salam::hw;
+
+RuntimeEngine::RuntimeEngine(const StaticCdfg &cdfg,
+                             const DeviceConfig &config, Hooks hooks)
+    : staticCdfg(cdfg), cfg(config), hooks(std::move(hooks))
+{
+    for (std::size_t t = 0; t < numFuTypes; ++t) {
+        unsigned limit = cfg.fuLimits[t];
+        if (limit > 0)
+            poolFreeAt[t].assign(limit, 0);
+    }
+}
+
+void
+RuntimeEngine::start(const std::vector<RuntimeValue> &args)
+{
+    const Function &fn = staticCdfg.function();
+    if (args.size() != fn.numArguments())
+        fatal("engine: @%s expects %zu args, got %zu",
+              fn.name().c_str(), fn.numArguments(), args.size());
+    SALAM_ASSERT(!active);
+
+    for (std::size_t i = 0; i < args.size(); ++i)
+        committedValues[fn.argument(i)] = args[i];
+
+    active = true;
+    completed = false;
+    retSeen = false;
+    cycleCount = 0;
+    importBlock(fn.entry(), nullptr);
+    // The entry block may issue in cycle 0.
+    for (auto &di : window)
+        di->minIssueCycle = 0;
+    hooks.requestTick();
+}
+
+DynInst *
+RuntimeEngine::createDynInst(const Instruction *inst)
+{
+    auto owned = std::make_unique<DynInst>();
+    DynInst *di = owned.get();
+    di->inst = inst;
+    di->staticInfo = &staticCdfg.info(inst);
+    di->seq = nextSeq++;
+    di->minIssueCycle = cycleCount + 1;
+    di->isLoad = inst->opcode() == Opcode::Load;
+    di->isStore = inst->opcode() == Opcode::Store;
+    di->producers.resize(inst->numOperands(), nullptr);
+    di->operandValues.resize(inst->numOperands());
+
+    // WAW/WAR chain against the previous dynamic instance.
+    auto latest = latestInstance.find(inst);
+    if (latest != latestInstance.end()) {
+        di->prevInstance = latest->second;
+        latest->second->nextInstance = di;
+    }
+    latestInstance[inst] = di;
+
+    window.push_back(std::move(owned));
+    ++engineStats.dynamicInstructions;
+    return di;
+}
+
+void
+RuntimeEngine::importBlock(const BasicBlock *block,
+                           const BasicBlock *from)
+{
+    if (block->size() > cfg.reservationQueueSize)
+        fatal("engine: block '%s' (%zu instructions) exceeds the "
+              "reservation queue (%u); raise "
+              "DeviceConfig::reservationQueueSize",
+              block->name().c_str(), block->size(),
+              cfg.reservationQueueSize);
+    if (reservationQueue.size() + block->size() >
+        cfg.reservationQueueSize) {
+        pendingImport = block;
+        pendingImportFrom = from;
+        return;
+    }
+    pendingImport = nullptr;
+
+    for (std::size_t i = 0; i < block->size(); ++i) {
+        const Instruction *inst = block->instruction(i);
+        DynInst *di = createDynInst(inst);
+
+        // Resolve operands. Phis bind only the incoming value for
+        // the edge we arrived on; everything else binds all
+        // operands in order.
+        auto bind = [&](std::size_t slot, const Value *operand) {
+            if (operand->isConstant()) {
+                di->operandValues[slot] = evalConstant(operand);
+                return;
+            }
+            if (operand->valueKind() ==
+                Value::ValueKind::BasicBlock ||
+                operand->valueKind() ==
+                    Value::ValueKind::Function) {
+                return; // control references carry no data
+            }
+            if (const auto *op_inst =
+                    dynamic_cast<const Instruction *>(operand)) {
+                auto latest = latestInstance.find(op_inst);
+                if (latest != latestInstance.end() &&
+                    !latest->second->committed) {
+                    di->producers[slot] = latest->second;
+                    ++latest->second->unissuedReaders;
+                    return;
+                }
+                if (latest != latestInstance.end()) {
+                    di->operandValues[slot] =
+                        latest->second->result;
+                    return;
+                }
+            }
+            auto it = committedValues.find(operand);
+            if (it == committedValues.end())
+                panic("engine: operand %%%s of %%%s has no value",
+                      operand->name().c_str(),
+                      di->inst->name().c_str());
+            di->operandValues[slot] = it->second;
+        };
+
+        if (const auto *phi = dynamic_cast<const PhiInst *>(inst)) {
+            Value *incoming =
+                from ? phi->valueFor(from) : nullptr;
+            if (incoming == nullptr)
+                panic("phi %%%s has no incoming for edge",
+                      phi->name().c_str());
+            // Keep exactly one live operand slot for the edge taken.
+            di->producers.assign(1, nullptr);
+            di->operandValues.assign(1, RuntimeValue{});
+            bind(0, incoming);
+        } else {
+            for (std::size_t o = 0; o < inst->numOperands(); ++o)
+                bind(o, inst->operand(o));
+        }
+
+        reservationQueue.push_back(di);
+        if (di->isMemory()) {
+            di->memSeq = nextMemSeq++;
+            memoryOrder.push_back(di);
+            if (di->isLoad)
+                ++pendingLoadOps;
+            else
+                ++pendingStoreOps;
+        }
+    }
+}
+
+bool
+RuntimeEngine::operandsReady(const DynInst &di) const
+{
+    for (const DynInst *producer : di.producers) {
+        if (producer != nullptr && !producer->committed)
+            return false;
+    }
+    return true;
+}
+
+void
+RuntimeEngine::captureOperands(DynInst *di)
+{
+    for (std::size_t i = 0; i < di->producers.size(); ++i) {
+        DynInst *producer = di->producers[i];
+        if (producer != nullptr) {
+            SALAM_ASSERT(producer->committed);
+            di->operandValues[i] = producer->result;
+            SALAM_ASSERT(producer->unissuedReaders > 0);
+            --producer->unissuedReaders;
+            di->producers[i] = nullptr;
+        }
+    }
+}
+
+bool
+RuntimeEngine::fuAvailable(const DynInst &di) const
+{
+    FuType type = di.staticInfo->fu;
+    if (type == FuType::None)
+        return true;
+
+    // WAW/WAR against the previous instance of this instruction:
+    // the shared (or dedicated) unit enforces the initiation
+    // interval, and the destination register cannot be rewritten
+    // while readers of the previous value are pending.
+    const DynInst *prev = di.prevInstance;
+    if (prev != nullptr) {
+        if (!prev->issued)
+            return false;
+        if (cycleCount <
+            prev->issueCycle + di.staticInfo->initiationInterval) {
+            return false;
+        }
+        if (prev->unissuedReaders > 0)
+            return false;
+    }
+
+    std::size_t t = static_cast<std::size_t>(type);
+    unsigned limit = cfg.fuLimits[t];
+    if (limit == 0)
+        return true; // dedicated unit per static instruction
+    for (std::uint64_t free_at : poolFreeAt[t]) {
+        if (free_at <= cycleCount)
+            return true;
+    }
+    return false;
+}
+
+void
+RuntimeEngine::occupyFu(DynInst *di)
+{
+    FuType type = di->staticInfo->fu;
+    if (type == FuType::None)
+        return;
+    std::size_t t = static_cast<std::size_t>(type);
+    unsigned limit = cfg.fuLimits[t];
+    if (limit == 0)
+        return; // dedicated: II enforced via prevInstance
+    for (auto &free_at : poolFreeAt[t]) {
+        if (free_at <= cycleCount) {
+            free_at = cycleCount + di->staticInfo->initiationInterval;
+            return;
+        }
+    }
+    panic("occupyFu called without an available unit");
+}
+
+void
+RuntimeEngine::resolveAddress(DynInst *di)
+{
+    if (di->addrKnown)
+        return;
+    std::size_t ptr_slot = di->isLoad ? 0 : 1;
+    const DynInst *producer = di->producers[ptr_slot];
+    RuntimeValue addr;
+    if (producer == nullptr) {
+        addr = di->operandValues[ptr_slot];
+    } else if (producer->committed) {
+        addr = producer->result;
+    } else {
+        return;
+    }
+    di->memAddr = addr.bits;
+    if (di->isLoad) {
+        di->memSize = static_cast<unsigned>(
+            di->inst->type()->storeSize());
+    } else {
+        const auto *store =
+            static_cast<const StoreInst *>(di->inst);
+        di->memSize = static_cast<unsigned>(
+            store->value()->type()->storeSize());
+    }
+    di->addrKnown = true;
+}
+
+void
+RuntimeEngine::buildMemorySummary()
+{
+    memSummary.unknownStoreSeq = ~0ull;
+    memSummary.unknownLoadSeq = ~0ull;
+    memSummary.stores.clear();
+    memSummary.loads.clear();
+    for (const DynInst *op : memoryOrder) {
+        if (op->committed)
+            continue;
+        if (op->isStore) {
+            if (!op->addrKnown) {
+                memSummary.unknownStoreSeq = std::min(
+                    memSummary.unknownStoreSeq, op->memSeq);
+            } else {
+                memSummary.stores.push_back(
+                    {op->memSeq, op->memAddr, op->memSize});
+            }
+        } else {
+            if (!op->addrKnown) {
+                memSummary.unknownLoadSeq = std::min(
+                    memSummary.unknownLoadSeq, op->memSeq);
+            } else {
+                memSummary.loads.push_back(
+                    {op->memSeq, op->memAddr, op->memSize});
+            }
+        }
+    }
+}
+
+bool
+RuntimeEngine::memoryOrderingAllows(const DynInst &di) const
+{
+    SALAM_ASSERT(di.addrKnown);
+    // Unknown-address older stores block everything younger;
+    // unknown older loads block younger stores.
+    if (memSummary.unknownStoreSeq < di.memSeq)
+        return false;
+    if (di.isStore && memSummary.unknownLoadSeq < di.memSeq)
+        return false;
+
+    auto overlaps = [&](const MemRef &ref) {
+        return ref.seq < di.memSeq &&
+            ref.addr < di.memAddr + di.memSize &&
+            di.memAddr < ref.addr + ref.size;
+    };
+    for (const MemRef &store : memSummary.stores) {
+        if (overlaps(store))
+            return false;
+    }
+    if (di.isStore) {
+        for (const MemRef &load : memSummary.loads) {
+            if (overlaps(load))
+                return false;
+        }
+    }
+    return true;
+}
+
+void
+RuntimeEngine::issueCompute(DynInst *di)
+{
+    static const char *trace_op = std::getenv("SALAM_TRACE_OP");
+    if (trace_op != nullptr &&
+        di->inst->name().rfind(trace_op, 0) == 0) {
+        std::fprintf(stderr, "op %s seq=%llu issue@%llu\n",
+                     di->inst->name().c_str(),
+                     (unsigned long long)di->seq,
+                     (unsigned long long)cycleCount);
+    }
+    captureOperands(di);
+    occupyFu(di);
+    di->issued = true;
+    di->issueCycle = cycleCount;
+
+    const HardwareProfile &profile = cfg.profile;
+    FuType type = di->staticInfo->fu;
+    if (type != FuType::None) {
+        engineStats.fuEnergyPj +=
+            profile.fu(type).dynamicEnergyPj;
+    }
+    // Register file activity: operand reads now, result write at
+    // commit.
+    double read_bits = 0.0;
+    for (std::size_t o = 0; o < di->inst->numOperands(); ++o)
+        read_bits += di->inst->operand(o)->type()->bitWidth();
+    engineStats.registerReadEnergyPj +=
+        read_bits * profile.registers().readEnergyPjPerBit;
+
+    // Functional evaluation happens at issue; the commit of the
+    // result is delayed by the unit latency.
+    if (di->inst->opcode() == Opcode::Phi) {
+        di->result = di->operandValues[0];
+    } else if (di->inst->isComputeOp()) {
+        di->result = evalCompute(*di->inst, di->operandValues);
+    }
+
+    unsigned latency = di->staticInfo->latency;
+    if (latency == 0) {
+        commit(di);
+    } else {
+        di->commitCycle = cycleCount + latency;
+        computeQueue.push_back(di);
+    }
+}
+
+void
+RuntimeEngine::commit(DynInst *di)
+{
+    SALAM_ASSERT(!di->committed);
+    di->committed = true;
+    if (!di->inst->type()->isVoid()) {
+        committedValues[di->inst] = di->result;
+        engineStats.registerWriteEnergyPj +=
+            static_cast<double>(di->staticInfo->resultBits) *
+            cfg.profile.registers().writeEnergyPjPerBit;
+    }
+}
+
+void
+RuntimeEngine::memoryResponse(DynInst *op, const std::uint8_t *data,
+                              unsigned size)
+{
+    SALAM_ASSERT(op->memInFlight);
+    op->memInFlight = false;
+    if (op->isLoad) {
+        SALAM_ASSERT(size >= op->memSize);
+        std::uint64_t raw = 0;
+        std::memcpy(&raw, data, op->memSize);
+        op->result.bits = RuntimeValue::mask(op->inst->type(), raw);
+        SALAM_ASSERT(loadsInFlight > 0);
+        --loadsInFlight;
+    } else {
+        SALAM_ASSERT(storesInFlight > 0);
+        --storesInFlight;
+    }
+    commit(op);
+    if (active)
+        hooks.requestTick();
+}
+
+void
+RuntimeEngine::pruneWindow()
+{
+    // Retire from the window front (oldest first). An instruction
+    // may leave once it is committed, every reader has captured its
+    // result, and a newer instance of the same static instruction
+    // has issued (so nothing consults it for WAW/WAR any more).
+    while (!window.empty()) {
+        DynInst *front = window.front().get();
+        if (!front->committed || front->unissuedReaders > 0)
+            break;
+        if (front->nextInstance != nullptr &&
+            !front->nextInstance->issued) {
+            break;
+        }
+        if (front->nextInstance == nullptr) {
+            // Still the newest instance of its static instruction:
+            // unregister it so later readers bind to the committed
+            // value instead. (A future instance then starts without
+            // a WAW link to this long-retired one; by then the
+            // initiation-interval spacing is trivially satisfied.)
+            auto it = latestInstance.find(front->inst);
+            if (it != latestInstance.end() &&
+                it->second == front) {
+                latestInstance.erase(it);
+            }
+        } else {
+            front->nextInstance->prevInstance = nullptr;
+        }
+        if (front->isMemory()) {
+            SALAM_ASSERT(!memoryOrder.empty() &&
+                         memoryOrder.front() == front);
+            memoryOrder.pop_front();
+        }
+        window.pop_front();
+    }
+}
+
+void
+RuntimeEngine::recordCycleStats(bool issued_any,
+                                unsigned loads_issued,
+                                unsigned stores_issued,
+                                unsigned fp_issued)
+{
+    // In-flight FU occupancy by type.
+    for (const DynInst *op : computeQueue) {
+        std::size_t t =
+            static_cast<std::size_t>(op->staticInfo->fu);
+        ++engineStats.fuBusyCycleSum[t];
+    }
+
+    if (issued_any) {
+        ++engineStats.newExecCycles;
+        if (loads_issued > 0)
+            ++engineStats.cyclesWithLoadIssue;
+        if (stores_issued > 0)
+            ++engineStats.cyclesWithStoreIssue;
+        if (fp_issued > 0)
+            ++engineStats.cyclesWithFpIssue;
+        if (loads_issued > 0 && stores_issued > 0)
+            ++engineStats.cyclesWithLoadAndStoreIssue;
+        if (loads_issued > 0 && fp_issued > 0)
+            ++engineStats.cyclesWithLoadAndFpIssue;
+        return;
+    }
+
+    ++engineStats.stallCycles;
+    // A stall involves a memory class when an access of that class
+    // is in flight or was ready but blocked by port/queue limits
+    // this cycle; it involves computation when operations occupy
+    // functional units.
+    bool load_busy = loadsInFlight > 0 || memStallLoadBlocked;
+    bool store_busy = storesInFlight > 0 || memStallStoreBlocked;
+    bool compute_busy = !computeQueue.empty();
+    if (load_busy && store_busy && compute_busy)
+        ++engineStats.stallLoadStoreCompute;
+    else if (load_busy && compute_busy)
+        ++engineStats.stallLoadCompute;
+    else if (store_busy && compute_busy)
+        ++engineStats.stallStoreCompute;
+    else if (load_busy && store_busy)
+        ++engineStats.stallLoadStore;
+    else if (compute_busy)
+        ++engineStats.stallComputeOnly;
+    else if (load_busy)
+        ++engineStats.stallLoadOnly;
+    else if (store_busy)
+        ++engineStats.stallStoreOnly;
+    else
+        ++engineStats.stallEmpty;
+}
+
+void
+RuntimeEngine::finish()
+{
+    active = false;
+    completed = true;
+    engineStats.totalCycles = cycleCount + 1;
+    if (hooks.onDone)
+        hooks.onDone();
+}
+
+void
+RuntimeEngine::cycle()
+{
+    if (!active)
+        return;
+
+    // 1. Commit compute operations whose latency has elapsed.
+    for (std::size_t i = 0; i < computeQueue.size();) {
+        DynInst *op = computeQueue[i];
+        if (op->commitCycle <= cycleCount) {
+            commit(op);
+            computeQueue[i] = computeQueue.back();
+            computeQueue.pop_back();
+        } else {
+            ++i;
+        }
+    }
+
+    // 2. Retry a deferred block import. Under block-sequential
+    //    scheduling a cross-block import additionally waits for the
+    //    pipeline to drain (FSM state-transition semantics).
+    if (pendingImport != nullptr) {
+        bool drained = reservationQueue.empty() &&
+            computeQueue.empty() && loadsInFlight == 0 &&
+            storesInFlight == 0;
+        if (!cfg.blockSequentialImport || drained ||
+            pendingImportFrom == pendingImport) {
+            importBlock(pendingImport, pendingImportFrom);
+        }
+    }
+
+    // 3. Scan the reservation queue and issue everything that is
+    //    ready. The scan is in program order but issue is dataflow:
+    //    younger ready instructions are not blocked by older
+    //    unready ones (other than through the explicit dependency,
+    //    FU, and memory-ordering rules).
+    unsigned loads_issued = 0;
+    unsigned stores_issued = 0;
+    unsigned fp_issued = 0;
+    bool issued_any = false;
+    bool ready_load_blocked = false;
+    bool ready_store_blocked = false;
+    buildMemorySummary();
+
+    // Index-based scan: importBlock() appends to the deque during
+    // the walk (terminator evaluation), which invalidates iterators
+    // but not indices.
+    for (std::size_t idx = 0; idx < reservationQueue.size();) {
+        DynInst *di = reservationQueue[idx];
+        if (di->minIssueCycle > cycleCount) {
+            ++idx;
+            continue;
+        }
+        // Effective addresses resolve as soon as the pointer operand
+        // commits, even if the op cannot issue yet — younger memory
+        // ops use them for disambiguation.
+        if (di->isMemory())
+            resolveAddress(di);
+        if (!operandsReady(*di)) {
+            ++idx;
+            continue;
+        }
+
+        Opcode op = di->inst->opcode();
+        if (op == Opcode::Br) {
+            const auto *br =
+                static_cast<const BranchInst *>(di->inst);
+            captureOperands(di);
+            const BasicBlock *target;
+            if (br->isConditional()) {
+                target = di->operandValues[0].asBool()
+                             ? br->ifTrue()
+                             : br->ifFalse();
+            } else {
+                target = br->ifTrue();
+            }
+            di->issued = true;
+            di->issueCycle = cycleCount;
+            commit(di);
+            const BasicBlock *cur = di->inst->parent();
+            if (cfg.blockSequentialImport && target != cur &&
+                pendingImport == nullptr) {
+                // Defer the state transition until drain.
+                pendingImport = target;
+                pendingImportFrom = cur;
+            } else {
+                importBlock(target, cur);
+            }
+            reservationQueue.erase(
+                reservationQueue.begin() +
+                static_cast<std::ptrdiff_t>(idx));
+            issued_any = true;
+            ++engineStats.otherOpsIssued;
+            continue;
+        }
+        if (op == Opcode::Ret) {
+            captureOperands(di);
+            if (di->inst->numOperands() == 1)
+                di->result = di->operandValues[0];
+            di->issued = true;
+            di->issueCycle = cycleCount;
+            commit(di);
+            retSeen = true;
+            reservationQueue.erase(
+                reservationQueue.begin() +
+                static_cast<std::ptrdiff_t>(idx));
+            issued_any = true;
+            ++engineStats.otherOpsIssued;
+            continue;
+        }
+
+        if (di->isMemory()) {
+            if (!di->addrKnown || !memoryOrderingAllows(*di)) {
+                ++idx;
+                continue;
+            }
+            bool is_load = di->isLoad;
+            if (is_load &&
+                (loads_issued >= cfg.readPortsPerCycle ||
+                 loadsInFlight >= cfg.readQueueSize)) {
+                ready_load_blocked = true;
+                ++idx;
+                continue;
+            }
+            if (!is_load &&
+                (stores_issued >= cfg.writePortsPerCycle ||
+                 storesInFlight >= cfg.writeQueueSize)) {
+                ready_store_blocked = true;
+                ++idx;
+                continue;
+            }
+            captureOperands(di);
+            if (!hooks.issueMemory(di)) {
+                // Interface refused; operands stay captured, retry
+                // next cycle (captureOperands is idempotent once
+                // producers are cleared).
+                ++idx;
+                continue;
+            }
+            di->issued = true;
+            di->issueCycle = cycleCount;
+            di->memInFlight = true;
+            // An issued (uncommitted) op still participates in the
+            // summary; address resolution of scanned ops may have
+            // added entries, so refresh lazily next cycle. Newly
+            // resolved addresses this cycle only *relax* ordering,
+            // so the stale summary is conservative, not wrong.
+            if (is_load) {
+                ++loadsInFlight;
+                ++loads_issued;
+                ++engineStats.loadsIssued;
+                --pendingLoadOps;
+            } else {
+                ++storesInFlight;
+                ++stores_issued;
+                ++engineStats.storesIssued;
+                --pendingStoreOps;
+            }
+            issued_any = true;
+            reservationQueue.erase(
+                reservationQueue.begin() +
+                static_cast<std::ptrdiff_t>(idx));
+            continue;
+        }
+
+        // Compute ops (including phi and zero-latency wiring).
+        if (!fuAvailable(*di)) {
+            ++idx;
+            continue;
+        }
+        issueCompute(di);
+        issued_any = true;
+        if (isFloatingPointOp(op) ||
+            di->staticInfo->fu == FuType::FpSpecial) {
+            ++fp_issued;
+            ++engineStats.fpOpsIssued;
+        } else if (di->staticInfo->fu != FuType::None) {
+            ++engineStats.intOpsIssued;
+        } else {
+            ++engineStats.otherOpsIssued;
+        }
+        reservationQueue.erase(
+            reservationQueue.begin() +
+            static_cast<std::ptrdiff_t>(idx));
+    }
+
+    if (std::getenv("SALAM_TRACE") != nullptr) {
+        std::fprintf(stderr,
+                     "cyc %llu: issued=%d loads=%u stores=%u fp=%u "
+                     "rq=%zu cq=%zu lif=%u sif=%u\n",
+                     (unsigned long long)cycleCount, (int)issued_any,
+                     loads_issued, stores_issued, fp_issued,
+                     reservationQueue.size(), computeQueue.size(),
+                     loadsInFlight, storesInFlight);
+    }
+    memStallLoadBlocked = ready_load_blocked;
+    memStallStoreBlocked = ready_store_blocked;
+    recordCycleStats(issued_any, loads_issued, stores_issued,
+                     fp_issued);
+    pruneWindow();
+
+    // 4. Completion check: the kernel is done when ret has executed
+    //    and every queue has drained.
+    if (retSeen && reservationQueue.empty() &&
+        computeQueue.empty() && loadsInFlight == 0 &&
+        storesInFlight == 0 && pendingImport == nullptr) {
+        finish();
+        return;
+    }
+
+    ++cycleCount;
+    hooks.requestTick();
+}
+
+} // namespace salam::core

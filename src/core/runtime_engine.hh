@@ -1,0 +1,309 @@
+/**
+ * @file
+ * RuntimeEngine: gem5-SALAM's dynamic LLVM runtime execution engine.
+ *
+ * This is the paper's "execute-in-execute" model (Sec. III-B). The
+ * engine maintains:
+ *
+ *  - a reservation queue of dynamic instructions, imported at basic-
+ *    block granularity from the static CDFG;
+ *  - a compute queue of in-flight operations occupying functional
+ *    units until their latency elapses;
+ *  - asynchronous read/write memory queues that forward requests to
+ *    the communications interface and commit on response.
+ *
+ * Dynamic dependencies are generated as instructions enter the
+ *  reservation queue: RAW edges to the most recent uncommitted
+ * producer of each operand, plus WAW/WAR constraints against the
+ * previous dynamic instance of the same static instruction and its
+ * readers. Basic-block terminators import the successor block
+ * immediately after evaluation, which is what enables loop pipelining
+ * and correct data-dependent control — the behaviours trace-based
+ * models cannot capture.
+ *
+ * The engine is a plain clock-stepped class (no SimObject coupling)
+ * so it can be unit-tested against a scripted memory interface; the
+ * ComputeUnit SimObject drives it inside a full system.
+ */
+
+#ifndef SALAM_CORE_RUNTIME_ENGINE_HH
+#define SALAM_CORE_RUNTIME_ENGINE_HH
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <list>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "ir/eval.hh"
+#include "static_cdfg.hh"
+
+namespace salam::core
+{
+
+/** One dynamic instruction in flight. */
+struct DynInst
+{
+    const ir::Instruction *inst = nullptr;
+    const StaticInstInfo *staticInfo = nullptr;
+    std::uint64_t seq = 0;
+
+    /** First cycle this instance may issue (block-import fence). */
+    std::uint64_t minIssueCycle = 0;
+
+    bool issued = false;
+    bool committed = false;
+
+    /** Dynamic consumers that have not issued yet (WAR tracking). */
+    unsigned unissuedReaders = 0;
+
+    /** Previous dynamic instance of the same static instruction. */
+    DynInst *prevInstance = nullptr;
+
+    /** Next dynamic instance (for safe window retirement). */
+    DynInst *nextInstance = nullptr;
+
+    /** Producer instance for each operand (null when committed). */
+    std::vector<DynInst *> producers;
+
+    /** Captured operand values (filled at issue). */
+    std::vector<ir::RuntimeValue> operandValues;
+
+    ir::RuntimeValue result;
+
+    /** Cycle the result commits (valid once issued, compute ops). */
+    std::uint64_t commitCycle = 0;
+    std::uint64_t issueCycle = 0;
+
+    // Memory-op state.
+    bool isLoad = false;
+    bool isStore = false;
+    bool addrKnown = false;
+    bool memInFlight = false;
+    std::uint64_t memAddr = 0;
+    unsigned memSize = 0;
+    /** Position in program memory order (disambiguation). */
+    std::uint64_t memSeq = 0;
+
+    bool isMemory() const { return isLoad || isStore; }
+};
+
+/** Per-run statistics, the raw material for Figs. 13-15. */
+struct EngineStats
+{
+    std::uint64_t totalCycles = 0;
+    /** Cycles with at least one new instruction issued. */
+    std::uint64_t newExecCycles = 0;
+    /** Active cycles where nothing new could be scheduled. */
+    std::uint64_t stallCycles = 0;
+
+    // Stall-cycle breakdown by what was in flight while stalled.
+    std::uint64_t stallLoadOnly = 0;
+    std::uint64_t stallStoreOnly = 0;
+    std::uint64_t stallComputeOnly = 0;
+    std::uint64_t stallLoadCompute = 0;
+    std::uint64_t stallStoreCompute = 0;
+    std::uint64_t stallLoadStore = 0;
+    std::uint64_t stallLoadStoreCompute = 0;
+    std::uint64_t stallEmpty = 0;
+
+    // Issue counts.
+    std::uint64_t loadsIssued = 0;
+    std::uint64_t storesIssued = 0;
+    std::uint64_t fpOpsIssued = 0;
+    std::uint64_t intOpsIssued = 0;
+    std::uint64_t otherOpsIssued = 0;
+    std::uint64_t dynamicInstructions = 0;
+
+    // Cycle-granularity scheduling overlap (Fig. 15).
+    std::uint64_t cyclesWithLoadIssue = 0;
+    std::uint64_t cyclesWithStoreIssue = 0;
+    std::uint64_t cyclesWithFpIssue = 0;
+    std::uint64_t cyclesWithLoadAndStoreIssue = 0;
+    std::uint64_t cyclesWithLoadAndFpIssue = 0;
+
+    /** Σ over cycles of busy units, per FU type (occupancy). */
+    std::array<std::uint64_t, hw::numFuTypes> fuBusyCycleSum{};
+
+    // Dynamic energy (pJ) accumulated over the run.
+    double fuEnergyPj = 0.0;
+    double registerReadEnergyPj = 0.0;
+    double registerWriteEnergyPj = 0.0;
+
+    /** Stalled cycles where a load (and possibly compute) blocked. */
+    std::uint64_t
+    stallsInvolvingMemory() const
+    {
+        return stallLoadOnly + stallStoreOnly + stallLoadStore +
+               stallLoadCompute + stallStoreCompute +
+               stallLoadStoreCompute;
+    }
+};
+
+/** The dynamic engine. */
+class RuntimeEngine
+{
+  public:
+    /** Hooks the owner (ComputeUnit) provides. */
+    struct Hooks
+    {
+        /**
+         * Issue a memory operation to the communications interface.
+         * For stores, op->operandValues[0] holds the data. Returns
+         * false when the interface cannot accept it this cycle.
+         */
+        std::function<bool(DynInst *op)> issueMemory;
+
+        /** Called when the engine has future work to do. */
+        std::function<void()> requestTick;
+
+        /** Called once when execution completes. */
+        std::function<void()> onDone;
+    };
+
+    RuntimeEngine(const StaticCdfg &cdfg, const DeviceConfig &config,
+                  Hooks hooks);
+
+    /** Begin execution with the given argument values. */
+    void start(const std::vector<ir::RuntimeValue> &args);
+
+    /** Advance one accelerator clock cycle. */
+    void cycle();
+
+    /**
+     * Deliver a memory response for @p op. Loads carry @p data of
+     * @p size bytes. May arrive between engine cycles.
+     */
+    void memoryResponse(DynInst *op, const std::uint8_t *data,
+                        unsigned size);
+
+    bool running() const { return active; }
+
+    bool finished() const { return completed; }
+
+    std::uint64_t currentCycle() const { return cycleCount; }
+
+    const EngineStats &stats() const { return engineStats; }
+
+    const DeviceConfig &config() const { return cfg; }
+
+    const StaticCdfg &cdfg() const { return staticCdfg; }
+
+    /** In-flight loads (read queue occupancy). */
+    unsigned readsInFlight() const { return loadsInFlight; }
+
+    unsigned writesInFlight() const { return storesInFlight; }
+
+  private:
+    /** Import @p block's instructions into the reservation queue. */
+    void importBlock(const ir::BasicBlock *block,
+                     const ir::BasicBlock *from);
+
+    /** Create the dynamic instance of @p inst. */
+    DynInst *createDynInst(const ir::Instruction *inst);
+
+    bool operandsReady(const DynInst &di) const;
+
+    /** Capture operand values (producers committed by now). */
+    void captureOperands(DynInst *di);
+
+    bool fuAvailable(const DynInst &di) const;
+
+    void occupyFu(DynInst *di);
+
+    /** Try to resolve a memory op's effective address. */
+    void resolveAddress(DynInst *di);
+
+    /** Rebuild the per-cycle memory disambiguation summary. */
+    void buildMemorySummary();
+
+    /** Memory ordering: may @p di access memory now? */
+    bool memoryOrderingAllows(const DynInst &di) const;
+
+    void issueCompute(DynInst *di);
+
+    void commit(DynInst *di);
+
+    /** Drop fully retired instructions from the window front. */
+    void pruneWindow();
+
+    void recordCycleStats(bool issued_any, unsigned loads_issued,
+                          unsigned stores_issued,
+                          unsigned fp_issued);
+
+    void finish();
+
+    const StaticCdfg &staticCdfg;
+    DeviceConfig cfg;
+    Hooks hooks;
+
+    bool active = false;
+    bool completed = false;
+    bool retSeen = false;
+    std::uint64_t cycleCount = 0;
+    std::uint64_t nextSeq = 0;
+
+    /** The instruction window (reservation + in-flight). */
+    std::list<std::unique_ptr<DynInst>> window;
+
+    /** Unissued instructions, in program order. */
+    std::deque<DynInst *> reservationQueue;
+
+    /** Issued compute ops waiting to commit, ordered by cycle. */
+    std::vector<DynInst *> computeQueue;
+
+    /** Memory ops in window, in program order (for ordering). */
+    std::deque<DynInst *> memoryOrder;
+
+    /** One uncommitted memory reference in the summary. */
+    struct MemRef
+    {
+        std::uint64_t seq;
+        std::uint64_t addr;
+        unsigned size;
+    };
+
+    /** Per-cycle disambiguation summary over memoryOrder. */
+    struct MemorySummary
+    {
+        std::uint64_t unknownStoreSeq = ~0ull;
+        std::uint64_t unknownLoadSeq = ~0ull;
+        std::vector<MemRef> stores;
+        std::vector<MemRef> loads;
+    };
+
+    MemorySummary memSummary;
+    std::uint64_t nextMemSeq = 0;
+
+    /** Latest in-window dynamic instance per static instruction. */
+    std::map<const ir::Instruction *, DynInst *> latestInstance;
+
+    /** Last committed value per static value (insts + arguments). */
+    std::map<const ir::Value *, ir::RuntimeValue> committedValues;
+
+    /** Pool FU release times: per type, per unit, free-at cycle. */
+    std::array<std::vector<std::uint64_t>, hw::numFuTypes> poolFreeAt;
+
+    /** Pending block import deferred by a full reservation queue. */
+    const ir::BasicBlock *pendingImport = nullptr;
+    const ir::BasicBlock *pendingImportFrom = nullptr;
+
+
+    unsigned loadsInFlight = 0;
+    unsigned storesInFlight = 0;
+    /** Unissued memory ops in the reservation queue. */
+    unsigned pendingLoadOps = 0;
+    unsigned pendingStoreOps = 0;
+    /** Ready-but-port-blocked memory ops seen this cycle. */
+    bool memStallLoadBlocked = false;
+    bool memStallStoreBlocked = false;
+
+    EngineStats engineStats;
+};
+
+} // namespace salam::core
+
+#endif // SALAM_CORE_RUNTIME_ENGINE_HH

@@ -1,0 +1,87 @@
+#include "static_cdfg.hh"
+
+#include "sim/logging.hh"
+
+namespace salam::core
+{
+
+using namespace salam::ir;
+using namespace salam::hw;
+
+StaticCdfg::StaticCdfg(const Function &fn, const DeviceConfig &config)
+    : fn(&fn)
+{
+    const HardwareProfile &profile = config.profile;
+
+    unsigned id = 0;
+    for (std::size_t b = 0; b < fn.numBlocks(); ++b) {
+        const BasicBlock *block = fn.block(b);
+        for (const auto &inst : *block) {
+            StaticInstInfo info;
+            info.inst = inst.get();
+            info.id = id++;
+            info.fu = fuTypeFor(*inst);
+            info.latency = profile.latencyFor(*inst);
+            info.initiationInterval =
+                info.fu == FuType::None
+                    ? 1
+                    : profile.fu(info.fu).initiationInterval;
+            if (!inst->type()->isVoid())
+                info.resultBits = inst->type()->bitWidth();
+
+            std::size_t fu_index = static_cast<std::size_t>(info.fu);
+            if (info.fu != FuType::None) {
+                info.fuUnit = fuDemands[fu_index];
+                ++fuDemands[fu_index];
+            }
+            regBits += info.resultBits;
+
+            infoMap.emplace(inst.get(), info);
+            infos.push_back(inst.get());
+        }
+    }
+
+    // Apply resource constraints: the instantiated count is the
+    // demand (1-to-1 default) or the user's cap, whichever is lower.
+    for (std::size_t t = 0; t < numFuTypes; ++t) {
+        unsigned demand = fuDemands[t];
+        unsigned limit = config.fuLimits[t];
+        fuCounts[t] = (limit == 0) ? demand
+                                   : std::min(demand, limit);
+        // Re-bind units for capped types (round-robin over the pool).
+        if (limit != 0 && fuCounts[t] < demand) {
+            unsigned next = 0;
+            for (const ir::Instruction *inst : infos) {
+                auto &info = infoMap.at(inst);
+                if (static_cast<std::size_t>(info.fu) == t) {
+                    info.fuUnit = next;
+                    next = (next + 1) % fuCounts[t];
+                }
+            }
+        }
+    }
+
+    // Static (leakage) power and area from the instantiated units.
+    for (std::size_t t = 0; t < numFuTypes; ++t) {
+        const FuParams &params =
+            profile.fu(static_cast<FuType>(t));
+        staticFuMw += fuCounts[t] * params.leakagePowerMw;
+        areas.fuUm2 += fuCounts[t] * params.areaUm2;
+    }
+    const RegisterParams &regs = profile.registers();
+    staticRegMw = static_cast<double>(regBits) *
+        regs.leakagePowerMwPerBit;
+    areas.registerUm2 = static_cast<double>(regBits) *
+        regs.areaUm2PerBit;
+}
+
+const StaticInstInfo &
+StaticCdfg::info(const ir::Instruction *inst) const
+{
+    auto it = infoMap.find(inst);
+    if (it == infoMap.end())
+        panic("instruction not in static CDFG");
+    return it->second;
+}
+
+} // namespace salam::core

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * StaticCdfg: the statically elaborated control/data-flow graph.
+ *
+ * gem5-SALAM's "LLVM Interface" parses the kernel IR once, links
+ * every instruction to a virtual functional unit and register, and
+ * produces the static skeleton of the datapath arranged at basic-
+ * block granularity. The runtime engine instantiates its dynamic
+ * CDFG from this structure, and the static power/area estimates come
+ * straight from it — independent of any input data (the property
+ * trace-based simulators lack).
+ */
+
+#ifndef SALAM_CORE_STATIC_CDFG_HH
+#define SALAM_CORE_STATIC_CDFG_HH
+
+#include <array>
+#include <map>
+#include <vector>
+
+#include "device_config.hh"
+#include "hw/power_model.hh"
+#include "ir/function.hh"
+
+namespace salam::core
+{
+
+/** Static information about one instruction in the datapath. */
+struct StaticInstInfo
+{
+    const ir::Instruction *inst = nullptr;
+    /** Unique id across the function (reservation order). */
+    unsigned id = 0;
+    hw::FuType fu = hw::FuType::None;
+    /** Dedicated unit index within its type pool (1-to-1 map). */
+    unsigned fuUnit = 0;
+    unsigned latency = 0;
+    unsigned initiationInterval = 1;
+    /** Result register width in bits (0 for void results). */
+    unsigned resultBits = 0;
+};
+
+/** The elaborated datapath skeleton. */
+class StaticCdfg
+{
+  public:
+    /**
+     * Elaborate @p fn under @p config: map instructions to units,
+     * size the register file, and compute static power and area.
+     */
+    StaticCdfg(const ir::Function &fn, const DeviceConfig &config);
+
+    const ir::Function &function() const { return *fn; }
+
+    const StaticInstInfo &info(const ir::Instruction *inst) const;
+
+    /** Instantiated units of @p type (after applying limits). */
+    unsigned fuCount(hw::FuType type) const
+    { return fuCounts[static_cast<std::size_t>(type)]; }
+
+    /** Static instructions mapped to @p type (before limits). */
+    unsigned fuDemand(hw::FuType type) const
+    { return fuDemands[static_cast<std::size_t>(type)]; }
+
+    /** Total internal register bits in the datapath. */
+    std::uint64_t registerBits() const { return regBits; }
+
+    /** Leakage power of functional units + registers (mW). */
+    double staticFuPowerMw() const { return staticFuMw; }
+
+    double staticRegisterPowerMw() const { return staticRegMw; }
+
+    /** Datapath area (FUs + registers), excluding memories. */
+    hw::AreaBreakdown area() const { return areas; }
+
+    std::size_t numInstructions() const { return infos.size(); }
+
+  private:
+    const ir::Function *fn;
+    std::map<const ir::Instruction *, StaticInstInfo> infoMap;
+    std::vector<const ir::Instruction *> infos;
+    std::array<unsigned, hw::numFuTypes> fuCounts{};
+    std::array<unsigned, hw::numFuTypes> fuDemands{};
+    std::uint64_t regBits = 0;
+    double staticFuMw = 0.0;
+    double staticRegMw = 0.0;
+    hw::AreaBreakdown areas;
+};
+
+} // namespace salam::core
+
+#endif // SALAM_CORE_STATIC_CDFG_HH

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * DcEstimator: the Synopsys Design Compiler surrogate used as the
+ * power/area reference (Figs. 11, 12).
+ *
+ * Estimates the power and area of the RTL the HLS surrogate would
+ * emit: functional units from the HLS binding (not SALAM's 1-to-1
+ * elaboration), gate-level activity from exact dynamic operation
+ * counts, and an independently characterized cell library — the
+ * default profile perturbed by per-cell systematic factors, playing
+ * the role of the real 40nm standard cells that differ from any
+ * simulator's calibration table. Disagreement with gem5-SALAM's
+ * estimate is therefore structural, exactly like the paper's
+ * validation errors.
+ */
+
+#ifndef SALAM_HLS_DC_ESTIMATOR_HH
+#define SALAM_HLS_DC_ESTIMATOR_HH
+
+#include "hls_scheduler.hh"
+#include "hw/cacti_lite.hh"
+#include "hw/power_model.hh"
+
+namespace salam::hls
+{
+
+/** DC-style report for a synthesized accelerator. */
+struct DcReport
+{
+    /** Average total power over the run (mW). */
+    double totalPowerMw = 0.0;
+    double dynamicPowerMw = 0.0;
+    double leakagePowerMw = 0.0;
+    /** Cell area (um^2), excluding memories. */
+    double datapathAreaUm2 = 0.0;
+    /** Memory macro area (um^2) when an SPM is attached. */
+    double memoryAreaUm2 = 0.0;
+
+    double totalAreaUm2() const
+    { return datapathAreaUm2 + memoryAreaUm2; }
+};
+
+/** Configuration of the surrogate cell library. */
+struct DcConfig
+{
+    /** Accelerator clock period in nanoseconds. */
+    double clockNs = 10.0;
+    /**
+     * Systematic library perturbation amplitude. Each cell type's
+     * power/area differs from the simulator's calibration table by
+     * a deterministic factor within +/- this fraction.
+     */
+    double librarySkew = 0.05;
+};
+
+/** The estimator. */
+class DcEstimator
+{
+  public:
+    explicit DcEstimator(const DcConfig &config = {}) : cfg(config) {}
+
+    /**
+     * Produce the reference report for a design described by the
+     * HLS result (binding + activity).
+     *
+     * @param hls The scheduled/bound design and its activity.
+     * @param registerBits Register bits in the RTL (from the IR).
+     * @param spm Optional attached scratchpad configuration.
+     * @param spmReads / spmWrites Observed scratchpad activity.
+     */
+    DcReport estimate(const HlsResult &hls,
+                      std::uint64_t register_bits,
+                      const hw::SramConfig *spm = nullptr,
+                      std::uint64_t spm_reads = 0,
+                      std::uint64_t spm_writes = 0) const;
+
+    const DcConfig &config() const { return cfg; }
+
+  private:
+    /** Deterministic per-cell perturbation factor in [1-s, 1+s]. */
+    double cellFactor(std::size_t cell_index, unsigned salt) const;
+
+    DcConfig cfg;
+};
+
+} // namespace salam::hls
+
+#endif // SALAM_HLS_DC_ESTIMATOR_HH

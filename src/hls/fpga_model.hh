@@ -1,0 +1,81 @@
+/**
+ * @file
+ * FpgaModel: the ZCU102 system-validation surrogate (Table III).
+ *
+ * Produces reference end-to-end times for a kernel deployed on a
+ * Zynq UltraScale+ style board: compute time from the HLS schedule
+ * at the fabric clock, plus bulk transfer time from a DDR streaming
+ * model with data-mover setup and cache-maintenance overheads. The
+ * same workload is then run through the gem5-SALAM full-system model
+ * and the two are compared, mirroring the paper's FPGA validation.
+ */
+
+#ifndef SALAM_HLS_FPGA_MODEL_HH
+#define SALAM_HLS_FPGA_MODEL_HH
+
+#include "hls_scheduler.hh"
+
+namespace salam::hls
+{
+
+/** Board parameters (ZCU102-like defaults). */
+struct FpgaConfig
+{
+    /** Programmable-logic clock (MHz). */
+    double fabricClockMhz = 100.0;
+    /** Sustained DDR streaming bandwidth for the data mover (GB/s),
+     * calibrated against measured data-mover throughput. */
+    double ddrBandwidthGbs = 2.15;
+    /** Data-mover setup cost per transfer descriptor (us). */
+    double dmaSetupUs = 0.15;
+    /** Cache maintenance (flush/invalidate) cost per KiB (us). */
+    double cacheMaintenanceUsPerKib = 0.02;
+    /** Driver/interrupt overhead per kernel invocation (us). */
+    double invocationOverheadUs = 0.3;
+};
+
+/** End-to-end reference timing. */
+struct FpgaTiming
+{
+    double computeUs = 0.0;
+    double bulkTransferUs = 0.0;
+
+    double totalUs() const { return computeUs + bulkTransferUs; }
+};
+
+/** The analytic board model. */
+class FpgaModel
+{
+  public:
+    explicit FpgaModel(const FpgaConfig &config = {}) : cfg(config) {}
+
+    /**
+     * Reference timing for a kernel.
+     * @param hls_cycles Cycle count from the HLS surrogate.
+     * @param bytes_in / bytes_out Bulk transfer volumes.
+     * @param transfers Number of DMA descriptors programmed.
+     */
+    FpgaTiming
+    timing(std::uint64_t hls_cycles, std::uint64_t bytes_in,
+           std::uint64_t bytes_out, unsigned transfers = 2) const
+    {
+        FpgaTiming t;
+        t.computeUs = static_cast<double>(hls_cycles) /
+            cfg.fabricClockMhz +
+            cfg.invocationOverheadUs;
+        double bytes = static_cast<double>(bytes_in + bytes_out);
+        t.bulkTransferUs = bytes / (cfg.ddrBandwidthGbs * 1e3) +
+            transfers * cfg.dmaSetupUs +
+            (bytes / 1024.0) * cfg.cacheMaintenanceUsPerKib;
+        return t;
+    }
+
+    const FpgaConfig &config() const { return cfg; }
+
+  private:
+    FpgaConfig cfg;
+};
+
+} // namespace salam::hls
+
+#endif // SALAM_HLS_FPGA_MODEL_HH

@@ -1,0 +1,449 @@
+#include "hls_scheduler.hh"
+
+#include <algorithm>
+#include <functional>
+
+#include "sim/logging.hh"
+
+namespace salam::hls
+{
+
+using namespace salam::ir;
+using namespace salam::hw;
+
+unsigned
+HlsScheduler::latencyOf(const Instruction &inst) const
+{
+    if (inst.isMemoryOp())
+        return cfg.memoryLatency;
+    return cfg.profile.latencyFor(inst);
+}
+
+unsigned
+HlsScheduler::fuLimit(FuType type) const
+{
+    if (cfg.fpUnitCap > 0 && isFpUnit(type))
+        return cfg.fpUnitCap;
+    return 0; // unbounded
+}
+
+BlockSchedule
+HlsScheduler::scheduleBlock(const BasicBlock &block) const
+{
+    BlockSchedule sched;
+
+    // Per-cycle usage counters for constrained resources.
+    std::map<std::uint64_t, std::array<unsigned, numFuTypes>> fu_use;
+    std::map<std::uint64_t, unsigned> read_use;
+    std::map<std::uint64_t, unsigned> write_use;
+
+    // Running totals for the II resource bound.
+    std::array<unsigned, numFuTypes> op_totals{};
+    unsigned loads = 0, stores = 0;
+
+    for (std::size_t i = 0; i < block.size(); ++i) {
+        const Instruction *inst = block.instruction(i);
+
+        // ASAP: ready when in-block operands complete. Phis and
+        // out-of-block values are register reads at cycle 0.
+        std::uint64_t ready = 0;
+        for (std::size_t o = 0; o < inst->numOperands(); ++o) {
+            const auto *dep =
+                dynamic_cast<const Instruction *>(inst->operand(o));
+            if (dep == nullptr || dep->parent() != &block)
+                continue;
+            auto it = sched.startCycle.find(dep);
+            if (it == sched.startCycle.end())
+                continue; // phi self-reference across iterations
+            ready = std::max(ready,
+                             it->second + latencyOf(*dep));
+        }
+
+        // Resource-constrained placement.
+        FuType type = fuTypeFor(*inst);
+        unsigned limit = fuLimit(type);
+        bool is_load = inst->opcode() == Opcode::Load;
+        bool is_store = inst->opcode() == Opcode::Store;
+        std::uint64_t start = ready;
+        while (true) {
+            bool ok = true;
+            if (limit > 0 && type != FuType::None &&
+                fu_use[start][static_cast<std::size_t>(type)] >=
+                    limit) {
+                ok = false;
+            }
+            if (is_load && read_use[start] >= cfg.readPorts)
+                ok = false;
+            if (is_store && write_use[start] >= cfg.writePorts)
+                ok = false;
+            if (ok)
+                break;
+            ++start;
+        }
+        if (type != FuType::None)
+            ++fu_use[start][static_cast<std::size_t>(type)];
+        if (is_load)
+            ++read_use[start];
+        if (is_store)
+            ++write_use[start];
+
+        sched.startCycle[inst] = start;
+        sched.latency = std::max(sched.latency,
+                                 start + latencyOf(*inst));
+
+        if (type != FuType::None)
+            ++op_totals[static_cast<std::size_t>(type)];
+        if (is_load)
+            ++loads;
+        if (is_store)
+            ++stores;
+    }
+
+    // Binding: peak per-cycle concurrency is the number of units
+    // the RTL instantiates for each type.
+    for (auto &[cycle, usage] : fu_use) {
+        for (std::size_t t = 0; t < numFuTypes; ++t) {
+            sched.boundUnits[t] =
+                std::max(sched.boundUnits[t], usage[t]);
+        }
+    }
+
+    // Initiation interval for pipelined self-loops:
+    // resource MII ...
+    std::uint64_t ii = 1;
+    for (std::size_t t = 0; t < numFuTypes; ++t) {
+        unsigned limit = fuLimit(static_cast<FuType>(t));
+        if (limit > 0 && op_totals[t] > 0) {
+            ii = std::max<std::uint64_t>(
+                ii, (op_totals[t] + limit - 1) / limit);
+        }
+    }
+    if (cfg.readPorts > 0) {
+        ii = std::max<std::uint64_t>(
+            ii, (loads + cfg.readPorts - 1) / cfg.readPorts);
+    }
+    if (cfg.writePorts > 0) {
+        ii = std::max<std::uint64_t>(
+            ii, (stores + cfg.writePorts - 1) / cfg.writePorts);
+    }
+    // Recurrence MII via steady-state relaxation. The carried
+    // cycles of a pipelined loop run through three edge kinds:
+    //   RAW   consumer issues when the producer commits (including
+    //         loads fed by the previous iteration's store);
+    //   WAR   without register renaming, the next iteration may not
+    //         overwrite a value until every reader of the current
+    //         one has issued;
+    //   unit  an unpipelined operator accepts one input per
+    //         initiation interval.
+    // Iterating the constraint system to its fixed point yields the
+    // steady-state initiation interval, the quantity an HLS tool's
+    // modulo scheduler converges to.
+    {
+        // Carried memory RAW edges: store -> next iteration's load
+        // of the same address (affine index delta equal to a pure
+        // constant on a matching base array).
+        auto root_pointer = [](const Value *v) -> const Value * {
+            while (const auto *gep =
+                       dynamic_cast<const GetElementPtrInst *>(v)) {
+                v = gep->base();
+            }
+            return v;
+        };
+        // Affine form of an index expression: coefficients over
+        // leaf symbols (phis / out-of-block values) + constant.
+        using Affine = std::map<const Value *, std::int64_t>;
+        std::function<bool(const Value *, Affine &, std::int64_t &,
+                           int)>
+            affine_of = [&](const Value *v, Affine &coeffs,
+                            std::int64_t &konst,
+                            int sign) -> bool {
+            if (const auto *ci =
+                    dynamic_cast<const ConstantInt *>(v)) {
+                konst += sign * ci->sext();
+                return true;
+            }
+            const auto *inst =
+                dynamic_cast<const Instruction *>(v);
+            if (inst == nullptr || inst->parent() != &block ||
+                inst->opcode() == Opcode::Phi) {
+                coeffs[v] += sign;
+                return true;
+            }
+            if (inst->opcode() == Opcode::Add) {
+                return affine_of(inst->operand(0), coeffs, konst,
+                                 sign) &&
+                    affine_of(inst->operand(1), coeffs, konst,
+                              sign);
+            }
+            if (inst->opcode() == Opcode::Sub) {
+                return affine_of(inst->operand(0), coeffs, konst,
+                                 sign) &&
+                    affine_of(inst->operand(1), coeffs, konst,
+                              -sign);
+            }
+            // Treat any other in-block computation as an opaque
+            // symbol (loop-invariant or non-affine).
+            coeffs[v] += sign;
+            return true;
+        };
+
+        // gep address in affine form (single-index geps only).
+        auto address_affine = [&](const Value *pointer, Affine &a,
+                                  std::int64_t &c) -> bool {
+            const auto *gep =
+                dynamic_cast<const GetElementPtrInst *>(pointer);
+            if (gep == nullptr || gep->numIndices() != 1)
+                return false;
+            auto size = static_cast<std::int64_t>(
+                gep->sourceElementType()->storeSize());
+            Affine idx;
+            std::int64_t ik = 0;
+            if (!affine_of(gep->index(0), idx, ik, 1))
+                return false;
+            for (auto &[sym, coeff] : idx)
+                a[sym] += coeff * size;
+            c += ik * size;
+            return true;
+        };
+
+        // load -> feeding store (previous iteration), when provable.
+        std::map<const Instruction *, const Instruction *>
+            carried_store;
+        for (std::size_t j = 0; j < block.size(); ++j) {
+            const Instruction *load = block.instruction(j);
+            if (load->opcode() != Opcode::Load)
+                continue;
+            const Value *lp =
+                static_cast<const LoadInst *>(load)->pointer();
+            for (std::size_t i = 0; i < block.size(); ++i) {
+                const Instruction *store = block.instruction(i);
+                if (store->opcode() != Opcode::Store)
+                    continue;
+                const Value *sp =
+                    static_cast<const StoreInst *>(store)
+                        ->pointer();
+                if (root_pointer(lp) != root_pointer(sp))
+                    continue;
+                Affine delta;
+                std::int64_t dconst = 0;
+                if (!address_affine(sp, delta, dconst))
+                    continue;
+                Affine ld;
+                std::int64_t lconst = 0;
+                if (!address_affine(lp, ld, lconst))
+                    continue;
+                for (auto &[sym, coeff] : ld)
+                    delta[sym] -= coeff;
+                dconst -= lconst;
+                bool pure_const = true;
+                for (auto &[sym, coeff] : delta)
+                    pure_const &= (coeff == 0);
+                if (pure_const && dconst >= 0 && dconst <= 64)
+                    carried_store[load] = store;
+            }
+        }
+
+        // Readers of each in-block value (for WAR edges).
+        std::map<const Instruction *,
+                 std::vector<const Instruction *>>
+            readers;
+        for (std::size_t i = 0; i < block.size(); ++i) {
+            const Instruction *inst = block.instruction(i);
+            for (std::size_t o = 0; o < inst->numOperands(); ++o) {
+                const auto *dep =
+                    dynamic_cast<const Instruction *>(
+                        inst->operand(o));
+                if (dep != nullptr && dep->parent() == &block)
+                    readers[dep].push_back(inst);
+            }
+        }
+
+        // Relaxation over successive iterations, seeded from a
+        // dependence-only ASAP schedule: port pressure is a separate
+        // (resource) floor and must not leak into the recurrence
+        // measurement through the initial state.
+        std::map<const Instruction *, double> issue_prev,
+            commit_prev;
+        for (std::size_t i = 0; i < block.size(); ++i) {
+            const Instruction *inst = block.instruction(i);
+            double start = 0.0;
+            for (std::size_t o = 0; o < inst->numOperands(); ++o) {
+                const auto *dep =
+                    dynamic_cast<const Instruction *>(
+                        inst->operand(o));
+                if (dep == nullptr || dep->parent() != &block)
+                    continue;
+                auto it = commit_prev.find(dep);
+                if (it != commit_prev.end())
+                    start = std::max(start, it->second);
+            }
+            issue_prev[inst] = start;
+            commit_prev[inst] = start + latencyOf(*inst);
+        }
+
+        double period = static_cast<double>(ii);
+        double prev_period = -1.0;
+        for (int round = 0; round < 64; ++round) {
+            std::map<const Instruction *, double> issue_cur,
+                commit_cur;
+            double max_delta = 1.0;
+            for (std::size_t i = 0; i < block.size(); ++i) {
+                const Instruction *inst = block.instruction(i);
+                double ready = 0.0;
+                if (const auto *phi =
+                        dynamic_cast<const PhiInst *>(inst)) {
+                    const auto *update =
+                        dynamic_cast<const Instruction *>(
+                            phi->valueFor(&block));
+                    if (update != nullptr &&
+                        update->parent() == &block) {
+                        ready = commit_prev.at(update);
+                    }
+                } else {
+                    for (std::size_t o = 0;
+                         o < inst->numOperands(); ++o) {
+                        const auto *dep =
+                            dynamic_cast<const Instruction *>(
+                                inst->operand(o));
+                        if (dep == nullptr ||
+                            dep->parent() != &block) {
+                            continue;
+                        }
+                        auto it = commit_cur.find(dep);
+                        if (it != commit_cur.end())
+                            ready = std::max(ready, it->second);
+                    }
+                }
+                auto cs = carried_store.find(inst);
+                if (cs != carried_store.end())
+                    ready = std::max(ready,
+                                     commit_prev.at(cs->second));
+                // WAR: previous instance's readers must have issued.
+                auto rd = readers.find(inst);
+                if (rd != readers.end()) {
+                    for (const Instruction *r : rd->second) {
+                        ready = std::max(ready,
+                                         issue_prev.at(r));
+                    }
+                }
+                // Unpipelined unit back-to-back constraint.
+                FuType type = fuTypeFor(*inst);
+                if (type != FuType::None) {
+                    ready = std::max(
+                        ready,
+                        issue_prev.at(inst) +
+                            cfg.profile.fu(type)
+                                .initiationInterval);
+                }
+                issue_cur[inst] = ready;
+                commit_cur[inst] = ready + latencyOf(*inst);
+                max_delta = std::max(
+                    max_delta, ready - issue_prev.at(inst));
+            }
+            prev_period = period;
+            period = max_delta;
+            issue_prev = std::move(issue_cur);
+            commit_prev = std::move(commit_cur);
+            if (round > 4 && period == prev_period)
+                break; // converged
+        }
+        ii = std::max<std::uint64_t>(
+            ii, static_cast<std::uint64_t>(period + 0.5));
+    }
+    sched.initiationInterval = ii;
+
+    // Control latency: when the terminator's condition resolves,
+    // the controller advances; one extra cycle for the state
+    // transition (matching the engine's block-import fence).
+    sched.controlLatency = 1;
+    const Instruction *term = block.terminator();
+    if (term != nullptr && term->opcode() == Opcode::Ret) {
+        sched.controlLatency = std::max<std::uint64_t>(
+            sched.latency, 1);
+    } else if (term != nullptr) {
+        const auto *br = static_cast<const BranchInst *>(term);
+        if (br->isConditional()) {
+            const auto *cond = dynamic_cast<const Instruction *>(
+                br->condition());
+            if (cond != nullptr && cond->parent() == &block) {
+                sched.controlLatency = sched.startCycle.at(cond) +
+                    latencyOf(*cond) + 1;
+            }
+        }
+    }
+    return sched;
+}
+
+HlsResult
+HlsScheduler::estimate(const Function &fn,
+                       const std::vector<RuntimeValue> &args,
+                       MemoryAccessor &memory) const
+{
+    // Static schedules for every block.
+    std::map<const BasicBlock *, BlockSchedule> schedules;
+    for (std::size_t bi = 0; bi < fn.numBlocks(); ++bi) {
+        const BasicBlock *block = fn.block(bi);
+        schedules[block] = scheduleBlock(*block);
+    }
+
+    HlsResult result;
+    for (const auto &[block, sched] : schedules) {
+        for (std::size_t t = 0; t < numFuTypes; ++t) {
+            result.boundUnits[t] = std::max(result.boundUnits[t],
+                                            sched.boundUnits[t]);
+        }
+    }
+
+    // Functional execution to recover the dynamic block sequence
+    // and the operation counts (for the power reference).
+    std::vector<const BasicBlock *> block_trace;
+    bool new_block = true;
+    Interpreter interp(memory);
+    interp.setObserver([&](const ExecRecord &rec) {
+        // A block execution begins at the first record after a
+        // terminator (or at program start); consecutive executions
+        // of a loop body each contribute one trace entry.
+        if (new_block) {
+            block_trace.push_back(rec.block);
+            new_block = false;
+        }
+        if (rec.inst->isTerminator())
+            new_block = true;
+        FuType type = fuTypeFor(*rec.inst);
+        if (type != FuType::None) {
+            ++result.opCounts[static_cast<std::size_t>(type)];
+        }
+        ++result.dynamicInstructions;
+    });
+    interp.run(fn, args);
+
+    // Timing algebra: a run of k consecutive executions of a
+    // pipelined loop block costs latency + (k - 1) * II; distinct
+    // blocks in sequence cost their full latencies (the controller
+    // chains them).
+    std::uint64_t cycles = 0;
+    std::size_t i = 0;
+    while (i < block_trace.size()) {
+        const BasicBlock *block = block_trace[i];
+        std::size_t run = 1;
+        while (i + run < block_trace.size() &&
+               block_trace[i + run] == block) {
+            ++run;
+        }
+        const BlockSchedule &sched = schedules.at(block);
+        std::uint64_t latency =
+            std::max<std::uint64_t>(sched.latency, 1);
+        bool last = (i + run == block_trace.size());
+        // Pipelined loop: prologue fills the pipeline, then one
+        // initiation interval per iteration. Every FSM state
+        // transition to a different state costs one cycle after the
+        // block drains.
+        cycles += latency + (run - 1) * sched.initiationInterval +
+            (last ? 0 : 1);
+        i += run;
+    }
+    result.totalCycles = cycles;
+    return result;
+}
+
+} // namespace salam::hls

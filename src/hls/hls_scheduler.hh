@@ -1,0 +1,112 @@
+/**
+ * @file
+ * HlsScheduler: the Vivado-HLS surrogate used as the timing
+ * reference in the validation experiments (Fig. 10, Table III).
+ *
+ * Works the way an HLS tool does, and *unlike* the SALAM runtime
+ * engine: every basic block gets a static resource-constrained list
+ * schedule, self-loops are pipelined with an initiation interval
+ * derived from resource and recurrence constraints, and the total
+ * cycle count follows from the (functionally simulated) block
+ * execution sequence. Because the mechanism is independent —
+ * static schedule + II algebra here, dynamic queues there — the
+ * agreement between the two is a meaningful validation, and the
+ * residual error arises organically from modeling differences
+ * (e.g. FP operator binding) just as the paper reports.
+ */
+
+#ifndef SALAM_HLS_HLS_SCHEDULER_HH
+#define SALAM_HLS_HLS_SCHEDULER_HH
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "hw/hardware_profile.hh"
+#include "ir/interpreter.hh"
+
+namespace salam::hls
+{
+
+/** HLS target resource model. */
+struct HlsConfig
+{
+    /** Memory ports the synthesized RTL assumes (dual-port BRAM). */
+    unsigned readPorts = 2;
+    unsigned writePorts = 2;
+    /** SPM/BRAM access latency in cycles. */
+    unsigned memoryLatency = 1;
+    /**
+     * Cap on expensive FP operators per type (HLS minimizes and
+     * reuses FP resources). 0 = unbounded.
+     */
+    unsigned fpUnitCap = 0;
+    /** Operator latencies; defaults mirror Vivado's FP cores. */
+    hw::HardwareProfile profile = hw::HardwareProfile::defaultProfile();
+};
+
+/** Static schedule of one basic block. */
+struct BlockSchedule
+{
+    /** Cycles from block start to completion of the last op. */
+    std::uint64_t latency = 0;
+    /** Pipelined initiation interval for self-loop blocks. */
+    std::uint64_t initiationInterval = 1;
+    /**
+     * Cycles until the terminator resolves and the FSM can advance
+     * to the next state; successor work overlaps the remainder of
+     * this block's schedule (datapath chaining).
+     */
+    std::uint64_t controlLatency = 1;
+    /** Per-instruction start cycles (for reports/debug). */
+    std::map<const ir::Instruction *, std::uint64_t> startCycle;
+    /** Peak concurrent units per FU type (the HLS binding). */
+    std::array<unsigned, hw::numFuTypes> boundUnits{};
+};
+
+/** Result of scheduling + simulated execution. */
+struct HlsResult
+{
+    std::uint64_t totalCycles = 0;
+    /** Bound FU counts across the whole design (max over blocks). */
+    std::array<unsigned, hw::numFuTypes> boundUnits{};
+    /** Dynamic operation counts by FU type (from execution). */
+    std::array<std::uint64_t, hw::numFuTypes> opCounts{};
+    std::uint64_t dynamicInstructions = 0;
+};
+
+/** The scheduler/estimator. */
+class HlsScheduler
+{
+  public:
+    explicit HlsScheduler(const HlsConfig &config = {})
+        : cfg(config)
+    {}
+
+    /** Compute the static schedule of one block. */
+    BlockSchedule scheduleBlock(const ir::BasicBlock &block) const;
+
+    /**
+     * Estimate the end-to-end cycle count of @p fn on @p args:
+     * functionally execute to obtain the block trace, then apply
+     * the static schedule algebra (pipelined II for repeated
+     * blocks, full latency on block entry).
+     */
+    HlsResult estimate(const ir::Function &fn,
+                       const std::vector<ir::RuntimeValue> &args,
+                       ir::MemoryAccessor &memory) const;
+
+    const HlsConfig &config() const { return cfg; }
+
+  private:
+    unsigned latencyOf(const ir::Instruction &inst) const;
+
+    unsigned fuLimit(hw::FuType type) const;
+
+    HlsConfig cfg;
+};
+
+} // namespace salam::hls
+
+#endif // SALAM_HLS_HLS_SCHEDULER_HH

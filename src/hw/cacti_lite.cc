@@ -1,0 +1,70 @@
+#include "cacti_lite.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace salam::hw
+{
+
+SramMetrics
+CactiLite::evaluate(const SramConfig &config)
+{
+    // Reference point: 1 KiB, 4-byte word, single port, one bank.
+    const double kib = std::max(
+        1.0, static_cast<double>(config.sizeBytes) / 1024.0);
+    const double word = static_cast<double>(config.wordBytes) / 4.0;
+    const double ports = static_cast<double>(std::max(1u,
+                                                      config.ports));
+    const double banks = static_cast<double>(std::max(1u,
+                                                      config.banks));
+
+    // Bitline/wordline energy scales with the square root of the
+    // per-bank capacity; wider words switch more bitlines.
+    const double bank_kib = kib / banks;
+    const double size_scale = std::pow(std::max(bank_kib, 0.25), 0.56);
+    const double port_cell = 1.0 + 0.65 * (ports - 1.0);
+
+    SramMetrics m;
+    m.readEnergyPj = 0.62 * size_scale * word * std::sqrt(port_cell);
+    m.writeEnergyPj = m.readEnergyPj * 1.18;
+    // Leakage and area scale with total capacity and cell size.
+    m.leakagePowerMw = 0.0125 * kib * port_cell *
+        (1.0 + 0.04 * (banks - 1.0));
+    m.areaUm2 = 6200.0 * std::pow(kib, 0.92) * port_cell *
+        (1.0 + 0.06 * (banks - 1.0));
+    // Latency grows logarithmically with per-bank depth.
+    m.accessLatencyNs = 0.45 + 0.21 * std::log2(
+        std::max(bank_kib, 0.25) * 4.0);
+    return m;
+}
+
+SramMetrics
+CactiLite::evaluateCache(const SramConfig &config, unsigned assoc)
+{
+    SramMetrics data = evaluate(config);
+
+    // Tag array: assume 32-bit tags per block of wordBytes * 8 (a
+    // typical 32-byte line with 4-byte words); model it as a narrow
+    // SRAM plus comparator energy per way.
+    SramConfig tag_cfg;
+    tag_cfg.sizeBytes =
+        std::max<std::uint64_t>(64, config.sizeBytes / 16);
+    tag_cfg.wordBytes = 4;
+    tag_cfg.ports = config.ports;
+    tag_cfg.banks = config.banks;
+    SramMetrics tag = evaluate(tag_cfg);
+
+    const double ways = static_cast<double>(std::max(1u, assoc));
+    SramMetrics m;
+    m.readEnergyPj = data.readEnergyPj +
+        tag.readEnergyPj * ways * 0.5 + 0.11 * ways;
+    m.writeEnergyPj = data.writeEnergyPj + tag.writeEnergyPj;
+    m.leakagePowerMw = data.leakagePowerMw + tag.leakagePowerMw +
+        0.002 * ways;
+    m.areaUm2 = data.areaUm2 + tag.areaUm2 + 310.0 * ways;
+    m.accessLatencyNs = data.accessLatencyNs +
+        0.18 + 0.02 * ways;
+    return m;
+}
+
+} // namespace salam::hw

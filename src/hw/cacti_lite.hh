@@ -1,0 +1,62 @@
+/**
+ * @file
+ * CactiLite: analytic SRAM power/area model.
+ *
+ * Stands in for the McPAT/CACTI backend gem5-SALAM invokes for
+ * private scratchpads and caches: given a memory configuration it
+ * produces access energies, leakage, and area. The model uses the
+ * standard power-law scaling of SRAM arrays (energy and delay grow
+ * with the square root to ~0.6 power of capacity; leakage and area
+ * roughly linearly; multi-porting multiplies cell size).
+ */
+
+#ifndef SALAM_HW_CACTI_LITE_HH
+#define SALAM_HW_CACTI_LITE_HH
+
+#include <cstdint>
+
+namespace salam::hw
+{
+
+/** Configuration of one SRAM array (scratchpad or cache data array). */
+struct SramConfig
+{
+    std::uint64_t sizeBytes = 1024;
+    /** Access word width in bytes. */
+    unsigned wordBytes = 4;
+    /** Independent read/write ports. */
+    unsigned ports = 1;
+    /** Banks (partitions); each bank serves one access per cycle. */
+    unsigned banks = 1;
+};
+
+/** CACTI-style output metrics. */
+struct SramMetrics
+{
+    double readEnergyPj = 0.0;
+    double writeEnergyPj = 0.0;
+    double leakagePowerMw = 0.0;
+    double areaUm2 = 0.0;
+    /** Random access latency in nanoseconds. */
+    double accessLatencyNs = 0.0;
+};
+
+/** Analytic SRAM estimator. */
+class CactiLite
+{
+  public:
+    /** Evaluate the model for @p config. */
+    static SramMetrics evaluate(const SramConfig &config);
+
+    /**
+     * Cache overhead factor: tag array + comparators add energy,
+     * leakage, and area on top of the data array. @p assoc is the
+     * set associativity.
+     */
+    static SramMetrics evaluateCache(const SramConfig &config,
+                                     unsigned assoc);
+};
+
+} // namespace salam::hw
+
+#endif // SALAM_HW_CACTI_LITE_HH

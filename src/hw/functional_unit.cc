@@ -1,0 +1,118 @@
+#include "functional_unit.hh"
+
+#include "sim/logging.hh"
+
+namespace salam::hw
+{
+
+const char *
+fuTypeName(FuType type)
+{
+    switch (type) {
+      case FuType::None: return "none";
+      case FuType::IntAdder: return "int_add";
+      case FuType::IntMultiplier: return "int_mul";
+      case FuType::IntDivider: return "int_div";
+      case FuType::Shifter: return "shifter";
+      case FuType::Bitwise: return "bitwise";
+      case FuType::Comparator: return "int_cmp";
+      case FuType::Multiplexer: return "mux";
+      case FuType::FpAddSub: return "fp_add_sp";
+      case FuType::FpMultiplier: return "fp_mul_sp";
+      case FuType::FpDivider: return "fp_div_sp";
+      case FuType::FpAddSubDouble: return "fp_add_dp";
+      case FuType::FpMultiplierDouble: return "fp_mul_dp";
+      case FuType::FpDividerDouble: return "fp_div_dp";
+      case FuType::FpComparator: return "fp_cmp";
+      case FuType::FpSpecial: return "fp_special";
+      case FuType::Conversion: return "conversion";
+    }
+    panic("unknown FuType");
+}
+
+bool
+isFpUnit(FuType type)
+{
+    switch (type) {
+      case FuType::FpAddSub:
+      case FuType::FpMultiplier:
+      case FuType::FpDivider:
+      case FuType::FpAddSubDouble:
+      case FuType::FpMultiplierDouble:
+      case FuType::FpDividerDouble:
+      case FuType::FpComparator:
+      case FuType::FpSpecial:
+        return true;
+      default:
+        return false;
+    }
+}
+
+FuType
+fuTypeFor(const ir::Instruction &inst)
+{
+    using ir::Opcode;
+    const ir::Type *type = inst.type();
+    bool dp = type->isDouble();
+
+    switch (inst.opcode()) {
+      case Opcode::Add:
+      case Opcode::Sub:
+        return FuType::IntAdder;
+      case Opcode::Mul:
+        return FuType::IntMultiplier;
+      case Opcode::UDiv:
+      case Opcode::SDiv:
+      case Opcode::URem:
+      case Opcode::SRem:
+        return FuType::IntDivider;
+      case Opcode::Shl:
+      case Opcode::LShr:
+      case Opcode::AShr:
+        return FuType::Shifter;
+      case Opcode::And:
+      case Opcode::Or:
+      case Opcode::Xor:
+        return FuType::Bitwise;
+      case Opcode::ICmp:
+        return FuType::Comparator;
+      case Opcode::FCmp:
+        return FuType::FpComparator;
+      case Opcode::FAdd:
+      case Opcode::FSub:
+        return dp ? FuType::FpAddSubDouble : FuType::FpAddSub;
+      case Opcode::FMul:
+        return dp ? FuType::FpMultiplierDouble : FuType::FpMultiplier;
+      case Opcode::FDiv:
+        return dp ? FuType::FpDividerDouble : FuType::FpDivider;
+      case Opcode::Select:
+        return FuType::Multiplexer;
+      case Opcode::GetElementPtr:
+        // Address arithmetic synthesizes to integer adders.
+        return FuType::IntAdder;
+      case Opcode::Call:
+        return FuType::FpSpecial;
+      case Opcode::FPToSI:
+      case Opcode::SIToFP:
+      case Opcode::FPTrunc:
+      case Opcode::FPExt:
+        return FuType::Conversion;
+      case Opcode::Trunc:
+      case Opcode::ZExt:
+      case Opcode::SExt:
+      case Opcode::BitCast:
+      case Opcode::PtrToInt:
+      case Opcode::IntToPtr:
+        // Integer width changes are wiring in a custom datapath.
+        return FuType::None;
+      case Opcode::Load:
+      case Opcode::Store:
+      case Opcode::Phi:
+      case Opcode::Br:
+      case Opcode::Ret:
+        return FuType::None;
+    }
+    panic("unmapped opcode %s", opcodeName(inst.opcode()));
+}
+
+} // namespace salam::hw

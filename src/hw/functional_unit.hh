@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Functional unit taxonomy and the opcode -> unit mapping.
+ *
+ * gem5-SALAM's static elaboration links every compute instruction in
+ * the kernel IR to a virtual hardware functional unit. The default
+ * hardware profile instantiates one unit per static instruction
+ * (1-to-1 map); device configs may cap unit counts to force reuse.
+ */
+
+#ifndef SALAM_HW_FUNCTIONAL_UNIT_HH
+#define SALAM_HW_FUNCTIONAL_UNIT_HH
+
+#include <string>
+
+#include "ir/instruction.hh"
+#include "ir/type.hh"
+
+namespace salam::hw
+{
+
+/** Kinds of datapath functional units. */
+enum class FuType
+{
+    None,            ///< no hardware (phi, branch bookkeeping)
+    IntAdder,        ///< add/sub (also GEP address adders)
+    IntMultiplier,   ///< mul
+    IntDivider,      ///< udiv/sdiv/urem/srem
+    Shifter,         ///< shl/lshr/ashr
+    Bitwise,         ///< and/or/xor
+    Comparator,      ///< icmp
+    Multiplexer,     ///< select, control muxing
+    FpAddSub,        ///< fadd/fsub (single precision)
+    FpMultiplier,    ///< fmul (single precision)
+    FpDivider,       ///< fdiv (single precision)
+    FpAddSubDouble,  ///< fadd/fsub (double precision)
+    FpMultiplierDouble, ///< fmul (double precision)
+    FpDividerDouble, ///< fdiv (double precision)
+    FpComparator,    ///< fcmp
+    FpSpecial,       ///< sqrt/exp/sin/... intrinsic units
+    Conversion,      ///< casts with hardware cost
+    FirstFuType = None,
+    LastFuType = Conversion,
+};
+
+/** Number of FuType values (for array-indexed tables). */
+constexpr std::size_t numFuTypes =
+    static_cast<std::size_t>(FuType::LastFuType) + 1;
+
+/** Printable unit name, e.g. "fp_mul_dp". */
+const char *fuTypeName(FuType type);
+
+/**
+ * Map an instruction to the functional-unit type that executes it.
+ * Returns FuType::None for operations with no datapath hardware
+ * (phi, br, ret) and for zero-cost casts (bitcast, trunc, zext when
+ * implemented as wiring).
+ */
+FuType fuTypeFor(const ir::Instruction &inst);
+
+/** True if the unit type operates on floating-point data. */
+bool isFpUnit(FuType type);
+
+} // namespace salam::hw
+
+#endif // SALAM_HW_FUNCTIONAL_UNIT_HH

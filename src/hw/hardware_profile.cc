@@ -1,0 +1,50 @@
+#include "hardware_profile.hh"
+
+namespace salam::hw
+{
+
+HardwareProfile
+HardwareProfile::defaultProfile()
+{
+    HardwareProfile p;
+
+    auto set = [&p](FuType type, unsigned latency, unsigned ii,
+                    double leak_mw, double energy_pj,
+                    double area_um2) {
+        p.fu(type) = FuParams{latency, ii, leak_mw, energy_pj,
+                              area_um2};
+    };
+
+    // 40nm-class characterization. Latencies follow gem5-SALAM's
+    // defaults: single-cycle integer ops, 3-stage pipelined FP
+    // add/mul, long-latency unpipelined dividers.
+    set(FuType::None, 0, 1, 0.0, 0.0, 0.0);
+    set(FuType::IntAdder, 1, 1, 0.0035, 1.1, 280.0);
+    set(FuType::IntMultiplier, 1, 1, 0.0320, 6.5, 4200.0);
+    set(FuType::IntDivider, 16, 16, 0.0450, 28.0, 9800.0);
+    set(FuType::Shifter, 1, 1, 0.0042, 1.3, 430.0);
+    set(FuType::Bitwise, 1, 1, 0.0018, 0.45, 160.0);
+    set(FuType::Comparator, 1, 1, 0.0021, 0.52, 190.0);
+    set(FuType::Multiplexer, 1, 1, 0.0016, 0.38, 140.0);
+    set(FuType::FpAddSub, 3, 1, 0.0280, 7.8, 5200.0);
+    set(FuType::FpMultiplier, 3, 1, 0.0520, 13.0, 9400.0);
+    set(FuType::FpDivider, 12, 12, 0.0760, 52.0, 18000.0);
+    set(FuType::FpAddSubDouble, 3, 1, 0.0510, 16.4, 9800.0);
+    set(FuType::FpMultiplierDouble, 3, 1, 0.1040, 29.5, 19200.0);
+    set(FuType::FpDividerDouble, 18, 18, 0.1480, 104.0, 36500.0);
+    set(FuType::FpComparator, 1, 1, 0.0047, 1.1, 420.0);
+    set(FuType::FpSpecial, 20, 20, 0.1900, 160.0, 48000.0);
+    set(FuType::Conversion, 2, 1, 0.0110, 3.2, 2100.0);
+
+    // Single-bit register (latch + clock tree share) @40nm.
+    p.registers() = RegisterParams{
+        /* leakagePowerMwPerBit = */ 7.5e-5,
+        /* readEnergyPjPerBit  = */ 0.0018,
+        /* writeEnergyPjPerBit = */ 0.0026,
+        /* areaUm2PerBit       = */ 5.8,
+    };
+
+    return p;
+}
+
+} // namespace salam::hw

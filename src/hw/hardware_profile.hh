@@ -1,0 +1,93 @@
+/**
+ * @file
+ * HardwareProfile: the validated power/area/latency characterization.
+ *
+ * Plays the role of gem5-SALAM's "hardware profile" input: per
+ * functional-unit latency, leakage power, per-operation dynamic
+ * energy, and area, plus a single-bit register model. The default
+ * profile corresponds to a 40nm standard-cell library characterized
+ * against RTL synthesis (in this reproduction, numbers are derived
+ * from published Aladdin/gem5-SALAM-era 40nm figures; the validation
+ * benches compare against an independent estimator rather than
+ * absolute silicon numbers).
+ *
+ * Device configs may override any entry or cap the available count of
+ * a unit type to force reuse.
+ */
+
+#ifndef SALAM_HW_HARDWARE_PROFILE_HH
+#define SALAM_HW_HARDWARE_PROFILE_HH
+
+#include <array>
+#include <cstdint>
+
+#include "functional_unit.hh"
+
+namespace salam::hw
+{
+
+/** Characterization of one functional-unit type. */
+struct FuParams
+{
+    /** Operation latency in accelerator cycles. */
+    unsigned latencyCycles = 1;
+    /** Initiation interval: cycles between issues to one unit. */
+    unsigned initiationInterval = 1;
+    /** Static leakage power per instantiated unit (mW). */
+    double leakagePowerMw = 0.0;
+    /** Dynamic energy per operation (pJ), internal + switching. */
+    double dynamicEnergyPj = 0.0;
+    /** Silicon area per unit (um^2). */
+    double areaUm2 = 0.0;
+};
+
+/** Characterization of one bit of datapath register storage. */
+struct RegisterParams
+{
+    double leakagePowerMwPerBit = 0.0;
+    double readEnergyPjPerBit = 0.0;
+    double writeEnergyPjPerBit = 0.0;
+    double areaUm2PerBit = 0.0;
+};
+
+/** The full profile: FU table + register model. */
+class HardwareProfile
+{
+  public:
+    /** The validated default 40nm profile. */
+    static HardwareProfile defaultProfile();
+
+    const FuParams &
+    fu(FuType type) const
+    {
+        return table[static_cast<std::size_t>(type)];
+    }
+
+    FuParams &
+    fu(FuType type)
+    {
+        return table[static_cast<std::size_t>(type)];
+    }
+
+    const RegisterParams &registers() const { return regs; }
+
+    RegisterParams &registers() { return regs; }
+
+    /** Latency for an instruction under this profile. */
+    unsigned
+    latencyFor(const ir::Instruction &inst) const
+    {
+        FuType type = fuTypeFor(inst);
+        if (type == FuType::None)
+            return 0;
+        return fu(type).latencyCycles;
+    }
+
+  private:
+    std::array<FuParams, numFuTypes> table{};
+    RegisterParams regs{};
+};
+
+} // namespace salam::hw
+
+#endif // SALAM_HW_HARDWARE_PROFILE_HH

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Power and area accounting structures.
+ *
+ * The runtime engine, scratchpads, and static elaborator each
+ * contribute to a PowerBreakdown / AreaBreakdown; the categories
+ * match Fig. 4 of the paper (dynamic FU / internal registers / SPM
+ * read / SPM write, static FU / registers / SPM).
+ */
+
+#ifndef SALAM_HW_POWER_MODEL_HH
+#define SALAM_HW_POWER_MODEL_HH
+
+namespace salam::hw
+{
+
+/** Average-power breakdown over a run, in milliwatts. */
+struct PowerBreakdown
+{
+    double dynamicFuMw = 0.0;
+    double dynamicRegisterMw = 0.0;
+    double dynamicSpmReadMw = 0.0;
+    double dynamicSpmWriteMw = 0.0;
+    double staticFuMw = 0.0;
+    double staticRegisterMw = 0.0;
+    double staticSpmMw = 0.0;
+
+    double
+    dynamicTotalMw() const
+    {
+        return dynamicFuMw + dynamicRegisterMw + dynamicSpmReadMw +
+               dynamicSpmWriteMw;
+    }
+
+    double
+    staticTotalMw() const
+    {
+        return staticFuMw + staticRegisterMw + staticSpmMw;
+    }
+
+    double totalMw() const
+    { return dynamicTotalMw() + staticTotalMw(); }
+
+    PowerBreakdown &
+    operator+=(const PowerBreakdown &o)
+    {
+        dynamicFuMw += o.dynamicFuMw;
+        dynamicRegisterMw += o.dynamicRegisterMw;
+        dynamicSpmReadMw += o.dynamicSpmReadMw;
+        dynamicSpmWriteMw += o.dynamicSpmWriteMw;
+        staticFuMw += o.staticFuMw;
+        staticRegisterMw += o.staticRegisterMw;
+        staticSpmMw += o.staticSpmMw;
+        return *this;
+    }
+};
+
+/** Area breakdown in square micrometers. */
+struct AreaBreakdown
+{
+    double fuUm2 = 0.0;
+    double registerUm2 = 0.0;
+    double spmUm2 = 0.0;
+
+    double totalUm2() const { return fuUm2 + registerUm2 + spmUm2; }
+
+    AreaBreakdown &
+    operator+=(const AreaBreakdown &o)
+    {
+        fuUm2 += o.fuUm2;
+        registerUm2 += o.registerUm2;
+        spmUm2 += o.spmUm2;
+        return *this;
+    }
+};
+
+} // namespace salam::hw
+
+#endif // SALAM_HW_POWER_MODEL_HH

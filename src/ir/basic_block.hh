@@ -1,0 +1,105 @@
+/**
+ * @file
+ * BasicBlock: an ordered list of instructions ending in a terminator.
+ *
+ * Basic blocks are the granularity at which gem5-SALAM's reservation
+ * queue imports work, so the block structure directly shapes the
+ * simulated datapath schedule.
+ */
+
+#ifndef SALAM_IR_BASIC_BLOCK_HH
+#define SALAM_IR_BASIC_BLOCK_HH
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "instruction.hh"
+
+namespace salam::ir
+{
+
+class Function;
+
+/** A basic block; owns its instructions. */
+class BasicBlock : public Value
+{
+  public:
+    BasicBlock(const Type *label_type, std::string name)
+        : Value(ValueKind::BasicBlock, label_type, std::move(name))
+    {}
+
+    Function *parent() const { return _parent; }
+
+    void setParent(Function *f) { _parent = f; }
+
+    /** Append an instruction, taking ownership. */
+    Instruction *
+    append(std::unique_ptr<Instruction> inst)
+    {
+        inst->setParent(this);
+        instrs.push_back(std::move(inst));
+        return instrs.back().get();
+    }
+
+    /** Insert an instruction at @p pos, taking ownership. */
+    Instruction *
+    insert(std::size_t pos, std::unique_ptr<Instruction> inst)
+    {
+        inst->setParent(this);
+        auto it = instrs.begin() + static_cast<std::ptrdiff_t>(pos);
+        return instrs.insert(it, std::move(inst))->get();
+    }
+
+    /** Remove and destroy the instruction at @p pos. */
+    void
+    erase(std::size_t pos)
+    {
+        instrs.erase(instrs.begin() + static_cast<std::ptrdiff_t>(pos));
+    }
+
+    /**
+     * Remove and return all instructions, leaving the block empty.
+     * Used by transforms that rebuild a block in place.
+     */
+    std::vector<std::unique_ptr<Instruction>>
+    takeAll()
+    {
+        return std::exchange(instrs, {});
+    }
+
+    std::size_t size() const { return instrs.size(); }
+
+    bool empty() const { return instrs.empty(); }
+
+    Instruction *instruction(std::size_t i) const
+    { return instrs.at(i).get(); }
+
+    /** The block terminator; nullptr while under construction. */
+    Instruction *
+    terminator() const
+    {
+        if (instrs.empty() || !instrs.back()->isTerminator())
+            return nullptr;
+        return instrs.back().get();
+    }
+
+    /** Successor blocks derived from the terminator. */
+    std::vector<BasicBlock *> successors() const;
+
+    /** All phi nodes, which by construction lead the block. */
+    std::vector<PhiInst *> phis() const;
+
+    auto begin() const { return instrs.begin(); }
+
+    auto end() const { return instrs.end(); }
+
+  private:
+    Function *_parent = nullptr;
+    std::vector<std::unique_ptr<Instruction>> instrs;
+};
+
+} // namespace salam::ir
+
+#endif // SALAM_IR_BASIC_BLOCK_HH

@@ -1,0 +1,52 @@
+#include "context.hh"
+
+#include "sim/logging.hh"
+
+namespace salam::ir
+{
+
+Context::Context()
+{
+    _void = make(Type::Kind::Void, 0, nullptr, 0);
+    _label = make(Type::Kind::Label, 0, nullptr, 0);
+    _float = make(Type::Kind::Float, 0, nullptr, 0);
+    _double = make(Type::Kind::Double, 0, nullptr, 0);
+}
+
+const Type *
+Context::make(Type::Kind kind, unsigned bits, const Type *elem,
+              std::uint64_t count) const
+{
+    auto key = std::make_tuple(static_cast<int>(kind), bits, elem, count);
+    auto it = interned.find(key);
+    if (it != interned.end())
+        return it->second;
+    storage.emplace_back(new Type(kind, bits, elem, count));
+    const Type *type = storage.back().get();
+    interned.emplace(key, type);
+    return type;
+}
+
+const Type *
+Context::intType(unsigned bits) const
+{
+    if (bits == 0 || bits > 64)
+        fatal("unsupported integer width i%u", bits);
+    return make(Type::Kind::Integer, bits, nullptr, 0);
+}
+
+const Type *
+Context::pointerTo(const Type *pointee) const
+{
+    SALAM_ASSERT(pointee != nullptr);
+    return make(Type::Kind::Pointer, 0, pointee, 0);
+}
+
+const Type *
+Context::arrayOf(const Type *elem, std::uint64_t count) const
+{
+    SALAM_ASSERT(elem != nullptr);
+    return make(Type::Kind::Array, 0, elem, count);
+}
+
+} // namespace salam::ir

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Context: the interning arena for types.
+ *
+ * A Context owns every Type used by the Modules built against it,
+ * guaranteeing pointer identity for structurally equal types.
+ */
+
+#ifndef SALAM_IR_CONTEXT_HH
+#define SALAM_IR_CONTEXT_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <tuple>
+#include <vector>
+
+#include "type.hh"
+
+namespace salam::ir
+{
+
+/** Owns and interns types. Not copyable; Modules reference it. */
+class Context
+{
+  public:
+    Context();
+
+    Context(const Context &) = delete;
+    Context &operator=(const Context &) = delete;
+
+    const Type *voidType() const { return _void; }
+
+    const Type *labelType() const { return _label; }
+
+    const Type *floatType() const { return _float; }
+
+    const Type *doubleType() const { return _double; }
+
+    const Type *i1() const { return intType(1); }
+
+    const Type *i8() const { return intType(8); }
+
+    const Type *i16() const { return intType(16); }
+
+    const Type *i32() const { return intType(32); }
+
+    const Type *i64() const { return intType(64); }
+
+    /** Intern an arbitrary-width integer type (1..64 bits). */
+    const Type *intType(unsigned bits) const;
+
+    /** Intern a pointer to @p pointee. */
+    const Type *pointerTo(const Type *pointee) const;
+
+    /** Intern an array of @p count elements of @p elem. */
+    const Type *arrayOf(const Type *elem, std::uint64_t count) const;
+
+  private:
+    const Type *make(Type::Kind kind, unsigned bits, const Type *elem,
+                     std::uint64_t count) const;
+
+    mutable std::vector<std::unique_ptr<Type>> storage;
+    mutable std::map<std::tuple<int, unsigned, const Type *,
+                                std::uint64_t>,
+                     const Type *> interned;
+
+    const Type *_void;
+    const Type *_label;
+    const Type *_float;
+    const Type *_double;
+};
+
+} // namespace salam::ir
+
+#endif // SALAM_IR_CONTEXT_HH

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Function and Module containers.
+ *
+ * A Function is one accelerator kernel: a list of typed arguments (the
+ * pointers/scalars the host maps to MMRs) and the basic blocks of its
+ * body. A Module owns functions and the constants they reference, and
+ * holds the Context used to intern types.
+ */
+
+#ifndef SALAM_IR_FUNCTION_HH
+#define SALAM_IR_FUNCTION_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "basic_block.hh"
+#include "context.hh"
+#include "value.hh"
+
+namespace salam::ir
+{
+
+class Module;
+
+/** One IR function (an accelerator kernel). */
+class Function : public Value
+{
+  public:
+    Function(const Type *fn_marker_type, std::string name,
+             const Type *return_type)
+        : Value(ValueKind::Function, fn_marker_type, std::move(name)),
+          _returnType(return_type)
+    {}
+
+    const Type *returnType() const { return _returnType; }
+
+    /** Owning module (set by Module::addFunction). */
+    Module *parent() const { return _parent; }
+
+    void setParent(Module *m) { _parent = m; }
+
+    Argument *
+    addArgument(const Type *type, std::string name)
+    {
+        args.push_back(std::make_unique<Argument>(
+            type, std::move(name),
+            static_cast<unsigned>(args.size())));
+        return args.back().get();
+    }
+
+    std::size_t numArguments() const { return args.size(); }
+
+    Argument *argument(std::size_t i) const { return args.at(i).get(); }
+
+    /** Argument lookup by name; nullptr when absent. */
+    Argument *findArgument(const std::string &name) const;
+
+    BasicBlock *
+    addBlock(std::unique_ptr<BasicBlock> block)
+    {
+        block->setParent(this);
+        blocks.push_back(std::move(block));
+        return blocks.back().get();
+    }
+
+    std::size_t numBlocks() const { return blocks.size(); }
+
+    BasicBlock *block(std::size_t i) const { return blocks.at(i).get(); }
+
+    /** Block lookup by label name; nullptr when absent. */
+    BasicBlock *findBlock(const std::string &name) const;
+
+    /** The entry block (first block). */
+    BasicBlock *
+    entry() const
+    {
+        return blocks.empty() ? nullptr : blocks.front().get();
+    }
+
+    /** Remove block at index @p i (must be unreachable). */
+    void eraseBlock(std::size_t i)
+    { blocks.erase(blocks.begin() + static_cast<std::ptrdiff_t>(i)); }
+
+    /** Predecessor blocks of @p block, in deterministic order. */
+    std::vector<BasicBlock *> predecessors(const BasicBlock *block) const;
+
+    /** Total instruction count across all blocks. */
+    std::size_t instructionCount() const;
+
+    auto begin() const { return blocks.begin(); }
+
+    auto end() const { return blocks.end(); }
+
+  private:
+    Module *_parent = nullptr;
+    const Type *_returnType;
+    std::vector<std::unique_ptr<Argument>> args;
+    std::vector<std::unique_ptr<BasicBlock>> blocks;
+};
+
+/** Top-level IR container; owns functions and interned constants. */
+class Module
+{
+  public:
+    explicit Module(std::string name)
+        : _name(std::move(name)), ctx(std::make_unique<Context>())
+    {}
+
+    const std::string &name() const { return _name; }
+
+    Context &context() { return *ctx; }
+
+    const Context &context() const { return *ctx; }
+
+    Function *
+    addFunction(std::string name, const Type *return_type)
+    {
+        functions.push_back(std::make_unique<Function>(
+            ctx->voidType(), std::move(name), return_type));
+        functions.back()->setParent(this);
+        return functions.back().get();
+    }
+
+    std::size_t numFunctions() const { return functions.size(); }
+
+    Function *function(std::size_t i) const
+    { return functions.at(i).get(); }
+
+    Function *findFunction(const std::string &name) const;
+
+    /** Intern an integer constant of the given type. */
+    ConstantInt *getConstantInt(const Type *type, std::uint64_t bits);
+
+    /** Intern a floating-point constant of the given type. */
+    ConstantFP *getConstantFP(const Type *type, double value);
+
+    auto begin() const { return functions.begin(); }
+
+    auto end() const { return functions.end(); }
+
+  private:
+    std::string _name;
+    std::unique_ptr<Context> ctx;
+    std::vector<std::unique_ptr<Function>> functions;
+    std::vector<std::unique_ptr<ConstantInt>> intConstants;
+    std::vector<std::unique_ptr<ConstantFP>> fpConstants;
+};
+
+} // namespace salam::ir
+
+#endif // SALAM_IR_FUNCTION_HH

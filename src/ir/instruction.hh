@@ -1,0 +1,368 @@
+/**
+ * @file
+ * Instruction classes: the executable IR subset.
+ *
+ * Mirrors LLVM's instruction set for the kernels accelerators are
+ * written in: integer/FP arithmetic, bitwise ops, comparisons, casts,
+ * loads/stores, getelementptr address arithmetic, phi/select, and the
+ * br/ret control flow. Each instruction is a Value (its result).
+ */
+
+#ifndef SALAM_IR_INSTRUCTION_HH
+#define SALAM_IR_INSTRUCTION_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "value.hh"
+
+namespace salam::ir
+{
+
+class BasicBlock;
+
+/** Instruction opcodes (a subset of LLVM's). */
+enum class Opcode
+{
+    // Integer binary ops.
+    Add, Sub, Mul, UDiv, SDiv, URem, SRem,
+    And, Or, Xor, Shl, LShr, AShr,
+    // Floating-point binary ops.
+    FAdd, FSub, FMul, FDiv,
+    // Comparisons.
+    ICmp, FCmp,
+    // Casts.
+    Trunc, ZExt, SExt, FPToSI, SIToFP, FPTrunc, FPExt, BitCast,
+    PtrToInt, IntToPtr,
+    // Memory.
+    Load, Store, GetElementPtr,
+    // Other.
+    Phi, Select, Call,
+    // Terminators.
+    Br, Ret,
+};
+
+/** Printable LLVM-assembly mnemonic for an opcode. */
+const char *opcodeName(Opcode op);
+
+/** True for br/ret. */
+bool isTerminator(Opcode op);
+
+/** True for integer/FP arithmetic, bitwise, compare, cast, select. */
+bool isComputeOp(Opcode op);
+
+/** True for load/store. */
+bool isMemoryOp(Opcode op);
+
+/** True for FP arithmetic (fadd/fsub/fmul/fdiv) and fcmp. */
+bool isFloatingPointOp(Opcode op);
+
+/** Comparison predicates, shared by icmp and fcmp. */
+enum class Predicate
+{
+    // icmp
+    EQ, NE, UGT, UGE, ULT, ULE, SGT, SGE, SLT, SLE,
+    // fcmp (ordered subset)
+    OEQ, ONE, OGT, OGE, OLT, OLE,
+};
+
+const char *predicateName(Predicate pred);
+
+/**
+ * Base class of all instructions. Operands are raw Value pointers
+ * into the owning Function's arguments/constants/instructions.
+ */
+class Instruction : public Value
+{
+  public:
+    Instruction(Opcode op, const Type *type, std::string name)
+        : Value(ValueKind::Instruction, type, std::move(name)), _op(op)
+    {}
+
+    Opcode opcode() const { return _op; }
+
+    BasicBlock *parent() const { return _parent; }
+
+    void setParent(BasicBlock *block) { _parent = block; }
+
+    std::size_t numOperands() const { return operands.size(); }
+
+    Value *operand(std::size_t i) const { return operands.at(i); }
+
+    void setOperand(std::size_t i, Value *v) { operands.at(i) = v; }
+
+    const std::vector<Value *> &allOperands() const { return operands; }
+
+    bool isTerminator() const { return ir::isTerminator(_op); }
+
+    bool isComputeOp() const { return ir::isComputeOp(_op); }
+
+    bool isMemoryOp() const { return ir::isMemoryOp(_op); }
+
+    /** Replace every use of @p from in this instruction with @p to. */
+    void
+    replaceUsesOf(Value *from, Value *to)
+    {
+        for (auto &op : operands) {
+            if (op == from)
+                op = to;
+        }
+    }
+
+  protected:
+    void addOperand(Value *v) { operands.push_back(v); }
+
+  private:
+    Opcode _op;
+    BasicBlock *_parent = nullptr;
+    std::vector<Value *> operands;
+};
+
+/** Two-operand arithmetic/bitwise instruction. */
+class BinaryOp : public Instruction
+{
+  public:
+    BinaryOp(Opcode op, Value *lhs, Value *rhs, std::string name)
+        : Instruction(op, lhs->type(), std::move(name))
+    {
+        addOperand(lhs);
+        addOperand(rhs);
+    }
+
+    Value *lhs() const { return operand(0); }
+
+    Value *rhs() const { return operand(1); }
+};
+
+/** icmp/fcmp; result type is i1. */
+class CmpInst : public Instruction
+{
+  public:
+    CmpInst(Opcode op, Predicate pred, const Type *i1, Value *lhs,
+            Value *rhs, std::string name)
+        : Instruction(op, i1, std::move(name)), _pred(pred)
+    {
+        addOperand(lhs);
+        addOperand(rhs);
+    }
+
+    Predicate predicate() const { return _pred; }
+
+    Value *lhs() const { return operand(0); }
+
+    Value *rhs() const { return operand(1); }
+
+  private:
+    Predicate _pred;
+};
+
+/** Value conversions (trunc/zext/sext/fpto.../bitcast/...). */
+class CastInst : public Instruction
+{
+  public:
+    CastInst(Opcode op, Value *src, const Type *dest, std::string name)
+        : Instruction(op, dest, std::move(name))
+    {
+        addOperand(src);
+    }
+
+    Value *source() const { return operand(0); }
+};
+
+/** Load from a pointer operand. */
+class LoadInst : public Instruction
+{
+  public:
+    LoadInst(Value *pointer, std::string name)
+        : Instruction(Opcode::Load, pointer->type()->pointee(),
+                      std::move(name))
+    {
+        addOperand(pointer);
+    }
+
+    Value *pointer() const { return operand(0); }
+};
+
+/** Store a value through a pointer operand. Produces no result. */
+class StoreInst : public Instruction
+{
+  public:
+    StoreInst(const Type *void_type, Value *value, Value *pointer)
+        : Instruction(Opcode::Store, void_type, "")
+    {
+        addOperand(value);
+        addOperand(pointer);
+    }
+
+    Value *value() const { return operand(0); }
+
+    Value *pointer() const { return operand(1); }
+};
+
+/**
+ * Address arithmetic over a typed base pointer, modern-LLVM style:
+ * `getelementptr T, T* base, idx...`. The source element type is kept
+ * explicitly so byte offsets can be computed without opaque pointers.
+ */
+class GetElementPtrInst : public Instruction
+{
+  public:
+    GetElementPtrInst(const Type *source_elem, const Type *result_type,
+                      Value *base, const std::vector<Value *> &indices,
+                      std::string name)
+        : Instruction(Opcode::GetElementPtr, result_type,
+                      std::move(name)),
+          _sourceElem(source_elem)
+    {
+        addOperand(base);
+        for (auto *idx : indices)
+            addOperand(idx);
+    }
+
+    const Type *sourceElementType() const { return _sourceElem; }
+
+    Value *base() const { return operand(0); }
+
+    std::size_t numIndices() const { return numOperands() - 1; }
+
+    Value *index(std::size_t i) const { return operand(i + 1); }
+
+  private:
+    const Type *_sourceElem;
+};
+
+/** SSA phi node; incoming (value, block) pairs. */
+class PhiInst : public Instruction
+{
+  public:
+    PhiInst(const Type *type, std::string name)
+        : Instruction(Opcode::Phi, type, std::move(name))
+    {}
+
+    void
+    addIncoming(Value *value, BasicBlock *block)
+    {
+        addOperand(value);
+        blocks.push_back(block);
+    }
+
+    std::size_t numIncoming() const { return blocks.size(); }
+
+    Value *incomingValue(std::size_t i) const { return operand(i); }
+
+    void setIncomingValue(std::size_t i, Value *v) { setOperand(i, v); }
+
+    BasicBlock *incomingBlock(std::size_t i) const
+    { return blocks.at(i); }
+
+    void setIncomingBlock(std::size_t i, BasicBlock *b)
+    { blocks.at(i) = b; }
+
+    /** Incoming value for @p block; nullptr when absent. */
+    Value *valueFor(const BasicBlock *block) const;
+
+  private:
+    std::vector<BasicBlock *> blocks;
+};
+
+/** Ternary select: cond ? ifTrue : ifFalse. */
+class SelectInst : public Instruction
+{
+  public:
+    SelectInst(Value *cond, Value *if_true, Value *if_false,
+               std::string name)
+        : Instruction(Opcode::Select, if_true->type(), std::move(name))
+    {
+        addOperand(cond);
+        addOperand(if_true);
+        addOperand(if_false);
+    }
+
+    Value *condition() const { return operand(0); }
+
+    Value *ifTrue() const { return operand(1); }
+
+    Value *ifFalse() const { return operand(2); }
+};
+
+/**
+ * Intrinsic call (sqrt/exp/sin/cos/fabs/...). General calls are not
+ * modeled: accelerator kernels are fully inlined single functions.
+ */
+class CallInst : public Instruction
+{
+  public:
+    CallInst(const Type *type, std::string callee,
+             const std::vector<Value *> &args, std::string name)
+        : Instruction(Opcode::Call, type, std::move(name)),
+          _callee(std::move(callee))
+    {
+        for (auto *a : args)
+            addOperand(a);
+    }
+
+    const std::string &callee() const { return _callee; }
+
+  private:
+    std::string _callee;
+};
+
+/** Conditional or unconditional branch. */
+class BranchInst : public Instruction
+{
+  public:
+    /** Unconditional form. */
+    BranchInst(const Type *void_type, BasicBlock *target)
+        : Instruction(Opcode::Br, void_type, ""), _ifTrue(target),
+          _ifFalse(nullptr)
+    {}
+
+    /** Conditional form. */
+    BranchInst(const Type *void_type, Value *cond, BasicBlock *if_true,
+               BasicBlock *if_false)
+        : Instruction(Opcode::Br, void_type, ""), _ifTrue(if_true),
+          _ifFalse(if_false)
+    {
+        addOperand(cond);
+    }
+
+    bool isConditional() const { return numOperands() == 1; }
+
+    Value *condition() const { return operand(0); }
+
+    BasicBlock *ifTrue() const { return _ifTrue; }
+
+    BasicBlock *ifFalse() const { return _ifFalse; }
+
+    void setIfTrue(BasicBlock *b) { _ifTrue = b; }
+
+    void setIfFalse(BasicBlock *b) { _ifFalse = b; }
+
+  private:
+    BasicBlock *_ifTrue;
+    BasicBlock *_ifFalse;
+};
+
+/** Function return, optionally carrying a value. */
+class ReturnInst : public Instruction
+{
+  public:
+    explicit ReturnInst(const Type *void_type)
+        : Instruction(Opcode::Ret, void_type, "")
+    {}
+
+    ReturnInst(const Type *void_type, Value *value)
+        : Instruction(Opcode::Ret, void_type, "")
+    {
+        addOperand(value);
+    }
+
+    bool hasValue() const { return numOperands() == 1; }
+
+    Value *value() const { return operand(0); }
+};
+
+} // namespace salam::ir
+
+#endif // SALAM_IR_INSTRUCTION_HH

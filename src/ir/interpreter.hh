@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Interpreter: functional (untimed) execution of IR functions.
+ *
+ * Used three ways:
+ *  - functional validation of kernels against golden C++ references;
+ *  - trace generation for the Aladdin-style baseline simulator;
+ *  - computing expected memory images in tests of the timed engine.
+ *
+ * Memory is abstracted behind MemoryAccessor so the interpreter can
+ * run against a flat test memory or a simulated scratchpad image.
+ */
+
+#ifndef SALAM_IR_INTERPRETER_HH
+#define SALAM_IR_INTERPRETER_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "eval.hh"
+#include "function.hh"
+
+namespace salam::ir
+{
+
+/** Byte-addressable memory the interpreter executes against. */
+class MemoryAccessor
+{
+  public:
+    virtual ~MemoryAccessor() = default;
+
+    virtual void readBytes(std::uint64_t addr, std::size_t size,
+                           void *out) = 0;
+
+    virtual void writeBytes(std::uint64_t addr, std::size_t size,
+                            const void *in) = 0;
+
+    /** Load a value of @p type at @p addr into a RuntimeValue. */
+    RuntimeValue loadValue(const Type *type, std::uint64_t addr);
+
+    /** Store a RuntimeValue of @p type at @p addr. */
+    void storeValue(const Type *type, std::uint64_t addr,
+                    RuntimeValue value);
+
+    // Typed convenience helpers for populating test memories.
+
+    void writeI32(std::uint64_t addr, std::int32_t v)
+    { writeBytes(addr, 4, &v); }
+
+    void writeI64(std::uint64_t addr, std::int64_t v)
+    { writeBytes(addr, 8, &v); }
+
+    void writeF32(std::uint64_t addr, float v)
+    { writeBytes(addr, 4, &v); }
+
+    void writeF64(std::uint64_t addr, double v)
+    { writeBytes(addr, 8, &v); }
+
+    std::int32_t
+    readI32(std::uint64_t addr)
+    {
+        std::int32_t v;
+        readBytes(addr, 4, &v);
+        return v;
+    }
+
+    std::int64_t
+    readI64(std::uint64_t addr)
+    {
+        std::int64_t v;
+        readBytes(addr, 8, &v);
+        return v;
+    }
+
+    float
+    readF32(std::uint64_t addr)
+    {
+        float v;
+        readBytes(addr, 4, &v);
+        return v;
+    }
+
+    double
+    readF64(std::uint64_t addr)
+    {
+        double v;
+        readBytes(addr, 8, &v);
+        return v;
+    }
+};
+
+/** Sparse flat memory backed by a page map; zero-initialized. */
+class FlatMemory : public MemoryAccessor
+{
+  public:
+    void readBytes(std::uint64_t addr, std::size_t size,
+                   void *out) override;
+
+    void writeBytes(std::uint64_t addr, std::size_t size,
+                    const void *in) override;
+
+    /** Total bytes touched (for footprint statistics). */
+    std::size_t touchedBytes() const
+    { return pages.size() * pageSize; }
+
+  private:
+    static constexpr std::uint64_t pageSize = 4096;
+
+    std::uint8_t *pageFor(std::uint64_t addr);
+
+    std::map<std::uint64_t, std::vector<std::uint8_t>> pages;
+};
+
+/** One executed-instruction record delivered to trace observers. */
+struct ExecRecord
+{
+    const Instruction *inst = nullptr;
+    const BasicBlock *block = nullptr;
+    RuntimeValue result;
+    /** Effective address for load/store, else 0. */
+    std::uint64_t memAddr = 0;
+    /** Access size for load/store, else 0. */
+    std::uint32_t memSize = 0;
+    /** Dynamic sequence number. */
+    std::uint64_t seq = 0;
+};
+
+/** Functional executor for one function at a time. */
+class Interpreter
+{
+  public:
+    explicit Interpreter(MemoryAccessor &memory) : mem(memory) {}
+
+    /** Observe every executed instruction (for trace generation). */
+    void
+    setObserver(std::function<void(const ExecRecord &)> observer)
+    {
+        onExec = std::move(observer);
+    }
+
+    /** Abort execution after this many dynamic instructions. */
+    void setStepLimit(std::uint64_t limit) { stepLimit = limit; }
+
+    /**
+     * Execute @p fn with the given argument values.
+     * @return the function result (undefined for void functions).
+     */
+    RuntimeValue run(const Function &fn,
+                     const std::vector<RuntimeValue> &args);
+
+    std::uint64_t stepsExecuted() const { return steps; }
+
+  private:
+    RuntimeValue valueOf(const Value *v) const;
+
+    MemoryAccessor &mem;
+    std::function<void(const ExecRecord &)> onExec;
+    std::uint64_t stepLimit = 500'000'000;
+    std::uint64_t steps = 0;
+    std::map<const Value *, RuntimeValue> bindings;
+};
+
+} // namespace salam::ir
+
+#endif // SALAM_IR_INTERPRETER_HH

@@ -1,0 +1,238 @@
+/**
+ * @file
+ * Out-of-line implementations for the IR core classes.
+ */
+
+#include "basic_block.hh"
+#include "function.hh"
+#include "instruction.hh"
+
+#include "sim/logging.hh"
+
+namespace salam::ir
+{
+
+const char *
+opcodeName(Opcode op)
+{
+    switch (op) {
+      case Opcode::Add: return "add";
+      case Opcode::Sub: return "sub";
+      case Opcode::Mul: return "mul";
+      case Opcode::UDiv: return "udiv";
+      case Opcode::SDiv: return "sdiv";
+      case Opcode::URem: return "urem";
+      case Opcode::SRem: return "srem";
+      case Opcode::And: return "and";
+      case Opcode::Or: return "or";
+      case Opcode::Xor: return "xor";
+      case Opcode::Shl: return "shl";
+      case Opcode::LShr: return "lshr";
+      case Opcode::AShr: return "ashr";
+      case Opcode::FAdd: return "fadd";
+      case Opcode::FSub: return "fsub";
+      case Opcode::FMul: return "fmul";
+      case Opcode::FDiv: return "fdiv";
+      case Opcode::ICmp: return "icmp";
+      case Opcode::FCmp: return "fcmp";
+      case Opcode::Trunc: return "trunc";
+      case Opcode::ZExt: return "zext";
+      case Opcode::SExt: return "sext";
+      case Opcode::FPToSI: return "fptosi";
+      case Opcode::SIToFP: return "sitofp";
+      case Opcode::FPTrunc: return "fptrunc";
+      case Opcode::FPExt: return "fpext";
+      case Opcode::BitCast: return "bitcast";
+      case Opcode::PtrToInt: return "ptrtoint";
+      case Opcode::IntToPtr: return "inttoptr";
+      case Opcode::Load: return "load";
+      case Opcode::Store: return "store";
+      case Opcode::GetElementPtr: return "getelementptr";
+      case Opcode::Phi: return "phi";
+      case Opcode::Select: return "select";
+      case Opcode::Call: return "call";
+      case Opcode::Br: return "br";
+      case Opcode::Ret: return "ret";
+    }
+    panic("unknown opcode");
+}
+
+bool
+isTerminator(Opcode op)
+{
+    return op == Opcode::Br || op == Opcode::Ret;
+}
+
+bool
+isMemoryOp(Opcode op)
+{
+    return op == Opcode::Load || op == Opcode::Store;
+}
+
+bool
+isComputeOp(Opcode op)
+{
+    return !isTerminator(op) && !isMemoryOp(op) && op != Opcode::Phi;
+}
+
+bool
+isFloatingPointOp(Opcode op)
+{
+    switch (op) {
+      case Opcode::FAdd:
+      case Opcode::FSub:
+      case Opcode::FMul:
+      case Opcode::FDiv:
+      case Opcode::FCmp:
+        return true;
+      default:
+        return false;
+    }
+}
+
+const char *
+predicateName(Predicate pred)
+{
+    switch (pred) {
+      case Predicate::EQ: return "eq";
+      case Predicate::NE: return "ne";
+      case Predicate::UGT: return "ugt";
+      case Predicate::UGE: return "uge";
+      case Predicate::ULT: return "ult";
+      case Predicate::ULE: return "ule";
+      case Predicate::SGT: return "sgt";
+      case Predicate::SGE: return "sge";
+      case Predicate::SLT: return "slt";
+      case Predicate::SLE: return "sle";
+      case Predicate::OEQ: return "oeq";
+      case Predicate::ONE: return "one";
+      case Predicate::OGT: return "ogt";
+      case Predicate::OGE: return "oge";
+      case Predicate::OLT: return "olt";
+      case Predicate::OLE: return "ole";
+    }
+    panic("unknown predicate");
+}
+
+Value *
+PhiInst::valueFor(const BasicBlock *block) const
+{
+    for (std::size_t i = 0; i < numIncoming(); ++i) {
+        if (incomingBlock(i) == block)
+            return incomingValue(i);
+    }
+    return nullptr;
+}
+
+std::vector<BasicBlock *>
+BasicBlock::successors() const
+{
+    std::vector<BasicBlock *> succs;
+    Instruction *term = terminator();
+    if (term == nullptr)
+        return succs;
+    if (auto *br = dynamic_cast<BranchInst *>(term)) {
+        succs.push_back(br->ifTrue());
+        if (br->isConditional() && br->ifFalse() != br->ifTrue())
+            succs.push_back(br->ifFalse());
+    }
+    return succs;
+}
+
+std::vector<PhiInst *>
+BasicBlock::phis() const
+{
+    std::vector<PhiInst *> result;
+    for (const auto &inst : instrs) {
+        auto *phi = dynamic_cast<PhiInst *>(inst.get());
+        if (phi == nullptr)
+            break;
+        result.push_back(phi);
+    }
+    return result;
+}
+
+Argument *
+Function::findArgument(const std::string &name) const
+{
+    for (const auto &arg : args) {
+        if (arg->name() == name)
+            return arg.get();
+    }
+    return nullptr;
+}
+
+BasicBlock *
+Function::findBlock(const std::string &name) const
+{
+    for (const auto &block : blocks) {
+        if (block->name() == name)
+            return block.get();
+    }
+    return nullptr;
+}
+
+std::vector<BasicBlock *>
+Function::predecessors(const BasicBlock *block) const
+{
+    std::vector<BasicBlock *> preds;
+    for (const auto &candidate : blocks) {
+        for (auto *succ : candidate->successors()) {
+            if (succ == block) {
+                preds.push_back(candidate.get());
+                break;
+            }
+        }
+    }
+    return preds;
+}
+
+std::size_t
+Function::instructionCount() const
+{
+    std::size_t count = 0;
+    for (const auto &block : blocks)
+        count += block->size();
+    return count;
+}
+
+Function *
+Module::findFunction(const std::string &name) const
+{
+    for (const auto &fn : functions) {
+        if (fn->name() == name)
+            return fn.get();
+    }
+    return nullptr;
+}
+
+ConstantInt *
+Module::getConstantInt(const Type *type, std::uint64_t bits)
+{
+    SALAM_ASSERT(type->isInteger() || type->isPointer());
+    std::uint64_t masked = bits;
+    if (type->isInteger() && type->intBits() < 64)
+        masked &= (1ULL << type->intBits()) - 1;
+    for (const auto &c : intConstants) {
+        if (c->type() == type && c->zext() == masked)
+            return c.get();
+    }
+    intConstants.push_back(std::make_unique<ConstantInt>(type, masked));
+    return intConstants.back().get();
+}
+
+ConstantFP *
+Module::getConstantFP(const Type *type, double value)
+{
+    SALAM_ASSERT(type->isFloatingPoint());
+    if (type->isFloat())
+        value = static_cast<float>(value);
+    for (const auto &c : fpConstants) {
+        if (c->type() == type && c->value() == value)
+            return c.get();
+    }
+    fpConstants.push_back(std::make_unique<ConstantFP>(type, value));
+    return fpConstants.back().get();
+}
+
+} // namespace salam::ir

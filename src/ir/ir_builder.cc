@@ -1,0 +1,189 @@
+#include "ir_builder.hh"
+
+#include "sim/logging.hh"
+
+namespace salam::ir
+{
+
+Instruction *
+IRBuilder::append(std::unique_ptr<Instruction> inst)
+{
+    if (block == nullptr)
+        panic("IRBuilder has no insertion point");
+    if (block->terminator() != nullptr)
+        panic("appending to already-terminated block '%s'",
+              block->name().c_str());
+    return block->append(std::move(inst));
+}
+
+std::string
+IRBuilder::autoName(const std::string &name)
+{
+    std::string candidate =
+        name.empty() ? std::to_string(nextId++) : name;
+    // Instruction names must be unique within a function for the
+    // printed form to re-parse; suffix repeats the way LLVM does.
+    unsigned suffix = 1;
+    std::string unique = candidate;
+    while (!usedNames.insert(unique).second ||
+           (fn != nullptr && fn->findArgument(unique) != nullptr)) {
+        unique = candidate + "." + std::to_string(suffix++);
+    }
+    return unique;
+}
+
+std::string
+IRBuilder::uniqueLabel(const std::string &name)
+{
+    if (fn->findBlock(name) == nullptr)
+        return name;
+    unsigned suffix = 1;
+    std::string candidate;
+    do {
+        candidate = name + "." + std::to_string(suffix++);
+    } while (fn->findBlock(candidate) != nullptr);
+    return candidate;
+}
+
+Value *
+IRBuilder::binary(Opcode op, Value *a, Value *b, const std::string &name)
+{
+    if (a->type() != b->type())
+        panic("%s: operand type mismatch (%s vs %s)", opcodeName(op),
+              a->type()->toString().c_str(),
+              b->type()->toString().c_str());
+    return append(std::make_unique<BinaryOp>(op, a, b, autoName(name)));
+}
+
+Value *
+IRBuilder::icmp(Predicate pred, Value *a, Value *b,
+                const std::string &name)
+{
+    return append(std::make_unique<CmpInst>(
+        Opcode::ICmp, pred, ctx.i1(), a, b, autoName(name)));
+}
+
+Value *
+IRBuilder::fcmp(Predicate pred, Value *a, Value *b,
+                const std::string &name)
+{
+    return append(std::make_unique<CmpInst>(
+        Opcode::FCmp, pred, ctx.i1(), a, b, autoName(name)));
+}
+
+Value *
+IRBuilder::cast(Opcode op, Value *src, const Type *dest,
+                const std::string &name)
+{
+    return append(std::make_unique<CastInst>(op, src, dest,
+                                             autoName(name)));
+}
+
+Value *
+IRBuilder::load(Value *pointer, const std::string &name)
+{
+    if (!pointer->type()->isPointer())
+        panic("load from non-pointer value '%s'",
+              pointer->name().c_str());
+    return append(std::make_unique<LoadInst>(pointer, autoName(name)));
+}
+
+void
+IRBuilder::store(Value *value, Value *pointer)
+{
+    if (!pointer->type()->isPointer())
+        panic("store to non-pointer value '%s'",
+              pointer->name().c_str());
+    append(std::make_unique<StoreInst>(ctx.voidType(), value, pointer));
+}
+
+Value *
+IRBuilder::gep(const Type *elem, Value *base, Value *index,
+               const std::string &name)
+{
+    return gep(elem, base, std::vector<Value *>{index}, name);
+}
+
+Value *
+IRBuilder::gep(const Type *source_elem, Value *base,
+               const std::vector<Value *> &indices,
+               const std::string &name)
+{
+    if (!base->type()->isPointer())
+        panic("gep over non-pointer base '%s'", base->name().c_str());
+    // Resolve the result type by walking the indices: the first index
+    // scales by the source element type; subsequent indices step into
+    // arrays.
+    const Type *cur = source_elem;
+    for (std::size_t i = 1; i < indices.size(); ++i) {
+        if (!cur->isArray())
+            panic("gep index %zu into non-array type %s", i,
+                  cur->toString().c_str());
+        cur = cur->arrayElement();
+    }
+    const Type *result = ctx.pointerTo(cur);
+    return append(std::make_unique<GetElementPtrInst>(
+        source_elem, result, base, indices, autoName(name)));
+}
+
+PhiInst *
+IRBuilder::phi(const Type *type, const std::string &name)
+{
+    auto inst = std::make_unique<PhiInst>(type, autoName(name));
+    PhiInst *raw = inst.get();
+    // Phis must lead the block: insert after any existing phis.
+    std::size_t pos = 0;
+    while (pos < block->size() &&
+           block->instruction(pos)->opcode() == Opcode::Phi) {
+        ++pos;
+    }
+    block->insert(pos, std::move(inst));
+    return raw;
+}
+
+Value *
+IRBuilder::select(Value *cond, Value *if_true, Value *if_false,
+                  const std::string &name)
+{
+    if (if_true->type() != if_false->type())
+        panic("select arm type mismatch");
+    return append(std::make_unique<SelectInst>(cond, if_true, if_false,
+                                               autoName(name)));
+}
+
+Value *
+IRBuilder::call(const Type *type, const std::string &callee,
+                const std::vector<Value *> &args, const std::string &name)
+{
+    return append(std::make_unique<CallInst>(type, callee, args,
+                                             autoName(name)));
+}
+
+void
+IRBuilder::br(BasicBlock *target)
+{
+    append(std::make_unique<BranchInst>(ctx.voidType(), target));
+}
+
+void
+IRBuilder::condBr(Value *cond, BasicBlock *if_true, BasicBlock *if_false)
+{
+    if (cond->type() != ctx.i1())
+        panic("branch condition must be i1");
+    append(std::make_unique<BranchInst>(ctx.voidType(), cond, if_true,
+                                        if_false));
+}
+
+void
+IRBuilder::ret()
+{
+    append(std::make_unique<ReturnInst>(ctx.voidType()));
+}
+
+void
+IRBuilder::ret(Value *value)
+{
+    append(std::make_unique<ReturnInst>(ctx.voidType(), value));
+}
+
+} // namespace salam::ir

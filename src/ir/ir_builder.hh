@@ -1,0 +1,246 @@
+/**
+ * @file
+ * IRBuilder: convenience API for constructing IR.
+ *
+ * Plays the role clang plays in the original flow: kernels (and tests)
+ * build their IR through this interface. Instructions are appended at
+ * the current insertion point and auto-named (%0, %1, ...) when no
+ * explicit name is given, matching LLVM's conventions.
+ */
+
+#ifndef SALAM_IR_IR_BUILDER_HH
+#define SALAM_IR_IR_BUILDER_HH
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "function.hh"
+
+namespace salam::ir
+{
+
+/** Builds instructions into a Function's basic blocks. */
+class IRBuilder
+{
+  public:
+    explicit IRBuilder(Module &module)
+        : mod(module), ctx(module.context())
+    {}
+
+    Module &module() { return mod; }
+
+    Context &context() { return ctx; }
+
+    /** Create a function and make it current. */
+    Function *
+    createFunction(const std::string &name, const Type *return_type)
+    {
+        fn = mod.addFunction(name, return_type);
+        block = nullptr;
+        nextId = 0;
+        usedNames.clear();
+        return fn;
+    }
+
+    Function *currentFunction() const { return fn; }
+
+    /** Create a block in the current function (no insertion change). */
+    BasicBlock *
+    createBlock(const std::string &name)
+    {
+        return fn->addBlock(std::make_unique<BasicBlock>(
+            ctx.labelType(), uniqueLabel(name)));
+    }
+
+    /** Set the insertion point to the end of @p b. */
+    void setInsertPoint(BasicBlock *b) { block = b; }
+
+    BasicBlock *insertBlock() const { return block; }
+
+    // Constants ----------------------------------------------------
+
+    ConstantInt *constI64(std::int64_t v)
+    { return mod.getConstantInt(ctx.i64(), static_cast<std::uint64_t>(v)); }
+
+    ConstantInt *constI32(std::int32_t v)
+    { return mod.getConstantInt(ctx.i32(), static_cast<std::uint32_t>(v)); }
+
+    ConstantInt *constI1(bool v)
+    { return mod.getConstantInt(ctx.i1(), v ? 1 : 0); }
+
+    ConstantInt *constInt(const Type *type, std::uint64_t v)
+    { return mod.getConstantInt(type, v); }
+
+    ConstantFP *constDouble(double v)
+    { return mod.getConstantFP(ctx.doubleType(), v); }
+
+    ConstantFP *constFloat(float v)
+    { return mod.getConstantFP(ctx.floatType(), v); }
+
+    // Integer arithmetic -------------------------------------------
+
+    /** Generic binary operation by opcode (same checks as the
+     * named helpers). */
+    Value *
+    binaryOp(Opcode op, Value *a, Value *b,
+             const std::string &name = "")
+    {
+        return binary(op, a, b, name);
+    }
+
+
+    Value *add(Value *a, Value *b, const std::string &name = "")
+    { return binary(Opcode::Add, a, b, name); }
+
+    Value *sub(Value *a, Value *b, const std::string &name = "")
+    { return binary(Opcode::Sub, a, b, name); }
+
+    Value *mul(Value *a, Value *b, const std::string &name = "")
+    { return binary(Opcode::Mul, a, b, name); }
+
+    Value *udiv(Value *a, Value *b, const std::string &name = "")
+    { return binary(Opcode::UDiv, a, b, name); }
+
+    Value *sdiv(Value *a, Value *b, const std::string &name = "")
+    { return binary(Opcode::SDiv, a, b, name); }
+
+    Value *urem(Value *a, Value *b, const std::string &name = "")
+    { return binary(Opcode::URem, a, b, name); }
+
+    Value *srem(Value *a, Value *b, const std::string &name = "")
+    { return binary(Opcode::SRem, a, b, name); }
+
+    Value *bAnd(Value *a, Value *b, const std::string &name = "")
+    { return binary(Opcode::And, a, b, name); }
+
+    Value *bOr(Value *a, Value *b, const std::string &name = "")
+    { return binary(Opcode::Or, a, b, name); }
+
+    Value *bXor(Value *a, Value *b, const std::string &name = "")
+    { return binary(Opcode::Xor, a, b, name); }
+
+    Value *shl(Value *a, Value *b, const std::string &name = "")
+    { return binary(Opcode::Shl, a, b, name); }
+
+    Value *lshr(Value *a, Value *b, const std::string &name = "")
+    { return binary(Opcode::LShr, a, b, name); }
+
+    Value *ashr(Value *a, Value *b, const std::string &name = "")
+    { return binary(Opcode::AShr, a, b, name); }
+
+    // FP arithmetic ------------------------------------------------
+
+    Value *fadd(Value *a, Value *b, const std::string &name = "")
+    { return binary(Opcode::FAdd, a, b, name); }
+
+    Value *fsub(Value *a, Value *b, const std::string &name = "")
+    { return binary(Opcode::FSub, a, b, name); }
+
+    Value *fmul(Value *a, Value *b, const std::string &name = "")
+    { return binary(Opcode::FMul, a, b, name); }
+
+    Value *fdiv(Value *a, Value *b, const std::string &name = "")
+    { return binary(Opcode::FDiv, a, b, name); }
+
+    // Comparisons --------------------------------------------------
+
+    Value *icmp(Predicate pred, Value *a, Value *b,
+                const std::string &name = "");
+
+    Value *fcmp(Predicate pred, Value *a, Value *b,
+                const std::string &name = "");
+
+    // Casts ----------------------------------------------------------
+
+    Value *cast(Opcode op, Value *src, const Type *dest,
+                const std::string &name = "");
+
+    Value *zext(Value *src, const Type *dest,
+                const std::string &name = "")
+    { return cast(Opcode::ZExt, src, dest, name); }
+
+    Value *sext(Value *src, const Type *dest,
+                const std::string &name = "")
+    { return cast(Opcode::SExt, src, dest, name); }
+
+    Value *trunc(Value *src, const Type *dest,
+                 const std::string &name = "")
+    { return cast(Opcode::Trunc, src, dest, name); }
+
+    Value *sitofp(Value *src, const Type *dest,
+                  const std::string &name = "")
+    { return cast(Opcode::SIToFP, src, dest, name); }
+
+    Value *fptosi(Value *src, const Type *dest,
+                  const std::string &name = "")
+    { return cast(Opcode::FPToSI, src, dest, name); }
+
+    Value *fpext(Value *src, const Type *dest,
+                 const std::string &name = "")
+    { return cast(Opcode::FPExt, src, dest, name); }
+
+    Value *fptrunc(Value *src, const Type *dest,
+                   const std::string &name = "")
+    { return cast(Opcode::FPTrunc, src, dest, name); }
+
+    // Memory ---------------------------------------------------------
+
+    Value *load(Value *pointer, const std::string &name = "");
+
+    void store(Value *value, Value *pointer);
+
+    /**
+     * getelementptr with a scalar element type and one index — the
+     * common kernel idiom `&base[i]`.
+     */
+    Value *gep(const Type *elem, Value *base, Value *index,
+               const std::string &name = "");
+
+    /** General multi-index GEP. */
+    Value *gep(const Type *source_elem, Value *base,
+               const std::vector<Value *> &indices,
+               const std::string &name = "");
+
+    // Other ----------------------------------------------------------
+
+    PhiInst *phi(const Type *type, const std::string &name = "");
+
+    Value *select(Value *cond, Value *if_true, Value *if_false,
+                  const std::string &name = "");
+
+    Value *call(const Type *type, const std::string &callee,
+                const std::vector<Value *> &args,
+                const std::string &name = "");
+
+    // Terminators ----------------------------------------------------
+
+    void br(BasicBlock *target);
+
+    void condBr(Value *cond, BasicBlock *if_true, BasicBlock *if_false);
+
+    void ret();
+
+    void ret(Value *value);
+
+  private:
+    Value *binary(Opcode op, Value *a, Value *b,
+                  const std::string &name);
+
+    Instruction *append(std::unique_ptr<Instruction> inst);
+
+    std::string autoName(const std::string &name);
+
+    std::string uniqueLabel(const std::string &name);
+
+    Module &mod;
+    Context &ctx;
+    Function *fn = nullptr;
+    BasicBlock *block = nullptr;
+    unsigned nextId = 0;
+    std::set<std::string> usedNames;
+};
+
+} // namespace salam::ir
+
+#endif // SALAM_IR_IR_BUILDER_HH

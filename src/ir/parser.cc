@@ -1,0 +1,611 @@
+#include "parser.hh"
+
+#include <cctype>
+#include <cstring>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <vector>
+
+#include "sim/logging.hh"
+
+namespace salam::ir
+{
+
+namespace
+{
+
+/** Internal stand-in for a value referenced before its definition. */
+class Placeholder : public Value
+{
+  public:
+    Placeholder(const Type *type, std::string name)
+        : Value(ValueKind::Argument, type, std::move(name))
+    {}
+};
+
+/** Cursor over one line of text. */
+class LineCursor
+{
+  public:
+    LineCursor(const std::string &text, unsigned line_no)
+        : text(text), lineNo(line_no)
+    {}
+
+    void
+    skipSpace()
+    {
+        while (pos < text.size() &&
+               std::isspace(static_cast<unsigned char>(text[pos]))) {
+            ++pos;
+        }
+    }
+
+    bool
+    atEnd()
+    {
+        skipSpace();
+        return pos >= text.size();
+    }
+
+    char
+    peek()
+    {
+        skipSpace();
+        return pos < text.size() ? text[pos] : '\0';
+    }
+
+    /** Consume @p token if next; return whether consumed. */
+    bool
+    tryConsume(const std::string &token)
+    {
+        skipSpace();
+        if (text.compare(pos, token.size(), token) == 0) {
+            // Word tokens must not continue as identifier chars.
+            if (isWordChar(token.back())) {
+                std::size_t after = pos + token.size();
+                if (after < text.size() && isWordChar(text[after]))
+                    return false;
+            }
+            pos += token.size();
+            return true;
+        }
+        return false;
+    }
+
+    void
+    expect(const std::string &token)
+    {
+        if (!tryConsume(token))
+            fail("expected '" + token + "'");
+    }
+
+    /** Read a bare word (letters, digits, '.', '_', '-'). */
+    std::string
+    word()
+    {
+        skipSpace();
+        std::size_t start = pos;
+        while (pos < text.size() && isWordChar(text[pos]))
+            ++pos;
+        if (pos == start)
+            fail("expected identifier");
+        return text.substr(start, pos - start);
+    }
+
+    /** Read "%name" and return the name. */
+    std::string
+    localName()
+    {
+        expect("%");
+        return word();
+    }
+
+    std::int64_t
+    integer()
+    {
+        skipSpace();
+        std::size_t start = pos;
+        if (pos < text.size() && (text[pos] == '-' || text[pos] == '+'))
+            ++pos;
+        while (pos < text.size() &&
+               std::isdigit(static_cast<unsigned char>(text[pos]))) {
+            ++pos;
+        }
+        if (pos == start)
+            fail("expected integer");
+        return std::stoll(text.substr(start, pos - start));
+    }
+
+    [[noreturn]] void
+    fail(const std::string &message) const
+    {
+        throw ParseError(lineNo, message + " near '" +
+                                     text.substr(pos, 24) + "'");
+    }
+
+    unsigned line() const { return lineNo; }
+
+  private:
+    static bool
+    isWordChar(char c)
+    {
+        return std::isalnum(static_cast<unsigned char>(c)) ||
+               c == '.' || c == '_' || c == '-';
+    }
+
+    const std::string &text;
+    std::size_t pos = 0;
+    unsigned lineNo;
+};
+
+/** Parse a type expression using @p ctx for interning. */
+const Type *
+parseTypeExpr(const Context &ctx, LineCursor &cur)
+{
+    const Type *base = nullptr;
+    if (cur.tryConsume("void")) {
+        base = ctx.voidType();
+    } else if (cur.tryConsume("float")) {
+        base = ctx.floatType();
+    } else if (cur.tryConsume("double")) {
+        base = ctx.doubleType();
+    } else if (cur.tryConsume("label")) {
+        base = ctx.labelType();
+    } else if (cur.tryConsume("[")) {
+        std::int64_t count = cur.integer();
+        cur.expect("x");
+        const Type *elem = parseTypeExpr(ctx, cur);
+        cur.expect("]");
+        base = ctx.arrayOf(elem, static_cast<std::uint64_t>(count));
+    } else if (cur.peek() == 'i') {
+        std::string w = cur.word();
+        if (w.size() < 2 || w[0] != 'i')
+            cur.fail("unknown type '" + w + "'");
+        base = ctx.intType(
+            static_cast<unsigned>(std::stoul(w.substr(1))));
+    } else {
+        cur.fail("expected type");
+    }
+    while (cur.tryConsume("*"))
+        base = ctx.pointerTo(base);
+    return base;
+}
+
+/** Per-function parsing state. */
+class FunctionParser
+{
+  public:
+    FunctionParser(Module &mod, Function &fn)
+        : mod(mod), ctx(mod.context()), fn(fn)
+    {}
+
+    /** Register a named definition (argument or instruction). */
+    void
+    define(const std::string &name, Value *value, LineCursor &cur)
+    {
+        auto [it, inserted] = values.emplace(name, value);
+        if (!inserted)
+            cur.fail("redefinition of %" + name);
+    }
+
+    const Type *
+    parseType(LineCursor &cur)
+    {
+        return parseTypeExpr(ctx, cur);
+    }
+
+    /**
+     * Resolve an operand of known type. Literals become constants;
+     * unknown names become placeholders patched later.
+     */
+    Value *
+    parseOperand(const Type *type, LineCursor &cur)
+    {
+        char c = cur.peek();
+        if (c == '%') {
+            std::string name = cur.localName();
+            auto it = values.find(name);
+            if (it != values.end())
+                return it->second;
+            placeholders.push_back(
+                std::make_unique<Placeholder>(type, name));
+            return placeholders.back().get();
+        }
+        if (type->isFloatingPoint()) {
+            // Either a 64-bit hex encoding (printer output) or a
+            // decimal literal (hand-written input).
+            std::string w = cur.word();
+            if (w.size() > 2 && w[0] == '0' &&
+                (w[1] == 'x' || w[1] == 'X')) {
+                std::uint64_t bits =
+                    std::stoull(w.substr(2), nullptr, 16);
+                double d;
+                std::memcpy(&d, &bits, sizeof(d));
+                return mod.getConstantFP(type, d);
+            }
+            return mod.getConstantFP(type, std::stod(w));
+        }
+        std::int64_t v = cur.integer();
+        return mod.getConstantInt(type,
+                                  static_cast<std::uint64_t>(v));
+    }
+
+    BasicBlock *
+    blockByName(const std::string &name, LineCursor &cur)
+    {
+        BasicBlock *block = fn.findBlock(name);
+        if (block == nullptr)
+            cur.fail("unknown block %" + name);
+        return block;
+    }
+
+    /** Parse one instruction line and append it to @p block. */
+    void
+    parseInstruction(BasicBlock *block, LineCursor &cur)
+    {
+        std::string result;
+        bool has_result = false;
+        if (cur.peek() == '%') {
+            result = cur.localName();
+            cur.expect("=");
+            has_result = true;
+        }
+
+        std::string op = cur.word();
+        Instruction *inst = nullptr;
+
+        auto binop = opcodeForBinary(op);
+        if (binop) {
+            const Type *type = parseType(cur);
+            Value *lhs = parseOperand(type, cur);
+            cur.expect(",");
+            Value *rhs = parseOperand(type, cur);
+            inst = block->append(std::make_unique<BinaryOp>(
+                *binop, lhs, rhs, result));
+        } else if (op == "icmp" || op == "fcmp") {
+            Predicate pred = parsePredicate(cur.word(), cur);
+            const Type *type = parseType(cur);
+            Value *lhs = parseOperand(type, cur);
+            cur.expect(",");
+            Value *rhs = parseOperand(type, cur);
+            inst = block->append(std::make_unique<CmpInst>(
+                op == "icmp" ? Opcode::ICmp : Opcode::FCmp, pred,
+                ctx.i1(), lhs, rhs, result));
+        } else if (auto castop = opcodeForCast(op)) {
+            const Type *src_type = parseType(cur);
+            Value *src = parseOperand(src_type, cur);
+            cur.expect("to");
+            const Type *dest = parseType(cur);
+            inst = block->append(std::make_unique<CastInst>(
+                *castop, src, dest, result));
+        } else if (op == "load") {
+            const Type *type = parseType(cur);
+            cur.expect(",");
+            const Type *ptr_type = parseType(cur);
+            if (ptr_type != ctx.pointerTo(type))
+                cur.fail("load pointer/result type mismatch");
+            Value *ptr = parseOperand(ptr_type, cur);
+            inst = block->append(
+                std::make_unique<LoadInst>(ptr, result));
+        } else if (op == "store") {
+            const Type *vtype = parseType(cur);
+            Value *v = parseOperand(vtype, cur);
+            cur.expect(",");
+            const Type *ptr_type = parseType(cur);
+            Value *ptr = parseOperand(ptr_type, cur);
+            inst = block->append(std::make_unique<StoreInst>(
+                ctx.voidType(), v, ptr));
+        } else if (op == "getelementptr") {
+            const Type *src_elem = parseType(cur);
+            cur.expect(",");
+            const Type *base_type = parseType(cur);
+            Value *base = parseOperand(base_type, cur);
+            std::vector<Value *> indices;
+            while (cur.tryConsume(",")) {
+                const Type *ity = parseType(cur);
+                indices.push_back(parseOperand(ity, cur));
+            }
+            const Type *walked = src_elem;
+            for (std::size_t i = 1; i < indices.size(); ++i) {
+                if (!walked->isArray())
+                    cur.fail("gep steps into non-array type");
+                walked = walked->arrayElement();
+            }
+            inst = block->append(std::make_unique<GetElementPtrInst>(
+                src_elem, ctx.pointerTo(walked), base, indices,
+                result));
+        } else if (op == "phi") {
+            const Type *type = parseType(cur);
+            auto phi = std::make_unique<PhiInst>(type, result);
+            bool first = true;
+            while (first || cur.tryConsume(",")) {
+                first = false;
+                cur.expect("[");
+                Value *v = parseOperand(type, cur);
+                cur.expect(",");
+                std::string bb = cur.localName();
+                cur.expect("]");
+                phi->addIncoming(v, blockByName(bb, cur));
+            }
+            inst = block->append(std::move(phi));
+        } else if (op == "select") {
+            const Type *ctype = parseType(cur);
+            Value *cond = parseOperand(ctype, cur);
+            cur.expect(",");
+            const Type *ttype = parseType(cur);
+            Value *tval = parseOperand(ttype, cur);
+            cur.expect(",");
+            const Type *ftype = parseType(cur);
+            Value *fval = parseOperand(ftype, cur);
+            inst = block->append(std::make_unique<SelectInst>(
+                cond, tval, fval, result));
+        } else if (op == "call") {
+            const Type *rtype = parseType(cur);
+            cur.expect("@");
+            std::string callee = cur.word();
+            cur.expect("(");
+            std::vector<Value *> args;
+            if (!cur.tryConsume(")")) {
+                do {
+                    const Type *atype = parseType(cur);
+                    args.push_back(parseOperand(atype, cur));
+                } while (cur.tryConsume(","));
+                cur.expect(")");
+            }
+            inst = block->append(std::make_unique<CallInst>(
+                rtype, callee, args, result));
+        } else if (op == "br") {
+            if (cur.tryConsume("label")) {
+                std::string bb = cur.localName();
+                inst = block->append(std::make_unique<BranchInst>(
+                    ctx.voidType(), blockByName(bb, cur)));
+            } else {
+                cur.expect("i1");
+                Value *cond = parseOperand(ctx.i1(), cur);
+                cur.expect(",");
+                cur.expect("label");
+                std::string tbb = cur.localName();
+                cur.expect(",");
+                cur.expect("label");
+                std::string fbb = cur.localName();
+                inst = block->append(std::make_unique<BranchInst>(
+                    ctx.voidType(), cond, blockByName(tbb, cur),
+                    blockByName(fbb, cur)));
+            }
+        } else if (op == "ret") {
+            if (cur.tryConsume("void")) {
+                inst = block->append(
+                    std::make_unique<ReturnInst>(ctx.voidType()));
+            } else {
+                const Type *type = parseType(cur);
+                Value *v = parseOperand(type, cur);
+                inst = block->append(std::make_unique<ReturnInst>(
+                    ctx.voidType(), v));
+            }
+        } else {
+            cur.fail("unknown instruction '" + op + "'");
+        }
+
+        if (has_result)
+            define(result, inst, cur);
+        if (!cur.atEnd())
+            cur.fail("trailing tokens after instruction");
+    }
+
+    /** Replace placeholders with the now-defined values. */
+    void
+    resolvePlaceholders(unsigned line_no)
+    {
+        for (auto &ph : placeholders) {
+            auto it = values.find(ph->name());
+            if (it == values.end()) {
+                throw ParseError(line_no, "use of undefined value %" +
+                                              ph->name());
+            }
+            for (std::size_t b = 0; b < fn.numBlocks(); ++b) {
+                BasicBlock *block = fn.block(b);
+                for (std::size_t i = 0; i < block->size(); ++i) {
+                    block->instruction(i)->replaceUsesOf(ph.get(),
+                                                         it->second);
+                }
+            }
+        }
+        placeholders.clear();
+    }
+
+  private:
+    static std::optional<Opcode>
+    opcodeForBinary(const std::string &op)
+    {
+        static const std::map<std::string, Opcode> table = {
+            {"add", Opcode::Add}, {"sub", Opcode::Sub},
+            {"mul", Opcode::Mul}, {"udiv", Opcode::UDiv},
+            {"sdiv", Opcode::SDiv}, {"urem", Opcode::URem},
+            {"srem", Opcode::SRem}, {"and", Opcode::And},
+            {"or", Opcode::Or}, {"xor", Opcode::Xor},
+            {"shl", Opcode::Shl}, {"lshr", Opcode::LShr},
+            {"ashr", Opcode::AShr}, {"fadd", Opcode::FAdd},
+            {"fsub", Opcode::FSub}, {"fmul", Opcode::FMul},
+            {"fdiv", Opcode::FDiv},
+        };
+        auto it = table.find(op);
+        if (it == table.end())
+            return std::nullopt;
+        return it->second;
+    }
+
+    static std::optional<Opcode>
+    opcodeForCast(const std::string &op)
+    {
+        static const std::map<std::string, Opcode> table = {
+            {"trunc", Opcode::Trunc}, {"zext", Opcode::ZExt},
+            {"sext", Opcode::SExt}, {"fptosi", Opcode::FPToSI},
+            {"sitofp", Opcode::SIToFP}, {"fptrunc", Opcode::FPTrunc},
+            {"fpext", Opcode::FPExt}, {"bitcast", Opcode::BitCast},
+            {"ptrtoint", Opcode::PtrToInt},
+            {"inttoptr", Opcode::IntToPtr},
+        };
+        auto it = table.find(op);
+        if (it == table.end())
+            return std::nullopt;
+        return it->second;
+    }
+
+    static Predicate
+    parsePredicate(const std::string &word, LineCursor &cur)
+    {
+        static const std::map<std::string, Predicate> table = {
+            {"eq", Predicate::EQ}, {"ne", Predicate::NE},
+            {"ugt", Predicate::UGT}, {"uge", Predicate::UGE},
+            {"ult", Predicate::ULT}, {"ule", Predicate::ULE},
+            {"sgt", Predicate::SGT}, {"sge", Predicate::SGE},
+            {"slt", Predicate::SLT}, {"sle", Predicate::SLE},
+            {"oeq", Predicate::OEQ}, {"one", Predicate::ONE},
+            {"ogt", Predicate::OGT}, {"oge", Predicate::OGE},
+            {"olt", Predicate::OLT}, {"ole", Predicate::OLE},
+        };
+        auto it = table.find(word);
+        if (it == table.end())
+            cur.fail("unknown predicate '" + word + "'");
+        return it->second;
+    }
+
+    Module &mod;
+    Context &ctx;
+    Function &fn;
+    std::map<std::string, Value *> values;
+    std::vector<std::unique_ptr<Placeholder>> placeholders;
+};
+
+std::string
+stripComment(const std::string &line)
+{
+    auto pos = line.find(';');
+    return pos == std::string::npos ? line : line.substr(0, pos);
+}
+
+bool
+isBlank(const std::string &line)
+{
+    for (char c : line) {
+        if (!std::isspace(static_cast<unsigned char>(c)))
+            return false;
+    }
+    return true;
+}
+
+} // namespace
+
+std::unique_ptr<Module>
+Parser::parseModule(const std::string &text,
+                    const std::string &module_name)
+{
+    auto module = std::make_unique<Module>(module_name);
+
+    std::vector<std::string> lines;
+    {
+        std::istringstream stream(text);
+        std::string line;
+        while (std::getline(stream, line))
+            lines.push_back(stripComment(line));
+    }
+
+    const Context &ctx = module->context();
+
+    std::size_t i = 0;
+    while (i < lines.size()) {
+        if (isBlank(lines[i])) {
+            ++i;
+            continue;
+        }
+
+        // Function header: define <type> @<name>(<args>) {
+        unsigned header_line = static_cast<unsigned>(i + 1);
+        LineCursor cur(lines[i], header_line);
+        cur.expect("define");
+        const Type *ret_type = parseTypeExpr(ctx, cur);
+        cur.expect("@");
+        std::string fname = cur.word();
+        cur.expect("(");
+
+        Function *fn = module->addFunction(fname, ret_type);
+        FunctionParser parser(*module, *fn);
+
+        if (!cur.tryConsume(")")) {
+            do {
+                const Type *atype = parseTypeExpr(ctx, cur);
+                std::string aname = cur.localName();
+                Argument *arg = fn->addArgument(atype, aname);
+                parser.define(aname, arg, cur);
+            } while (cur.tryConsume(","));
+            cur.expect(")");
+        }
+        cur.expect("{");
+        ++i;
+
+        // First pass: pre-create blocks so branch targets resolve.
+        std::size_t body_start = i;
+        for (std::size_t j = i; j < lines.size(); ++j) {
+            std::string line = lines[j];
+            if (isBlank(line))
+                continue;
+            LineCursor scan(line, static_cast<unsigned>(j + 1));
+            if (scan.tryConsume("}"))
+                break;
+            // A label line is "<word>:".
+            auto colon = line.find(':');
+            if (colon != std::string::npos &&
+                line.find('=') == std::string::npos &&
+                isBlank(line.substr(colon + 1))) {
+                LineCursor lab(line, static_cast<unsigned>(j + 1));
+                std::string label = lab.word();
+                fn->addBlock(std::make_unique<BasicBlock>(
+                    ctx.labelType(), label));
+            }
+        }
+        if (fn->numBlocks() == 0) {
+            throw ParseError(header_line,
+                             "function @" + fname + " has no blocks");
+        }
+
+        // Second pass: parse instructions into blocks.
+        BasicBlock *block = nullptr;
+        unsigned last_line = header_line;
+        bool closed = false;
+        for (i = body_start; i < lines.size(); ++i) {
+            std::string line = lines[i];
+            unsigned line_no = static_cast<unsigned>(i + 1);
+            last_line = line_no;
+            if (isBlank(line))
+                continue;
+            LineCursor body(line, line_no);
+            if (body.tryConsume("}")) {
+                closed = true;
+                ++i;
+                break;
+            }
+            auto colon = line.find(':');
+            if (colon != std::string::npos &&
+                line.find('=') == std::string::npos &&
+                isBlank(line.substr(colon + 1))) {
+                LineCursor lab(line, line_no);
+                block = fn->findBlock(lab.word());
+                continue;
+            }
+            if (block == nullptr) {
+                throw ParseError(line_no,
+                                 "instruction before first label");
+            }
+            parser.parseInstruction(block, body);
+        }
+        if (!closed)
+            throw ParseError(last_line, "missing closing '}'");
+
+        parser.resolvePlaceholders(last_line);
+    }
+
+    return module;
+}
+
+} // namespace salam::ir

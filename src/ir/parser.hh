@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Parser: reads the LLVM-assembly subset emitted by Printer.
+ *
+ * Accepts function definitions built from the instruction set in
+ * instruction.hh. Diagnostics carry line numbers. Forward references
+ * (phi incoming values, branch targets) are resolved with a
+ * placeholder-and-patch scheme after the function body is read.
+ */
+
+#ifndef SALAM_IR_PARSER_HH
+#define SALAM_IR_PARSER_HH
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include "function.hh"
+
+namespace salam::ir
+{
+
+/** Raised on malformed input; carries a line-annotated message. */
+class ParseError : public std::runtime_error
+{
+  public:
+    ParseError(unsigned line, const std::string &message)
+        : std::runtime_error("line " + std::to_string(line) + ": " +
+                             message),
+          _line(line)
+    {}
+
+    unsigned line() const { return _line; }
+
+  private:
+    unsigned _line;
+};
+
+/** Parser front-end. */
+class Parser
+{
+  public:
+    /**
+     * Parse a module from LLVM-assembly text.
+     * @throws ParseError on malformed input.
+     */
+    static std::unique_ptr<Module>
+    parseModule(const std::string &text,
+                const std::string &module_name = "parsed");
+};
+
+} // namespace salam::ir
+
+#endif // SALAM_IR_PARSER_HH

@@ -1,0 +1,212 @@
+#include "printer.hh"
+
+#include <cstring>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace salam::ir
+{
+
+namespace
+{
+
+std::string
+fpHex(double value)
+{
+    std::uint64_t bits;
+    std::memcpy(&bits, &value, sizeof(bits));
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "0x%016llX",
+                  static_cast<unsigned long long>(bits));
+    return buf;
+}
+
+} // namespace
+
+std::string
+Printer::operandRef(const Value &value)
+{
+    switch (value.valueKind()) {
+      case Value::ValueKind::ConstantInt: {
+        const auto &ci = static_cast<const ConstantInt &>(value);
+        return std::to_string(ci.sext());
+      }
+      case Value::ValueKind::ConstantFP: {
+        const auto &cf = static_cast<const ConstantFP &>(value);
+        return fpHex(cf.value());
+      }
+      case Value::ValueKind::BasicBlock:
+        return "%" + value.name();
+      default:
+        return "%" + value.name();
+    }
+}
+
+namespace
+{
+
+/** "type ref" pair used in most operand positions. */
+std::string
+typedRef(const Value &value)
+{
+    return value.type()->toString() + " " + Printer::operandRef(value);
+}
+
+} // namespace
+
+std::string
+Printer::toString(const Instruction &inst)
+{
+    std::ostringstream os;
+    Opcode op = inst.opcode();
+
+    if (!inst.type()->isVoid())
+        os << "%" << inst.name() << " = ";
+
+    switch (op) {
+      case Opcode::ICmp:
+      case Opcode::FCmp: {
+        const auto &cmp = static_cast<const CmpInst &>(inst);
+        os << opcodeName(op) << " " << predicateName(cmp.predicate())
+           << " " << cmp.lhs()->type()->toString() << " "
+           << operandRef(*cmp.lhs()) << ", " << operandRef(*cmp.rhs());
+        break;
+      }
+      case Opcode::Trunc:
+      case Opcode::ZExt:
+      case Opcode::SExt:
+      case Opcode::FPToSI:
+      case Opcode::SIToFP:
+      case Opcode::FPTrunc:
+      case Opcode::FPExt:
+      case Opcode::BitCast:
+      case Opcode::PtrToInt:
+      case Opcode::IntToPtr: {
+        const auto &cast = static_cast<const CastInst &>(inst);
+        os << opcodeName(op) << " " << typedRef(*cast.source())
+           << " to " << cast.type()->toString();
+        break;
+      }
+      case Opcode::Load: {
+        const auto &load = static_cast<const LoadInst &>(inst);
+        os << "load " << load.type()->toString() << ", "
+           << typedRef(*load.pointer());
+        break;
+      }
+      case Opcode::Store: {
+        const auto &store = static_cast<const StoreInst &>(inst);
+        os << "store " << typedRef(*store.value()) << ", "
+           << typedRef(*store.pointer());
+        break;
+      }
+      case Opcode::GetElementPtr: {
+        const auto &gep =
+            static_cast<const GetElementPtrInst &>(inst);
+        os << "getelementptr "
+           << gep.sourceElementType()->toString() << ", "
+           << typedRef(*gep.base());
+        for (std::size_t i = 0; i < gep.numIndices(); ++i)
+            os << ", " << typedRef(*gep.index(i));
+        break;
+      }
+      case Opcode::Phi: {
+        const auto &phi = static_cast<const PhiInst &>(inst);
+        os << "phi " << phi.type()->toString() << " ";
+        for (std::size_t i = 0; i < phi.numIncoming(); ++i) {
+            if (i > 0)
+                os << ", ";
+            os << "[ " << operandRef(*phi.incomingValue(i)) << ", %"
+               << phi.incomingBlock(i)->name() << " ]";
+        }
+        break;
+      }
+      case Opcode::Select: {
+        const auto &sel = static_cast<const SelectInst &>(inst);
+        os << "select " << typedRef(*sel.condition()) << ", "
+           << typedRef(*sel.ifTrue()) << ", "
+           << typedRef(*sel.ifFalse());
+        break;
+      }
+      case Opcode::Call: {
+        const auto &call = static_cast<const CallInst &>(inst);
+        os << "call " << call.type()->toString() << " @"
+           << call.callee() << "(";
+        for (std::size_t i = 0; i < call.numOperands(); ++i) {
+            if (i > 0)
+                os << ", ";
+            os << typedRef(*call.operand(i));
+        }
+        os << ")";
+        break;
+      }
+      case Opcode::Br: {
+        const auto &br = static_cast<const BranchInst &>(inst);
+        if (br.isConditional()) {
+            os << "br i1 " << operandRef(*br.condition())
+               << ", label %" << br.ifTrue()->name() << ", label %"
+               << br.ifFalse()->name();
+        } else {
+            os << "br label %" << br.ifTrue()->name();
+        }
+        break;
+      }
+      case Opcode::Ret: {
+        const auto &ret = static_cast<const ReturnInst &>(inst);
+        if (ret.hasValue())
+            os << "ret " << typedRef(*ret.value());
+        else
+            os << "ret void";
+        break;
+      }
+      default: {
+        // Binary arithmetic/bitwise ops share one format.
+        const auto &bin = static_cast<const BinaryOp &>(inst);
+        os << opcodeName(op) << " " << bin.type()->toString() << " "
+           << operandRef(*bin.lhs()) << ", " << operandRef(*bin.rhs());
+        break;
+      }
+    }
+    return os.str();
+}
+
+void
+Printer::print(std::ostream &os, const Function &fn)
+{
+    os << "define " << fn.returnType()->toString() << " @"
+       << fn.name() << "(";
+    for (std::size_t i = 0; i < fn.numArguments(); ++i) {
+        if (i > 0)
+            os << ", ";
+        const Argument *arg = fn.argument(i);
+        os << arg->type()->toString() << " %" << arg->name();
+    }
+    os << ") {\n";
+    for (std::size_t b = 0; b < fn.numBlocks(); ++b) {
+        const BasicBlock *block = fn.block(b);
+        os << block->name() << ":\n";
+        for (const auto &inst : *block)
+            os << "  " << toString(*inst) << "\n";
+    }
+    os << "}\n";
+}
+
+void
+Printer::print(std::ostream &os, const Module &module)
+{
+    os << "; ModuleID = '" << module.name() << "'\n";
+    for (std::size_t i = 0; i < module.numFunctions(); ++i) {
+        os << "\n";
+        print(os, *module.function(i));
+    }
+}
+
+std::string
+Printer::toString(const Module &module)
+{
+    std::ostringstream os;
+    print(os, module);
+    return os.str();
+}
+
+} // namespace salam::ir

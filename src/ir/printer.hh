@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Printer: renders IR in LLVM assembly syntax.
+ *
+ * The emitted text is the exact subset the Parser accepts, so
+ * print -> parse round-trips are identity (up to value numbering).
+ * FP constants are printed as 64-bit hex encodings, as LLVM does, so
+ * round-trips are bit-exact.
+ */
+
+#ifndef SALAM_IR_PRINTER_HH
+#define SALAM_IR_PRINTER_HH
+
+#include <ostream>
+#include <string>
+
+#include "function.hh"
+
+namespace salam::ir
+{
+
+/** Pretty-printer for modules, functions, and instructions. */
+class Printer
+{
+  public:
+    /** Print a whole module. */
+    static void print(std::ostream &os, const Module &module);
+
+    /** Print one function definition. */
+    static void print(std::ostream &os, const Function &fn);
+
+    /** Render one instruction (no trailing newline). */
+    static std::string toString(const Instruction &inst);
+
+    /** Render an operand reference, e.g. "%i" or "42" or "0x3FF...". */
+    static std::string operandRef(const Value &value);
+
+    /** Render a module to a string (convenience for tests). */
+    static std::string toString(const Module &module);
+};
+
+} // namespace salam::ir
+
+#endif // SALAM_IR_PRINTER_HH

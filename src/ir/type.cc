@@ -1,0 +1,73 @@
+#include "type.hh"
+
+#include "sim/logging.hh"
+
+namespace salam::ir
+{
+
+std::uint64_t
+Type::storeSize() const
+{
+    switch (_kind) {
+      case Kind::Void:
+      case Kind::Label:
+        return 0;
+      case Kind::Integer:
+        return (_bits + 7) / 8;
+      case Kind::Float:
+        return 4;
+      case Kind::Double:
+        return 8;
+      case Kind::Pointer:
+        return 8;
+      case Kind::Array:
+        return _elem->storeSize() * _count;
+    }
+    panic("unknown type kind");
+}
+
+unsigned
+Type::bitWidth() const
+{
+    switch (_kind) {
+      case Kind::Void:
+      case Kind::Label:
+        return 0;
+      case Kind::Integer:
+        return _bits;
+      case Kind::Float:
+        return 32;
+      case Kind::Double:
+        return 64;
+      case Kind::Pointer:
+        return 64;
+      case Kind::Array:
+        return static_cast<unsigned>(_elem->bitWidth() * _count);
+    }
+    panic("unknown type kind");
+}
+
+std::string
+Type::toString() const
+{
+    switch (_kind) {
+      case Kind::Void:
+        return "void";
+      case Kind::Label:
+        return "label";
+      case Kind::Integer:
+        return "i" + std::to_string(_bits);
+      case Kind::Float:
+        return "float";
+      case Kind::Double:
+        return "double";
+      case Kind::Pointer:
+        return _elem->toString() + "*";
+      case Kind::Array:
+        return "[" + std::to_string(_count) + " x " +
+               _elem->toString() + "]";
+    }
+    panic("unknown type kind");
+}
+
+} // namespace salam::ir

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * The IR type system, closely modeled on LLVM's.
+ *
+ * Types are immutable and interned: each distinct type exists exactly
+ * once per Context, so types compare by pointer. Supported kinds are
+ * void, iN integers, float, double, labels, pointers, and arrays —
+ * the subset MachSuite-style accelerator kernels need.
+ */
+
+#ifndef SALAM_IR_TYPE_HH
+#define SALAM_IR_TYPE_HH
+
+#include <cstdint>
+#include <string>
+
+namespace salam::ir
+{
+
+class Context;
+
+/** An interned IR type. Compare with ==; obtain from a Context. */
+class Type
+{
+  public:
+    enum class Kind
+    {
+        Void,
+        Integer,
+        Float,
+        Double,
+        Label,
+        Pointer,
+        Array,
+    };
+
+    Kind kind() const { return _kind; }
+
+    bool isVoid() const { return _kind == Kind::Void; }
+
+    bool isInteger() const { return _kind == Kind::Integer; }
+
+    bool isFloat() const { return _kind == Kind::Float; }
+
+    bool isDouble() const { return _kind == Kind::Double; }
+
+    bool isFloatingPoint() const { return isFloat() || isDouble(); }
+
+    bool isLabel() const { return _kind == Kind::Label; }
+
+    bool isPointer() const { return _kind == Kind::Pointer; }
+
+    bool isArray() const { return _kind == Kind::Array; }
+
+    /** Integer bit width; only valid for integer types. */
+    unsigned intBits() const { return _bits; }
+
+    /** Pointee type; only valid for pointers. */
+    const Type *pointee() const { return _elem; }
+
+    /** Element type; only valid for arrays. */
+    const Type *arrayElement() const { return _elem; }
+
+    /** Element count; only valid for arrays. */
+    std::uint64_t arrayCount() const { return _count; }
+
+    /**
+     * Size in bytes when stored in simulated memory (the data layout).
+     * Integers round up to whole bytes; pointers are 8 bytes.
+     */
+    std::uint64_t storeSize() const;
+
+    /** Bit width of the value itself (register width). */
+    unsigned bitWidth() const;
+
+    /** Render in LLVM assembly syntax, e.g. "i32", "[8 x double]". */
+    std::string toString() const;
+
+  private:
+    friend class Context;
+
+    Type(Kind kind, unsigned bits, const Type *elem, std::uint64_t count)
+        : _kind(kind), _bits(bits), _elem(elem), _count(count)
+    {}
+
+    Kind _kind;
+    unsigned _bits;
+    const Type *_elem;
+    std::uint64_t _count;
+};
+
+} // namespace salam::ir
+
+#endif // SALAM_IR_TYPE_HH

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Value: the base of the IR object hierarchy.
+ *
+ * Everything an instruction can reference — arguments, constants,
+ * other instructions, basic blocks (as branch targets) — is a Value
+ * with a Type. Values are owned by their containers (Function owns
+ * arguments and blocks; BasicBlock owns instructions; Module owns
+ * constants) and referenced by raw pointer elsewhere.
+ */
+
+#ifndef SALAM_IR_VALUE_HH
+#define SALAM_IR_VALUE_HH
+
+#include <cstdint>
+#include <string>
+
+#include "type.hh"
+
+namespace salam::ir
+{
+
+/** Base class for all IR entities that can be used as operands. */
+class Value
+{
+  public:
+    enum class ValueKind
+    {
+        Argument,
+        ConstantInt,
+        ConstantFP,
+        Instruction,
+        BasicBlock,
+        Function,
+    };
+
+    Value(ValueKind kind, const Type *type, std::string name)
+        : _kind(kind), _type(type), _name(std::move(name))
+    {}
+
+    virtual ~Value() = default;
+
+    Value(const Value &) = delete;
+    Value &operator=(const Value &) = delete;
+
+    ValueKind valueKind() const { return _kind; }
+
+    const Type *type() const { return _type; }
+
+    const std::string &name() const { return _name; }
+
+    void setName(std::string name) { _name = std::move(name); }
+
+    bool isConstant() const
+    {
+        return _kind == ValueKind::ConstantInt ||
+               _kind == ValueKind::ConstantFP;
+    }
+
+  private:
+    ValueKind _kind;
+    const Type *_type;
+    std::string _name;
+};
+
+/** A formal parameter of a Function. */
+class Argument : public Value
+{
+  public:
+    Argument(const Type *type, std::string name, unsigned index)
+        : Value(ValueKind::Argument, type, std::move(name)),
+          _index(index)
+    {}
+
+    unsigned index() const { return _index; }
+
+  private:
+    unsigned _index;
+};
+
+/** An integer constant, stored as raw (zero-extended) bits. */
+class ConstantInt : public Value
+{
+  public:
+    ConstantInt(const Type *type, std::uint64_t bits)
+        : Value(ValueKind::ConstantInt, type, ""), _bits(bits)
+    {}
+
+    /** Raw bits, masked to the type width. */
+    std::uint64_t zext() const { return _bits; }
+
+    /** Sign-extended interpretation. */
+    std::int64_t
+    sext() const
+    {
+        unsigned width = type()->intBits();
+        if (width == 64)
+            return static_cast<std::int64_t>(_bits);
+        std::uint64_t sign = 1ULL << (width - 1);
+        std::uint64_t mask = (1ULL << width) - 1;
+        std::uint64_t v = _bits & mask;
+        return static_cast<std::int64_t>((v ^ sign) - sign);
+    }
+
+  private:
+    std::uint64_t _bits;
+};
+
+/** A floating-point constant (float or double). */
+class ConstantFP : public Value
+{
+  public:
+    ConstantFP(const Type *type, double value)
+        : Value(ValueKind::ConstantFP, type, ""), _value(value)
+    {}
+
+    double value() const { return _value; }
+
+  private:
+    double _value;
+};
+
+} // namespace salam::ir
+
+#endif // SALAM_IR_VALUE_HH

@@ -1,0 +1,280 @@
+#include "verifier.hh"
+
+#include <algorithm>
+#include <set>
+
+#include "sim/logging.hh"
+
+namespace salam::ir
+{
+
+namespace
+{
+
+std::map<const BasicBlock *, std::size_t>
+blockIndices(const Function &fn)
+{
+    std::map<const BasicBlock *, std::size_t> index;
+    for (std::size_t i = 0; i < fn.numBlocks(); ++i)
+        index.emplace(fn.block(i), i);
+    return index;
+}
+
+} // namespace
+
+std::vector<std::vector<bool>>
+Verifier::dominators(const Function &fn)
+{
+    std::size_t n = fn.numBlocks();
+    auto index = blockIndices(fn);
+
+    // Iterative dataflow: dom(entry) = {entry};
+    // dom(b) = {b} ∪ ⋂ dom(preds).
+    std::vector<std::vector<bool>> dom(n, std::vector<bool>(n, true));
+    if (n == 0)
+        return dom;
+    dom[0].assign(n, false);
+    dom[0][0] = true;
+
+    std::vector<std::vector<std::size_t>> preds(n);
+    for (std::size_t b = 0; b < n; ++b) {
+        for (auto *pred : fn.predecessors(fn.block(b)))
+            preds[b].push_back(index.at(pred));
+    }
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (std::size_t b = 1; b < n; ++b) {
+            std::vector<bool> next(n, !preds[b].empty());
+            for (std::size_t p : preds[b]) {
+                for (std::size_t k = 0; k < n; ++k)
+                    next[k] = next[k] && dom[p][k];
+            }
+            // Unreachable blocks keep the "all" set except that they
+            // must not dominate others; leave them as computed.
+            next[b] = true;
+            if (next != dom[b]) {
+                dom[b] = std::move(next);
+                changed = true;
+            }
+        }
+    }
+    return dom;
+}
+
+std::vector<std::string>
+Verifier::verify(const Function &fn)
+{
+    std::vector<std::string> problems;
+    auto complain = [&](const std::string &msg) {
+        problems.push_back("@" + fn.name() + ": " + msg);
+    };
+
+    if (fn.numBlocks() == 0) {
+        complain("function has no basic blocks");
+        return problems;
+    }
+
+    auto index = blockIndices(fn);
+
+    // Collect all values defined in the function.
+    std::set<const Value *> defined;
+    for (std::size_t i = 0; i < fn.numArguments(); ++i)
+        defined.insert(fn.argument(i));
+    for (std::size_t b = 0; b < fn.numBlocks(); ++b) {
+        const BasicBlock *block = fn.block(b);
+        for (const auto &inst : *block)
+            defined.insert(inst.get());
+    }
+
+    // Per-block structural checks.
+    for (std::size_t b = 0; b < fn.numBlocks(); ++b) {
+        const BasicBlock *block = fn.block(b);
+        const std::string where = "block %" + block->name();
+
+        if (block->empty()) {
+            complain(where + " is empty");
+            continue;
+        }
+        if (block->terminator() == nullptr)
+            complain(where + " lacks a terminator");
+
+        bool seen_non_phi = false;
+        for (std::size_t i = 0; i < block->size(); ++i) {
+            const Instruction *inst = block->instruction(i);
+            if (inst->isTerminator() && i + 1 != block->size())
+                complain(where + " has a terminator mid-block");
+            if (inst->opcode() == Opcode::Phi) {
+                if (seen_non_phi)
+                    complain(where + " has a phi after non-phi");
+            } else {
+                seen_non_phi = true;
+            }
+
+            // Operand sanity.
+            for (std::size_t o = 0; o < inst->numOperands(); ++o) {
+                const Value *op = inst->operand(o);
+                if (op == nullptr) {
+                    complain(where + ": null operand in " +
+                             std::string(opcodeName(inst->opcode())));
+                    continue;
+                }
+                if (op->valueKind() == Value::ValueKind::Instruction ||
+                    op->valueKind() == Value::ValueKind::Argument) {
+                    if (defined.find(op) == defined.end()) {
+                        complain(where + ": operand %" + op->name() +
+                                 " not defined in this function");
+                    }
+                }
+            }
+
+            // Type rules for common cases.
+            switch (inst->opcode()) {
+              case Opcode::Load: {
+                const auto *load =
+                    static_cast<const LoadInst *>(inst);
+                if (!load->pointer()->type()->isPointer())
+                    complain(where + ": load from non-pointer");
+                break;
+              }
+              case Opcode::Store: {
+                const auto *store =
+                    static_cast<const StoreInst *>(inst);
+                if (!store->pointer()->type()->isPointer()) {
+                    complain(where + ": store to non-pointer");
+                } else if (store->pointer()->type()->pointee() !=
+                           store->value()->type()) {
+                    complain(where + ": store value/pointee mismatch");
+                }
+                break;
+              }
+              case Opcode::GetElementPtr: {
+                const auto *gep =
+                    static_cast<const GetElementPtrInst *>(inst);
+                if (!gep->base()->type()->isPointer())
+                    complain(where + ": gep over non-pointer");
+                if (gep->numIndices() == 0)
+                    complain(where + ": gep without indices");
+                break;
+              }
+              case Opcode::Br: {
+                const auto *br =
+                    static_cast<const BranchInst *>(inst);
+                if (br->isConditional() &&
+                    br->condition()->type()->bitWidth() != 1) {
+                    complain(where + ": branch condition is not i1");
+                }
+                if (index.find(br->ifTrue()) == index.end() ||
+                    (br->isConditional() &&
+                     index.find(br->ifFalse()) == index.end())) {
+                    complain(where +
+                             ": branch to block of another function");
+                }
+                break;
+              }
+              default:
+                if (const auto *bin =
+                        dynamic_cast<const BinaryOp *>(inst)) {
+                    if (bin->lhs()->type() != bin->rhs()->type())
+                        complain(where + ": binary operand mismatch");
+                }
+                break;
+            }
+        }
+
+        // Phi / predecessor agreement.
+        auto preds = fn.predecessors(block);
+        for (const PhiInst *phi : block->phis()) {
+            if (phi->numIncoming() != preds.size()) {
+                complain(where + ": phi %" + phi->name() + " has " +
+                         std::to_string(phi->numIncoming()) +
+                         " incoming, block has " +
+                         std::to_string(preds.size()) +
+                         " predecessors");
+                continue;
+            }
+            for (std::size_t k = 0; k < phi->numIncoming(); ++k) {
+                const BasicBlock *in = phi->incomingBlock(k);
+                if (std::find(preds.begin(), preds.end(), in) ==
+                    preds.end()) {
+                    complain(where + ": phi %" + phi->name() +
+                             " names non-predecessor %" + in->name());
+                }
+                if (phi->incomingValue(k)->type() != phi->type()) {
+                    complain(where + ": phi %" + phi->name() +
+                             " incoming type mismatch");
+                }
+            }
+        }
+    }
+
+    // SSA dominance. Defs in block D dominate uses in block U when
+    // dom[U] contains D; same-block uses must come after the def.
+    auto dom = dominators(fn);
+    std::map<const Value *, std::pair<std::size_t, std::size_t>>
+        defSite;
+    for (std::size_t b = 0; b < fn.numBlocks(); ++b) {
+        const BasicBlock *block = fn.block(b);
+        for (std::size_t i = 0; i < block->size(); ++i)
+            defSite[block->instruction(i)] = {b, i};
+    }
+    for (std::size_t b = 0; b < fn.numBlocks(); ++b) {
+        const BasicBlock *block = fn.block(b);
+        for (std::size_t i = 0; i < block->size(); ++i) {
+            const Instruction *inst = block->instruction(i);
+            const auto *phi = dynamic_cast<const PhiInst *>(inst);
+            for (std::size_t o = 0; o < inst->numOperands(); ++o) {
+                const Value *op = inst->operand(o);
+                auto it = defSite.find(op);
+                if (it == defSite.end())
+                    continue; // argument or constant
+                auto [db, di] = it->second;
+                if (phi != nullptr) {
+                    // Use site is the end of the incoming block.
+                    const BasicBlock *in = phi->incomingBlock(o);
+                    std::size_t ub = index.at(in);
+                    if (!dom[ub][db]) {
+                        complain("phi %" + phi->name() +
+                                 " incoming %" + op->name() +
+                                 " does not dominate edge");
+                    }
+                } else if (db == b) {
+                    if (di >= i) {
+                        complain("use of %" + op->name() +
+                                 " before definition in %" +
+                                 block->name());
+                    }
+                } else if (!dom[b][db]) {
+                    complain("use of %" + op->name() + " in %" +
+                             block->name() +
+                             " not dominated by definition");
+                }
+            }
+        }
+    }
+
+    return problems;
+}
+
+std::vector<std::string>
+Verifier::verify(const Module &module)
+{
+    std::vector<std::string> problems;
+    for (std::size_t i = 0; i < module.numFunctions(); ++i) {
+        auto fn_problems = verify(*module.function(i));
+        problems.insert(problems.end(), fn_problems.begin(),
+                        fn_problems.end());
+    }
+    return problems;
+}
+
+void
+Verifier::verifyOrDie(const Function &fn)
+{
+    auto problems = verify(fn);
+    if (!problems.empty())
+        fatal("IR verification failed: %s", problems.front().c_str());
+}
+
+} // namespace salam::ir

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Verifier: structural and SSA well-formedness checks.
+ *
+ * Run after construction or parsing and before simulation; the static
+ * elaborator and runtime engine assume verified IR. Checks include
+ * terminator presence, phi/predecessor agreement, operand typing, and
+ * SSA dominance (every use dominated by its definition).
+ */
+
+#ifndef SALAM_IR_VERIFIER_HH
+#define SALAM_IR_VERIFIER_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "function.hh"
+
+namespace salam::ir
+{
+
+/** IR validity checker. */
+class Verifier
+{
+  public:
+    /**
+     * Verify a function.
+     * @return list of human-readable problems; empty when valid.
+     */
+    static std::vector<std::string> verify(const Function &fn);
+
+    /** Verify every function in a module. */
+    static std::vector<std::string> verify(const Module &module);
+
+    /** Verify and fatal() with the first problem if invalid. */
+    static void verifyOrDie(const Function &fn);
+
+    /**
+     * Dominator sets for each block of @p fn: result[b] contains all
+     * blocks that dominate block index b (including itself). Exposed
+     * for the optimizer's loop analysis.
+     */
+    static std::vector<std::vector<bool>>
+    dominators(const Function &fn);
+};
+
+} // namespace salam::ir
+
+#endif // SALAM_IR_VERIFIER_HH

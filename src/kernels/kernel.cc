@@ -1,0 +1,54 @@
+#include "kernel.hh"
+
+#include "machsuite.hh"
+
+namespace salam::kernels
+{
+
+std::vector<std::unique_ptr<Kernel>>
+machsuiteKernels()
+{
+    std::vector<std::unique_ptr<Kernel>> kernels;
+    kernels.push_back(makeBfs());
+    kernels.push_back(makeFft());
+    kernels.push_back(makeGemm());
+    kernels.push_back(makeMdGrid());
+    kernels.push_back(makeMdKnn());
+    kernels.push_back(makeNw());
+    kernels.push_back(makeSpmv());
+    kernels.push_back(makeStencil2d());
+    kernels.push_back(makeStencil3d());
+    return kernels;
+}
+
+std::unique_ptr<Kernel>
+makeKernel(const std::string &name)
+{
+    if (name == "bfs-queue")
+        return makeBfs();
+    if (name == "fft-strided")
+        return makeFft();
+    if (name == "gemm")
+        return makeGemm();
+    if (name == "md-grid")
+        return makeMdGrid();
+    if (name == "md-knn")
+        return makeMdKnn();
+    if (name == "nw")
+        return makeNw();
+    if (name == "spmv-crs")
+        return makeSpmv();
+    if (name == "stencil2d")
+        return makeStencil2d();
+    if (name == "stencil3d")
+        return makeStencil3d();
+    if (name == "conv2d")
+        return makeConv2d();
+    if (name == "relu")
+        return makeRelu();
+    if (name == "maxpool")
+        return makeMaxPool();
+    return nullptr;
+}
+
+} // namespace salam::kernels

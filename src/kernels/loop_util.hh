@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Loop-construction helpers for kernel builders.
+ *
+ * Kernels are written in the canonical rotated-loop shape the
+ * optimizer and unroller understand: counted do-while loops with the
+ * induction variable advanced at the bottom. InnerLoop keeps the
+ * whole body in the header block (unrollable); OuterLoop gives the
+ * body its own region and advances the induction variable in a
+ * dedicated latch block.
+ */
+
+#ifndef SALAM_KERNELS_LOOP_UTIL_HH
+#define SALAM_KERNELS_LOOP_UTIL_HH
+
+#include <utility>
+#include <vector>
+
+#include "ir/ir_builder.hh"
+#include "sim/logging.hh"
+
+namespace salam::kernels
+{
+
+/** Accumulator wiring: phi and its per-iteration update value. */
+using PhiUpdate = std::pair<ir::PhiInst *, ir::Value *>;
+
+/**
+ * A counted single-block loop. Construct with the builder positioned
+ * in the (unterminated) preheader; emit the body; then close().
+ * After close() the builder is positioned in the exit block.
+ */
+class InnerLoop
+{
+  public:
+    InnerLoop(ir::IRBuilder &b, const std::string &label,
+              std::int64_t begin, std::int64_t end,
+              std::int64_t step = 1)
+        : b(b), begin(begin), end(end), step(step)
+    {
+        pre = b.insertBlock();
+        head = b.createBlock(label);
+        exitBlock = b.createBlock(label + ".exit");
+        b.br(head);
+        b.setInsertPoint(head);
+        ivPhi = b.phi(b.context().i64(), label + ".iv");
+    }
+
+    /** The induction variable, valid inside the body. */
+    ir::Value *iv() const { return ivPhi; }
+
+    /** Create a loop-carried accumulator with the given init. */
+    ir::PhiInst *
+    accumulator(const ir::Type *type, const std::string &name)
+    {
+        auto *phi = b.phi(type, name);
+        return phi;
+    }
+
+    /**
+     * Terminate the loop. @p accums wires each accumulator phi to
+     * its update value; initial values are supplied here too.
+     */
+    void
+    close(const std::vector<PhiUpdate> &accums = {},
+          const std::vector<ir::Value *> &accum_inits = {})
+    {
+        using namespace salam::ir;
+        Context &ctx = b.context();
+        Value *iv_next =
+            b.add(ivPhi, b.constI64(step), ivPhi->name() + ".next");
+        Value *cond = b.icmp(Predicate::SLT, iv_next,
+                             b.constI64(end),
+                             ivPhi->name() + ".cond");
+        b.condBr(cond, head, exitBlock);
+        ivPhi->addIncoming(b.constI64(begin), pre);
+        ivPhi->addIncoming(iv_next, head);
+        SALAM_ASSERT(accums.size() == accum_inits.size());
+        for (std::size_t i = 0; i < accums.size(); ++i) {
+            accums[i].first->addIncoming(accum_inits[i], pre);
+            accums[i].first->addIncoming(accums[i].second, head);
+        }
+        (void)ctx;
+        b.setInsertPoint(exitBlock);
+    }
+
+    ir::BasicBlock *headBlock() const { return head; }
+
+  private:
+    ir::IRBuilder &b;
+    ir::BasicBlock *pre;
+    ir::BasicBlock *head;
+    ir::BasicBlock *exitBlock;
+    ir::PhiInst *ivPhi;
+    std::int64_t begin, end, step;
+};
+
+/**
+ * A counted loop whose body spans multiple blocks (e.g. contains
+ * inner loops). The header holds the induction phi; the body region
+ * must eventually leave the builder positioned in an unterminated
+ * block, from which close() branches to the latch.
+ */
+class OuterLoop
+{
+  public:
+    OuterLoop(ir::IRBuilder &b, const std::string &label,
+              std::int64_t begin, std::int64_t end,
+              std::int64_t step = 1)
+        : b(b), begin(begin), end(end), step(step)
+    {
+        pre = b.insertBlock();
+        head = b.createBlock(label);
+        latch = b.createBlock(label + ".latch");
+        exitBlock = b.createBlock(label + ".exit");
+        b.br(head);
+        b.setInsertPoint(head);
+        ivPhi = b.phi(b.context().i64(), label + ".iv");
+    }
+
+    ir::Value *iv() const { return ivPhi; }
+
+    ir::BasicBlock *latchBlock() const { return latch; }
+
+    /**
+     * Branch from the current block into the latch and close the
+     * loop; leaves the builder in the exit block.
+     */
+    void
+    close()
+    {
+        using namespace salam::ir;
+        b.br(latch);
+        b.setInsertPoint(latch);
+        Value *iv_next =
+            b.add(ivPhi, b.constI64(step), ivPhi->name() + ".next");
+        Value *cond = b.icmp(Predicate::SLT, iv_next,
+                             b.constI64(end),
+                             ivPhi->name() + ".cond");
+        b.condBr(cond, head, exitBlock);
+        ivPhi->addIncoming(b.constI64(begin), pre);
+        ivPhi->addIncoming(iv_next, latch);
+        b.setInsertPoint(exitBlock);
+    }
+
+  private:
+    ir::IRBuilder &b;
+    ir::BasicBlock *pre;
+    ir::BasicBlock *head;
+    ir::BasicBlock *latch;
+    ir::BasicBlock *exitBlock;
+    ir::PhiInst *ivPhi;
+    std::int64_t begin, end, step;
+};
+
+} // namespace salam::kernels
+
+#endif // SALAM_KERNELS_LOOP_UTIL_HH

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Factory functions for the MachSuite benchmark kernels (and the CNN
+ * layer kernels used in the multi-accelerator experiments).
+ *
+ * Default problem sizes are scaled-down MachSuite configurations that
+ * preserve each kernel's structure (loop nesting, data-dependence,
+ * operation mix) while keeping simulations fast; benches construct
+ * larger instances where an experiment needs them.
+ */
+
+#ifndef SALAM_KERNELS_MACHSUITE_HH
+#define SALAM_KERNELS_MACHSUITE_HH
+
+#include "kernel.hh"
+
+namespace salam::kernels
+{
+
+/** GEMM n-cubed (double). Inner k-loop label: "k". */
+std::unique_ptr<Kernel> makeGemm(unsigned n = 32,
+                                 unsigned unroll = 8);
+
+/**
+ * SPMV over CRS (double values, i64 column indices).
+ * @param guarded Adds the paper's Table I modification: a bit-shift
+ *        on the column index behind a data-dependent branch.
+ * @param dataset 1 = no index triggers the guard; 2 = some do.
+ */
+std::unique_ptr<Kernel> makeSpmv(unsigned rows = 64,
+                                 unsigned nnz_per_row = 8,
+                                 bool guarded = false,
+                                 unsigned dataset = 1);
+
+/** FFT strided, radix-2 in-place (double). Size must be a power
+ * of two. */
+std::unique_ptr<Kernel> makeFft(unsigned size = 256);
+
+/** MD K-nearest-neighbours Lennard-Jones force (double). */
+std::unique_ptr<Kernel> makeMdKnn(unsigned atoms = 64,
+                                  unsigned neighbours = 16,
+                                  unsigned unroll = 4);
+
+/** MD 3D-grid Lennard-Jones force (double). */
+std::unique_ptr<Kernel> makeMdGrid(unsigned block_side = 3,
+                                   unsigned density = 4);
+
+/** Needleman-Wunsch score-matrix fill (i32). */
+std::unique_ptr<Kernel> makeNw(unsigned length = 48);
+
+/** Stencil2D 3x3 (i32). */
+std::unique_ptr<Kernel> makeStencil2d(unsigned rows = 32,
+                                      unsigned cols = 32,
+                                      unsigned unroll = 4);
+
+/** Stencil3D 7-point (i32). */
+std::unique_ptr<Kernel> makeStencil3d(unsigned height = 8,
+                                      unsigned rows = 12,
+                                      unsigned cols = 12,
+                                      unsigned unroll = 4);
+
+/** BFS (queue-based, data-dependent control). */
+std::unique_ptr<Kernel> makeBfs(unsigned nodes = 128,
+                                unsigned edges_per_node = 4);
+
+// CNN layer kernels (Sec. IV-E multi-accelerator scenarios). The
+// stream flags replace the array indexing on that side with a fixed
+// FIFO port address, matching an AXI-Stream interface.
+
+/** 3x3 valid convolution over a width x height float image. */
+std::unique_ptr<Kernel> makeConv2d(unsigned width = 32,
+                                   unsigned height = 32,
+                                   bool stream_out = false);
+
+/** Elementwise ReLU over count floats. */
+std::unique_ptr<Kernel> makeRelu(unsigned count = 900,
+                                 bool stream_in = false,
+                                 bool stream_out = false);
+
+/** 2x2 max pooling (stride 2) over a width x height float image. */
+std::unique_ptr<Kernel> makeMaxPool(unsigned width = 30,
+                                    unsigned height = 30,
+                                    bool stream_in = false,
+                                    bool stream_out = false);
+
+} // namespace salam::kernels
+
+#endif // SALAM_KERNELS_MACHSUITE_HH

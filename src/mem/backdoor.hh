@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Adaptors exposing simulated memories through the interpreter's
+ * MemoryAccessor interface, so kernels can seed datasets into and
+ * check results out of scratchpads and DRAM with the same code used
+ * against flat test memory.
+ */
+
+#ifndef SALAM_MEM_BACKDOOR_HH
+#define SALAM_MEM_BACKDOOR_HH
+
+#include "ir/interpreter.hh"
+#include "scratchpad.hh"
+#include "simple_dram.hh"
+
+namespace salam::mem
+{
+
+/** Untimed accessor over a Scratchpad. */
+class ScratchpadBackdoor : public ir::MemoryAccessor
+{
+  public:
+    explicit ScratchpadBackdoor(Scratchpad &spm) : spm(spm) {}
+
+    void
+    readBytes(std::uint64_t addr, std::size_t size,
+              void *out) override
+    {
+        spm.backdoorRead(addr, out, size);
+    }
+
+    void
+    writeBytes(std::uint64_t addr, std::size_t size,
+               const void *in) override
+    {
+        spm.backdoorWrite(addr, in, size);
+    }
+
+  private:
+    Scratchpad &spm;
+};
+
+/** Untimed accessor over a SimpleDram. */
+class DramBackdoor : public ir::MemoryAccessor
+{
+  public:
+    explicit DramBackdoor(SimpleDram &dram) : dram(dram) {}
+
+    void
+    readBytes(std::uint64_t addr, std::size_t size,
+              void *out) override
+    {
+        dram.backdoorRead(addr, out, size);
+    }
+
+    void
+    writeBytes(std::uint64_t addr, std::size_t size,
+               const void *in) override
+    {
+        dram.backdoorWrite(addr, in, size);
+    }
+
+  private:
+    SimpleDram &dram;
+};
+
+} // namespace salam::mem
+
+#endif // SALAM_MEM_BACKDOOR_HH

@@ -1,0 +1,221 @@
+#include "cache.hh"
+
+#include <algorithm>
+
+namespace salam::mem
+{
+
+Cache::Cache(Simulation &sim, std::string name, Tick clock_period,
+             const CacheConfig &config)
+    : ClockedObject(sim, std::move(name), clock_period), cfg(config),
+      numSets(0), cpuPort(*this), memPort(*this),
+      responseEvent([this] { trySendResponses(); },
+                    this->name() + ".response",
+                    Event::memoryResponsePri)
+{
+    if (cfg.blockBytes == 0 || cfg.sizeBytes % cfg.blockBytes != 0)
+        fatal("%s: size must be a multiple of the block size",
+              this->name().c_str());
+    std::uint64_t blocks = cfg.sizeBytes / cfg.blockBytes;
+    if (cfg.associativity == 0 || blocks % cfg.associativity != 0)
+        fatal("%s: blocks must divide evenly into ways",
+              this->name().c_str());
+    numSets = static_cast<unsigned>(blocks / cfg.associativity);
+    sets.resize(numSets);
+    for (auto &set : sets) {
+        set.resize(cfg.associativity);
+        for (auto &block : set)
+            block.data.resize(cfg.blockBytes, 0);
+    }
+}
+
+unsigned
+Cache::setOf(std::uint64_t block_addr) const
+{
+    return static_cast<unsigned>((block_addr / cfg.blockBytes) %
+                                 numSets);
+}
+
+std::uint64_t
+Cache::tagOf(std::uint64_t block_addr) const
+{
+    return block_addr / cfg.blockBytes / numSets;
+}
+
+Cache::Block *
+Cache::findBlock(std::uint64_t block_addr)
+{
+    auto &set = sets[setOf(block_addr)];
+    std::uint64_t tag = tagOf(block_addr);
+    for (auto &block : set) {
+        if (block.valid && block.tag == tag)
+            return &block;
+    }
+    return nullptr;
+}
+
+Cache::Block &
+Cache::victimIn(unsigned set_index)
+{
+    auto &set = sets[set_index];
+    Block *victim = &set[0];
+    for (auto &block : set) {
+        if (!block.valid)
+            return block;
+        if (block.lastUse < victim->lastUse)
+            victim = &block;
+    }
+    return *victim;
+}
+
+void
+Cache::accessBlock(Block &block, PacketPtr pkt)
+{
+    std::uint64_t offset = pkt->addr() % cfg.blockBytes;
+    SALAM_ASSERT(offset + pkt->size() <= cfg.blockBytes);
+    if (pkt->cmd() == MemCmd::ReadReq) {
+        pkt->setData(block.data.data() + offset, pkt->size());
+    } else {
+        std::memcpy(block.data.data() + offset, pkt->data(),
+                    pkt->size());
+        block.dirty = true;
+    }
+    block.lastUse = ++useCounter;
+    pkt->makeResponse();
+}
+
+void
+Cache::respondAfter(PacketPtr pkt, unsigned cycles)
+{
+    responseQueue.push_back(
+        PendingResponse{pkt, clockEdge(Cycles(cycles))});
+    if (!responseEvent.scheduled())
+        schedule(responseEvent, responseQueue.front().readyAt);
+}
+
+bool
+Cache::handleRequest(PacketPtr pkt)
+{
+    std::uint64_t block_addr = blockAddrOf(pkt->addr());
+
+    if (Block *block = findBlock(block_addr)) {
+        ++hits;
+        accessBlock(*block, pkt);
+        respondAfter(pkt, cfg.hitLatencyCycles);
+        return true;
+    }
+
+    // Miss: coalesce into an existing MSHR when possible.
+    auto it = mshrs.find(block_addr);
+    if (it != mshrs.end()) {
+        ++misses;
+        it->second.targets.push_back(pkt);
+        return true;
+    }
+
+    if (mshrs.size() >= cfg.maxMshrs)
+        return false; // blocked; retried when an MSHR frees
+
+    ++misses;
+    Mshr &mshr = mshrs[block_addr];
+    mshr.blockAddr = block_addr;
+    mshr.targets.push_back(pkt);
+
+    // Evict the victim now so the fill has a home; write back dirty
+    // data before the fill request.
+    Block &victim = victimIn(setOf(block_addr));
+    if (victim.valid && victim.dirty) {
+        std::uint64_t victim_addr =
+            (victim.tag * numSets + setOf(block_addr)) *
+            cfg.blockBytes;
+        auto *wb = new Packet(MemCmd::WriteReq, victim_addr,
+                              cfg.blockBytes);
+        wb->setData(victim.data.data(), cfg.blockBytes);
+        memSideQueue.push_back(wb);
+        ++writebacks;
+    }
+    victim.valid = false;
+
+    auto *fill = new Packet(MemCmd::ReadReq, block_addr,
+                            cfg.blockBytes);
+    memSideQueue.push_back(fill);
+    mshr.fillIssued = true;
+    pumpMemSide();
+    return true;
+}
+
+void
+Cache::pumpMemSide()
+{
+    while (!memSideQueue.empty()) {
+        if (!memPort.sendTimingReq(memSideQueue.front()))
+            return;
+        memSideQueue.pop_front();
+    }
+}
+
+bool
+Cache::handleFill(PacketPtr pkt)
+{
+    if (pkt->cmd() == MemCmd::WriteResp) {
+        // Writeback acknowledged.
+        delete pkt;
+        return true;
+    }
+
+    SALAM_ASSERT(pkt->cmd() == MemCmd::ReadResp);
+    std::uint64_t block_addr = pkt->addr();
+    auto it = mshrs.find(block_addr);
+    SALAM_ASSERT(it != mshrs.end());
+
+    // Install the block. The victim slot was invalidated at miss
+    // time, but a racing fill in the same set may have reclaimed it;
+    // re-select and write back if we displace live dirty data.
+    Block &block = victimIn(setOf(block_addr));
+    if (block.valid && block.dirty) {
+        std::uint64_t victim_addr =
+            (block.tag * numSets + setOf(block_addr)) *
+            cfg.blockBytes;
+        auto *wb = new Packet(MemCmd::WriteReq, victim_addr,
+                              cfg.blockBytes);
+        wb->setData(block.data.data(), cfg.blockBytes);
+        memSideQueue.push_back(wb);
+        ++writebacks;
+        pumpMemSide();
+    }
+    block.valid = true;
+    block.dirty = false;
+    block.tag = tagOf(block_addr);
+    pkt->copyData(block.data.data(), cfg.blockBytes);
+    block.lastUse = ++useCounter;
+
+    // Service all coalesced targets.
+    for (PacketPtr target : it->second.targets) {
+        accessBlock(block, target);
+        respondAfter(target, cfg.hitLatencyCycles);
+    }
+    bool was_full = mshrs.size() >= cfg.maxMshrs;
+    mshrs.erase(it);
+    delete pkt;
+    if (was_full)
+        cpuPort.sendReqRetry();
+    return true;
+}
+
+void
+Cache::trySendResponses()
+{
+    while (!responseQueue.empty()) {
+        PendingResponse &front = responseQueue.front();
+        if (front.readyAt > curTick()) {
+            if (!responseEvent.scheduled())
+                schedule(responseEvent, front.readyAt);
+            return;
+        }
+        if (!cpuPort.sendTimingResp(front.pkt))
+            return;
+        responseQueue.pop_front();
+    }
+}
+
+} // namespace salam::mem

@@ -1,0 +1,138 @@
+#include "crossbar.hh"
+
+namespace salam::mem
+{
+
+Crossbar::Crossbar(Simulation &sim, std::string name,
+                   Tick clock_period, const CrossbarConfig &config)
+    : ClockedObject(sim, std::move(name), clock_period), cfg(config),
+      requestEvent([this] { pumpRequests(); },
+                   this->name() + ".req"),
+      responseEvent([this] { pumpResponses(); },
+                    this->name() + ".resp",
+                    Event::memoryResponsePri)
+{
+}
+
+ResponsePort &
+Crossbar::addRequester(const std::string &label)
+{
+    upstream.push_back(std::make_unique<UpstreamPort>(
+        *this, static_cast<unsigned>(upstream.size()), label));
+    return *upstream.back();
+}
+
+void
+Crossbar::connectDevice(ResponsePort &device_port, AddrRange range)
+{
+    for (const AddrRange &existing : ranges) {
+        if (existing.overlaps(range))
+            fatal("%s: overlapping device ranges", name().c_str());
+    }
+    downstream.push_back(std::make_unique<DownstreamPort>(
+        *this, static_cast<unsigned>(downstream.size())));
+    ranges.push_back(range);
+    bindPorts(*downstream.back(), device_port);
+}
+
+void
+Crossbar::connectDefault(ResponsePort &device_port)
+{
+    if (defaultRoute >= 0)
+        fatal("%s: default route already set", name().c_str());
+    downstream.push_back(std::make_unique<DownstreamPort>(
+        *this, static_cast<unsigned>(downstream.size())));
+    // An empty range: never matched by lookup, reached via fallback.
+    ranges.push_back(AddrRange{0, 0});
+    defaultRoute = static_cast<int>(downstream.size()) - 1;
+    bindPorts(*downstream.back(), device_port);
+}
+
+unsigned
+Crossbar::routeFor(PacketPtr pkt) const
+{
+    for (std::size_t i = 0; i < ranges.size(); ++i) {
+        if (ranges[i].contains(pkt->addr(), pkt->size()))
+            return static_cast<unsigned>(i);
+    }
+    if (defaultRoute >= 0)
+        return static_cast<unsigned>(defaultRoute);
+    panic("%s: no route for address 0x%llx", name().c_str(),
+          static_cast<unsigned long long>(pkt->addr()));
+}
+
+bool
+Crossbar::handleRequest(PacketPtr pkt, unsigned upstream_index)
+{
+    unsigned target = routeFor(pkt);
+    pkt->pushSenderState(std::make_unique<XbarState>(upstream_index));
+    requestQueue.push_back(RoutedPacket{
+        pkt, target, clockEdge(Cycles(cfg.forwardLatency))});
+    if (!requestEvent.scheduled())
+        schedule(requestEvent, requestQueue.front().readyAt);
+    return true;
+}
+
+bool
+Crossbar::handleResponse(PacketPtr pkt, unsigned downstream_index)
+{
+    (void)downstream_index;
+    auto state = pkt->popSenderState();
+    auto *xbar_state = dynamic_cast<XbarState *>(state.get());
+    SALAM_ASSERT(xbar_state != nullptr);
+    responseQueue.push_back(RoutedPacket{
+        pkt, xbar_state->upstream,
+        clockEdge(Cycles(cfg.responseLatency))});
+    if (!responseEvent.scheduled())
+        schedule(responseEvent, responseQueue.front().readyAt);
+    return true;
+}
+
+void
+Crossbar::pumpRequests()
+{
+    while (!requestQueue.empty()) {
+        RoutedPacket &front = requestQueue.front();
+        if (front.readyAt > curTick()) {
+            if (!requestEvent.scheduled())
+                schedule(requestEvent, front.readyAt);
+            return;
+        }
+        // Per-cycle throughput limit.
+        if (cfg.requestsPerCycle > 0) {
+            Tick cycle = curTick() / clockPeriod();
+            if (cycle != lastRequestCycle) {
+                lastRequestCycle = cycle;
+                requestsThisCycle = 0;
+            }
+            if (requestsThisCycle >= cfg.requestsPerCycle) {
+                if (!requestEvent.scheduled())
+                    schedule(requestEvent, clockEdge(Cycles(1)));
+                return;
+            }
+        }
+        if (!downstream[front.portIndex]->sendTimingReq(front.pkt))
+            return; // retry will pump again
+        ++requestsThisCycle;
+        ++forwarded;
+        requestQueue.pop_front();
+    }
+}
+
+void
+Crossbar::pumpResponses()
+{
+    while (!responseQueue.empty()) {
+        RoutedPacket &front = responseQueue.front();
+        if (front.readyAt > curTick()) {
+            if (!responseEvent.scheduled())
+                schedule(responseEvent, front.readyAt);
+            return;
+        }
+        if (!upstream[front.portIndex]->sendTimingResp(front.pkt))
+            return;
+        responseQueue.pop_front();
+    }
+}
+
+} // namespace salam::mem

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Crossbar: address-routed interconnect between requesters and
+ * devices.
+ *
+ * Used for both the cluster-local crossbar (accelerators, shared SPM,
+ * DMA, peer MMRs) and the global crossbar (clusters, DRAM). Requests
+ * are routed by address range with a configurable forwarding latency
+ * and an optional per-cycle throughput limit; responses are routed
+ * back to the originating requester via packet sender state.
+ */
+
+#ifndef SALAM_MEM_CROSSBAR_HH
+#define SALAM_MEM_CROSSBAR_HH
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "port.hh"
+#include "sim/sim_object.hh"
+#include "sim/simulation.hh"
+
+namespace salam::mem
+{
+
+/** Crossbar configuration. */
+struct CrossbarConfig
+{
+    /** Request forwarding latency in crossbar cycles. */
+    unsigned forwardLatency = 1;
+    /** Response forwarding latency in crossbar cycles. */
+    unsigned responseLatency = 1;
+    /** Max requests forwarded per cycle; 0 means unlimited. */
+    unsigned requestsPerCycle = 0;
+};
+
+/** The crossbar switch. */
+class Crossbar : public ClockedObject
+{
+  public:
+    Crossbar(Simulation &sim, std::string name, Tick clock_period,
+             const CrossbarConfig &config = {});
+
+    /**
+     * Create an upstream endpoint for one requester; bind the
+     * requester's RequestPort to the returned port.
+     */
+    ResponsePort &addRequester(const std::string &label);
+
+    /**
+     * Attach a downstream device servicing @p range. The crossbar
+     * creates and binds an internal request port to @p device_port.
+     */
+    void connectDevice(ResponsePort &device_port, AddrRange range);
+
+    /**
+     * Attach the default downstream: packets whose address matches
+     * no device range are forwarded here (e.g. a cluster-local
+     * crossbar forwarding everything else to the global crossbar).
+     */
+    void connectDefault(ResponsePort &device_port);
+
+    /** Ranges currently routed (for diagnostics/tests). */
+    const std::vector<AddrRange> &routedRanges() const
+    { return ranges; }
+
+    std::uint64_t forwardedRequests() const { return forwarded; }
+
+  private:
+    class UpstreamPort : public ResponsePort
+    {
+      public:
+        UpstreamPort(Crossbar &owner, unsigned index,
+                     const std::string &label)
+            : ResponsePort(owner.name() + ".up." + label),
+              owner(owner), index(index)
+        {}
+
+        bool
+        recvTimingReq(PacketPtr pkt) override
+        {
+            return owner.handleRequest(pkt, index);
+        }
+
+        void recvRespRetry() override { owner.pumpResponses(); }
+
+      private:
+        Crossbar &owner;
+        unsigned index;
+    };
+
+    class DownstreamPort : public RequestPort
+    {
+      public:
+        DownstreamPort(Crossbar &owner, unsigned index)
+            : RequestPort(owner.name() + ".down" +
+                          std::to_string(index)),
+              owner(owner), index(index)
+        {}
+
+        bool
+        recvTimingResp(PacketPtr pkt) override
+        {
+            return owner.handleResponse(pkt, index);
+        }
+
+        void recvReqRetry() override { owner.pumpRequests(); }
+
+      private:
+        Crossbar &owner;
+        unsigned index;
+    };
+
+    struct RoutedPacket
+    {
+        PacketPtr pkt;
+        unsigned portIndex; ///< downstream for reqs, upstream for resps
+        Tick readyAt;
+    };
+
+    struct XbarState : SenderState
+    {
+        explicit XbarState(unsigned upstream) : upstream(upstream) {}
+
+        unsigned upstream;
+    };
+
+    bool handleRequest(PacketPtr pkt, unsigned upstream_index);
+
+    bool handleResponse(PacketPtr pkt, unsigned downstream_index);
+
+    void pumpRequests();
+
+    void pumpResponses();
+
+    unsigned routeFor(PacketPtr pkt) const;
+
+    CrossbarConfig cfg;
+    std::vector<std::unique_ptr<UpstreamPort>> upstream;
+    std::vector<std::unique_ptr<DownstreamPort>> downstream;
+    std::vector<AddrRange> ranges;
+    int defaultRoute = -1;
+    std::deque<RoutedPacket> requestQueue;
+    std::deque<RoutedPacket> responseQueue;
+    EventFunctionWrapper requestEvent;
+    EventFunctionWrapper responseEvent;
+    Tick lastRequestCycle = maxTick;
+    unsigned requestsThisCycle = 0;
+    std::uint64_t forwarded = 0;
+};
+
+} // namespace salam::mem
+
+#endif // SALAM_MEM_CROSSBAR_HH

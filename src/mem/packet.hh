@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Packet: the unit of communication on memory ports.
+ *
+ * Modeled on gem5's Packet: a command, an address/size, a data
+ * buffer, and a stack of sender states that interconnect layers push
+ * on the way down and pop on the way back up to route responses.
+ */
+
+#ifndef SALAM_MEM_PACKET_HH
+#define SALAM_MEM_PACKET_HH
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "sim/logging.hh"
+
+namespace salam::mem
+{
+
+/** Packet commands. */
+enum class MemCmd
+{
+    ReadReq,
+    WriteReq,
+    ReadResp,
+    WriteResp,
+};
+
+inline bool
+isRequest(MemCmd cmd)
+{
+    return cmd == MemCmd::ReadReq || cmd == MemCmd::WriteReq;
+}
+
+inline bool
+isRead(MemCmd cmd)
+{
+    return cmd == MemCmd::ReadReq || cmd == MemCmd::ReadResp;
+}
+
+/** Base class for per-hop routing state carried by a packet. */
+struct SenderState
+{
+    virtual ~SenderState() = default;
+};
+
+/** A memory request/response in flight. */
+class Packet
+{
+  public:
+    Packet(MemCmd cmd, std::uint64_t addr, unsigned size)
+        : _cmd(cmd), _addr(addr), _size(size)
+    {
+        if (mem::isRead(cmd) || cmd == MemCmd::WriteReq)
+            _data.resize(size);
+    }
+
+    MemCmd cmd() const { return _cmd; }
+
+    std::uint64_t addr() const { return _addr; }
+
+    unsigned size() const { return _size; }
+
+    bool isRead() const { return mem::isRead(_cmd); }
+
+    bool isWrite() const { return !mem::isRead(_cmd); }
+
+    bool isRequest() const { return mem::isRequest(_cmd); }
+
+    bool isResponse() const { return !mem::isRequest(_cmd); }
+
+    /** Turn this request into the corresponding response in place. */
+    void
+    makeResponse()
+    {
+        SALAM_ASSERT(isRequest());
+        _cmd = (_cmd == MemCmd::ReadReq) ? MemCmd::ReadResp
+                                         : MemCmd::WriteResp;
+    }
+
+    std::uint8_t *data() { return _data.data(); }
+
+    const std::uint8_t *data() const { return _data.data(); }
+
+    void
+    setData(const void *src, unsigned bytes)
+    {
+        SALAM_ASSERT(bytes <= _size);
+        std::memcpy(_data.data(), src, bytes);
+    }
+
+    void
+    copyData(void *dst, unsigned bytes) const
+    {
+        SALAM_ASSERT(bytes <= _size);
+        std::memcpy(dst, _data.data(), bytes);
+    }
+
+    /** Push routing state (interconnect request path). */
+    void
+    pushSenderState(std::unique_ptr<SenderState> state)
+    {
+        senderStack.push_back(std::move(state));
+    }
+
+    /** Pop routing state (interconnect response path). */
+    std::unique_ptr<SenderState>
+    popSenderState()
+    {
+        SALAM_ASSERT(!senderStack.empty());
+        auto state = std::move(senderStack.back());
+        senderStack.pop_back();
+        return state;
+    }
+
+    bool hasSenderState() const { return !senderStack.empty(); }
+
+    /** Opaque requester context (owned by the original requester). */
+    void *context = nullptr;
+
+    /** Monotonic id for debugging/tracing. */
+    std::uint64_t id = 0;
+
+  private:
+    MemCmd _cmd;
+    std::uint64_t _addr;
+    unsigned _size;
+    std::vector<std::uint8_t> _data;
+    std::vector<std::unique_ptr<SenderState>> senderStack;
+};
+
+using PacketPtr = Packet *;
+
+/** Inclusive-exclusive address range [start, end). */
+struct AddrRange
+{
+    std::uint64_t start = 0;
+    std::uint64_t end = 0;
+
+    bool contains(std::uint64_t addr) const
+    { return addr >= start && addr < end; }
+
+    bool
+    contains(std::uint64_t addr, unsigned size) const
+    {
+        return addr >= start && addr + size <= end;
+    }
+
+    std::uint64_t size() const { return end - start; }
+
+    bool
+    overlaps(const AddrRange &o) const
+    {
+        return start < o.end && o.start < end;
+    }
+};
+
+} // namespace salam::mem
+
+#endif // SALAM_MEM_PACKET_HH

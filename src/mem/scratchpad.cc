@@ -1,0 +1,155 @@
+#include "scratchpad.hh"
+
+#include <algorithm>
+#include <set>
+
+namespace salam::mem
+{
+
+Scratchpad::Scratchpad(Simulation &sim, std::string name,
+                       Tick clock_period,
+                       const ScratchpadConfig &config)
+    : ClockedObject(sim, std::move(name), clock_period), cfg(config),
+      store(config.range.size(), 0),
+      serviceEvent([this] { serviceCycle(); },
+                   this->name() + ".service"),
+      responseEvent([this] { trySendResponses(); },
+                    this->name() + ".response",
+                    Event::memoryResponsePri)
+{
+    if (cfg.range.size() == 0)
+        fatal("%s: scratchpad range is empty", this->name().c_str());
+    if (cfg.numPorts == 0 || cfg.readPorts == 0 || cfg.writePorts == 0)
+        fatal("%s: scratchpad needs at least one port",
+              this->name().c_str());
+    for (unsigned i = 0; i < cfg.numPorts; ++i)
+        ports.push_back(std::make_unique<SpmPort>(*this, i));
+}
+
+ResponsePort &
+Scratchpad::port(unsigned i)
+{
+    if (i >= ports.size())
+        fatal("%s: no port %u", name().c_str(), i);
+    return *ports[i];
+}
+
+void
+Scratchpad::backdoorWrite(std::uint64_t addr, const void *src,
+                          std::size_t size)
+{
+    SALAM_ASSERT(cfg.range.contains(addr, static_cast<unsigned>(size)));
+    std::memcpy(store.data() + (addr - cfg.range.start), src, size);
+}
+
+void
+Scratchpad::backdoorRead(std::uint64_t addr, void *dst,
+                         std::size_t size) const
+{
+    SALAM_ASSERT(cfg.range.contains(addr, static_cast<unsigned>(size)));
+    std::memcpy(dst, store.data() + (addr - cfg.range.start), size);
+}
+
+unsigned
+Scratchpad::bankOf(std::uint64_t addr) const
+{
+    std::uint64_t word = (addr - cfg.range.start) / cfg.wordBytes;
+    return static_cast<unsigned>(word % cfg.banks);
+}
+
+bool
+Scratchpad::handleRequest(PacketPtr pkt, unsigned source_port)
+{
+    SALAM_ASSERT(cfg.range.contains(pkt->addr(), pkt->size()));
+    requestQueue.push_back(QueuedAccess{pkt, source_port});
+    scheduleService();
+    return true;
+}
+
+void
+Scratchpad::scheduleService()
+{
+    if (serviceScheduled || requestQueue.empty())
+        return;
+    serviceScheduled = true;
+    // At most one service pass per SPM cycle: if this cycle already
+    // had its pass, wait for the next edge.
+    Tick edge = clockEdge();
+    if (lastServiceTick != maxTick && edge <= lastServiceTick)
+        edge = lastServiceTick + clockPeriod();
+    schedule(serviceEvent, edge);
+}
+
+void
+Scratchpad::access(PacketPtr pkt)
+{
+    std::uint64_t offset = pkt->addr() - cfg.range.start;
+    if (pkt->cmd() == MemCmd::ReadReq) {
+        pkt->setData(store.data() + offset, pkt->size());
+        ++reads;
+    } else {
+        std::memcpy(store.data() + offset, pkt->data(), pkt->size());
+        ++writes;
+    }
+    pkt->makeResponse();
+}
+
+void
+Scratchpad::serviceCycle()
+{
+    serviceScheduled = false;
+    lastServiceTick = curTick();
+    if (requestQueue.empty())
+        return;
+
+    ++activeCycles;
+    unsigned reads_left = cfg.readPorts;
+    unsigned writes_left = cfg.writePorts;
+    std::set<unsigned> busy_banks;
+
+    Tick ready = clockEdge(Cycles(cfg.latencyCycles));
+    // In-order service: scan the queue, issuing accesses that fit
+    // this cycle's port and bank budget. Accesses blocked by a busy
+    // bank do not block younger accesses to other banks (banked SRAM
+    // behaviour), but per-command ordering is preserved by the scan.
+    for (auto it = requestQueue.begin(); it != requestQueue.end();) {
+        PacketPtr pkt = it->pkt;
+        unsigned bank = bankOf(pkt->addr());
+        bool is_read = pkt->cmd() == MemCmd::ReadReq;
+        unsigned &budget = is_read ? reads_left : writes_left;
+        if (budget == 0 || busy_banks.count(bank)) {
+            ++it;
+            continue;
+        }
+        --budget;
+        if (cfg.banks > 1)
+            busy_banks.insert(bank);
+        access(pkt);
+        responseQueue.push_back(
+            PendingResponse{pkt, it->sourcePort, ready});
+        it = requestQueue.erase(it);
+        if (reads_left == 0 && writes_left == 0)
+            break;
+    }
+
+    if (!responseQueue.empty())
+        reschedule(responseEvent, responseQueue.front().readyAt);
+    scheduleService();
+}
+
+void
+Scratchpad::trySendResponses()
+{
+    while (!responseQueue.empty()) {
+        PendingResponse &front = responseQueue.front();
+        if (front.readyAt > curTick()) {
+            reschedule(responseEvent, front.readyAt);
+            return;
+        }
+        if (!ports[front.sourcePort]->sendTimingResp(front.pkt))
+            return; // peer will call recvRespRetry
+        responseQueue.pop_front();
+    }
+}
+
+} // namespace salam::mem

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Scratchpad: a multi-ported, banked, private or shared SPM.
+ *
+ * Models gem5-SALAM's scratchpad memories: fixed-latency SRAM with a
+ * configurable number of read and write ports per cycle and bank
+ * partitioning. Requests beyond the per-cycle port budget (or hitting
+ * a busy bank) queue and serialize — the mechanism behind the paper's
+ * read/write-port design sweeps (Fig. 14/15).
+ */
+
+#ifndef SALAM_MEM_SCRATCHPAD_HH
+#define SALAM_MEM_SCRATCHPAD_HH
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "port.hh"
+#include "sim/sim_object.hh"
+#include "sim/simulation.hh"
+
+namespace salam::mem
+{
+
+/** Scratchpad configuration. */
+struct ScratchpadConfig
+{
+    AddrRange range;
+    /** SRAM access latency in SPM-clock cycles. */
+    unsigned latencyCycles = 1;
+    /** Read accesses serviced per cycle. */
+    unsigned readPorts = 2;
+    /** Write accesses serviced per cycle. */
+    unsigned writePorts = 2;
+    /** Bank partitions (cyclic interleave on words). */
+    unsigned banks = 1;
+    /** Interleave granularity in bytes. */
+    unsigned wordBytes = 4;
+    /** Number of connection endpoints exposed. */
+    unsigned numPorts = 1;
+};
+
+/** The scratchpad device. */
+class Scratchpad : public ClockedObject
+{
+  public:
+    Scratchpad(Simulation &sim, std::string name, Tick clock_period,
+               const ScratchpadConfig &config);
+
+    const ScratchpadConfig &config() const { return cfg; }
+
+    /** Connection endpoint @p i (bind a RequestPort to it). */
+    ResponsePort &port(unsigned i);
+
+    /** Debug/setup access that bypasses timing. */
+    void backdoorWrite(std::uint64_t addr, const void *src,
+                       std::size_t size);
+
+    void backdoorRead(std::uint64_t addr, void *dst,
+                      std::size_t size) const;
+
+    // Usage statistics (inputs to the CactiLite power model).
+    std::uint64_t readCount() const { return reads; }
+
+    std::uint64_t writeCount() const { return writes; }
+
+    std::uint64_t busyCycles() const { return activeCycles; }
+
+  private:
+    class SpmPort : public ResponsePort
+    {
+      public:
+        SpmPort(Scratchpad &owner, unsigned index)
+            : ResponsePort(owner.name() + ".port" +
+                           std::to_string(index)),
+              owner(owner), index(index)
+        {}
+
+        bool
+        recvTimingReq(PacketPtr pkt) override
+        {
+            return owner.handleRequest(pkt, index);
+        }
+
+        void recvRespRetry() override { owner.trySendResponses(); }
+
+      private:
+        Scratchpad &owner;
+        unsigned index;
+    };
+
+    struct QueuedAccess
+    {
+        PacketPtr pkt;
+        unsigned sourcePort;
+    };
+
+    struct PendingResponse
+    {
+        PacketPtr pkt;
+        unsigned sourcePort;
+        Tick readyAt;
+    };
+
+    bool handleRequest(PacketPtr pkt, unsigned source_port);
+
+    /** Service up to the port budget each SPM clock cycle. */
+    void serviceCycle();
+
+    void access(PacketPtr pkt);
+
+    unsigned bankOf(std::uint64_t addr) const;
+
+    void scheduleService();
+
+    void trySendResponses();
+
+    ScratchpadConfig cfg;
+    std::vector<std::uint8_t> store;
+    std::vector<std::unique_ptr<SpmPort>> ports;
+    std::deque<QueuedAccess> requestQueue;
+    std::deque<PendingResponse> responseQueue;
+    EventFunctionWrapper serviceEvent;
+    EventFunctionWrapper responseEvent;
+    bool serviceScheduled = false;
+    /** Tick of the most recent service pass (one pass per cycle). */
+    Tick lastServiceTick = maxTick;
+
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t activeCycles = 0;
+};
+
+} // namespace salam::mem
+
+#endif // SALAM_MEM_SCRATCHPAD_HH

@@ -1,0 +1,92 @@
+#include "simple_dram.hh"
+
+#include <algorithm>
+
+namespace salam::mem
+{
+
+SimpleDram::SimpleDram(Simulation &sim, std::string name,
+                       Tick clock_period, const DramConfig &config)
+    : ClockedObject(sim, std::move(name), clock_period), cfg(config),
+      store(config.range.size(), 0), responsePort(*this),
+      responseEvent([this] { trySendResponses(); },
+                    this->name() + ".response",
+                    Event::memoryResponsePri)
+{
+    if (cfg.range.size() == 0)
+        fatal("%s: DRAM range is empty", this->name().c_str());
+    if (cfg.bytesPerTick <= 0.0)
+        fatal("%s: DRAM bandwidth must be positive",
+              this->name().c_str());
+}
+
+void
+SimpleDram::backdoorWrite(std::uint64_t addr, const void *src,
+                          std::size_t size)
+{
+    SALAM_ASSERT(cfg.range.contains(addr, static_cast<unsigned>(size)));
+    std::memcpy(store.data() + (addr - cfg.range.start), src, size);
+}
+
+void
+SimpleDram::backdoorRead(std::uint64_t addr, void *dst,
+                         std::size_t size) const
+{
+    SALAM_ASSERT(cfg.range.contains(addr, static_cast<unsigned>(size)));
+    std::memcpy(dst, store.data() + (addr - cfg.range.start), size);
+}
+
+void
+SimpleDram::access(PacketPtr pkt)
+{
+    std::uint64_t offset = pkt->addr() - cfg.range.start;
+    if (pkt->cmd() == MemCmd::ReadReq) {
+        pkt->setData(store.data() + offset, pkt->size());
+        ++reads;
+    } else {
+        std::memcpy(store.data() + offset, pkt->data(), pkt->size());
+        ++writes;
+    }
+    bytes += pkt->size();
+    pkt->makeResponse();
+}
+
+bool
+SimpleDram::handleRequest(PacketPtr pkt)
+{
+    SALAM_ASSERT(cfg.range.contains(pkt->addr(), pkt->size()));
+    access(pkt);
+
+    // Timing: the transfer occupies the data bus for size/bandwidth
+    // ticks starting when the bus frees up; the response arrives a
+    // flat access latency after the transfer completes its slot.
+    Tick now = curTick();
+    Tick start = std::max(now, busFreeAt);
+    auto occupancy = static_cast<Tick>(
+        static_cast<double>(pkt->size()) / cfg.bytesPerTick);
+    busFreeAt = start + std::max<Tick>(occupancy, 1);
+    Tick ready = busFreeAt + cfg.accessLatency;
+
+    responseQueue.push_back(Pending{pkt, ready});
+    if (!responseEvent.scheduled())
+        schedule(responseEvent, responseQueue.front().readyAt);
+    return true;
+}
+
+void
+SimpleDram::trySendResponses()
+{
+    while (!responseQueue.empty()) {
+        Pending &front = responseQueue.front();
+        if (front.readyAt > curTick()) {
+            if (!responseEvent.scheduled())
+                schedule(responseEvent, front.readyAt);
+            return;
+        }
+        if (!responsePort.sendTimingResp(front.pkt))
+            return;
+        responseQueue.pop_front();
+    }
+}
+
+} // namespace salam::mem

@@ -1,0 +1,82 @@
+#include "stream_buffer.hh"
+
+namespace salam::mem
+{
+
+StreamBuffer::StreamBuffer(Simulation &sim, std::string name,
+                           Tick clock_period,
+                           const StreamBufferConfig &config)
+    : ClockedObject(sim, std::move(name), clock_period), cfg(config),
+      producerPort(*this, true), consumerPort(*this, false),
+      pumpEvent([this] { pump(); }, this->name() + ".pump")
+{
+    if (cfg.capacityBytes == 0)
+        fatal("%s: stream buffer capacity must be non-zero",
+              this->name().c_str());
+}
+
+bool
+StreamBuffer::handleRequest(PacketPtr pkt, bool write_side)
+{
+    if (write_side) {
+        SALAM_ASSERT(pkt->cmd() == MemCmd::WriteReq);
+        waitingWrites.push_back(Waiting{pkt, curTick()});
+    } else {
+        SALAM_ASSERT(pkt->cmd() == MemCmd::ReadReq);
+        waitingReads.push_back(Waiting{pkt, curTick()});
+    }
+    if (!pumpEvent.scheduled())
+        schedule(pumpEvent, clockEdge(Cycles(cfg.latencyCycles)));
+    return true;
+}
+
+void
+StreamBuffer::pump()
+{
+    bool progress = true;
+    while (progress) {
+        progress = false;
+
+        // Satisfy the oldest write if there is space.
+        if (!waitingWrites.empty()) {
+            Waiting &w = waitingWrites.front();
+            if (fifo.size() + w.pkt->size() <= cfg.capacityBytes) {
+                for (unsigned i = 0; i < w.pkt->size(); ++i)
+                    fifo.push_back(w.pkt->data()[i]);
+                streamed += w.pkt->size();
+                writeStallTicks += curTick() - w.arrivedAt;
+                w.pkt->makeResponse();
+                readyResponses.emplace_back(w.pkt, true);
+                waitingWrites.pop_front();
+                progress = true;
+            }
+        }
+
+        // Satisfy the oldest read if there is data.
+        if (!waitingReads.empty()) {
+            Waiting &r = waitingReads.front();
+            if (fifo.size() >= r.pkt->size()) {
+                for (unsigned i = 0; i < r.pkt->size(); ++i) {
+                    r.pkt->data()[i] = fifo.front();
+                    fifo.pop_front();
+                }
+                readStallTicks += curTick() - r.arrivedAt;
+                r.pkt->makeResponse();
+                readyResponses.emplace_back(r.pkt, false);
+                waitingReads.pop_front();
+                progress = true;
+            }
+        }
+    }
+
+    // Deliver ready responses.
+    while (!readyResponses.empty()) {
+        auto [pkt, write_side] = readyResponses.front();
+        EndPort &port = write_side ? producerPort : consumerPort;
+        if (!port.sendTimingResp(pkt))
+            return; // retried via recvRespRetry -> pump()
+        readyResponses.pop_front();
+    }
+}
+
+} // namespace salam::mem

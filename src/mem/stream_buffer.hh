@@ -1,0 +1,115 @@
+/**
+ * @file
+ * StreamBuffer: a FIFO channel with two-way handshake semantics.
+ *
+ * Models the AXI-Stream-style interfaces used for direct
+ * producer/consumer coupling between accelerators (the paper's third
+ * multi-accelerator scenario). Writes push bytes and stall when the
+ * buffer is full; reads pop bytes and stall until data is available.
+ * The stalling (deferred responses) is exactly the two-way handshake
+ * that lets devices with different data rates self-synchronize
+ * without a host or central controller.
+ */
+
+#ifndef SALAM_MEM_STREAM_BUFFER_HH
+#define SALAM_MEM_STREAM_BUFFER_HH
+
+#include <deque>
+
+#include "port.hh"
+#include "sim/sim_object.hh"
+#include "sim/simulation.hh"
+
+namespace salam::mem
+{
+
+/** Stream buffer configuration. */
+struct StreamBufferConfig
+{
+    /** Address window the producer writes into. */
+    AddrRange writeRange;
+    /** Address window the consumer reads from. */
+    AddrRange readRange;
+    /** FIFO capacity in bytes. */
+    unsigned capacityBytes = 64;
+    /** Per-transfer latency in cycles once data/space exists. */
+    unsigned latencyCycles = 1;
+};
+
+/** The FIFO device. */
+class StreamBuffer : public ClockedObject
+{
+  public:
+    StreamBuffer(Simulation &sim, std::string name, Tick clock_period,
+                 const StreamBufferConfig &config);
+
+    ResponsePort &writePort() { return producerPort; }
+
+    ResponsePort &readPort() { return consumerPort; }
+
+    const StreamBufferConfig &config() const { return cfg; }
+
+    std::size_t bytesBuffered() const { return fifo.size(); }
+
+    std::uint64_t bytesStreamed() const { return streamed; }
+
+    /** Cycles a consumer read spent waiting on an empty FIFO. */
+    std::uint64_t consumerStallTicks() const { return readStallTicks; }
+
+    /** Cycles a producer write spent waiting on a full FIFO. */
+    std::uint64_t producerStallTicks() const
+    { return writeStallTicks; }
+
+  private:
+    class EndPort : public ResponsePort
+    {
+      public:
+        EndPort(StreamBuffer &owner, bool is_write_side)
+            : ResponsePort(owner.name() +
+                           (is_write_side ? ".write" : ".read")),
+              owner(owner), writeSide(is_write_side)
+        {}
+
+        bool
+        recvTimingReq(PacketPtr pkt) override
+        {
+            return owner.handleRequest(pkt, writeSide);
+        }
+
+        void recvRespRetry() override { owner.pump(); }
+
+      private:
+        StreamBuffer &owner;
+        bool writeSide;
+    };
+
+    struct Waiting
+    {
+        PacketPtr pkt;
+        Tick arrivedAt;
+    };
+
+    bool handleRequest(PacketPtr pkt, bool write_side);
+
+    /** Try to satisfy waiting reads/writes and send responses. */
+    void pump();
+
+    void sendResponse(PacketPtr pkt, bool write_side);
+
+    StreamBufferConfig cfg;
+    EndPort producerPort;
+    EndPort consumerPort;
+    std::deque<std::uint8_t> fifo;
+    std::deque<Waiting> waitingWrites;
+    std::deque<Waiting> waitingReads;
+    std::deque<std::pair<PacketPtr, bool>> readyResponses;
+    EventFunctionWrapper pumpEvent;
+
+    std::uint64_t streamed = 0;
+    std::uint64_t readStallTicks = 0;
+    std::uint64_t writeStallTicks = 0;
+};
+
+} // namespace salam::mem
+
+#endif // SALAM_MEM_STREAM_BUFFER_HH

@@ -1,0 +1,93 @@
+#include "clone.hh"
+
+#include "sim/logging.hh"
+
+namespace salam::opt
+{
+
+using namespace salam::ir;
+
+std::unique_ptr<Instruction>
+cloneInstruction(const Instruction &inst, const ValueMap &map,
+                 const std::string &name)
+{
+    auto op = [&](std::size_t i) {
+        return mapped(map, inst.operand(i));
+    };
+
+    switch (inst.opcode()) {
+      case Opcode::ICmp:
+      case Opcode::FCmp: {
+        const auto &cmp = static_cast<const CmpInst &>(inst);
+        return std::make_unique<CmpInst>(inst.opcode(),
+                                         cmp.predicate(), inst.type(),
+                                         op(0), op(1), name);
+      }
+      case Opcode::Trunc:
+      case Opcode::ZExt:
+      case Opcode::SExt:
+      case Opcode::FPToSI:
+      case Opcode::SIToFP:
+      case Opcode::FPTrunc:
+      case Opcode::FPExt:
+      case Opcode::BitCast:
+      case Opcode::PtrToInt:
+      case Opcode::IntToPtr:
+        return std::make_unique<CastInst>(inst.opcode(), op(0),
+                                          inst.type(), name);
+      case Opcode::Load:
+        return std::make_unique<LoadInst>(op(0), name);
+      case Opcode::Store:
+        return std::make_unique<StoreInst>(inst.type(), op(0), op(1));
+      case Opcode::GetElementPtr: {
+        const auto &gep =
+            static_cast<const GetElementPtrInst &>(inst);
+        std::vector<Value *> indices;
+        for (std::size_t i = 0; i < gep.numIndices(); ++i)
+            indices.push_back(mapped(map, gep.index(i)));
+        return std::make_unique<GetElementPtrInst>(
+            gep.sourceElementType(), gep.type(), op(0), indices,
+            name);
+      }
+      case Opcode::Select:
+        return std::make_unique<SelectInst>(op(0), op(1), op(2),
+                                            name);
+      case Opcode::Call: {
+        const auto &call = static_cast<const CallInst &>(inst);
+        std::vector<Value *> args;
+        for (std::size_t i = 0; i < call.numOperands(); ++i)
+            args.push_back(op(i));
+        return std::make_unique<CallInst>(call.type(), call.callee(),
+                                          args, name);
+      }
+      case Opcode::Br: {
+        const auto &br = static_cast<const BranchInst &>(inst);
+        auto map_block = [&](BasicBlock *b) {
+            return static_cast<BasicBlock *>(
+                mapped(map, static_cast<Value *>(b)));
+        };
+        if (br.isConditional()) {
+            return std::make_unique<BranchInst>(
+                inst.type(), op(0), map_block(br.ifTrue()),
+                map_block(br.ifFalse()));
+        }
+        return std::make_unique<BranchInst>(inst.type(),
+                                            map_block(br.ifTrue()));
+      }
+      case Opcode::Ret: {
+        const auto &ret = static_cast<const ReturnInst &>(inst);
+        if (ret.hasValue())
+            return std::make_unique<ReturnInst>(inst.type(), op(0));
+        return std::make_unique<ReturnInst>(inst.type());
+      }
+      case Opcode::Phi:
+        panic("cloneInstruction cannot clone phi nodes");
+      default: {
+        // Binary arithmetic/bitwise.
+        return std::make_unique<BinaryOp>(inst.opcode(), op(0), op(1),
+                                          name);
+      }
+    }
+}
+
+} // namespace salam::opt

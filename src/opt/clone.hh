@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Instruction cloning with operand remapping, used by the unroller.
+ */
+
+#ifndef SALAM_OPT_CLONE_HH
+#define SALAM_OPT_CLONE_HH
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "ir/function.hh"
+
+namespace salam::opt
+{
+
+/** Maps original values to their replacements during cloning. */
+using ValueMap = std::map<ir::Value *, ir::Value *>;
+
+/** Look up @p v in @p map, defaulting to @p v itself. */
+inline ir::Value *
+mapped(const ValueMap &map, ir::Value *v)
+{
+    auto it = map.find(v);
+    return it == map.end() ? v : it->second;
+}
+
+/**
+ * Clone a non-phi instruction with operands remapped through @p map.
+ * Branch targets are remapped as well when present in @p map.
+ *
+ * @param inst Instruction to clone.
+ * @param map  Value substitutions to apply.
+ * @param name Result name for the clone.
+ */
+std::unique_ptr<ir::Instruction>
+cloneInstruction(const ir::Instruction &inst, const ValueMap &map,
+                 const std::string &name);
+
+} // namespace salam::opt
+
+#endif // SALAM_OPT_CLONE_HH

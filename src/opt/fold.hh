@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Scalar and CFG cleanup passes: constant folding, dead-code
+ * elimination, and CFG simplification.
+ *
+ * These mirror the clang -O cleanups the original flow relies on so
+ * the IR handed to static elaboration reflects a realistic datapath
+ * (no dead functional units, no empty blocks from unrolling).
+ */
+
+#ifndef SALAM_OPT_FOLD_HH
+#define SALAM_OPT_FOLD_HH
+
+#include "ir/function.hh"
+
+namespace salam::opt
+{
+
+/**
+ * Fold compute instructions with all-constant operands and branches
+ * with constant conditions, to fixpoint.
+ * @return true if anything changed.
+ */
+bool foldConstants(ir::Function &fn);
+
+/**
+ * Remove side-effect-free instructions with no uses, to fixpoint.
+ * @return true if anything changed.
+ */
+bool eliminateDeadCode(ir::Function &fn);
+
+/**
+ * Remove unreachable blocks, fold single-incoming phis, and merge
+ * straight-line block chains.
+ * @return true if anything changed.
+ */
+bool simplifyCfg(ir::Function &fn);
+
+/**
+ * Reassociate chained constant additions: (x + c1) + c2 -> x + (c1
+ * + c2). Breaks the serial induction-variable chains the unroller
+ * produces, the way clang's instcombine does, so unrolled iterations
+ * become truly parallel.
+ * @return true if anything changed.
+ */
+bool reassociateConstants(ir::Function &fn);
+
+/**
+ * Balance long chains of a commutative, associative operator (fadd,
+ * fmul, add, mul, and, or, xor) into trees, the way HLS expression
+ * balancing does: a 32-deep accumulation chain becomes a 5-level
+ * reduction tree. For floating point this is a fast-math transform
+ * (it changes rounding), matching HLS tools' unsafe-math expression
+ * balancing; kernels opt in via their pass pipelines.
+ * @return true if anything changed.
+ */
+bool balanceReductions(ir::Function &fn);
+
+/** Run all cleanup passes to a combined fixpoint. */
+void cleanup(ir::Function &fn);
+
+} // namespace salam::opt
+
+#endif // SALAM_OPT_FOLD_HH

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Loop analysis for the unroller.
+ *
+ * gem5-SALAM (like HLS tools) exposes loop unrolling as the primary
+ * knob controlling datapath ILP. We analyze the canonical loop shape
+ * our IRBuilder-based kernels (and clang's rotated loops) produce: a
+ * single-block counted loop whose block is both header and latch:
+ *
+ *   loop:
+ *     %i = phi i64 [ <init>, %pre ], [ %i.next, %loop ]
+ *     ... body ...
+ *     %i.next = add i64 %i, <step>
+ *     %cond = icmp <pred> %i.next, <bound>
+ *     br i1 %cond, label %loop, label %exit
+ *
+ * The trip count is recovered by symbolically executing the induction
+ * slice, which handles any predicate/step combination without
+ * closed-form case analysis.
+ */
+
+#ifndef SALAM_OPT_LOOP_ANALYSIS_HH
+#define SALAM_OPT_LOOP_ANALYSIS_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "ir/function.hh"
+
+namespace salam::opt
+{
+
+/** A recognized single-block counted loop. */
+struct SimpleLoop
+{
+    ir::BasicBlock *block = nullptr;
+    /** The unique predecessor outside the loop. */
+    ir::BasicBlock *preheader = nullptr;
+    /** The non-loop successor of the terminator. */
+    ir::BasicBlock *exit = nullptr;
+    /** Loop-carried phis (induction variable and accumulators). */
+    std::vector<ir::PhiInst *> phis;
+    /** Number of iterations the loop body executes. */
+    std::uint64_t tripCount = 0;
+};
+
+/** Loop discovery and trip-count computation. */
+class LoopAnalysis
+{
+  public:
+    /**
+     * Recognize @p block as a simple counted self-loop.
+     * @return the loop descriptor, or nullopt if the shape or a
+     *         computable trip count is not present.
+     */
+    static std::optional<SimpleLoop>
+    analyze(ir::Function &fn, ir::BasicBlock *block);
+
+    /** All simple loops in @p fn, in block order. */
+    static std::vector<SimpleLoop> findLoops(ir::Function &fn);
+
+  private:
+    static std::optional<std::uint64_t>
+    computeTripCount(const SimpleLoop &loop);
+};
+
+} // namespace salam::opt
+
+#endif // SALAM_OPT_LOOP_ANALYSIS_HH

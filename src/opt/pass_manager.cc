@@ -1,0 +1,50 @@
+#include "pass_manager.hh"
+
+#include "fold.hh"
+#include "ir/verifier.hh"
+#include "sim/logging.hh"
+#include "unroll.hh"
+
+namespace salam::opt
+{
+
+void
+PassManager::run(ir::Function &fn,
+                 const std::vector<PassSpec> &pipeline)
+{
+    for (const PassSpec &pass : pipeline) {
+        switch (pass.kind) {
+          case PassSpec::Kind::Cleanup:
+            cleanup(fn);
+            break;
+          case PassSpec::Kind::Unroll:
+            if (Unroller::unrollByLabel(fn, pass.label,
+                                        pass.factor) == 0) {
+                fatal("unroll: no simple loop at label '%s' in @%s",
+                      pass.label.c_str(), fn.name().c_str());
+            }
+            break;
+          case PassSpec::Kind::UnrollFull: {
+            ir::BasicBlock *block = fn.findBlock(pass.label);
+            if (block == nullptr)
+                fatal("unroll-full: no block '%s' in @%s",
+                      pass.label.c_str(), fn.name().c_str());
+            auto loop = LoopAnalysis::analyze(fn, block);
+            if (!loop)
+                fatal("unroll-full: '%s' is not a simple loop in @%s",
+                      pass.label.c_str(), fn.name().c_str());
+            Unroller::unroll(fn, *loop, loop->tripCount);
+            break;
+          }
+          case PassSpec::Kind::UnrollAll:
+            Unroller::unrollAll(fn);
+            break;
+          case PassSpec::Kind::Balance:
+            balanceReductions(fn);
+            break;
+        }
+        ir::Verifier::verifyOrDie(fn);
+    }
+}
+
+} // namespace salam::opt

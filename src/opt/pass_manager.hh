@@ -1,0 +1,71 @@
+/**
+ * @file
+ * PassManager: named optimization pipelines.
+ *
+ * Device configurations name their optimization recipe the way a
+ * build would pass flags to clang; the PassManager resolves names
+ * like "unroll(loop,8)" or "cleanup" and applies them in order.
+ */
+
+#ifndef SALAM_OPT_PASS_MANAGER_HH
+#define SALAM_OPT_PASS_MANAGER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/function.hh"
+
+namespace salam::opt
+{
+
+/** One optimization directive. */
+struct PassSpec
+{
+    enum class Kind
+    {
+        Cleanup,       ///< fold + dce + simplify to fixpoint
+        Unroll,        ///< unroll(label, factor)
+        UnrollFull,    ///< unroll-full(label)
+        UnrollAll,     ///< fully unroll every loop, repeatedly
+        Balance,       ///< balance reduction chains into trees
+    };
+
+    Kind kind = Kind::Cleanup;
+    std::string label;
+    std::uint64_t factor = 1;
+
+    static PassSpec cleanup() { return {Kind::Cleanup, "", 1}; }
+
+    static PassSpec
+    unroll(std::string loop_label, std::uint64_t factor)
+    {
+        return {Kind::Unroll, std::move(loop_label), factor};
+    }
+
+    static PassSpec
+    unrollFull(std::string loop_label)
+    {
+        return {Kind::UnrollFull, std::move(loop_label), 1};
+    }
+
+    static PassSpec unrollAll() { return {Kind::UnrollAll, "", 1}; }
+
+    static PassSpec balance() { return {Kind::Balance, "", 1}; }
+};
+
+/** Applies a pipeline of passes to a function. */
+class PassManager
+{
+  public:
+    /**
+     * Run the pipeline on @p fn, verifying after each pass.
+     * fatal()s if a pass breaks the IR (simulator-quality gate).
+     */
+    static void run(ir::Function &fn,
+                    const std::vector<PassSpec> &pipeline);
+};
+
+} // namespace salam::opt
+
+#endif // SALAM_OPT_PASS_MANAGER_HH

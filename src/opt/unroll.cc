@@ -1,0 +1,179 @@
+#include "unroll.hh"
+
+#include <algorithm>
+
+#include "clone.hh"
+#include "fold.hh"
+#include "sim/logging.hh"
+
+namespace salam::opt
+{
+
+using namespace salam::ir;
+
+namespace
+{
+
+std::uint64_t
+clampFactor(std::uint64_t trip_count, std::uint64_t factor)
+{
+    factor = std::min(factor, trip_count);
+    while (factor > 1 && trip_count % factor != 0)
+        --factor;
+    return std::max<std::uint64_t>(factor, 1);
+}
+
+/** Rename helper: base for iteration 0, base.uK for later copies. */
+std::string
+iterName(const std::string &base, std::uint64_t k)
+{
+    if (base.empty())
+        return base;
+    if (k == 0)
+        return base;
+    return base + ".u" + std::to_string(k);
+}
+
+} // namespace
+
+std::uint64_t
+Unroller::unroll(Function &fn, SimpleLoop &loop, std::uint64_t factor)
+{
+    factor = clampFactor(loop.tripCount, factor);
+    if (factor <= 1)
+        return 1;
+    bool full = (factor == loop.tripCount);
+
+    BasicBlock *block = loop.block;
+    auto original = block->takeAll();
+
+    // Partition the original instructions.
+    std::vector<PhiInst *> phis;
+    std::vector<Instruction *> body;
+    BranchInst *term = nullptr;
+    for (auto &inst : original) {
+        if (auto *phi = dynamic_cast<PhiInst *>(inst.get())) {
+            phis.push_back(phi);
+        } else if (auto *br = dynamic_cast<BranchInst *>(inst.get())) {
+            term = br;
+        } else {
+            body.push_back(inst.get());
+        }
+    }
+    SALAM_ASSERT(term != nullptr && term->isConditional());
+    Value *orig_cond = term->condition();
+
+    // phiCur maps each phi to its value at the start of the current
+    // unrolled iteration. For partial unroll iteration 0 that is the
+    // (retained) phi itself; for full unroll it is the initial value.
+    ValueMap phiCur;
+    for (PhiInst *phi : phis) {
+        phiCur[phi] = full ? phi->valueFor(loop.preheader)
+                           : static_cast<Value *>(phi);
+    }
+
+    // Re-install retained phis first (they must lead the block).
+    if (!full) {
+        for (auto &inst : original) {
+            if (dynamic_cast<PhiInst *>(inst.get()) != nullptr)
+                block->append(std::move(inst));
+        }
+    }
+
+    ValueMap iterMap;
+    Value *last_cond = nullptr;
+    for (std::uint64_t k = 0; k < factor; ++k) {
+        iterMap = phiCur;
+        for (Instruction *inst : body) {
+            auto clone = cloneInstruction(
+                *inst, iterMap, iterName(inst->name(), k));
+            iterMap[inst] = block->append(std::move(clone));
+        }
+        last_cond = mapped(iterMap, orig_cond);
+        // Advance the phi state to the next unrolled iteration.
+        for (PhiInst *phi : phis)
+            phiCur[phi] = mapped(iterMap, phi->valueFor(block));
+    }
+
+    // Rebuild the terminator.
+    auto *ctx_void = term->type();
+    if (full) {
+        block->append(
+            std::make_unique<BranchInst>(ctx_void, loop.exit));
+    } else {
+        SALAM_ASSERT(last_cond != nullptr);
+        if (term->ifTrue() == block) {
+            block->append(std::make_unique<BranchInst>(
+                ctx_void, last_cond, block, loop.exit));
+        } else {
+            block->append(std::make_unique<BranchInst>(
+                ctx_void, last_cond, loop.exit, block));
+        }
+        // Each phi now advances `factor` iterations per trip.
+        for (PhiInst *phi : phis) {
+            for (std::size_t i = 0; i < phi->numIncoming(); ++i) {
+                if (phi->incomingBlock(i) == block)
+                    phi->setIncomingValue(i, phiCur[phi]);
+            }
+        }
+    }
+
+    // Rewire out-of-loop uses of loop-defined values. On exit, users
+    // observed the value produced in the final executed iteration,
+    // which is now the last unrolled copy (iterMap); a use of the phi
+    // itself observed the value at the start of that iteration.
+    ValueMap outside = iterMap;
+    for (std::size_t b = 0; b < fn.numBlocks(); ++b) {
+        BasicBlock *other = fn.block(b);
+        if (other == block)
+            continue;
+        for (std::size_t i = 0; i < other->size(); ++i) {
+            Instruction *inst = other->instruction(i);
+            for (auto &[orig, repl] : outside) {
+                if (orig != repl)
+                    inst->replaceUsesOf(orig, repl);
+            }
+        }
+    }
+
+    // The original body instructions (and, for full unroll, phis and
+    // terminator) die with `original` here. Verify nothing still
+    // references them in debug runs via the Verifier in tests.
+    return factor;
+}
+
+std::uint64_t
+Unroller::unrollByLabel(Function &fn, const std::string &label,
+                        std::uint64_t factor)
+{
+    BasicBlock *block = fn.findBlock(label);
+    if (block == nullptr)
+        return 0;
+    auto loop = LoopAnalysis::analyze(fn, block);
+    if (!loop)
+        return 0;
+    return unroll(fn, *loop, factor);
+}
+
+void
+Unroller::unrollAll(Function &fn)
+{
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        auto loops = LoopAnalysis::findLoops(fn);
+        for (auto &loop : loops) {
+            if (unroll(fn, loop, loop.tripCount) > 1) {
+                changed = true;
+                break; // block list changed; re-analyze
+            }
+        }
+        if (changed) {
+            // Merging the now-straight-line body back into its outer
+            // loop block exposes the next nesting level.
+            cleanup(fn);
+        }
+    }
+}
+
+} // namespace salam::opt

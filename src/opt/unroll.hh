@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Loop unrolling: the primary datapath-shaping transform.
+ *
+ * Unrolling a loop by factor U replicates the body U times per trip,
+ * multiplying the static instruction count — and therefore, under
+ * gem5-SALAM's default 1-to-1 functional-unit mapping, the datapath
+ * parallelism. Fully unrolling removes the loop entirely.
+ */
+
+#ifndef SALAM_OPT_UNROLL_HH
+#define SALAM_OPT_UNROLL_HH
+
+#include <cstdint>
+
+#include "loop_analysis.hh"
+
+namespace salam::opt
+{
+
+/** Loop unroller over SimpleLoop shapes. */
+class Unroller
+{
+  public:
+    /**
+     * Unroll @p loop by @p factor. The factor is clamped to the
+     * largest divisor of the trip count that is <= factor (clang
+     * behaves equivalently by emitting an epilogue; our kernels use
+     * power-of-two bounds so the clamp rarely fires).
+     *
+     * A factor equal to the trip count fully unrolls: phis are folded
+     * to their initial values and the backedge is removed.
+     *
+     * @return the factor actually applied (1 means unchanged).
+     */
+    static std::uint64_t unroll(ir::Function &fn, SimpleLoop &loop,
+                                std::uint64_t factor);
+
+    /**
+     * Convenience: unroll the loop whose header block is named
+     * @p label by @p factor.
+     * @return factor applied, or 0 when no such simple loop exists.
+     */
+    static std::uint64_t unrollByLabel(ir::Function &fn,
+                                       const std::string &label,
+                                       std::uint64_t factor);
+
+    /** Fully unroll every simple loop (innermost first, repeatedly). */
+    static void unrollAll(ir::Function &fn);
+};
+
+} // namespace salam::opt
+
+#endif // SALAM_OPT_UNROLL_HH

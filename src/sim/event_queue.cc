@@ -1,0 +1,134 @@
+#include "event_queue.hh"
+
+namespace salam
+{
+
+Event::~Event()
+{
+    // An event must not be destroyed while scheduled; the queue would
+    // be left holding a dangling pointer. Lambda events owned by the
+    // queue are destroyed only after they are serviced or skipped.
+    SALAM_ASSERT(!_scheduled);
+}
+
+namespace
+{
+
+/** Marker wrapper for queue-owned one-shot lambda events. */
+class OwnedLambdaEvent : public EventFunctionWrapper
+{
+  public:
+    using EventFunctionWrapper::EventFunctionWrapper;
+};
+
+bool
+isQueueOwned(Event *event)
+{
+    return dynamic_cast<OwnedLambdaEvent *>(event) != nullptr;
+}
+
+} // namespace
+
+EventQueue::~EventQueue()
+{
+    // Drain remaining entries, releasing queue-owned lambdas.
+    while (!queue.empty()) {
+        Entry entry = queue.top();
+        queue.pop();
+        Event *ev = entry.event;
+        if (ev->_scheduled && ev->_sequence == entry.sequence) {
+            ev->_scheduled = false;
+            if (isQueueOwned(ev))
+                delete ev;
+        }
+    }
+}
+
+void
+EventQueue::schedule(Event *event, Tick when)
+{
+    SALAM_ASSERT(event != nullptr);
+    if (event->_scheduled)
+        panic("event '%s' scheduled twice", event->name().c_str());
+    if (when < _curTick)
+        panic("event '%s' scheduled in the past (%llu < %llu)",
+              event->name().c_str(),
+              static_cast<unsigned long long>(when),
+              static_cast<unsigned long long>(_curTick));
+
+    event->_scheduled = true;
+    event->_when = when;
+    event->_sequence = nextSequence++;
+    queue.push(Entry{when, event->priority(), event->_sequence, event});
+}
+
+void
+EventQueue::deschedule(Event *event)
+{
+    SALAM_ASSERT(event != nullptr);
+    if (!event->_scheduled)
+        panic("descheduling unscheduled event '%s'",
+              event->name().c_str());
+    // Lazy removal: clearing the flag makes the queue entry stale.
+    event->_scheduled = false;
+}
+
+void
+EventQueue::reschedule(Event *event, Tick when)
+{
+    if (event->_scheduled)
+        deschedule(event);
+    schedule(event, when);
+}
+
+void
+EventQueue::schedule(Tick when, std::function<void()> callback,
+                     std::string name)
+{
+    auto *event = new OwnedLambdaEvent(std::move(callback),
+                                       std::move(name));
+    schedule(event, when);
+    ++liveLambdas;
+}
+
+bool
+EventQueue::step()
+{
+    while (!queue.empty()) {
+        Entry entry = queue.top();
+        queue.pop();
+        Event *ev = entry.event;
+
+        // Skip entries invalidated by deschedule()/reschedule().
+        if (!ev->_scheduled || ev->_sequence != entry.sequence) {
+            if (!ev->_scheduled && isQueueOwned(ev))
+                delete ev;
+            continue;
+        }
+
+        SALAM_ASSERT(entry.when >= _curTick);
+        _curTick = entry.when;
+        ev->_scheduled = false;
+        ev->process();
+        ++serviced;
+        if (isQueueOwned(ev) && !ev->_scheduled) {
+            delete ev;
+            --liveLambdas;
+        }
+        return true;
+    }
+    return false;
+}
+
+Tick
+EventQueue::run(Tick limit)
+{
+    while (!queue.empty()) {
+        if (queue.top().when > limit)
+            break;
+        step();
+    }
+    return _curTick;
+}
+
+} // namespace salam

@@ -1,0 +1,45 @@
+#include "logging.hh"
+
+#include <cstdarg>
+#include <vector>
+
+namespace salam
+{
+
+bool LogControl::verbose = false;
+
+namespace detail
+{
+
+void
+logMessage(const char *prefix, const std::string &msg, bool always)
+{
+    if (!always && !LogControl::verbose)
+        return;
+    std::fputs(prefix, stderr);
+    std::fputs(msg.c_str(), stderr);
+    std::fputc('\n', stderr);
+}
+
+std::string
+formatString(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    va_list args_copy;
+    va_copy(args_copy, args);
+    int len = std::vsnprintf(nullptr, 0, fmt, args);
+    va_end(args);
+    if (len < 0) {
+        va_end(args_copy);
+        return fmt;
+    }
+    std::vector<char> buf(static_cast<std::size_t>(len) + 1);
+    std::vsnprintf(buf.data(), buf.size(), fmt, args_copy);
+    va_end(args_copy);
+    return std::string(buf.data(), static_cast<std::size_t>(len));
+}
+
+} // namespace detail
+
+} // namespace salam

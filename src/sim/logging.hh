@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Status and error reporting, following gem5's logging conventions.
+ *
+ * - inform(): normal status messages.
+ * - warn():   suspicious-but-survivable conditions.
+ * - fatal():  user error (bad configuration); exits cleanly.
+ * - panic():  simulator bug; aborts.
+ */
+
+#ifndef SALAM_SIM_LOGGING_HH
+#define SALAM_SIM_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace salam
+{
+
+/** Global verbosity switch; tests silence inform/warn output. */
+struct LogControl
+{
+    static bool verbose;
+};
+
+namespace detail
+{
+
+void logMessage(const char *prefix, const std::string &msg, bool always);
+
+std::string formatString(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace detail
+
+/** Print an informational message (suppressed when not verbose). */
+template <typename... Args>
+void
+inform(const char *fmt, Args... args)
+{
+    detail::logMessage("info: ",
+                       detail::formatString(fmt, args...), false);
+}
+
+/** Print a warning message (suppressed when not verbose). */
+template <typename... Args>
+void
+warn(const char *fmt, Args... args)
+{
+    detail::logMessage("warn: ",
+                       detail::formatString(fmt, args...), false);
+}
+
+/**
+ * Report an unrecoverable user error (bad config, invalid arguments)
+ * and exit with status 1.
+ */
+template <typename... Args>
+[[noreturn]] void
+fatal(const char *fmt, Args... args)
+{
+    detail::logMessage("fatal: ",
+                       detail::formatString(fmt, args...), true);
+    std::exit(1);
+}
+
+/**
+ * Report a condition that indicates a simulator bug and abort so a
+ * debugger or core dump can capture the state.
+ */
+template <typename... Args>
+[[noreturn]] void
+panic(const char *fmt, Args... args)
+{
+    detail::logMessage("panic: ",
+                       detail::formatString(fmt, args...), true);
+    std::abort();
+}
+
+/** Assert a simulator invariant; failure is a panic. */
+#define SALAM_ASSERT(cond)                                             \
+    do {                                                               \
+        if (!(cond)) {                                                 \
+            ::salam::panic("assertion '%s' failed at %s:%d",           \
+                           #cond, __FILE__, __LINE__);                 \
+        }                                                              \
+    } while (0)
+
+} // namespace salam
+
+#endif // SALAM_SIM_LOGGING_HH

@@ -1,0 +1,28 @@
+#include "sim_object.hh"
+
+#include "simulation.hh"
+
+namespace salam
+{
+
+SimObject::SimObject(Simulation &sim, std::string name)
+    : sim(sim), _name(std::move(name))
+{
+    sim.registerObject(this);
+}
+
+EventQueue &
+SimObject::eventQueue() const
+{
+    return sim.eventQueue();
+}
+
+ClockedObject::ClockedObject(Simulation &sim, std::string name,
+                             Tick clock_period)
+    : SimObject(sim, std::move(name)), _clockPeriod(clock_period)
+{
+    if (clock_period == 0)
+        fatal("%s: clock period must be non-zero", this->name().c_str());
+}
+
+} // namespace salam

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * SimObject and ClockedObject base classes.
+ *
+ * Every modeled hardware component derives from SimObject, which ties
+ * it to a Simulation (and therefore an EventQueue) and gives it a name
+ * for logging and statistics. ClockedObject adds a clock domain with
+ * cycle/tick conversion helpers, mirroring gem5's ClockedObject.
+ */
+
+#ifndef SALAM_SIM_SIM_OBJECT_HH
+#define SALAM_SIM_SIM_OBJECT_HH
+
+#include <string>
+
+#include "event_queue.hh"
+#include "types.hh"
+
+namespace salam
+{
+
+class Simulation;
+
+/** Base class for all simulated components. */
+class SimObject
+{
+  public:
+    SimObject(Simulation &sim, std::string name);
+
+    virtual ~SimObject() = default;
+
+    SimObject(const SimObject &) = delete;
+    SimObject &operator=(const SimObject &) = delete;
+
+    const std::string &name() const { return _name; }
+
+    Simulation &simulation() const { return sim; }
+
+    /** The event queue this object schedules on. */
+    EventQueue &eventQueue() const;
+
+    Tick curTick() const { return eventQueue().curTick(); }
+
+    /** Called once after the full system is constructed and wired. */
+    virtual void init() {}
+
+    /** Called when simulation ends, for final stats bookkeeping. */
+    virtual void finalize() {}
+
+  protected:
+    void schedule(Event &event, Tick when)
+    { eventQueue().schedule(&event, when); }
+
+    void reschedule(Event &event, Tick when)
+    { eventQueue().reschedule(&event, when); }
+
+    void deschedule(Event &event)
+    { eventQueue().deschedule(&event); }
+
+  private:
+    Simulation &sim;
+    std::string _name;
+};
+
+/** A SimObject bound to a clock domain. */
+class ClockedObject : public SimObject
+{
+  public:
+    /**
+     * @param clock_period Clock period in ticks (picoseconds); e.g.
+     *        a 100 MHz accelerator clock is periodFromMhz(100).
+     */
+    ClockedObject(Simulation &sim, std::string name, Tick clock_period);
+
+    Tick clockPeriod() const { return _clockPeriod; }
+
+    double frequencyMhz() const { return 1e6 / _clockPeriod; }
+
+    /** Current time expressed in whole elapsed cycles. */
+    Cycles curCycle() const
+    { return Cycles(curTick() / _clockPeriod); }
+
+    /**
+     * The tick of the next clock edge at least @p cycles cycles in the
+     * future (0 means the next edge, or now if exactly on an edge).
+     */
+    Tick
+    clockEdge(Cycles cycles = Cycles(0)) const
+    {
+        Tick now = curTick();
+        Tick aligned = ((now + _clockPeriod - 1) / _clockPeriod)
+            * _clockPeriod;
+        return aligned + cycles.get() * _clockPeriod;
+    }
+
+    /** Convert a cycle count to ticks in this clock domain. */
+    Tick cyclesToTicks(Cycles cycles) const
+    { return cycles.get() * _clockPeriod; }
+
+    /** Convert a tick duration to cycles, rounding up. */
+    Cycles
+    ticksToCycles(Tick ticks) const
+    {
+        return Cycles((ticks + _clockPeriod - 1) / _clockPeriod);
+    }
+
+  private:
+    Tick _clockPeriod;
+};
+
+} // namespace salam
+
+#endif // SALAM_SIM_SIM_OBJECT_HH

@@ -1,0 +1,36 @@
+#include "simulation.hh"
+
+#include "sim_object.hh"
+
+namespace salam
+{
+
+void
+Simulation::initAll()
+{
+    if (initialized)
+        return;
+    initialized = true;
+    // Objects may create more objects in init(); iterate by index.
+    for (std::size_t i = 0; i < registered.size(); ++i)
+        registered[i]->init();
+}
+
+Tick
+Simulation::run(Tick limit)
+{
+    initAll();
+    return queue.run(limit);
+}
+
+void
+Simulation::finalizeAll()
+{
+    if (finalized)
+        return;
+    finalized = true;
+    for (auto *obj : registered)
+        obj->finalize();
+}
+
+} // namespace salam

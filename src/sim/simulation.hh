@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Simulation: the root container for one simulation instance.
+ *
+ * Owns the event queue and the statistics registry, tracks all
+ * SimObjects constructed against it, and drives the run loop. Multiple
+ * Simulation instances can coexist (the benches construct many).
+ */
+
+#ifndef SALAM_SIM_SIMULATION_HH
+#define SALAM_SIM_SIMULATION_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "event_queue.hh"
+#include "statistics.hh"
+#include "types.hh"
+
+namespace salam
+{
+
+class SimObject;
+
+/** One self-contained simulation instance. */
+class Simulation
+{
+  public:
+    Simulation() = default;
+
+    Simulation(const Simulation &) = delete;
+    Simulation &operator=(const Simulation &) = delete;
+
+    EventQueue &eventQueue() { return queue; }
+
+    const EventQueue &eventQueue() const { return queue; }
+
+    StatRegistry &stats() { return registry; }
+
+    const StatRegistry &stats() const { return registry; }
+
+    Tick curTick() const { return queue.curTick(); }
+
+    /**
+     * Construct a SimObject-derived component owned by this
+     * simulation. Returns a reference; the object lives as long as
+     * the Simulation.
+     */
+    template <typename T, typename... Args>
+    T &
+    create(Args &&...args)
+    {
+        auto obj = std::make_unique<T>(*this, std::forward<Args>(args)...);
+        T &ref = *obj;
+        objects.push_back(std::move(obj));
+        return ref;
+    }
+
+    /** Called by the SimObject constructor. */
+    void registerObject(SimObject *obj) { registered.push_back(obj); }
+
+    /** Call init() on every object, in construction order. */
+    void initAll();
+
+    /**
+     * Run the event loop to completion or until @p limit.
+     * Calls initAll() on first use.
+     * @return tick at which simulation stopped.
+     */
+    Tick run(Tick limit = maxTick);
+
+    /** Call finalize() on every object (idempotent). */
+    void finalizeAll();
+
+  private:
+    EventQueue queue;
+    StatRegistry registry;
+    std::vector<std::unique_ptr<SimObject>> objects;
+    std::vector<SimObject *> registered;
+    bool initialized = false;
+    bool finalized = false;
+};
+
+} // namespace salam
+
+#endif // SALAM_SIM_SIMULATION_HH

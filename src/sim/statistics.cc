@@ -1,0 +1,55 @@
+#include "statistics.hh"
+
+#include <iomanip>
+
+#include "logging.hh"
+
+namespace salam
+{
+
+Stat &
+StatRegistry::add(const std::string &name, const std::string &desc)
+{
+    auto [it, inserted] = stats.try_emplace(name, name, desc);
+    if (!inserted)
+        panic("duplicate statistic '%s'", name.c_str());
+    return it->second;
+}
+
+const Stat *
+StatRegistry::find(const std::string &name) const
+{
+    auto it = stats.find(name);
+    return it == stats.end() ? nullptr : &it->second;
+}
+
+double
+StatRegistry::sumByPrefix(const std::string &prefix) const
+{
+    double sum = 0.0;
+    for (auto it = stats.lower_bound(prefix); it != stats.end(); ++it) {
+        if (it->first.compare(0, prefix.size(), prefix) != 0)
+            break;
+        sum += it->second.value();
+    }
+    return sum;
+}
+
+void
+StatRegistry::dump(std::ostream &os) const
+{
+    for (const auto &[name, stat] : stats) {
+        os << std::left << std::setw(48) << name
+           << std::right << std::setw(16) << stat.value()
+           << "  # " << stat.description() << '\n';
+    }
+}
+
+void
+StatRegistry::resetAll()
+{
+    for (auto &[name, stat] : stats)
+        stat.reset();
+}
+
+} // namespace salam

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Lightweight statistics package.
+ *
+ * Components register named scalar statistics with their simulation's
+ * StatRegistry; the registry supports dumping and programmatic lookup,
+ * which the benches use to print per-experiment rows.
+ */
+
+#ifndef SALAM_SIM_STATISTICS_HH
+#define SALAM_SIM_STATISTICS_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace salam
+{
+
+/** A named scalar statistic (count or accumulated value). */
+class Stat
+{
+  public:
+    Stat() = default;
+
+    Stat(std::string name, std::string desc)
+        : _name(std::move(name)), _desc(std::move(desc))
+    {}
+
+    const std::string &name() const { return _name; }
+
+    const std::string &description() const { return _desc; }
+
+    double value() const { return _value; }
+
+    void set(double v) { _value = v; }
+
+    Stat &operator+=(double v) { _value += v; return *this; }
+
+    Stat &operator++() { _value += 1.0; return *this; }
+
+    void reset() { _value = 0.0; }
+
+  private:
+    std::string _name;
+    std::string _desc;
+    double _value = 0.0;
+};
+
+/** Owner of all statistics in one simulation instance. */
+class StatRegistry
+{
+  public:
+    /**
+     * Register a statistic. The registry owns the Stat; the returned
+     * reference stays valid for the registry's lifetime.
+     */
+    Stat &add(const std::string &name, const std::string &desc);
+
+    /** Look up a statistic by full name; nullptr when absent. */
+    const Stat *find(const std::string &name) const;
+
+    /** Sum of all stats whose names begin with @p prefix. */
+    double sumByPrefix(const std::string &prefix) const;
+
+    /** Dump all statistics, sorted by name. */
+    void dump(std::ostream &os) const;
+
+    void resetAll();
+
+    std::size_t size() const { return stats.size(); }
+
+  private:
+    std::map<std::string, Stat> stats;
+};
+
+} // namespace salam
+
+#endif // SALAM_SIM_STATISTICS_HH

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Fundamental simulation types: ticks, cycles, and frequency helpers.
+ *
+ * A Tick is the base unit of simulated time. Following gem5, one tick
+ * equals one picosecond, giving headroom to express multi-GHz clocks
+ * exactly as integer periods.
+ */
+
+#ifndef SALAM_SIM_TYPES_HH
+#define SALAM_SIM_TYPES_HH
+
+#include <cstdint>
+
+namespace salam
+{
+
+/** Simulated time in picoseconds. */
+using Tick = std::uint64_t;
+
+/** Sentinel for "no scheduled time". */
+constexpr Tick maxTick = ~Tick(0);
+
+/** One simulated second, in ticks. */
+constexpr Tick simSecond = 1'000'000'000'000ULL;
+
+/** Strongly-typed cycle count for clocked objects. */
+class Cycles
+{
+  public:
+    Cycles() = default;
+
+    constexpr explicit Cycles(std::uint64_t c) : count(c) {}
+
+    constexpr std::uint64_t get() const { return count; }
+
+    constexpr Cycles operator+(Cycles o) const
+    { return Cycles(count + o.count); }
+
+    constexpr Cycles operator-(Cycles o) const
+    { return Cycles(count - o.count); }
+
+    Cycles &operator+=(Cycles o) { count += o.count; return *this; }
+
+    Cycles &operator++() { ++count; return *this; }
+
+    constexpr auto operator<=>(const Cycles &) const = default;
+
+  private:
+    std::uint64_t count = 0;
+};
+
+/** Convert a clock frequency in MHz to a period in ticks. */
+constexpr Tick
+periodFromMhz(double mhz)
+{
+    return static_cast<Tick>(1e6 / mhz);
+}
+
+/** Convert a clock frequency in GHz to a period in ticks. */
+constexpr Tick
+periodFromGhz(double ghz)
+{
+    return static_cast<Tick>(1e3 / ghz);
+}
+
+} // namespace salam
+
+#endif // SALAM_SIM_TYPES_HH

@@ -1,0 +1,151 @@
+#include "driver_cpu.hh"
+
+namespace salam::sys
+{
+
+using namespace salam::mem;
+
+DriverCpu::DriverCpu(Simulation &sim, std::string name,
+                     Tick clock_period, Gic *gic)
+    : ClockedObject(sim, std::move(name), clock_period),
+      cpuPort(*this), gic(gic),
+      stepEvent([this] { step(); }, this->name() + ".step",
+                Event::cpuTickPri)
+{
+    if (gic != nullptr)
+        gic->setSink([this](unsigned id) { handleIrq(id); });
+}
+
+void
+DriverCpu::init()
+{
+    if (!program.empty())
+        scheduleStep(Cycles(0));
+}
+
+void
+DriverCpu::scheduleStep(Cycles delay)
+{
+    if (!stepEvent.scheduled())
+        schedule(stepEvent, clockEdge(delay));
+}
+
+Tick
+DriverCpu::markAt(const std::string &label) const
+{
+    auto it = marks.find(label);
+    return it == marks.end() ? 0 : it->second;
+}
+
+void
+DriverCpu::step()
+{
+    if (busy || program.empty())
+        return;
+
+    HostOp &op = program.front();
+    switch (op.kind) {
+      case HostOp::Kind::WriteReg: {
+        auto *pkt = new Packet(MemCmd::WriteReq, op.addr, 8);
+        pkt->setData(&op.value, 8);
+        busy = true;
+        ++mmioCount;
+        bool ok = cpuPort.sendTimingReq(pkt);
+        SALAM_ASSERT(ok);
+        program.pop_front();
+        break;
+      }
+      case HostOp::Kind::ReadReg: {
+        auto *pkt = new Packet(MemCmd::ReadReq, op.addr, 8);
+        busy = true;
+        ++mmioCount;
+        bool ok = cpuPort.sendTimingReq(pkt);
+        SALAM_ASSERT(ok);
+        program.pop_front();
+        break;
+      }
+      case HostOp::Kind::Poll: {
+        // Issue a read; the response handler decides whether the
+        // poll completes or retries. Keep the op at queue front.
+        auto *pkt = new Packet(MemCmd::ReadReq, op.addr, 8);
+        pkt->context = &program.front();
+        busy = true;
+        ++mmioCount;
+        bool ok = cpuPort.sendTimingReq(pkt);
+        SALAM_ASSERT(ok);
+        break;
+      }
+      case HostOp::Kind::WaitIrq: {
+        SALAM_ASSERT(gic != nullptr);
+        if (gic->isPending(op.irqId)) {
+            gic->acknowledge(op.irqId);
+            program.pop_front();
+            scheduleStep(Cycles(opOverhead));
+        } else {
+            busy = true;
+            waitingIrq = true;
+            waitedIrqId = op.irqId;
+        }
+        break;
+      }
+      case HostOp::Kind::Delay: {
+        std::uint64_t cycles = op.cycles;
+        program.pop_front();
+        scheduleStep(Cycles(cycles));
+        break;
+      }
+      case HostOp::Kind::Mark: {
+        marks[op.label] = curTick();
+        program.pop_front();
+        scheduleStep(Cycles(0));
+        break;
+      }
+      case HostOp::Kind::Call: {
+        auto callback = std::move(op.callback);
+        program.pop_front();
+        if (callback)
+            callback();
+        scheduleStep(Cycles(0));
+        break;
+      }
+    }
+}
+
+bool
+DriverCpu::handleResponse(PacketPtr pkt)
+{
+    busy = false;
+    if (pkt->context != nullptr && !program.empty() &&
+        pkt->context == &program.front()) {
+        // Poll response: check the condition.
+        const HostOp &op = program.front();
+        std::uint64_t value = 0;
+        pkt->copyData(&value, 8);
+        if ((value & op.mask) == op.value) {
+            program.pop_front();
+            scheduleStep(Cycles(opOverhead));
+        } else {
+            scheduleStep(Cycles(pollInterval));
+        }
+    } else {
+        scheduleStep(Cycles(opOverhead));
+    }
+    delete pkt;
+    return true;
+}
+
+void
+DriverCpu::handleIrq(unsigned id)
+{
+    if (waitingIrq && id == waitedIrqId) {
+        waitingIrq = false;
+        busy = false;
+        SALAM_ASSERT(gic->isPending(id));
+        gic->acknowledge(id);
+        SALAM_ASSERT(!program.empty());
+        program.pop_front();
+        scheduleStep(Cycles(opOverhead));
+    }
+}
+
+} // namespace salam::sys

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Gic: a minimal ARM-GIC-like interrupt controller.
+ *
+ * Devices raise numbered interrupt lines; the controller latches
+ * them and notifies its (single) CPU sink. Pending interrupts stay
+ * latched until acknowledged, so a CPU that starts waiting after
+ * the device fired still observes it — the race the real driver
+ * code has to handle too.
+ */
+
+#ifndef SALAM_SYS_GIC_HH
+#define SALAM_SYS_GIC_HH
+
+#include <functional>
+#include <set>
+
+#include "sim/sim_object.hh"
+#include "sim/simulation.hh"
+
+namespace salam::sys
+{
+
+/** The interrupt controller. */
+class Gic : public SimObject
+{
+  public:
+    Gic(Simulation &sim, std::string name)
+        : SimObject(sim, std::move(name))
+    {}
+
+    /** Wire the CPU-side notification. */
+    void setSink(std::function<void(unsigned)> sink)
+    { notify = std::move(sink); }
+
+    /** Device-side: raise interrupt line @p id. */
+    void
+    raise(unsigned id)
+    {
+        pending.insert(id);
+        ++raisedCount;
+        if (notify)
+            notify(id);
+    }
+
+    /** CPU-side: is line @p id pending? */
+    bool isPending(unsigned id) const { return pending.count(id); }
+
+    /** CPU-side: acknowledge (clear) line @p id. */
+    void acknowledge(unsigned id) { pending.erase(id); }
+
+    /** Convenience for devices: a callback bound to one line. */
+    std::function<void()>
+    lineCallback(unsigned id)
+    {
+        return [this, id] { raise(id); };
+    }
+
+    std::uint64_t interruptsRaised() const { return raisedCount; }
+
+  private:
+    std::function<void(unsigned)> notify;
+    std::set<unsigned> pending;
+    std::uint64_t raisedCount = 0;
+};
+
+} // namespace salam::sys
+
+#endif // SALAM_SYS_GIC_HH

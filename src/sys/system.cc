@@ -1,0 +1,197 @@
+#include "system.hh"
+
+namespace salam::sys
+{
+
+using namespace salam::mem;
+using namespace salam::core;
+
+SalamSystem::SalamSystem(Simulation &sim, const SystemConfig &config)
+    : sim(sim), cfg(config)
+{
+    interruptController = &sim.create<Gic>("gic");
+    hostCpu = &sim.create<DriverCpu>("host", cfg.hostClockPeriod,
+                                     interruptController);
+    global = &sim.create<Crossbar>("global_xbar",
+                                   cfg.busClockPeriod,
+                                   cfg.globalXbar);
+    mainMemory =
+        &sim.create<SimpleDram>("dram", cfg.busClockPeriod,
+                                cfg.dram);
+    global->connectDevice(mainMemory->port(), cfg.dram.range);
+    bindPorts(hostCpu->port(), global->addRequester("host"));
+}
+
+AcceleratorCluster &
+SalamSystem::addCluster(const std::string &name,
+                        Tick accel_clock_period, unsigned index)
+{
+    std::uint64_t base = SystemAddressMap::clusterBase +
+        index * SystemAddressMap::clusterStride;
+    clusters.push_back(std::make_unique<AcceleratorCluster>(
+        *this, name, accel_clock_period, base,
+        SystemAddressMap::clusterStride));
+    return *clusters.back();
+}
+
+Tick
+SalamSystem::run()
+{
+    Tick end = sim.run();
+    if (!hostCpu->finished()) {
+        fatal("host program did not complete (deadlock in the "
+              "device program or a missed interrupt)");
+    }
+    return end;
+}
+
+AcceleratorCluster::AcceleratorCluster(SalamSystem &system,
+                                       std::string name,
+                                       Tick clock_period,
+                                       std::uint64_t window_base,
+                                       std::uint64_t window_size)
+    : system(system), clusterName(std::move(name)),
+      clockPeriod(clock_period),
+      clusterWindow{window_base, window_base + window_size},
+      allocCursor(window_base)
+{
+    local = &system.simulation().create<Crossbar>(
+        clusterName + ".xbar", clock_period);
+    // Bridge: cluster-internal misses go out to the global
+    // crossbar; the cluster window routes in from the global side.
+    local->connectDefault(
+        system.globalXbar().addRequester(clusterName + ".out"));
+    system.globalXbar().connectDevice(
+        local->addRequester(clusterName + ".in"), clusterWindow);
+}
+
+std::uint64_t
+AcceleratorCluster::allocate(std::uint64_t bytes)
+{
+    std::uint64_t aligned = (bytes + 0xFFF) & ~0xFFFull;
+    std::uint64_t base = allocCursor;
+    if (base + aligned > clusterWindow.end)
+        fatal("%s: cluster address window exhausted",
+              clusterName.c_str());
+    allocCursor += aligned;
+    return base;
+}
+
+Scratchpad &
+AcceleratorCluster::addSpm(const std::string &name,
+                           std::uint64_t bytes,
+                           ScratchpadConfig proto,
+                           bool on_local_xbar)
+{
+    std::uint64_t base = allocate(bytes);
+    proto.range = AddrRange{base, base + bytes};
+    auto &spm = system.simulation().create<Scratchpad>(
+        clusterName + "." + name, clockPeriod, proto);
+    if (on_local_xbar)
+        local->connectDevice(spm.port(0), proto.range);
+    return spm;
+}
+
+StreamBuffer &
+AcceleratorCluster::addStreamBuffer(const std::string &name,
+                                    unsigned capacity_bytes,
+                                    StreamBufferConfig proto)
+{
+    std::uint64_t wbase = allocate(4096);
+    std::uint64_t rbase = allocate(4096);
+    proto.writeRange = AddrRange{wbase, wbase + 4096};
+    proto.readRange = AddrRange{rbase, rbase + 4096};
+    proto.capacityBytes = capacity_bytes;
+    return system.simulation().create<StreamBuffer>(
+        clusterName + "." + name, clockPeriod, proto);
+}
+
+Dma &
+AcceleratorCluster::addDma(const std::string &name, DmaConfig proto)
+{
+    std::uint64_t base = allocate(4096);
+    proto.mmrRange = AddrRange{base, base + 8 * 4};
+    auto &dma = system.simulation().create<Dma>(
+        clusterName + "." + name, clockPeriod, proto);
+    local->connectDevice(dma.mmrPort(), proto.mmrRange);
+    bindPorts(dma.dataPort(),
+              local->addRequester(clusterName + "." + name +
+                                  ".data"));
+    return dma;
+}
+
+ClusterAccelerator &
+AcceleratorCluster::addAccelerator(
+    const std::string &name, const ir::Function &fn,
+    const DeviceConfig &device_config,
+    const std::vector<DataPortSpec> &port_specs)
+{
+    auto accel = std::make_unique<ClusterAccelerator>();
+    std::uint64_t mmr_base = allocate(4096);
+    accel->mmrBase = mmr_base;
+
+    CommInterfaceConfig ccfg;
+    ccfg.mmrRange = AddrRange{mmr_base, mmr_base + 8 * 32};
+    for (const DataPortSpec &spec : port_specs)
+        ccfg.dataPorts.push_back({spec.label, spec.ranges});
+
+    accel->comm = &system.simulation().create<CommInterface>(
+        clusterName + "." + name + ".comm",
+        device_config.clockPeriod, ccfg);
+    accel->cu = &system.simulation().create<ComputeUnit>(
+        clusterName + "." + name, fn, device_config, *accel->comm);
+
+    local->connectDevice(accel->comm->mmrPort(), ccfg.mmrRange);
+    for (std::size_t i = 0; i < port_specs.size(); ++i) {
+        if (port_specs[i].onLocalXbar) {
+            bindPorts(accel->comm->dataPort(
+                          static_cast<unsigned>(i)),
+                      local->addRequester(clusterName + "." + name +
+                                          "." +
+                                          port_specs[i].label));
+        }
+    }
+
+    accel->irqId = system.allocateIrq();
+    accel->comm->setIrqCallback(
+        system.gic().lineCallback(accel->irqId));
+
+    accels.push_back(std::move(accel));
+    return *accels.back();
+}
+
+namespace driver
+{
+
+void
+pushDmaTransfer(DriverCpu &cpu, std::uint64_t dma_mmr_base,
+                std::uint64_t src, std::uint64_t dst,
+                std::uint64_t bytes, bool irq_enable)
+{
+    cpu.push(HostOp::writeReg(dma_mmr_base + 8, src));
+    cpu.push(HostOp::writeReg(dma_mmr_base + 16, dst));
+    cpu.push(HostOp::writeReg(dma_mmr_base + 24, bytes));
+    std::uint64_t ctrl = ctrl_bits::start;
+    if (irq_enable)
+        ctrl |= ctrl_bits::irqEnable;
+    cpu.push(HostOp::writeReg(dma_mmr_base, ctrl));
+}
+
+void
+pushAcceleratorStart(DriverCpu &cpu, const ClusterAccelerator &accel,
+                     const std::vector<std::uint64_t> &args,
+                     bool irq_enable)
+{
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        cpu.push(HostOp::writeReg(
+            accel.argAddr(static_cast<unsigned>(i)), args[i]));
+    }
+    std::uint64_t ctrl = ctrl_bits::start;
+    if (irq_enable)
+        ctrl |= ctrl_bits::irqEnable;
+    cpu.push(HostOp::writeReg(accel.ctrlAddr(), ctrl));
+}
+
+} // namespace driver
+
+} // namespace salam::sys

@@ -1,0 +1,217 @@
+/**
+ * @file
+ * SalamSystem and AcceleratorCluster: full-system composition.
+ *
+ * SalamSystem owns the common spine of every full-system
+ * simulation: host CPU, interrupt controller, global crossbar, and
+ * DRAM. AcceleratorCluster implements the paper's hierarchical
+ * cluster construct: a pool of accelerators behind a local crossbar
+ * with shared scratchpads and DMA, self-contained enough that
+ * accelerators can coordinate without host involvement, and bridged
+ * to the global crossbar for DRAM access.
+ *
+ * Construction order mirrors gem5-SALAM's python configs: create
+ * memories (private SPMs, shared SPMs, stream buffers) first so
+ * their address ranges exist, then accelerators whose data-port
+ * specs reference those ranges, then bind any non-crossbar ports
+ * directly (private SPMs, stream endpoints).
+ */
+
+#ifndef SALAM_SYS_SYSTEM_HH
+#define SALAM_SYS_SYSTEM_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/compute_unit.hh"
+#include "core/dma.hh"
+#include "driver_cpu.hh"
+#include "gic.hh"
+#include "mem/cache.hh"
+#include "mem/crossbar.hh"
+#include "mem/scratchpad.hh"
+#include "mem/simple_dram.hh"
+#include "mem/stream_buffer.hh"
+
+namespace salam::sys
+{
+
+/** Global address map defaults. */
+struct SystemAddressMap
+{
+    static constexpr std::uint64_t dramBase = 0x8000'0000;
+    static constexpr std::uint64_t dramSize = 64ull << 20;
+    static constexpr std::uint64_t clusterBase = 0x0100'0000;
+    static constexpr std::uint64_t clusterStride = 0x0100'0000;
+};
+
+/** System-level parameters. */
+struct SystemConfig
+{
+    Tick hostClockPeriod = periodFromGhz(1.2);
+    Tick busClockPeriod = periodFromMhz(300);
+    mem::DramConfig dram;
+    mem::CrossbarConfig globalXbar;
+
+    SystemConfig()
+    {
+        dram.range = mem::AddrRange{
+            SystemAddressMap::dramBase,
+            SystemAddressMap::dramBase + SystemAddressMap::dramSize};
+    }
+};
+
+class AcceleratorCluster;
+
+/** The full-system spine. */
+class SalamSystem
+{
+  public:
+    explicit SalamSystem(Simulation &sim,
+                         const SystemConfig &config = {});
+
+    Simulation &simulation() { return sim; }
+
+    DriverCpu &host() { return *hostCpu; }
+
+    Gic &gic() { return *interruptController; }
+
+    mem::Crossbar &globalXbar() { return *global; }
+
+    mem::SimpleDram &dram() { return *mainMemory; }
+
+    const SystemConfig &config() const { return cfg; }
+
+    /** Hand out a system-unique interrupt line. */
+    unsigned allocateIrq() { return nextIrq++; }
+
+    /**
+     * Create a cluster occupying the @p index-th cluster address
+     * window (bridged to the global crossbar in both directions).
+     */
+    AcceleratorCluster &addCluster(const std::string &name,
+                                   Tick accel_clock_period,
+                                   unsigned index = 0);
+
+    /** Run until the host program (and all events) complete. */
+    Tick run();
+
+  private:
+    Simulation &sim;
+    SystemConfig cfg;
+    Gic *interruptController;
+    DriverCpu *hostCpu;
+    mem::Crossbar *global;
+    mem::SimpleDram *mainMemory;
+    unsigned nextIrq = 32;
+    std::vector<std::unique_ptr<AcceleratorCluster>> clusters;
+};
+
+/** One accelerator with its interface. */
+struct ClusterAccelerator
+{
+    core::CommInterface *comm = nullptr;
+    core::ComputeUnit *cu = nullptr;
+    /** MMR base address (host/driver view). */
+    std::uint64_t mmrBase = 0;
+    unsigned irqId = 0;
+
+    /** Driver view of control/argument register addresses. */
+    std::uint64_t ctrlAddr() const { return mmrBase; }
+
+    std::uint64_t argAddr(unsigned i) const
+    { return mmrBase + 8ull * (i + 1); }
+};
+
+/** The hierarchical accelerator cluster. */
+class AcceleratorCluster
+{
+  public:
+    AcceleratorCluster(SalamSystem &system, std::string name,
+                       Tick clock_period, std::uint64_t window_base,
+                       std::uint64_t window_size);
+
+    const std::string &name() const { return clusterName; }
+
+    SalamSystem &parent() { return system; }
+
+    mem::Crossbar &localXbar() { return *local; }
+
+    mem::AddrRange window() const { return clusterWindow; }
+
+    /** Reserve cluster address space (4 KiB aligned). */
+    std::uint64_t allocate(std::uint64_t bytes);
+
+    /**
+     * Create a scratchpad in the cluster window.
+     * @param on_local_xbar Shared SPMs are routed via the local
+     *        crossbar; private SPMs (false) leave their ports for
+     *        direct binding to one accelerator.
+     */
+    mem::Scratchpad &addSpm(const std::string &name,
+                            std::uint64_t bytes,
+                            mem::ScratchpadConfig proto = {},
+                            bool on_local_xbar = false);
+
+    /** Stream buffer with write/read port ranges in the window. */
+    mem::StreamBuffer &
+    addStreamBuffer(const std::string &name, unsigned capacity_bytes,
+                    mem::StreamBufferConfig proto = {});
+
+    /** Cluster DMA; MMRs on the local xbar, data via the xbar. */
+    core::Dma &addDma(const std::string &name,
+                      core::DmaConfig proto = {});
+
+    /** Data-port plan for an accelerator. */
+    struct DataPortSpec
+    {
+        std::string label;
+        std::vector<mem::AddrRange> ranges;
+        /** Bound to the local crossbar when true; else caller
+         * binds the port directly (private SPM, stream end). */
+        bool onLocalXbar = true;
+    };
+
+    /** Add an accelerator running @p fn. */
+    ClusterAccelerator &
+    addAccelerator(const std::string &name, const ir::Function &fn,
+                   const core::DeviceConfig &device_config,
+                   const std::vector<DataPortSpec> &port_specs);
+
+    std::vector<std::unique_ptr<ClusterAccelerator>> &accelerators()
+    { return accels; }
+
+  private:
+    SalamSystem &system;
+    std::string clusterName;
+    Tick clockPeriod;
+    mem::Crossbar *local;
+    mem::AddrRange clusterWindow;
+    std::uint64_t allocCursor;
+    std::vector<std::unique_ptr<ClusterAccelerator>> accels;
+};
+
+/**
+ * Driver-program helpers: the canonical MMIO sequences host code
+ * uses against CommInterface/Dma register layouts.
+ */
+namespace driver
+{
+
+/** Program a DMA transfer and start it (4 register writes). */
+void pushDmaTransfer(DriverCpu &cpu, std::uint64_t dma_mmr_base,
+                     std::uint64_t src, std::uint64_t dst,
+                     std::uint64_t bytes, bool irq_enable = true);
+
+/** Write kernel arguments and start an accelerator. */
+void pushAcceleratorStart(DriverCpu &cpu,
+                          const ClusterAccelerator &accel,
+                          const std::vector<std::uint64_t> &args,
+                          bool irq_enable = true);
+
+} // namespace driver
+
+} // namespace salam::sys
+
+#endif // SALAM_SYS_SYSTEM_HH

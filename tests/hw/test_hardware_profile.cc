@@ -1,0 +1,188 @@
+/** @file Unit tests for FU mapping, hardware profile, and CactiLite. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "hw/cacti_lite.hh"
+#include "hw/hardware_profile.hh"
+#include "ir/ir_builder.hh"
+
+using namespace salam::hw;
+using namespace salam::ir;
+
+namespace
+{
+
+class FuMapTest : public ::testing::Test
+{
+  protected:
+    FuMapTest() : mod("m"), b(mod), ctx(b.context())
+    {
+        b.createFunction("f", ctx.voidType());
+        entry = b.createBlock("entry");
+        b.setInsertPoint(entry);
+    }
+
+    Module mod;
+    IRBuilder b;
+    Context &ctx;
+    BasicBlock *entry;
+};
+
+} // namespace
+
+TEST_F(FuMapTest, ArithmeticMapsToExpectedUnits)
+{
+    auto *add = static_cast<Instruction *>(
+        b.add(b.constI64(1), b.constI64(2)));
+    EXPECT_EQ(fuTypeFor(*add), FuType::IntAdder);
+
+    auto *mul = static_cast<Instruction *>(
+        b.mul(b.constI64(2), b.constI64(3)));
+    EXPECT_EQ(fuTypeFor(*mul), FuType::IntMultiplier);
+
+    auto *shl = static_cast<Instruction *>(
+        b.shl(b.constI64(1), b.constI64(4)));
+    EXPECT_EQ(fuTypeFor(*shl), FuType::Shifter);
+
+    auto *fadd_dp = static_cast<Instruction *>(
+        b.fadd(b.constDouble(1), b.constDouble(2)));
+    EXPECT_EQ(fuTypeFor(*fadd_dp), FuType::FpAddSubDouble);
+
+    auto *fmul_sp = static_cast<Instruction *>(
+        b.fmul(b.constFloat(1), b.constFloat(2)));
+    EXPECT_EQ(fuTypeFor(*fmul_sp), FuType::FpMultiplier);
+
+    auto *fdiv = static_cast<Instruction *>(
+        b.fdiv(b.constDouble(1), b.constDouble(2)));
+    EXPECT_EQ(fuTypeFor(*fdiv), FuType::FpDividerDouble);
+}
+
+TEST_F(FuMapTest, ControlAndWiringHaveNoUnit)
+{
+    auto *cmp = static_cast<Instruction *>(
+        b.icmp(Predicate::SLT, b.constI64(1), b.constI64(2)));
+    EXPECT_EQ(fuTypeFor(*cmp), FuType::Comparator);
+
+    auto *z = static_cast<Instruction *>(
+        b.zext(b.constI32(1), ctx.i64()));
+    EXPECT_EQ(fuTypeFor(*z), FuType::None);
+
+    auto *conv = static_cast<Instruction *>(
+        b.sitofp(b.constI64(1), ctx.doubleType()));
+    EXPECT_EQ(fuTypeFor(*conv), FuType::Conversion);
+}
+
+TEST_F(FuMapTest, GepUsesAddressAdders)
+{
+    Function *fn = b.currentFunction();
+    Argument *p = fn->addArgument(ctx.pointerTo(ctx.i32()), "p");
+    auto *gep = static_cast<Instruction *>(
+        b.gep(ctx.i32(), p, b.constI64(1)));
+    EXPECT_EQ(fuTypeFor(*gep), FuType::IntAdder);
+}
+
+TEST(HardwareProfile, DefaultsAreInternallyConsistent)
+{
+    HardwareProfile p = HardwareProfile::defaultProfile();
+
+    // FP units cost more than their integer counterparts.
+    EXPECT_GT(p.fu(FuType::FpAddSubDouble).dynamicEnergyPj,
+              p.fu(FuType::IntAdder).dynamicEnergyPj);
+    EXPECT_GT(p.fu(FuType::FpMultiplierDouble).areaUm2,
+              p.fu(FuType::IntMultiplier).areaUm2);
+    // Double precision beats single precision.
+    EXPECT_GT(p.fu(FuType::FpAddSubDouble).leakagePowerMw,
+              p.fu(FuType::FpAddSub).leakagePowerMw);
+    // 3-stage FP pipeline default (the paper's FP approximation).
+    EXPECT_EQ(p.fu(FuType::FpAddSubDouble).latencyCycles, 3u);
+    EXPECT_EQ(p.fu(FuType::FpMultiplierDouble).latencyCycles, 3u);
+    // Dividers are unpipelined (II == latency).
+    EXPECT_EQ(p.fu(FuType::FpDividerDouble).initiationInterval,
+              p.fu(FuType::FpDividerDouble).latencyCycles);
+}
+
+TEST(HardwareProfile, LatencyForInstructions)
+{
+    HardwareProfile p = HardwareProfile::defaultProfile();
+    Module mod("m");
+    IRBuilder b(mod);
+    Context &ctx = b.context();
+    b.createFunction("f", ctx.voidType());
+    b.setInsertPoint(b.createBlock("entry"));
+    auto *fmul = static_cast<Instruction *>(
+        b.fmul(b.constDouble(1), b.constDouble(2)));
+    EXPECT_EQ(p.latencyFor(*fmul), 3u);
+    auto *add = static_cast<Instruction *>(
+        b.add(b.constI64(1), b.constI64(2)));
+    EXPECT_EQ(p.latencyFor(*add), 1u);
+}
+
+TEST(HardwareProfile, UserOverridesApply)
+{
+    HardwareProfile p = HardwareProfile::defaultProfile();
+    p.fu(FuType::FpAddSubDouble).latencyCycles = 5;
+    EXPECT_EQ(p.fu(FuType::FpAddSubDouble).latencyCycles, 5u);
+}
+
+TEST(CactiLite, EnergyGrowsWithSize)
+{
+    SramConfig small{1024, 4, 1, 1};
+    SramConfig big{16 * 1024, 4, 1, 1};
+    auto ms = CactiLite::evaluate(small);
+    auto mb = CactiLite::evaluate(big);
+    EXPECT_GT(mb.readEnergyPj, ms.readEnergyPj);
+    EXPECT_GT(mb.leakagePowerMw, ms.leakagePowerMw);
+    EXPECT_GT(mb.areaUm2, ms.areaUm2);
+    EXPECT_GT(mb.accessLatencyNs, ms.accessLatencyNs);
+}
+
+TEST(CactiLite, MultiPortingCostsAreaAndLeakage)
+{
+    SramConfig one{4096, 4, 1, 1};
+    SramConfig four{4096, 4, 4, 1};
+    auto m1 = CactiLite::evaluate(one);
+    auto m4 = CactiLite::evaluate(four);
+    EXPECT_GT(m4.areaUm2, 2.0 * m1.areaUm2);
+    EXPECT_GT(m4.leakagePowerMw, m1.leakagePowerMw);
+}
+
+TEST(CactiLite, BankingReducesAccessEnergy)
+{
+    SramConfig flat{16 * 1024, 4, 1, 1};
+    SramConfig banked{16 * 1024, 4, 1, 8};
+    auto mf = CactiLite::evaluate(flat);
+    auto mb = CactiLite::evaluate(banked);
+    EXPECT_LT(mb.readEnergyPj, mf.readEnergyPj);
+    // ...at a small area overhead.
+    EXPECT_GT(mb.areaUm2, mf.areaUm2);
+}
+
+TEST(CactiLite, WritesCostMoreThanReads)
+{
+    auto m = CactiLite::evaluate(SramConfig{4096, 4, 2, 2});
+    EXPECT_GT(m.writeEnergyPj, m.readEnergyPj);
+}
+
+TEST(CactiLite, CacheOverheadsExceedPlainSram)
+{
+    SramConfig cfg{8192, 4, 1, 1};
+    auto spm = CactiLite::evaluate(cfg);
+    auto cache = CactiLite::evaluateCache(cfg, 4);
+    EXPECT_GT(cache.readEnergyPj, spm.readEnergyPj);
+    EXPECT_GT(cache.areaUm2, spm.areaUm2);
+    EXPECT_GT(cache.leakagePowerMw, spm.leakagePowerMw);
+    // Higher associativity costs more energy.
+    auto cache8 = CactiLite::evaluateCache(cfg, 8);
+    EXPECT_GT(cache8.readEnergyPj, cache.readEnergyPj);
+}
+
+TEST(FunctionalUnits, NamesAreUnique)
+{
+    std::set<std::string> names;
+    for (std::size_t i = 0; i < numFuTypes; ++i)
+        names.insert(fuTypeName(static_cast<FuType>(i)));
+    EXPECT_EQ(names.size(), numFuTypes);
+}

@@ -1,0 +1,125 @@
+/** @file Unit tests for IRBuilder construction. */
+
+#include <gtest/gtest.h>
+
+#include "ir/ir_builder.hh"
+#include "ir/verifier.hh"
+#include "test_helpers.hh"
+
+using namespace salam::ir;
+
+TEST(Builder, VecAddStructure)
+{
+    Module mod("m");
+    IRBuilder b(mod);
+    Function *fn = salam::test::buildVecAdd(b);
+
+    EXPECT_EQ(fn->numArguments(), 3u);
+    EXPECT_EQ(fn->numBlocks(), 3u);
+    EXPECT_EQ(fn->entry()->name(), "entry");
+
+    BasicBlock *loop = fn->findBlock("loop");
+    ASSERT_NE(loop, nullptr);
+    EXPECT_EQ(loop->phis().size(), 1u);
+    EXPECT_NE(loop->terminator(), nullptr);
+    EXPECT_TRUE(loop->terminator()->isTerminator());
+
+    auto problems = Verifier::verify(*fn);
+    EXPECT_TRUE(problems.empty())
+        << (problems.empty() ? "" : problems.front());
+}
+
+TEST(Builder, AutoNamingIsUnique)
+{
+    Module mod("m");
+    IRBuilder b(mod);
+    Context &ctx = b.context();
+    Function *fn = b.createFunction("f", ctx.voidType());
+    BasicBlock *entry = b.createBlock("entry");
+    b.setInsertPoint(entry);
+    Value *x = b.add(b.constI64(1), b.constI64(2));
+    Value *y = b.add(x, x);
+    EXPECT_NE(x->name(), y->name());
+    b.ret();
+    (void)fn;
+}
+
+TEST(Builder, ConstantsAreInterned)
+{
+    Module mod("m");
+    IRBuilder b(mod);
+    EXPECT_EQ(b.constI64(42), b.constI64(42));
+    EXPECT_NE(b.constI64(42), b.constI64(43));
+    EXPECT_EQ(b.constDouble(1.5), b.constDouble(1.5));
+    // i32 and i64 constants of the same value are distinct.
+    EXPECT_NE(static_cast<Value *>(b.constI32(7)),
+              static_cast<Value *>(b.constI64(7)));
+}
+
+TEST(Builder, TypeMismatchPanics)
+{
+    Module mod("m");
+    IRBuilder b(mod);
+    Context &ctx = b.context();
+    b.createFunction("f", ctx.voidType());
+    BasicBlock *entry = b.createBlock("entry");
+    b.setInsertPoint(entry);
+    EXPECT_DEATH(b.add(b.constI64(1), b.constI32(1)),
+                 "operand type mismatch");
+}
+
+TEST(Builder, AppendAfterTerminatorPanics)
+{
+    Module mod("m");
+    IRBuilder b(mod);
+    Context &ctx = b.context();
+    b.createFunction("f", ctx.voidType());
+    BasicBlock *entry = b.createBlock("entry");
+    b.setInsertPoint(entry);
+    b.ret();
+    EXPECT_DEATH(b.add(b.constI64(1), b.constI64(1)),
+                 "already-terminated");
+}
+
+TEST(Builder, DuplicateBlockNamesGetSuffixed)
+{
+    Module mod("m");
+    IRBuilder b(mod);
+    Context &ctx = b.context();
+    b.createFunction("f", ctx.voidType());
+    BasicBlock *b1 = b.createBlock("loop");
+    BasicBlock *b2 = b.createBlock("loop");
+    EXPECT_EQ(b1->name(), "loop");
+    EXPECT_NE(b2->name(), "loop");
+}
+
+TEST(Builder, GepResultTypes)
+{
+    Module mod("m");
+    IRBuilder b(mod);
+    Context &ctx = b.context();
+    Function *fn = b.createFunction("f", ctx.voidType());
+    const Type *arr = ctx.arrayOf(ctx.doubleType(), 8);
+    Argument *base = fn->addArgument(ctx.pointerTo(arr), "base");
+    BasicBlock *entry = b.createBlock("entry");
+    b.setInsertPoint(entry);
+
+    // &base[1] over the array type: pointer to the array.
+    Value *p0 = b.gep(arr, base, b.constI64(1));
+    EXPECT_EQ(p0->type(), ctx.pointerTo(arr));
+
+    // &base[0][3]: steps into the array, pointer to double.
+    Value *p1 = b.gep(arr, base, {b.constI64(0), b.constI64(3)});
+    EXPECT_EQ(p1->type(), ctx.pointerTo(ctx.doubleType()));
+    b.ret();
+}
+
+TEST(Builder, SumSquaresVerifies)
+{
+    Module mod("m");
+    IRBuilder b(mod);
+    Function *fn = salam::test::buildSumSquares(b);
+    auto problems = Verifier::verify(*fn);
+    EXPECT_TRUE(problems.empty())
+        << (problems.empty() ? "" : problems.front());
+}

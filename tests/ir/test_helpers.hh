@@ -1,0 +1,95 @@
+/** @file Shared IR construction helpers for tests. */
+
+#ifndef SALAM_TESTS_IR_TEST_HELPERS_HH
+#define SALAM_TESTS_IR_TEST_HELPERS_HH
+
+#include <memory>
+
+#include "ir/ir_builder.hh"
+
+namespace salam::test
+{
+
+/**
+ * Build: void vecadd(i32* a, i32* b, i32* c, i64 n)
+ * with a single-block counted loop, c[i] = a[i] + b[i].
+ * @p n_const bakes the trip count as a constant when >= 0.
+ */
+inline ir::Function *
+buildVecAdd(ir::IRBuilder &b, std::int64_t n_const = 16)
+{
+    using namespace salam::ir;
+    Context &ctx = b.context();
+    Function *fn = b.createFunction("vecadd", ctx.voidType());
+    Argument *a = fn->addArgument(ctx.pointerTo(ctx.i32()), "a");
+    Argument *bb = fn->addArgument(ctx.pointerTo(ctx.i32()), "b");
+    Argument *c = fn->addArgument(ctx.pointerTo(ctx.i32()), "c");
+
+    BasicBlock *entry = b.createBlock("entry");
+    BasicBlock *loop = b.createBlock("loop");
+    BasicBlock *exit = b.createBlock("exit");
+
+    b.setInsertPoint(entry);
+    b.br(loop);
+
+    b.setInsertPoint(loop);
+    PhiInst *i = b.phi(ctx.i64(), "i");
+    Value *pa = b.gep(ctx.i32(), a, i, "pa");
+    Value *pb = b.gep(ctx.i32(), bb, i, "pb");
+    Value *va = b.load(pa, "va");
+    Value *vb = b.load(pb, "vb");
+    Value *sum = b.add(va, vb, "sum");
+    Value *pc = b.gep(ctx.i32(), c, i, "pc");
+    b.store(sum, pc);
+    Value *inext = b.add(i, b.constI64(1), "i.next");
+    Value *cond = b.icmp(Predicate::SLT, inext, b.constI64(n_const),
+                         "cond");
+    b.condBr(cond, loop, exit);
+    i->addIncoming(b.constI64(0), entry);
+    i->addIncoming(inext, loop);
+
+    b.setInsertPoint(exit);
+    b.ret();
+    return fn;
+}
+
+/**
+ * Build: i64 sumsq(i64 n) — returns sum of k*k for k in [0, n),
+ * exercising an accumulator phi and a returned value.
+ */
+inline ir::Function *
+buildSumSquares(ir::IRBuilder &b, std::int64_t n = 10)
+{
+    using namespace salam::ir;
+    Context &ctx = b.context();
+    Function *fn = b.createFunction("sumsq", ctx.i64());
+
+    BasicBlock *entry = b.createBlock("entry");
+    BasicBlock *loop = b.createBlock("loop");
+    BasicBlock *exit = b.createBlock("exit");
+
+    b.setInsertPoint(entry);
+    b.br(loop);
+
+    b.setInsertPoint(loop);
+    PhiInst *k = b.phi(ctx.i64(), "k");
+    PhiInst *acc = b.phi(ctx.i64(), "acc");
+    Value *sq = b.mul(k, k, "sq");
+    Value *acc_next = b.add(acc, sq, "acc.next");
+    Value *k_next = b.add(k, b.constI64(1), "k.next");
+    Value *cond = b.icmp(Predicate::SLT, k_next, b.constI64(n),
+                         "cond");
+    b.condBr(cond, loop, exit);
+    k->addIncoming(b.constI64(0), entry);
+    k->addIncoming(k_next, loop);
+    acc->addIncoming(b.constI64(0), entry);
+    acc->addIncoming(acc_next, loop);
+
+    b.setInsertPoint(exit);
+    b.ret(acc_next);
+    return fn;
+}
+
+} // namespace salam::test
+
+#endif // SALAM_TESTS_IR_TEST_HELPERS_HH

@@ -1,0 +1,197 @@
+/** @file Unit tests for the functional interpreter. */
+
+#include <gtest/gtest.h>
+
+#include "ir/interpreter.hh"
+#include "ir/ir_builder.hh"
+#include "test_helpers.hh"
+
+using namespace salam::ir;
+
+TEST(FlatMemory, ReadWriteRoundTrip)
+{
+    FlatMemory mem;
+    mem.writeI32(0x1000, -42);
+    EXPECT_EQ(mem.readI32(0x1000), -42);
+    mem.writeF64(0x2000, 3.25);
+    EXPECT_DOUBLE_EQ(mem.readF64(0x2000), 3.25);
+    // Untouched memory reads zero.
+    EXPECT_EQ(mem.readI64(0x9000), 0);
+}
+
+TEST(FlatMemory, CrossPageAccess)
+{
+    FlatMemory mem;
+    // Write an 8-byte value straddling a 4 KiB page boundary.
+    mem.writeI64(4092, 0x1122334455667788LL);
+    EXPECT_EQ(mem.readI64(4092), 0x1122334455667788LL);
+    EXPECT_EQ(mem.readI32(4092), 0x55667788);
+}
+
+TEST(Interpreter, VecAddComputesCorrectly)
+{
+    Module mod("m");
+    IRBuilder b(mod);
+    Function *fn = salam::test::buildVecAdd(b, 16);
+
+    FlatMemory mem;
+    const std::uint64_t a = 0x1000, bb = 0x2000, c = 0x3000;
+    for (int i = 0; i < 16; ++i) {
+        mem.writeI32(a + 4u * static_cast<unsigned>(i), i);
+        mem.writeI32(bb + 4u * static_cast<unsigned>(i), 100 - i);
+    }
+
+    Interpreter interp(mem);
+    interp.run(*fn, {RuntimeValue::fromPointer(a),
+                     RuntimeValue::fromPointer(bb),
+                     RuntimeValue::fromPointer(c)});
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(mem.readI32(c + 4u * static_cast<unsigned>(i)), 100);
+}
+
+TEST(Interpreter, ReturnsAccumulator)
+{
+    Module mod("m");
+    IRBuilder b(mod);
+    Function *fn = salam::test::buildSumSquares(b, 10);
+    FlatMemory mem;
+    Interpreter interp(mem);
+    RuntimeValue r = interp.run(*fn, {});
+    // sum k^2, k = 0..9 = 285
+    EXPECT_EQ(r.asSInt(mod.context().i64()), 285);
+}
+
+TEST(Interpreter, PhiReadsAreSimultaneous)
+{
+    // Classic swap loop: (x, y) <- (y, x) twice returns originals.
+    Module mod("m");
+    IRBuilder b(mod);
+    Context &ctx = b.context();
+    Function *fn = b.createFunction("swap2", ctx.i64());
+    BasicBlock *entry = b.createBlock("entry");
+    BasicBlock *loop = b.createBlock("loop");
+    BasicBlock *exit = b.createBlock("exit");
+
+    b.setInsertPoint(entry);
+    b.br(loop);
+
+    b.setInsertPoint(loop);
+    PhiInst *k = b.phi(ctx.i64(), "k");
+    PhiInst *x = b.phi(ctx.i64(), "x");
+    PhiInst *y = b.phi(ctx.i64(), "y");
+    Value *k_next = b.add(k, b.constI64(1), "k.next");
+    Value *cond = b.icmp(Predicate::SLT, k_next, b.constI64(2),
+                         "cond");
+    b.condBr(cond, loop, exit);
+    k->addIncoming(b.constI64(0), entry);
+    k->addIncoming(k_next, loop);
+    x->addIncoming(b.constI64(7), entry);
+    x->addIncoming(y, loop); // swap
+    y->addIncoming(b.constI64(9), entry);
+    y->addIncoming(x, loop); // swap
+
+    b.setInsertPoint(exit);
+    // Return x * 10 + y.
+    Value *r =
+        b.add(b.mul(x, b.constI64(10), "x10"), y, "combined");
+    b.ret(r);
+
+    FlatMemory mem;
+    Interpreter interp(mem);
+    RuntimeValue rv = interp.run(*fn, {});
+    // After the loop exits (2 iterations executed), the exit sees the
+    // values from the start of the last iteration: x=9, y=7 -> 97.
+    EXPECT_EQ(rv.asSInt(ctx.i64()), 97);
+}
+
+TEST(Interpreter, DataDependentBranch)
+{
+    // if (v > 10) out = v << 1 else out = v
+    Module mod("m");
+    IRBuilder b(mod);
+    Context &ctx = b.context();
+    Function *fn = b.createFunction("cond_shift", ctx.i64());
+    Argument *v = fn->addArgument(ctx.i64(), "v");
+    BasicBlock *entry = b.createBlock("entry");
+    BasicBlock *then = b.createBlock("then");
+    BasicBlock *merge = b.createBlock("merge");
+
+    b.setInsertPoint(entry);
+    Value *cond =
+        b.icmp(Predicate::SGT, v, b.constI64(10), "cond");
+    b.condBr(cond, then, merge);
+
+    b.setInsertPoint(then);
+    Value *shifted = b.shl(v, b.constI64(1), "shifted");
+    b.br(merge);
+
+    b.setInsertPoint(merge);
+    PhiInst *out = b.phi(ctx.i64(), "out");
+    out->addIncoming(v, entry);
+    out->addIncoming(shifted, then);
+    b.ret(out);
+
+    FlatMemory mem;
+    Interpreter interp(mem);
+    EXPECT_EQ(interp.run(*fn, {RuntimeValue::fromInt(ctx.i64(), 5)})
+                  .asSInt(ctx.i64()),
+              5);
+    EXPECT_EQ(interp.run(*fn, {RuntimeValue::fromInt(ctx.i64(), 20)})
+                  .asSInt(ctx.i64()),
+              40);
+}
+
+TEST(Interpreter, ObserverSeesLoadsAndStores)
+{
+    Module mod("m");
+    IRBuilder b(mod);
+    Function *fn = salam::test::buildVecAdd(b, 4);
+
+    FlatMemory mem;
+    Interpreter interp(mem);
+    int loads = 0, stores = 0;
+    std::uint64_t last_store_addr = 0;
+    interp.setObserver([&](const ExecRecord &rec) {
+        if (rec.inst->opcode() == Opcode::Load)
+            ++loads;
+        if (rec.inst->opcode() == Opcode::Store) {
+            ++stores;
+            last_store_addr = rec.memAddr;
+        }
+    });
+    interp.run(*fn, {RuntimeValue::fromPointer(0x100),
+                     RuntimeValue::fromPointer(0x200),
+                     RuntimeValue::fromPointer(0x300)});
+    EXPECT_EQ(loads, 8);
+    EXPECT_EQ(stores, 4);
+    EXPECT_EQ(last_store_addr, 0x300u + 3u * 4u);
+}
+
+TEST(Interpreter, StepLimitIsFatal)
+{
+    // Infinite loop: br self.
+    Module mod("m");
+    IRBuilder b(mod);
+    Context &ctx = b.context();
+    Function *fn = b.createFunction("spin", ctx.voidType());
+    BasicBlock *entry = b.createBlock("entry");
+    b.setInsertPoint(entry);
+    b.br(entry);
+
+    FlatMemory mem;
+    Interpreter interp(mem);
+    interp.setStepLimit(1000);
+    EXPECT_EXIT(interp.run(*fn, {}), ::testing::ExitedWithCode(1),
+                "step limit");
+}
+
+TEST(Interpreter, WrongArgCountIsFatal)
+{
+    Module mod("m");
+    IRBuilder b(mod);
+    Function *fn = salam::test::buildVecAdd(b, 4);
+    FlatMemory mem;
+    Interpreter interp(mem);
+    EXPECT_EXIT(interp.run(*fn, {}), ::testing::ExitedWithCode(1),
+                "expects");
+}

@@ -1,0 +1,242 @@
+/** @file Print -> parse round-trip and parser diagnostics tests. */
+
+#include <gtest/gtest.h>
+
+#include "ir/interpreter.hh"
+#include "ir/parser.hh"
+#include "ir/printer.hh"
+#include "ir/verifier.hh"
+#include "test_helpers.hh"
+
+using namespace salam::ir;
+
+namespace
+{
+
+/** Print a module, parse it back, and print again. */
+std::string
+roundTrip(const Module &mod)
+{
+    std::string first = Printer::toString(mod);
+    auto reparsed = Parser::parseModule(first, mod.name());
+    return Printer::toString(*reparsed);
+}
+
+} // namespace
+
+TEST(Parser, VecAddRoundTripIsStable)
+{
+    Module mod("m");
+    IRBuilder b(mod);
+    salam::test::buildVecAdd(b);
+    std::string once = Printer::toString(mod);
+    EXPECT_EQ(once, roundTrip(mod));
+    // And the reparsed module verifies.
+    auto reparsed = Parser::parseModule(once);
+    auto problems = Verifier::verify(*reparsed);
+    EXPECT_TRUE(problems.empty())
+        << (problems.empty() ? "" : problems.front());
+}
+
+TEST(Parser, SumSquaresRoundTripPreservesSemantics)
+{
+    Module mod("m");
+    IRBuilder b(mod);
+    salam::test::buildSumSquares(b, 12);
+    auto reparsed =
+        Parser::parseModule(Printer::toString(mod), "m2");
+    Function *fn = reparsed->findFunction("sumsq");
+    ASSERT_NE(fn, nullptr);
+    FlatMemory mem;
+    Interpreter interp(mem);
+    // sum k^2 for k in [0,12) = 506
+    EXPECT_EQ(interp.run(*fn, {}).asSInt(reparsed->context().i64()),
+              506);
+}
+
+TEST(Parser, FpConstantsRoundTripBitExactly)
+{
+    Module mod("m");
+    IRBuilder b(mod);
+    Context &ctx = b.context();
+    Function *fn = b.createFunction("fp", ctx.doubleType());
+    BasicBlock *entry = b.createBlock("entry");
+    b.setInsertPoint(entry);
+    Value *v = b.fadd(b.constDouble(0.1), b.constDouble(1e-300),
+                      "v");
+    b.ret(v);
+    (void)fn;
+
+    auto reparsed = Parser::parseModule(Printer::toString(mod));
+    FlatMemory mem;
+    Interpreter interp(mem);
+    double expected = 0.1 + 1e-300;
+    EXPECT_EQ(interp.run(*reparsed->findFunction("fp"), {})
+                  .asDouble(),
+              expected);
+}
+
+TEST(Parser, ParsesHandWrittenFunction)
+{
+    const char *text = R"(
+define i64 @double_it(i64 %x) {
+entry:
+  %r = mul i64 %x, 2
+  ret i64 %r
+}
+)";
+    auto mod = Parser::parseModule(text);
+    Function *fn = mod->findFunction("double_it");
+    ASSERT_NE(fn, nullptr);
+    FlatMemory mem;
+    Interpreter interp(mem);
+    EXPECT_EQ(interp.run(*fn, {RuntimeValue::fromInt(
+                                  mod->context().i64(), 21)})
+                  .asSInt(mod->context().i64()),
+              42);
+}
+
+TEST(Parser, ParsesDecimalFpLiterals)
+{
+    const char *text = R"(
+define double @scale(double %x) {
+entry:
+  %r = fmul double %x, 2.5
+  ret double %r
+}
+)";
+    auto mod = Parser::parseModule(text);
+    FlatMemory mem;
+    Interpreter interp(mem);
+    EXPECT_DOUBLE_EQ(interp.run(*mod->findFunction("scale"),
+                                {RuntimeValue::fromDouble(4.0)})
+                         .asDouble(),
+                     10.0);
+}
+
+TEST(Parser, ParsesCommentsAndBlankLines)
+{
+    const char *text = R"(
+; leading comment
+
+define void @f() {   ; trailing comment
+entry:
+  ret void          ; done
+}
+)";
+    auto mod = Parser::parseModule(text);
+    EXPECT_NE(mod->findFunction("f"), nullptr);
+}
+
+TEST(Parser, MultipleFunctionsInOneModule)
+{
+    const char *text = R"(
+define void @f() {
+entry:
+  ret void
+}
+define void @g() {
+entry:
+  ret void
+}
+)";
+    auto mod = Parser::parseModule(text);
+    EXPECT_EQ(mod->numFunctions(), 2u);
+}
+
+TEST(Parser, ForwardPhiReferencesResolve)
+{
+    const char *text = R"(
+define i64 @count() {
+entry:
+  br label %loop
+loop:
+  %i = phi i64 [ 0, %entry ], [ %i.next, %loop ]
+  %i.next = add i64 %i, 1
+  %c = icmp slt i64 %i.next, 5
+  br i1 %c, label %loop, label %exit
+exit:
+  ret i64 %i.next
+}
+)";
+    auto mod = Parser::parseModule(text);
+    FlatMemory mem;
+    Interpreter interp(mem);
+    EXPECT_EQ(interp.run(*mod->findFunction("count"), {})
+                  .asSInt(mod->context().i64()),
+              5);
+}
+
+TEST(Parser, ErrorsCarryLineNumbers)
+{
+    const char *text = R"(
+define void @f() {
+entry:
+  %x = frobnicate i64 1, 2
+  ret void
+}
+)";
+    try {
+        Parser::parseModule(text);
+        FAIL() << "expected ParseError";
+    } catch (const ParseError &err) {
+        EXPECT_EQ(err.line(), 4u);
+        EXPECT_NE(std::string(err.what()).find("frobnicate"),
+                  std::string::npos);
+    }
+}
+
+TEST(Parser, UndefinedValueIsError)
+{
+    const char *text = R"(
+define void @f() {
+entry:
+  %x = add i64 %ghost, 1
+  ret void
+}
+)";
+    EXPECT_THROW(Parser::parseModule(text), ParseError);
+}
+
+TEST(Parser, RedefinitionIsError)
+{
+    const char *text = R"(
+define void @f() {
+entry:
+  %x = add i64 1, 1
+  %x = add i64 2, 2
+  ret void
+}
+)";
+    EXPECT_THROW(Parser::parseModule(text), ParseError);
+}
+
+TEST(Parser, BranchToUnknownBlockIsError)
+{
+    const char *text = R"(
+define void @f() {
+entry:
+  br label %nowhere
+}
+)";
+    EXPECT_THROW(Parser::parseModule(text), ParseError);
+}
+
+TEST(Parser, ArrayAndPointerTypesParse)
+{
+    const char *text = R"(
+define void @f([8 x [4 x double]]* %m, i32* %v) {
+entry:
+  %p = getelementptr [8 x [4 x double]], [8 x [4 x double]]* %m, i64 0, i64 2, i64 3
+  %x = load double, double* %p
+  store double %x, double* %p
+  ret void
+}
+)";
+    auto mod = Parser::parseModule(text);
+    Function *fn = mod->findFunction("f");
+    ASSERT_NE(fn, nullptr);
+    auto problems = Verifier::verify(*fn);
+    EXPECT_TRUE(problems.empty())
+        << (problems.empty() ? "" : problems.front());
+}

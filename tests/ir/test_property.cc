@@ -1,0 +1,293 @@
+/**
+ * @file
+ * Property-based tests: randomly generated IR must survive the
+ * printer/parser round trip and every optimization pipeline with
+ * identical semantics, across many seeds.
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "ir/interpreter.hh"
+#include "ir/ir_builder.hh"
+#include "ir/parser.hh"
+#include "ir/printer.hh"
+#include "ir/verifier.hh"
+#include "opt/fold.hh"
+#include "opt/unroll.hh"
+
+using namespace salam::ir;
+
+namespace
+{
+
+/** Deterministic RNG (kernels::Lcg is in another library). */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed) : state(seed * 2 + 1) {}
+
+    std::uint64_t
+    next()
+    {
+        state = state * 6364136223846793005ULL +
+            1442695040888963407ULL;
+        return state >> 16;
+    }
+
+    std::uint64_t below(std::uint64_t n) { return next() % n; }
+
+  private:
+    std::uint64_t state;
+};
+
+/**
+ * Generate a random straight-line i64 function of @p length
+ * instructions over @p num_args arguments. Division operands are
+ * forced odd (via `or 1`) so no UB paths exist.
+ */
+Function *
+randomStraightLine(IRBuilder &b, Rng &rng, unsigned num_args,
+                   unsigned length)
+{
+    Context &ctx = b.context();
+    Function *fn = b.createFunction("prop", ctx.i64());
+    std::vector<Value *> pool;
+    for (unsigned i = 0; i < num_args; ++i) {
+        pool.push_back(fn->addArgument(
+            ctx.i64(), "a" + std::to_string(i)));
+    }
+    BasicBlock *entry = b.createBlock("entry");
+    b.setInsertPoint(entry);
+    pool.push_back(b.constI64(static_cast<std::int64_t>(
+        rng.below(1000)) - 500));
+
+    auto pick = [&] {
+        return pool[rng.below(pool.size())];
+    };
+
+    for (unsigned i = 0; i < length; ++i) {
+        Value *v = nullptr;
+        switch (rng.below(10)) {
+          case 0:
+            v = b.add(pick(), pick());
+            break;
+          case 1:
+            v = b.sub(pick(), pick());
+            break;
+          case 2:
+            v = b.mul(pick(), pick());
+            break;
+          case 3: {
+            Value *divisor = b.bOr(pick(), b.constI64(1));
+            v = b.sdiv(pick(), divisor);
+            break;
+          }
+          case 4:
+            v = b.bAnd(pick(), pick());
+            break;
+          case 5:
+            v = b.bXor(pick(), pick());
+            break;
+          case 6:
+            v = b.shl(pick(), b.constI64(
+                                  static_cast<std::int64_t>(
+                                      rng.below(63))));
+            break;
+          case 7:
+            v = b.select(
+                b.icmp(Predicate::SLT, pick(), pick()), pick(),
+                pick());
+            break;
+          case 8:
+            v = b.ashr(pick(), b.constI64(
+                                   static_cast<std::int64_t>(
+                                       rng.below(63))));
+            break;
+          default:
+            v = b.add(pick(), b.constI64(
+                                  static_cast<std::int64_t>(
+                                      rng.below(64))));
+            break;
+        }
+        pool.push_back(v);
+    }
+    // Fold everything into the result so nothing is trivially dead.
+    Value *acc = pool.back();
+    for (unsigned i = 0; i < 4; ++i)
+        acc = b.bXor(acc, pick());
+    b.ret(acc);
+    return fn;
+}
+
+std::vector<RuntimeValue>
+randomArgs(Rng &rng, unsigned count)
+{
+    std::vector<RuntimeValue> args;
+    for (unsigned i = 0; i < count; ++i) {
+        RuntimeValue v;
+        v.bits = rng.next();
+        args.push_back(v);
+    }
+    return args;
+}
+
+std::int64_t
+evaluate(const Function &fn, const std::vector<RuntimeValue> &args)
+{
+    FlatMemory mem;
+    Interpreter interp(mem);
+    return interp.run(fn, args)
+        .asSInt(fn.parent()->context().i64());
+}
+
+} // namespace
+
+class IrProperty : public ::testing::TestWithParam<std::uint64_t>
+{};
+
+TEST_P(IrProperty, PrintParseRoundTripPreservesSemantics)
+{
+    Rng rng(GetParam());
+    Module mod("m");
+    IRBuilder b(mod);
+    Function *fn = randomStraightLine(b, rng, 4, 40);
+    Verifier::verifyOrDie(*fn);
+
+    auto reparsed = Parser::parseModule(Printer::toString(mod));
+    Function *fn2 = reparsed->function(0);
+    Verifier::verifyOrDie(*fn2);
+
+    for (int trial = 0; trial < 4; ++trial) {
+        auto args = randomArgs(rng, 4);
+        EXPECT_EQ(evaluate(*fn, args), evaluate(*fn2, args))
+            << "seed " << GetParam() << " trial " << trial;
+    }
+}
+
+TEST_P(IrProperty, CleanupPreservesSemantics)
+{
+    Rng rng(GetParam() ^ 0xC0FFEE);
+    Module mod("m");
+    IRBuilder b(mod);
+    Function *fn = randomStraightLine(b, rng, 4, 40);
+
+    // Reference values BEFORE the transform (the pass mutates fn).
+    std::vector<std::vector<RuntimeValue>> inputs;
+    std::vector<std::int64_t> expected;
+    for (int trial = 0; trial < 4; ++trial) {
+        inputs.push_back(randomArgs(rng, 4));
+        expected.push_back(evaluate(*fn, inputs.back()));
+    }
+
+    salam::opt::cleanup(*fn);
+    Verifier::verifyOrDie(*fn);
+    for (int trial = 0; trial < 4; ++trial) {
+        EXPECT_EQ(evaluate(*fn, inputs[static_cast<std::size_t>(
+                               trial)]),
+                  expected[static_cast<std::size_t>(trial)])
+            << "seed " << GetParam();
+    }
+}
+
+TEST_P(IrProperty, BalancePreservesIntegerSemantics)
+{
+    Rng rng(GetParam() ^ 0xBA1A4CE);
+    Module mod("m");
+    IRBuilder b(mod);
+    Context &ctx = b.context();
+    Function *fn = b.createFunction("chain", ctx.i64());
+    std::vector<Value *> xs;
+    for (int i = 0; i < 6; ++i)
+        xs.push_back(fn->addArgument(ctx.i64(),
+                                     "x" + std::to_string(i)));
+    BasicBlock *entry = b.createBlock("entry");
+    b.setInsertPoint(entry);
+    // Random-length chains of random associative integer ops.
+    Value *acc = xs[0];
+    unsigned links = 6 + static_cast<unsigned>(rng.below(20));
+    Opcode op =
+        std::array<Opcode, 4>{Opcode::Add, Opcode::Mul,
+                              Opcode::Xor,
+                              Opcode::And}[rng.below(4)];
+    for (unsigned i = 0; i < links; ++i) {
+        Value *leaf = xs[rng.below(xs.size())];
+        acc = b.binaryOp(op, acc, leaf);
+    }
+    b.ret(acc);
+
+    std::vector<std::vector<RuntimeValue>> inputs;
+    std::vector<std::int64_t> expected;
+    for (int trial = 0; trial < 4; ++trial) {
+        inputs.push_back(randomArgs(rng, 6));
+        expected.push_back(evaluate(*fn, inputs.back()));
+    }
+    salam::opt::balanceReductions(*fn);
+    Verifier::verifyOrDie(*fn);
+    for (int trial = 0; trial < 4; ++trial) {
+        EXPECT_EQ(evaluate(*fn, inputs[static_cast<std::size_t>(
+                               trial)]),
+                  expected[static_cast<std::size_t>(trial)])
+            << "seed " << GetParam();
+    }
+}
+
+TEST_P(IrProperty, UnrollPreservesLoopSemantics)
+{
+    // Random accumulator loop: acc' = f(acc, iv) with random f.
+    Rng rng(GetParam() ^ 0x10013);
+    Module mod("m");
+    IRBuilder b(mod);
+    Context &ctx = b.context();
+    Function *fn = b.createFunction("loopy", ctx.i64());
+    Argument *x = fn->addArgument(ctx.i64(), "x");
+    BasicBlock *entry = b.createBlock("entry");
+    BasicBlock *loop = b.createBlock("loop");
+    BasicBlock *exit = b.createBlock("exit");
+    std::int64_t trips =
+        4 + static_cast<std::int64_t>(rng.below(28));
+
+    b.setInsertPoint(entry);
+    b.br(loop);
+    b.setInsertPoint(loop);
+    PhiInst *i = b.phi(ctx.i64(), "i");
+    PhiInst *acc = b.phi(ctx.i64(), "acc");
+    Value *mixed;
+    switch (rng.below(3)) {
+      case 0:
+        mixed = b.add(acc, b.mul(i, x, "ix"), "mixed");
+        break;
+      case 1:
+        mixed = b.bXor(acc, b.add(i, x, "ipx"), "mixed");
+        break;
+      default:
+        mixed = b.mul(acc, b.bOr(i, b.constI64(3), "i3"),
+                      "mixed");
+        break;
+    }
+    Value *inext = b.add(i, b.constI64(1), "i.next");
+    Value *cond = b.icmp(Predicate::SLT, inext,
+                         b.constI64(trips), "cond");
+    b.condBr(cond, loop, exit);
+    i->addIncoming(b.constI64(0), entry);
+    i->addIncoming(inext, loop);
+    acc->addIncoming(b.constI64(1), entry);
+    acc->addIncoming(mixed, loop);
+    b.setInsertPoint(exit);
+    b.ret(mixed);
+
+    auto args = randomArgs(rng, 1);
+    std::int64_t expected = evaluate(*fn, args);
+
+    std::uint64_t factor = 2 + rng.below(6);
+    salam::opt::Unroller::unrollByLabel(*fn, "loop", factor);
+    Verifier::verifyOrDie(*fn);
+    salam::opt::cleanup(*fn);
+    Verifier::verifyOrDie(*fn);
+    EXPECT_EQ(evaluate(*fn, args), expected)
+        << "seed " << GetParam() << " factor " << factor;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IrProperty,
+                         ::testing::Range<std::uint64_t>(1, 21));

@@ -1,0 +1,79 @@
+/** @file Unit tests for the IR type system. */
+
+#include <gtest/gtest.h>
+
+#include "ir/context.hh"
+
+using namespace salam::ir;
+
+TEST(Types, InterningGivesPointerIdentity)
+{
+    Context ctx;
+    EXPECT_EQ(ctx.i32(), ctx.intType(32));
+    EXPECT_EQ(ctx.pointerTo(ctx.i32()), ctx.pointerTo(ctx.i32()));
+    EXPECT_EQ(ctx.arrayOf(ctx.doubleType(), 8),
+              ctx.arrayOf(ctx.doubleType(), 8));
+    EXPECT_NE(ctx.arrayOf(ctx.doubleType(), 8),
+              ctx.arrayOf(ctx.doubleType(), 9));
+    EXPECT_NE(ctx.i32(), ctx.i64());
+}
+
+TEST(Types, StoreSizes)
+{
+    Context ctx;
+    EXPECT_EQ(ctx.i1()->storeSize(), 1u);
+    EXPECT_EQ(ctx.i8()->storeSize(), 1u);
+    EXPECT_EQ(ctx.i16()->storeSize(), 2u);
+    EXPECT_EQ(ctx.i32()->storeSize(), 4u);
+    EXPECT_EQ(ctx.i64()->storeSize(), 8u);
+    EXPECT_EQ(ctx.floatType()->storeSize(), 4u);
+    EXPECT_EQ(ctx.doubleType()->storeSize(), 8u);
+    EXPECT_EQ(ctx.pointerTo(ctx.i8())->storeSize(), 8u);
+    EXPECT_EQ(ctx.arrayOf(ctx.i32(), 10)->storeSize(), 40u);
+    EXPECT_EQ(ctx.arrayOf(ctx.arrayOf(ctx.doubleType(), 4), 3)
+                  ->storeSize(),
+              96u);
+}
+
+TEST(Types, BitWidths)
+{
+    Context ctx;
+    EXPECT_EQ(ctx.i1()->bitWidth(), 1u);
+    EXPECT_EQ(ctx.intType(17)->bitWidth(), 17u);
+    EXPECT_EQ(ctx.floatType()->bitWidth(), 32u);
+    EXPECT_EQ(ctx.doubleType()->bitWidth(), 64u);
+    EXPECT_EQ(ctx.pointerTo(ctx.i8())->bitWidth(), 64u);
+}
+
+TEST(Types, ToStringMatchesLlvmSyntax)
+{
+    Context ctx;
+    EXPECT_EQ(ctx.i32()->toString(), "i32");
+    EXPECT_EQ(ctx.voidType()->toString(), "void");
+    EXPECT_EQ(ctx.pointerTo(ctx.doubleType())->toString(), "double*");
+    EXPECT_EQ(ctx.arrayOf(ctx.floatType(), 64)->toString(),
+              "[64 x float]");
+    EXPECT_EQ(ctx.pointerTo(ctx.arrayOf(ctx.i8(), 2))->toString(),
+              "[2 x i8]*");
+}
+
+TEST(Types, PredicateHelpers)
+{
+    Context ctx;
+    EXPECT_TRUE(ctx.doubleType()->isFloatingPoint());
+    EXPECT_TRUE(ctx.floatType()->isFloatingPoint());
+    EXPECT_FALSE(ctx.i32()->isFloatingPoint());
+    EXPECT_TRUE(ctx.pointerTo(ctx.i32())->isPointer());
+    EXPECT_EQ(ctx.pointerTo(ctx.i32())->pointee(), ctx.i32());
+    EXPECT_EQ(ctx.arrayOf(ctx.i32(), 4)->arrayElement(), ctx.i32());
+    EXPECT_EQ(ctx.arrayOf(ctx.i32(), 4)->arrayCount(), 4u);
+}
+
+TEST(Types, InvalidIntegerWidthIsFatal)
+{
+    Context ctx;
+    EXPECT_EXIT(ctx.intType(0), ::testing::ExitedWithCode(1),
+                "unsupported integer width");
+    EXPECT_EXIT(ctx.intType(65), ::testing::ExitedWithCode(1),
+                "unsupported integer width");
+}

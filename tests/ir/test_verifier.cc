@@ -1,0 +1,185 @@
+/** @file Unit tests for IR verification and dominance analysis. */
+
+#include <gtest/gtest.h>
+
+#include "ir/ir_builder.hh"
+#include "ir/verifier.hh"
+#include "test_helpers.hh"
+
+using namespace salam::ir;
+
+namespace
+{
+
+bool
+mentions(const std::vector<std::string> &problems,
+         const std::string &needle)
+{
+    for (const auto &p : problems) {
+        if (p.find(needle) != std::string::npos)
+            return true;
+    }
+    return false;
+}
+
+} // namespace
+
+TEST(Verifier, AcceptsWellFormedFunctions)
+{
+    Module mod("m");
+    IRBuilder b(mod);
+    salam::test::buildVecAdd(b);
+    salam::test::buildSumSquares(b);
+    EXPECT_TRUE(Verifier::verify(mod).empty());
+}
+
+TEST(Verifier, DetectsMissingTerminator)
+{
+    Module mod("m");
+    IRBuilder b(mod);
+    Context &ctx = b.context();
+    Function *fn = b.createFunction("f", ctx.voidType());
+    BasicBlock *entry = b.createBlock("entry");
+    b.setInsertPoint(entry);
+    b.add(b.constI64(1), b.constI64(2));
+    auto problems = Verifier::verify(*fn);
+    EXPECT_TRUE(mentions(problems, "terminator"));
+}
+
+TEST(Verifier, DetectsEmptyBlock)
+{
+    Module mod("m");
+    IRBuilder b(mod);
+    Context &ctx = b.context();
+    Function *fn = b.createFunction("f", ctx.voidType());
+    b.createBlock("entry");
+    auto problems = Verifier::verify(*fn);
+    EXPECT_TRUE(mentions(problems, "empty"));
+}
+
+TEST(Verifier, DetectsPhiPredecessorMismatch)
+{
+    Module mod("m");
+    IRBuilder b(mod);
+    Context &ctx = b.context();
+    Function *fn = b.createFunction("f", ctx.i64());
+    BasicBlock *entry = b.createBlock("entry");
+    BasicBlock *merge = b.createBlock("merge");
+    b.setInsertPoint(entry);
+    b.br(merge);
+    b.setInsertPoint(merge);
+    PhiInst *phi = b.phi(ctx.i64(), "v");
+    // Two incoming entries but only one predecessor.
+    phi->addIncoming(b.constI64(1), entry);
+    phi->addIncoming(b.constI64(2), merge);
+    b.ret(phi);
+    auto problems = Verifier::verify(*fn);
+    EXPECT_FALSE(problems.empty());
+}
+
+TEST(Verifier, DetectsUseBeforeDefInBlock)
+{
+    Module mod("m");
+    IRBuilder b(mod);
+    Context &ctx = b.context();
+    Function *fn = b.createFunction("f", ctx.voidType());
+    BasicBlock *entry = b.createBlock("entry");
+    b.setInsertPoint(entry);
+    Value *x = b.add(b.constI64(1), b.constI64(2), "x");
+    Value *y = b.add(x, b.constI64(3), "y");
+    b.ret();
+    // Swap: make x depend on y (use before def).
+    static_cast<Instruction *>(x)->setOperand(0, y);
+    auto problems = Verifier::verify(*fn);
+    EXPECT_TRUE(mentions(problems, "before definition"));
+}
+
+TEST(Verifier, DetectsNonDominatingUseAcrossBlocks)
+{
+    Module mod("m");
+    IRBuilder b(mod);
+    Context &ctx = b.context();
+    Function *fn = b.createFunction("f", ctx.i64());
+    BasicBlock *entry = b.createBlock("entry");
+    BasicBlock *left = b.createBlock("left");
+    BasicBlock *right = b.createBlock("right");
+    BasicBlock *merge = b.createBlock("merge");
+
+    b.setInsertPoint(entry);
+    Value *c = b.icmp(Predicate::EQ, b.constI64(0), b.constI64(0),
+                      "c");
+    b.condBr(c, left, right);
+
+    b.setInsertPoint(left);
+    Value *lv = b.add(b.constI64(1), b.constI64(2), "lv");
+    b.br(merge);
+
+    b.setInsertPoint(right);
+    b.br(merge);
+
+    b.setInsertPoint(merge);
+    // Direct use of lv in merge: left does not dominate merge.
+    b.ret(lv);
+
+    auto problems = Verifier::verify(*fn);
+    EXPECT_TRUE(mentions(problems, "not dominated"));
+}
+
+TEST(Verifier, DominatorsOfDiamond)
+{
+    Module mod("m");
+    IRBuilder b(mod);
+    Context &ctx = b.context();
+    Function *fn = b.createFunction("f", ctx.voidType());
+    BasicBlock *entry = b.createBlock("entry");
+    BasicBlock *left = b.createBlock("left");
+    BasicBlock *right = b.createBlock("right");
+    BasicBlock *merge = b.createBlock("merge");
+
+    b.setInsertPoint(entry);
+    Value *c = b.icmp(Predicate::EQ, b.constI64(0), b.constI64(0),
+                      "c");
+    b.condBr(c, left, right);
+    b.setInsertPoint(left);
+    b.br(merge);
+    b.setInsertPoint(right);
+    b.br(merge);
+    b.setInsertPoint(merge);
+    b.ret();
+
+    auto dom = Verifier::dominators(*fn);
+    // Block order: entry=0, left=1, right=2, merge=3.
+    EXPECT_TRUE(dom[3][0]);  // entry dominates merge
+    EXPECT_FALSE(dom[3][1]); // left does not dominate merge
+    EXPECT_FALSE(dom[3][2]); // right does not dominate merge
+    EXPECT_TRUE(dom[1][0]);  // entry dominates left
+    EXPECT_TRUE(dom[2][2]);  // right dominates itself
+}
+
+TEST(Verifier, StoreTypeMismatchDetected)
+{
+    Module mod("m");
+    IRBuilder b(mod);
+    Context &ctx = b.context();
+    Function *fn = b.createFunction("f", ctx.voidType());
+    Argument *p = fn->addArgument(ctx.pointerTo(ctx.i32()), "p");
+    BasicBlock *entry = b.createBlock("entry");
+    b.setInsertPoint(entry);
+    // Store an i64 through an i32*.
+    entry->append(std::make_unique<StoreInst>(
+        ctx.voidType(), b.constI64(1), p));
+    b.ret();
+    auto problems = Verifier::verify(*fn);
+    EXPECT_TRUE(mentions(problems, "mismatch"));
+}
+
+TEST(Verifier, VerifyOrDieExitsOnBadIr)
+{
+    Module mod("m");
+    IRBuilder b(mod);
+    Context &ctx = b.context();
+    Function *fn = b.createFunction("f", ctx.voidType());
+    b.createBlock("entry");
+    EXPECT_EXIT(Verifier::verifyOrDie(*fn),
+                ::testing::ExitedWithCode(1), "verification failed");
+}

@@ -1,0 +1,167 @@
+/** @file Functional validation of every benchmark kernel. */
+
+#include <gtest/gtest.h>
+
+#include "ir/parser.hh"
+#include "ir/printer.hh"
+#include "ir/verifier.hh"
+#include "kernels/machsuite.hh"
+
+using namespace salam;
+using namespace salam::ir;
+using namespace salam::kernels;
+
+namespace
+{
+
+constexpr std::uint64_t base = 0x10000;
+
+/** Interpret @p fn over a fresh seeded memory and run the check. */
+std::string
+runAndCheck(const Kernel &kernel, Function &fn)
+{
+    FlatMemory mem;
+    kernel.seed(mem, base);
+    Interpreter interp(mem);
+    interp.run(fn, kernel.args(base));
+    return kernel.check(mem, base);
+}
+
+} // namespace
+
+class KernelParam
+    : public ::testing::TestWithParam<const char *>
+{
+  protected:
+    std::unique_ptr<Kernel> kernel = makeKernel(GetParam());
+};
+
+TEST_P(KernelParam, BuildsAndVerifies)
+{
+    ASSERT_NE(kernel, nullptr);
+    Module mod("m");
+    IRBuilder b(mod);
+    Function *fn = kernel->build(b);
+    auto problems = Verifier::verify(*fn);
+    EXPECT_TRUE(problems.empty())
+        << (problems.empty() ? "" : problems.front());
+    EXPECT_GT(fn->instructionCount(), 5u);
+}
+
+TEST_P(KernelParam, InterpreterMatchesGolden)
+{
+    Module mod("m");
+    IRBuilder b(mod);
+    Function *fn = kernel->build(b);
+    EXPECT_EQ(runAndCheck(*kernel, *fn), "");
+}
+
+TEST_P(KernelParam, OptimizedPipelinePreservesSemantics)
+{
+    Module mod("m");
+    IRBuilder b(mod);
+    Function *fn = kernel->buildOptimized(b);
+    Verifier::verifyOrDie(*fn);
+    EXPECT_EQ(runAndCheck(*kernel, *fn), "");
+}
+
+TEST_P(KernelParam, PrintParseRoundTripPreservesSemantics)
+{
+    Module mod("m");
+    IRBuilder b(mod);
+    Function *fn = kernel->build(b);
+    std::string text = Printer::toString(mod);
+    auto reparsed = Parser::parseModule(text);
+    Function *fn2 = reparsed->function(0);
+    ASSERT_NE(fn2, nullptr);
+    Verifier::verifyOrDie(*fn2);
+    EXPECT_EQ(runAndCheck(*kernel, *fn2), "");
+    (void)fn;
+}
+
+TEST_P(KernelParam, FootprintCoversArguments)
+{
+    // Every pointer argument must land inside [base, base+footprint).
+    auto args = kernel->args(base);
+    for (const auto &arg : args) {
+        if (arg.bits >= base) {
+            EXPECT_LT(arg.bits, base + kernel->footprintBytes())
+                << kernel->name();
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MachSuite, KernelParam,
+    ::testing::Values("bfs-queue", "fft-strided", "gemm", "md-grid",
+                      "md-knn", "nw", "spmv-crs", "stencil2d",
+                      "stencil3d", "conv2d", "relu", "maxpool"),
+    [](const ::testing::TestParamInfo<const char *> &info) {
+        std::string name = info.param;
+        for (auto &c : name) {
+            if (c == '-')
+                c = '_';
+        }
+        return name;
+    });
+
+TEST(KernelRegistry, MachsuiteListIsComplete)
+{
+    auto kernels = machsuiteKernels();
+    EXPECT_EQ(kernels.size(), 9u);
+    for (const auto &k : kernels)
+        EXPECT_NE(makeKernel(k->name()), nullptr) << k->name();
+    EXPECT_EQ(makeKernel("nope"), nullptr);
+}
+
+TEST(KernelVariants, SpmvGuardedBothDatasets)
+{
+    for (unsigned dataset : {1u, 2u}) {
+        auto kernel = makeSpmv(64, 8, true, dataset);
+        Module mod("m");
+        IRBuilder b(mod);
+        Function *fn = kernel->build(b);
+        Verifier::verifyOrDie(*fn);
+        EXPECT_EQ(runAndCheck(*kernel, *fn), "")
+            << "dataset " << dataset;
+    }
+}
+
+TEST(KernelVariants, GemmUnrollFactorsAllCorrect)
+{
+    for (unsigned unroll : {1u, 4u, 16u, 32u}) {
+        auto kernel = makeGemm(16, unroll);
+        Module mod("m");
+        IRBuilder b(mod);
+        Function *fn = kernel->buildOptimized(b);
+        EXPECT_EQ(runAndCheck(*kernel, *fn), "")
+            << "unroll " << unroll;
+    }
+}
+
+TEST(KernelVariants, FftSizesPowerOfTwo)
+{
+    for (unsigned size : {16u, 64u, 256u}) {
+        auto kernel = makeFft(size);
+        Module mod("m");
+        IRBuilder b(mod);
+        Function *fn = kernel->build(b);
+        EXPECT_EQ(runAndCheck(*kernel, *fn), "") << "size " << size;
+    }
+}
+
+TEST(KernelVariants, StreamVariantsBuildAndVerify)
+{
+    // Stream-addressed variants use a fixed port slot; they cannot
+    // be interpreted against flat memory meaningfully, but must
+    // still build valid IR.
+    for (auto &kernel :
+         {makeConv2d(16, 16, true), makeRelu(64, true, true),
+          makeMaxPool(16, 16, true, true)}) {
+        Module mod("m");
+        IRBuilder b(mod);
+        Function *fn = kernel->build(b);
+        auto problems = Verifier::verify(*fn);
+        EXPECT_TRUE(problems.empty()) << kernel->name();
+    }
+}

@@ -1,0 +1,90 @@
+/** @file Shared memory-system test fixtures. */
+
+#ifndef SALAM_TESTS_MEM_TEST_HARNESS_HH
+#define SALAM_TESTS_MEM_TEST_HARNESS_HH
+
+#include <map>
+#include <vector>
+
+#include "mem/port.hh"
+#include "sim/simulation.hh"
+
+namespace salam::test
+{
+
+/** A scripted requester that records response arrival times. */
+class TestRequester : public mem::RequestPort
+{
+  public:
+    explicit TestRequester(Simulation &sim, std::string name = "req")
+        : mem::RequestPort(std::move(name)), sim(sim)
+    {}
+
+    struct Response
+    {
+        mem::PacketPtr pkt;
+        Tick at;
+    };
+
+    bool
+    recvTimingResp(mem::PacketPtr pkt) override
+    {
+        responses.push_back(Response{pkt, sim.curTick()});
+        return true;
+    }
+
+    void recvReqRetry() override { ++retries; }
+
+    /** Issue a read at tick @p when. */
+    mem::PacketPtr
+    read(Tick when, std::uint64_t addr, unsigned size)
+    {
+        auto *pkt = new mem::Packet(mem::MemCmd::ReadReq, addr, size);
+        sim.eventQueue().schedule(when, [this, pkt] {
+            bool ok = sendTimingReq(pkt);
+            SALAM_ASSERT(ok);
+        });
+        return pkt;
+    }
+
+    /** Issue a write of @p value at tick @p when. */
+    mem::PacketPtr
+    write(Tick when, std::uint64_t addr, std::uint64_t value,
+          unsigned size)
+    {
+        auto *pkt = new mem::Packet(mem::MemCmd::WriteReq, addr, size);
+        pkt->setData(&value, size);
+        sim.eventQueue().schedule(when, [this, pkt] {
+            bool ok = sendTimingReq(pkt);
+            SALAM_ASSERT(ok);
+        });
+        return pkt;
+    }
+
+    /** Response arrival tick for @p pkt; 0 when not received. */
+    Tick
+    arrivalOf(mem::PacketPtr pkt) const
+    {
+        for (const auto &r : responses) {
+            if (r.pkt == pkt)
+                return r.at;
+        }
+        return 0;
+    }
+
+    ~TestRequester() override
+    {
+        for (auto &r : responses)
+            delete r.pkt;
+    }
+
+    std::vector<Response> responses;
+    int retries = 0;
+
+  private:
+    Simulation &sim;
+};
+
+} // namespace salam::test
+
+#endif // SALAM_TESTS_MEM_TEST_HARNESS_HH

@@ -1,0 +1,287 @@
+/** @file Unit tests for constant folding, DCE, and CFG cleanup. */
+
+#include <gtest/gtest.h>
+
+#include "ir/interpreter.hh"
+#include "ir/verifier.hh"
+#include "opt/fold.hh"
+#include "../ir/test_helpers.hh"
+
+using namespace salam::ir;
+using namespace salam::opt;
+
+TEST(Fold, ConstantExpressionCollapses)
+{
+    Module mod("m");
+    IRBuilder b(mod);
+    Context &ctx = b.context();
+    Function *fn = b.createFunction("f", ctx.i64());
+    BasicBlock *entry = b.createBlock("entry");
+    b.setInsertPoint(entry);
+    Value *x = b.add(b.constI64(2), b.constI64(3), "x");
+    Value *y = b.mul(x, b.constI64(10), "y");
+    b.ret(y);
+
+    EXPECT_TRUE(foldConstants(*fn));
+    Verifier::verifyOrDie(*fn);
+    // Only the ret should remain.
+    EXPECT_EQ(entry->size(), 1u);
+    FlatMemory mem;
+    Interpreter interp(mem);
+    EXPECT_EQ(interp.run(*fn, {}).asSInt(ctx.i64()), 50);
+}
+
+TEST(Fold, FpConstantFolding)
+{
+    Module mod("m");
+    IRBuilder b(mod);
+    Context &ctx = b.context();
+    Function *fn = b.createFunction("f", ctx.doubleType());
+    BasicBlock *entry = b.createBlock("entry");
+    b.setInsertPoint(entry);
+    Value *x = b.fmul(b.constDouble(1.5), b.constDouble(4.0), "x");
+    b.ret(x);
+    foldConstants(*fn);
+    EXPECT_EQ(entry->size(), 1u);
+    FlatMemory mem;
+    Interpreter interp(mem);
+    EXPECT_DOUBLE_EQ(interp.run(*fn, {}).asDouble(), 6.0);
+}
+
+TEST(Fold, ConstantBranchFoldsAndCfgSimplifies)
+{
+    Module mod("m");
+    IRBuilder b(mod);
+    Context &ctx = b.context();
+    Function *fn = b.createFunction("f", ctx.i64());
+    BasicBlock *entry = b.createBlock("entry");
+    BasicBlock *then = b.createBlock("then");
+    BasicBlock *els = b.createBlock("else");
+    BasicBlock *merge = b.createBlock("merge");
+
+    b.setInsertPoint(entry);
+    Value *c = b.icmp(Predicate::SLT, b.constI64(1), b.constI64(2),
+                      "c");
+    b.condBr(c, then, els);
+    b.setInsertPoint(then);
+    b.br(merge);
+    b.setInsertPoint(els);
+    b.br(merge);
+    b.setInsertPoint(merge);
+    PhiInst *v = b.phi(ctx.i64(), "v");
+    v->addIncoming(b.constI64(111), then);
+    v->addIncoming(b.constI64(222), els);
+    b.ret(v);
+
+    cleanup(*fn);
+    Verifier::verifyOrDie(*fn);
+    // Everything folds into a single block returning 111.
+    EXPECT_EQ(fn->numBlocks(), 1u);
+    FlatMemory mem;
+    Interpreter interp(mem);
+    EXPECT_EQ(interp.run(*fn, {}).asSInt(ctx.i64()), 111);
+}
+
+TEST(Fold, DeadCodeIsRemoved)
+{
+    Module mod("m");
+    IRBuilder b(mod);
+    Context &ctx = b.context();
+    Function *fn = b.createFunction("f", ctx.voidType());
+    Argument *p = fn->addArgument(ctx.pointerTo(ctx.i64()), "p");
+    BasicBlock *entry = b.createBlock("entry");
+    b.setInsertPoint(entry);
+    // Dead arithmetic chain.
+    Value *x = b.add(b.constI64(1), b.constI64(2), "x");
+    b.mul(x, x, "dead");
+    // Live store.
+    b.store(b.constI64(5), p);
+    b.ret();
+
+    EXPECT_TRUE(eliminateDeadCode(*fn));
+    // Only store + ret remain.
+    EXPECT_EQ(entry->size(), 2u);
+    Verifier::verifyOrDie(*fn);
+}
+
+TEST(Fold, StoresAreNeverDead)
+{
+    Module mod("m");
+    IRBuilder b(mod);
+    Context &ctx = b.context();
+    Function *fn = b.createFunction("f", ctx.voidType());
+    Argument *p = fn->addArgument(ctx.pointerTo(ctx.i64()), "p");
+    BasicBlock *entry = b.createBlock("entry");
+    b.setInsertPoint(entry);
+    b.store(b.constI64(5), p);
+    b.ret();
+    EXPECT_FALSE(eliminateDeadCode(*fn));
+    EXPECT_EQ(entry->size(), 2u);
+}
+
+TEST(Fold, UnreachableBlockRemoved)
+{
+    Module mod("m");
+    IRBuilder b(mod);
+    Context &ctx = b.context();
+    Function *fn = b.createFunction("f", ctx.voidType());
+    BasicBlock *entry = b.createBlock("entry");
+    BasicBlock *orphan = b.createBlock("orphan");
+    b.setInsertPoint(entry);
+    b.ret();
+    b.setInsertPoint(orphan);
+    b.ret();
+
+    EXPECT_TRUE(simplifyCfg(*fn));
+    EXPECT_EQ(fn->numBlocks(), 1u);
+    EXPECT_EQ(fn->entry()->name(), "entry");
+}
+
+TEST(Fold, StraightLineChainsMerge)
+{
+    Module mod("m");
+    IRBuilder b(mod);
+    Context &ctx = b.context();
+    Function *fn = b.createFunction("f", ctx.i64());
+    BasicBlock *entry = b.createBlock("entry");
+    BasicBlock *mid = b.createBlock("mid");
+    BasicBlock *end = b.createBlock("end");
+    b.setInsertPoint(entry);
+    Value *x = b.add(b.constI64(1), b.constI64(1), "x");
+    b.br(mid);
+    b.setInsertPoint(mid);
+    Value *y = b.add(x, x, "y");
+    b.br(end);
+    b.setInsertPoint(end);
+    b.ret(y);
+
+    EXPECT_TRUE(simplifyCfg(*fn));
+    EXPECT_EQ(fn->numBlocks(), 1u);
+    Verifier::verifyOrDie(*fn);
+    FlatMemory mem;
+    Interpreter interp(mem);
+    EXPECT_EQ(interp.run(*fn, {}).asSInt(ctx.i64()), 4);
+}
+
+TEST(Fold, CleanupPreservesLoopSemantics)
+{
+    Module mod("m");
+    IRBuilder b(mod);
+    Function *fn = salam::test::buildSumSquares(b, 9);
+    cleanup(*fn);
+    Verifier::verifyOrDie(*fn);
+    FlatMemory mem;
+    Interpreter interp(mem);
+    // sum k^2 for k in [0,9) = 204
+    EXPECT_EQ(interp.run(*fn, {}).asSInt(mod.context().i64()), 204);
+}
+
+TEST(Fold, ReassociateConstantsCollapsesIvChains)
+{
+    Module mod("m");
+    IRBuilder b(mod);
+    Context &ctx = b.context();
+    Function *fn = b.createFunction("f", ctx.i64());
+    Argument *x = fn->addArgument(ctx.i64(), "x");
+    BasicBlock *entry = b.createBlock("entry");
+    b.setInsertPoint(entry);
+    Value *a = b.add(x, b.constI64(1), "a");
+    Value *c = b.add(a, b.constI64(2), "c");
+    Value *d = b.add(c, b.constI64(3), "d");
+    b.ret(d);
+
+    EXPECT_TRUE(reassociateConstants(*fn));
+    Verifier::verifyOrDie(*fn);
+    // d must now be x + 6 directly.
+    auto *ret = static_cast<ReturnInst *>(entry->terminator());
+    auto *root = static_cast<BinaryOp *>(ret->value());
+    EXPECT_EQ(root->lhs(), x);
+    auto *cst = dynamic_cast<ConstantInt *>(root->rhs());
+    ASSERT_NE(cst, nullptr);
+    EXPECT_EQ(cst->sext(), 6);
+}
+
+TEST(Fold, BalanceReductionsBuildsTree)
+{
+    // Chain of 8 integer adds -> depth-3 tree, same result.
+    Module mod("m");
+    IRBuilder b(mod);
+    Context &ctx = b.context();
+    Function *fn = b.createFunction("f", ctx.i64());
+    std::vector<Argument *> xs;
+    for (int i = 0; i < 8; ++i)
+        xs.push_back(fn->addArgument(ctx.i64(),
+                                     "x" + std::to_string(i)));
+    BasicBlock *entry = b.createBlock("entry");
+    b.setInsertPoint(entry);
+    Value *acc = xs[0];
+    for (int i = 1; i < 8; ++i)
+        acc = b.add(acc, xs[static_cast<std::size_t>(i)], "acc");
+    b.ret(acc);
+
+    EXPECT_TRUE(balanceReductions(*fn));
+    Verifier::verifyOrDie(*fn);
+
+    // Depth of the result expression must now be ~log2(8) = 3.
+    std::function<int(const Value *)> depth =
+        [&](const Value *v) -> int {
+        const auto *inst = dynamic_cast<const Instruction *>(v);
+        if (inst == nullptr || inst->opcode() != Opcode::Add)
+            return 0;
+        return 1 + std::max(depth(inst->operand(0)),
+                            depth(inst->operand(1)));
+    };
+    auto *ret = static_cast<ReturnInst *>(entry->terminator());
+    EXPECT_LE(depth(ret->value()), 4);
+
+    // Semantics preserved.
+    FlatMemory mem;
+    Interpreter interp(mem);
+    std::vector<RuntimeValue> args;
+    std::int64_t expected = 0;
+    for (int i = 0; i < 8; ++i) {
+        args.push_back(RuntimeValue::fromInt(
+            ctx.i64(), static_cast<std::uint64_t>(10 + i)));
+        expected += 10 + i;
+    }
+    EXPECT_EQ(interp.run(*fn, args).asSInt(ctx.i64()), expected);
+}
+
+TEST(Fold, BalanceLeavesShortChainsAlone)
+{
+    Module mod("m");
+    IRBuilder b(mod);
+    Context &ctx = b.context();
+    Function *fn = b.createFunction("f", ctx.i64());
+    Argument *x = fn->addArgument(ctx.i64(), "x");
+    Argument *y = fn->addArgument(ctx.i64(), "y");
+    BasicBlock *entry = b.createBlock("entry");
+    b.setInsertPoint(entry);
+    Value *a = b.add(x, y, "a");
+    Value *c = b.add(a, x, "c");
+    b.ret(c);
+    EXPECT_FALSE(balanceReductions(*fn));
+}
+
+TEST(Fold, BalanceIsIdempotent)
+{
+    Module mod("m");
+    IRBuilder b(mod);
+    Context &ctx = b.context();
+    Function *fn = b.createFunction("f", ctx.doubleType());
+    std::vector<Argument *> xs;
+    for (int i = 0; i < 16; ++i)
+        xs.push_back(fn->addArgument(ctx.doubleType(),
+                                     "x" + std::to_string(i)));
+    BasicBlock *entry = b.createBlock("entry");
+    b.setInsertPoint(entry);
+    Value *acc = xs[0];
+    for (int i = 1; i < 16; ++i)
+        acc = b.fadd(acc, xs[static_cast<std::size_t>(i)], "acc");
+    b.ret(acc);
+
+    EXPECT_TRUE(balanceReductions(*fn));
+    std::size_t after_first = fn->instructionCount();
+    EXPECT_FALSE(balanceReductions(*fn));
+    EXPECT_EQ(fn->instructionCount(), after_first);
+}

@@ -1,0 +1,129 @@
+/** @file Unit tests for loop discovery and trip-count computation. */
+
+#include <gtest/gtest.h>
+
+#include "ir/ir_builder.hh"
+#include "opt/loop_analysis.hh"
+#include "../ir/test_helpers.hh"
+
+using namespace salam::ir;
+using namespace salam::opt;
+
+TEST(LoopAnalysis, FindsCountedLoop)
+{
+    Module mod("m");
+    IRBuilder b(mod);
+    Function *fn = salam::test::buildVecAdd(b, 16);
+    auto loops = LoopAnalysis::findLoops(*fn);
+    ASSERT_EQ(loops.size(), 1u);
+    EXPECT_EQ(loops[0].block->name(), "loop");
+    EXPECT_EQ(loops[0].preheader->name(), "entry");
+    EXPECT_EQ(loops[0].exit->name(), "exit");
+    EXPECT_EQ(loops[0].tripCount, 16u);
+    EXPECT_EQ(loops[0].phis.size(), 1u);
+}
+
+TEST(LoopAnalysis, AccumulatorPhisAreAccepted)
+{
+    Module mod("m");
+    IRBuilder b(mod);
+    Function *fn = salam::test::buildSumSquares(b, 10);
+    auto loops = LoopAnalysis::findLoops(*fn);
+    ASSERT_EQ(loops.size(), 1u);
+    EXPECT_EQ(loops[0].tripCount, 10u);
+    EXPECT_EQ(loops[0].phis.size(), 2u);
+}
+
+TEST(LoopAnalysis, TripCountWithStride)
+{
+    // for (i = 0; i != 64; i += 4): 16 trips.
+    Module mod("m");
+    IRBuilder b(mod);
+    Context &ctx = b.context();
+    Function *fn = b.createFunction("stride", ctx.voidType());
+    BasicBlock *entry = b.createBlock("entry");
+    BasicBlock *loop = b.createBlock("loop");
+    BasicBlock *exit = b.createBlock("exit");
+    b.setInsertPoint(entry);
+    b.br(loop);
+    b.setInsertPoint(loop);
+    PhiInst *i = b.phi(ctx.i64(), "i");
+    Value *inext = b.add(i, b.constI64(4), "i.next");
+    Value *cond = b.icmp(Predicate::NE, inext, b.constI64(64), "c");
+    b.condBr(cond, loop, exit);
+    i->addIncoming(b.constI64(0), entry);
+    i->addIncoming(inext, loop);
+    b.setInsertPoint(exit);
+    b.ret();
+
+    auto loop_info = LoopAnalysis::analyze(*fn, fn->findBlock("loop"));
+    ASSERT_TRUE(loop_info.has_value());
+    EXPECT_EQ(loop_info->tripCount, 16u);
+}
+
+TEST(LoopAnalysis, DataDependentBoundIsRejected)
+{
+    // Bound comes from an argument: not statically countable.
+    Module mod("m");
+    IRBuilder b(mod);
+    Context &ctx = b.context();
+    Function *fn = b.createFunction("dyn", ctx.voidType());
+    Argument *n = fn->addArgument(ctx.i64(), "n");
+    BasicBlock *entry = b.createBlock("entry");
+    BasicBlock *loop = b.createBlock("loop");
+    BasicBlock *exit = b.createBlock("exit");
+    b.setInsertPoint(entry);
+    b.br(loop);
+    b.setInsertPoint(loop);
+    PhiInst *i = b.phi(ctx.i64(), "i");
+    Value *inext = b.add(i, b.constI64(1), "i.next");
+    Value *cond = b.icmp(Predicate::SLT, inext, n, "c");
+    b.condBr(cond, loop, exit);
+    i->addIncoming(b.constI64(0), entry);
+    i->addIncoming(inext, loop);
+    b.setInsertPoint(exit);
+    b.ret();
+
+    EXPECT_FALSE(
+        LoopAnalysis::analyze(*fn, fn->findBlock("loop")).has_value());
+}
+
+TEST(LoopAnalysis, LoadInControlSliceIsRejected)
+{
+    // while (mem[i] != 0) style loops cannot be counted statically.
+    Module mod("m");
+    IRBuilder b(mod);
+    Context &ctx = b.context();
+    Function *fn = b.createFunction("memloop", ctx.voidType());
+    Argument *p = fn->addArgument(ctx.pointerTo(ctx.i64()), "p");
+    BasicBlock *entry = b.createBlock("entry");
+    BasicBlock *loop = b.createBlock("loop");
+    BasicBlock *exit = b.createBlock("exit");
+    b.setInsertPoint(entry);
+    b.br(loop);
+    b.setInsertPoint(loop);
+    PhiInst *i = b.phi(ctx.i64(), "i");
+    Value *addr = b.gep(ctx.i64(), p, i, "addr");
+    Value *v = b.load(addr, "v");
+    Value *inext = b.add(i, b.constI64(1), "i.next");
+    Value *cond = b.icmp(Predicate::NE, v, b.constI64(0), "c");
+    b.condBr(cond, loop, exit);
+    i->addIncoming(b.constI64(0), entry);
+    i->addIncoming(inext, loop);
+    b.setInsertPoint(exit);
+    b.ret();
+
+    EXPECT_FALSE(
+        LoopAnalysis::analyze(*fn, fn->findBlock("loop")).has_value());
+}
+
+TEST(LoopAnalysis, NonLoopBlockIsRejected)
+{
+    Module mod("m");
+    IRBuilder b(mod);
+    Function *fn = salam::test::buildVecAdd(b, 8);
+    EXPECT_FALSE(
+        LoopAnalysis::analyze(*fn, fn->findBlock("entry")).has_value());
+    EXPECT_FALSE(
+        LoopAnalysis::analyze(*fn, fn->findBlock("exit")).has_value());
+}

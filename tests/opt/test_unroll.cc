@@ -1,0 +1,222 @@
+/** @file Unit tests for loop unrolling. */
+
+#include <gtest/gtest.h>
+
+#include "ir/interpreter.hh"
+#include "ir/verifier.hh"
+#include "opt/fold.hh"
+#include "opt/pass_manager.hh"
+#include "opt/unroll.hh"
+#include "../ir/test_helpers.hh"
+
+using namespace salam::ir;
+using namespace salam::opt;
+
+namespace
+{
+
+/** Run vecadd over fresh memory; return output vector c. */
+std::vector<std::int32_t>
+runVecAdd(Function &fn, int n)
+{
+    FlatMemory mem;
+    const std::uint64_t a = 0x1000, b = 0x2000, c = 0x3000;
+    for (int i = 0; i < n; ++i) {
+        mem.writeI32(a + 4u * static_cast<unsigned>(i), 3 * i);
+        mem.writeI32(b + 4u * static_cast<unsigned>(i), 1000 - i);
+    }
+    Interpreter interp(mem);
+    interp.run(fn, {RuntimeValue::fromPointer(a),
+                    RuntimeValue::fromPointer(b),
+                    RuntimeValue::fromPointer(c)});
+    std::vector<std::int32_t> out;
+    for (int i = 0; i < n; ++i)
+        out.push_back(mem.readI32(c + 4u * static_cast<unsigned>(i)));
+    return out;
+}
+
+std::vector<std::int32_t>
+expectedVecAdd(int n)
+{
+    std::vector<std::int32_t> out;
+    for (int i = 0; i < n; ++i)
+        out.push_back(3 * i + 1000 - i);
+    return out;
+}
+
+} // namespace
+
+class UnrollParam : public ::testing::TestWithParam<std::uint64_t>
+{};
+
+TEST_P(UnrollParam, VecAddSemanticsPreserved)
+{
+    std::uint64_t factor = GetParam();
+    Module mod("m");
+    IRBuilder b(mod);
+    Function *fn = salam::test::buildVecAdd(b, 16);
+
+    std::uint64_t applied =
+        Unroller::unrollByLabel(*fn, "loop", factor);
+    EXPECT_EQ(applied, factor);
+    Verifier::verifyOrDie(*fn);
+    EXPECT_EQ(runVecAdd(*fn, 16), expectedVecAdd(16));
+}
+
+INSTANTIATE_TEST_SUITE_P(Factors, UnrollParam,
+                         ::testing::Values(1, 2, 4, 8, 16));
+
+TEST(Unroll, FullUnrollRemovesLoop)
+{
+    Module mod("m");
+    IRBuilder b(mod);
+    Function *fn = salam::test::buildVecAdd(b, 8);
+    Unroller::unrollByLabel(*fn, "loop", 8);
+    Verifier::verifyOrDie(*fn);
+
+    BasicBlock *loop = fn->findBlock("loop");
+    ASSERT_NE(loop, nullptr);
+    // No phis, unconditional terminator.
+    EXPECT_TRUE(loop->phis().empty());
+    auto *br = dynamic_cast<BranchInst *>(loop->terminator());
+    ASSERT_NE(br, nullptr);
+    EXPECT_FALSE(br->isConditional());
+    EXPECT_EQ(runVecAdd(*fn, 8), expectedVecAdd(8));
+}
+
+TEST(Unroll, PartialUnrollGrowsBody)
+{
+    Module mod("m");
+    IRBuilder b(mod);
+    Function *fn = salam::test::buildVecAdd(b, 16);
+    std::size_t before = fn->findBlock("loop")->size();
+    Unroller::unrollByLabel(*fn, "loop", 4);
+    std::size_t after = fn->findBlock("loop")->size();
+    // Body instructions replicated ~4x (phis and branch not).
+    EXPECT_GT(after, 3 * before);
+    EXPECT_EQ(runVecAdd(*fn, 16), expectedVecAdd(16));
+}
+
+TEST(Unroll, NonDivisibleFactorIsClamped)
+{
+    Module mod("m");
+    IRBuilder b(mod);
+    Function *fn = salam::test::buildVecAdd(b, 12);
+    // 8 does not divide 12; largest divisor <= 8 is 6.
+    EXPECT_EQ(Unroller::unrollByLabel(*fn, "loop", 8), 6u);
+    Verifier::verifyOrDie(*fn);
+    EXPECT_EQ(runVecAdd(*fn, 12), expectedVecAdd(12));
+}
+
+TEST(Unroll, AccumulatorLoopFullUnroll)
+{
+    Module mod("m");
+    IRBuilder b(mod);
+    Function *fn = salam::test::buildSumSquares(b, 10);
+    Unroller::unrollByLabel(*fn, "loop", 10);
+    Verifier::verifyOrDie(*fn);
+    FlatMemory mem;
+    Interpreter interp(mem);
+    EXPECT_EQ(interp.run(*fn, {}).asSInt(mod.context().i64()), 285);
+}
+
+TEST(Unroll, AccumulatorLoopPartialUnroll)
+{
+    Module mod("m");
+    IRBuilder b(mod);
+    Function *fn = salam::test::buildSumSquares(b, 12);
+    EXPECT_EQ(Unroller::unrollByLabel(*fn, "loop", 3), 3u);
+    Verifier::verifyOrDie(*fn);
+    FlatMemory mem;
+    Interpreter interp(mem);
+    // sum k^2 for k in [0,12) = 506
+    EXPECT_EQ(interp.run(*fn, {}).asSInt(mod.context().i64()), 506);
+}
+
+TEST(Unroll, UnknownLabelReturnsZero)
+{
+    Module mod("m");
+    IRBuilder b(mod);
+    Function *fn = salam::test::buildVecAdd(b, 8);
+    EXPECT_EQ(Unroller::unrollByLabel(*fn, "nope", 2), 0u);
+}
+
+TEST(Unroll, PassManagerPipeline)
+{
+    Module mod("m");
+    IRBuilder b(mod);
+    Function *fn = salam::test::buildVecAdd(b, 16);
+    PassManager::run(*fn, {PassSpec::unroll("loop", 4),
+                           PassSpec::cleanup()});
+    EXPECT_EQ(runVecAdd(*fn, 16), expectedVecAdd(16));
+}
+
+TEST(Unroll, PassManagerUnknownLoopIsFatal)
+{
+    Module mod("m");
+    IRBuilder b(mod);
+    Function *fn = salam::test::buildVecAdd(b, 16);
+    EXPECT_EXIT(
+        PassManager::run(*fn, {PassSpec::unroll("bogus", 4)}),
+        ::testing::ExitedWithCode(1), "no simple loop");
+}
+
+TEST(Unroll, NestedLoopsFullyUnrollWithCleanup)
+{
+    // 2-level nest: outer 3 iterations, inner 4; body stores i*4+j.
+    Module mod("m");
+    IRBuilder b(mod);
+    Context &ctx = b.context();
+    Function *fn = b.createFunction("nest", ctx.voidType());
+    Argument *out = fn->addArgument(ctx.pointerTo(ctx.i64()), "out");
+
+    BasicBlock *entry = b.createBlock("entry");
+    BasicBlock *outer = b.createBlock("outer");
+    BasicBlock *inner = b.createBlock("inner");
+    BasicBlock *latch = b.createBlock("latch");
+    BasicBlock *exit = b.createBlock("exit");
+
+    b.setInsertPoint(entry);
+    b.br(outer);
+
+    b.setInsertPoint(outer);
+    PhiInst *i = b.phi(ctx.i64(), "i");
+    b.br(inner);
+
+    b.setInsertPoint(inner);
+    PhiInst *j = b.phi(ctx.i64(), "j");
+    Value *i4 = b.mul(i, b.constI64(4), "i4");
+    Value *flat = b.add(i4, j, "flat");
+    Value *slot = b.gep(ctx.i64(), out, flat, "slot");
+    b.store(flat, slot);
+    Value *jn = b.add(j, b.constI64(1), "j.next");
+    Value *jc = b.icmp(Predicate::SLT, jn, b.constI64(4), "jc");
+    b.condBr(jc, inner, latch);
+    j->addIncoming(b.constI64(0), outer);
+    j->addIncoming(jn, inner);
+
+    b.setInsertPoint(latch);
+    Value *in = b.add(i, b.constI64(1), "i.next");
+    Value *ic = b.icmp(Predicate::SLT, in, b.constI64(3), "ic");
+    b.condBr(ic, outer, exit);
+    i->addIncoming(b.constI64(0), entry);
+    i->addIncoming(in, latch);
+
+    b.setInsertPoint(exit);
+    b.ret();
+
+    Verifier::verifyOrDie(*fn);
+    Unroller::unrollAll(*fn);
+    Verifier::verifyOrDie(*fn);
+
+    // Everything should now be straight-line code: no simple loops.
+    EXPECT_TRUE(LoopAnalysis::findLoops(*fn).empty());
+
+    FlatMemory mem;
+    Interpreter interp(mem);
+    interp.run(*fn, {RuntimeValue::fromPointer(0x100)});
+    for (std::int64_t k = 0; k < 12; ++k) {
+        EXPECT_EQ(mem.readI64(0x100 + 8u * static_cast<unsigned>(k)),
+                  k);
+    }
+}

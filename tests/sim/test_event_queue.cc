@@ -1,0 +1,131 @@
+/** @file Unit tests for the event queue core. */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+
+using namespace salam;
+
+TEST(EventQueue, StartsEmptyAtTickZero)
+{
+    EventQueue q;
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.curTick(), 0u);
+    EXPECT_FALSE(q.step());
+}
+
+TEST(EventQueue, LambdaEventsFireInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(30, [&] { order.push_back(3); });
+    q.schedule(10, [&] { order.push_back(1); });
+    q.schedule(20, [&] { order.push_back(2); });
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(q.curTick(), 30u);
+}
+
+TEST(EventQueue, SameTickFifoWithinPriority)
+{
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 8; ++i)
+        q.schedule(5, [&order, i] { order.push_back(i); });
+    q.run();
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, PriorityBreaksTies)
+{
+    EventQueue q;
+    std::vector<int> order;
+    EventFunctionWrapper low([&] { order.push_back(1); }, "low",
+                             Event::cpuTickPri);
+    EventFunctionWrapper high([&] { order.push_back(0); }, "high",
+                              Event::memoryResponsePri);
+    q.schedule(&low, 5);
+    q.schedule(&high, 5);
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1}));
+}
+
+TEST(EventQueue, EventsCanScheduleMoreEvents)
+{
+    EventQueue q;
+    int count = 0;
+    std::function<void()> chain = [&] {
+        ++count;
+        if (count < 5)
+            q.schedule(q.curTick() + 10, chain);
+    };
+    q.schedule(0, chain);
+    q.run();
+    EXPECT_EQ(count, 5);
+    EXPECT_EQ(q.curTick(), 40u);
+}
+
+TEST(EventQueue, RunHonorsLimit)
+{
+    EventQueue q;
+    int fired = 0;
+    q.schedule(10, [&] { ++fired; });
+    q.schedule(100, [&] { ++fired; });
+    q.run(50);
+    EXPECT_EQ(fired, 1);
+    EXPECT_FALSE(q.empty());
+    q.run();
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, DescheduleCancelsEvent)
+{
+    EventQueue q;
+    int fired = 0;
+    EventFunctionWrapper ev([&] { ++fired; }, "cancel-me");
+    q.schedule(&ev, 10);
+    EXPECT_TRUE(ev.scheduled());
+    q.deschedule(&ev);
+    EXPECT_FALSE(ev.scheduled());
+    q.run();
+    EXPECT_EQ(fired, 0);
+}
+
+TEST(EventQueue, RescheduleMovesEvent)
+{
+    EventQueue q;
+    Tick fired_at = 0;
+    EventFunctionWrapper ev([&] { fired_at = q.curTick(); }, "move");
+    q.schedule(&ev, 10);
+    q.reschedule(&ev, 42);
+    q.run();
+    EXPECT_EQ(fired_at, 42u);
+}
+
+TEST(EventQueue, MemberEventReschedulesItself)
+{
+    EventQueue q;
+    int ticks = 0;
+    EventFunctionWrapper ev(
+        [&] {
+            if (++ticks < 3)
+                q.schedule(&ev, q.curTick() + 7);
+        },
+        "self");
+    q.schedule(&ev, 0);
+    q.run();
+    EXPECT_EQ(ticks, 3);
+    EXPECT_EQ(q.curTick(), 14u);
+}
+
+TEST(EventQueue, ServicedCountTracksEvents)
+{
+    EventQueue q;
+    for (int i = 0; i < 10; ++i)
+        q.schedule(static_cast<Tick>(i), [] {});
+    q.run();
+    EXPECT_EQ(q.numServiced(), 10u);
+}

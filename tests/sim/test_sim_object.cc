@@ -1,0 +1,82 @@
+/** @file Unit tests for SimObject/ClockedObject and Simulation. */
+
+#include <gtest/gtest.h>
+
+#include "sim/sim_object.hh"
+#include "sim/simulation.hh"
+
+using namespace salam;
+
+namespace
+{
+
+class Counter : public ClockedObject
+{
+  public:
+    Counter(Simulation &sim, std::string name, Tick period, int limit)
+        : ClockedObject(sim, std::move(name), period), limit(limit),
+          tickEvent([this] { tick(); }, this->name() + ".tick")
+    {}
+
+    void init() override { schedule(tickEvent, clockEdge()); }
+
+    int count = 0;
+
+  private:
+    void
+    tick()
+    {
+        if (++count < limit)
+            schedule(tickEvent, clockEdge(Cycles(1)));
+    }
+
+    int limit;
+    EventFunctionWrapper tickEvent;
+};
+
+} // namespace
+
+TEST(ClockedObject, CycleTickConversions)
+{
+    Simulation sim;
+    auto &obj = sim.create<Counter>("ctr", periodFromMhz(100), 1);
+    EXPECT_EQ(obj.clockPeriod(), 10000u); // 100 MHz -> 10 ns -> 10000 ps
+    EXPECT_DOUBLE_EQ(obj.frequencyMhz(), 100.0);
+    EXPECT_EQ(obj.cyclesToTicks(Cycles(3)), 30000u);
+    EXPECT_EQ(obj.ticksToCycles(20001).get(), 3u);
+}
+
+TEST(ClockedObject, ClockEdgeAlignsUp)
+{
+    Simulation sim;
+    auto &obj = sim.create<Counter>("ctr", 10, 1);
+    // At tick 0 the next edge is now.
+    EXPECT_EQ(obj.clockEdge(), 0u);
+    EXPECT_EQ(obj.clockEdge(Cycles(2)), 20u);
+}
+
+TEST(Simulation, InitSchedulesAndRunDrives)
+{
+    Simulation sim;
+    auto &obj = sim.create<Counter>("ctr", 10, 5);
+    sim.run();
+    EXPECT_EQ(obj.count, 5);
+    EXPECT_EQ(sim.curTick(), 40u);
+}
+
+TEST(Simulation, TwoClockDomainsInterleaveDeterministically)
+{
+    Simulation sim;
+    auto &fast = sim.create<Counter>("fast", 10, 10);
+    auto &slow = sim.create<Counter>("slow", 25, 4);
+    sim.run();
+    EXPECT_EQ(fast.count, 10);
+    EXPECT_EQ(slow.count, 4);
+}
+
+TEST(Simulation, ZeroClockPeriodIsFatal)
+{
+    Simulation sim;
+    EXPECT_EXIT(sim.create<Counter>("bad", 0, 1),
+                ::testing::ExitedWithCode(1), "clock period");
+}

@@ -1,0 +1,63 @@
+/** @file Unit tests for the statistics registry. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/statistics.hh"
+
+using namespace salam;
+
+TEST(Statistics, AddAndAccumulate)
+{
+    StatRegistry reg;
+    Stat &s = reg.add("acc.cycles", "total cycles");
+    ++s;
+    s += 9.0;
+    EXPECT_DOUBLE_EQ(s.value(), 10.0);
+    EXPECT_DOUBLE_EQ(reg.find("acc.cycles")->value(), 10.0);
+}
+
+TEST(Statistics, FindMissingReturnsNull)
+{
+    StatRegistry reg;
+    EXPECT_EQ(reg.find("nope"), nullptr);
+}
+
+TEST(Statistics, DuplicateNamePanics)
+{
+    StatRegistry reg;
+    reg.add("x", "first");
+    EXPECT_DEATH(reg.add("x", "second"), "duplicate statistic");
+}
+
+TEST(Statistics, SumByPrefix)
+{
+    StatRegistry reg;
+    reg.add("acc0.power.fu", "fu power").set(2.0);
+    reg.add("acc0.power.reg", "reg power").set(3.0);
+    reg.add("acc1.power.fu", "fu power").set(5.0);
+    EXPECT_DOUBLE_EQ(reg.sumByPrefix("acc0.power."), 5.0);
+    EXPECT_DOUBLE_EQ(reg.sumByPrefix("acc"), 10.0);
+    EXPECT_DOUBLE_EQ(reg.sumByPrefix("zzz"), 0.0);
+}
+
+TEST(Statistics, DumpContainsNamesAndValues)
+{
+    StatRegistry reg;
+    reg.add("a.b", "a stat").set(7.0);
+    std::ostringstream os;
+    reg.dump(os);
+    EXPECT_NE(os.str().find("a.b"), std::string::npos);
+    EXPECT_NE(os.str().find("7"), std::string::npos);
+}
+
+TEST(Statistics, ResetAllZeroes)
+{
+    StatRegistry reg;
+    reg.add("a", "").set(1.0);
+    reg.add("b", "").set(2.0);
+    reg.resetAll();
+    EXPECT_DOUBLE_EQ(reg.find("a")->value(), 0.0);
+    EXPECT_DOUBLE_EQ(reg.find("b")->value(), 0.0);
+}

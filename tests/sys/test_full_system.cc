@@ -1,0 +1,316 @@
+/** @file Full-system integration tests: host + DMA + accelerator. */
+
+#include <gtest/gtest.h>
+
+#include "kernels/machsuite.hh"
+#include "mem/backdoor.hh"
+#include "sys/system.hh"
+#include "../ir/test_helpers.hh"
+
+using namespace salam;
+using namespace salam::ir;
+using namespace salam::mem;
+using namespace salam::core;
+using namespace salam::sys;
+
+namespace
+{
+
+/** Common scenario: one cluster, one accelerator, private SPM. */
+struct SingleAccelSystem
+{
+    Simulation sim;
+    SalamSystem sys{sim};
+    AcceleratorCluster *cluster = nullptr;
+    Scratchpad *spm = nullptr;
+    Dma *dma = nullptr;
+    unsigned dmaIrq = 0;
+    ClusterAccelerator *accel = nullptr;
+
+    SingleAccelSystem(const Function &fn, std::uint64_t spm_bytes,
+                      DeviceConfig dev = {})
+    {
+        cluster = &sys.addCluster("cluster0", dev.clockPeriod);
+
+        ScratchpadConfig sproto;
+        sproto.readPorts = 4;
+        sproto.writePorts = 4;
+        sproto.numPorts = 2; // accelerator + DMA-side via xbar
+        spm = &cluster->addSpm("spm", spm_bytes, sproto, false);
+        // Port 1 reachable from the local xbar (for DMA fills).
+        cluster->localXbar().connectDevice(spm->port(1),
+                                           spm->config().range);
+
+        dma = &cluster->addDma("dma");
+        dmaIrq = sys.allocateIrq();
+        dma->setIrqCallback(sys.gic().lineCallback(dmaIrq));
+
+        accel = &cluster->addAccelerator(
+            "acc", fn, dev,
+            {{"spm", {spm->config().range}, false}});
+        bindPorts(accel->comm->dataPort(0), spm->port(0));
+    }
+};
+
+} // namespace
+
+TEST(FullSystem, HostDmaAcceleratorRoundTrip)
+{
+    // vecadd over data staged in DRAM, DMAed to the SPM, computed,
+    // and DMAed back — the full Fig. 1 flow.
+    Module mod("m");
+    IRBuilder b(mod);
+    Function *fn = salam::test::buildVecAdd(b, 32);
+
+    SingleAccelSystem s(*fn, 64 * 1024);
+    const std::uint64_t dram_in = SystemAddressMap::dramBase;
+    const std::uint64_t dram_out = SystemAddressMap::dramBase + 0x4000;
+    std::uint64_t spm_base = s.spm->config().range.start;
+    const std::uint64_t a = spm_base, bb = spm_base + 0x400,
+                        c = spm_base + 0x800;
+
+    for (int i = 0; i < 32; ++i) {
+        std::int32_t va = i, vb = 1000 + i;
+        s.sys.dram().backdoorWrite(
+            dram_in + 4u * static_cast<unsigned>(i), &va, 4);
+        s.sys.dram().backdoorWrite(
+            dram_in + 0x400 + 4u * static_cast<unsigned>(i), &vb,
+            4);
+    }
+
+    DriverCpu &host = s.sys.host();
+    // DMA both inputs in.
+    driver::pushDmaTransfer(host, s.dma->config().mmrRange.start,
+                            dram_in, a, 128);
+    host.push(HostOp::waitIrq(s.dmaIrq));
+    driver::pushDmaTransfer(host, s.dma->config().mmrRange.start,
+                            dram_in + 0x400, bb, 128);
+    host.push(HostOp::waitIrq(s.dmaIrq));
+    host.push(HostOp::mark("compute.begin"));
+    driver::pushAcceleratorStart(host, *s.accel, {a, bb, c});
+    host.push(HostOp::waitIrq(s.accel->irqId));
+    host.push(HostOp::mark("compute.end"));
+    // DMA the result out.
+    driver::pushDmaTransfer(host, s.dma->config().mmrRange.start, c,
+                            dram_out, 128);
+    host.push(HostOp::waitIrq(s.dmaIrq));
+
+    s.sys.run();
+
+    EXPECT_TRUE(s.accel->cu->finished());
+    for (int i = 0; i < 32; ++i) {
+        std::int32_t got = 0;
+        s.sys.dram().backdoorRead(
+            dram_out + 4u * static_cast<unsigned>(i), &got, 4);
+        EXPECT_EQ(got, 1000 + 2 * i) << "i=" << i;
+    }
+    EXPECT_GT(host.markAt("compute.end"),
+              host.markAt("compute.begin"));
+    EXPECT_GE(s.sys.gic().interruptsRaised(), 4u);
+}
+
+TEST(FullSystem, PollingInsteadOfInterrupts)
+{
+    Module mod("m");
+    IRBuilder b(mod);
+    Function *fn = salam::test::buildSumSquares(b, 8);
+
+    Simulation sim;
+    SalamSystem sys(sim);
+    auto &cluster = sys.addCluster("c0", periodFromMhz(100));
+    auto &accel = cluster.addAccelerator("acc", *fn, {}, {});
+
+    DriverCpu &host = sys.host();
+    driver::pushAcceleratorStart(host, accel, {},
+                                 /*irq_enable=*/false);
+    host.push(HostOp::poll(accel.ctrlAddr(), ctrl_bits::done,
+                           ctrl_bits::done));
+    sys.run();
+    EXPECT_TRUE(accel.cu->finished());
+    EXPECT_TRUE(host.finished());
+}
+
+TEST(FullSystem, AcceleratorReadsDramThroughBridge)
+{
+    // No SPM at all: the accelerator's data port routes through the
+    // local crossbar and the bridge straight to DRAM.
+    Module mod("m");
+    IRBuilder b(mod);
+    Function *fn = salam::test::buildVecAdd(b, 8);
+
+    Simulation sim;
+    SalamSystem sys(sim);
+    auto &cluster = sys.addCluster("c0", periodFromMhz(100));
+    auto &accel = cluster.addAccelerator(
+        "acc", *fn, {},
+        {{"mem", {sys.config().dram.range}, true}});
+
+    const std::uint64_t base = SystemAddressMap::dramBase + 0x1000;
+    for (int i = 0; i < 8; ++i) {
+        std::int32_t v = 5 * i;
+        sys.dram().backdoorWrite(
+            base + 4u * static_cast<unsigned>(i), &v, 4);
+        sys.dram().backdoorWrite(
+            base + 0x100 + 4u * static_cast<unsigned>(i), &v, 4);
+    }
+    DriverCpu &host = sys.host();
+    driver::pushAcceleratorStart(host, accel,
+                                 {base, base + 0x100, base + 0x200});
+    host.push(HostOp::waitIrq(accel.irqId));
+    sys.run();
+
+    for (int i = 0; i < 8; ++i) {
+        std::int32_t got = 0;
+        sys.dram().backdoorRead(
+            base + 0x200 + 4u * static_cast<unsigned>(i), &got, 4);
+        EXPECT_EQ(got, 10 * i);
+    }
+}
+
+TEST(FullSystem, TwoAcceleratorsSharedSpm)
+{
+    // acc0 (relu) then acc1 (maxpool) over a shared scratchpad;
+    // host sequences them with interrupts — the Fig. 16(b) shape.
+    using namespace salam::kernels;
+    auto relu = makeRelu(64);
+    auto pool = makeMaxPool(8, 8);
+
+    Module mod("m");
+    IRBuilder b(mod);
+    Function *relu_fn = relu->build(b);
+    Function *pool_fn = pool->build(b);
+
+    Simulation sim;
+    SalamSystem sys(sim);
+    auto &cluster = sys.addCluster("c0", periodFromMhz(100));
+
+    ScratchpadConfig sproto;
+    sproto.readPorts = 4;
+    sproto.writePorts = 4;
+    auto &shared = cluster.addSpm("shared", 64 * 1024, sproto, true);
+    std::uint64_t base = shared.config().range.start;
+
+    auto &acc_relu = cluster.addAccelerator(
+        "relu", *relu_fn, {},
+        {{"mem", {shared.config().range}, true}});
+    auto &acc_pool = cluster.addAccelerator(
+        "pool", *pool_fn, {},
+        {{"mem", {shared.config().range}, true}});
+
+    // Layout in the shared SPM: in[64], mid[64], rowbuf, out[16].
+    std::uint64_t in = base, mid = base + 0x400,
+                  rowbuf = base + 0x800, out = base + 0xC00;
+    ScratchpadBackdoor backdoor(shared);
+    Lcg rng(7);
+    std::vector<float> input(64);
+    for (unsigned i = 0; i < 64; ++i) {
+        input[i] = static_cast<float>(rng.nextDouble()) - 0.5f;
+        backdoor.writeF32(in + 4ull * i, input[i]);
+    }
+
+    DriverCpu &host = sys.host();
+    driver::pushAcceleratorStart(host, acc_relu, {in, mid});
+    host.push(HostOp::waitIrq(acc_relu.irqId));
+    driver::pushAcceleratorStart(host, acc_pool,
+                                 {mid, rowbuf, out});
+    host.push(HostOp::waitIrq(acc_pool.irqId));
+    sys.run();
+
+    for (unsigned r = 0; r < 4; ++r) {
+        for (unsigned c = 0; c < 4; ++c) {
+            float expected = -1e30f;
+            for (unsigned dr = 0; dr < 2; ++dr) {
+                for (unsigned dc = 0; dc < 2; ++dc) {
+                    float v =
+                        input[(2 * r + dr) * 8 + 2 * c + dc];
+                    expected = std::max(expected,
+                                        std::max(v, 0.0f));
+                }
+            }
+            float got =
+                backdoor.readF32(out + 4ull * (r * 4 + c));
+            EXPECT_FLOAT_EQ(got, expected)
+                << "r=" << r << " c=" << c;
+        }
+    }
+}
+
+TEST(FullSystem, StreamingProducerConsumerSelfSynchronizes)
+{
+    // relu(stream) -> maxpool over a stream buffer, no host
+    // synchronization between the two — the Fig. 16(c) mechanism.
+    using namespace salam::kernels;
+    auto relu = makeRelu(128, false, true); // array in, stream out
+    auto pool = makeMaxPool(16, 8, true, false); // stream in
+
+    Module mod("m");
+    IRBuilder b(mod);
+    Function *relu_fn = relu->build(b);
+    Function *pool_fn = pool->build(b);
+
+    Simulation sim;
+    SalamSystem sys(sim);
+    auto &cluster = sys.addCluster("c0", periodFromMhz(100));
+
+    ScratchpadConfig sproto;
+    sproto.readPorts = 4;
+    sproto.writePorts = 4;
+    auto &shared = cluster.addSpm("shared", 64 * 1024, sproto, true);
+    auto &stream = cluster.addStreamBuffer("fifo", 64);
+
+    std::uint64_t base = shared.config().range.start;
+    std::uint64_t in = base, rowbuf = base + 0x800,
+                  out = base + 0xC00;
+
+    auto &acc_relu = cluster.addAccelerator(
+        "relu", *relu_fn, {},
+        {{"mem", {shared.config().range}, true},
+         {"stream_out", {stream.config().writeRange}, false}});
+    bindPorts(acc_relu.comm->dataPort(1), stream.writePort());
+
+    auto &acc_pool = cluster.addAccelerator(
+        "pool", *pool_fn, {},
+        {{"stream_in", {stream.config().readRange}, false},
+         {"mem", {shared.config().range}, true}});
+    bindPorts(acc_pool.comm->dataPort(0), stream.readPort());
+
+    ScratchpadBackdoor backdoor(shared);
+    Lcg rng(11);
+    std::vector<float> input(128);
+    for (unsigned i = 0; i < 128; ++i) {
+        input[i] = static_cast<float>(rng.nextDouble()) - 0.5f;
+        backdoor.writeF32(in + 4ull * i, input[i]);
+    }
+
+    DriverCpu &host = sys.host();
+    // Start BOTH at once; the FIFO handshake does the rest.
+    driver::pushAcceleratorStart(
+        host, acc_relu,
+        {in, stream.config().writeRange.start});
+    driver::pushAcceleratorStart(
+        host, acc_pool,
+        {stream.config().readRange.start, rowbuf, out});
+    host.push(HostOp::waitIrq(acc_pool.irqId));
+    host.push(HostOp::waitIrq(acc_relu.irqId));
+    sys.run();
+
+    // relu then 2x2 maxpool over the 16x8 image.
+    for (unsigned r = 0; r < 4; ++r) {
+        for (unsigned c = 0; c < 8; ++c) {
+            float expected = 0.0f;
+            for (unsigned dr = 0; dr < 2; ++dr) {
+                for (unsigned dc = 0; dc < 2; ++dc) {
+                    float v = std::max(
+                        input[(2 * r + dr) * 16 + 2 * c + dc],
+                        0.0f);
+                    expected = std::max(expected, v);
+                }
+            }
+            float got =
+                backdoor.readF32(out + 4ull * (r * 8 + c));
+            EXPECT_FLOAT_EQ(got, expected)
+                << "r=" << r << " c=" << c;
+        }
+    }
+    EXPECT_EQ(stream.bytesStreamed(), 128u * 4u);
+}
