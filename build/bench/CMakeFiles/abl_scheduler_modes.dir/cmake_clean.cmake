@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_scheduler_modes.dir/abl_scheduler_modes.cc.o"
+  "CMakeFiles/abl_scheduler_modes.dir/abl_scheduler_modes.cc.o.d"
+  "abl_scheduler_modes"
+  "abl_scheduler_modes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_scheduler_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

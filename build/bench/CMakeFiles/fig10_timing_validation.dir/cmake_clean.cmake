@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_timing_validation.dir/fig10_timing_validation.cc.o"
+  "CMakeFiles/fig10_timing_validation.dir/fig10_timing_validation.cc.o.d"
+  "fig10_timing_validation"
+  "fig10_timing_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_timing_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

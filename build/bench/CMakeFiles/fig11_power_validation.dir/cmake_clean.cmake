@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_power_validation.dir/fig11_power_validation.cc.o"
+  "CMakeFiles/fig11_power_validation.dir/fig11_power_validation.cc.o.d"
+  "fig11_power_validation"
+  "fig11_power_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_power_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

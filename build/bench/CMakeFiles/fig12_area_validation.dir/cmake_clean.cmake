@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_area_validation.dir/fig12_area_validation.cc.o"
+  "CMakeFiles/fig12_area_validation.dir/fig12_area_validation.cc.o.d"
+  "fig12_area_validation"
+  "fig12_area_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_area_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_gemm_stalls.dir/fig14_gemm_stalls.cc.o"
+  "CMakeFiles/fig14_gemm_stalls.dir/fig14_gemm_stalls.cc.o.d"
+  "fig14_gemm_stalls"
+  "fig14_gemm_stalls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_gemm_stalls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

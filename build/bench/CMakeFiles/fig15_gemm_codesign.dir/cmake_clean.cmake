@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_gemm_codesign.dir/fig15_gemm_codesign.cc.o"
+  "CMakeFiles/fig15_gemm_codesign.dir/fig15_gemm_codesign.cc.o.d"
+  "fig15_gemm_codesign"
+  "fig15_gemm_codesign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_gemm_codesign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_multi_accelerator.dir/fig16_multi_accelerator.cc.o"
+  "CMakeFiles/fig16_multi_accelerator.dir/fig16_multi_accelerator.cc.o.d"
+  "fig16_multi_accelerator"
+  "fig16_multi_accelerator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_multi_accelerator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

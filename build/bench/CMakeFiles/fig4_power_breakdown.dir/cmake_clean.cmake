@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_power_breakdown.dir/fig4_power_breakdown.cc.o"
+  "CMakeFiles/fig4_power_breakdown.dir/fig4_power_breakdown.cc.o.d"
+  "fig4_power_breakdown"
+  "fig4_power_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_power_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_aladdin_data_dependence.dir/table1_aladdin_data_dependence.cc.o"
+  "CMakeFiles/table1_aladdin_data_dependence.dir/table1_aladdin_data_dependence.cc.o.d"
+  "table1_aladdin_data_dependence"
+  "table1_aladdin_data_dependence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_aladdin_data_dependence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_aladdin_memory_coupling.dir/table2_aladdin_memory_coupling.cc.o"
+  "CMakeFiles/table2_aladdin_memory_coupling.dir/table2_aladdin_memory_coupling.cc.o.d"
+  "table2_aladdin_memory_coupling"
+  "table2_aladdin_memory_coupling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_aladdin_memory_coupling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for table2_aladdin_memory_coupling.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/cnn_pipeline.cpp" "examples/CMakeFiles/cnn_pipeline.dir/cnn_pipeline.cpp.o" "gcc" "examples/CMakeFiles/cnn_pipeline.dir/cnn_pipeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/salam_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/salam_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/salam_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/sys/CMakeFiles/salam_sys.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/salam_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/salam_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/salam_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/salam_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

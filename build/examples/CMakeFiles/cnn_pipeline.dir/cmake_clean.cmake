@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cnn_pipeline.dir/cnn_pipeline.cpp.o"
+  "CMakeFiles/cnn_pipeline.dir/cnn_pipeline.cpp.o.d"
+  "cnn_pipeline"
+  "cnn_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cnn_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/aladdin.cc" "src/baseline/CMakeFiles/salam_baseline.dir/aladdin.cc.o" "gcc" "src/baseline/CMakeFiles/salam_baseline.dir/aladdin.cc.o.d"
+  "/root/repo/src/baseline/trace.cc" "src/baseline/CMakeFiles/salam_baseline.dir/trace.cc.o" "gcc" "src/baseline/CMakeFiles/salam_baseline.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/salam_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/salam_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/salam_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/salam_baseline.dir/aladdin.cc.o"
+  "CMakeFiles/salam_baseline.dir/aladdin.cc.o.d"
+  "CMakeFiles/salam_baseline.dir/trace.cc.o"
+  "CMakeFiles/salam_baseline.dir/trace.cc.o.d"
+  "libsalam_baseline.a"
+  "libsalam_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/salam_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

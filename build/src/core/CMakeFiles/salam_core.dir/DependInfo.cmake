@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/comm_interface.cc" "src/core/CMakeFiles/salam_core.dir/comm_interface.cc.o" "gcc" "src/core/CMakeFiles/salam_core.dir/comm_interface.cc.o.d"
+  "/root/repo/src/core/compute_unit.cc" "src/core/CMakeFiles/salam_core.dir/compute_unit.cc.o" "gcc" "src/core/CMakeFiles/salam_core.dir/compute_unit.cc.o.d"
+  "/root/repo/src/core/dma.cc" "src/core/CMakeFiles/salam_core.dir/dma.cc.o" "gcc" "src/core/CMakeFiles/salam_core.dir/dma.cc.o.d"
+  "/root/repo/src/core/power_report.cc" "src/core/CMakeFiles/salam_core.dir/power_report.cc.o" "gcc" "src/core/CMakeFiles/salam_core.dir/power_report.cc.o.d"
+  "/root/repo/src/core/runtime_engine.cc" "src/core/CMakeFiles/salam_core.dir/runtime_engine.cc.o" "gcc" "src/core/CMakeFiles/salam_core.dir/runtime_engine.cc.o.d"
+  "/root/repo/src/core/static_cdfg.cc" "src/core/CMakeFiles/salam_core.dir/static_cdfg.cc.o" "gcc" "src/core/CMakeFiles/salam_core.dir/static_cdfg.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/salam_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/salam_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/salam_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/salam_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

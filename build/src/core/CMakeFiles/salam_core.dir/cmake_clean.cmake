@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/salam_core.dir/comm_interface.cc.o"
+  "CMakeFiles/salam_core.dir/comm_interface.cc.o.d"
+  "CMakeFiles/salam_core.dir/compute_unit.cc.o"
+  "CMakeFiles/salam_core.dir/compute_unit.cc.o.d"
+  "CMakeFiles/salam_core.dir/dma.cc.o"
+  "CMakeFiles/salam_core.dir/dma.cc.o.d"
+  "CMakeFiles/salam_core.dir/power_report.cc.o"
+  "CMakeFiles/salam_core.dir/power_report.cc.o.d"
+  "CMakeFiles/salam_core.dir/runtime_engine.cc.o"
+  "CMakeFiles/salam_core.dir/runtime_engine.cc.o.d"
+  "CMakeFiles/salam_core.dir/static_cdfg.cc.o"
+  "CMakeFiles/salam_core.dir/static_cdfg.cc.o.d"
+  "libsalam_core.a"
+  "libsalam_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/salam_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

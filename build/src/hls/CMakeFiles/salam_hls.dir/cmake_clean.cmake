@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/salam_hls.dir/dc_estimator.cc.o"
+  "CMakeFiles/salam_hls.dir/dc_estimator.cc.o.d"
+  "CMakeFiles/salam_hls.dir/hls_scheduler.cc.o"
+  "CMakeFiles/salam_hls.dir/hls_scheduler.cc.o.d"
+  "libsalam_hls.a"
+  "libsalam_hls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/salam_hls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

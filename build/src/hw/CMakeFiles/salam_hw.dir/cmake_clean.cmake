@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/salam_hw.dir/cacti_lite.cc.o"
+  "CMakeFiles/salam_hw.dir/cacti_lite.cc.o.d"
+  "CMakeFiles/salam_hw.dir/functional_unit.cc.o"
+  "CMakeFiles/salam_hw.dir/functional_unit.cc.o.d"
+  "CMakeFiles/salam_hw.dir/hardware_profile.cc.o"
+  "CMakeFiles/salam_hw.dir/hardware_profile.cc.o.d"
+  "libsalam_hw.a"
+  "libsalam_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/salam_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

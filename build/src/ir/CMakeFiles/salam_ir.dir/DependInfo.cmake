@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/context.cc" "src/ir/CMakeFiles/salam_ir.dir/context.cc.o" "gcc" "src/ir/CMakeFiles/salam_ir.dir/context.cc.o.d"
+  "/root/repo/src/ir/eval.cc" "src/ir/CMakeFiles/salam_ir.dir/eval.cc.o" "gcc" "src/ir/CMakeFiles/salam_ir.dir/eval.cc.o.d"
+  "/root/repo/src/ir/interpreter.cc" "src/ir/CMakeFiles/salam_ir.dir/interpreter.cc.o" "gcc" "src/ir/CMakeFiles/salam_ir.dir/interpreter.cc.o.d"
+  "/root/repo/src/ir/ir.cc" "src/ir/CMakeFiles/salam_ir.dir/ir.cc.o" "gcc" "src/ir/CMakeFiles/salam_ir.dir/ir.cc.o.d"
+  "/root/repo/src/ir/ir_builder.cc" "src/ir/CMakeFiles/salam_ir.dir/ir_builder.cc.o" "gcc" "src/ir/CMakeFiles/salam_ir.dir/ir_builder.cc.o.d"
+  "/root/repo/src/ir/parser.cc" "src/ir/CMakeFiles/salam_ir.dir/parser.cc.o" "gcc" "src/ir/CMakeFiles/salam_ir.dir/parser.cc.o.d"
+  "/root/repo/src/ir/printer.cc" "src/ir/CMakeFiles/salam_ir.dir/printer.cc.o" "gcc" "src/ir/CMakeFiles/salam_ir.dir/printer.cc.o.d"
+  "/root/repo/src/ir/type.cc" "src/ir/CMakeFiles/salam_ir.dir/type.cc.o" "gcc" "src/ir/CMakeFiles/salam_ir.dir/type.cc.o.d"
+  "/root/repo/src/ir/verifier.cc" "src/ir/CMakeFiles/salam_ir.dir/verifier.cc.o" "gcc" "src/ir/CMakeFiles/salam_ir.dir/verifier.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/salam_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

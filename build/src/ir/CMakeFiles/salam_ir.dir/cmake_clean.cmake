@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/salam_ir.dir/context.cc.o"
+  "CMakeFiles/salam_ir.dir/context.cc.o.d"
+  "CMakeFiles/salam_ir.dir/eval.cc.o"
+  "CMakeFiles/salam_ir.dir/eval.cc.o.d"
+  "CMakeFiles/salam_ir.dir/interpreter.cc.o"
+  "CMakeFiles/salam_ir.dir/interpreter.cc.o.d"
+  "CMakeFiles/salam_ir.dir/ir.cc.o"
+  "CMakeFiles/salam_ir.dir/ir.cc.o.d"
+  "CMakeFiles/salam_ir.dir/ir_builder.cc.o"
+  "CMakeFiles/salam_ir.dir/ir_builder.cc.o.d"
+  "CMakeFiles/salam_ir.dir/parser.cc.o"
+  "CMakeFiles/salam_ir.dir/parser.cc.o.d"
+  "CMakeFiles/salam_ir.dir/printer.cc.o"
+  "CMakeFiles/salam_ir.dir/printer.cc.o.d"
+  "CMakeFiles/salam_ir.dir/type.cc.o"
+  "CMakeFiles/salam_ir.dir/type.cc.o.d"
+  "CMakeFiles/salam_ir.dir/verifier.cc.o"
+  "CMakeFiles/salam_ir.dir/verifier.cc.o.d"
+  "libsalam_ir.a"
+  "libsalam_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/salam_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

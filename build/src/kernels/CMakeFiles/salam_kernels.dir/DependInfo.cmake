@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernels/bfs.cc" "src/kernels/CMakeFiles/salam_kernels.dir/bfs.cc.o" "gcc" "src/kernels/CMakeFiles/salam_kernels.dir/bfs.cc.o.d"
+  "/root/repo/src/kernels/cnn.cc" "src/kernels/CMakeFiles/salam_kernels.dir/cnn.cc.o" "gcc" "src/kernels/CMakeFiles/salam_kernels.dir/cnn.cc.o.d"
+  "/root/repo/src/kernels/fft.cc" "src/kernels/CMakeFiles/salam_kernels.dir/fft.cc.o" "gcc" "src/kernels/CMakeFiles/salam_kernels.dir/fft.cc.o.d"
+  "/root/repo/src/kernels/gemm.cc" "src/kernels/CMakeFiles/salam_kernels.dir/gemm.cc.o" "gcc" "src/kernels/CMakeFiles/salam_kernels.dir/gemm.cc.o.d"
+  "/root/repo/src/kernels/kernel.cc" "src/kernels/CMakeFiles/salam_kernels.dir/kernel.cc.o" "gcc" "src/kernels/CMakeFiles/salam_kernels.dir/kernel.cc.o.d"
+  "/root/repo/src/kernels/md.cc" "src/kernels/CMakeFiles/salam_kernels.dir/md.cc.o" "gcc" "src/kernels/CMakeFiles/salam_kernels.dir/md.cc.o.d"
+  "/root/repo/src/kernels/nw.cc" "src/kernels/CMakeFiles/salam_kernels.dir/nw.cc.o" "gcc" "src/kernels/CMakeFiles/salam_kernels.dir/nw.cc.o.d"
+  "/root/repo/src/kernels/spmv.cc" "src/kernels/CMakeFiles/salam_kernels.dir/spmv.cc.o" "gcc" "src/kernels/CMakeFiles/salam_kernels.dir/spmv.cc.o.d"
+  "/root/repo/src/kernels/stencil.cc" "src/kernels/CMakeFiles/salam_kernels.dir/stencil.cc.o" "gcc" "src/kernels/CMakeFiles/salam_kernels.dir/stencil.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/salam_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/salam_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/salam_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

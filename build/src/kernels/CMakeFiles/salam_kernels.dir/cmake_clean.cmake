@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/salam_kernels.dir/bfs.cc.o"
+  "CMakeFiles/salam_kernels.dir/bfs.cc.o.d"
+  "CMakeFiles/salam_kernels.dir/cnn.cc.o"
+  "CMakeFiles/salam_kernels.dir/cnn.cc.o.d"
+  "CMakeFiles/salam_kernels.dir/fft.cc.o"
+  "CMakeFiles/salam_kernels.dir/fft.cc.o.d"
+  "CMakeFiles/salam_kernels.dir/gemm.cc.o"
+  "CMakeFiles/salam_kernels.dir/gemm.cc.o.d"
+  "CMakeFiles/salam_kernels.dir/kernel.cc.o"
+  "CMakeFiles/salam_kernels.dir/kernel.cc.o.d"
+  "CMakeFiles/salam_kernels.dir/md.cc.o"
+  "CMakeFiles/salam_kernels.dir/md.cc.o.d"
+  "CMakeFiles/salam_kernels.dir/nw.cc.o"
+  "CMakeFiles/salam_kernels.dir/nw.cc.o.d"
+  "CMakeFiles/salam_kernels.dir/spmv.cc.o"
+  "CMakeFiles/salam_kernels.dir/spmv.cc.o.d"
+  "CMakeFiles/salam_kernels.dir/stencil.cc.o"
+  "CMakeFiles/salam_kernels.dir/stencil.cc.o.d"
+  "libsalam_kernels.a"
+  "libsalam_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/salam_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

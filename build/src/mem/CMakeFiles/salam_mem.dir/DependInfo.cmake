@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/cache.cc" "src/mem/CMakeFiles/salam_mem.dir/cache.cc.o" "gcc" "src/mem/CMakeFiles/salam_mem.dir/cache.cc.o.d"
+  "/root/repo/src/mem/crossbar.cc" "src/mem/CMakeFiles/salam_mem.dir/crossbar.cc.o" "gcc" "src/mem/CMakeFiles/salam_mem.dir/crossbar.cc.o.d"
+  "/root/repo/src/mem/port.cc" "src/mem/CMakeFiles/salam_mem.dir/port.cc.o" "gcc" "src/mem/CMakeFiles/salam_mem.dir/port.cc.o.d"
+  "/root/repo/src/mem/scratchpad.cc" "src/mem/CMakeFiles/salam_mem.dir/scratchpad.cc.o" "gcc" "src/mem/CMakeFiles/salam_mem.dir/scratchpad.cc.o.d"
+  "/root/repo/src/mem/simple_dram.cc" "src/mem/CMakeFiles/salam_mem.dir/simple_dram.cc.o" "gcc" "src/mem/CMakeFiles/salam_mem.dir/simple_dram.cc.o.d"
+  "/root/repo/src/mem/stream_buffer.cc" "src/mem/CMakeFiles/salam_mem.dir/stream_buffer.cc.o" "gcc" "src/mem/CMakeFiles/salam_mem.dir/stream_buffer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/salam_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/salam_mem.dir/cache.cc.o"
+  "CMakeFiles/salam_mem.dir/cache.cc.o.d"
+  "CMakeFiles/salam_mem.dir/crossbar.cc.o"
+  "CMakeFiles/salam_mem.dir/crossbar.cc.o.d"
+  "CMakeFiles/salam_mem.dir/port.cc.o"
+  "CMakeFiles/salam_mem.dir/port.cc.o.d"
+  "CMakeFiles/salam_mem.dir/scratchpad.cc.o"
+  "CMakeFiles/salam_mem.dir/scratchpad.cc.o.d"
+  "CMakeFiles/salam_mem.dir/simple_dram.cc.o"
+  "CMakeFiles/salam_mem.dir/simple_dram.cc.o.d"
+  "CMakeFiles/salam_mem.dir/stream_buffer.cc.o"
+  "CMakeFiles/salam_mem.dir/stream_buffer.cc.o.d"
+  "libsalam_mem.a"
+  "libsalam_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/salam_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

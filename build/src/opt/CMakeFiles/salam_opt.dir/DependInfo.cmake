@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/opt/clone.cc" "src/opt/CMakeFiles/salam_opt.dir/clone.cc.o" "gcc" "src/opt/CMakeFiles/salam_opt.dir/clone.cc.o.d"
+  "/root/repo/src/opt/fold.cc" "src/opt/CMakeFiles/salam_opt.dir/fold.cc.o" "gcc" "src/opt/CMakeFiles/salam_opt.dir/fold.cc.o.d"
+  "/root/repo/src/opt/loop_analysis.cc" "src/opt/CMakeFiles/salam_opt.dir/loop_analysis.cc.o" "gcc" "src/opt/CMakeFiles/salam_opt.dir/loop_analysis.cc.o.d"
+  "/root/repo/src/opt/pass_manager.cc" "src/opt/CMakeFiles/salam_opt.dir/pass_manager.cc.o" "gcc" "src/opt/CMakeFiles/salam_opt.dir/pass_manager.cc.o.d"
+  "/root/repo/src/opt/unroll.cc" "src/opt/CMakeFiles/salam_opt.dir/unroll.cc.o" "gcc" "src/opt/CMakeFiles/salam_opt.dir/unroll.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/salam_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/salam_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

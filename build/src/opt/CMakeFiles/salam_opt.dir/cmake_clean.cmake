@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/salam_opt.dir/clone.cc.o"
+  "CMakeFiles/salam_opt.dir/clone.cc.o.d"
+  "CMakeFiles/salam_opt.dir/fold.cc.o"
+  "CMakeFiles/salam_opt.dir/fold.cc.o.d"
+  "CMakeFiles/salam_opt.dir/loop_analysis.cc.o"
+  "CMakeFiles/salam_opt.dir/loop_analysis.cc.o.d"
+  "CMakeFiles/salam_opt.dir/pass_manager.cc.o"
+  "CMakeFiles/salam_opt.dir/pass_manager.cc.o.d"
+  "CMakeFiles/salam_opt.dir/unroll.cc.o"
+  "CMakeFiles/salam_opt.dir/unroll.cc.o.d"
+  "libsalam_opt.a"
+  "libsalam_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/salam_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/salam_sim.dir/event_queue.cc.o"
+  "CMakeFiles/salam_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/salam_sim.dir/logging.cc.o"
+  "CMakeFiles/salam_sim.dir/logging.cc.o.d"
+  "CMakeFiles/salam_sim.dir/sim_object.cc.o"
+  "CMakeFiles/salam_sim.dir/sim_object.cc.o.d"
+  "CMakeFiles/salam_sim.dir/simulation.cc.o"
+  "CMakeFiles/salam_sim.dir/simulation.cc.o.d"
+  "CMakeFiles/salam_sim.dir/statistics.cc.o"
+  "CMakeFiles/salam_sim.dir/statistics.cc.o.d"
+  "libsalam_sim.a"
+  "libsalam_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/salam_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

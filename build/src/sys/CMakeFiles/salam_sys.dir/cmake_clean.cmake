@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/salam_sys.dir/driver_cpu.cc.o"
+  "CMakeFiles/salam_sys.dir/driver_cpu.cc.o.d"
+  "CMakeFiles/salam_sys.dir/system.cc.o"
+  "CMakeFiles/salam_sys.dir/system.cc.o.d"
+  "libsalam_sys.a"
+  "libsalam_sys.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/salam_sys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/test_cache_accel.cc" "tests/core/CMakeFiles/core_test.dir/test_cache_accel.cc.o" "gcc" "tests/core/CMakeFiles/core_test.dir/test_cache_accel.cc.o.d"
+  "/root/repo/tests/core/test_comm_dma.cc" "tests/core/CMakeFiles/core_test.dir/test_comm_dma.cc.o" "gcc" "tests/core/CMakeFiles/core_test.dir/test_comm_dma.cc.o.d"
+  "/root/repo/tests/core/test_engine_property.cc" "tests/core/CMakeFiles/core_test.dir/test_engine_property.cc.o" "gcc" "tests/core/CMakeFiles/core_test.dir/test_engine_property.cc.o.d"
+  "/root/repo/tests/core/test_runtime_engine.cc" "tests/core/CMakeFiles/core_test.dir/test_runtime_engine.cc.o" "gcc" "tests/core/CMakeFiles/core_test.dir/test_runtime_engine.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/salam_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/salam_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/salam_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/salam_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/salam_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/salam_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/salam_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test.dir/test_cache_accel.cc.o"
+  "CMakeFiles/core_test.dir/test_cache_accel.cc.o.d"
+  "CMakeFiles/core_test.dir/test_comm_dma.cc.o"
+  "CMakeFiles/core_test.dir/test_comm_dma.cc.o.d"
+  "CMakeFiles/core_test.dir/test_engine_property.cc.o"
+  "CMakeFiles/core_test.dir/test_engine_property.cc.o.d"
+  "CMakeFiles/core_test.dir/test_runtime_engine.cc.o"
+  "CMakeFiles/core_test.dir/test_runtime_engine.cc.o.d"
+  "core_test"
+  "core_test.pdb"
+  "core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

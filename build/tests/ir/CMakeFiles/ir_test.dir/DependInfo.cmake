@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ir/test_builder.cc" "tests/ir/CMakeFiles/ir_test.dir/test_builder.cc.o" "gcc" "tests/ir/CMakeFiles/ir_test.dir/test_builder.cc.o.d"
+  "/root/repo/tests/ir/test_eval.cc" "tests/ir/CMakeFiles/ir_test.dir/test_eval.cc.o" "gcc" "tests/ir/CMakeFiles/ir_test.dir/test_eval.cc.o.d"
+  "/root/repo/tests/ir/test_interpreter.cc" "tests/ir/CMakeFiles/ir_test.dir/test_interpreter.cc.o" "gcc" "tests/ir/CMakeFiles/ir_test.dir/test_interpreter.cc.o.d"
+  "/root/repo/tests/ir/test_parser.cc" "tests/ir/CMakeFiles/ir_test.dir/test_parser.cc.o" "gcc" "tests/ir/CMakeFiles/ir_test.dir/test_parser.cc.o.d"
+  "/root/repo/tests/ir/test_property.cc" "tests/ir/CMakeFiles/ir_test.dir/test_property.cc.o" "gcc" "tests/ir/CMakeFiles/ir_test.dir/test_property.cc.o.d"
+  "/root/repo/tests/ir/test_types.cc" "tests/ir/CMakeFiles/ir_test.dir/test_types.cc.o" "gcc" "tests/ir/CMakeFiles/ir_test.dir/test_types.cc.o.d"
+  "/root/repo/tests/ir/test_verifier.cc" "tests/ir/CMakeFiles/ir_test.dir/test_verifier.cc.o" "gcc" "tests/ir/CMakeFiles/ir_test.dir/test_verifier.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/salam_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/salam_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/salam_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ir_test.dir/test_builder.cc.o"
+  "CMakeFiles/ir_test.dir/test_builder.cc.o.d"
+  "CMakeFiles/ir_test.dir/test_eval.cc.o"
+  "CMakeFiles/ir_test.dir/test_eval.cc.o.d"
+  "CMakeFiles/ir_test.dir/test_interpreter.cc.o"
+  "CMakeFiles/ir_test.dir/test_interpreter.cc.o.d"
+  "CMakeFiles/ir_test.dir/test_parser.cc.o"
+  "CMakeFiles/ir_test.dir/test_parser.cc.o.d"
+  "CMakeFiles/ir_test.dir/test_property.cc.o"
+  "CMakeFiles/ir_test.dir/test_property.cc.o.d"
+  "CMakeFiles/ir_test.dir/test_types.cc.o"
+  "CMakeFiles/ir_test.dir/test_types.cc.o.d"
+  "CMakeFiles/ir_test.dir/test_verifier.cc.o"
+  "CMakeFiles/ir_test.dir/test_verifier.cc.o.d"
+  "ir_test"
+  "ir_test.pdb"
+  "ir_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ir_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

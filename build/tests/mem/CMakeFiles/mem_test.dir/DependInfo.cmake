@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/mem/test_cache.cc" "tests/mem/CMakeFiles/mem_test.dir/test_cache.cc.o" "gcc" "tests/mem/CMakeFiles/mem_test.dir/test_cache.cc.o.d"
+  "/root/repo/tests/mem/test_dram_xbar.cc" "tests/mem/CMakeFiles/mem_test.dir/test_dram_xbar.cc.o" "gcc" "tests/mem/CMakeFiles/mem_test.dir/test_dram_xbar.cc.o.d"
+  "/root/repo/tests/mem/test_scratchpad.cc" "tests/mem/CMakeFiles/mem_test.dir/test_scratchpad.cc.o" "gcc" "tests/mem/CMakeFiles/mem_test.dir/test_scratchpad.cc.o.d"
+  "/root/repo/tests/mem/test_stream_buffer.cc" "tests/mem/CMakeFiles/mem_test.dir/test_stream_buffer.cc.o" "gcc" "tests/mem/CMakeFiles/mem_test.dir/test_stream_buffer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mem/CMakeFiles/salam_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/salam_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

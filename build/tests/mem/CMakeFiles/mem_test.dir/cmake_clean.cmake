@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mem_test.dir/test_cache.cc.o"
+  "CMakeFiles/mem_test.dir/test_cache.cc.o.d"
+  "CMakeFiles/mem_test.dir/test_dram_xbar.cc.o"
+  "CMakeFiles/mem_test.dir/test_dram_xbar.cc.o.d"
+  "CMakeFiles/mem_test.dir/test_scratchpad.cc.o"
+  "CMakeFiles/mem_test.dir/test_scratchpad.cc.o.d"
+  "CMakeFiles/mem_test.dir/test_stream_buffer.cc.o"
+  "CMakeFiles/mem_test.dir/test_stream_buffer.cc.o.d"
+  "mem_test"
+  "mem_test.pdb"
+  "mem_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mem_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/opt/test_fold.cc" "tests/opt/CMakeFiles/opt_test.dir/test_fold.cc.o" "gcc" "tests/opt/CMakeFiles/opt_test.dir/test_fold.cc.o.d"
+  "/root/repo/tests/opt/test_loop_analysis.cc" "tests/opt/CMakeFiles/opt_test.dir/test_loop_analysis.cc.o" "gcc" "tests/opt/CMakeFiles/opt_test.dir/test_loop_analysis.cc.o.d"
+  "/root/repo/tests/opt/test_unroll.cc" "tests/opt/CMakeFiles/opt_test.dir/test_unroll.cc.o" "gcc" "tests/opt/CMakeFiles/opt_test.dir/test_unroll.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/opt/CMakeFiles/salam_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/salam_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/salam_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opt_test.dir/test_fold.cc.o"
+  "CMakeFiles/opt_test.dir/test_fold.cc.o.d"
+  "CMakeFiles/opt_test.dir/test_loop_analysis.cc.o"
+  "CMakeFiles/opt_test.dir/test_loop_analysis.cc.o.d"
+  "CMakeFiles/opt_test.dir/test_unroll.cc.o"
+  "CMakeFiles/opt_test.dir/test_unroll.cc.o.d"
+  "opt_test"
+  "opt_test.pdb"
+  "opt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/test_event_queue.cc" "tests/sim/CMakeFiles/sim_test.dir/test_event_queue.cc.o" "gcc" "tests/sim/CMakeFiles/sim_test.dir/test_event_queue.cc.o.d"
+  "/root/repo/tests/sim/test_sim_object.cc" "tests/sim/CMakeFiles/sim_test.dir/test_sim_object.cc.o" "gcc" "tests/sim/CMakeFiles/sim_test.dir/test_sim_object.cc.o.d"
+  "/root/repo/tests/sim/test_statistics.cc" "tests/sim/CMakeFiles/sim_test.dir/test_statistics.cc.o" "gcc" "tests/sim/CMakeFiles/sim_test.dir/test_statistics.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/salam_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_test.dir/test_event_queue.cc.o"
+  "CMakeFiles/sim_test.dir/test_event_queue.cc.o.d"
+  "CMakeFiles/sim_test.dir/test_sim_object.cc.o"
+  "CMakeFiles/sim_test.dir/test_sim_object.cc.o.d"
+  "CMakeFiles/sim_test.dir/test_statistics.cc.o"
+  "CMakeFiles/sim_test.dir/test_statistics.cc.o.d"
+  "sim_test"
+  "sim_test.pdb"
+  "sim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
