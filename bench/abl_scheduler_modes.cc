@@ -21,8 +21,9 @@ using namespace salam::bench;
 using namespace salam::kernels;
 
 int
-main()
+main(int argc, char **argv)
 {
+    salam::bench::parseObsArgs(argc, argv);
     header("Ablation: dataflow vs block-sequential scheduling");
     std::printf("%-14s %12s %12s %9s\n", "Benchmark", "dataflow",
                 "sequential", "speedup");

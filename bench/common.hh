@@ -14,6 +14,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <memory>
 #include <string>
 
@@ -22,10 +23,88 @@
 #include "kernels/machsuite.hh"
 #include "mem/backdoor.hh"
 #include "mem/scratchpad.hh"
+#include "obs/debug_flags.hh"
+#include "obs/run_report.hh"
 #include "sim/simulation.hh"
 
 namespace salam::bench
 {
+
+/**
+ * Observability options shared by every bench binary. Parsed once in
+ * main() by parseObsArgs(); runSalam() consults them for each run.
+ */
+struct ObsOptions
+{
+    /** Chrome trace_event JSON path; the last run's trace wins. */
+    std::string traceOut;
+
+    /** RunReport JSONL path; one line appended per run. */
+    std::string reportOut;
+
+    /** StatRegistry::dumpJson path; the last run's stats win. */
+    std::string statsOut;
+};
+
+inline ObsOptions &
+obsOptions()
+{
+    static ObsOptions options;
+    return options;
+}
+
+/**
+ * Parse the shared observability arguments:
+ *   --trace-out <file>    write a Chrome trace_event JSON trace
+ *   --report-out <file>   append one RunReport JSON line per run
+ *   --stats-out <file>    write the statistics dump as JSON
+ *   --debug-flags <spec>  enable debug flags, e.g. "Cache,DMA" or
+ *                         "All,-Event"
+ *   --verbose             enable inform()/warn() output
+ * fatal()s on anything it does not recognize.
+ */
+inline void
+parseObsArgs(int argc, char **argv)
+{
+    ObsOptions &options = obsOptions();
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        // Accept both "--opt value" and "--opt=value".
+        std::string inline_value;
+        bool has_inline_value = false;
+        if (auto eq = arg.find('='); eq != std::string::npos) {
+            inline_value = arg.substr(eq + 1);
+            has_inline_value = true;
+            arg.erase(eq);
+        }
+        auto next = [&]() -> std::string {
+            if (has_inline_value)
+                return inline_value;
+            if (i + 1 >= argc)
+                fatal("%s needs a value", arg.c_str());
+            return argv[++i];
+        };
+        if (arg == "--trace-out") {
+            options.traceOut = next();
+        } else if (arg == "--report-out") {
+            options.reportOut = next();
+        } else if (arg == "--stats-out") {
+            options.statsOut = next();
+        } else if (arg == "--debug-flags") {
+            if (!obs::DebugFlagRegistry::instance().applySpec(next()))
+                fatal("unknown debug flag in --debug-flags spec");
+        } else if (arg == "--verbose") {
+            if (has_inline_value)
+                fatal("--verbose takes no value");
+            LogControl::setVerbose(true);
+        } else {
+            fatal("unknown argument '%s' (expected --trace-out, "
+                  "--report-out, --stats-out, --debug-flags, or "
+                  "--verbose)",
+                  arg.c_str());
+        }
+    }
+}
 
 /** Memory configuration for the single-accelerator testbench. */
 struct BenchMemory
@@ -79,6 +158,8 @@ runSalam(const kernels::Kernel &kernel,
     auto t1 = clock::now();
 
     Simulation sim;
+    if (!obsOptions().traceOut.empty())
+        sim.enableTracing();
     constexpr std::uint64_t spm_base = 0x10000;
     std::uint64_t spm_bytes =
         ((kernel.footprintBytes() + 0xFFF) & ~0xFFFull) + 0x1000;
@@ -125,6 +206,44 @@ runSalam(const kernels::Kernel &kernel,
         std::chrono::duration<double>(t1 - t0).count();
     out.simulateSeconds =
         std::chrono::duration<double>(t3 - t2).count();
+
+    sim.finalizeAll();
+    const ObsOptions &options = obsOptions();
+    // The user explicitly asked for these files; failing to produce
+    // one is an error, not a warning hidden behind the Warn flag.
+    if (obs::TraceSink *sink = sim.traceSink()) {
+        if (!sink->writeChromeTraceFile(options.traceOut))
+            fatal("could not write trace to '%s'",
+                  options.traceOut.c_str());
+    }
+    if (!options.statsOut.empty()) {
+        std::ofstream os(options.statsOut);
+        if (os) {
+            sim.stats().dumpJson(os);
+        } else {
+            fatal("could not write stats to '%s'",
+                  options.statsOut.c_str());
+        }
+    }
+    if (!options.reportOut.empty()) {
+        obs::RunReport report;
+        report.run = kernel.name();
+        report.cycles = out.cycles;
+        report.simSeconds = out.simulateSeconds;
+        report.compileSeconds = out.compileSeconds;
+        report.extra = {
+            {"spm_reads", static_cast<double>(out.spmReads)},
+            {"spm_writes", static_cast<double>(out.spmWrites)},
+            {"stall_cycles",
+             static_cast<double>(out.stats.stallCycles)},
+            {"dynamic_insts",
+             static_cast<double>(out.stats.dynamicInstructions)},
+        };
+        report.statsJson = sim.stats().dumpJsonString();
+        if (!report.appendToFile(options.reportOut))
+            fatal("could not append run report to '%s'",
+                  options.reportOut.c_str());
+    }
     return out;
 }
 

@@ -22,8 +22,9 @@ using namespace salam::kernels;
 using namespace salam::hls;
 
 int
-main()
+main(int argc, char **argv)
 {
+    salam::bench::parseObsArgs(argc, argv);
     header("Fig. 10: performance validation (cycles vs HLS)");
     std::printf("%-14s %12s %12s %9s\n", "Benchmark",
                 "gem5-SALAM", "HLS", "error");

@@ -17,8 +17,9 @@ using namespace salam::kernels;
 using namespace salam::hls;
 
 int
-main()
+main(int argc, char **argv)
 {
+    salam::bench::parseObsArgs(argc, argv);
     header("Fig. 11: power validation (mW vs Design Compiler)");
     std::printf("%-14s %12s %12s %9s\n", "Benchmark",
                 "gem5-SALAM", "DC", "error");

@@ -18,8 +18,9 @@ using namespace salam::bench;
 using namespace salam::kernels;
 
 int
-main()
+main(int argc, char **argv)
 {
+    salam::bench::parseObsArgs(argc, argv);
     header("Fig. 13: GEMM design space Pareto sweep");
     std::printf("%-6s %-6s %10s | %12s %12s %12s\n", "fu", "ports",
                 "time(us)", "datapath(mW)", "+SPM(mW)",

@@ -20,8 +20,9 @@ using namespace salam::bench;
 using namespace salam::kernels;
 
 int
-main()
+main(int argc, char **argv)
 {
+    salam::bench::parseObsArgs(argc, argv);
     constexpr unsigned gemmN = 32;
     constexpr unsigned unroll = 32;
     constexpr unsigned fadd_units = 64;

@@ -373,8 +373,9 @@ scenarioStream(const std::vector<float> &image,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    salam::bench::parseObsArgs(argc, argv);
     auto image = makeImage();
     auto expected = golden(image);
 

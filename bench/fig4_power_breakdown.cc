@@ -12,8 +12,9 @@ using namespace salam::bench;
 using namespace salam::kernels;
 
 int
-main()
+main(int argc, char **argv)
 {
+    salam::bench::parseObsArgs(argc, argv);
     header("Fig. 4: total power contribution breakdown "
            "(private SPM)");
     std::printf("%-14s %8s | %7s %7s %7s %7s %7s %7s %7s\n",

@@ -46,8 +46,9 @@ count(const AladdinResult &result, hw::FuType type)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    salam::bench::parseObsArgs(argc, argv);
     header("Table I: Aladdin datapath vs data-dependent execution");
     std::printf("%-12s %-9s %6s %6s %12s\n", "Accelerator",
                 "Dataset", "FMUL", "FADD", "Int Shifter");

@@ -42,8 +42,9 @@ run(const AladdinConfig &cfg)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    salam::bench::parseObsArgs(argc, argv);
     header("Table II: Aladdin datapath vs. memory design "
            "(GEMM, fully unrolled inner loop)");
     std::printf("%-8s %-8s %6s %6s\n", "Type", "Size", "FMUL",

@@ -145,8 +145,9 @@ referenceTimes(const kernels::Kernel &kernel)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    salam::bench::parseObsArgs(argc, argv);
     header("Table III: system validation vs FPGA surrogate");
     std::printf("%-14s | %10s %10s %10s | %10s %10s %10s | "
                 "%8s %8s %8s\n",

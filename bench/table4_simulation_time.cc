@@ -24,8 +24,9 @@ using namespace salam::kernels;
 using namespace salam::baseline;
 
 int
-main()
+main(int argc, char **argv)
 {
+    salam::bench::parseObsArgs(argc, argv);
     header("Table IV: simulator setup and runtime execution timing");
     std::printf("%-14s | %10s %10s | %10s %10s | %9s %9s\n",
                 "Benchmark", "tracegen", "aladdin", "compile",

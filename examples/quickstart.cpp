@@ -11,23 +11,42 @@
  *   5. Inspect cycles, power, and area.
  *
  * Build & run:  ./build/examples/quickstart
+ *
+ * Observability (both optional):
+ *   --trace-out <file>   write a Chrome trace_event JSON trace
+ *                        (load it at https://ui.perfetto.dev)
+ *   --report-out <file>  append a machine-readable run report
  */
 
 #include <cstdio>
+#include <cstring>
 
 #include "core/compute_unit.hh"
 #include "core/power_report.hh"
 #include "ir/ir_builder.hh"
 #include "mem/backdoor.hh"
 #include "mem/scratchpad.hh"
+#include "obs/run_report.hh"
 #include "opt/pass_manager.hh"
 #include "sim/simulation.hh"
 
 using namespace salam;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const char *trace_out = nullptr;
+    const char *report_out = nullptr;
+    for (int k = 1; k < argc; ++k) {
+        if (std::strcmp(argv[k], "--trace-out") == 0 && k + 1 < argc)
+            trace_out = argv[++k];
+        else if (std::strcmp(argv[k], "--report-out") == 0 &&
+                 k + 1 < argc)
+            report_out = argv[++k];
+        else
+            fatal("usage: quickstart [--trace-out FILE] "
+                  "[--report-out FILE]");
+    }
     // ---- 1. The kernel: y[i] = a * x[i] + y[i] over 64 doubles.
     ir::Module mod("quickstart");
     ir::IRBuilder b(mod);
@@ -69,6 +88,8 @@ main()
 
     // ---- 3. The system: SPM + CommInterface + ComputeUnit.
     Simulation sim;
+    if (trace_out != nullptr)
+        sim.enableTracing();
     core::DeviceConfig dev; // 100 MHz, 1-to-1 FU map by default
     dev.readPortsPerCycle = 8;
     dev.writePortsPerCycle = 8;
@@ -124,5 +145,30 @@ main()
                 "SPM\n",
                 report.area.fuUm2 + report.area.registerUm2,
                 report.area.spmUm2);
+
+    // ---- 6. Optional machine-readable outputs.
+    sim.finalizeAll();
+    if (obs::TraceSink *sink = sim.traceSink()) {
+        if (!sink->writeChromeTraceFile(trace_out))
+            fatal("could not write trace to '%s'", trace_out);
+        std::printf("trace:         %s (%zu events)\n", trace_out,
+                    sink->size());
+    }
+    if (report_out != nullptr) {
+        obs::RunReport run_report;
+        run_report.run = "quickstart.daxpy";
+        run_report.cycles = report.cycles;
+        run_report.extra = {
+            {"power_mw", report.power.totalMw()},
+            {"spm_reads",
+             static_cast<double>(spm.readCount())},
+            {"spm_writes",
+             static_cast<double>(spm.writeCount())},
+        };
+        run_report.statsJson = sim.stats().dumpJsonString();
+        if (!run_report.appendToFile(report_out))
+            fatal("could not append run report to '%s'", report_out);
+        std::printf("run report:    %s\n", report_out);
+    }
     return ok ? 0 : 1;
 }

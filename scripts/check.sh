@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Tier-1 verification: configure, build, run the full test suite, and
+# additionally build warning-clean under -Wall -Wextra -Werror.
+#
+# Usage: scripts/check.sh [build-dir]
+#   build-dir defaults to build/ (reused if already configured).
+# The strict -Werror pass uses its own tree (build-strict/) so it
+# never pollutes the primary build's cache.
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${1:-${repo_root}/build}"
+strict_dir="${repo_root}/build-strict"
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+echo "== tier-1: configure + build (${build_dir})"
+cmake -S "${repo_root}" -B "${build_dir}" >/dev/null
+cmake --build "${build_dir}" -j "${jobs}"
+
+echo "== tier-1: ctest"
+ctest --test-dir "${build_dir}" --output-on-failure
+
+echo "== strict: -Wall -Wextra -Werror build (${strict_dir})"
+cmake -S "${repo_root}" -B "${strict_dir}" \
+    -DCMAKE_CXX_FLAGS="-Wall -Wextra -Werror" >/dev/null
+cmake --build "${strict_dir}" -j "${jobs}"
+
+echo "== all checks passed"

@@ -23,6 +23,28 @@ CommInterface::CommInterface(Simulation &sim, std::string name,
     }
 }
 
+void
+CommInterface::init()
+{
+    StatRegistry &reg = simulation().stats();
+    const std::string n = name();
+    reg.addFormula(n + ".comm.mmr_reads", "MMR reads", [this] {
+        return static_cast<double>(mmrReadCount);
+    });
+    reg.addFormula(n + ".comm.mmr_writes", "MMR writes", [this] {
+        return static_cast<double>(mmrWriteCount);
+    });
+    reg.addFormula(n + ".comm.data_requests",
+                   "data requests issued for the engine", [this] {
+                       return static_cast<double>(dataRequestsIssued);
+                   });
+    reg.addFormula(
+        n + ".comm.data_requests_blocked",
+        "data requests initially refused downstream", [this] {
+            return static_cast<double>(dataRequestsBlocked);
+        });
+}
+
 RequestPort &
 CommInterface::dataPort(unsigned i)
 {
@@ -61,7 +83,12 @@ CommInterface::issueMemory(DynInst *op)
         pkt->setData(&op->operandValues[0].bits, op->memSize);
     }
     pkt->context = op;
+    ++dataRequestsIssued;
+    SALAM_TRACE(Comm, "%s port %d addr=0x%llx size=%u",
+                op->isLoad ? "load" : "store", port,
+                (unsigned long long)op->memAddr, op->memSize);
     if (!dataPorts[static_cast<unsigned>(port)]->sendTimingReq(pkt)) {
+        ++dataRequestsBlocked;
         blockedRequests.emplace_back(pkt,
                                      static_cast<unsigned>(port));
     }
@@ -124,6 +151,7 @@ CommInterface::controlWrite(std::uint64_t value)
     if (started) {
         regs[0] |= ctrl_bits::running;
         regs[0] &= ~ctrl_bits::done;
+        SALAM_TRACE(Comm, "start bit set; launching kernel");
         if (onStart)
             onStart();
     }
@@ -132,6 +160,7 @@ CommInterface::controlWrite(std::uint64_t value)
 void
 CommInterface::signalDone()
 {
+    SALAM_TRACE(Comm, "kernel signalled done");
     regs[0] &= ~ctrl_bits::running;
     regs[0] |= ctrl_bits::done;
     if ((regs[0] & ctrl_bits::irqEnable) && irq)

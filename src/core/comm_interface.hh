@@ -65,6 +65,9 @@ class CommInterface : public ClockedObject
                   Tick clock_period,
                   const CommInterfaceConfig &config);
 
+    /** Registers MMR/data-traffic statistics with the simulation. */
+    void init() override;
+
     /** The MMR (pio) endpoint; bind a host-facing port to it. */
     mem::ResponsePort &mmrPort() { return pioPort; }
 
@@ -196,6 +199,8 @@ class CommInterface : public ClockedObject
 
     std::uint64_t mmrReadCount = 0;
     std::uint64_t mmrWriteCount = 0;
+    std::uint64_t dataRequestsIssued = 0;
+    std::uint64_t dataRequestsBlocked = 0;
 };
 
 } // namespace salam::core

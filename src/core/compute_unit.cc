@@ -35,6 +35,85 @@ ComputeUnit::ComputeUnit(Simulation &sim, std::string name,
 }
 
 void
+ComputeUnit::init()
+{
+    StatRegistry &reg = simulation().stats();
+    const std::string n = name();
+
+    auto &mem_occ = reg.addHistogram(
+        n + ".engine.mem_queue_occupancy",
+        "loads+stores in flight, sampled every engine cycle", 0.0,
+        static_cast<double>(cfg.readQueueSize + cfg.writeQueueSize),
+        8);
+    auto &rsv_occ = reg.addHistogram(
+        n + ".engine.reservation_occupancy",
+        "reservation-queue depth, sampled every engine cycle", 0.0,
+        static_cast<double>(cfg.reservationQueueSize), 8);
+    auto &stalls = reg.addVector(
+        n + ".engine.stall_causes",
+        "stall cycles broken down by in-flight class",
+        RuntimeEngine::stallLaneNames());
+    auto &issues = reg.addVector(
+        n + ".engine.issue_classes",
+        "dynamic instructions issued, by class",
+        RuntimeEngine::issueLaneNames());
+
+    reg.addFormula(
+        n + ".engine.total_cycles", "kernel execution cycles",
+        [this] {
+            const EngineStats &s = engine.stats();
+            return static_cast<double>(
+                s.totalCycles ? s.totalCycles
+                              : engine.currentCycle());
+        });
+    reg.addFormula(
+        n + ".engine.stall_cycles",
+        "cycles where nothing new could issue",
+        [this] {
+            return static_cast<double>(engine.stats().stallCycles);
+        });
+    reg.addFormula(
+        n + ".engine.dynamic_insts",
+        "dynamic instructions entered into the window",
+        [this] {
+            return static_cast<double>(
+                engine.stats().dynamicInstructions);
+        });
+    reg.addFormula(
+        n + ".engine.fu_utilization",
+        "mean occupied fraction of the limited functional units",
+        [this] {
+            const EngineStats &s = engine.stats();
+            std::uint64_t cycles = s.totalCycles
+                ? s.totalCycles : engine.currentCycle();
+            std::uint64_t units = 0;
+            std::uint64_t busy = 0;
+            for (std::size_t t = 0; t < hw::numFuTypes; ++t) {
+                if (cfg.fuLimits[t] == 0)
+                    continue;
+                units += cfg.fuLimits[t];
+                busy += s.fuBusyCycleSum[t];
+            }
+            if (cycles == 0 || units == 0)
+                return 0.0;
+            return static_cast<double>(busy) /
+                   (static_cast<double>(cycles) *
+                    static_cast<double>(units));
+        });
+
+    EngineObserver obs;
+    obs.name = n;
+    obs.now = [this] { return curTick(); };
+    obs.cyclePeriod = clockPeriod();
+    obs.sink = simulation().traceSink();
+    obs.memQueueOccupancy = &mem_occ;
+    obs.reservationOccupancy = &rsv_occ;
+    obs.stallCauses = &stalls;
+    obs.issueClasses = &issues;
+    engine.setObserver(std::move(obs));
+}
+
+void
 ComputeUnit::start(const std::vector<ir::RuntimeValue> &args)
 {
     engine.start(args);

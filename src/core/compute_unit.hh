@@ -34,6 +34,14 @@ class ComputeUnit : public ClockedObject
                 const ir::Function &fn, const DeviceConfig &config,
                 CommInterface &comm);
 
+    /**
+     * Registers this unit's statistics (occupancy histograms, stall
+     * and issue-class vectors, utilization formulas) and wires the
+     * engine's observer — including the simulation trace sink when
+     * tracing was enabled before init.
+     */
+    void init() override;
+
     /** Begin execution directly (bypassing MMR programming). */
     void start(const std::vector<ir::RuntimeValue> &args);
 

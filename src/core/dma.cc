@@ -19,6 +19,26 @@ Dma::Dma(Simulation &sim, std::string name, Tick clock_period,
         fatal("%s: bad DMA configuration", this->name().c_str());
 }
 
+void
+Dma::init()
+{
+    StatRegistry &reg = simulation().stats();
+    const std::string n = name();
+    reg.addFormula(n + ".dma.bytes_moved", "payload bytes moved",
+                   [this] {
+                       return static_cast<double>(totalBytes);
+                   });
+    reg.addFormula(n + ".dma.transfers", "transfers completed",
+                   [this] {
+                       return static_cast<double>(transfersCompleted);
+                   });
+    reg.addFormula(n + ".dma.last_transfer_ticks",
+                   "duration of the most recent transfer", [this] {
+                       return static_cast<double>(lastDuration);
+                   });
+    sink = simulation().traceSink();
+}
+
 std::uint64_t
 Dma::readReg(unsigned index) const
 {
@@ -54,6 +74,10 @@ Dma::startTransfer(std::uint64_t src, std::uint64_t dst,
         return;
     }
     active = true;
+    SALAM_TRACE(DMA,
+                "start transfer src=0x%llx dst=0x%llx len=%llu",
+                (unsigned long long)src, (unsigned long long)dst,
+                (unsigned long long)bytes);
     regs[1] = src;
     regs[2] = dst;
     regs[3] = bytes;
@@ -129,6 +153,15 @@ Dma::finishTransfer()
 {
     active = false;
     lastDuration = curTick() - startedAt;
+    ++transfersCompleted;
+    SALAM_TRACE(DMA, "transfer done: %llu bytes in %llu ticks",
+                (unsigned long long)regs[3],
+                (unsigned long long)lastDuration);
+    if (sink) {
+        sink->recordSlice(
+            startedAt, lastDuration, name(), "dma", "transfer",
+            {{"bytes", static_cast<double>(regs[3])}});
+    }
     regs[0] &= ~ctrl_bits::running;
     regs[0] |= ctrl_bits::done;
     if ((regs[0] & ctrl_bits::irqEnable) && irq)

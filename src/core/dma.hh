@@ -50,6 +50,9 @@ class Dma : public ClockedObject
     Dma(Simulation &sim, std::string name, Tick clock_period,
         const DmaConfig &config);
 
+    /** Registers transfer statistics with the simulation. */
+    void init() override;
+
     /** MMR endpoint for host programming. */
     mem::ResponsePort &mmrPort() { return pioPort; }
 
@@ -153,6 +156,8 @@ class Dma : public ClockedObject
     Tick startedAt = 0;
     Tick lastDuration = 0;
     std::uint64_t totalBytes = 0;
+    std::uint64_t transfersCompleted = 0;
+    obs::TraceSink *sink = nullptr;
 };
 
 } // namespace salam::core

@@ -1,8 +1,7 @@
 #include "runtime_engine.hh"
 
 #include <algorithm>
-#include <cstdlib>
-#include <cstdio>
+#include <cstring>
 
 #include "sim/logging.hh"
 
@@ -11,6 +10,26 @@ namespace salam::core
 
 using namespace salam::ir;
 using namespace salam::hw;
+
+const std::vector<std::string> &
+RuntimeEngine::stallLaneNames()
+{
+    static const std::vector<std::string> names = {
+        "load_only",    "store_only",      "compute_only",
+        "load_compute", "store_compute",   "load_store",
+        "load_store_compute", "empty",
+    };
+    return names;
+}
+
+const std::vector<std::string> &
+RuntimeEngine::issueLaneNames()
+{
+    static const std::vector<std::string> names = {
+        "load", "store", "fp", "int", "other",
+    };
+    return names;
+}
 
 RuntimeEngine::RuntimeEngine(const StaticCdfg &cdfg,
                              const DeviceConfig &config, Hooks hooks)
@@ -90,6 +109,14 @@ RuntimeEngine::importBlock(const BasicBlock *block,
         return;
     }
     pendingImport = nullptr;
+    SALAM_TRACE_AT(RuntimeEngine, obsNow(), observer.name,
+                   "import block '%s' (%zu instructions)",
+                   block->name().c_str(), block->size());
+    if (observer.sink) {
+        observer.sink->recordInstant(obsNow(), observer.name,
+                                     "engine",
+                                     "import " + block->name());
+    }
 
     for (std::size_t i = 0; i < block->size(); ++i) {
         const Instruction *inst = block->instruction(i);
@@ -327,18 +354,17 @@ RuntimeEngine::memoryOrderingAllows(const DynInst &di) const
 void
 RuntimeEngine::issueCompute(DynInst *di)
 {
-    static const char *trace_op = std::getenv("SALAM_TRACE_OP");
-    if (trace_op != nullptr &&
-        di->inst->name().rfind(trace_op, 0) == 0) {
-        std::fprintf(stderr, "op %s seq=%llu issue@%llu\n",
-                     di->inst->name().c_str(),
-                     (unsigned long long)di->seq,
-                     (unsigned long long)cycleCount);
-    }
+    SALAM_TRACE_AT(Issue, obsNow(), observer.name.c_str(),
+                   "issue %s seq=%llu fu=%u",
+                   di->inst->name().c_str(),
+                   (unsigned long long)di->seq,
+                   static_cast<unsigned>(di->staticInfo->fu));
     captureOperands(di);
     occupyFu(di);
     di->issued = true;
     di->issueCycle = cycleCount;
+    if (observer.sink)
+        di->issueTick = obsNow();
 
     const HardwareProfile &profile = cfg.profile;
     FuType type = di->staticInfo->fu;
@@ -376,6 +402,16 @@ RuntimeEngine::commit(DynInst *di)
 {
     SALAM_ASSERT(!di->committed);
     di->committed = true;
+    if (observer.sink && di->issued &&
+        (di->isMemory() || di->staticInfo->latency > 0)) {
+        Tick end = obsNow();
+        Tick dur = end > di->issueTick ? end - di->issueTick : 0;
+        observer.sink->recordSlice(
+            di->issueTick, dur, observer.name,
+            di->isMemory() ? "mem" : "compute",
+            di->isLoad ? "load"
+                       : di->isStore ? "store" : di->inst->name());
+    }
     if (!di->inst->type()->isVoid()) {
         committedValues[di->inst] = di->result;
         engineStats.registerWriteEnergyPj +=
@@ -389,6 +425,11 @@ RuntimeEngine::memoryResponse(DynInst *op, const std::uint8_t *data,
                               unsigned size)
 {
     SALAM_ASSERT(op->memInFlight);
+    SALAM_TRACE_AT(RuntimeEngine, obsNow(), observer.name,
+                   "%s response seq=%llu addr=0x%llx size=%u",
+                   op->isLoad ? "load" : "store",
+                   (unsigned long long)op->seq,
+                   (unsigned long long)op->memAddr, op->memSize);
     op->memInFlight = false;
     if (op->isLoad) {
         SALAM_ASSERT(size >= op->memSize);
@@ -457,6 +498,25 @@ RuntimeEngine::recordCycleStats(bool issued_any,
         ++engineStats.fuBusyCycleSum[t];
     }
 
+    if (observer.memQueueOccupancy) {
+        observer.memQueueOccupancy->sample(
+            static_cast<double>(loadsInFlight + storesInFlight));
+    }
+    if (observer.reservationOccupancy) {
+        observer.reservationOccupancy->sample(
+            static_cast<double>(reservationQueue.size()));
+    }
+    if (observer.sink) {
+        observer.sink->recordCounter(
+            obsNow(), observer.name, "queues",
+            {{"reservation",
+              static_cast<double>(reservationQueue.size())},
+             {"compute", static_cast<double>(computeQueue.size())},
+             {"loads_in_flight", static_cast<double>(loadsInFlight)},
+             {"stores_in_flight",
+              static_cast<double>(storesInFlight)}});
+    }
+
     if (issued_any) {
         ++engineStats.newExecCycles;
         if (loads_issued > 0)
@@ -480,22 +540,34 @@ RuntimeEngine::recordCycleStats(bool issued_any,
     bool load_busy = loadsInFlight > 0 || memStallLoadBlocked;
     bool store_busy = storesInFlight > 0 || memStallStoreBlocked;
     bool compute_busy = !computeQueue.empty();
-    if (load_busy && store_busy && compute_busy)
+    StallLane lane;
+    if (load_busy && store_busy && compute_busy) {
         ++engineStats.stallLoadStoreCompute;
-    else if (load_busy && compute_busy)
+        lane = laneLoadStoreCompute;
+    } else if (load_busy && compute_busy) {
         ++engineStats.stallLoadCompute;
-    else if (store_busy && compute_busy)
+        lane = laneLoadCompute;
+    } else if (store_busy && compute_busy) {
         ++engineStats.stallStoreCompute;
-    else if (load_busy && store_busy)
+        lane = laneStoreCompute;
+    } else if (load_busy && store_busy) {
         ++engineStats.stallLoadStore;
-    else if (compute_busy)
+        lane = laneLoadStore;
+    } else if (compute_busy) {
         ++engineStats.stallComputeOnly;
-    else if (load_busy)
+        lane = laneComputeOnly;
+    } else if (load_busy) {
         ++engineStats.stallLoadOnly;
-    else if (store_busy)
+        lane = laneLoadOnly;
+    } else if (store_busy) {
         ++engineStats.stallStoreOnly;
-    else
+        lane = laneStoreOnly;
+    } else {
         ++engineStats.stallEmpty;
+        lane = laneEmpty;
+    }
+    if (observer.stallCauses)
+        observer.stallCauses->add(lane);
 }
 
 void
@@ -504,6 +576,15 @@ RuntimeEngine::finish()
     active = false;
     completed = true;
     engineStats.totalCycles = cycleCount + 1;
+    SALAM_TRACE_AT(RuntimeEngine, obsNow(), observer.name,
+                   "finished after %llu cycles (%llu dynamic insts)",
+                   (unsigned long long)engineStats.totalCycles,
+                   (unsigned long long)
+                       engineStats.dynamicInstructions);
+    if (observer.sink) {
+        observer.sink->recordInstant(obsNow(), observer.name,
+                                     "engine", "kernel done");
+    }
     if (hooks.onDone)
         hooks.onDone();
 }
@@ -601,6 +682,8 @@ RuntimeEngine::cycle()
                 static_cast<std::ptrdiff_t>(idx));
             issued_any = true;
             ++engineStats.otherOpsIssued;
+            if (observer.issueClasses)
+                observer.issueClasses->add(laneOther);
             continue;
         }
         if (op == Opcode::Ret) {
@@ -616,6 +699,8 @@ RuntimeEngine::cycle()
                 static_cast<std::ptrdiff_t>(idx));
             issued_any = true;
             ++engineStats.otherOpsIssued;
+            if (observer.issueClasses)
+                observer.issueClasses->add(laneOther);
             continue;
         }
 
@@ -655,16 +740,28 @@ RuntimeEngine::cycle()
             // added entries, so refresh lazily next cycle. Newly
             // resolved addresses this cycle only *relax* ordering,
             // so the stale summary is conservative, not wrong.
+            if (observer.sink)
+                di->issueTick = obsNow();
+            SALAM_TRACE_AT(Issue, obsNow(), observer.name,
+                           "issue %s seq=%llu addr=0x%llx size=%u",
+                           is_load ? "load" : "store",
+                           (unsigned long long)di->seq,
+                           (unsigned long long)di->memAddr,
+                           di->memSize);
             if (is_load) {
                 ++loadsInFlight;
                 ++loads_issued;
                 ++engineStats.loadsIssued;
                 --pendingLoadOps;
+                if (observer.issueClasses)
+                    observer.issueClasses->add(laneLoad);
             } else {
                 ++storesInFlight;
                 ++stores_issued;
                 ++engineStats.storesIssued;
                 --pendingStoreOps;
+                if (observer.issueClasses)
+                    observer.issueClasses->add(laneStore);
             }
             issued_any = true;
             reservationQueue.erase(
@@ -684,25 +781,29 @@ RuntimeEngine::cycle()
             di->staticInfo->fu == FuType::FpSpecial) {
             ++fp_issued;
             ++engineStats.fpOpsIssued;
+            if (observer.issueClasses)
+                observer.issueClasses->add(laneFp);
         } else if (di->staticInfo->fu != FuType::None) {
             ++engineStats.intOpsIssued;
+            if (observer.issueClasses)
+                observer.issueClasses->add(laneInt);
         } else {
             ++engineStats.otherOpsIssued;
+            if (observer.issueClasses)
+                observer.issueClasses->add(laneOther);
         }
         reservationQueue.erase(
             reservationQueue.begin() +
             static_cast<std::ptrdiff_t>(idx));
     }
 
-    if (std::getenv("SALAM_TRACE") != nullptr) {
-        std::fprintf(stderr,
-                     "cyc %llu: issued=%d loads=%u stores=%u fp=%u "
-                     "rq=%zu cq=%zu lif=%u sif=%u\n",
-                     (unsigned long long)cycleCount, (int)issued_any,
-                     loads_issued, stores_issued, fp_issued,
-                     reservationQueue.size(), computeQueue.size(),
-                     loadsInFlight, storesInFlight);
-    }
+    SALAM_TRACE_AT(RuntimeEngine, obsNow(), observer.name,
+                   "cyc %llu: issued=%d loads=%u stores=%u fp=%u "
+                   "rq=%zu cq=%zu lif=%u sif=%u",
+                   (unsigned long long)cycleCount, (int)issued_any,
+                   loads_issued, stores_issued, fp_issued,
+                   reservationQueue.size(), computeQueue.size(),
+                   loadsInFlight, storesInFlight);
     memStallLoadBlocked = ready_load_blocked;
     memStallStoreBlocked = ready_store_blocked;
     recordCycleStats(issued_any, loads_issued, stores_issued,

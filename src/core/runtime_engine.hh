@@ -36,9 +36,13 @@
 #include <list>
 #include <map>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "ir/eval.hh"
+#include "obs/trace_sink.hh"
+#include "sim/statistics.hh"
+#include "sim/types.hh"
 #include "static_cdfg.hh"
 
 namespace salam::core
@@ -77,6 +81,9 @@ struct DynInst
     /** Cycle the result commits (valid once issued, compute ops). */
     std::uint64_t commitCycle = 0;
     std::uint64_t issueCycle = 0;
+
+    /** Tick at issue (recorded only while event tracing is on). */
+    Tick issueTick = 0;
 
     // Memory-op state.
     bool isLoad = false;
@@ -143,6 +150,40 @@ struct EngineStats
     }
 };
 
+/**
+ * Observability attachments for one engine. All fields are optional;
+ * a default-constructed observer keeps the engine silent. The owner
+ * (ComputeUnit) wires the registry-owned stats and the simulation's
+ * trace sink here; the plain clock-stepped engine stays decoupled
+ * from SimObject and can still be unit-tested bare.
+ */
+struct EngineObserver
+{
+    /** Object name used in trace lines and event records. */
+    std::string name = "engine";
+
+    /** Tick stamp source; when null, the cycle count is the stamp. */
+    std::function<Tick()> now;
+
+    /** Ticks per engine cycle (for event durations). */
+    Tick cyclePeriod = 1;
+
+    /** Event-trace sink (counters + per-op slices); may be null. */
+    obs::TraceSink *sink = nullptr;
+
+    /** Sampled each cycle with loads+stores in flight. */
+    Histogram *memQueueOccupancy = nullptr;
+
+    /** Sampled each cycle with the reservation-queue depth. */
+    Histogram *reservationOccupancy = nullptr;
+
+    /** Stall-cause lanes, in RuntimeEngine::stallLaneNames() order. */
+    VectorStat *stallCauses = nullptr;
+
+    /** Issue-class lanes, in RuntimeEngine::issueLaneNames() order. */
+    VectorStat *issueClasses = nullptr;
+};
+
 /** The dynamic engine. */
 class RuntimeEngine
 {
@@ -197,7 +238,47 @@ class RuntimeEngine
 
     unsigned writesInFlight() const { return storesInFlight; }
 
+    /** Attach (or replace) the observability wiring. */
+    void setObserver(EngineObserver obs) { observer = std::move(obs); }
+
+    /** Lane names for EngineObserver::stallCauses, in lane order. */
+    static const std::vector<std::string> &stallLaneNames();
+
+    /** Lane names for EngineObserver::issueClasses, in lane order. */
+    static const std::vector<std::string> &issueLaneNames();
+
   private:
+    /** Stall-cause lane indices (stallLaneNames() order). */
+    enum StallLane : std::size_t
+    {
+        laneLoadOnly = 0,
+        laneStoreOnly,
+        laneComputeOnly,
+        laneLoadCompute,
+        laneStoreCompute,
+        laneLoadStore,
+        laneLoadStoreCompute,
+        laneEmpty,
+        numStallLanes
+    };
+
+    /** Issue-class lane indices (issueLaneNames() order). */
+    enum IssueLane : std::size_t
+    {
+        laneLoad = 0,
+        laneStore,
+        laneFp,
+        laneInt,
+        laneOther,
+        numIssueLanes
+    };
+
+    /** Trace timestamp: wall tick when wired, cycle count bare. */
+    Tick
+    obsNow() const
+    {
+        return observer.now ? observer.now() : Tick{cycleCount};
+    }
     /** Import @p block's instructions into the reservation queue. */
     void importBlock(const ir::BasicBlock *block,
                      const ir::BasicBlock *from);
@@ -302,6 +383,7 @@ class RuntimeEngine
     bool memStallStoreBlocked = false;
 
     EngineStats engineStats;
+    EngineObserver observer;
 };
 
 } // namespace salam::core

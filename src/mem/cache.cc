@@ -29,6 +29,33 @@ Cache::Cache(Simulation &sim, std::string name, Tick clock_period,
     }
 }
 
+void
+Cache::init()
+{
+    StatRegistry &reg = simulation().stats();
+    const std::string n = name();
+    mshrOccupancy = &reg.addHistogram(
+        n + ".cache.mshr_occupancy",
+        "MSHRs allocated, sampled at every cpu-side request", 0.0,
+        static_cast<double>(cfg.maxMshrs), std::max(cfg.maxMshrs, 1u));
+    reg.addFormula(n + ".cache.hits", "demand hits", [this] {
+        return static_cast<double>(hits);
+    });
+    reg.addFormula(n + ".cache.misses", "demand misses", [this] {
+        return static_cast<double>(misses);
+    });
+    reg.addFormula(n + ".cache.writebacks", "dirty blocks written back",
+                   [this] {
+                       return static_cast<double>(writebacks);
+                   });
+    reg.addFormula(n + ".cache.mshr_full_rejects",
+                   "requests rejected with all MSHRs busy", [this] {
+                       return static_cast<double>(mshrFullRejects);
+                   });
+    reg.addFormula(n + ".cache.miss_rate", "misses / accesses",
+                   [this] { return missRate(); });
+}
+
 unsigned
 Cache::setOf(std::uint64_t block_addr) const
 {
@@ -97,9 +124,14 @@ bool
 Cache::handleRequest(PacketPtr pkt)
 {
     std::uint64_t block_addr = blockAddrOf(pkt->addr());
+    if (mshrOccupancy)
+        mshrOccupancy->sample(static_cast<double>(mshrs.size()));
 
     if (Block *block = findBlock(block_addr)) {
         ++hits;
+        SALAM_TRACE(Cache, "%s hit addr=0x%llx size=%u",
+                    pkt->cmd() == MemCmd::ReadReq ? "read" : "write",
+                    (unsigned long long)pkt->addr(), pkt->size());
         accessBlock(*block, pkt);
         respondAfter(pkt, cfg.hitLatencyCycles);
         return true;
@@ -109,14 +141,25 @@ Cache::handleRequest(PacketPtr pkt)
     auto it = mshrs.find(block_addr);
     if (it != mshrs.end()) {
         ++misses;
+        SALAM_TRACE(Cache,
+                    "miss addr=0x%llx coalesced into MSHR 0x%llx",
+                    (unsigned long long)pkt->addr(),
+                    (unsigned long long)block_addr);
         it->second.targets.push_back(pkt);
         return true;
     }
 
-    if (mshrs.size() >= cfg.maxMshrs)
+    if (mshrs.size() >= cfg.maxMshrs) {
+        ++mshrFullRejects;
+        SALAM_TRACE(Cache, "reject addr=0x%llx: all %u MSHRs busy",
+                    (unsigned long long)pkt->addr(), cfg.maxMshrs);
         return false; // blocked; retried when an MSHR frees
+    }
 
     ++misses;
+    SALAM_TRACE(Cache, "miss addr=0x%llx -> fill block 0x%llx",
+                (unsigned long long)pkt->addr(),
+                (unsigned long long)block_addr);
     Mshr &mshr = mshrs[block_addr];
     mshr.blockAddr = block_addr;
     mshr.targets.push_back(pkt);
@@ -167,6 +210,9 @@ Cache::handleFill(PacketPtr pkt)
     std::uint64_t block_addr = pkt->addr();
     auto it = mshrs.find(block_addr);
     SALAM_ASSERT(it != mshrs.end());
+    SALAM_TRACE(Cache, "fill block 0x%llx (%zu targets)",
+                (unsigned long long)block_addr,
+                it->second.targets.size());
 
     // Install the block. The victim slot was invalidated at miss
     // time, but a racing fill in the same set may have reclaimed it;

@@ -41,6 +41,9 @@ class Cache : public ClockedObject
     Cache(Simulation &sim, std::string name, Tick clock_period,
           const CacheConfig &config);
 
+    /** Registers hit/miss/MSHR statistics with the simulation. */
+    void init() override;
+
     /** Port facing the requester (accelerator/cluster). */
     ResponsePort &cpuSide() { return cpuPort; }
 
@@ -164,6 +167,10 @@ class Cache : public ClockedObject
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
     std::uint64_t writebacks = 0;
+    std::uint64_t mshrFullRejects = 0;
+
+    /** Sampled per request once init() has registered it. */
+    Histogram *mshrOccupancy = nullptr;
 };
 
 } // namespace salam::mem

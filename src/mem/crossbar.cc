@@ -14,6 +14,23 @@ Crossbar::Crossbar(Simulation &sim, std::string name,
 {
 }
 
+void
+Crossbar::init()
+{
+    StatRegistry &reg = simulation().stats();
+    const std::string n = name();
+    requestQueueOccupancy = &reg.addHistogram(
+        n + ".xbar.request_queue_occupancy",
+        "queued requests at each arrival", 0.0, 16.0, 8);
+    reg.addFormula(n + ".xbar.forwarded", "requests forwarded",
+                   [this] { return static_cast<double>(forwarded); });
+    reg.addFormula(n + ".xbar.throughput_stalls",
+                   "cycles the per-cycle request limit was hit",
+                   [this] {
+                       return static_cast<double>(throughputStalls);
+                   });
+}
+
 ResponsePort &
 Crossbar::addRequester(const std::string &label)
 {
@@ -65,6 +82,13 @@ bool
 Crossbar::handleRequest(PacketPtr pkt, unsigned upstream_index)
 {
     unsigned target = routeFor(pkt);
+    if (requestQueueOccupancy) {
+        requestQueueOccupancy->sample(
+            static_cast<double>(requestQueue.size()));
+    }
+    SALAM_TRACE(Crossbar, "route addr=0x%llx up=%u -> down=%u",
+                (unsigned long long)pkt->addr(), upstream_index,
+                target);
     pkt->pushSenderState(std::make_unique<XbarState>(upstream_index));
     requestQueue.push_back(RoutedPacket{
         pkt, target, clockEdge(Cycles(cfg.forwardLatency))});
@@ -106,6 +130,7 @@ Crossbar::pumpRequests()
                 requestsThisCycle = 0;
             }
             if (requestsThisCycle >= cfg.requestsPerCycle) {
+                ++throughputStalls;
                 if (!requestEvent.scheduled())
                     schedule(requestEvent, clockEdge(Cycles(1)));
                 return;

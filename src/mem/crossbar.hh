@@ -42,6 +42,9 @@ class Crossbar : public ClockedObject
     Crossbar(Simulation &sim, std::string name, Tick clock_period,
              const CrossbarConfig &config = {});
 
+    /** Registers forwarding statistics with the simulation. */
+    void init() override;
+
     /**
      * Create an upstream endpoint for one requester; bind the
      * requester's RequestPort to the returned port.
@@ -148,6 +151,10 @@ class Crossbar : public ClockedObject
     Tick lastRequestCycle = maxTick;
     unsigned requestsThisCycle = 0;
     std::uint64_t forwarded = 0;
+    std::uint64_t throughputStalls = 0;
+
+    /** Sampled per incoming request once init() registered it. */
+    Histogram *requestQueueOccupancy = nullptr;
 };
 
 } // namespace salam::mem

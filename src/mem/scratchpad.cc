@@ -26,6 +26,39 @@ Scratchpad::Scratchpad(Simulation &sim, std::string name,
         ports.push_back(std::make_unique<SpmPort>(*this, i));
 }
 
+void
+Scratchpad::init()
+{
+    StatRegistry &reg = simulation().stats();
+    const std::string n = name();
+    queueOccupancy = &reg.addHistogram(
+        n + ".spm.queue_occupancy",
+        "pending requests at the start of each service cycle", 0.0,
+        static_cast<double>(
+            4 * (cfg.readPorts + cfg.writePorts)),
+        8);
+    reg.addFormula(n + ".spm.reads", "read accesses serviced",
+                   [this] { return static_cast<double>(reads); });
+    reg.addFormula(n + ".spm.writes", "write accesses serviced",
+                   [this] { return static_cast<double>(writes); });
+    reg.addFormula(n + ".spm.active_cycles",
+                   "cycles with at least one request pending",
+                   [this] {
+                       return static_cast<double>(activeCycles);
+                   });
+    reg.addFormula(n + ".spm.bank_conflicts",
+                   "service attempts skipped on a busy bank",
+                   [this] {
+                       return static_cast<double>(bankConflicts);
+                   });
+    reg.addFormula(n + ".spm.port_stalls",
+                   "service attempts skipped with ports exhausted",
+                   [this] {
+                       return static_cast<double>(portStalls);
+                   });
+    sink = simulation().traceSink();
+}
+
 ResponsePort &
 Scratchpad::port(unsigned i)
 {
@@ -103,6 +136,15 @@ Scratchpad::serviceCycle()
         return;
 
     ++activeCycles;
+    if (queueOccupancy) {
+        queueOccupancy->sample(
+            static_cast<double>(requestQueue.size()));
+    }
+    if (sink) {
+        sink->recordCounter(
+            curTick(), name(), "queue",
+            {{"pending", static_cast<double>(requestQueue.size())}});
+    }
     unsigned reads_left = cfg.readPorts;
     unsigned writes_left = cfg.writePorts;
     std::set<unsigned> busy_banks;
@@ -118,9 +160,22 @@ Scratchpad::serviceCycle()
         bool is_read = pkt->cmd() == MemCmd::ReadReq;
         unsigned &budget = is_read ? reads_left : writes_left;
         if (budget == 0 || busy_banks.count(bank)) {
+            if (budget == 0) {
+                ++portStalls;
+            } else {
+                ++bankConflicts;
+                SALAM_TRACE(Scratchpad,
+                            "bank conflict: %s addr=0x%llx bank=%u",
+                            is_read ? "read" : "write",
+                            (unsigned long long)pkt->addr(), bank);
+            }
             ++it;
             continue;
         }
+        SALAM_TRACE(Scratchpad, "%s addr=0x%llx size=%u bank=%u",
+                    is_read ? "read" : "write",
+                    (unsigned long long)pkt->addr(), pkt->size(),
+                    bank);
         --budget;
         if (cfg.banks > 1)
             busy_banks.insert(bank);

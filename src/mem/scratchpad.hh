@@ -48,6 +48,9 @@ class Scratchpad : public ClockedObject
     Scratchpad(Simulation &sim, std::string name, Tick clock_period,
                const ScratchpadConfig &config);
 
+    /** Registers port/bank statistics with the simulation. */
+    void init() override;
+
     const ScratchpadConfig &config() const { return cfg; }
 
     /** Connection endpoint @p i (bind a RequestPort to it). */
@@ -66,6 +69,9 @@ class Scratchpad : public ClockedObject
     std::uint64_t writeCount() const { return writes; }
 
     std::uint64_t busyCycles() const { return activeCycles; }
+
+    /** Service attempts skipped because the target bank was busy. */
+    std::uint64_t bankConflictCount() const { return bankConflicts; }
 
   private:
     class SpmPort : public ResponsePort
@@ -130,6 +136,12 @@ class Scratchpad : public ClockedObject
     std::uint64_t reads = 0;
     std::uint64_t writes = 0;
     std::uint64_t activeCycles = 0;
+    std::uint64_t bankConflicts = 0;
+    std::uint64_t portStalls = 0;
+
+    /** Sampled per service cycle once init() has registered it. */
+    Histogram *queueOccupancy = nullptr;
+    obs::TraceSink *sink = nullptr;
 };
 
 } // namespace salam::mem

@@ -1,0 +1,152 @@
+#include "debug_flags.hh"
+
+#include <cstdarg>
+#include <cstdio>
+#include <vector>
+
+namespace salam::obs
+{
+
+DebugFlag::DebugFlag(const char *name, const char *desc)
+    : _name(name), _desc(desc)
+{
+    DebugFlagRegistry::instance().registerFlag(this);
+}
+
+DebugFlagRegistry &
+DebugFlagRegistry::instance()
+{
+    static DebugFlagRegistry registry;
+    return registry;
+}
+
+void
+DebugFlagRegistry::registerFlag(DebugFlag *flag)
+{
+    entries.push_back(flag);
+}
+
+DebugFlag *
+DebugFlagRegistry::find(const std::string &name) const
+{
+    for (DebugFlag *flag : entries) {
+        if (name == flag->name())
+            return flag;
+    }
+    return nullptr;
+}
+
+bool
+DebugFlagRegistry::setEnabled(const std::string &name, bool on)
+{
+    if (name == "All") {
+        for (DebugFlag *flag : entries) {
+            if (on)
+                flag->enable();
+            else
+                flag->disable();
+        }
+        return true;
+    }
+    DebugFlag *flag = find(name);
+    if (flag == nullptr)
+        return false;
+    if (on)
+        flag->enable();
+    else
+        flag->disable();
+    return true;
+}
+
+bool
+DebugFlagRegistry::applySpec(const std::string &spec)
+{
+    bool all_known = true;
+    std::size_t pos = 0;
+    while (pos <= spec.size()) {
+        std::size_t comma = spec.find(',', pos);
+        if (comma == std::string::npos)
+            comma = spec.size();
+        std::string item = spec.substr(pos, comma - pos);
+        pos = comma + 1;
+        if (item.empty())
+            continue;
+        bool on = true;
+        if (item[0] == '-') {
+            on = false;
+            item.erase(0, 1);
+        }
+        all_known &= setEnabled(item, on);
+    }
+    return all_known;
+}
+
+void
+DebugFlagRegistry::disableAll()
+{
+    for (DebugFlag *flag : entries)
+        flag->disable();
+}
+
+void
+DebugFlagRegistry::emit(const std::string &line) const
+{
+    if (sink) {
+        sink(line);
+        return;
+    }
+    std::fputs(line.c_str(), stderr);
+    std::fputc('\n', stderr);
+}
+
+void
+traceMessage(const DebugFlag &flag, std::uint64_t tick,
+             const std::string &object, const char *fmt, ...)
+{
+    char stamp[64];
+    std::snprintf(stamp, sizeof(stamp), "%12llu: ",
+                  static_cast<unsigned long long>(tick));
+
+    va_list args;
+    va_start(args, fmt);
+    va_list args_copy;
+    va_copy(args_copy, args);
+    int len = std::vsnprintf(nullptr, 0, fmt, args);
+    va_end(args);
+    std::string body;
+    if (len < 0) {
+        body = fmt;
+    } else {
+        std::vector<char> buf(static_cast<std::size_t>(len) + 1);
+        std::vsnprintf(buf.data(), buf.size(), fmt, args_copy);
+        body.assign(buf.data(), static_cast<std::size_t>(len));
+    }
+    va_end(args_copy);
+
+    std::string line = stamp;
+    line += object;
+    line += ": ";
+    line += body;
+    (void)flag;
+    DebugFlagRegistry::instance().emit(line);
+}
+
+namespace flag
+{
+DebugFlag RuntimeEngine("RuntimeEngine",
+                        "runtime engine per-cycle scheduling");
+DebugFlag Issue("Issue", "per-instruction issue and commit");
+DebugFlag Comm("Comm", "communications interface activity");
+DebugFlag DMA("DMA", "DMA transfers and bursts");
+DebugFlag Cache("Cache", "cache hits, misses, and fills");
+DebugFlag Scratchpad("Scratchpad",
+                     "scratchpad service and bank conflicts");
+DebugFlag Crossbar("Crossbar", "crossbar routing");
+DebugFlag Port("Port", "port binding and protocol");
+DebugFlag Scheduler("Scheduler", "HLS static scheduler");
+DebugFlag Event("Event", "event-queue servicing");
+DebugFlag Inform("Inform", "inform() status messages");
+DebugFlag Warn("Warn", "warn() messages");
+} // namespace flag
+
+} // namespace salam::obs

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Debug-flag tracing, following gem5's DebugFlag/DPRINTF conventions.
+ *
+ * Every traceable subsystem owns a named DebugFlag; SALAM_TRACE(flag,
+ * fmt, ...) emits a tick-stamped, object-named line only while that
+ * flag is enabled. Flags are registered in a process-wide registry so
+ * they can be toggled by name at runtime ("RuntimeEngine,Cache", or
+ * "All"), and the emission path goes through a replaceable sink so
+ * tests can capture or silence trace output per flag instead of
+ * process-wide.
+ *
+ * Cost when a flag is disabled is a single relaxed bool load — the
+ * format arguments are never evaluated.
+ */
+
+#ifndef SALAM_OBS_DEBUG_FLAGS_HH
+#define SALAM_OBS_DEBUG_FLAGS_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace salam::obs
+{
+
+/** One named, independently-toggleable trace flag. */
+class DebugFlag
+{
+  public:
+    /** Construction registers the flag in the global registry. */
+    DebugFlag(const char *name, const char *desc);
+
+    DebugFlag(const DebugFlag &) = delete;
+    DebugFlag &operator=(const DebugFlag &) = delete;
+
+    const char *name() const { return _name; }
+
+    const char *description() const { return _desc; }
+
+    bool enabled() const { return _enabled; }
+
+    void enable() { _enabled = true; }
+
+    void disable() { _enabled = false; }
+
+  private:
+    const char *_name;
+    const char *_desc;
+    bool _enabled = false;
+};
+
+/**
+ * Process-wide flag registry and trace-output sink. Flags register
+ * themselves at static-initialization time; the registry never owns
+ * them.
+ */
+class DebugFlagRegistry
+{
+  public:
+    using Sink = std::function<void(const std::string &line)>;
+
+    static DebugFlagRegistry &instance();
+
+    void registerFlag(DebugFlag *flag);
+
+    /** Find a flag by exact name; nullptr when absent. */
+    DebugFlag *find(const std::string &name) const;
+
+    /**
+     * Enable/disable one flag by name; "All" matches every flag.
+     * @return false when the name matches no flag.
+     */
+    bool setEnabled(const std::string &name, bool on);
+
+    /**
+     * Apply a comma-separated spec, e.g. "RuntimeEngine,Cache" or
+     * "All,-Port" (a leading '-' disables that flag).
+     * @return false when any element matched no flag.
+     */
+    bool applySpec(const std::string &spec);
+
+    void disableAll();
+
+    const std::vector<DebugFlag *> &flags() const { return entries; }
+
+    /**
+     * Replace the trace/log output sink. A null sink restores the
+     * default (stderr). Used by tests to capture output.
+     */
+    void setSink(Sink sink) { this->sink = std::move(sink); }
+
+    /** Emit one already-formatted line through the current sink. */
+    void emit(const std::string &line) const;
+
+  private:
+    DebugFlagRegistry() = default;
+
+    std::vector<DebugFlag *> entries;
+    Sink sink;
+};
+
+/**
+ * Format and emit one trace line: "<tick>: <object>: <message>".
+ * Callers check flag.enabled() first (the SALAM_TRACE macros do).
+ */
+void traceMessage(const DebugFlag &flag, std::uint64_t tick,
+                  const std::string &object, const char *fmt, ...)
+    __attribute__((format(printf, 4, 5)));
+
+/** The built-in flags, one per traceable subsystem. */
+namespace flag
+{
+extern DebugFlag RuntimeEngine; ///< engine per-cycle summaries
+extern DebugFlag Issue;         ///< per-instruction issue/commit
+extern DebugFlag Comm;          ///< communications interface
+extern DebugFlag DMA;           ///< DMA transfers and bursts
+extern DebugFlag Cache;         ///< cache hits/misses/fills
+extern DebugFlag Scratchpad;    ///< SPM service and bank conflicts
+extern DebugFlag Crossbar;      ///< crossbar routing
+extern DebugFlag Port;          ///< port binding and protocol
+extern DebugFlag Scheduler;     ///< HLS static scheduler
+extern DebugFlag Event;         ///< event-queue servicing
+extern DebugFlag Inform;        ///< inform() status messages
+extern DebugFlag Warn;          ///< warn() messages
+} // namespace flag
+
+} // namespace salam::obs
+
+/**
+ * Tick-stamped trace from a SimObject member function (uses the
+ * enclosing curTick()/name()).
+ */
+#define SALAM_TRACE(flagname, ...)                                     \
+    do {                                                               \
+        if (::salam::obs::flag::flagname.enabled()) {                  \
+            ::salam::obs::traceMessage(                                \
+                ::salam::obs::flag::flagname,                          \
+                static_cast<std::uint64_t>(curTick()), name(),         \
+                __VA_ARGS__);                                          \
+        }                                                              \
+    } while (0)
+
+/** Trace with an explicit tick and object name (free contexts). */
+#define SALAM_TRACE_AT(flagname, tick, object, ...)                    \
+    do {                                                               \
+        if (::salam::obs::flag::flagname.enabled()) {                  \
+            ::salam::obs::traceMessage(                                \
+                ::salam::obs::flag::flagname,                          \
+                static_cast<std::uint64_t>(tick), (object),            \
+                __VA_ARGS__);                                          \
+        }                                                              \
+    } while (0)
+
+#endif // SALAM_OBS_DEBUG_FLAGS_HH

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Minimal JSON emission helpers shared by the machine-readable dumps
+ * (stats JSON, Chrome traces, run reports). Emission only — parsing
+ * lives in the tests that validate these formats.
+ */
+
+#ifndef SALAM_OBS_JSON_HH
+#define SALAM_OBS_JSON_HH
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+namespace salam::obs
+{
+
+/** Escape @p s for use inside a double-quoted JSON string. */
+inline std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+/** Render a double as a JSON number (never NaN/Inf, never locale). */
+inline std::string
+jsonNumber(double v)
+{
+    if (!std::isfinite(v))
+        return "0";
+    // Integral values print without a fraction so counters stay
+    // exact and diffable.
+    if (v == static_cast<double>(static_cast<long long>(v)) &&
+        std::abs(v) < 9.0e15) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(v));
+        return buf;
+    }
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.12g", v);
+    return buf;
+}
+
+} // namespace salam::obs
+
+#endif // SALAM_OBS_JSON_HH

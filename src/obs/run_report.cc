@@ -1,0 +1,36 @@
+#include "run_report.hh"
+
+#include <fstream>
+#include <sstream>
+
+#include "json.hh"
+
+namespace salam::obs
+{
+
+void
+RunReport::writeJson(std::ostream &os) const
+{
+    os << "{\"run\":\"" << jsonEscape(run) << "\""
+       << ",\"cycles\":" << cycles
+       << ",\"sim_seconds\":" << jsonNumber(simSeconds)
+       << ",\"compile_seconds\":" << jsonNumber(compileSeconds);
+    for (const auto &[key, value] : extra)
+        os << ",\"" << jsonEscape(key) << "\":" << jsonNumber(value);
+    if (!statsJson.empty())
+        os << ",\"stats\":" << statsJson;
+    os << "}";
+}
+
+bool
+RunReport::appendToFile(const std::string &path) const
+{
+    std::ofstream os(path, std::ios::app);
+    if (!os)
+        return false;
+    writeJson(os);
+    os << "\n";
+    return static_cast<bool>(os);
+}
+
+} // namespace salam::obs

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * RunReport: one machine-readable record per simulated run.
+ *
+ * Benches and examples emit these so experiment trajectories (the
+ * BENCH_*.json inputs) can be derived from real instrumented runs
+ * instead of hand-copied console output. The stats payload is the
+ * StatRegistry::dumpJson rendering, embedded verbatim; the report
+ * itself stays dependency-free so any layer can produce one.
+ */
+
+#ifndef SALAM_OBS_RUN_REPORT_HH
+#define SALAM_OBS_RUN_REPORT_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace salam::obs
+{
+
+/** Everything worth persisting about one run. */
+struct RunReport
+{
+    /** Experiment or kernel identifier, e.g. "fig14.gemm". */
+    std::string run;
+
+    /** Accelerator cycles to completion (0 when not applicable). */
+    std::uint64_t cycles = 0;
+
+    /** Host wall-clock seconds spent simulating. */
+    double simSeconds = 0.0;
+
+    /** Host wall-clock seconds spent building/optimizing IR. */
+    double compileSeconds = 0.0;
+
+    /** Extra scalar fields (config knobs, derived metrics). */
+    std::vector<std::pair<std::string, double>> extra;
+
+    /** StatRegistry::dumpJson output (a JSON object), or empty. */
+    std::string statsJson;
+
+    /** Write the report as one self-contained JSON object. */
+    void writeJson(std::ostream &os) const;
+
+    /**
+     * Append the report as one line of JSON (JSONL) to @p path.
+     * @return false on I/O failure.
+     */
+    bool appendToFile(const std::string &path) const;
+};
+
+} // namespace salam::obs
+
+#endif // SALAM_OBS_RUN_REPORT_HH

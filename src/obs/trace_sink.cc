@@ -1,0 +1,98 @@
+#include "trace_sink.hh"
+
+#include <cstdio>
+#include <fstream>
+
+#include "json.hh"
+
+namespace salam::obs
+{
+
+namespace
+{
+
+/** Ticks (ps) to Chrome microseconds, keeping the fraction. */
+std::string
+ticksToUs(std::uint64_t tick)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%llu.%06llu",
+                  static_cast<unsigned long long>(tick / 1000000),
+                  static_cast<unsigned long long>(tick % 1000000));
+    return buf;
+}
+
+void
+writeArgs(std::ostream &os,
+          const std::vector<std::pair<std::string, double>> &args)
+{
+    os << "{";
+    bool first = true;
+    for (const auto &[key, value] : args) {
+        if (!first)
+            os << ",";
+        first = false;
+        os << '"' << jsonEscape(key) << "\":" << jsonNumber(value);
+    }
+    os << "}";
+}
+
+} // namespace
+
+void
+TraceSink::writeChromeTrace(std::ostream &os) const
+{
+    // Stable object -> tid mapping in first-seen order, announced
+    // with thread_name metadata so viewers label the tracks.
+    std::map<std::string, int> tids;
+    for (const TraceRecord &record : records) {
+        if (tids.find(record.object) == tids.end()) {
+            int tid = static_cast<int>(tids.size());
+            tids.emplace(record.object, tid);
+        }
+    }
+
+    os << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+    bool first = true;
+    for (const auto &[object, tid] : tids) {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,"
+           << "\"tid\":" << tid << ",\"args\":{\"name\":\""
+           << jsonEscape(object) << "\"}}";
+    }
+    for (const TraceRecord &record : records) {
+        if (!first)
+            os << ",";
+        first = false;
+        int tid = tids[record.object];
+        os << "{\"name\":\"" << jsonEscape(record.name)
+           << "\",\"cat\":\"" << jsonEscape(record.category)
+           << "\",\"ph\":\"" << record.phase
+           << "\",\"ts\":" << ticksToUs(record.tick)
+           << ",\"pid\":0,\"tid\":" << tid;
+        if (record.phase == 'X')
+            os << ",\"dur\":" << ticksToUs(record.dur);
+        if (record.phase == 'i')
+            os << ",\"s\":\"t\"";
+        if (!record.args.empty() || record.phase == 'C') {
+            os << ",\"args\":";
+            writeArgs(os, record.args);
+        }
+        os << "}";
+    }
+    os << "]}\n";
+}
+
+bool
+TraceSink::writeChromeTraceFile(const std::string &path) const
+{
+    std::ofstream os(path);
+    if (!os)
+        return false;
+    writeChromeTrace(os);
+    return static_cast<bool>(os);
+}
+
+} // namespace salam::obs

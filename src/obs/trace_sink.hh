@@ -1,0 +1,125 @@
+/**
+ * @file
+ * TraceSink: tick-stamped event recording with Chrome trace export.
+ *
+ * Components record {tick, object, category, event} records — slices
+ * with a duration, instant markers, and counter samples. The sink
+ * renders them as Chrome trace_event JSON (the format chrome://tracing
+ * and Perfetto load), mapping each object name to its own track so a
+ * run's reservation/compute/memory-queue activity is visually
+ * inspectable on a shared time axis.
+ *
+ * Ticks are picoseconds; Chrome timestamps are microseconds, so the
+ * writer divides by 1e6 and keeps the fraction.
+ */
+
+#ifndef SALAM_OBS_TRACE_SINK_HH
+#define SALAM_OBS_TRACE_SINK_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace salam::obs
+{
+
+/** One recorded trace event. */
+struct TraceRecord
+{
+    char phase = 'i';        ///< 'X' slice, 'i' instant, 'C' counter
+    std::uint64_t tick = 0;  ///< start time (ps)
+    std::uint64_t dur = 0;   ///< duration in ticks ('X' only)
+    std::string object;      ///< emitting component (track name)
+    std::string category;    ///< e.g. "engine", "mem", "dma"
+    std::string name;        ///< event or counter-group name
+    /** Numeric arguments; for counters these are the series. */
+    std::vector<std::pair<std::string, double>> args;
+};
+
+/** Collects trace records and exports Chrome trace_event JSON. */
+class TraceSink
+{
+  public:
+    /** @param max_records Cap on stored records (drops past it). */
+    explicit TraceSink(std::size_t max_records = 4u << 20)
+        : maxRecords(max_records)
+    {}
+
+    /** A slice spanning [start, start + duration). */
+    void
+    recordSlice(std::uint64_t start_tick, std::uint64_t duration,
+                std::string object, std::string category,
+                std::string name,
+                std::vector<std::pair<std::string, double>> args = {})
+    {
+        push({'X', start_tick, duration, std::move(object),
+              std::move(category), std::move(name), std::move(args)});
+    }
+
+    /** A zero-duration marker. */
+    void
+    recordInstant(std::uint64_t tick, std::string object,
+                  std::string category, std::string name,
+                  std::vector<std::pair<std::string, double>> args = {})
+    {
+        push({'i', tick, 0, std::move(object), std::move(category),
+              std::move(name), std::move(args)});
+    }
+
+    /**
+     * A counter sample: each arg is one series of the counter group
+     * @p name, plotted as a stacked area in the viewer.
+     */
+    void
+    recordCounter(std::uint64_t tick, std::string object,
+                  std::string name,
+                  std::vector<std::pair<std::string, double>> series)
+    {
+        push({'C', tick, 0, std::move(object), "counter",
+              std::move(name), std::move(series)});
+    }
+
+    std::size_t size() const { return records.size(); }
+
+    /** Records discarded after the cap was hit. */
+    std::uint64_t dropped() const { return droppedRecords; }
+
+    bool empty() const { return records.empty(); }
+
+    void
+    clear()
+    {
+        records.clear();
+        droppedRecords = 0;
+    }
+
+    const std::vector<TraceRecord> &events() const { return records; }
+
+    /** Write the full Chrome trace_event JSON document. */
+    void writeChromeTrace(std::ostream &os) const;
+
+    /** Write to @p path; returns false (and warns) on I/O failure. */
+    bool writeChromeTraceFile(const std::string &path) const;
+
+  private:
+    void
+    push(TraceRecord record)
+    {
+        if (records.size() >= maxRecords) {
+            ++droppedRecords;
+            return;
+        }
+        records.push_back(std::move(record));
+    }
+
+    std::vector<TraceRecord> records;
+    std::size_t maxRecords;
+    std::uint64_t droppedRecords = 0;
+};
+
+} // namespace salam::obs
+
+#endif // SALAM_OBS_TRACE_SINK_HH

@@ -60,6 +60,8 @@ EventQueue::schedule(Event *event, Tick when)
     event->_when = when;
     event->_sequence = nextSequence++;
     queue.push(Entry{when, event->priority(), event->_sequence, event});
+    if (queue.size() > maxDepth)
+        maxDepth = queue.size();
 }
 
 void
@@ -109,6 +111,10 @@ EventQueue::step()
         SALAM_ASSERT(entry.when >= _curTick);
         _curTick = entry.when;
         ev->_scheduled = false;
+        SALAM_TRACE_AT(Event, _curTick, "event_queue",
+                       "service '%s' (pri %d, %zu queued)",
+                       ev->name().c_str(), ev->priority(),
+                       queue.size());
         ev->process();
         ++serviced;
         if (isQueueOwned(ev) && !ev->_scheduled) {

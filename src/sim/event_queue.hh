@@ -136,6 +136,9 @@ class EventQueue
     /** Number of events serviced since construction. */
     std::uint64_t numServiced() const { return serviced; }
 
+    /** High-water mark of the event heap (scheduling pressure). */
+    std::size_t maxHeapDepth() const { return maxDepth; }
+
   private:
     struct Entry
     {
@@ -160,6 +163,7 @@ class EventQueue
     std::uint64_t nextSequence = 0;
     std::uint64_t serviced = 0;
     std::uint64_t liveLambdas = 0;
+    std::size_t maxDepth = 0;
 };
 
 } // namespace salam

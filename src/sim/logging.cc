@@ -6,19 +6,21 @@
 namespace salam
 {
 
-bool LogControl::verbose = false;
-
 namespace detail
 {
 
 void
 logMessage(const char *prefix, const std::string &msg, bool always)
 {
-    if (!always && !LogControl::verbose)
+    // fatal/panic bypass the sink: they must reach the real stderr
+    // even when a test has redirected trace output.
+    if (always) {
+        std::fputs(prefix, stderr);
+        std::fputs(msg.c_str(), stderr);
+        std::fputc('\n', stderr);
         return;
-    std::fputs(prefix, stderr);
-    std::fputs(msg.c_str(), stderr);
-    std::fputc('\n', stderr);
+    }
+    obs::DebugFlagRegistry::instance().emit(prefix + msg);
 }
 
 std::string

@@ -6,6 +6,12 @@
  * - warn():   suspicious-but-survivable conditions.
  * - fatal():  user error (bad configuration); exits cleanly.
  * - panic():  simulator bug; aborts.
+ *
+ * inform/warn route through the obs debug-flag registry (flags
+ * "Inform" and "Warn"): they are suppressed unless their flag is
+ * enabled, and tests can capture or silence them per flag via
+ * obs::DebugFlagRegistry::setSink instead of a process-wide global.
+ * fatal/panic always emit.
  */
 
 #ifndef SALAM_SIM_LOGGING_HH
@@ -15,39 +21,66 @@
 #include <cstdlib>
 #include <string>
 
+#include "obs/debug_flags.hh"
+
 namespace salam
 {
 
-/** Global verbosity switch; tests silence inform/warn output. */
+/**
+ * Back-compat verbosity switch: setVerbose(true) enables the Inform
+ * and Warn debug flags (the old process-wide bool).
+ */
 struct LogControl
 {
-    static bool verbose;
+    static void
+    setVerbose(bool on)
+    {
+        if (on) {
+            obs::flag::Inform.enable();
+            obs::flag::Warn.enable();
+        } else {
+            obs::flag::Inform.disable();
+            obs::flag::Warn.disable();
+        }
+    }
+
+    static bool
+    verbose()
+    {
+        return obs::flag::Inform.enabled() ||
+            obs::flag::Warn.enabled();
+    }
 };
 
 namespace detail
 {
 
-void logMessage(const char *prefix, const std::string &msg, bool always);
+void logMessage(const char *prefix, const std::string &msg,
+                bool always);
 
 std::string formatString(const char *fmt, ...)
     __attribute__((format(printf, 1, 2)));
 
 } // namespace detail
 
-/** Print an informational message (suppressed when not verbose). */
+/** Print an informational message (needs the Inform flag). */
 template <typename... Args>
 void
 inform(const char *fmt, Args... args)
 {
+    if (!obs::flag::Inform.enabled())
+        return;
     detail::logMessage("info: ",
                        detail::formatString(fmt, args...), false);
 }
 
-/** Print a warning message (suppressed when not verbose). */
+/** Print a warning message (needs the Warn flag). */
 template <typename... Args>
 void
 warn(const char *fmt, Args... args)
 {
+    if (!obs::flag::Warn.enabled())
+        return;
     detail::logMessage("warn: ",
                        detail::formatString(fmt, args...), false);
 }

@@ -5,6 +5,32 @@
 namespace salam
 {
 
+Simulation::Simulation()
+{
+    // The simulation core instruments itself; member addresses are
+    // stable (Simulation is non-copyable), so formulas can read the
+    // event queue live.
+    registry.addFormula(
+        "sim.event_queue.serviced", "events serviced since start",
+        [this] { return static_cast<double>(queue.numServiced()); });
+    registry.addFormula(
+        "sim.event_queue.max_heap_depth",
+        "high-water mark of the event heap",
+        [this] { return static_cast<double>(queue.maxHeapDepth()); });
+    registry.addFormula(
+        "sim.ticks", "current simulated time in ticks",
+        [this] { return static_cast<double>(queue.curTick()); });
+}
+
+obs::TraceSink &
+Simulation::enableTracing()
+{
+    if (!sink)
+        sink = std::make_unique<obs::TraceSink>();
+    tracingEnabled = true;
+    return *sink;
+}
+
 void
 Simulation::initAll()
 {

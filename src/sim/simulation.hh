@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "event_queue.hh"
+#include "obs/trace_sink.hh"
 #include "statistics.hh"
 #include "types.hh"
 
@@ -27,7 +28,7 @@ class SimObject;
 class Simulation
 {
   public:
-    Simulation() = default;
+    Simulation();
 
     Simulation(const Simulation &) = delete;
     Simulation &operator=(const Simulation &) = delete;
@@ -39,6 +40,17 @@ class Simulation
     StatRegistry &stats() { return registry; }
 
     const StatRegistry &stats() const { return registry; }
+
+    /**
+     * Turn on event tracing; must be called before run() for
+     * objects that wire themselves to the sink in init(). Returns
+     * the sink so the caller can export the trace afterwards.
+     */
+    obs::TraceSink &enableTracing();
+
+    /** The trace sink, or nullptr while tracing is off. */
+    obs::TraceSink *traceSink()
+    { return tracingEnabled ? sink.get() : nullptr; }
 
     Tick curTick() const { return queue.curTick(); }
 
@@ -76,6 +88,8 @@ class Simulation
   private:
     EventQueue queue;
     StatRegistry registry;
+    std::unique_ptr<obs::TraceSink> sink;
+    bool tracingEnabled = false;
     std::vector<std::unique_ptr<SimObject>> objects;
     std::vector<SimObject *> registered;
     bool initialized = false;

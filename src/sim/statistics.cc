@@ -1,26 +1,256 @@
 #include "statistics.hh"
 
 #include <iomanip>
+#include <sstream>
 
 #include "logging.hh"
+#include "obs/json.hh"
 
 namespace salam
 {
 
+using obs::jsonEscape;
+using obs::jsonNumber;
+
+// ---- StatBase ------------------------------------------------------
+
+void
+StatBase::print(std::ostream &os) const
+{
+    os << std::left << std::setw(48) << name()
+       << std::right << std::setw(16) << value()
+       << "  # " << description() << '\n';
+}
+
+void
+StatBase::printJson(std::ostream &os) const
+{
+    os << "{\"kind\":\"" << kind() << "\",\"desc\":\""
+       << jsonEscape(description()) << "\",\"value\":"
+       << jsonNumber(value()) << "}";
+}
+
+// ---- Histogram -----------------------------------------------------
+
+Histogram::Histogram(std::string name, std::string desc, double min,
+                     double max, unsigned buckets)
+    : StatBase(std::move(name), std::move(desc)), lo(min)
+{
+    if (buckets == 0)
+        panic("histogram '%s' needs at least one bucket",
+              this->name().c_str());
+    if (max < min)
+        panic("histogram '%s' has max < min", this->name().c_str());
+    // A degenerate [v, v) range still gets one bucket; every
+    // in-range sample must equal v and lands in it.
+    width = (max - min) / buckets;
+    if (width <= 0.0)
+        width = 1.0;
+    counts.assign(buckets, 0);
+}
+
+void
+Histogram::sample(double v, std::uint64_t count)
+{
+    if (count == 0)
+        return;
+    if (samples == 0) {
+        seenMin = seenMax = v;
+    } else {
+        if (v < seenMin)
+            seenMin = v;
+        if (v > seenMax)
+            seenMax = v;
+    }
+    samples += count;
+    total += v * static_cast<double>(count);
+
+    if (v < lo) {
+        below += count;
+        return;
+    }
+    auto idx = static_cast<std::size_t>((v - lo) / width);
+    if (idx >= counts.size()) {
+        above += count;
+        return;
+    }
+    counts[idx] += count;
+}
+
+void
+Histogram::reset()
+{
+    for (auto &c : counts)
+        c = 0;
+    below = above = samples = 0;
+    total = seenMin = seenMax = 0.0;
+}
+
+void
+Histogram::print(std::ostream &os) const
+{
+    os << std::left << std::setw(48) << name()
+       << std::right << std::setw(16) << mean()
+       << "  # " << description() << " (mean of " << samples
+       << " samples)\n";
+    if (below > 0) {
+        os << "  " << std::left << std::setw(46) << "  (underflow)"
+           << std::right << std::setw(16) << below << '\n';
+    }
+    for (unsigned i = 0; i < numBuckets(); ++i) {
+        if (counts[i] == 0)
+            continue;
+        std::ostringstream label;
+        label << "  [" << bucketLow(i) << ", " << bucketHigh(i)
+              << ")";
+        os << "  " << std::left << std::setw(46) << label.str()
+           << std::right << std::setw(16) << counts[i] << '\n';
+    }
+    if (above > 0) {
+        os << "  " << std::left << std::setw(46) << "  (overflow)"
+           << std::right << std::setw(16) << above << '\n';
+    }
+}
+
+void
+Histogram::printJson(std::ostream &os) const
+{
+    os << "{\"kind\":\"histogram\",\"desc\":\""
+       << jsonEscape(description()) << "\",\"value\":"
+       << jsonNumber(mean()) << ",\"count\":" << samples
+       << ",\"sum\":" << jsonNumber(total)
+       << ",\"min\":" << jsonNumber(minValue())
+       << ",\"max\":" << jsonNumber(maxValue())
+       << ",\"underflow\":" << below << ",\"overflow\":" << above
+       << ",\"buckets\":[";
+    for (unsigned i = 0; i < numBuckets(); ++i) {
+        if (i > 0)
+            os << ",";
+        os << "{\"low\":" << jsonNumber(bucketLow(i))
+           << ",\"high\":" << jsonNumber(bucketHigh(i))
+           << ",\"count\":" << counts[i] << "}";
+    }
+    os << "]}";
+}
+
+// ---- VectorStat ----------------------------------------------------
+
+VectorStat::VectorStat(std::string name, std::string desc,
+                       std::vector<std::string> lane_names)
+    : StatBase(std::move(name), std::move(desc)),
+      names(std::move(lane_names)), values(names.size(), 0.0)
+{
+    if (names.empty())
+        panic("vector stat '%s' needs at least one lane",
+              this->name().c_str());
+}
+
+double
+VectorStat::lane(const std::string &name) const
+{
+    for (unsigned i = 0; i < size(); ++i) {
+        if (names[i] == name)
+            return values[i];
+    }
+    return 0.0;
+}
+
+double
+VectorStat::value() const
+{
+    double sum = 0.0;
+    for (double v : values)
+        sum += v;
+    return sum;
+}
+
+void
+VectorStat::reset()
+{
+    for (double &v : values)
+        v = 0.0;
+}
+
+void
+VectorStat::print(std::ostream &os) const
+{
+    os << std::left << std::setw(48) << name()
+       << std::right << std::setw(16) << value()
+       << "  # " << description() << '\n';
+    for (unsigned i = 0; i < size(); ++i) {
+        os << "  " << std::left << std::setw(46)
+           << ("  " + names[i])
+           << std::right << std::setw(16) << values[i] << '\n';
+    }
+}
+
+void
+VectorStat::printJson(std::ostream &os) const
+{
+    os << "{\"kind\":\"vector\",\"desc\":\""
+       << jsonEscape(description()) << "\",\"value\":"
+       << jsonNumber(value()) << ",\"lanes\":{";
+    for (unsigned i = 0; i < size(); ++i) {
+        if (i > 0)
+            os << ",";
+        os << '"' << jsonEscape(names[i])
+           << "\":" << jsonNumber(values[i]);
+    }
+    os << "}}";
+}
+
+// ---- StatRegistry --------------------------------------------------
+
+template <typename T>
+T &
+StatRegistry::insert(std::unique_ptr<T> stat)
+{
+    T &ref = *stat;
+    auto [it, inserted] =
+        stats.try_emplace(ref.name(), std::move(stat));
+    if (!inserted)
+        panic("duplicate statistic '%s'", ref.name().c_str());
+    return ref;
+}
+
 Stat &
 StatRegistry::add(const std::string &name, const std::string &desc)
 {
-    auto [it, inserted] = stats.try_emplace(name, name, desc);
-    if (!inserted)
-        panic("duplicate statistic '%s'", name.c_str());
-    return it->second;
+    return insert(std::make_unique<Stat>(name, desc));
 }
 
-const Stat *
+Histogram &
+StatRegistry::addHistogram(const std::string &name,
+                           const std::string &desc, double min,
+                           double max, unsigned buckets)
+{
+    return insert(
+        std::make_unique<Histogram>(name, desc, min, max, buckets));
+}
+
+VectorStat &
+StatRegistry::addVector(const std::string &name,
+                        const std::string &desc,
+                        std::vector<std::string> lane_names)
+{
+    return insert(std::make_unique<VectorStat>(
+        name, desc, std::move(lane_names)));
+}
+
+Formula &
+StatRegistry::addFormula(const std::string &name,
+                         const std::string &desc,
+                         std::function<double()> fn)
+{
+    return insert(
+        std::make_unique<Formula>(name, desc, std::move(fn)));
+}
+
+const StatBase *
 StatRegistry::find(const std::string &name) const
 {
     auto it = stats.find(name);
-    return it == stats.end() ? nullptr : &it->second;
+    return it == stats.end() ? nullptr : it->second.get();
 }
 
 double
@@ -30,7 +260,7 @@ StatRegistry::sumByPrefix(const std::string &prefix) const
     for (auto it = stats.lower_bound(prefix); it != stats.end(); ++it) {
         if (it->first.compare(0, prefix.size(), prefix) != 0)
             break;
-        sum += it->second.value();
+        sum += it->second->value();
     }
     return sum;
 }
@@ -38,18 +268,38 @@ StatRegistry::sumByPrefix(const std::string &prefix) const
 void
 StatRegistry::dump(std::ostream &os) const
 {
+    for (const auto &[name, stat] : stats)
+        stat->print(os);
+}
+
+void
+StatRegistry::dumpJson(std::ostream &os) const
+{
+    os << "{";
+    bool first = true;
     for (const auto &[name, stat] : stats) {
-        os << std::left << std::setw(48) << name
-           << std::right << std::setw(16) << stat.value()
-           << "  # " << stat.description() << '\n';
+        if (!first)
+            os << ",";
+        first = false;
+        os << '"' << jsonEscape(name) << "\":";
+        stat->printJson(os);
     }
+    os << "}";
+}
+
+std::string
+StatRegistry::dumpJsonString() const
+{
+    std::ostringstream os;
+    dumpJson(os);
+    return os.str();
 }
 
 void
 StatRegistry::resetAll()
 {
     for (auto &[name, stat] : stats)
-        stat.reset();
+        stat->reset();
 }
 
 } // namespace salam

@@ -1,17 +1,31 @@
 /**
  * @file
- * Lightweight statistics package.
+ * Statistics package: scalars, histograms, vectors, and formulas.
  *
- * Components register named scalar statistics with their simulation's
- * StatRegistry; the registry supports dumping and programmatic lookup,
- * which the benches use to print per-experiment rows.
+ * Components register named statistics with their simulation's
+ * StatRegistry, which stays the single owner; the registry supports
+ * text dumping, machine-readable JSON dumping, and programmatic
+ * lookup, which the benches use to print per-experiment rows.
+ *
+ * Stat names follow the gem5 convention `<object>.<group>.<stat>`,
+ * e.g. "acc.engine.stall_causes" or "spm.mem.bank_conflicts".
+ *
+ * Kinds:
+ *  - Stat:       a named scalar (count or accumulated value);
+ *  - Histogram:  a bucketed distribution with underflow/overflow;
+ *  - VectorStat: named lanes (e.g. a stall-cause breakdown);
+ *  - Formula:    a value derived on demand from other state (e.g.
+ *                FU utilization = busy / total), so it is always
+ *                current — including after resetAll().
  */
 
 #ifndef SALAM_SIM_STATISTICS_HH
 #define SALAM_SIM_STATISTICS_HH
 
 #include <cstdint>
+#include <functional>
 #include <map>
+#include <memory>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -19,21 +33,50 @@
 namespace salam
 {
 
-/** A named scalar statistic (count or accumulated value). */
-class Stat
+/** Common interface of every registered statistic. */
+class StatBase
 {
   public:
-    Stat() = default;
-
-    Stat(std::string name, std::string desc)
+    StatBase(std::string name, std::string desc)
         : _name(std::move(name)), _desc(std::move(desc))
     {}
+
+    virtual ~StatBase() = default;
 
     const std::string &name() const { return _name; }
 
     const std::string &description() const { return _desc; }
 
-    double value() const { return _value; }
+    /** Scalar summary (sum for vectors, mean for histograms). */
+    virtual double value() const = 0;
+
+    virtual void reset() = 0;
+
+    /** "scalar", "histogram", "vector", or "formula". */
+    virtual const char *kind() const = 0;
+
+    /** One or more lines of the human-readable dump. */
+    virtual void print(std::ostream &os) const;
+
+    /** The stat's JSON value object (without the name key). */
+    virtual void printJson(std::ostream &os) const;
+
+  private:
+    std::string _name;
+    std::string _desc;
+};
+
+/** A named scalar statistic (count or accumulated value). */
+class Stat : public StatBase
+{
+  public:
+    Stat() : StatBase("", "") {}
+
+    Stat(std::string name, std::string desc)
+        : StatBase(std::move(name), std::move(desc))
+    {}
+
+    double value() const override { return _value; }
 
     void set(double v) { _value = v; }
 
@@ -41,12 +84,139 @@ class Stat
 
     Stat &operator++() { _value += 1.0; return *this; }
 
-    void reset() { _value = 0.0; }
+    void reset() override { _value = 0.0; }
+
+    const char *kind() const override { return "scalar"; }
 
   private:
-    std::string _name;
-    std::string _desc;
     double _value = 0.0;
+};
+
+/**
+ * A bucketed distribution over [min, max): @p buckets equal-width
+ * in-range buckets plus implicit underflow (v < min) and overflow
+ * (v >= max) buckets.
+ */
+class Histogram : public StatBase
+{
+  public:
+    Histogram(std::string name, std::string desc, double min,
+              double max, unsigned buckets);
+
+    void sample(double v, std::uint64_t count = 1);
+
+    std::uint64_t count() const { return samples; }
+
+    double sum() const { return total; }
+
+    /** Mean of all samples (0 when empty). */
+    double
+    mean() const
+    {
+        return samples == 0
+            ? 0.0
+            : total / static_cast<double>(samples);
+    }
+
+    /** Smallest/largest sampled value (0 when empty). */
+    double minValue() const { return samples ? seenMin : 0.0; }
+
+    double maxValue() const { return samples ? seenMax : 0.0; }
+
+    std::uint64_t underflow() const { return below; }
+
+    std::uint64_t overflow() const { return above; }
+
+    unsigned numBuckets() const
+    { return static_cast<unsigned>(counts.size()); }
+
+    std::uint64_t bucketCount(unsigned i) const { return counts[i]; }
+
+    double bucketLow(unsigned i) const { return lo + i * width; }
+
+    double bucketHigh(unsigned i) const { return lo + (i + 1) * width; }
+
+    /** Scalar summary: the mean. */
+    double value() const override { return mean(); }
+
+    void reset() override;
+
+    const char *kind() const override { return "histogram"; }
+
+    void print(std::ostream &os) const override;
+
+    void printJson(std::ostream &os) const override;
+
+  private:
+    double lo;
+    double width;
+    std::vector<std::uint64_t> counts;
+    std::uint64_t below = 0;
+    std::uint64_t above = 0;
+    std::uint64_t samples = 0;
+    double total = 0.0;
+    double seenMin = 0.0;
+    double seenMax = 0.0;
+};
+
+/** Named lanes sharing one stat, e.g. a stall-cause breakdown. */
+class VectorStat : public StatBase
+{
+  public:
+    VectorStat(std::string name, std::string desc,
+               std::vector<std::string> lane_names);
+
+    unsigned size() const
+    { return static_cast<unsigned>(values.size()); }
+
+    const std::string &laneName(unsigned i) const { return names[i]; }
+
+    double lane(unsigned i) const { return values[i]; }
+
+    /** Lane value by name; 0 for unknown lanes. */
+    double lane(const std::string &name) const;
+
+    void add(unsigned i, double v = 1.0) { values[i] += v; }
+
+    void set(unsigned i, double v) { values[i] = v; }
+
+    /** Scalar summary: the sum over lanes. */
+    double value() const override;
+
+    void reset() override;
+
+    const char *kind() const override { return "vector"; }
+
+    void print(std::ostream &os) const override;
+
+    void printJson(std::ostream &os) const override;
+
+  private:
+    std::vector<std::string> names;
+    std::vector<double> values;
+};
+
+/**
+ * A derived statistic evaluated on demand, so it recomputes from
+ * whatever its inputs currently hold — also after resetAll().
+ */
+class Formula : public StatBase
+{
+  public:
+    Formula(std::string name, std::string desc,
+            std::function<double()> fn)
+        : StatBase(std::move(name), std::move(desc)),
+          fn(std::move(fn))
+    {}
+
+    double value() const override { return fn ? fn() : 0.0; }
+
+    void reset() override {} // nothing stored; inputs reset themselves
+
+    const char *kind() const override { return "formula"; }
+
+  private:
+    std::function<double()> fn;
 };
 
 /** Owner of all statistics in one simulation instance. */
@@ -54,13 +224,26 @@ class StatRegistry
 {
   public:
     /**
-     * Register a statistic. The registry owns the Stat; the returned
-     * reference stays valid for the registry's lifetime.
+     * Register a scalar statistic. The registry owns it; the
+     * returned reference stays valid for the registry's lifetime
+     * (all add* methods behave the same way).
      */
     Stat &add(const std::string &name, const std::string &desc);
 
+    Histogram &addHistogram(const std::string &name,
+                            const std::string &desc, double min,
+                            double max, unsigned buckets);
+
+    VectorStat &addVector(const std::string &name,
+                          const std::string &desc,
+                          std::vector<std::string> lane_names);
+
+    Formula &addFormula(const std::string &name,
+                        const std::string &desc,
+                        std::function<double()> fn);
+
     /** Look up a statistic by full name; nullptr when absent. */
-    const Stat *find(const std::string &name) const;
+    const StatBase *find(const std::string &name) const;
 
     /** Sum of all stats whose names begin with @p prefix. */
     double sumByPrefix(const std::string &prefix) const;
@@ -68,12 +251,25 @@ class StatRegistry
     /** Dump all statistics, sorted by name. */
     void dump(std::ostream &os) const;
 
+    /**
+     * Dump every statistic as one JSON object keyed by stat name;
+     * each value carries its kind, description, scalar value, and
+     * kind-specific payload (buckets, lanes).
+     */
+    void dumpJson(std::ostream &os) const;
+
+    /** dumpJson into a string (for embedding in run reports). */
+    std::string dumpJsonString() const;
+
     void resetAll();
 
     std::size_t size() const { return stats.size(); }
 
   private:
-    std::map<std::string, Stat> stats;
+    template <typename T>
+    T &insert(std::unique_ptr<T> stat);
+
+    std::map<std::string, std::unique_ptr<StatBase>> stats;
 };
 
 } // namespace salam

@@ -1,0 +1,147 @@
+/** Tests for the debug-flag registry and trace emission. */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/debug_flags.hh"
+#include "sim/logging.hh"
+
+using namespace salam;
+using namespace salam::obs;
+
+namespace
+{
+
+/** Captures every emitted line; restores registry state on exit. */
+class FlagTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        DebugFlagRegistry::instance().disableAll();
+        DebugFlagRegistry::instance().setSink(
+            [this](const std::string &line) {
+                lines.push_back(line);
+            });
+    }
+
+    void
+    TearDown() override
+    {
+        DebugFlagRegistry::instance().setSink(nullptr);
+        DebugFlagRegistry::instance().disableAll();
+    }
+
+    std::vector<std::string> lines;
+};
+
+TEST_F(FlagTest, FlagsStartDisabledAndAreRegistered)
+{
+    EXPECT_FALSE(flag::Cache.enabled());
+    EXPECT_FALSE(flag::RuntimeEngine.enabled());
+    auto *found = DebugFlagRegistry::instance().find("Cache");
+    ASSERT_NE(found, nullptr);
+    EXPECT_EQ(found, &flag::Cache);
+    EXPECT_EQ(DebugFlagRegistry::instance().find("NoSuchFlag"),
+              nullptr);
+}
+
+TEST_F(FlagTest, SetEnabledByNameAndAll)
+{
+    EXPECT_TRUE(
+        DebugFlagRegistry::instance().setEnabled("DMA", true));
+    EXPECT_TRUE(flag::DMA.enabled());
+    EXPECT_FALSE(flag::Cache.enabled());
+
+    EXPECT_TRUE(
+        DebugFlagRegistry::instance().setEnabled("All", true));
+    EXPECT_TRUE(flag::Cache.enabled());
+    EXPECT_TRUE(flag::Crossbar.enabled());
+
+    EXPECT_FALSE(
+        DebugFlagRegistry::instance().setEnabled("Bogus", true));
+}
+
+TEST_F(FlagTest, ApplySpecWithNegation)
+{
+    EXPECT_TRUE(
+        DebugFlagRegistry::instance().applySpec("All,-Event"));
+    EXPECT_TRUE(flag::Cache.enabled());
+    EXPECT_FALSE(flag::Event.enabled());
+
+    DebugFlagRegistry::instance().disableAll();
+    EXPECT_TRUE(
+        DebugFlagRegistry::instance().applySpec("Cache,Scratchpad"));
+    EXPECT_TRUE(flag::Cache.enabled());
+    EXPECT_TRUE(flag::Scratchpad.enabled());
+    EXPECT_FALSE(flag::DMA.enabled());
+
+    EXPECT_FALSE(DebugFlagRegistry::instance().applySpec("Nope"));
+}
+
+TEST_F(FlagTest, DisabledFlagEmitsNothing)
+{
+    SALAM_TRACE_AT(Cache, 100, "l1", "hit addr=0x%x", 0x40u);
+    EXPECT_TRUE(lines.empty());
+}
+
+TEST_F(FlagTest, EnabledFlagEmitsTickStampedObjectNamedLine)
+{
+    flag::Cache.enable();
+    SALAM_TRACE_AT(Cache, 1234, "l1", "hit addr=0x%x", 0x40u);
+    ASSERT_EQ(lines.size(), 1u);
+    EXPECT_NE(lines[0].find("1234"), std::string::npos);
+    EXPECT_NE(lines[0].find("l1:"), std::string::npos);
+    EXPECT_NE(lines[0].find("hit addr=0x40"), std::string::npos);
+}
+
+TEST_F(FlagTest, FormatArgumentsNotEvaluatedWhenDisabled)
+{
+    int evaluations = 0;
+    auto expensive = [&evaluations]() {
+        ++evaluations;
+        return 7;
+    };
+    SALAM_TRACE_AT(Cache, 0, "l1", "value=%d", expensive());
+    EXPECT_EQ(evaluations, 0);
+    flag::Cache.enable();
+    SALAM_TRACE_AT(Cache, 0, "l1", "value=%d", expensive());
+    EXPECT_EQ(evaluations, 1);
+}
+
+TEST_F(FlagTest, InformRoutesThroughInformFlag)
+{
+    inform("quiet by default %d", 1);
+    EXPECT_TRUE(lines.empty());
+
+    flag::Inform.enable();
+    inform("now visible %d", 2);
+    ASSERT_EQ(lines.size(), 1u);
+    EXPECT_NE(lines[0].find("info: now visible 2"),
+              std::string::npos);
+}
+
+TEST_F(FlagTest, WarnIndependentOfInform)
+{
+    flag::Warn.enable();
+    inform("suppressed");
+    warn("emitted %s", "loudly");
+    ASSERT_EQ(lines.size(), 1u);
+    EXPECT_NE(lines[0].find("warn: emitted loudly"),
+              std::string::npos);
+}
+
+TEST_F(FlagTest, LogControlVerboseTogglesBothFlags)
+{
+    LogControl::setVerbose(true);
+    EXPECT_TRUE(flag::Inform.enabled());
+    EXPECT_TRUE(flag::Warn.enabled());
+    EXPECT_TRUE(LogControl::verbose());
+    LogControl::setVerbose(false);
+    EXPECT_FALSE(LogControl::verbose());
+}
+
+} // namespace
