@@ -14,6 +14,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <memory>
 #include <string>
@@ -23,7 +24,9 @@
 #include "kernels/machsuite.hh"
 #include "mem/backdoor.hh"
 #include "mem/scratchpad.hh"
+#include "obs/critical_path.hh"
 #include "obs/debug_flags.hh"
+#include "obs/interval_stats.hh"
 #include "obs/run_report.hh"
 #include "sim/simulation.hh"
 
@@ -44,6 +47,18 @@ struct ObsOptions
 
     /** StatRegistry::dumpJson path; the last run's stats win. */
     std::string statsOut;
+
+    /**
+     * Critical-path hotspot report path (JSON); folded stacks go to
+     * "<path>.folded". Enables profiling; the last run wins.
+     */
+    std::string profileOut;
+
+    /** Interval-stats period in engine cycles; 0 disables. */
+    std::uint64_t statsInterval = 0;
+
+    /** The invoking command line (argv joined with spaces). */
+    std::string commandLine;
 };
 
 inline ObsOptions &
@@ -55,18 +70,29 @@ obsOptions()
 
 /**
  * Parse the shared observability arguments:
- *   --trace-out <file>    write a Chrome trace_event JSON trace
- *   --report-out <file>   append one RunReport JSON line per run
- *   --stats-out <file>    write the statistics dump as JSON
- *   --debug-flags <spec>  enable debug flags, e.g. "Cache,DMA" or
- *                         "All,-Event"
- *   --verbose             enable inform()/warn() output
+ *   --trace-out <file>      write a Chrome trace_event JSON trace
+ *   --report-out <file>     append one RunReport JSON line per run
+ *   --stats-out <file>      write the statistics dump as JSON
+ *   --profile-out <file>    write the critical-path hotspot report
+ *                           (JSON; folded stacks to <file>.folded)
+ *                           and enable dynamic-CDFG profiling
+ *   --stats-interval <N>    dump+reset statistics every N engine
+ *                           cycles (JSONL time series next to
+ *                           --stats-out, or stats.intervals.jsonl)
+ *   --debug-flags <spec>    enable debug flags, e.g. "Cache,DMA" or
+ *                           "All,-Event"; unknown names are fatal
+ *   --verbose               enable inform()/warn() output
  * fatal()s on anything it does not recognize.
  */
 inline void
 parseObsArgs(int argc, char **argv)
 {
     ObsOptions &options = obsOptions();
+    for (int i = 0; i < argc; ++i) {
+        if (i > 0)
+            options.commandLine += ' ';
+        options.commandLine += argv[i];
+    }
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         // Accept both "--opt value" and "--opt=value".
@@ -90,17 +116,31 @@ parseObsArgs(int argc, char **argv)
             options.reportOut = next();
         } else if (arg == "--stats-out") {
             options.statsOut = next();
+        } else if (arg == "--profile-out") {
+            options.profileOut = next();
+        } else if (arg == "--stats-interval") {
+            std::string value = next();
+            char *end = nullptr;
+            unsigned long long cycles =
+                std::strtoull(value.c_str(), &end, 10);
+            if (end == value.c_str() || *end != '\0' || cycles == 0)
+                fatal("--stats-interval needs a positive cycle "
+                      "count, got '%s'",
+                      value.c_str());
+            options.statsInterval = cycles;
         } else if (arg == "--debug-flags") {
-            if (!obs::DebugFlagRegistry::instance().applySpec(next()))
-                fatal("unknown debug flag in --debug-flags spec");
+            std::string error = obs::DebugFlagRegistry::instance()
+                                    .applySpecStrict(next());
+            if (!error.empty())
+                fatal("%s", error.c_str());
         } else if (arg == "--verbose") {
             if (has_inline_value)
                 fatal("--verbose takes no value");
             LogControl::setVerbose(true);
         } else {
             fatal("unknown argument '%s' (expected --trace-out, "
-                  "--report-out, --stats-out, --debug-flags, or "
-                  "--verbose)",
+                  "--report-out, --stats-out, --profile-out, "
+                  "--stats-interval, --debug-flags, or --verbose)",
                   arg.c_str());
         }
     }
@@ -129,6 +169,8 @@ struct BenchRun
     double simulateSeconds = 0.0;
     /** Golden-check diagnostic; empty on success. */
     std::string checkFailure;
+    /** Critical-path analysis; empty unless profiling was on. */
+    obs::CriticalPathReport profile;
 
     double
     runtimeUs(const core::DeviceConfig &dev) const
@@ -160,6 +202,10 @@ runSalam(const kernels::Kernel &kernel,
     Simulation sim;
     if (!obsOptions().traceOut.empty())
         sim.enableTracing();
+    if (!obsOptions().profileOut.empty() ||
+        obs::flag::Profile.enabled()) {
+        sim.enableProfiling();
+    }
     constexpr std::uint64_t spm_base = 0x10000;
     std::uint64_t spm_bytes =
         ((kernel.footprintBytes() + 0xFFF) & ~0xFFFull) + 0x1000;
@@ -185,6 +231,23 @@ runSalam(const kernels::Kernel &kernel,
     mem::ScratchpadBackdoor backdoor(spm);
     kernel.seed(backdoor, spm_base);
 
+    std::unique_ptr<obs::IntervalStats> intervals;
+    if (obsOptions().statsInterval > 0) {
+        obs::IntervalStats::Config icfg;
+        icfg.intervalTicks = obsOptions().statsInterval *
+            static_cast<Tick>(dev.clockPeriod);
+        icfg.path = obsOptions().statsOut.empty()
+            ? std::string("stats.intervals.jsonl")
+            : obsOptions().statsOut + ".intervals.jsonl";
+        icfg.active = [&cu] { return !cu.finished(); };
+        intervals = std::make_unique<obs::IntervalStats>(
+            sim.eventQueue(), sim.stats(), icfg);
+        intervals->setEnergyProbe([&cu, &spm] {
+            return core::accumulatedDynamicEnergyPj(cu, &spm);
+        });
+        intervals->start();
+    }
+
     auto t2 = clock::now();
     cu.start(kernel.args(spm_base));
     sim.run();
@@ -208,9 +271,24 @@ runSalam(const kernels::Kernel &kernel,
         std::chrono::duration<double>(t3 - t2).count();
 
     sim.finalizeAll();
+    if (intervals)
+        intervals->finalize();
+    if (sim.profilingEnabled() && !sim.profilers().empty()) {
+        out.profile =
+            obs::analyzeCriticalPath(*sim.profilers().front().second);
+    }
     const ObsOptions &options = obsOptions();
     // The user explicitly asked for these files; failing to produce
     // one is an error, not a warning hidden behind the Warn flag.
+    if (!options.profileOut.empty()) {
+        if (!out.profile.writeJsonFile(options.profileOut))
+            fatal("could not write profile to '%s'",
+                  options.profileOut.c_str());
+        std::string folded = options.profileOut + ".folded";
+        if (!out.profile.writeFoldedFile(folded))
+            fatal("could not write folded stacks to '%s'",
+                  folded.c_str());
+    }
     if (obs::TraceSink *sink = sim.traceSink()) {
         if (!sink->writeChromeTraceFile(options.traceOut))
             fatal("could not write trace to '%s'",
@@ -228,6 +306,15 @@ runSalam(const kernels::Kernel &kernel,
     if (!options.reportOut.empty()) {
         obs::RunReport report;
         report.run = kernel.name();
+        report.commandLine = options.commandLine;
+        // Fingerprint the knobs that shape this run's timing.
+        report.configHash = obs::fnv1aHash(
+            kernel.name() + "|clk=" +
+            std::to_string(dev.clockPeriod) + "|rp=" +
+            std::to_string(memcfg.spmReadPorts) + "|wp=" +
+            std::to_string(memcfg.spmWritePorts) + "|lat=" +
+            std::to_string(memcfg.spmLatency) + "|banks=" +
+            std::to_string(memcfg.spmBanks));
         report.cycles = out.cycles;
         report.simSeconds = out.simulateSeconds;
         report.compileSeconds = out.compileSeconds;

@@ -157,6 +157,13 @@ main(int argc, char **argv)
     if (report_out != nullptr) {
         obs::RunReport run_report;
         run_report.run = "quickstart.daxpy";
+        for (int k = 0; k < argc; ++k) {
+            if (k > 0)
+                run_report.commandLine += ' ';
+            run_report.commandLine += argv[k];
+        }
+        run_report.configHash =
+            obs::fnv1aHash("quickstart.daxpy|n=64");
         run_report.cycles = report.cycles;
         run_report.extra = {
             {"power_mw", report.power.totalMw()},

@@ -21,6 +21,40 @@ cmake --build "${build_dir}" -j "${jobs}"
 echo "== tier-1: ctest"
 ctest --test-dir "${build_dir}" --output-on-failure
 
+echo "== smoke: GEMM profiler + interval stats"
+smoke_dir="$(mktemp -d)"
+trap 'rm -rf "${smoke_dir}"' EXIT
+"${build_dir}/bench/fig14_gemm_stalls" \
+    --profile-out "${smoke_dir}/profile.json" \
+    --stats-out "${smoke_dir}/stats.json" \
+    --stats-interval 1000 >/dev/null
+python3 - "${smoke_dir}" <<'PYEOF'
+import json, sys
+d = sys.argv[1]
+
+prof = json.load(open(f"{d}/profile.json"))
+for key in ("schema", "path_cycles", "sink_commit_cycle", "causes",
+            "by_instruction", "by_block"):
+    assert key in prof, f"profile.json missing '{key}'"
+assert prof["path_cycles"] > 0, "empty critical path"
+assert sum(prof["causes"].values()) == prof["path_cycles"], \
+    "cause attribution does not sum to the path length"
+assert prof["by_instruction"], "no instruction hotspots"
+
+folded = open(f"{d}/profile.json.folded").read().splitlines()
+assert folded and all(";" in line for line in folded), \
+    "malformed folded stacks"
+
+rows = [json.loads(line)
+        for line in open(f"{d}/stats.json.intervals.jsonl")]
+assert rows, "no interval rows"
+for row in rows:
+    for key in ("index", "start_tick", "end_tick", "stats"):
+        assert key in row, f"interval row missing '{key}'"
+print(f"profiler smoke ok: path={prof['path_cycles']} cycles, "
+      f"{len(rows)} interval rows")
+PYEOF
+
 echo "== strict: -Wall -Wextra -Werror build (${strict_dir})"
 cmake -S "${repo_root}" -B "${strict_dir}" \
     -DCMAKE_CXX_FLAGS="-Wall -Wextra -Werror" >/dev/null

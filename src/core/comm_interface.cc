@@ -89,6 +89,7 @@ CommInterface::issueMemory(DynInst *op)
                 (unsigned long long)op->memAddr, op->memSize);
     if (!dataPorts[static_cast<unsigned>(port)]->sendTimingReq(pkt)) {
         ++dataRequestsBlocked;
+        pkt->serviceFlags |= svcQueued;
         blockedRequests.emplace_back(pkt,
                                      static_cast<unsigned>(port));
     }
@@ -111,6 +112,9 @@ CommInterface::handleDataResponse(PacketPtr pkt)
 {
     auto *op = static_cast<DynInst *>(pkt->context);
     SALAM_ASSERT(op != nullptr);
+    // Surface the memory system's service annotations to the engine
+    // before the commit they will be attributed at.
+    op->memServiceFlags = pkt->serviceFlags;
     if (onResponse)
         onResponse(op, pkt->data(), pkt->size());
     delete pkt;

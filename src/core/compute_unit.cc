@@ -1,6 +1,7 @@
 #include "compute_unit.hh"
 
 #include "ir/verifier.hh"
+#include "obs/debug_flags.hh"
 
 namespace salam::core
 {
@@ -110,6 +111,31 @@ ComputeUnit::init()
     obs.reservationOccupancy = &rsv_occ;
     obs.stallCauses = &stalls;
     obs.issueClasses = &issues;
+    if (simulation().profilingEnabled() ||
+        salam::obs::flag::Profile.enabled()) {
+        salam::obs::Profiler &prof =
+            simulation().createProfiler(n);
+        // Static-id → label table so hotspot reports can name
+        // instructions without keeping IR pointers alive.
+        const ir::Function &fn = staticCdfg.function();
+        std::vector<salam::obs::ProfStaticInfo> table(
+            staticCdfg.numInstructions());
+        for (std::size_t b = 0; b < fn.numBlocks(); ++b) {
+            const ir::BasicBlock *block = fn.block(b);
+            for (std::size_t i = 0; i < block->size(); ++i) {
+                const ir::Instruction *inst =
+                    block->instruction(i);
+                salam::obs::ProfStaticInfo &entry =
+                    table[staticCdfg.info(inst).id];
+                entry.inst = "%" + inst->name();
+                entry.block = block->name();
+                entry.func = fn.name();
+                entry.opcode = ir::opcodeName(inst->opcode());
+            }
+        }
+        prof.setStaticTable(std::move(table));
+        obs.profiler = &prof;
+    }
     engine.setObserver(std::move(obs));
 }
 

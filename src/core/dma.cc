@@ -162,6 +162,10 @@ Dma::finishTransfer()
             startedAt, lastDuration, name(), "dma", "transfer",
             {{"bytes", static_cast<double>(regs[3])}});
     }
+    // Surface the transfer to the profilers as external busy time —
+    // DMA traffic is not part of any instruction graph but often
+    // explains where wall-clock went.
+    simulation().noteExternalWait(name(), lastDuration);
     regs[0] &= ~ctrl_bits::running;
     regs[0] |= ctrl_bits::done;
     if ((regs[0] & ctrl_bits::irqEnable) && irq)

@@ -54,4 +54,27 @@ buildReport(const ComputeUnit &cu, const mem::Scratchpad *private_spm)
     return report;
 }
 
+double
+accumulatedDynamicEnergyPj(const ComputeUnit &cu,
+                           const mem::Scratchpad *private_spm)
+{
+    const EngineStats &stats = cu.stats();
+    double pj = stats.fuEnergyPj + stats.registerReadEnergyPj +
+        stats.registerWriteEnergyPj;
+    if (private_spm != nullptr) {
+        const mem::ScratchpadConfig &scfg = private_spm->config();
+        hw::SramConfig sram;
+        sram.sizeBytes = scfg.range.size();
+        sram.wordBytes = scfg.wordBytes;
+        sram.ports = std::max(scfg.readPorts, scfg.writePorts);
+        sram.banks = scfg.banks;
+        hw::SramMetrics metrics = hw::CactiLite::evaluate(sram);
+        pj += static_cast<double>(private_spm->readCount()) *
+            metrics.readEnergyPj;
+        pj += static_cast<double>(private_spm->writeCount()) *
+            metrics.writeEnergyPj;
+    }
+    return pj;
+}
+
 } // namespace salam::core

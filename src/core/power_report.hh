@@ -40,6 +40,18 @@ AcceleratorReport
 buildReport(const ComputeUnit &cu,
             const mem::Scratchpad *private_spm = nullptr);
 
+/**
+ * Accumulated dynamic energy (pJ) of @p cu so far: functional-unit
+ * and register activity, plus SPM access energy when a private
+ * scratchpad is attached. Monotonically non-decreasing over a run,
+ * and readable mid-run — the IntervalStats energy probe
+ * differentiates it into per-interval dynamic power.
+ */
+double
+accumulatedDynamicEnergyPj(const ComputeUnit &cu,
+                           const mem::Scratchpad *private_spm =
+                               nullptr);
+
 } // namespace salam::core
 
 #endif // SALAM_CORE_POWER_REPORT_HH

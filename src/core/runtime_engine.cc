@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "mem/packet.hh"
 #include "sim/logging.hh"
 
 namespace salam::core
@@ -74,6 +75,8 @@ RuntimeEngine::createDynInst(const Instruction *inst)
     di->staticInfo = &staticCdfg.info(inst);
     di->seq = nextSeq++;
     di->minIssueCycle = cycleCount + 1;
+    di->ctrlParentSeq = importCtrlSeq;
+    di->ctrlLinkCause = importCtrlCause;
     di->isLoad = inst->opcode() == Opcode::Load;
     di->isStore = inst->opcode() == Opcode::Store;
     di->producers.resize(inst->numOperands(), nullptr);
@@ -106,6 +109,7 @@ RuntimeEngine::importBlock(const BasicBlock *block,
         cfg.reservationQueueSize) {
         pendingImport = block;
         pendingImportFrom = from;
+        pendingImportCtrlSeq = importCtrlSeq;
         return;
     }
     pendingImport = nullptr;
@@ -207,6 +211,16 @@ RuntimeEngine::captureOperands(DynInst *di)
             SALAM_ASSERT(producer->unissuedReaders > 0);
             --producer->unissuedReaders;
             di->producers[i] = nullptr;
+            // Remember the latest-committing producer: it is the
+            // critical data predecessor in the recorded CDFG.
+            if (observer.profiler != nullptr &&
+                (di->prodParentSeq == obs::noProfSeq ||
+                 producer->commitCycle > di->prodReadyCycle ||
+                 (producer->commitCycle == di->prodReadyCycle &&
+                  producer->seq > di->prodParentSeq))) {
+                di->prodReadyCycle = producer->commitCycle;
+                di->prodParentSeq = producer->seq;
+            }
         }
     }
 }
@@ -402,6 +416,11 @@ RuntimeEngine::commit(DynInst *di)
 {
     SALAM_ASSERT(!di->committed);
     di->committed = true;
+    // The engine is ticked every cycle while active, so queued
+    // compute ops reach here exactly at their scheduled cycle; for
+    // everything else (memory, branches, zero-latency wiring) this
+    // is the only place the commit cycle gets stamped.
+    di->commitCycle = cycleCount;
     if (observer.sink && di->issued &&
         (di->isMemory() || di->staticInfo->latency > 0)) {
         Tick end = obsNow();
@@ -418,6 +437,56 @@ RuntimeEngine::commit(DynInst *di)
             static_cast<double>(di->staticInfo->resultBits) *
             cfg.profile.registers().writeEnergyPjPerBit;
     }
+    if (observer.profiler != nullptr)
+        recordProfile(di);
+}
+
+void
+RuntimeEngine::recordProfile(DynInst *di)
+{
+    obs::ProfNode node;
+    node.seq = di->seq;
+    node.staticId = di->staticInfo->id;
+    node.issueCycle = di->issueCycle;
+    node.commitCycle = di->commitCycle;
+
+    // The instance became ready when its last constraint cleared:
+    // the importing terminator (minIssueCycle fence) or the
+    // latest-committing operand producer. Ties go to the data edge —
+    // it is the longer dependence chain.
+    node.readyCycle = di->minIssueCycle;
+    if (di->ctrlParentSeq != obs::noProfSeq) {
+        node.parentSeq = di->ctrlParentSeq;
+        node.linkCause = di->ctrlLinkCause;
+    }
+    if (di->prodParentSeq != obs::noProfSeq &&
+        di->prodReadyCycle >= node.readyCycle) {
+        node.readyCycle = di->prodReadyCycle;
+        node.parentSeq = di->prodParentSeq;
+        node.linkCause = obs::ProfCause::DataDep;
+    }
+    if (node.readyCycle > node.issueCycle)
+        node.readyCycle = node.issueCycle;
+
+    node.waitCause = di->waitCause;
+    if (di->isMemory()) {
+        // Precedence: the most specific memory-system annotation
+        // wins; a plain round trip is the default.
+        unsigned flags = di->memServiceFlags;
+        if (flags & mem::svcCacheMiss)
+            node.execCause = obs::ProfCause::CacheMiss;
+        else if (flags & mem::svcBankConflict)
+            node.execCause = obs::ProfCause::BankConflict;
+        else if (flags & mem::svcDmaWait)
+            node.execCause = obs::ProfCause::DmaWait;
+        else if (flags & mem::svcQueued)
+            node.execCause = obs::ProfCause::MemQueue;
+        else
+            node.execCause = obs::ProfCause::MemResponse;
+    } else {
+        node.execCause = obs::ProfCause::Compute;
+    }
+    observer.profiler->record(node);
 }
 
 void
@@ -616,7 +685,31 @@ RuntimeEngine::cycle()
             storesInFlight == 0;
         if (!cfg.blockSequentialImport || drained ||
             pendingImportFrom == pendingImport) {
+            importCtrlSeq = pendingImportCtrlSeq;
+            // Charge the control link for what actually held the
+            // import back: mostly memory ops clogging the pipeline,
+            // or genuine control-flow serialization.
+            importCtrlCause =
+                importMemWaitCycles > importOtherWaitCycles
+                    ? obs::ProfCause::MemPort
+                    : obs::ProfCause::Control;
             importBlock(pendingImport, pendingImportFrom);
+            importCtrlSeq = obs::noProfSeq;
+            importCtrlCause = obs::ProfCause::Control;
+            if (pendingImport == nullptr) {
+                importMemWaitCycles = 0;
+                importOtherWaitCycles = 0;
+            }
+        }
+        if (pendingImport != nullptr) {
+            // Memory holds the import back either as in-flight ops
+            // or as ready ops the ports refused last cycle.
+            if (loadsInFlight + storesInFlight > 0 ||
+                memStallLoadBlocked || memStallStoreBlocked) {
+                ++importMemWaitCycles;
+            } else {
+                ++importOtherWaitCycles;
+            }
         }
     }
 
@@ -674,8 +767,11 @@ RuntimeEngine::cycle()
                 // Defer the state transition until drain.
                 pendingImport = target;
                 pendingImportFrom = cur;
+                pendingImportCtrlSeq = di->seq;
             } else {
+                importCtrlSeq = di->seq;
                 importBlock(target, cur);
+                importCtrlSeq = obs::noProfSeq;
             }
             reservationQueue.erase(
                 reservationQueue.begin() +
@@ -705,7 +801,13 @@ RuntimeEngine::cycle()
         }
 
         if (di->isMemory()) {
-            if (!di->addrKnown || !memoryOrderingAllows(*di)) {
+            if (!di->addrKnown) {
+                // Pointer producer pending: stays a data wait.
+                ++idx;
+                continue;
+            }
+            if (!memoryOrderingAllows(*di)) {
+                di->waitCause = obs::ProfCause::MemOrdering;
                 ++idx;
                 continue;
             }
@@ -714,6 +816,7 @@ RuntimeEngine::cycle()
                 (loads_issued >= cfg.readPortsPerCycle ||
                  loadsInFlight >= cfg.readQueueSize)) {
                 ready_load_blocked = true;
+                di->waitCause = obs::ProfCause::MemPort;
                 ++idx;
                 continue;
             }
@@ -721,6 +824,7 @@ RuntimeEngine::cycle()
                 (stores_issued >= cfg.writePortsPerCycle ||
                  storesInFlight >= cfg.writeQueueSize)) {
                 ready_store_blocked = true;
+                di->waitCause = obs::ProfCause::MemPort;
                 ++idx;
                 continue;
             }
@@ -729,6 +833,7 @@ RuntimeEngine::cycle()
                 // Interface refused; operands stay captured, retry
                 // next cycle (captureOperands is idempotent once
                 // producers are cleared).
+                di->waitCause = obs::ProfCause::MemPort;
                 ++idx;
                 continue;
             }
@@ -772,6 +877,7 @@ RuntimeEngine::cycle()
 
         // Compute ops (including phi and zero-latency wiring).
         if (!fuAvailable(*di)) {
+            di->waitCause = obs::ProfCause::FuContention;
             ++idx;
             continue;
         }

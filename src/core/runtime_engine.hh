@@ -40,6 +40,7 @@
 #include <vector>
 
 #include "ir/eval.hh"
+#include "obs/profiler.hh"
 #include "obs/trace_sink.hh"
 #include "sim/statistics.hh"
 #include "sim/types.hh"
@@ -94,6 +95,24 @@ struct DynInst
     unsigned memSize = 0;
     /** Position in program memory order (disambiguation). */
     std::uint64_t memSeq = 0;
+
+    // Profiling state, maintained only while a profiler is attached.
+    /** Commit cycle of the latest dynamic operand producer. */
+    std::uint64_t prodReadyCycle = 0;
+    /** That producer's seq; obs::noProfSeq without one. */
+    std::uint64_t prodParentSeq = obs::noProfSeq;
+    /** Seq of the terminator that imported this instance. */
+    std::uint64_t ctrlParentSeq = obs::noProfSeq;
+    /**
+     * Cause for the control link segment. Control for a prompt
+     * import; a memory cause when the import was deferred mostly
+     * behind in-flight memory operations.
+     */
+    obs::ProfCause ctrlLinkCause = obs::ProfCause::Control;
+    /** Last reason this instance was seen blocked while ready. */
+    obs::ProfCause waitCause = obs::ProfCause::DataDep;
+    /** mem::Packet service annotations copied from the response. */
+    unsigned memServiceFlags = 0;
 
     bool isMemory() const { return isLoad || isStore; }
 };
@@ -182,6 +201,9 @@ struct EngineObserver
 
     /** Issue-class lanes, in RuntimeEngine::issueLaneNames() order. */
     VectorStat *issueClasses = nullptr;
+
+    /** Dynamic-CDFG recorder; one node per commit. May be null. */
+    obs::Profiler *profiler = nullptr;
 };
 
 /** The dynamic engine. */
@@ -308,6 +330,9 @@ class RuntimeEngine
 
     void commit(DynInst *di);
 
+    /** Emit @p di's dynamic-CDFG node (profiler is attached). */
+    void recordProfile(DynInst *di);
+
     /** Drop fully retired instructions from the window front. */
     void pruneWindow();
 
@@ -371,6 +396,22 @@ class RuntimeEngine
     /** Pending block import deferred by a full reservation queue. */
     const ir::BasicBlock *pendingImport = nullptr;
     const ir::BasicBlock *pendingImportFrom = nullptr;
+
+    /** Terminator seq behind the import in progress (profiling). */
+    std::uint64_t importCtrlSeq = obs::noProfSeq;
+    std::uint64_t pendingImportCtrlSeq = obs::noProfSeq;
+
+    /** Link cause handed to instances of the import in progress. */
+    obs::ProfCause importCtrlCause = obs::ProfCause::Control;
+
+    /**
+     * Cycles the pending import has been deferred with (memory ops
+     * in flight) vs. (no memory in flight). The majority decides
+     * whether the eventual control link is charged to the memory
+     * system or to control flow.
+     */
+    std::uint64_t importMemWaitCycles = 0;
+    std::uint64_t importOtherWaitCycles = 0;
 
 
     unsigned loadsInFlight = 0;

@@ -141,6 +141,7 @@ Cache::handleRequest(PacketPtr pkt)
     auto it = mshrs.find(block_addr);
     if (it != mshrs.end()) {
         ++misses;
+        pkt->serviceFlags |= svcCacheMiss;
         SALAM_TRACE(Cache,
                     "miss addr=0x%llx coalesced into MSHR 0x%llx",
                     (unsigned long long)pkt->addr(),
@@ -157,6 +158,7 @@ Cache::handleRequest(PacketPtr pkt)
     }
 
     ++misses;
+    pkt->serviceFlags |= svcCacheMiss;
     SALAM_TRACE(Cache, "miss addr=0x%llx -> fill block 0x%llx",
                 (unsigned long long)pkt->addr(),
                 (unsigned long long)block_addr);

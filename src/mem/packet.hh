@@ -47,6 +47,29 @@ struct SenderState
     virtual ~SenderState() = default;
 };
 
+/**
+ * Service annotations, set by memory components while a request is
+ * serviced and carried back on the response. The original requester
+ * (CommInterface) copies them to the issuing DynInst, where the
+ * profiler turns them into execution-cause attributions. Flags
+ * accumulate — a request can both miss in a cache and queue behind
+ * the DRAM bus; the profiler applies a most-specific-wins precedence.
+ */
+enum ServiceFlags : unsigned
+{
+    /** Missed in a cache along the way (incl. MSHR coalescing). */
+    svcCacheMiss = 1u << 0,
+
+    /** Deferred at least one cycle by an SPM bank conflict. */
+    svcBankConflict = 1u << 1,
+
+    /** Waited in a queue (ports exhausted, bus busy, blocked send). */
+    svcQueued = 1u << 2,
+
+    /** Serialized behind external (e.g. DMA) traffic. */
+    svcDmaWait = 1u << 3,
+};
+
 /** A memory request/response in flight. */
 class Packet
 {
@@ -123,6 +146,9 @@ class Packet
 
     /** Monotonic id for debugging/tracing. */
     std::uint64_t id = 0;
+
+    /** ServiceFlags accumulated while this request was serviced. */
+    unsigned serviceFlags = 0;
 
   private:
     MemCmd _cmd;

@@ -162,8 +162,10 @@ Scratchpad::serviceCycle()
         if (budget == 0 || busy_banks.count(bank)) {
             if (budget == 0) {
                 ++portStalls;
+                pkt->serviceFlags |= svcQueued;
             } else {
                 ++bankConflicts;
+                pkt->serviceFlags |= svcBankConflict;
                 SALAM_TRACE(Scratchpad,
                             "bank conflict: %s addr=0x%llx bank=%u",
                             is_read ? "read" : "write",

@@ -62,6 +62,15 @@ SimpleDram::handleRequest(PacketPtr pkt)
     // flat access latency after the transfer completes its slot.
     Tick now = curTick();
     Tick start = std::max(now, busFreeAt);
+    if (start > now) {
+        // Waited for the data bus. Kernel requests (those carrying
+        // a DynInst context) queued behind contextless traffic —
+        // DMA bursts, host accesses — get the more specific flag.
+        pkt->serviceFlags |= svcQueued;
+        if (pkt->context != nullptr && lastOccupantExternal)
+            pkt->serviceFlags |= svcDmaWait;
+    }
+    lastOccupantExternal = pkt->context == nullptr;
     auto occupancy = static_cast<Tick>(
         static_cast<double>(pkt->size()) / cfg.bytesPerTick);
     busFreeAt = start + std::max<Tick>(occupancy, 1);

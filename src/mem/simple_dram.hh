@@ -93,6 +93,9 @@ class SimpleDram : public ClockedObject
     EventFunctionWrapper responseEvent;
     /** Earliest tick the data bus is free (bandwidth model). */
     Tick busFreeAt = 0;
+    /** Whether the last bus occupant carried no requester context
+     *  (DMA/host traffic) — classifies the next waiter's delay. */
+    bool lastOccupantExternal = false;
 
     std::uint64_t reads = 0;
     std::uint64_t writes = 0;

@@ -1,0 +1,260 @@
+#include "obs/critical_path.hh"
+
+#include <algorithm>
+#include <fstream>
+#include <ostream>
+#include <unordered_map>
+
+#include "obs/json.hh"
+
+namespace salam::obs
+{
+
+namespace
+{
+
+/** Fallback labels when a node's staticId is not in the table. */
+ProfStaticInfo
+labelsFor(const Profiler &prof, unsigned static_id)
+{
+    if (const ProfStaticInfo *info = prof.staticInfo(static_id))
+        return *info;
+    ProfStaticInfo anon;
+    anon.inst = "inst#" + std::to_string(static_id);
+    anon.block = "?";
+    anon.func = "?";
+    anon.opcode = "?";
+    return anon;
+}
+
+void
+rankHotspots(std::vector<Hotspot> &spots)
+{
+    std::sort(spots.begin(), spots.end(),
+              [](const Hotspot &a, const Hotspot &b) {
+                  auto ac = a.cycles(), bc = b.cycles();
+                  if (ac != bc)
+                      return ac > bc;
+                  return a.label < b.label;
+              });
+}
+
+void
+writeCauses(std::ostream &os,
+            const std::array<std::uint64_t, numProfCauses> &causes)
+{
+    os << "{";
+    bool first = true;
+    for (unsigned c = 0; c < numProfCauses; ++c) {
+        if (!causes[c])
+            continue;
+        if (!first)
+            os << ",";
+        first = false;
+        os << "\"" << profCauseName(ProfCause(c))
+           << "\":" << causes[c];
+    }
+    os << "}";
+}
+
+void
+writeHotspots(std::ostream &os, const std::vector<Hotspot> &spots,
+              bool instruction_level)
+{
+    os << "[";
+    for (std::size_t i = 0; i < spots.size(); ++i) {
+        const Hotspot &h = spots[i];
+        if (i)
+            os << ",";
+        os << "{\"label\":\"" << jsonEscape(h.label) << "\""
+           << ",\"func\":\"" << jsonEscape(h.func) << "\""
+           << ",\"block\":\"" << jsonEscape(h.block) << "\"";
+        if (instruction_level) {
+            os << ",\"inst\":\"" << jsonEscape(h.inst) << "\""
+               << ",\"opcode\":\"" << jsonEscape(h.opcode) << "\"";
+        }
+        os << ",\"cycles\":" << h.cycles()
+           << ",\"instances\":" << h.instances << ",\"causes\":";
+        writeCauses(os, h.causeCycles);
+        os << "}";
+    }
+    os << "]";
+}
+
+} // namespace
+
+CriticalPathReport
+analyzeCriticalPath(const Profiler &prof)
+{
+    CriticalPathReport report;
+    report.recordedNodes = prof.size();
+    report.droppedNodes = prof.dropped();
+    report.externalWaits = prof.externalWaits();
+    if (prof.empty())
+        return report;
+
+    // The sink is the last commit; prefer the younger instance on a
+    // tie so the walk sees the longest dependence chain.
+    const ProfNode *sink = &prof.nodes().front();
+    for (const ProfNode &n : prof.nodes()) {
+        if (n.commitCycle > sink->commitCycle ||
+            (n.commitCycle == sink->commitCycle &&
+             n.seq > sink->seq)) {
+            sink = &n;
+        }
+    }
+    report.sinkCommitCycle = sink->commitCycle;
+
+    // Aggregation keyed by static id (instructions) and by
+    // "func:block" (blocks).
+    std::unordered_map<unsigned, Hotspot> by_inst;
+    std::unordered_map<std::string, Hotspot> by_block;
+
+    auto instHotspot = [&](const ProfNode &n) -> Hotspot & {
+        Hotspot &hi = by_inst[n.staticId];
+        if (hi.label.empty()) {
+            ProfStaticInfo info = labelsFor(prof, n.staticId);
+            hi.func = info.func;
+            hi.block = info.block;
+            hi.inst = info.inst;
+            hi.opcode = info.opcode;
+            hi.label = info.func + ":" + info.block + ":" +
+                info.inst + " (" + info.opcode + ")";
+        }
+        return hi;
+    };
+    auto blockHotspot = [&](const Hotspot &hi) -> Hotspot & {
+        Hotspot &hb = by_block[hi.func + ":" + hi.block];
+        if (hb.label.empty()) {
+            hb.func = hi.func;
+            hb.block = hi.block;
+            hb.label = hi.func + ":" + hi.block;
+        }
+        return hb;
+    };
+    auto attribute = [&](const ProfNode &n, ProfCause cause,
+                         std::uint64_t cycles) {
+        if (!cycles)
+            return;
+        report.causeCycles[unsigned(cause)] += cycles;
+        report.pathCycles += cycles;
+        Hotspot &hi = instHotspot(n);
+        hi.causeCycles[unsigned(cause)] += cycles;
+        blockHotspot(hi).causeCycles[unsigned(cause)] += cycles;
+    };
+
+    // Backward walk. Parent seqs are strictly smaller than their
+    // consumer's seq, so the walk terminates.
+    const ProfNode *node = sink;
+    while (node) {
+        ++report.pathNodes;
+        Hotspot &hi = instHotspot(*node);
+        hi.instances++;
+        blockHotspot(hi).instances++;
+
+        // Execution span: issue -> commit.
+        if (node->commitCycle > node->issueCycle) {
+            attribute(*node, node->execCause,
+                      node->commitCycle - node->issueCycle);
+        }
+        // Issue wait: ready -> issue.
+        if (node->issueCycle > node->readyCycle) {
+            attribute(*node, node->waitCause,
+                      node->issueCycle - node->readyCycle);
+        }
+        // Link: predecessor commit -> ready.
+        if (node->parentSeq == noProfSeq) {
+            attribute(*node, node->linkCause, node->readyCycle);
+            break;
+        }
+        const ProfNode *parent = prof.findBySeq(node->parentSeq);
+        if (!parent) {
+            // Predecessor fell past the recording cap; attribute
+            // the rest of the timeline to the link and stop.
+            attribute(*node, node->linkCause, node->readyCycle);
+            report.truncated = true;
+            break;
+        }
+        if (node->readyCycle > parent->commitCycle) {
+            attribute(*node, node->linkCause,
+                      node->readyCycle - parent->commitCycle);
+        }
+        node = parent;
+    }
+
+    report.byInstruction.reserve(by_inst.size());
+    for (auto &[id, spot] : by_inst)
+        report.byInstruction.push_back(std::move(spot));
+    report.byBlock.reserve(by_block.size());
+    for (auto &[key, spot] : by_block)
+        report.byBlock.push_back(std::move(spot));
+    rankHotspots(report.byInstruction);
+    rankHotspots(report.byBlock);
+    return report;
+}
+
+void
+CriticalPathReport::writeJson(std::ostream &os) const
+{
+    os << "{\"schema\":\"salam-critical-path-1\""
+       << ",\"path_cycles\":" << pathCycles
+       << ",\"sink_commit_cycle\":" << sinkCommitCycle
+       << ",\"path_nodes\":" << pathNodes
+       << ",\"recorded_nodes\":" << recordedNodes
+       << ",\"dropped_nodes\":" << droppedNodes
+       << ",\"truncated\":" << (truncated ? "true" : "false")
+       << ",\"causes\":";
+    writeCauses(os, causeCycles);
+    os << ",\"by_instruction\":";
+    writeHotspots(os, byInstruction, true);
+    os << ",\"by_block\":";
+    writeHotspots(os, byBlock, false);
+    os << ",\"external_waits\":{";
+    bool first = true;
+    for (const auto &[what, ticks] : externalWaits) {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "\"" << jsonEscape(what) << "\":" << ticks;
+    }
+    os << "}}";
+}
+
+bool
+CriticalPathReport::writeJsonFile(const std::string &path) const
+{
+    std::ofstream os(path);
+    if (!os)
+        return false;
+    writeJson(os);
+    os << "\n";
+    return static_cast<bool>(os);
+}
+
+void
+CriticalPathReport::writeFolded(std::ostream &os) const
+{
+    // One frame stack per (instruction, cause) with its cycle count;
+    // flamegraph.pl and speedscope both accept this directly.
+    for (const Hotspot &h : byInstruction) {
+        for (unsigned c = 0; c < numProfCauses; ++c) {
+            if (!h.causeCycles[c])
+                continue;
+            os << h.func << ";" << h.block << ";" << h.inst << " ("
+               << h.opcode << ");" << profCauseName(ProfCause(c))
+               << " " << h.causeCycles[c] << "\n";
+        }
+    }
+}
+
+bool
+CriticalPathReport::writeFoldedFile(const std::string &path) const
+{
+    std::ofstream os(path);
+    if (!os)
+        return false;
+    writeFolded(os);
+    return static_cast<bool>(os);
+}
+
+} // namespace salam::obs

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Critical-path analysis over the recorded dynamic CDFG.
+ *
+ * Post-run, walk backward from the last instruction instance to
+ * commit, following each node's critical predecessor (the operand
+ * producer or importing terminator that released it). Every cycle
+ * between time zero and the sink's commit lands in exactly one
+ * segment of exactly one node on that path — its link (waiting to be
+ * released), wait (released but not issued), or execution span — and
+ * each segment carries a ProfCause. The sum of the per-cause buckets
+ * therefore equals the path length by construction, which is the
+ * invariant the tests pin down.
+ *
+ * The per-node attributions are then aggregated by static
+ * instruction and by basic block into ranked hotspot tables, written
+ * as JSON (minijson-compatible) and as folded stacks for flamegraph
+ * tooling.
+ */
+
+#ifndef SALAM_OBS_CRITICAL_PATH_HH
+#define SALAM_OBS_CRITICAL_PATH_HH
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/profiler.hh"
+
+namespace salam::obs
+{
+
+/** Cycles attributed to one static instruction or basic block. */
+struct Hotspot
+{
+    /** "func:block:inst (opcode)" for instructions, "func:block"
+     *  for blocks. */
+    std::string label;
+    std::string func;
+    std::string block;
+    std::string inst;   ///< empty for block-level hotspots
+    std::string opcode; ///< empty for block-level hotspots
+
+    /** Critical-path cycles attributed here, by cause. */
+    std::array<std::uint64_t, numProfCauses> causeCycles{};
+
+    /** Dynamic instances of this site on the critical path. */
+    std::uint64_t instances = 0;
+
+    std::uint64_t
+    cycles() const
+    {
+        std::uint64_t sum = 0;
+        for (auto c : causeCycles)
+            sum += c;
+        return sum;
+    }
+};
+
+/** Result of analyzeCriticalPath(). */
+struct CriticalPathReport
+{
+    /** Sum of all attributed segments along the path. */
+    std::uint64_t pathCycles = 0;
+
+    /** Commit cycle of the sink node. Equals pathCycles unless the
+     *  walk was truncated by a dropped predecessor. */
+    std::uint64_t sinkCommitCycle = 0;
+
+    /** Recorded nodes on the critical path. */
+    std::uint64_t pathNodes = 0;
+
+    /** Nodes recorded / dropped by the bounded profiler. */
+    std::uint64_t recordedNodes = 0;
+    std::uint64_t droppedNodes = 0;
+
+    /** True when the walk hit a dropped predecessor and stopped. */
+    bool truncated = false;
+
+    /** Per-cause cycles; sums to pathCycles. */
+    std::array<std::uint64_t, numProfCauses> causeCycles{};
+
+    /** Hotspots ranked by cycles, descending. */
+    std::vector<Hotspot> byInstruction;
+    std::vector<Hotspot> byBlock;
+
+    /** External busy time (e.g. DMA transfers), in ticks. */
+    std::map<std::string, std::uint64_t> externalWaits;
+
+    std::uint64_t
+    causeTotal() const
+    {
+        std::uint64_t sum = 0;
+        for (auto c : causeCycles)
+            sum += c;
+        return sum;
+    }
+
+    /** Path cycles attributable to the memory system. */
+    std::uint64_t
+    memoryCycles() const
+    {
+        return causeCycles[unsigned(ProfCause::MemOrdering)] +
+            causeCycles[unsigned(ProfCause::MemPort)] +
+            causeCycles[unsigned(ProfCause::MemResponse)] +
+            causeCycles[unsigned(ProfCause::CacheMiss)] +
+            causeCycles[unsigned(ProfCause::BankConflict)] +
+            causeCycles[unsigned(ProfCause::MemQueue)] +
+            causeCycles[unsigned(ProfCause::DmaWait)];
+    }
+
+    /** Hotspot-report JSON (one object; minijson-parseable). */
+    void writeJson(std::ostream &os) const;
+    bool writeJsonFile(const std::string &path) const;
+
+    /** Folded stacks: "func;block;inst;cause <cycles>" per line. */
+    void writeFolded(std::ostream &os) const;
+    bool writeFoldedFile(const std::string &path) const;
+};
+
+/**
+ * Compute the critical path through @p prof's recorded graph.
+ * Returns an empty report (pathCycles == 0) when nothing was
+ * recorded.
+ */
+CriticalPathReport analyzeCriticalPath(const Profiler &prof);
+
+} // namespace salam::obs
+
+#endif // SALAM_OBS_CRITICAL_PATH_HH

@@ -81,6 +81,37 @@ DebugFlagRegistry::applySpec(const std::string &spec)
     return all_known;
 }
 
+std::string
+DebugFlagRegistry::applySpecStrict(const std::string &spec)
+{
+    // Pass 1: validate every element so nothing is applied when the
+    // spec contains a typo.
+    std::size_t pos = 0;
+    while (pos <= spec.size()) {
+        std::size_t comma = spec.find(',', pos);
+        if (comma == std::string::npos)
+            comma = spec.size();
+        std::string item = spec.substr(pos, comma - pos);
+        pos = comma + 1;
+        if (item.empty())
+            continue;
+        if (item[0] == '-')
+            item.erase(0, 1);
+        if (item != "All" && find(item) == nullptr) {
+            std::string message = "unknown debug flag '" + item +
+                "'; valid flags: All";
+            for (const DebugFlag *flag : entries) {
+                message += ", ";
+                message += flag->name();
+            }
+            return message;
+        }
+    }
+    // Pass 2: every name checked out, so plain applySpec succeeds.
+    applySpec(spec);
+    return "";
+}
+
 void
 DebugFlagRegistry::disableAll()
 {
@@ -147,6 +178,7 @@ DebugFlag Scheduler("Scheduler", "HLS static scheduler");
 DebugFlag Event("Event", "event-queue servicing");
 DebugFlag Inform("Inform", "inform() status messages");
 DebugFlag Warn("Warn", "warn() messages");
+DebugFlag Profile("Profile", "dynamic-CDFG profiler recording");
 } // namespace flag
 
 } // namespace salam::obs

@@ -81,6 +81,15 @@ class DebugFlagRegistry
      */
     bool applySpec(const std::string &spec);
 
+    /**
+     * Like applySpec(), but atomic: every name is validated before
+     * anything is applied, so a typo cannot half-apply a spec.
+     * @return an empty string on success; otherwise a diagnostic
+     *         naming the first unknown flag and listing every valid
+     *         flag name, with nothing applied.
+     */
+    std::string applySpecStrict(const std::string &spec);
+
     void disableAll();
 
     const std::vector<DebugFlag *> &flags() const { return entries; }
@@ -124,6 +133,7 @@ extern DebugFlag Scheduler;     ///< HLS static scheduler
 extern DebugFlag Event;         ///< event-queue servicing
 extern DebugFlag Inform;        ///< inform() status messages
 extern DebugFlag Warn;          ///< warn() messages
+extern DebugFlag Profile;       ///< dynamic-CDFG profiler recording
 } // namespace flag
 
 } // namespace salam::obs

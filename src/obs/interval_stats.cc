@@ -1,0 +1,108 @@
+#include "obs/interval_stats.hh"
+
+#include <fstream>
+#include <ostream>
+#include <utility>
+
+#include "obs/json.hh"
+#include "sim/logging.hh"
+
+namespace salam::obs
+{
+
+IntervalStats::IntervalStats(EventQueue &queue,
+                             StatRegistry &registry, Config config)
+    : queue(queue), registry(registry), config(std::move(config))
+{
+    if (this->config.intervalTicks == 0)
+        fatal("IntervalStats: interval must be > 0 ticks");
+}
+
+void
+IntervalStats::start()
+{
+    if (started)
+        return;
+    started = true;
+    lastBoundary = queue.curTick();
+    if (energyProbe)
+        lastEnergyPj = energyProbe();
+    scheduleNext();
+}
+
+void
+IntervalStats::scheduleNext()
+{
+    queue.schedule(lastBoundary + config.intervalTicks,
+                   [this] { onBoundary(); }, "interval_stats");
+}
+
+void
+IntervalStats::onBoundary()
+{
+    // Stop rescheduling when the run is over — or, without a
+    // predicate, when nothing else is pending (a lone interval event
+    // would otherwise keep EventQueue::run() alive forever). The
+    // partial interval since lastBoundary is captured by finalize().
+    if (config.active ? !config.active() : queue.empty())
+        return;
+    captureRow(queue.curTick());
+    registry.resetAll();
+    lastBoundary = queue.curTick();
+    scheduleNext();
+}
+
+void
+IntervalStats::captureRow(Tick end)
+{
+    Row row;
+    row.index = captured.size();
+    row.startTick = lastBoundary;
+    row.endTick = end;
+    if (energyProbe) {
+        double now_pj = energyProbe();
+        double ns = static_cast<double>(end - lastBoundary) / 1e3;
+        row.dynamicPowerMw =
+            ns > 0.0 ? (now_pj - lastEnergyPj) / ns : 0.0;
+        lastEnergyPj = now_pj;
+    }
+    row.statsJson = registry.dumpJsonString();
+    captured.push_back(std::move(row));
+}
+
+void
+IntervalStats::finalize()
+{
+    if (!started || finalized)
+        return;
+    finalized = true;
+    // Tail partial interval; always emit at least one row so short
+    // runs still produce a time series.
+    if (queue.curTick() > lastBoundary || captured.empty())
+        captureRow(queue.curTick());
+    if (config.path.empty())
+        return;
+    std::ofstream os(config.path);
+    if (!os)
+        fatal("could not write interval stats to '%s'",
+              config.path.c_str());
+    writeJsonl(os);
+    if (!os)
+        fatal("error writing interval stats to '%s'",
+              config.path.c_str());
+}
+
+void
+IntervalStats::writeJsonl(std::ostream &os) const
+{
+    for (const Row &row : captured) {
+        os << "{\"index\":" << row.index
+           << ",\"start_tick\":" << row.startTick
+           << ",\"end_tick\":" << row.endTick
+           << ",\"dynamic_power_mw\":"
+           << jsonNumber(row.dynamicPowerMw)
+           << ",\"stats\":" << row.statsJson << "}\n";
+    }
+}
+
+} // namespace salam::obs

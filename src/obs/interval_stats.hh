@@ -1,0 +1,120 @@
+/**
+ * @file
+ * IntervalStats: gem5-style periodic statistics dump/reset.
+ *
+ * Scheduled on the simulation's event queue, it snapshots the
+ * StatRegistry every N ticks, resets it, and reschedules — producing
+ * a time series where each row holds the *delta* accumulated during
+ * one interval (for resettable kinds: scalars, vectors, histograms;
+ * Formula stats recompute from live inputs and therefore read as
+ * cumulative in every row — that is by design, see statistics.hh).
+ * Summing any resettable counter across all rows reproduces the
+ * whole-run total, which the regression tests pin down.
+ *
+ * Because EventQueue::run() services events until the queue drains,
+ * a naively self-rescheduling event would keep the run alive
+ * forever. The `active` predicate bounds the series: once it returns
+ * false the event stops rescheduling; with no predicate, it stops as
+ * soon as it is the only thing left in the queue. finalize() then
+ * captures the tail partial interval and writes the JSONL file.
+ *
+ * Each row can also carry per-interval dynamic power, derived from
+ * an energy probe (accumulated dynamic energy in pJ — see
+ * core/power_report.hh): power[mW] = ΔpJ / Δns.
+ */
+
+#ifndef SALAM_OBS_INTERVAL_STATS_HH
+#define SALAM_OBS_INTERVAL_STATS_HH
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/statistics.hh"
+
+namespace salam::obs
+{
+
+/** Periodic dump-and-reset of one StatRegistry. */
+class IntervalStats
+{
+  public:
+    struct Config
+    {
+        /** Interval length in ticks; must be > 0. */
+        Tick intervalTicks = 0;
+
+        /** JSONL output path; empty keeps rows in memory only. */
+        std::string path;
+
+        /**
+         * Keep rescheduling while this returns true (e.g. "the
+         * compute unit has not finished"). Without one, the series
+         * stops when the interval event is alone in the queue.
+         */
+        std::function<bool()> active;
+    };
+
+    /** One captured interval. */
+    struct Row
+    {
+        std::uint64_t index = 0;
+        Tick startTick = 0;
+        Tick endTick = 0;
+
+        /** Dynamic power over this interval; 0 without a probe. */
+        double dynamicPowerMw = 0.0;
+
+        /** StatRegistry::dumpJsonString() at capture time. */
+        std::string statsJson;
+    };
+
+    IntervalStats(EventQueue &queue, StatRegistry &registry,
+                  Config config);
+
+    /**
+     * Attach an energy probe: accumulated dynamic energy in pJ,
+     * monotonically non-decreasing across the run (it is read before
+     * and after each interval; the delta becomes the row's power).
+     */
+    void setEnergyProbe(std::function<double()> accumulated_pj)
+    { energyProbe = std::move(accumulated_pj); }
+
+    /** Schedule the first boundary. Call before the run loop. */
+    void start();
+
+    /**
+     * Capture the tail partial interval (if any time elapsed since
+     * the last boundary) and write the JSONL file when a path was
+     * configured. Idempotent. fatal()s on I/O failure since the
+     * user asked for the file explicitly.
+     */
+    void finalize();
+
+    const std::vector<Row> &rows() const { return captured; }
+
+    /** Write all rows as JSONL (one JSON object per line). */
+    void writeJsonl(std::ostream &os) const;
+
+  private:
+    void onBoundary();
+    void scheduleNext();
+    void captureRow(Tick end);
+
+    EventQueue &queue;
+    StatRegistry &registry;
+    Config config;
+    std::function<double()> energyProbe;
+    std::vector<Row> captured;
+    Tick lastBoundary = 0;
+    double lastEnergyPj = 0.0;
+    bool started = false;
+    bool finalized = false;
+};
+
+} // namespace salam::obs
+
+#endif // SALAM_OBS_INTERVAL_STATS_HH

@@ -1,0 +1,26 @@
+#include "obs/profiler.hh"
+
+namespace salam::obs
+{
+
+const char *
+profCauseName(ProfCause cause)
+{
+    switch (cause) {
+      case ProfCause::Start: return "start";
+      case ProfCause::Control: return "control";
+      case ProfCause::DataDep: return "data_dep";
+      case ProfCause::FuContention: return "fu_contention";
+      case ProfCause::MemOrdering: return "mem_ordering";
+      case ProfCause::MemPort: return "mem_port";
+      case ProfCause::Compute: return "compute";
+      case ProfCause::MemResponse: return "mem_response";
+      case ProfCause::CacheMiss: return "cache_miss";
+      case ProfCause::BankConflict: return "bank_conflict";
+      case ProfCause::MemQueue: return "mem_queue";
+      case ProfCause::DmaWait: return "dma_wait";
+    }
+    return "unknown";
+}
+
+} // namespace salam::obs

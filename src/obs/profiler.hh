@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Profiler: bounded recorder of the *dynamic* CDFG.
+ *
+ * The runtime engine (and, through packet annotations, the memory
+ * system) emits one ProfNode per committed dynamic instruction
+ * instance: its ready/issue/commit cycles, the critical predecessor
+ * that released it (data producer or importing terminator), and a
+ * cause for each segment of its lifetime — why it waited to become
+ * ready, why it waited to issue once ready, and what its execution
+ * latency was spent on (FU latency, memory round trip, cache miss,
+ * SPM bank conflict, downstream queueing).
+ *
+ * This is the raw material the paper's analysis story needs: the
+ * recorded graph is the dynamic CDFG the trace-based tools cannot
+ * see, and critical_path.hh turns it into a ranked, cause-attributed
+ * hotspot report. Recording is bounded (drops past a cap, counting
+ * the drops) so profiling long runs cannot exhaust memory, and it
+ * only happens while a profiler is attached — the engine's fast path
+ * pays one pointer test when profiling is off.
+ */
+
+#ifndef SALAM_OBS_PROFILER_HH
+#define SALAM_OBS_PROFILER_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace salam::obs
+{
+
+/** Sequence number meaning "no predecessor". */
+constexpr std::uint64_t noProfSeq = ~std::uint64_t(0);
+
+/**
+ * Why a dynamic instruction instance (or one segment of its
+ * lifetime) spent cycles. The first three are link causes (what
+ * released the instance), the next three are issue-wait causes
+ * (what blocked a ready instance), and the rest are execution
+ * causes (what the issue-to-commit latency was spent on).
+ */
+enum class ProfCause : unsigned char
+{
+    Start = 0,    ///< beginning of execution (entry block)
+    Control,      ///< block-import fence behind a terminator
+    DataDep,      ///< waiting on an operand producer
+    FuContention, ///< operands ready, no functional unit free
+    MemOrdering,  ///< ready memory op blocked by disambiguation
+    MemPort,      ///< ready memory op blocked by port/queue limits
+    Compute,      ///< occupying a functional unit (latency)
+    MemResponse,  ///< plain memory round trip
+    CacheMiss,    ///< memory round trip that missed in a cache
+    BankConflict, ///< round trip deferred by an SPM bank conflict
+    MemQueue,     ///< round trip queued behind other requests
+    DmaWait,      ///< round trip serialized behind external/DMA traffic
+};
+
+constexpr unsigned numProfCauses = 12;
+
+/** Stable lower-case identifier, e.g. "fu_contention". */
+const char *profCauseName(ProfCause cause);
+
+/** One recorded dynamic instruction instance. */
+struct ProfNode
+{
+    /** Dynamic sequence number (unique per engine run). */
+    std::uint64_t seq = 0;
+
+    /** Static instruction id (index into the static table). */
+    unsigned staticId = 0;
+
+    /** Cycle every issue constraint was satisfied. */
+    std::uint64_t readyCycle = 0;
+
+    std::uint64_t issueCycle = 0;
+    std::uint64_t commitCycle = 0;
+
+    /** Critical predecessor (released this instance); noProfSeq. */
+    std::uint64_t parentSeq = noProfSeq;
+
+    /** Why readyCycle is what it is (Start/Control/DataDep). */
+    ProfCause linkCause = ProfCause::Start;
+
+    /** What the ready-to-issue gap was spent waiting on. */
+    ProfCause waitCause = ProfCause::DataDep;
+
+    /** What the issue-to-commit latency was spent on. */
+    ProfCause execCause = ProfCause::Compute;
+};
+
+/** Static-instruction metadata used to label hotspots. */
+struct ProfStaticInfo
+{
+    std::string inst;   ///< SSA name, e.g. "%mul4"
+    std::string block;  ///< owning basic block label
+    std::string func;   ///< kernel function name
+    std::string opcode; ///< e.g. "fmul"
+};
+
+/** Bounded recorder of dynamic-CDFG nodes for one engine. */
+class Profiler
+{
+  public:
+    /** Default node cap: ~1M instances (tens of MB at most). */
+    static constexpr std::size_t defaultMaxNodes = 1u << 20;
+
+    explicit Profiler(std::size_t max_nodes = defaultMaxNodes)
+        : maxNodes(max_nodes)
+    {}
+
+    /** Attach the static-id → metadata table (index = staticId). */
+    void setStaticTable(std::vector<ProfStaticInfo> table)
+    { statics = std::move(table); }
+
+    const std::vector<ProfStaticInfo> &staticTable() const
+    { return statics; }
+
+    /** Metadata for @p static_id; nullptr when out of range. */
+    const ProfStaticInfo *
+    staticInfo(unsigned static_id) const
+    {
+        return static_id < statics.size() ? &statics[static_id]
+                                          : nullptr;
+    }
+
+    /** Record one committed instance; drops past the cap. */
+    void
+    record(const ProfNode &node)
+    {
+        if (recorded.size() >= maxNodes) {
+            ++droppedNodes;
+            return;
+        }
+        seqIndex.emplace(node.seq, recorded.size());
+        recorded.push_back(node);
+    }
+
+    /** Nodes in commit order (memory ops commit out of order). */
+    const std::vector<ProfNode> &nodes() const { return recorded; }
+
+    /** Node by dynamic sequence number; nullptr when absent. */
+    const ProfNode *
+    findBySeq(std::uint64_t seq) const
+    {
+        auto it = seqIndex.find(seq);
+        return it == seqIndex.end() ? nullptr
+                                    : &recorded[it->second];
+    }
+
+    std::size_t size() const { return recorded.size(); }
+
+    bool empty() const { return recorded.empty(); }
+
+    /** Instances discarded after the cap was hit. */
+    std::uint64_t dropped() const { return droppedNodes; }
+
+    /**
+     * Note ticks an external agent (e.g. a DMA transfer) kept the
+     * system busy. Not part of the instruction graph — surfaced as
+     * context in the hotspot report.
+     */
+    void noteExternalWait(const std::string &what,
+                          std::uint64_t ticks)
+    { externals[what] += ticks; }
+
+    const std::map<std::string, std::uint64_t> &
+    externalWaits() const
+    { return externals; }
+
+    void
+    clear()
+    {
+        recorded.clear();
+        seqIndex.clear();
+        externals.clear();
+        droppedNodes = 0;
+    }
+
+  private:
+    std::size_t maxNodes;
+    std::vector<ProfStaticInfo> statics;
+    std::vector<ProfNode> recorded;
+    std::unordered_map<std::uint64_t, std::size_t> seqIndex;
+    std::map<std::string, std::uint64_t> externals;
+    std::uint64_t droppedNodes = 0;
+};
+
+} // namespace salam::obs
+
+#endif // SALAM_OBS_PROFILER_HH

@@ -1,5 +1,6 @@
 #include "run_report.hh"
 
+#include <cstdio>
 #include <fstream>
 #include <sstream>
 
@@ -8,10 +9,51 @@
 namespace salam::obs
 {
 
+const char *
+simulatorVersionString()
+{
+    return "salam-0.2";
+}
+
+std::uint64_t
+fnv1aHash(const std::string &text)
+{
+    std::uint64_t hash = 0xcbf29ce484222325ull;
+    for (unsigned char c : text) {
+        hash ^= c;
+        hash *= 0x100000001b3ull;
+    }
+    return hash;
+}
+
+namespace
+{
+
+std::string
+hex64(std::uint64_t v)
+{
+    char buf[2 + 16 + 1];
+    std::snprintf(buf, sizeof(buf), "0x%016llx",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+} // namespace
+
 void
 RunReport::writeJson(std::ostream &os) const
 {
-    os << "{\"run\":\"" << jsonEscape(run) << "\""
+    os << "{\"schema_version\":" << schemaVersion
+       << ",\"simulator_version\":\""
+       << jsonEscape(simulatorVersion.empty()
+                         ? simulatorVersionString()
+                         : simulatorVersion)
+       << "\""
+       // Hex string, not a number: 64-bit hashes do not survive the
+       // double-precision round trip most JSON readers apply.
+       << ",\"config_hash\":\"" << hex64(configHash) << "\""
+       << ",\"command_line\":\"" << jsonEscape(commandLine) << "\""
+       << ",\"run\":\"" << jsonEscape(run) << "\""
        << ",\"cycles\":" << cycles
        << ",\"sim_seconds\":" << jsonNumber(simSeconds)
        << ",\"compile_seconds\":" << jsonNumber(compileSeconds);

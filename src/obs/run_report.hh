@@ -21,11 +21,39 @@
 namespace salam::obs
 {
 
+/** The simulator's version string, e.g. "salam-0.2". */
+const char *simulatorVersionString();
+
+/**
+ * FNV-1a over @p text; used to fingerprint run configurations so
+ * downstream tooling can group or reject dumps by exact config.
+ */
+std::uint64_t fnv1aHash(const std::string &text);
+
 /** Everything worth persisting about one run. */
 struct RunReport
 {
+    /**
+     * Schema version of the emitted JSON. Bump whenever the layout
+     * changes incompatibly; readers reject versions they do not
+     * know.
+     *   1: run/cycles/sim_seconds/compile_seconds/extra/stats (PR 1)
+     *   2: adds schema_version, simulator_version, config_hash, and
+     *      command_line metadata
+     */
+    static constexpr unsigned schemaVersion = 2;
+
     /** Experiment or kernel identifier, e.g. "fig14.gemm". */
     std::string run;
+
+    /** Producing simulator; simulatorVersionString() when empty. */
+    std::string simulatorVersion;
+
+    /** fnv1aHash() of the run's configuration text; 0 = unset. */
+    std::uint64_t configHash = 0;
+
+    /** The invoking command line, argv joined with spaces. */
+    std::string commandLine;
 
     /** Accelerator cycles to completion (0 when not applicable). */
     std::uint64_t cycles = 0;

@@ -12,9 +12,11 @@
 
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "event_queue.hh"
+#include "obs/profiler.hh"
 #include "obs/trace_sink.hh"
 #include "statistics.hh"
 #include "types.hh"
@@ -51,6 +53,45 @@ class Simulation
     /** The trace sink, or nullptr while tracing is off. */
     obs::TraceSink *traceSink()
     { return tracingEnabled ? sink.get() : nullptr; }
+
+    /**
+     * Turn on dynamic-CDFG profiling; must be called before run()
+     * so compute units create their recorders in init().
+     */
+    void enableProfiling() { profilingOn = true; }
+
+    bool profilingEnabled() const { return profilingOn; }
+
+    /**
+     * Create the profiler for one compute unit. Per-unit recorders
+     * keep static-instruction ids from colliding across
+     * accelerators. The simulation owns it; @p name labels its
+     * reports.
+     */
+    obs::Profiler &
+    createProfiler(const std::string &name)
+    {
+        profs.emplace_back(name,
+                           std::make_unique<obs::Profiler>());
+        return *profs.back().second;
+    }
+
+    /** All profilers created so far, with their owners' names. */
+    const std::vector<
+        std::pair<std::string, std::unique_ptr<obs::Profiler>>> &
+    profilers() const
+    { return profs; }
+
+    /**
+     * Record external busy time (e.g. a DMA transfer) into every
+     * profiler; no-op while profiling is off.
+     */
+    void
+    noteExternalWait(const std::string &what, std::uint64_t ticks)
+    {
+        for (auto &[owner, prof] : profs)
+            prof->noteExternalWait(what, ticks);
+    }
 
     Tick curTick() const { return queue.curTick(); }
 
@@ -90,6 +131,9 @@ class Simulation
     StatRegistry registry;
     std::unique_ptr<obs::TraceSink> sink;
     bool tracingEnabled = false;
+    std::vector<std::pair<std::string,
+                          std::unique_ptr<obs::Profiler>>> profs;
+    bool profilingOn = false;
     std::vector<std::unique_ptr<SimObject>> objects;
     std::vector<SimObject *> registered;
     bool initialized = false;

@@ -82,6 +82,49 @@ TEST_F(FlagTest, ApplySpecWithNegation)
     EXPECT_FALSE(DebugFlagRegistry::instance().applySpec("Nope"));
 }
 
+TEST_F(FlagTest, ApplySpecStrictAcceptsValidSpecs)
+{
+    EXPECT_EQ(DebugFlagRegistry::instance().applySpecStrict(
+                  "Cache,Scratchpad"),
+              "");
+    EXPECT_TRUE(flag::Cache.enabled());
+    EXPECT_TRUE(flag::Scratchpad.enabled());
+    EXPECT_FALSE(flag::DMA.enabled());
+
+    DebugFlagRegistry::instance().disableAll();
+    EXPECT_EQ(DebugFlagRegistry::instance().applySpecStrict(
+                  "All,-Event"),
+              "");
+    EXPECT_TRUE(flag::Cache.enabled());
+    EXPECT_FALSE(flag::Event.enabled());
+    EXPECT_EQ(DebugFlagRegistry::instance().applySpecStrict(
+                  "Profile"),
+              "");
+    EXPECT_TRUE(flag::Profile.enabled());
+}
+
+TEST_F(FlagTest, ApplySpecStrictRejectsUnknownFlagsAtomically)
+{
+    // The valid "Cache" before the typo must NOT be applied.
+    std::string error = DebugFlagRegistry::instance()
+                            .applySpecStrict("Cache,Cach");
+    ASSERT_FALSE(error.empty());
+    EXPECT_FALSE(flag::Cache.enabled());
+
+    // The diagnostic names the offender and lists the valid flags.
+    EXPECT_NE(error.find("Cach"), std::string::npos);
+    EXPECT_NE(error.find("valid flags"), std::string::npos);
+    EXPECT_NE(error.find("All"), std::string::npos);
+    EXPECT_NE(error.find("Cache"), std::string::npos);
+    EXPECT_NE(error.find("RuntimeEngine"), std::string::npos);
+
+    // Negated unknown names are rejected too.
+    EXPECT_FALSE(DebugFlagRegistry::instance()
+                     .applySpecStrict("All,-Bogus")
+                     .empty());
+    EXPECT_FALSE(flag::Cache.enabled());
+}
+
 TEST_F(FlagTest, DisabledFlagEmitsNothing)
 {
     SALAM_TRACE_AT(Cache, 100, "l1", "hit addr=0x%x", 0x40u);
