@@ -16,11 +16,15 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <functional>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "core/compute_unit.hh"
 #include "core/power_report.hh"
+#include "inject/fault_injector.hh"
+#include "inject/progress_sentinel.hh"
 #include "kernels/machsuite.hh"
 #include "mem/backdoor.hh"
 #include "mem/scratchpad.hh"
@@ -57,6 +61,18 @@ struct ObsOptions
     /** Interval-stats period in engine cycles; 0 disables. */
     std::uint64_t statsInterval = 0;
 
+    /** Fault specs from --inject, in "kind@site[:k=v]*" grammar. */
+    std::vector<std::string> injectSpecs;
+
+    /** Campaign seed resolving unspecified nth/bit fields. */
+    std::uint64_t injectSeed = 1;
+
+    /** Watchdog no-progress window in ticks; 0 disables. */
+    Tick watchdogTicks = 0;
+
+    /** Hang state-dump destination. */
+    std::string dumpOut = "state_dump.json";
+
     /** The invoking command line (argv joined with spaces). */
     std::string commandLine;
 };
@@ -82,6 +98,13 @@ obsOptions()
  *   --debug-flags <spec>    enable debug flags, e.g. "Cache,DMA" or
  *                           "All,-Event"; unknown names are fatal
  *   --verbose               enable inform()/warn() output
+ *   --inject <spec>         inject a fault, "kind@site[:key=value]*"
+ *                           (repeatable; see src/inject/fault_plan.hh
+ *                           for kinds and keys)
+ *   --inject-seed <N>       campaign seed for unspecified nth/bit
+ *   --watchdog <ticks>      forward-progress watchdog window
+ *   --dump-out <file>       hang state-dump path (default
+ *                           state_dump.json)
  * fatal()s on anything it does not recognize.
  */
 inline void
@@ -137,13 +160,130 @@ parseObsArgs(int argc, char **argv)
             if (has_inline_value)
                 fatal("--verbose takes no value");
             LogControl::setVerbose(true);
+        } else if (arg == "--inject") {
+            options.injectSpecs.push_back(next());
+        } else if (arg == "--inject-seed") {
+            std::string value = next();
+            char *end = nullptr;
+            options.injectSeed =
+                std::strtoull(value.c_str(), &end, 0);
+            if (end == value.c_str() || *end != '\0')
+                fatal("--inject-seed needs a number, got '%s'",
+                      value.c_str());
+        } else if (arg == "--watchdog") {
+            std::string value = next();
+            char *end = nullptr;
+            unsigned long long ticks =
+                std::strtoull(value.c_str(), &end, 0);
+            if (end == value.c_str() || *end != '\0' || ticks == 0)
+                fatal("--watchdog needs a positive tick count, "
+                      "got '%s'",
+                      value.c_str());
+            options.watchdogTicks = ticks;
+        } else if (arg == "--dump-out") {
+            options.dumpOut = next();
         } else {
             fatal("unknown argument '%s' (expected --trace-out, "
                   "--report-out, --stats-out, --profile-out, "
-                  "--stats-interval, --debug-flags, or --verbose)",
+                  "--stats-interval, --debug-flags, --verbose, "
+                  "--inject, --inject-seed, --watchdog, or "
+                  "--dump-out)",
                   arg.c_str());
         }
     }
+}
+
+/**
+ * Build the fault injector described by --inject/--inject-seed and
+ * attach it to @p sim; nullptr when no faults were requested. The
+ * caller owns the injector (it must outlive sim.run()).
+ */
+inline std::unique_ptr<inject::FaultInjector>
+makeFaultInjector(Simulation &sim)
+{
+    const ObsOptions &options = obsOptions();
+    if (options.injectSpecs.empty())
+        return nullptr;
+    inject::FaultPlan plan;
+    plan.seed = options.injectSeed;
+    for (const std::string &spec : options.injectSpecs) {
+        std::string error = plan.parse(spec);
+        if (!error.empty())
+            fatal("--inject %s: %s", spec.c_str(), error.c_str());
+    }
+    auto injector = std::make_unique<inject::FaultInjector>(
+        std::move(plan));
+    injector->attach(sim);
+    return injector;
+}
+
+/** Arm the --watchdog sentinel over @p sim; no-op when disabled. */
+inline void
+installWatchdog(Simulation &sim, std::function<bool()> done)
+{
+    const ObsOptions &options = obsOptions();
+    if (options.watchdogTicks == 0)
+        return;
+    inject::ProgressSentinel::Config cfg;
+    cfg.windowTicks = options.watchdogTicks;
+    cfg.dumpPath = options.dumpOut;
+    cfg.done = std::move(done);
+    sim.create<inject::ProgressSentinel>("watchdog", std::move(cfg))
+        .start();
+}
+
+/** Print every fault that fired, for campaign replay comparison. */
+inline void
+printInjectionLog(const inject::FaultInjector *injector)
+{
+    if (injector == nullptr)
+        return;
+    std::printf("injections fired: %zu\n", injector->log().size());
+    for (const inject::InjectionRecord &rec : injector->log()) {
+        std::printf("  tick=%llu kind=%s site=%s %s\n",
+                    static_cast<unsigned long long>(rec.tick),
+                    inject::faultKindName(rec.kind),
+                    rec.site.c_str(), rec.detail.c_str());
+    }
+}
+
+/**
+ * Graceful-degradation hook for a bench run: when the run dies
+ * through fatal() (wrong results, watchdog, injected deadlock), flush
+ * the trace, stats, and a run report carrying the fatal outcome so
+ * the campaign still gets machine-readable artifacts. The returned
+ * RAII handle deregisters the hook when the normal path takes over.
+ */
+inline ScopedTerminationHook
+benchTerminationHook(Simulation &sim, std::string run_name)
+{
+    return ScopedTerminationHook(
+        [&sim, run_name = std::move(run_name)](
+            const char *outcome, const std::string &message) {
+            const ObsOptions &options = obsOptions();
+            if (obs::TraceSink *sink = sim.traceSink()) {
+                if (!options.traceOut.empty())
+                    sink->writeChromeTraceFile(options.traceOut);
+            }
+            if (!options.statsOut.empty()) {
+                std::ofstream os(options.statsOut);
+                if (os)
+                    sim.stats().dumpJson(os);
+            }
+            if (!options.reportOut.empty()) {
+                obs::RunReport report;
+                report.run = run_name;
+                report.commandLine = options.commandLine;
+                report.outcome = outcome;
+                report.extra = {
+                    {"fatal_message_hash",
+                     static_cast<double>(
+                         obs::fnv1aHash(message) & 0xFFFFFFFFull)},
+                };
+                report.statsJson = sim.stats().dumpJsonString();
+                report.appendToFile(options.reportOut);
+            }
+        });
 }
 
 /** Memory configuration for the single-accelerator testbench. */
@@ -200,6 +340,10 @@ runSalam(const kernels::Kernel &kernel,
     auto t1 = clock::now();
 
     Simulation sim;
+    std::unique_ptr<inject::FaultInjector> injector =
+        makeFaultInjector(sim);
+    ScopedTerminationHook flush_on_fatal =
+        benchTerminationHook(sim, kernel.name());
     if (!obsOptions().traceOut.empty())
         sim.enableTracing();
     if (!obsOptions().profileOut.empty() ||
@@ -248,13 +392,19 @@ runSalam(const kernels::Kernel &kernel,
         intervals->start();
     }
 
+    installWatchdog(sim, [&cu] { return cu.finished(); });
+
     auto t2 = clock::now();
     cu.start(kernel.args(spm_base));
     sim.run();
     auto t3 = clock::now();
 
-    if (!cu.finished())
-        fatal("bench: %s did not finish", kernel.name().c_str());
+    if (!cu.finished()) {
+        inject::reportHang(sim,
+                           "event queue drained with kernel '" +
+                               kernel.name() + "' unfinished",
+                           obsOptions().dumpOut);
+    }
     out.checkFailure = kernel.check(backdoor, spm_base);
     if (!out.checkFailure.empty())
         fatal("bench: %s wrong result: %s", kernel.name().c_str(),
@@ -326,11 +476,17 @@ runSalam(const kernels::Kernel &kernel,
             {"dynamic_insts",
              static_cast<double>(out.stats.dynamicInstructions)},
         };
+        if (injector) {
+            report.extra.push_back(
+                {"injections_fired",
+                 static_cast<double>(injector->log().size())});
+        }
         report.statsJson = sim.stats().dumpJsonString();
         if (!report.appendToFile(options.reportOut))
             fatal("could not append run report to '%s'",
                   options.reportOut.c_str());
     }
+    printInjectionLog(injector.get());
     return out;
 }
 

@@ -55,6 +55,115 @@ print(f"profiler smoke ok: path={prof['path_cycles']} cycles, "
       f"{len(rows)} interval rows")
 PYEOF
 
+echo "== smoke: fault-injection campaign"
+camp="${build_dir}/bench/fault_campaign"
+camp_dir="${smoke_dir}/campaign"
+mkdir -p "${camp_dir}"
+
+run_campaign() {
+    # run_campaign <tag> <expected-exit> <spec-or-empty>
+    local tag="$1" want_exit="$2" spec="$3"
+    local args=(--watchdog 2000000
+                --dump-out "${camp_dir}/${tag}.dump.json"
+                --report-out "${camp_dir}/${tag}.jsonl")
+    [[ -n "${spec}" ]] && args+=(--inject "${spec}")
+    local got=0
+    "${camp}" "${args[@]}" >"${camp_dir}/${tag}.out" 2>&1 || got=$?
+    if [[ "${got}" -ne "${want_exit}" ]]; then
+        echo "campaign '${tag}' exited ${got}, expected ${want_exit}"
+        cat "${camp_dir}/${tag}.out"
+        exit 1
+    fi
+}
+
+# One scenario per fault kind; every run must terminate gracefully
+# (exit 0 or a clean fatal with artifacts — never a hang or abort).
+run_campaign clean          0 ""
+run_campaign bit_flip       1 "bit_flip@spm:nth=100:bit=30"
+run_campaign drop_response  1 "drop_response@spm:nth=300"
+run_campaign drop_irq       1 "drop_irq@relu.comm:nth=1"
+run_campaign spurious_irq   1 "spurious_irq@host:nth=2"
+run_campaign retry_storm    0 "retry_storm@spm:nth=10:count=20"
+run_campaign delay_response 0 "delay_response@spm:nth=50:count=5:delay=100000"
+run_campaign dma_stall      0 "dma_stall@dma:nth=1:delay=500000"
+
+python3 - "${camp_dir}" <<'PYEOF'
+import json, sys
+d = sys.argv[1]
+
+def outcome(tag):
+    rows = [json.loads(line) for line in open(f"{d}/{tag}.jsonl")]
+    assert rows, f"{tag}: empty run report"
+    return rows[-1]["outcome"]
+
+expected = {
+    "clean": "ok", "bit_flip": "fault", "drop_response": "deadlock",
+    "drop_irq": "deadlock", "spurious_irq": "fault",
+    "retry_storm": "ok", "delay_response": "ok", "dma_stall": "ok",
+}
+for tag, want in expected.items():
+    got = outcome(tag)
+    assert got == want, f"{tag}: outcome {got!r}, expected {want!r}"
+
+# Hang dumps must name the component that is actually stuck.
+for tag, stuck in (("drop_response", "c0.relu"), ("drop_irq", "host")):
+    dump = json.load(open(f"{d}/{tag}.dump.json"))
+    names = [s["object"] for s in dump["suspects"]]
+    assert stuck in names, \
+        f"{tag}: dump suspects {names} do not include {stuck}"
+print("fault campaign ok: " +
+      ", ".join(f"{t}={o}" for t, o in expected.items()))
+PYEOF
+
+echo "== smoke: replay determinism (same seed => same faults)"
+for n in 1 2; do
+    got=0
+    "${camp}" --inject 'bit_flip@spm' --inject-seed 42 \
+        >"${camp_dir}/replay.${n}.out" 2>&1 || got=$?
+    if [[ "${got}" -ne 1 ]]; then
+        echo "replay run ${n} exited ${got}, expected 1"
+        cat "${camp_dir}/replay.${n}.out"
+        exit 1
+    fi
+done
+if ! cmp -s "${camp_dir}/replay.1.out" "${camp_dir}/replay.2.out"; then
+    echo "replay runs diverged with the same seed:"
+    diff "${camp_dir}/replay.1.out" "${camp_dir}/replay.2.out" || true
+    exit 1
+fi
+echo "replay deterministic"
+
+echo "== sanitizers: ASan + UBSan"
+asan_dir="${repo_root}/build-asan"
+san_flags="-fsanitize=address,undefined -fno-sanitize-recover=all -g -O1"
+echo 'int main() { return 0; }' > "${smoke_dir}/probe.cc"
+if c++ ${san_flags} -o "${smoke_dir}/probe" "${smoke_dir}/probe.cc" \
+        2>/dev/null && "${smoke_dir}/probe"; then
+    cmake -S "${repo_root}" -B "${asan_dir}" \
+        -DCMAKE_CXX_FLAGS="${san_flags}" \
+        -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined" \
+        >/dev/null
+    cmake --build "${asan_dir}" -j "${jobs}"
+    # fatal() terminates without unwinding by design, so leak
+    # checking would flag every intentional-death test; errors still
+    # abort via -fno-sanitize-recover.
+    ASAN_OPTIONS=detect_leaks=0 UBSAN_OPTIONS=print_stacktrace=1 \
+        ctest --test-dir "${asan_dir}" --output-on-failure
+    got=0
+    ASAN_OPTIONS=detect_leaks=0 \
+        "${asan_dir}/bench/fault_campaign" \
+        --inject 'bit_flip@spm:nth=100:bit=30' \
+        >"${smoke_dir}/asan_campaign.out" 2>&1 || got=$?
+    if [[ "${got}" -ne 1 ]]; then
+        echo "sanitized campaign exited ${got}, expected 1"
+        cat "${smoke_dir}/asan_campaign.out"
+        exit 1
+    fi
+    echo "sanitizer job ok"
+else
+    echo "sanitizers unavailable on this toolchain; skipping"
+fi
+
 echo "== strict: -Wall -Wextra -Werror build (${strict_dir})"
 cmake -S "${repo_root}" -B "${strict_dir}" \
     -DCMAKE_CXX_FLAGS="-Wall -Wextra -Werror" >/dev/null

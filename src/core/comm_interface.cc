@@ -1,5 +1,7 @@
 #include "comm_interface.hh"
 
+#include "inject/fault_injector.hh"
+
 namespace salam::core
 {
 
@@ -167,16 +169,39 @@ CommInterface::signalDone()
     SALAM_TRACE(Comm, "kernel signalled done");
     regs[0] &= ~ctrl_bits::running;
     regs[0] |= ctrl_bits::done;
-    if ((regs[0] & ctrl_bits::irqEnable) && irq)
+    if ((regs[0] & ctrl_bits::irqEnable) && irq) {
+        if (inject::FaultInjector *fi = simulation().faultInjector();
+            fi && fi->dropIrq(name())) {
+            return; // completion interrupt lost in flight
+        }
         irq();
+    }
 }
 
 bool
 CommInterface::handleMmrAccess(PacketPtr pkt)
 {
-    SALAM_ASSERT(cfg.mmrRange.contains(pkt->addr(), pkt->size()));
-    SALAM_ASSERT(pkt->size() == 8 &&
-                 (pkt->addr() - cfg.mmrRange.start) % 8 == 0);
+    // A mis-programmed driver is a user error, not a simulator bug:
+    // answer undecodable accesses with an error response instead of
+    // tearing the run down on an assert.
+    if (!cfg.mmrRange.contains(pkt->addr(), pkt->size()) ||
+        pkt->size() != 8 ||
+        (pkt->addr() - cfg.mmrRange.start) % 8 != 0) {
+        warn("%s: undecodable MMR %s addr=0x%llx size=%u "
+             "(window [0x%llx, 0x%llx), 8-byte aligned)",
+             name().c_str(), pkt->isRead() ? "read" : "write",
+             static_cast<unsigned long long>(pkt->addr()),
+             pkt->size(),
+             static_cast<unsigned long long>(cfg.mmrRange.start),
+             static_cast<unsigned long long>(cfg.mmrRange.end));
+        ++mmrDecodeErrors;
+        pkt->makeErrorResponse();
+        mmrResponses.push_back(PendingMmr{
+            pkt, clockEdge(Cycles(cfg.mmrLatencyCycles))});
+        if (!mmrEvent.scheduled())
+            schedule(mmrEvent, mmrResponses.front().readyAt);
+        return true;
+    }
     unsigned index = static_cast<unsigned>(
         (pkt->addr() - cfg.mmrRange.start) / 8);
 
@@ -196,6 +221,42 @@ CommInterface::handleMmrAccess(PacketPtr pkt)
     if (!mmrEvent.scheduled())
         schedule(mmrEvent, mmrResponses.front().readyAt);
     return true;
+}
+
+void
+CommInterface::dumpDiagnostics(obs::JsonBuilder &json) const
+{
+    json.field("running", running()).field("done", done());
+    json.field("blocked_data_requests",
+               static_cast<std::uint64_t>(blockedRequests.size()));
+    json.field("pending_mmr_responses",
+               static_cast<std::uint64_t>(mmrResponses.size()));
+    json.field("mmr_decode_errors", mmrDecodeErrors);
+    json.beginArray("regs");
+    for (std::uint64_t reg : regs)
+        json.value(reg);
+    json.endArray();
+    json.beginArray("blocked_requests");
+    for (const auto &[pkt, port] : blockedRequests) {
+        json.beginObject()
+            .field("addr", pkt->addr())
+            .field("size", std::uint64_t(pkt->size()))
+            .field("read", pkt->isRead())
+            .field("port", std::uint64_t(port))
+            .field("service_flags", std::uint64_t(pkt->serviceFlags))
+            .endObject();
+    }
+    json.endArray();
+}
+
+std::string
+CommInterface::stuckReason() const
+{
+    if (!blockedRequests.empty()) {
+        return std::to_string(blockedRequests.size()) +
+               " data request(s) awaiting a downstream retry";
+    }
+    return {};
 }
 
 void

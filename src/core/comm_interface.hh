@@ -125,6 +125,14 @@ class CommInterface : public ClockedObject
 
     std::uint64_t mmrWrites() const { return mmrWriteCount; }
 
+    /** MMIO accesses answered with an error response. */
+    std::uint64_t mmrDecodeErrorCount() const
+    { return mmrDecodeErrors; }
+
+    void dumpDiagnostics(obs::JsonBuilder &json) const override;
+
+    std::string stuckReason() const override;
+
   private:
     class PioPort : public mem::ResponsePort
     {
@@ -201,6 +209,7 @@ class CommInterface : public ClockedObject
     std::uint64_t mmrWriteCount = 0;
     std::uint64_t dataRequestsIssued = 0;
     std::uint64_t dataRequestsBlocked = 0;
+    std::uint64_t mmrDecodeErrors = 0;
 };
 
 } // namespace salam::core

@@ -6,12 +6,41 @@
 namespace salam::core
 {
 
+namespace
+{
+
+/**
+ * Elaboration-order guards: the IR must verify and the config must
+ * validate BEFORE StaticCdfg elaborates from them — a malformed
+ * function or zero queue size would otherwise crash (or silently
+ * mis-build) inside elaboration, far from the actual mistake.
+ */
+const ir::Function &
+verifiedOrDie(const ir::Function &fn)
+{
+    ir::Verifier::verifyOrDie(fn);
+    return fn;
+}
+
+const DeviceConfig &
+validatedOrDie(const DeviceConfig &config, const ir::Function &fn)
+{
+    std::string error = config.validate();
+    if (!error.empty())
+        fatal("device config for kernel '%s': %s", fn.name().c_str(),
+              error.c_str());
+    return config;
+}
+
+} // namespace
+
 ComputeUnit::ComputeUnit(Simulation &sim, std::string name,
                          const ir::Function &fn,
                          const DeviceConfig &config,
                          CommInterface &comm)
     : ClockedObject(sim, std::move(name), config.clockPeriod),
-      cfg(config), staticCdfg(fn, cfg), comm(comm),
+      cfg(validatedOrDie(config, fn)),
+      staticCdfg(verifiedOrDie(fn), cfg), comm(comm),
       engine(staticCdfg, cfg,
              RuntimeEngine::Hooks{
                  [this](DynInst *op) {
@@ -27,7 +56,6 @@ ComputeUnit::ComputeUnit(Simulation &sim, std::string name,
       tickEvent([this] { tick(); }, this->name() + ".tick",
                 Event::cpuTickPri)
 {
-    ir::Verifier::verifyOrDie(fn);
     comm.setResponseHandler(
         [this](DynInst *op, const std::uint8_t *data, unsigned size) {
             engine.memoryResponse(op, data, size);
@@ -176,6 +204,35 @@ ComputeUnit::tick()
 {
     lastCycleTick = curTick();
     engine.cycle();
+    // Only instruction retirement counts as forward progress: a unit
+    // that keeps ticking without committing anything is livelocked
+    // and must still trip the watchdog.
+    std::uint64_t committed = engine.stats().committedInstructions;
+    if (committed != lastCommitted) {
+        lastCommitted = committed;
+        noteProgress();
+    }
+}
+
+void
+ComputeUnit::dumpDiagnostics(obs::JsonBuilder &json) const
+{
+    engine.dumpState(json);
+}
+
+std::string
+ComputeUnit::stuckReason() const
+{
+    if (!engine.running())
+        return {};
+    const unsigned loads = engine.readsInFlight();
+    const unsigned stores = engine.writesInFlight();
+    if (loads + stores > 0) {
+        return "kernel running with " + std::to_string(loads) +
+               " load(s) and " + std::to_string(stores) +
+               " store(s) in flight that never received responses";
+    }
+    return "kernel running but no instruction can issue or commit";
 }
 
 } // namespace salam::core

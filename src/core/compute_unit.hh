@@ -72,6 +72,10 @@ class ComputeUnit : public ClockedObject
 
     CommInterface &commInterface() { return comm; }
 
+    void dumpDiagnostics(obs::JsonBuilder &json) const override;
+
+    std::string stuckReason() const override;
+
   private:
     void tick();
 
@@ -84,6 +88,8 @@ class ComputeUnit : public ClockedObject
     EventFunctionWrapper tickEvent;
     Tick lastCycleTick = maxTick;
     std::function<void()> onDone;
+    /** Commit count at the last tick (progress detection). */
+    std::uint64_t lastCommitted = 0;
 };
 
 } // namespace salam::core

@@ -14,6 +14,7 @@
 
 #include <array>
 #include <cstdint>
+#include <string>
 
 #include "hw/functional_unit.hh"
 #include "hw/hardware_profile.hh"
@@ -74,6 +75,30 @@ struct DeviceConfig
     setFuLimit(hw::FuType type, unsigned limit)
     {
         fuLimits[static_cast<std::size_t>(type)] = limit;
+    }
+
+    /**
+     * Elaboration-time sanity check. A zero clock or queue size does
+     * not crash immediately — it deadlocks or div-by-zeroes deep in
+     * a run — so it is rejected here, before anything is built.
+     * @return "" when valid, else a diagnostic for fatal().
+     */
+    std::string
+    validate() const
+    {
+        if (clockPeriod == 0)
+            return "clock period must be non-zero";
+        if (reservationQueueSize == 0)
+            return "reservation queue size must be non-zero";
+        if (readQueueSize == 0)
+            return "read queue size must be non-zero";
+        if (writeQueueSize == 0)
+            return "write queue size must be non-zero";
+        if (readPortsPerCycle == 0)
+            return "read ports per cycle must be non-zero";
+        if (writePortsPerCycle == 0)
+            return "write ports per cycle must be non-zero";
+        return {};
     }
 };
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "inject/fault_injector.hh"
+
 namespace salam::core
 {
 
@@ -96,6 +98,21 @@ Dma::startTransfer(std::uint64_t src, std::uint64_t dst,
 void
 Dma::pump()
 {
+    // Refused write bursts have priority: they carry data already
+    // read out of the source.
+    while (!blockedWrites.empty()) {
+        if (!dmaPort.sendTimingReq(blockedWrites.front()))
+            return; // retried via recvReqRetry
+        blockedWrites.pop_front();
+    }
+    if (inject::FaultInjector *fi = simulation().faultInjector();
+        fi && active && bytesRemainingToRead > 0) {
+        if (Tick stall = fi->dmaStall(name())) {
+            if (!pumpEvent.scheduled())
+                schedule(pumpEvent, curTick() + stall);
+            return;
+        }
+    }
     while (active && bytesRemainingToRead > 0 &&
            outstanding < cfg.maxOutstanding) {
         unsigned chunk = static_cast<unsigned>(std::min<std::uint64_t>(
@@ -124,10 +141,11 @@ Dma::handleDataResponse(PacketPtr pkt)
         auto dst = reinterpret_cast<std::uint64_t>(pkt->context);
         auto *wr = new Packet(MemCmd::WriteReq, dst, pkt->size());
         wr->setData(pkt->data(), pkt->size());
-        if (!dmaPort.sendTimingReq(wr)) {
-            // Our simple devices accept requests; a refusal here
-            // would need a retry queue. Fail loudly if it happens.
-            panic("%s: write burst refused", name().c_str());
+        if (!blockedWrites.empty() || !dmaPort.sendTimingReq(wr)) {
+            // Refused (or behind an earlier refusal): keep ordering
+            // and resend from pump() on the next retry.
+            wr->serviceFlags |= svcQueued;
+            blockedWrites.push_back(wr);
         }
         delete pkt;
         return true;
@@ -138,6 +156,7 @@ Dma::handleDataResponse(PacketPtr pkt)
     --outstanding;
     bytesRemainingToWrite -= pkt->size();
     totalBytes += pkt->size();
+    noteProgress();
     delete pkt;
     if (bytesRemainingToWrite == 0) {
         finishTransfer();
@@ -168,8 +187,48 @@ Dma::finishTransfer()
     simulation().noteExternalWait(name(), lastDuration);
     regs[0] &= ~ctrl_bits::running;
     regs[0] |= ctrl_bits::done;
-    if ((regs[0] & ctrl_bits::irqEnable) && irq)
+    if ((regs[0] & ctrl_bits::irqEnable) && irq) {
+        if (inject::FaultInjector *fi = simulation().faultInjector();
+            fi && fi->dropIrq(name())) {
+            return; // completion interrupt lost in flight
+        }
         irq();
+    }
+}
+
+void
+Dma::dumpDiagnostics(obs::JsonBuilder &json) const
+{
+    json.field("active", active);
+    json.field("outstanding_bursts", std::uint64_t(outstanding));
+    json.field("bytes_remaining_to_read", bytesRemainingToRead);
+    json.field("bytes_remaining_to_write", bytesRemainingToWrite);
+    json.field("blocked_writes",
+               static_cast<std::uint64_t>(blockedWrites.size()));
+    json.field("src_cursor", srcCursor).field("dst_cursor", dstCursor);
+    json.beginArray("regs");
+    for (std::uint64_t reg : regs)
+        json.value(reg);
+    json.endArray();
+}
+
+std::string
+Dma::stuckReason() const
+{
+    if (!blockedWrites.empty()) {
+        return std::to_string(blockedWrites.size()) +
+               " write burst(s) awaiting a downstream retry";
+    }
+    if (active && outstanding > 0) {
+        return std::to_string(outstanding) +
+               " read burst(s) in flight with no response";
+    }
+    if (active) {
+        return "transfer active but idle (" +
+               std::to_string(bytesRemainingToWrite) +
+               " bytes unwritten)";
+    }
+    return {};
 }
 
 bool

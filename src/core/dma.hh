@@ -82,6 +82,10 @@ class Dma : public ClockedObject
     /** Ticks from start to completion of the last transfer. */
     Tick lastTransferTicks() const { return lastDuration; }
 
+    void dumpDiagnostics(obs::JsonBuilder &json) const override;
+
+    std::string stuckReason() const override;
+
   private:
     class PioPort : public mem::ResponsePort
     {
@@ -142,6 +146,8 @@ class Dma : public ClockedObject
     PioPort pioPort;
     DmaPort dmaPort;
     std::array<std::uint64_t, 4> regs{};
+    /** Write bursts refused downstream, resent from pump(). */
+    std::deque<mem::PacketPtr> blockedWrites;
     std::deque<PendingMmr> mmrResponses;
     EventFunctionWrapper mmrEvent;
     EventFunctionWrapper pumpEvent;

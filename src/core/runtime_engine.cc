@@ -416,6 +416,7 @@ RuntimeEngine::commit(DynInst *di)
 {
     SALAM_ASSERT(!di->committed);
     di->committed = true;
+    ++engineStats.committedInstructions;
     // The engine is ticked every cycle while active, so queued
     // compute ops reach here exactly at their scheduled cycle; for
     // everything else (memory, branches, zero-latency wiring) this
@@ -637,6 +638,52 @@ RuntimeEngine::recordCycleStats(bool issued_any,
     }
     if (observer.stallCauses)
         observer.stallCauses->add(lane);
+}
+
+void
+RuntimeEngine::dumpState(obs::JsonBuilder &json) const
+{
+    json.field("active", active).field("completed", completed);
+    json.field("cycle", cycleCount);
+    json.field("window",
+               static_cast<std::uint64_t>(window.size()));
+    json.field("loads_in_flight", std::uint64_t(loadsInFlight));
+    json.field("stores_in_flight", std::uint64_t(storesInFlight));
+    json.field("committed_instructions",
+               engineStats.committedInstructions);
+    if (pendingImport)
+        json.field("pending_import", pendingImport->name());
+
+    auto describe = [&json](const DynInst *di) {
+        json.beginObject()
+            .field("seq", di->seq)
+            .field("inst", "%" + di->inst->name())
+            .field("issued", di->issued)
+            .field("committed", di->committed);
+        if (di->isMemory()) {
+            json.field("mem",
+                       di->isLoad ? "load" : "store")
+                .field("addr_known", di->addrKnown)
+                .field("addr", di->memAddr)
+                .field("in_flight", di->memInFlight)
+                .field("service_flags",
+                       std::uint64_t(di->memServiceFlags));
+        }
+        json.endObject();
+    };
+
+    json.beginArray("reservation_queue");
+    for (const DynInst *di : reservationQueue)
+        describe(di);
+    json.endArray();
+    json.beginArray("compute_queue");
+    for (const DynInst *di : computeQueue)
+        describe(di);
+    json.endArray();
+    json.beginArray("memory_order");
+    for (const DynInst *di : memoryOrder)
+        describe(di);
+    json.endArray();
 }
 
 void

@@ -40,6 +40,7 @@
 #include <vector>
 
 #include "ir/eval.hh"
+#include "obs/json.hh"
 #include "obs/profiler.hh"
 #include "obs/trace_sink.hh"
 #include "sim/statistics.hh"
@@ -143,6 +144,8 @@ struct EngineStats
     std::uint64_t intOpsIssued = 0;
     std::uint64_t otherOpsIssued = 0;
     std::uint64_t dynamicInstructions = 0;
+    /** Dynamic instructions retired (forward-progress signal). */
+    std::uint64_t committedInstructions = 0;
 
     // Cycle-granularity scheduling overlap (Fig. 15).
     std::uint64_t cyclesWithLoadIssue = 0;
@@ -268,6 +271,13 @@ class RuntimeEngine
 
     /** Lane names for EngineObserver::issueClasses, in lane order. */
     static const std::vector<std::string> &issueLaneNames();
+
+    /**
+     * Append the scheduler's live state — reservation, compute, and
+     * memory queues, in-flight counts, pending block import — to a
+     * watchdog state dump.
+     */
+    void dumpState(obs::JsonBuilder &json) const;
 
   private:
     /** Stall-cause lane indices (stallLaneNames() order). */

@@ -1,0 +1,178 @@
+#include "fault_injector.hh"
+
+#include <utility>
+
+#include "sim/logging.hh"
+#include "sim/simulation.hh"
+
+namespace salam::inject
+{
+
+FaultInjector::FaultInjector(FaultPlan plan) : _plan(std::move(plan))
+{
+    _plan.resolve();
+    for (const FaultSpec &spec : _plan.specs)
+        armed.push_back({spec, 0});
+}
+
+void
+FaultInjector::attach(Simulation &sim_)
+{
+    sim = &sim_;
+    sim_.setFaultInjector(this);
+}
+
+FaultInjector::Armed *
+FaultInjector::match(FaultKind kind, const std::string &site)
+{
+    Armed *firing = nullptr;
+    for (Armed &a : armed) {
+        if (a.spec.kind != kind)
+            continue;
+        if (!a.spec.site.empty() &&
+            site.find(a.spec.site) == std::string::npos) {
+            continue;
+        }
+        // Count the opportunity even when it does not fire: nth is an
+        // index into the opportunity stream, which must advance
+        // identically on every replay.
+        ++a.hits;
+        if (!firing && a.hits >= a.spec.nth &&
+            a.hits < a.spec.nth + a.spec.count) {
+            firing = &a;
+        }
+    }
+    return firing;
+}
+
+void
+FaultInjector::record(FaultKind kind, const std::string &site,
+                      std::string detail)
+{
+    InjectionRecord rec;
+    rec.tick = sim ? sim->curTick() : 0;
+    rec.kind = kind;
+    rec.site = site;
+    rec.detail = std::move(detail);
+    inform("inject: %s at %s (tick %llu): %s", faultKindName(kind),
+           site.c_str(),
+           static_cast<unsigned long long>(rec.tick),
+           rec.detail.c_str());
+    _log.push_back(std::move(rec));
+}
+
+Tick
+FaultInjector::responseDelay(const std::string &site)
+{
+    Armed *a = match(FaultKind::DelayResponse, site);
+    if (!a)
+        return 0;
+    record(FaultKind::DelayResponse, site,
+           "hold response " + std::to_string(a->spec.delayTicks) +
+               " ticks");
+    return a->spec.delayTicks;
+}
+
+bool
+FaultInjector::dropResponse(const std::string &site)
+{
+    Armed *a = match(FaultKind::DropResponse, site);
+    if (!a)
+        return false;
+    record(FaultKind::DropResponse, site, "response discarded");
+    return true;
+}
+
+bool
+FaultInjector::refuseRequest(const std::string &site)
+{
+    Armed *a = match(FaultKind::RetryStorm, site);
+    if (!a)
+        return false;
+    record(FaultKind::RetryStorm, site, "request refused");
+    return true;
+}
+
+bool
+FaultInjector::corruptPayload(const std::string &site,
+                              std::uint64_t addr, std::uint8_t *data,
+                              unsigned size)
+{
+    if (size == 0)
+        return false;
+    Armed *a = match(FaultKind::BitFlip, site);
+    if (!a)
+        return false;
+    std::uint64_t bit = a->spec.bit % (8ull * size);
+    data[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    record(FaultKind::BitFlip, site,
+           "flipped bit " + std::to_string(bit) + " of payload at 0x" +
+               [addr] {
+                   char buf[20];
+                   std::snprintf(buf, sizeof(buf), "%llx",
+                                 static_cast<unsigned long long>(addr));
+                   return std::string(buf);
+               }());
+    return true;
+}
+
+bool
+FaultInjector::dropIrq(const std::string &site)
+{
+    Armed *a = match(FaultKind::DropIrq, site);
+    if (!a)
+        return false;
+    record(FaultKind::DropIrq, site, "interrupt swallowed");
+    return true;
+}
+
+bool
+FaultInjector::spuriousIrq(const std::string &site, int &line_out)
+{
+    Armed *a = match(FaultKind::SpuriousIrq, site);
+    if (!a)
+        return false;
+    if (a->spec.line >= 0)
+        line_out = a->spec.line;
+    record(FaultKind::SpuriousIrq, site,
+           "spurious interrupt on line " + std::to_string(line_out));
+    return true;
+}
+
+Tick
+FaultInjector::dmaStall(const std::string &site)
+{
+    Armed *a = match(FaultKind::DmaStall, site);
+    if (!a)
+        return 0;
+    record(FaultKind::DmaStall, site,
+           "pump stalled " + std::to_string(a->spec.delayTicks) +
+               " ticks");
+    return a->spec.delayTicks;
+}
+
+void
+FaultInjector::dumpDiagnostics(obs::JsonBuilder &json) const
+{
+    json.field("seed", _plan.seed);
+    json.beginArray("plan");
+    for (const Armed &a : armed) {
+        json.beginObject()
+            .field("spec", a.spec.describe())
+            .field("opportunities", a.hits)
+            .endObject();
+    }
+    json.endArray();
+    json.beginArray("fired");
+    for (const InjectionRecord &rec : _log) {
+        json.beginObject()
+            .field("tick", rec.tick)
+            .field("kind", faultKindName(rec.kind))
+            .field("site", rec.site)
+            .field("detail", rec.detail)
+            .endObject();
+    }
+    json.endArray();
+}
+
+} // namespace salam::inject

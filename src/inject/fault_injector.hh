@@ -1,0 +1,135 @@
+/**
+ * @file
+ * FaultInjector: runtime firing decisions for a FaultPlan.
+ *
+ * Components ask the injector at named sites ("should this response
+ * be delayed/dropped here?"); the injector counts opportunities per
+ * spec and fires when a spec's window [nth, nth+count) is reached.
+ * All decisions derive from the plan alone — same plan, same seed,
+ * same simulation => the exact same faults, which is what makes
+ * campaigns replayable.
+ *
+ * The injector is owned by whoever built the plan (bench or test)
+ * and attached to a Simulation, which hands out a non-owning pointer
+ * via Simulation::faultInjector(). Components tolerate a null
+ * injector — the fast path is one pointer test.
+ */
+
+#ifndef SALAM_INJECT_FAULT_INJECTOR_HH
+#define SALAM_INJECT_FAULT_INJECTOR_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fault_plan.hh"
+#include "obs/json.hh"
+#include "sim/types.hh"
+
+namespace salam
+{
+class Simulation;
+} // namespace salam
+
+namespace salam::inject
+{
+
+/** One fault that actually fired, for logs and state dumps. */
+struct InjectionRecord
+{
+    Tick tick = 0;
+    FaultKind kind = FaultKind::DelayResponse;
+    std::string site;
+    std::string detail;
+};
+
+class FaultInjector
+{
+  public:
+    /** Resolves the plan's seeded defaults; see FaultPlan::resolve. */
+    explicit FaultInjector(FaultPlan plan);
+
+    /** Register with @p sim so components can find this injector. */
+    void attach(Simulation &sim);
+
+    const FaultPlan &plan() const { return _plan; }
+
+    /**
+     * DelayResponse: extra ticks to hold a response at @p site, or 0.
+     * Queried once per response enqueued.
+     */
+    Tick responseDelay(const std::string &site);
+
+    /**
+     * DropResponse: true if the response at @p site should be
+     * silently discarded. Queried once per response enqueued.
+     */
+    bool dropResponse(const std::string &site);
+
+    /**
+     * RetryStorm: true if the timing request arriving at @p site
+     * should be refused (sender must take its retry path). Queried
+     * once per arriving request.
+     */
+    bool refuseRequest(const std::string &site);
+
+    /**
+     * BitFlip: maybe corrupt @p size bytes of payload at @p site.
+     * Queried once per serviced data access; flips spec.bit modulo
+     * the payload width. @return true if a bit was flipped.
+     */
+    bool corruptPayload(const std::string &site, std::uint64_t addr,
+                        std::uint8_t *data, unsigned size);
+
+    /**
+     * DropIrq: true if the interrupt being raised at @p site should
+     * be swallowed. Queried once per raise.
+     */
+    bool dropIrq(const std::string &site);
+
+    /**
+     * SpuriousIrq: true if a spurious interrupt should be delivered
+     * at @p site (queried when a waiter starts waiting). The spec's
+     * "line" option, if >= 0, names the line; @p line_out receives
+     * it (left untouched for "the awaited line").
+     */
+    bool spuriousIrq(const std::string &site, int &line_out);
+
+    /**
+     * DmaStall: extra ticks to stall the DMA pump at @p site, or 0.
+     * Queried once per burst issue opportunity.
+     */
+    Tick dmaStall(const std::string &site);
+
+    /** Every fault that fired so far, in firing order. */
+    const std::vector<InjectionRecord> &log() const { return _log; }
+
+    /** Append the plan and firing log to a state dump. */
+    void dumpDiagnostics(obs::JsonBuilder &json) const;
+
+  private:
+    struct Armed
+    {
+        FaultSpec spec;
+        std::uint64_t hits = 0;
+    };
+
+    /**
+     * Find the first armed spec of @p kind whose site matches and
+     * whose window covers this opportunity; counts the opportunity
+     * against every matching spec either way.
+     */
+    Armed *match(FaultKind kind, const std::string &site);
+
+    void record(FaultKind kind, const std::string &site,
+                std::string detail);
+
+    FaultPlan _plan;
+    std::vector<Armed> armed;
+    std::vector<InjectionRecord> _log;
+    Simulation *sim = nullptr;
+};
+
+} // namespace salam::inject
+
+#endif // SALAM_INJECT_FAULT_INJECTOR_HH

@@ -1,0 +1,166 @@
+#include "fault_plan.hh"
+
+#include <cstdlib>
+
+#include "obs/run_report.hh"
+#include "sim/logging.hh"
+
+namespace salam::inject
+{
+
+const char *
+faultKindName(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::DelayResponse: return "delay_response";
+      case FaultKind::DropResponse: return "drop_response";
+      case FaultKind::RetryStorm: return "retry_storm";
+      case FaultKind::BitFlip: return "bit_flip";
+      case FaultKind::DropIrq: return "drop_irq";
+      case FaultKind::SpuriousIrq: return "spurious_irq";
+      case FaultKind::DmaStall: return "dma_stall";
+    }
+    return "?";
+}
+
+namespace
+{
+
+bool
+parseKind(const std::string &name, FaultKind &out)
+{
+    static const std::pair<const char *, FaultKind> kinds[] = {
+        {"delay_response", FaultKind::DelayResponse},
+        {"drop_response", FaultKind::DropResponse},
+        {"retry_storm", FaultKind::RetryStorm},
+        {"bit_flip", FaultKind::BitFlip},
+        {"drop_irq", FaultKind::DropIrq},
+        {"spurious_irq", FaultKind::SpuriousIrq},
+        {"dma_stall", FaultKind::DmaStall},
+    };
+    for (const auto &[kname, kind] : kinds) {
+        if (name == kname) {
+            out = kind;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+parseU64(const std::string &text, std::uint64_t &out)
+{
+    if (text.empty())
+        return false;
+    char *end = nullptr;
+    out = std::strtoull(text.c_str(), &end, 0);
+    return end != text.c_str() && *end == '\0';
+}
+
+/** splitmix64: seed -> well-mixed 64-bit stream, no global state. */
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+} // namespace
+
+std::string
+FaultSpec::describe() const
+{
+    std::string out = faultKindName(kind);
+    out += '@';
+    out += site;
+    out += ":nth=" + std::to_string(nth);
+    if (count != 1)
+        out += ":count=" + std::to_string(count);
+    if (kind == FaultKind::DelayResponse || kind == FaultKind::DmaStall)
+        out += ":delay=" + std::to_string(delayTicks);
+    if (kind == FaultKind::BitFlip)
+        out += ":bit=" + std::to_string(bit);
+    if (kind == FaultKind::SpuriousIrq && line >= 0)
+        out += ":line=" + std::to_string(line);
+    return out;
+}
+
+std::string
+FaultPlan::parse(const std::string &text)
+{
+    auto at = text.find('@');
+    if (at == std::string::npos)
+        return "fault spec '" + text + "' is missing '@site' "
+               "(grammar: kind@site[:key=value]*)";
+
+    FaultSpec spec;
+    if (!parseKind(text.substr(0, at), spec.kind))
+        return "unknown fault kind '" + text.substr(0, at) +
+               "' (expected delay_response, drop_response, "
+               "retry_storm, bit_flip, drop_irq, spurious_irq, or "
+               "dma_stall)";
+
+    std::string rest = text.substr(at + 1);
+    auto colon = rest.find(':');
+    spec.site = rest.substr(0, colon);
+    while (colon != std::string::npos) {
+        rest = rest.substr(colon + 1);
+        colon = rest.find(':');
+        std::string kv = rest.substr(0, colon);
+        auto eq = kv.find('=');
+        if (eq == std::string::npos)
+            return "fault option '" + kv + "' is missing '=value'";
+        std::string key = kv.substr(0, eq);
+        std::string value = kv.substr(eq + 1);
+        std::uint64_t num = 0;
+        if (!parseU64(value, num))
+            return "fault option '" + key + "' needs a number, got '" +
+                   value + "'";
+        if (key == "nth") {
+            if (num == 0)
+                return "fault option nth is 1-based; 0 is invalid";
+            spec.nth = num;
+            spec.nthExplicit = true;
+        } else if (key == "count") {
+            if (num == 0)
+                return "fault option count must be positive";
+            spec.count = num;
+        } else if (key == "delay") {
+            spec.delayTicks = num;
+        } else if (key == "bit") {
+            spec.bit = num;
+            spec.bitExplicit = true;
+        } else if (key == "line") {
+            spec.line = static_cast<int>(num);
+        } else {
+            return "unknown fault option '" + key +
+                   "' (expected nth, count, delay, bit, or line)";
+        }
+    }
+    specs.push_back(std::move(spec));
+    return {};
+}
+
+void
+FaultPlan::resolve()
+{
+    for (FaultSpec &spec : specs) {
+        // Key the stream on the spec identity, not its list position,
+        // so adding a spec to a campaign does not reshuffle the others.
+        std::uint64_t stream = mix64(
+            seed ^ obs::fnv1aHash(std::string(faultKindName(spec.kind)) +
+                                  "@" + spec.site));
+        if (!spec.nthExplicit) {
+            spec.nth = 1 + stream % 16;
+            spec.nthExplicit = true;
+        }
+        if (!spec.bitExplicit) {
+            spec.bit = mix64(stream) % 64;
+            spec.bitExplicit = true;
+        }
+    }
+}
+
+} // namespace salam::inject

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * FaultPlan: the declarative description of a fault campaign.
+ *
+ * A plan is a list of FaultSpecs parsed from "--inject" arguments:
+ *
+ *     kind@site[:key=value]*
+ *
+ * where kind names what to break, site is a substring matched against
+ * the component name at the injection point (empty matches every
+ * site of that kind), and the optional keys tune when and how:
+ *
+ *   nth=N    fire on the N-th matching opportunity (1-based; when
+ *            omitted, derived deterministically from the plan seed so
+ *            the same seed replays the same campaign)
+ *   count=N  fire on N consecutive opportunities (default 1)
+ *   delay=T  extra ticks for delay_response / dma_stall (default 1000)
+ *   bit=B    payload bit to flip for bit_flip (default seeded)
+ *   line=L   IRQ line for spurious_irq (default: the awaited line)
+ *
+ * Plans are pure data: parsing and description here, firing decisions
+ * in FaultInjector.
+ */
+
+#ifndef SALAM_INJECT_FAULT_PLAN_HH
+#define SALAM_INJECT_FAULT_PLAN_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace salam::inject
+{
+
+/** What to break. */
+enum class FaultKind
+{
+    /** Hold a memory response in the queue for extra ticks. */
+    DelayResponse,
+
+    /** Swallow a memory response entirely (requester hangs). */
+    DropResponse,
+
+    /** Refuse timing requests, forcing the sender onto retry paths. */
+    RetryStorm,
+
+    /** Flip one bit in a serviced data payload. */
+    BitFlip,
+
+    /** Swallow an interrupt at the moment it would be raised. */
+    DropIrq,
+
+    /** Deliver an interrupt the hardware never raised. */
+    SpuriousIrq,
+
+    /** Stall the DMA pump before issuing its next burst. */
+    DmaStall,
+};
+
+const char *faultKindName(FaultKind kind);
+
+/** One planned fault. */
+struct FaultSpec
+{
+    FaultKind kind = FaultKind::DelayResponse;
+
+    /** Substring matched against the site name; "" matches all. */
+    std::string site;
+
+    /** 1-based opportunity index at which to start firing. */
+    std::uint64_t nth = 0;
+
+    /** Number of consecutive opportunities to fire on. */
+    std::uint64_t count = 1;
+
+    /** Extra ticks for DelayResponse / DmaStall. */
+    std::uint64_t delayTicks = 1000;
+
+    /** Payload bit index for BitFlip (modulo payload width). */
+    std::uint64_t bit = 0;
+
+    /** IRQ line for SpuriousIrq; -1 = whatever line is awaited. */
+    int line = -1;
+
+    /** True once nth/bit were given explicitly (not seed-derived). */
+    bool nthExplicit = false;
+    bool bitExplicit = false;
+
+    /** Render back to the grammar, with resolved nth/bit. */
+    std::string describe() const;
+};
+
+/** A seeded list of faults to inject into one run. */
+struct FaultPlan
+{
+    /** Campaign seed; resolves unspecified nth/bit fields. */
+    std::uint64_t seed = 1;
+
+    std::vector<FaultSpec> specs;
+
+    /**
+     * Parse one "kind@site[:key=value]*" spec and append it.
+     * @return "" on success, else a diagnostic for fatal().
+     */
+    std::string parse(const std::string &text);
+
+    /**
+     * Fill in seed-derived defaults (nth, bit) for every spec that
+     * did not set them explicitly. Idempotent; called by the
+     * injector's constructor, and by tests that want to inspect the
+     * resolved plan.
+     */
+    void resolve();
+
+    bool empty() const { return specs.empty(); }
+};
+
+} // namespace salam::inject
+
+#endif // SALAM_INJECT_FAULT_PLAN_HH

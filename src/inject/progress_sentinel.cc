@@ -1,0 +1,143 @@
+#include "progress_sentinel.hh"
+
+#include <fstream>
+
+#include "fault_injector.hh"
+#include "sim/logging.hh"
+#include "sim/simulation.hh"
+
+namespace salam::inject
+{
+
+std::string
+buildStateDump(Simulation &sim, const std::string &reason)
+{
+    obs::JsonBuilder json;
+    json.beginObject()
+        .field("schema", std::uint64_t(1))
+        .field("kind", "salam_state_dump")
+        .field("reason", reason)
+        .field("tick", sim.curTick())
+        .field("progress_events", sim.progressEvents());
+
+    json.beginArray("suspects");
+    for (const auto &[name, why] : collectSuspects(sim)) {
+        json.beginObject()
+            .field("object", name)
+            .field("reason", why)
+            .endObject();
+    }
+    json.endArray();
+
+    json.beginArray("objects");
+    for (const SimObject *obj : sim.objectList()) {
+        json.beginObject()
+            .field("name", obj->name())
+            .field("last_progress_tick", obj->lastProgressTick());
+        std::string why = obj->stuckReason();
+        if (!why.empty())
+            json.field("stuck", why);
+        json.beginObject("state");
+        obj->dumpDiagnostics(json);
+        json.endObject();
+        json.endObject();
+    }
+    json.endArray();
+
+    if (FaultInjector *fi = sim.faultInjector()) {
+        json.beginObject("injection");
+        fi->dumpDiagnostics(json);
+        json.endObject();
+    }
+
+    json.endObject();
+    SALAM_ASSERT(json.balanced());
+    return json.str();
+}
+
+std::vector<std::pair<std::string, std::string>>
+collectSuspects(Simulation &sim)
+{
+    std::vector<std::pair<std::string, std::string>> out;
+    for (const SimObject *obj : sim.objectList()) {
+        std::string why = obj->stuckReason();
+        if (!why.empty())
+            out.emplace_back(obj->name(), std::move(why));
+    }
+    return out;
+}
+
+bool
+writeStateDump(const std::string &path, const std::string &json)
+{
+    std::ofstream os(path);
+    if (!os) {
+        warn("could not write state dump to '%s'", path.c_str());
+        return false;
+    }
+    os << json << "\n";
+    return static_cast<bool>(os);
+}
+
+void
+reportHang(Simulation &sim, const std::string &reason,
+           const std::string &dump_path)
+{
+    if (!dump_path.empty())
+        writeStateDump(dump_path, buildStateDump(sim, reason));
+
+    std::string who;
+    for (const auto &[name, why] : collectSuspects(sim)) {
+        if (!who.empty())
+            who += "; ";
+        who += name + ": " + why;
+    }
+    if (who.empty())
+        who = "no component reports a stuck reason";
+
+    setFatalOutcome("deadlock");
+    if (dump_path.empty()) {
+        fatal("%s — stuck: %s", reason.c_str(), who.c_str());
+    } else {
+        fatal("%s — stuck: %s (state dump: %s)", reason.c_str(),
+              who.c_str(), dump_path.c_str());
+    }
+}
+
+ProgressSentinel::ProgressSentinel(Simulation &sim, std::string name,
+                                   Config cfg_)
+    : SimObject(sim, std::move(name)), cfg(std::move(cfg_)),
+      checkEvent([this] { check(); }, this->name() + ".check")
+{
+    if (cfg.windowTicks == 0)
+        fatal("%s: watchdog window must be non-zero",
+              this->name().c_str());
+    SALAM_ASSERT(cfg.done);
+}
+
+void
+ProgressSentinel::start()
+{
+    lastCount = simulation().progressEvents();
+    if (!checkEvent.scheduled())
+        schedule(checkEvent, curTick() + cfg.windowTicks);
+}
+
+void
+ProgressSentinel::check()
+{
+    if (cfg.done())
+        return;
+    std::uint64_t now = simulation().progressEvents();
+    if (now == lastCount) {
+        reportHang(simulation(),
+                   "no forward progress for " +
+                       std::to_string(cfg.windowTicks) +
+                       " ticks (watchdog)",
+                   cfg.dumpPath);
+    }
+    lastCount = now;
+    schedule(checkEvent, curTick() + cfg.windowTicks);
+}
+
+} // namespace salam::inject

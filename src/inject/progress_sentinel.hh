@@ -1,0 +1,96 @@
+/**
+ * @file
+ * ProgressSentinel: the forward-progress watchdog.
+ *
+ * Components report retirement-level progress via
+ * SimObject::noteProgress(); the sentinel samples the simulation's
+ * progress counter on a periodic event. If a whole window passes with
+ * no progress while the run is not done, the simulation is livelocked
+ * (e.g. the driver CPU polling an MMR that will never change) — the
+ * sentinel writes a structured state dump and terminates through
+ * fatal() with outcome "deadlock", naming the stuck components.
+ *
+ * The second hang mode — the event queue draining with the host
+ * unfinished (a true deadlock: nothing left to wake anyone) — cannot
+ * fire an event, so SalamSystem::run()/the bench harness detect it
+ * after run() returns and call reportHang() directly.
+ */
+
+#ifndef SALAM_INJECT_PROGRESS_SENTINEL_HH
+#define SALAM_INJECT_PROGRESS_SENTINEL_HH
+
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/sim_object.hh"
+#include "sim/types.hh"
+
+namespace salam::inject
+{
+
+/**
+ * Serialize the full simulation state — every object's last-progress
+ * tick, stuck reason, and dumpDiagnostics() payload, plus the fault
+ * injector's plan and firing log — as one JSON object.
+ */
+std::string buildStateDump(Simulation &sim, const std::string &reason);
+
+/**
+ * The objects that report themselves stuck (non-empty stuckReason),
+ * as (name, reason) pairs in registration order.
+ */
+std::vector<std::pair<std::string, std::string>>
+collectSuspects(Simulation &sim);
+
+/** Write @p json to @p path; warn()s and returns false on failure. */
+bool writeStateDump(const std::string &path, const std::string &json);
+
+/**
+ * Terminal hang path shared by the sentinel and the queue-drain
+ * checks: write the state dump (if @p dump_path is non-empty), set
+ * the fatal outcome to "deadlock", and fatal() with a message naming
+ * the stuck components.
+ */
+[[noreturn]] void reportHang(Simulation &sim, const std::string &reason,
+                             const std::string &dump_path);
+
+/** Watchdog for livelock (events still firing, nothing retiring). */
+class ProgressSentinel : public SimObject
+{
+  public:
+    struct Config
+    {
+        /** No-progress window before the watchdog trips. */
+        Tick windowTicks = 1'000'000;
+
+        /** State-dump destination; "" skips the file. */
+        std::string dumpPath;
+
+        /**
+         * Run-completion predicate; once true the sentinel stops
+         * rescheduling itself. Required: without it the sentinel
+         * would keep an otherwise-finished run alive forever.
+         */
+        std::function<bool()> done;
+    };
+
+    ProgressSentinel(Simulation &sim, std::string name, Config cfg);
+
+    /** Arm the watchdog (idempotent). */
+    void start();
+
+    std::string stuckReason() const override { return {}; }
+
+  private:
+    void check();
+
+    Config cfg;
+    std::uint64_t lastCount = 0;
+    EventFunctionWrapper checkEvent;
+};
+
+} // namespace salam::inject
+
+#endif // SALAM_INJECT_PROGRESS_SENTINEL_HH

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "inject/fault_injector.hh"
+
 namespace salam::mem
 {
 
@@ -114,10 +116,23 @@ Cache::accessBlock(Block &block, PacketPtr pkt)
 void
 Cache::respondAfter(PacketPtr pkt, unsigned cycles)
 {
-    responseQueue.push_back(
-        PendingResponse{pkt, clockEdge(Cycles(cycles))});
+    Tick ready = clockEdge(Cycles(cycles));
+    if (inject::FaultInjector *fi = simulation().faultInjector()) {
+        if (pkt->isRead()) {
+            fi->corruptPayload(name(), pkt->addr(), pkt->data(),
+                               pkt->size());
+        }
+        ready += fi->responseDelay(name());
+        if (fi->dropResponse(name()))
+            return;
+    }
+    noteProgress();
+    responseQueue.push_back(PendingResponse{pkt, ready});
+    // The front's readyAt can be in the past when it sat blocked
+    // behind a refused send; never schedule before now.
     if (!responseEvent.scheduled())
-        schedule(responseEvent, responseQueue.front().readyAt);
+        schedule(responseEvent,
+                 std::max(responseQueue.front().readyAt, curTick()));
 }
 
 bool
@@ -248,6 +263,47 @@ Cache::handleFill(PacketPtr pkt)
     if (was_full)
         cpuPort.sendReqRetry();
     return true;
+}
+
+void
+Cache::dumpDiagnostics(obs::JsonBuilder &json) const
+{
+    json.field("mshrs_allocated",
+               static_cast<std::uint64_t>(mshrs.size()));
+    json.field("mem_side_queue",
+               static_cast<std::uint64_t>(memSideQueue.size()));
+    json.field("pending_responses",
+               static_cast<std::uint64_t>(responseQueue.size()));
+    json.field("hits", hits).field("misses", misses);
+    json.beginArray("mshr_blocks");
+    for (const auto &[block_addr, mshr] : mshrs) {
+        json.beginObject()
+            .field("block_addr", block_addr)
+            .field("targets",
+                   static_cast<std::uint64_t>(mshr.targets.size()))
+            .field("fill_issued", mshr.fillIssued)
+            .endObject();
+    }
+    json.endArray();
+}
+
+std::string
+Cache::stuckReason() const
+{
+    if (!memSideQueue.empty()) {
+        return std::to_string(memSideQueue.size()) +
+               " fill/writeback request(s) blocked toward memory";
+    }
+    if (!mshrs.empty()) {
+        return std::to_string(mshrs.size()) +
+               " MSHR(s) waiting on fills that never returned";
+    }
+    if (!responseQueue.empty() &&
+        responseQueue.front().readyAt <= curTick()) {
+        return std::to_string(responseQueue.size()) +
+               " response(s) ready but the peer is not accepting";
+    }
+    return {};
 }
 
 void

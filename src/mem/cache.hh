@@ -67,6 +67,10 @@ class Cache : public ClockedObject
                                 static_cast<double>(total);
     }
 
+    void dumpDiagnostics(obs::JsonBuilder &json) const override;
+
+    std::string stuckReason() const override;
+
   private:
     class CpuSidePort : public ResponsePort
     {

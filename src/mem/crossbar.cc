@@ -1,5 +1,9 @@
 #include "crossbar.hh"
 
+#include <algorithm>
+
+#include "inject/fault_injector.hh"
+
 namespace salam::mem
 {
 
@@ -43,8 +47,15 @@ void
 Crossbar::connectDevice(ResponsePort &device_port, AddrRange range)
 {
     for (const AddrRange &existing : ranges) {
-        if (existing.overlaps(range))
-            fatal("%s: overlapping device ranges", name().c_str());
+        if (existing.overlaps(range)) {
+            fatal("%s: device range [0x%llx, 0x%llx) overlapping "
+                  "existing range [0x%llx, 0x%llx)",
+                  name().c_str(),
+                  static_cast<unsigned long long>(range.start),
+                  static_cast<unsigned long long>(range.end),
+                  static_cast<unsigned long long>(existing.start),
+                  static_cast<unsigned long long>(existing.end));
+        }
     }
     downstream.push_back(std::make_unique<DownstreamPort>(
         *this, static_cast<unsigned>(downstream.size())));
@@ -81,6 +92,17 @@ Crossbar::routeFor(PacketPtr pkt) const
 bool
 Crossbar::handleRequest(PacketPtr pkt, unsigned upstream_index)
 {
+    if (inject::FaultInjector *fi = simulation().faultInjector();
+        fi && fi->refuseRequest(name())) {
+        pkt->serviceFlags |= svcQueued;
+        eventQueue().schedule(
+            clockEdge(Cycles(1)),
+            [this, upstream_index] {
+                upstream[upstream_index]->sendReqRetry();
+            },
+            name() + ".injected_retry");
+        return false;
+    }
     unsigned target = routeFor(pkt);
     if (requestQueueOccupancy) {
         requestQueueOccupancy->sample(
@@ -92,8 +114,11 @@ Crossbar::handleRequest(PacketPtr pkt, unsigned upstream_index)
     pkt->pushSenderState(std::make_unique<XbarState>(upstream_index));
     requestQueue.push_back(RoutedPacket{
         pkt, target, clockEdge(Cycles(cfg.forwardLatency))});
+    // The front's readyAt can be in the past when it sat blocked
+    // behind a refused send; never schedule before now.
     if (!requestEvent.scheduled())
-        schedule(requestEvent, requestQueue.front().readyAt);
+        schedule(requestEvent,
+                 std::max(requestQueue.front().readyAt, curTick()));
     return true;
 }
 
@@ -108,7 +133,8 @@ Crossbar::handleResponse(PacketPtr pkt, unsigned downstream_index)
         pkt, xbar_state->upstream,
         clockEdge(Cycles(cfg.responseLatency))});
     if (!responseEvent.scheduled())
-        schedule(responseEvent, responseQueue.front().readyAt);
+        schedule(responseEvent,
+                 std::max(responseQueue.front().readyAt, curTick()));
     return true;
 }
 
@@ -142,6 +168,50 @@ Crossbar::pumpRequests()
         ++forwarded;
         requestQueue.pop_front();
     }
+}
+
+void
+Crossbar::dumpDiagnostics(obs::JsonBuilder &json) const
+{
+    json.field("queued_requests",
+               static_cast<std::uint64_t>(requestQueue.size()));
+    json.field("queued_responses",
+               static_cast<std::uint64_t>(responseQueue.size()));
+    json.field("forwarded", forwarded);
+    auto emit = [&json](const char *key,
+                        const std::deque<RoutedPacket> &q) {
+        json.beginArray(key);
+        for (const RoutedPacket &rp : q) {
+            json.beginObject()
+                .field("addr", rp.pkt->addr())
+                .field("size", std::uint64_t(rp.pkt->size()))
+                .field("read", rp.pkt->isRead())
+                .field("port", std::uint64_t(rp.portIndex))
+                .field("ready_at", rp.readyAt)
+                .field("service_flags",
+                       std::uint64_t(rp.pkt->serviceFlags))
+                .endObject();
+        }
+        json.endArray();
+    };
+    emit("request_queue", requestQueue);
+    emit("response_queue", responseQueue);
+}
+
+std::string
+Crossbar::stuckReason() const
+{
+    if (!requestQueue.empty() &&
+        requestQueue.front().readyAt <= curTick()) {
+        return std::to_string(requestQueue.size()) +
+               " request(s) blocked waiting for a downstream retry";
+    }
+    if (!responseQueue.empty() &&
+        responseQueue.front().readyAt <= curTick()) {
+        return std::to_string(responseQueue.size()) +
+               " response(s) blocked waiting for an upstream retry";
+    }
+    return {};
 }
 
 void

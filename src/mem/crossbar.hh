@@ -70,6 +70,10 @@ class Crossbar : public ClockedObject
 
     std::uint64_t forwardedRequests() const { return forwarded; }
 
+    void dumpDiagnostics(obs::JsonBuilder &json) const override;
+
+    std::string stuckReason() const override;
+
   private:
     class UpstreamPort : public ResponsePort
     {

@@ -104,6 +104,21 @@ class Packet
                                          : MemCmd::WriteResp;
     }
 
+    /**
+     * Turn this request into an error response: the access could not
+     * be decoded (out-of-range or misaligned MMIO). Read payloads are
+     * zeroed so a requester that ignores the flag sees deterministic
+     * data rather than stale buffer contents.
+     */
+    void
+    makeErrorResponse()
+    {
+        makeResponse();
+        error = true;
+        if (!_data.empty())
+            std::memset(_data.data(), 0, _data.size());
+    }
+
     std::uint8_t *data() { return _data.data(); }
 
     const std::uint8_t *data() const { return _data.data(); }
@@ -149,6 +164,9 @@ class Packet
 
     /** ServiceFlags accumulated while this request was serviced. */
     unsigned serviceFlags = 0;
+
+    /** Set on responses that failed to decode (bad address/size). */
+    bool error = false;
 
   private:
     MemCmd _cmd;

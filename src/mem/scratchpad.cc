@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <set>
 
+#include "inject/fault_injector.hh"
+
 namespace salam::mem
 {
 
@@ -94,6 +96,17 @@ bool
 Scratchpad::handleRequest(PacketPtr pkt, unsigned source_port)
 {
     SALAM_ASSERT(cfg.range.contains(pkt->addr(), pkt->size()));
+    if (inject::FaultInjector *fi = simulation().faultInjector();
+        fi && fi->refuseRequest(name())) {
+        pkt->serviceFlags |= svcQueued;
+        eventQueue().schedule(
+            clockEdge(Cycles(1)),
+            [this, source_port] {
+                ports[source_port]->sendReqRetry();
+            },
+            name() + ".injected_retry");
+        return false;
+    }
     requestQueue.push_back(QueuedAccess{pkt, source_port});
     scheduleService();
     return true;
@@ -182,16 +195,77 @@ Scratchpad::serviceCycle()
         if (cfg.banks > 1)
             busy_banks.insert(bank);
         access(pkt);
-        responseQueue.push_back(
-            PendingResponse{pkt, it->sourcePort, ready});
+        Tick pkt_ready = ready;
+        bool dropped = false;
+        if (inject::FaultInjector *fi = simulation().faultInjector()) {
+            // Corrupt what the requester will observe: the response
+            // payload for reads, the stored bytes for writes.
+            std::uint8_t *payload = pkt->isRead()
+                ? pkt->data()
+                : store.data() + (pkt->addr() - cfg.range.start);
+            fi->corruptPayload(name(), pkt->addr(), payload,
+                               pkt->size());
+            pkt_ready += fi->responseDelay(name());
+            dropped = fi->dropResponse(name());
+        }
+        if (!dropped) {
+            noteProgress();
+            responseQueue.push_back(
+                PendingResponse{pkt, it->sourcePort, pkt_ready});
+        }
         it = requestQueue.erase(it);
         if (reads_left == 0 && writes_left == 0)
             break;
     }
 
+    // The front's readyAt can be in the past when it sat blocked
+    // behind a refused send; never schedule before now.
     if (!responseQueue.empty())
-        reschedule(responseEvent, responseQueue.front().readyAt);
+        reschedule(responseEvent,
+                   std::max(responseQueue.front().readyAt,
+                            curTick()));
     scheduleService();
+}
+
+void
+Scratchpad::dumpDiagnostics(obs::JsonBuilder &json) const
+{
+    json.field("pending_requests",
+               static_cast<std::uint64_t>(requestQueue.size()));
+    json.field("pending_responses",
+               static_cast<std::uint64_t>(responseQueue.size()));
+    json.field("reads", reads).field("writes", writes);
+    json.beginArray("request_queue");
+    for (const QueuedAccess &qa : requestQueue) {
+        json.beginObject()
+            .field("addr", qa.pkt->addr())
+            .field("size", std::uint64_t(qa.pkt->size()))
+            .field("read", qa.pkt->isRead())
+            .field("service_flags",
+                   std::uint64_t(qa.pkt->serviceFlags))
+            .endObject();
+    }
+    json.endArray();
+    json.beginArray("response_queue");
+    for (const PendingResponse &pr : responseQueue) {
+        json.beginObject()
+            .field("addr", pr.pkt->addr())
+            .field("ready_at", pr.readyAt)
+            .field("port", std::uint64_t(pr.sourcePort))
+            .endObject();
+    }
+    json.endArray();
+}
+
+std::string
+Scratchpad::stuckReason() const
+{
+    if (!responseQueue.empty() &&
+        responseQueue.front().readyAt <= curTick()) {
+        return std::to_string(responseQueue.size()) +
+               " response(s) ready but the peer is not accepting";
+    }
+    return {};
 }
 
 void

@@ -73,6 +73,10 @@ class Scratchpad : public ClockedObject
     /** Service attempts skipped because the target bank was busy. */
     std::uint64_t bankConflictCount() const { return bankConflicts; }
 
+    void dumpDiagnostics(obs::JsonBuilder &json) const override;
+
+    std::string stuckReason() const override;
+
   private:
     class SpmPort : public ResponsePort
     {

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "inject/fault_injector.hh"
+
 namespace salam::mem
 {
 
@@ -55,6 +57,15 @@ bool
 SimpleDram::handleRequest(PacketPtr pkt)
 {
     SALAM_ASSERT(cfg.range.contains(pkt->addr(), pkt->size()));
+    inject::FaultInjector *fi = simulation().faultInjector();
+    if (fi && fi->refuseRequest(name())) {
+        pkt->serviceFlags |= svcQueued;
+        eventQueue().schedule(
+            clockEdge(Cycles(1)),
+            [this] { responsePort.sendReqRetry(); },
+            name() + ".injected_retry");
+        return false;
+    }
     access(pkt);
 
     // Timing: the transfer occupies the data bus for size/bandwidth
@@ -76,10 +87,55 @@ SimpleDram::handleRequest(PacketPtr pkt)
     busFreeAt = start + std::max<Tick>(occupancy, 1);
     Tick ready = busFreeAt + cfg.accessLatency;
 
+    if (fi) {
+        std::uint8_t *payload = pkt->isRead()
+            ? pkt->data()
+            : store.data() + (pkt->addr() - cfg.range.start);
+        fi->corruptPayload(name(), pkt->addr(), payload, pkt->size());
+        ready += fi->responseDelay(name());
+        if (fi->dropResponse(name()))
+            return true; // accepted, never answered
+    }
+    noteProgress();
     responseQueue.push_back(Pending{pkt, ready});
+    // The front's readyAt can be in the past when it sat blocked
+    // behind a refused send; never schedule before now.
     if (!responseEvent.scheduled())
-        schedule(responseEvent, responseQueue.front().readyAt);
+        schedule(responseEvent,
+                 std::max(responseQueue.front().readyAt, curTick()));
     return true;
+}
+
+void
+SimpleDram::dumpDiagnostics(obs::JsonBuilder &json) const
+{
+    json.field("pending_responses",
+               static_cast<std::uint64_t>(responseQueue.size()));
+    json.field("bus_free_at", busFreeAt);
+    json.field("reads", reads).field("writes", writes);
+    json.beginArray("response_queue");
+    for (const Pending &p : responseQueue) {
+        json.beginObject()
+            .field("addr", p.pkt->addr())
+            .field("size", std::uint64_t(p.pkt->size()))
+            .field("read", p.pkt->isRead())
+            .field("ready_at", p.readyAt)
+            .field("service_flags",
+                   std::uint64_t(p.pkt->serviceFlags))
+            .endObject();
+    }
+    json.endArray();
+}
+
+std::string
+SimpleDram::stuckReason() const
+{
+    if (!responseQueue.empty() &&
+        responseQueue.front().readyAt <= curTick()) {
+        return std::to_string(responseQueue.size()) +
+               " response(s) ready but the peer is not accepting";
+    }
+    return {};
 }
 
 void

@@ -54,6 +54,10 @@ class SimpleDram : public ClockedObject
 
     std::uint64_t bytesTransferred() const { return bytes; }
 
+    void dumpDiagnostics(obs::JsonBuilder &json) const override;
+
+    std::string stuckReason() const override;
+
   private:
     class DramPort : public ResponsePort
     {

@@ -45,6 +45,7 @@ StreamBuffer::pump()
                     fifo.push_back(w.pkt->data()[i]);
                 streamed += w.pkt->size();
                 writeStallTicks += curTick() - w.arrivedAt;
+                noteProgress();
                 w.pkt->makeResponse();
                 readyResponses.emplace_back(w.pkt, true);
                 waitingWrites.pop_front();
@@ -61,6 +62,7 @@ StreamBuffer::pump()
                     fifo.pop_front();
                 }
                 readStallTicks += curTick() - r.arrivedAt;
+                noteProgress();
                 r.pkt->makeResponse();
                 readyResponses.emplace_back(r.pkt, false);
                 waitingReads.pop_front();
@@ -77,6 +79,39 @@ StreamBuffer::pump()
             return; // retried via recvRespRetry -> pump()
         readyResponses.pop_front();
     }
+}
+
+void
+StreamBuffer::dumpDiagnostics(obs::JsonBuilder &json) const
+{
+    json.field("buffered_bytes",
+               static_cast<std::uint64_t>(fifo.size()));
+    json.field("capacity_bytes", std::uint64_t(cfg.capacityBytes));
+    json.field("waiting_writes",
+               static_cast<std::uint64_t>(waitingWrites.size()));
+    json.field("waiting_reads",
+               static_cast<std::uint64_t>(waitingReads.size()));
+    json.field("ready_responses",
+               static_cast<std::uint64_t>(readyResponses.size()));
+    json.field("bytes_streamed", streamed);
+}
+
+std::string
+StreamBuffer::stuckReason() const
+{
+    if (!waitingReads.empty() &&
+        fifo.size() < waitingReads.front().pkt->size()) {
+        return "consumer read of " +
+               std::to_string(waitingReads.front().pkt->size()) +
+               " byte(s) waiting on an empty FIFO (" +
+               std::to_string(fifo.size()) + " buffered)";
+    }
+    if (!waitingWrites.empty() &&
+        fifo.size() + waitingWrites.front().pkt->size() >
+            cfg.capacityBytes) {
+        return "producer write waiting on a full FIFO";
+    }
+    return {};
 }
 
 } // namespace salam::mem

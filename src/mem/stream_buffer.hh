@@ -60,6 +60,10 @@ class StreamBuffer : public ClockedObject
     std::uint64_t producerStallTicks() const
     { return writeStallTicks; }
 
+    void dumpDiagnostics(obs::JsonBuilder &json) const override;
+
+    std::string stuckReason() const override;
+
   private:
     class EndPort : public ResponsePort
     {

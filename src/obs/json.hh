@@ -9,8 +9,10 @@
 #define SALAM_OBS_JSON_HH
 
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <string>
+#include <vector>
 
 namespace salam::obs
 {
@@ -62,6 +64,181 @@ jsonNumber(double v)
     std::snprintf(buf, sizeof(buf), "%.12g", v);
     return buf;
 }
+
+/**
+ * Streaming JSON writer for nested structures (the state dumps the
+ * watchdog emits). Handles comma placement and nesting; the caller is
+ * responsible for balanced begin/end calls, which str() asserts.
+ */
+class JsonBuilder
+{
+  public:
+    JsonBuilder &
+    beginObject()
+    {
+        comma();
+        out += '{';
+        stack.push_back(false);
+        return *this;
+    }
+
+    JsonBuilder &
+    beginObject(const std::string &key)
+    {
+        writeKey(key);
+        out += '{';
+        stack.push_back(false);
+        return *this;
+    }
+
+    JsonBuilder &
+    endObject()
+    {
+        out += '}';
+        pop();
+        return *this;
+    }
+
+    JsonBuilder &
+    beginArray()
+    {
+        comma();
+        out += '[';
+        stack.push_back(false);
+        return *this;
+    }
+
+    JsonBuilder &
+    beginArray(const std::string &key)
+    {
+        writeKey(key);
+        out += '[';
+        stack.push_back(false);
+        return *this;
+    }
+
+    JsonBuilder &
+    endArray()
+    {
+        out += ']';
+        pop();
+        return *this;
+    }
+
+    JsonBuilder &
+    field(const std::string &key, const std::string &value)
+    {
+        writeKey(key);
+        out += '"';
+        out += jsonEscape(value);
+        out += '"';
+        return *this;
+    }
+
+    JsonBuilder &
+    field(const std::string &key, const char *value)
+    {
+        return field(key, std::string(value));
+    }
+
+    JsonBuilder &
+    field(const std::string &key, double value)
+    {
+        writeKey(key);
+        out += jsonNumber(value);
+        return *this;
+    }
+
+    JsonBuilder &
+    field(const std::string &key, std::uint64_t value)
+    {
+        writeKey(key);
+        char buf[24];
+        std::snprintf(buf, sizeof(buf), "%llu",
+                      static_cast<unsigned long long>(value));
+        out += buf;
+        return *this;
+    }
+
+    JsonBuilder &
+    field(const std::string &key, unsigned value)
+    {
+        return field(key, static_cast<std::uint64_t>(value));
+    }
+
+    JsonBuilder &
+    field(const std::string &key, bool value)
+    {
+        writeKey(key);
+        out += value ? "true" : "false";
+        return *this;
+    }
+
+    /** Splice @p json in verbatim (must itself be valid JSON). */
+    JsonBuilder &
+    fieldRaw(const std::string &key, const std::string &json)
+    {
+        writeKey(key);
+        out += json;
+        return *this;
+    }
+
+    /** Array-element string value. */
+    JsonBuilder &
+    value(const std::string &v)
+    {
+        comma();
+        out += '"';
+        out += jsonEscape(v);
+        out += '"';
+        return *this;
+    }
+
+    JsonBuilder &
+    value(std::uint64_t v)
+    {
+        comma();
+        char buf[24];
+        std::snprintf(buf, sizeof(buf), "%llu",
+                      static_cast<unsigned long long>(v));
+        out += buf;
+        return *this;
+    }
+
+    bool balanced() const { return stack.empty(); }
+
+    const std::string &str() const { return out; }
+
+  private:
+    void
+    comma()
+    {
+        if (!stack.empty()) {
+            if (stack.back())
+                out += ',';
+            stack.back() = true;
+        }
+    }
+
+    void
+    writeKey(const std::string &key)
+    {
+        comma();
+        out += '"';
+        out += jsonEscape(key);
+        out += "\":";
+    }
+
+    void
+    pop()
+    {
+        if (!stack.empty())
+            stack.pop_back();
+    }
+
+    std::string out;
+    std::vector<bool> stack;
+};
 
 } // namespace salam::obs
 

@@ -53,6 +53,8 @@ RunReport::writeJson(std::ostream &os) const
        // double-precision round trip most JSON readers apply.
        << ",\"config_hash\":\"" << hex64(configHash) << "\""
        << ",\"command_line\":\"" << jsonEscape(commandLine) << "\""
+       << ",\"outcome\":\""
+       << jsonEscape(outcome.empty() ? "ok" : outcome) << "\""
        << ",\"run\":\"" << jsonEscape(run) << "\""
        << ",\"cycles\":" << cycles
        << ",\"sim_seconds\":" << jsonNumber(simSeconds)

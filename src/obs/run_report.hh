@@ -40,8 +40,9 @@ struct RunReport
      *   1: run/cycles/sim_seconds/compile_seconds/extra/stats (PR 1)
      *   2: adds schema_version, simulator_version, config_hash, and
      *      command_line metadata
+     *   3: adds outcome ("ok" | "deadlock" | "fault")
      */
-    static constexpr unsigned schemaVersion = 2;
+    static constexpr unsigned schemaVersion = 3;
 
     /** Experiment or kernel identifier, e.g. "fig14.gemm". */
     std::string run;
@@ -54,6 +55,13 @@ struct RunReport
 
     /** The invoking command line, argv joined with spaces. */
     std::string commandLine;
+
+    /**
+     * How the run ended: "ok" (completed and checked), "deadlock"
+     * (watchdog fired or the event queue drained with work pending),
+     * or "fault" (wrong results or another fatal error).
+     */
+    std::string outcome = "ok";
 
     /** Accelerator cycles to completion (0 when not applicable). */
     std::uint64_t cycles = 0;

@@ -19,12 +19,59 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <functional>
 #include <string>
 
 #include "obs/debug_flags.hh"
 
 namespace salam
 {
+
+/**
+ * Graceful-degradation hooks: callbacks run by fatal() (and the
+ * watchdog, which terminates via fatal()) before the process exits,
+ * so stats, traces, and run reports survive a failed run. Hooks run
+ * newest-first; a hook that itself fatal()s does not recurse. The
+ * @p outcome argument is the classification set via setFatalOutcome
+ * ("fault" unless overridden, "deadlock" from the watchdog paths).
+ */
+using TerminationHook =
+    std::function<void(const char *outcome, const std::string &message)>;
+
+/** Register a hook; returns an id for removeTerminationHook(). */
+std::size_t addTerminationHook(TerminationHook hook);
+
+/** Remove a previously registered hook (no-op on unknown id). */
+void removeTerminationHook(std::size_t id);
+
+/**
+ * Classify the next fatal() for the termination hooks and the run
+ * report's "outcome" field. Sticky until fatal() fires. Typical
+ * values: "deadlock" (watchdog / drained queue with unfinished
+ * host), "fault" (the default: wrong results, bad config).
+ */
+void setFatalOutcome(const char *outcome);
+
+/** The classification the next fatal() will report. */
+const char *fatalOutcome();
+
+/** RAII guard: registers a hook, removes it on scope exit. */
+class ScopedTerminationHook
+{
+  public:
+    explicit ScopedTerminationHook(TerminationHook hook)
+        : id(addTerminationHook(std::move(hook)))
+    {}
+
+    ~ScopedTerminationHook() { removeTerminationHook(id); }
+
+    ScopedTerminationHook(const ScopedTerminationHook &) = delete;
+    ScopedTerminationHook &
+    operator=(const ScopedTerminationHook &) = delete;
+
+  private:
+    std::size_t id;
+};
 
 /**
  * Back-compat verbosity switch: setVerbose(true) enables the Inform
@@ -61,6 +108,9 @@ void logMessage(const char *prefix, const std::string &msg,
 std::string formatString(const char *fmt, ...)
     __attribute__((format(printf, 1, 2)));
 
+/** Log @p msg, run the termination hooks, and exit(1). */
+[[noreturn]] void fatalExit(const std::string &msg);
+
 } // namespace detail
 
 /** Print an informational message (needs the Inform flag). */
@@ -93,9 +143,7 @@ template <typename... Args>
 [[noreturn]] void
 fatal(const char *fmt, Args... args)
 {
-    detail::logMessage("fatal: ",
-                       detail::formatString(fmt, args...), true);
-    std::exit(1);
+    detail::fatalExit(detail::formatString(fmt, args...));
 }
 
 /**

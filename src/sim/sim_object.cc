@@ -17,6 +17,13 @@ SimObject::eventQueue() const
     return sim.eventQueue();
 }
 
+void
+SimObject::noteProgress()
+{
+    _lastProgress = curTick();
+    sim.noteProgress();
+}
+
 ClockedObject::ClockedObject(Simulation &sim, std::string name,
                              Tick clock_period)
     : SimObject(sim, std::move(name)), _clockPeriod(clock_period)

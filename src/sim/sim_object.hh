@@ -14,6 +14,7 @@
 #include <string>
 
 #include "event_queue.hh"
+#include "obs/json.hh"
 #include "types.hh"
 
 namespace salam
@@ -47,6 +48,27 @@ class SimObject
     /** Called when simulation ends, for final stats bookkeeping. */
     virtual void finalize() {}
 
+    /**
+     * The last tick at which this object reported forward progress
+     * via noteProgress(); 0 if it never has.
+     */
+    Tick lastProgressTick() const { return _lastProgress; }
+
+    /**
+     * Append this object's internal state to a watchdog state dump.
+     * The builder is positioned inside the object's JSON object;
+     * implementations add fields/arrays and must leave the nesting
+     * balanced. Default: nothing beyond the common fields.
+     */
+    virtual void dumpDiagnostics(obs::JsonBuilder &) const {}
+
+    /**
+     * One-line explanation of why this object cannot make progress,
+     * or "" if it is not stuck. The watchdog uses non-empty answers
+     * to name suspects in hang reports.
+     */
+    virtual std::string stuckReason() const { return {}; }
+
   protected:
     void schedule(Event &event, Tick when)
     { eventQueue().schedule(&event, when); }
@@ -57,9 +79,19 @@ class SimObject
     void deschedule(Event &event)
     { eventQueue().deschedule(&event); }
 
+    /**
+     * Record a retirement-level progress event (instruction commit,
+     * host-op retirement, DMA burst completion, data-memory service)
+     * for the forward-progress watchdog. Deliberately NOT called for
+     * plumbing activity (crossbar forwards, MMR polls) so a polling
+     * livelock still trips the watchdog.
+     */
+    void noteProgress();
+
   private:
     Simulation &sim;
     std::string _name;
+    Tick _lastProgress = 0;
 };
 
 /** A SimObject bound to a clock domain. */

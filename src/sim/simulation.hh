@@ -24,6 +24,11 @@
 namespace salam
 {
 
+namespace inject
+{
+class FaultInjector;
+} // namespace inject
+
 class SimObject;
 
 /** One self-contained simulation instance. */
@@ -113,6 +118,30 @@ class Simulation
     /** Called by the SimObject constructor. */
     void registerObject(SimObject *obj) { registered.push_back(obj); }
 
+    /** Every SimObject constructed against this simulation. */
+    const std::vector<SimObject *> &objectList() const
+    { return registered; }
+
+    /**
+     * Count one retirement-level progress event (called via
+     * SimObject::noteProgress); the watchdog compares this counter
+     * across its window to detect livelock.
+     */
+    void noteProgress() { ++progressCount; }
+
+    /** Total progress events recorded so far. */
+    std::uint64_t progressEvents() const { return progressCount; }
+
+    /**
+     * The fault injector active for this simulation, or nullptr.
+     * Non-owning: components query it at their injection sites; the
+     * bench (or test) that built the FaultPlan owns the injector.
+     */
+    inject::FaultInjector *faultInjector() const { return injector; }
+
+    void setFaultInjector(inject::FaultInjector *fi)
+    { injector = fi; }
+
     /** Call init() on every object, in construction order. */
     void initAll();
 
@@ -136,6 +165,8 @@ class Simulation
     bool profilingOn = false;
     std::vector<std::unique_ptr<SimObject>> objects;
     std::vector<SimObject *> registered;
+    std::uint64_t progressCount = 0;
+    inject::FaultInjector *injector = nullptr;
     bool initialized = false;
     bool finalized = false;
 };

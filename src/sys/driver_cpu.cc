@@ -1,9 +1,33 @@
 #include "driver_cpu.hh"
 
+#include <cstdio>
+
+#include "inject/fault_injector.hh"
+
 namespace salam::sys
 {
 
 using namespace salam::mem;
+
+namespace
+{
+
+const char *
+hostOpKindName(HostOp::Kind kind)
+{
+    switch (kind) {
+      case HostOp::Kind::WriteReg: return "write_reg";
+      case HostOp::Kind::ReadReg: return "read_reg";
+      case HostOp::Kind::Poll: return "poll";
+      case HostOp::Kind::WaitIrq: return "wait_irq";
+      case HostOp::Kind::Delay: return "delay";
+      case HostOp::Kind::Mark: return "mark";
+      case HostOp::Kind::Call: return "call";
+    }
+    return "?";
+}
+
+} // namespace
 
 DriverCpu::DriverCpu(Simulation &sim, std::string name,
                      Tick clock_period, Gic *gic)
@@ -48,20 +72,14 @@ DriverCpu::step()
       case HostOp::Kind::WriteReg: {
         auto *pkt = new Packet(MemCmd::WriteReq, op.addr, 8);
         pkt->setData(&op.value, 8);
-        busy = true;
-        ++mmioCount;
-        bool ok = cpuPort.sendTimingReq(pkt);
-        SALAM_ASSERT(ok);
         program.pop_front();
+        sendMmio(pkt);
         break;
       }
       case HostOp::Kind::ReadReg: {
         auto *pkt = new Packet(MemCmd::ReadReq, op.addr, 8);
-        busy = true;
-        ++mmioCount;
-        bool ok = cpuPort.sendTimingReq(pkt);
-        SALAM_ASSERT(ok);
         program.pop_front();
+        sendMmio(pkt);
         break;
       }
       case HostOp::Kind::Poll: {
@@ -69,10 +87,7 @@ DriverCpu::step()
         // poll completes or retries. Keep the op at queue front.
         auto *pkt = new Packet(MemCmd::ReadReq, op.addr, 8);
         pkt->context = &program.front();
-        busy = true;
-        ++mmioCount;
-        bool ok = cpuPort.sendTimingReq(pkt);
-        SALAM_ASSERT(ok);
+        sendMmio(pkt);
         break;
       }
       case HostOp::Kind::WaitIrq: {
@@ -80,29 +95,42 @@ DriverCpu::step()
         if (gic->isPending(op.irqId)) {
             gic->acknowledge(op.irqId);
             program.pop_front();
+            retireOp();
             scheduleStep(Cycles(opOverhead));
         } else {
             busy = true;
             waitingIrq = true;
             waitedIrqId = op.irqId;
+            if (inject::FaultInjector *fi =
+                    simulation().faultInjector()) {
+                int line = -1;
+                if (fi->spuriousIrq(name(), line)) {
+                    handleIrq(line >= 0
+                                  ? static_cast<unsigned>(line)
+                                  : op.irqId);
+                }
+            }
         }
         break;
       }
       case HostOp::Kind::Delay: {
         std::uint64_t cycles = op.cycles;
         program.pop_front();
+        retireOp();
         scheduleStep(Cycles(cycles));
         break;
       }
       case HostOp::Kind::Mark: {
         marks[op.label] = curTick();
         program.pop_front();
+        retireOp();
         scheduleStep(Cycles(0));
         break;
       }
       case HostOp::Kind::Call: {
         auto callback = std::move(op.callback);
         program.pop_front();
+        retireOp();
         if (callback)
             callback();
         scheduleStep(Cycles(0));
@@ -111,10 +139,40 @@ DriverCpu::step()
     }
 }
 
+void
+DriverCpu::sendMmio(PacketPtr pkt)
+{
+    busy = true;
+    ++mmioCount;
+    if (!cpuPort.sendTimingReq(pkt)) {
+        // The interconnect refused: hold the request and resend when
+        // the peer grants a retry (recvReqRetry).
+        pkt->serviceFlags |= svcQueued;
+        blockedPkt = pkt;
+    }
+}
+
+void
+DriverCpu::handleReqRetry()
+{
+    if (blockedPkt == nullptr)
+        return;
+    PacketPtr pkt = blockedPkt;
+    blockedPkt = nullptr;
+    if (!cpuPort.sendTimingReq(pkt))
+        blockedPkt = pkt; // refused again; wait for the next retry
+}
+
 bool
 DriverCpu::handleResponse(PacketPtr pkt)
 {
     busy = false;
+    if (pkt->error) {
+        warn("%s: error response for MMIO %s at 0x%llx",
+             name().c_str(),
+             pkt->cmd() == MemCmd::ReadReq ? "read" : "write",
+             static_cast<unsigned long long>(pkt->addr()));
+    }
     if (pkt->context != nullptr && !program.empty() &&
         pkt->context == &program.front()) {
         // Poll response: check the condition.
@@ -123,11 +181,15 @@ DriverCpu::handleResponse(PacketPtr pkt)
         pkt->copyData(&value, 8);
         if ((value & op.mask) == op.value) {
             program.pop_front();
+            retireOp();
             scheduleStep(Cycles(opOverhead));
         } else {
+            // A retry is not progress: the poll loop must not keep
+            // the watchdog fed.
             scheduleStep(Cycles(pollInterval));
         }
     } else {
+        retireOp();
         scheduleStep(Cycles(opOverhead));
     }
     delete pkt;
@@ -140,12 +202,62 @@ DriverCpu::handleIrq(unsigned id)
     if (waitingIrq && id == waitedIrqId) {
         waitingIrq = false;
         busy = false;
-        SALAM_ASSERT(gic->isPending(id));
-        gic->acknowledge(id);
+        if (gic->isPending(id)) {
+            gic->acknowledge(id);
+        } else {
+            warn("%s: woken by interrupt %u that is not pending in "
+                 "the gic (spurious)", name().c_str(), id);
+        }
         SALAM_ASSERT(!program.empty());
         program.pop_front();
+        retireOp();
         scheduleStep(Cycles(opOverhead));
     }
+}
+
+void
+DriverCpu::dumpDiagnostics(obs::JsonBuilder &json) const
+{
+    json.field("busy", busy);
+    json.field("waiting_irq", waitingIrq);
+    if (waitingIrq)
+        json.field("waited_irq_id", waitedIrqId);
+    json.field("ops_retired", opsRetired);
+    json.field("ops_remaining",
+               static_cast<std::uint64_t>(program.size()));
+    json.field("mmio_ops", mmioCount);
+    json.field("request_blocked", blockedPkt != nullptr);
+    if (blockedPkt != nullptr)
+        json.field("blocked_addr", blockedPkt->addr());
+    if (!program.empty()) {
+        const HostOp &op = program.front();
+        json.beginObject("current_op");
+        json.field("kind", hostOpKindName(op.kind));
+        json.field("addr", op.addr);
+        if (op.kind == HostOp::Kind::WaitIrq)
+            json.field("irq_id", op.irqId);
+        json.endObject();
+    }
+}
+
+std::string
+DriverCpu::stuckReason() const
+{
+    if (waitingIrq) {
+        return "waiting for interrupt " +
+               std::to_string(waitedIrqId) + " that never arrived";
+    }
+    if (blockedPkt != nullptr) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "0x%llx",
+                      static_cast<unsigned long long>(
+                          blockedPkt->addr()));
+        return std::string("MMIO request to ") + buf +
+               " blocked awaiting a port retry";
+    }
+    if (busy)
+        return "MMIO request in flight with no response";
+    return {};
 }
 
 } // namespace salam::sys

@@ -162,6 +162,13 @@ class DriverCpu : public ClockedObject
 
     std::uint64_t mmioOps() const { return mmioCount; }
 
+    /** Program steps fully retired (the host "program counter"). */
+    std::uint64_t opsCompleted() const { return opsRetired; }
+
+    void dumpDiagnostics(obs::JsonBuilder &json) const override;
+
+    std::string stuckReason() const override;
+
   private:
     class CpuPort : public mem::RequestPort
     {
@@ -176,7 +183,7 @@ class DriverCpu : public ClockedObject
             return owner.handleResponse(pkt);
         }
 
-        void recvReqRetry() override {}
+        void recvReqRetry() override { owner.handleReqRetry(); }
 
       private:
         DriverCpu &owner;
@@ -191,6 +198,24 @@ class DriverCpu : public ClockedObject
 
     void handleIrq(unsigned id);
 
+    /** The interconnect granted a retry for a refused request. */
+    void handleReqRetry();
+
+    /** Issue an MMIO request, stashing it if the port refuses. */
+    void sendMmio(mem::PacketPtr pkt);
+
+    /**
+     * Count one retired program step as forward progress. Poll
+     * retries deliberately do not retire — a host spinning on an MMR
+     * that never changes must still trip the watchdog.
+     */
+    void
+    retireOp()
+    {
+        ++opsRetired;
+        noteProgress();
+    }
+
     void scheduleStep(Cycles delay);
 
     CpuPort cpuPort;
@@ -204,6 +229,9 @@ class DriverCpu : public ClockedObject
     std::uint64_t pollInterval = 50;
     std::map<std::string, Tick> marks;
     std::uint64_t mmioCount = 0;
+    std::uint64_t opsRetired = 0;
+    /** Request the interconnect refused; resent on recvReqRetry. */
+    mem::PacketPtr blockedPkt = nullptr;
 };
 
 } // namespace salam::sys

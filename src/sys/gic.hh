@@ -58,6 +58,31 @@ class Gic : public SimObject
 
     std::uint64_t interruptsRaised() const { return raisedCount; }
 
+    void
+    dumpDiagnostics(obs::JsonBuilder &json) const override
+    {
+        json.field("interrupts_raised", raisedCount);
+        json.beginArray("pending_lines");
+        for (unsigned id : pending)
+            json.value(static_cast<std::uint64_t>(id));
+        json.endArray();
+    }
+
+    std::string
+    stuckReason() const override
+    {
+        if (pending.empty())
+            return {};
+        std::string lines;
+        for (unsigned id : pending) {
+            if (!lines.empty())
+                lines += ", ";
+            lines += std::to_string(id);
+        }
+        return "interrupt line(s) " + lines +
+               " pending but never acknowledged";
+    }
+
   private:
     std::function<void(unsigned)> notify;
     std::set<unsigned> pending;

@@ -37,10 +37,23 @@ SalamSystem::addCluster(const std::string &name,
 Tick
 SalamSystem::run()
 {
+    if (cfg.watchdogWindowTicks > 0 && watchdog == nullptr) {
+        inject::ProgressSentinel::Config wcfg;
+        wcfg.windowTicks = cfg.watchdogWindowTicks;
+        wcfg.dumpPath = cfg.stateDumpPath;
+        wcfg.done = [this] { return hostCpu->finished(); };
+        watchdog = &sim.create<inject::ProgressSentinel>(
+            "watchdog", std::move(wcfg));
+        watchdog->start();
+    }
     Tick end = sim.run();
     if (!hostCpu->finished()) {
-        fatal("host program did not complete (deadlock in the "
-              "device program or a missed interrupt)");
+        // True deadlock: nothing left on the event queue to wake the
+        // host. Dump the full state and name the stuck components.
+        inject::reportHang(sim,
+                           "event queue drained with the host "
+                           "program unfinished",
+                           cfg.stateDumpPath);
     }
     return end;
 }

@@ -28,6 +28,7 @@
 #include "core/dma.hh"
 #include "driver_cpu.hh"
 #include "gic.hh"
+#include "inject/progress_sentinel.hh"
 #include "mem/cache.hh"
 #include "mem/crossbar.hh"
 #include "mem/scratchpad.hh"
@@ -53,6 +54,16 @@ struct SystemConfig
     Tick busClockPeriod = periodFromMhz(300);
     mem::DramConfig dram;
     mem::CrossbarConfig globalXbar;
+
+    /**
+     * Forward-progress watchdog window; 0 disables the periodic
+     * sentinel. The queue-drain deadlock check in run() is always
+     * active regardless.
+     */
+    Tick watchdogWindowTicks = 0;
+
+    /** State-dump destination on hang; "" skips the file. */
+    std::string stateDumpPath = "state_dump.json";
 
     SystemConfig()
     {
@@ -104,6 +115,7 @@ class SalamSystem
     DriverCpu *hostCpu;
     mem::Crossbar *global;
     mem::SimpleDram *mainMemory;
+    inject::ProgressSentinel *watchdog = nullptr;
     unsigned nextIrq = 32;
     std::vector<std::unique_ptr<AcceleratorCluster>> clusters;
 };

@@ -1,0 +1,166 @@
+/** @file Unit tests for the fault-plan grammar and seeded resolve. */
+
+#include <gtest/gtest.h>
+
+#include "inject/fault_plan.hh"
+
+using namespace salam::inject;
+
+TEST(FaultPlan, ParsesFullGrammar)
+{
+    FaultPlan plan;
+    EXPECT_EQ(plan.parse("delay_response@spm:nth=5:count=3:delay=250"),
+              "");
+    ASSERT_EQ(plan.specs.size(), 1u);
+    const FaultSpec &spec = plan.specs[0];
+    EXPECT_EQ(spec.kind, FaultKind::DelayResponse);
+    EXPECT_EQ(spec.site, "spm");
+    EXPECT_EQ(spec.nth, 5u);
+    EXPECT_TRUE(spec.nthExplicit);
+    EXPECT_EQ(spec.count, 3u);
+    EXPECT_EQ(spec.delayTicks, 250u);
+}
+
+TEST(FaultPlan, ParsesEveryKind)
+{
+    const std::pair<const char *, FaultKind> kinds[] = {
+        {"delay_response", FaultKind::DelayResponse},
+        {"drop_response", FaultKind::DropResponse},
+        {"retry_storm", FaultKind::RetryStorm},
+        {"bit_flip", FaultKind::BitFlip},
+        {"drop_irq", FaultKind::DropIrq},
+        {"spurious_irq", FaultKind::SpuriousIrq},
+        {"dma_stall", FaultKind::DmaStall},
+    };
+    FaultPlan plan;
+    for (const auto &[name, kind] : kinds) {
+        EXPECT_EQ(plan.parse(std::string(name) + "@x"), "") << name;
+        EXPECT_EQ(plan.specs.back().kind, kind) << name;
+        EXPECT_STREQ(faultKindName(kind), name);
+    }
+}
+
+TEST(FaultPlan, EmptySiteMatchesEverywhere)
+{
+    FaultPlan plan;
+    EXPECT_EQ(plan.parse("bit_flip@"), "");
+    EXPECT_EQ(plan.specs[0].site, "");
+}
+
+TEST(FaultPlan, SpuriousIrqLineOption)
+{
+    FaultPlan plan;
+    EXPECT_EQ(plan.parse("spurious_irq@host:line=7"), "");
+    EXPECT_EQ(plan.specs[0].line, 7);
+    // Default: deliver on whatever line is awaited.
+    EXPECT_EQ(plan.parse("spurious_irq@host"), "");
+    EXPECT_EQ(plan.specs[1].line, -1);
+}
+
+TEST(FaultPlan, RejectsMalformedSpecs)
+{
+    FaultPlan plan;
+    EXPECT_NE(plan.parse("bit_flip").find("missing '@site'"),
+              std::string::npos);
+    EXPECT_NE(plan.parse("melt@spm").find("unknown fault kind"),
+              std::string::npos);
+    EXPECT_NE(plan.parse("bit_flip@spm:wat=3")
+                  .find("unknown fault option"),
+              std::string::npos);
+    EXPECT_NE(plan.parse("bit_flip@spm:nth").find("missing '=value'"),
+              std::string::npos);
+    EXPECT_NE(plan.parse("bit_flip@spm:nth=x").find("needs a number"),
+              std::string::npos);
+    EXPECT_NE(plan.parse("bit_flip@spm:nth=0").find("1-based"),
+              std::string::npos);
+    EXPECT_NE(plan.parse("bit_flip@spm:count=0").find("positive"),
+              std::string::npos);
+    // Nothing malformed may have been appended.
+    EXPECT_TRUE(plan.empty());
+}
+
+TEST(FaultPlan, ResolveIsDeterministicAndIdempotent)
+{
+    FaultPlan a, b;
+    a.seed = b.seed = 42;
+    ASSERT_EQ(a.parse("bit_flip@spm"), "");
+    ASSERT_EQ(b.parse("bit_flip@spm"), "");
+    a.resolve();
+    b.resolve();
+    EXPECT_EQ(a.specs[0].nth, b.specs[0].nth);
+    EXPECT_EQ(a.specs[0].bit, b.specs[0].bit);
+    EXPECT_TRUE(a.specs[0].nthExplicit);
+    EXPECT_TRUE(a.specs[0].bitExplicit);
+
+    // A second resolve must not reshuffle anything.
+    std::uint64_t nth = a.specs[0].nth, bit = a.specs[0].bit;
+    a.resolve();
+    EXPECT_EQ(a.specs[0].nth, nth);
+    EXPECT_EQ(a.specs[0].bit, bit);
+}
+
+TEST(FaultPlan, ResolveKeyedOnSpecIdentityNotListPosition)
+{
+    // Adding an unrelated spec to the campaign must not change the
+    // seeded defaults of the specs already in it.
+    FaultPlan alone, listed;
+    alone.seed = listed.seed = 7;
+    ASSERT_EQ(alone.parse("bit_flip@spm"), "");
+    ASSERT_EQ(listed.parse("drop_irq@gic"), "");
+    ASSERT_EQ(listed.parse("bit_flip@spm"), "");
+    alone.resolve();
+    listed.resolve();
+    EXPECT_EQ(alone.specs[0].nth, listed.specs[1].nth);
+    EXPECT_EQ(alone.specs[0].bit, listed.specs[1].bit);
+}
+
+TEST(FaultPlan, SeedChangesUnspecifiedDefaults)
+{
+    FaultPlan a, b;
+    a.seed = 1;
+    b.seed = 2;
+    ASSERT_EQ(a.parse("bit_flip@spm"), "");
+    ASSERT_EQ(b.parse("bit_flip@spm"), "");
+    a.resolve();
+    b.resolve();
+    EXPECT_TRUE(a.specs[0].nth != b.specs[0].nth ||
+                a.specs[0].bit != b.specs[0].bit);
+}
+
+TEST(FaultPlan, ExplicitFieldsSurviveResolve)
+{
+    FaultPlan plan;
+    plan.seed = 99;
+    ASSERT_EQ(plan.parse("bit_flip@spm:nth=7:bit=3"), "");
+    plan.resolve();
+    EXPECT_EQ(plan.specs[0].nth, 7u);
+    EXPECT_EQ(plan.specs[0].bit, 3u);
+}
+
+TEST(FaultPlan, DescribeRoundTripsThroughParse)
+{
+    FaultPlan plan;
+    plan.seed = 5;
+    ASSERT_EQ(plan.parse("delay_response@xbar:count=2"), "");
+    ASSERT_EQ(plan.parse("bit_flip@dram"), "");
+    ASSERT_EQ(plan.parse("spurious_irq@host:line=3"), "");
+    plan.resolve();
+
+    for (const FaultSpec &spec : plan.specs) {
+        FaultPlan reparsed;
+        ASSERT_EQ(reparsed.parse(spec.describe()), "")
+            << spec.describe();
+        const FaultSpec &copy = reparsed.specs[0];
+        EXPECT_EQ(copy.kind, spec.kind);
+        EXPECT_EQ(copy.site, spec.site);
+        EXPECT_EQ(copy.nth, spec.nth);
+        EXPECT_EQ(copy.count, spec.count);
+        EXPECT_EQ(copy.line, spec.line);
+        if (spec.kind == FaultKind::DelayResponse) {
+            EXPECT_EQ(copy.delayTicks, spec.delayTicks);
+        }
+        if (spec.kind == FaultKind::BitFlip) {
+            EXPECT_EQ(copy.bit, spec.bit);
+        }
+    }
+}

@@ -121,6 +121,81 @@ TEST(EventQueue, MemberEventReschedulesItself)
     EXPECT_EQ(q.curTick(), 14u);
 }
 
+TEST(EventQueue, RunLimitIsInclusive)
+{
+    EventQueue q;
+    int fired = 0;
+    q.schedule(50, [&] { ++fired; });
+    q.schedule(51, [&] { ++fired; });
+    q.run(50);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(q.curTick(), 50u);
+}
+
+TEST(EventQueue, RunLimitOnEmptyOrFutureQueueDoesNotAdvanceTime)
+{
+    EventQueue q;
+    EXPECT_EQ(q.run(100), 0u);
+    EXPECT_EQ(q.curTick(), 0u);
+    // A pending event beyond the limit is untouched too.
+    int fired = 0;
+    q.schedule(500, [&] { ++fired; });
+    EXPECT_EQ(q.run(100), 0u);
+    EXPECT_EQ(fired, 0);
+    EXPECT_FALSE(q.empty());
+}
+
+TEST(EventQueue, ResumeAfterLimitInterleavesNewEvents)
+{
+    EventQueue q;
+    std::vector<Tick> fired_at;
+    q.schedule(10, [&] { fired_at.push_back(q.curTick()); });
+    q.schedule(100, [&] { fired_at.push_back(q.curTick()); });
+    q.run(50);
+    EXPECT_EQ(fired_at, (std::vector<Tick>{10}));
+    // Events scheduled between run() calls still sort into place.
+    q.schedule(60, [&] { fired_at.push_back(q.curTick()); });
+    q.run();
+    EXPECT_EQ(fired_at, (std::vector<Tick>{10, 60, 100}));
+}
+
+TEST(EventQueue, DescheduleAtTheLimitBoundary)
+{
+    // An event left pending exactly at the stop tick can still be
+    // descheduled before the queue is resumed.
+    EventQueue q;
+    int fired = 0;
+    EventFunctionWrapper ev([&] { ++fired; }, "boundary");
+    q.schedule(10, [] {});
+    q.schedule(&ev, 50);
+    q.run(49);
+    EXPECT_TRUE(ev.scheduled());
+    q.deschedule(&ev);
+    q.run();
+    EXPECT_EQ(fired, 0);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, ReentrantRunServicesNestedWindowThenContinues)
+{
+    // An event handler may drain the queue up to a nested limit
+    // (e.g. co-simulation lockstep); the outer run picks up where
+    // the nested one stopped.
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(10, [&] {
+        order.push_back(1);
+        q.schedule(20, [&] { order.push_back(2); });
+        q.run(30); // services the tick-20 event, not tick-40
+        order.push_back(3);
+    });
+    q.schedule(40, [&] { order.push_back(4); });
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+    EXPECT_EQ(q.curTick(), 40u);
+    EXPECT_EQ(q.numServiced(), 3u);
+}
+
 TEST(EventQueue, ServicedCountTracksEvents)
 {
     EventQueue q;
