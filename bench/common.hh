@@ -73,6 +73,13 @@ struct ObsOptions
     /** Hang state-dump destination. */
     std::string dumpOut = "state_dump.json";
 
+    /**
+     * Worker threads for design-space sweeps (0 = hardware
+     * concurrency). Forced to 1 by effectiveSweepThreads() when
+     * per-run artifact options are active.
+     */
+    unsigned sweepThreads = 1;
+
     /** The invoking command line (argv joined with spaces). */
     std::string commandLine;
 };
@@ -105,6 +112,8 @@ obsOptions()
  *   --watchdog <ticks>      forward-progress watchdog window
  *   --dump-out <file>       hang state-dump path (default
  *                           state_dump.json)
+ *   --sweep-threads <N>     worker threads for design-space sweeps
+ *                           (0 = all hardware threads; default 1)
  * fatal()s on anything it does not recognize.
  */
 inline void
@@ -182,15 +191,52 @@ parseObsArgs(int argc, char **argv)
             options.watchdogTicks = ticks;
         } else if (arg == "--dump-out") {
             options.dumpOut = next();
+        } else if (arg == "--sweep-threads") {
+            std::string value = next();
+            char *end = nullptr;
+            unsigned long long threads =
+                std::strtoull(value.c_str(), &end, 10);
+            if (end == value.c_str() || *end != '\0' ||
+                threads > 1024) {
+                fatal("--sweep-threads needs a thread count "
+                      "(0 = hardware concurrency), got '%s'",
+                      value.c_str());
+            }
+            options.sweepThreads =
+                static_cast<unsigned>(threads);
         } else {
             fatal("unknown argument '%s' (expected --trace-out, "
                   "--report-out, --stats-out, --profile-out, "
                   "--stats-interval, --debug-flags, --verbose, "
-                  "--inject, --inject-seed, --watchdog, or "
-                  "--dump-out)",
+                  "--inject, --inject-seed, --watchdog, "
+                  "--dump-out, or --sweep-threads)",
                   arg.c_str());
         }
     }
+}
+
+/**
+ * The sweep thread count a bench should actually use: --sweep-threads
+ * unless a per-run artifact or fault option is active. Those options
+ * target "the run" (last-writer-wins trace/stats files, injection
+ * logs on stdout), which only makes sense serially — quietly running
+ * them on a pool would interleave or drop artifacts.
+ */
+inline unsigned
+effectiveSweepThreads()
+{
+    const ObsOptions &options = obsOptions();
+    const bool perRunArtifacts = !options.traceOut.empty() ||
+                                 !options.statsOut.empty() ||
+                                 !options.profileOut.empty() ||
+                                 options.statsInterval > 0 ||
+                                 !options.injectSpecs.empty();
+    if (perRunArtifacts && options.sweepThreads != 1) {
+        warn("per-run artifact/inject options force "
+             "--sweep-threads 1");
+        return 1;
+    }
+    return options.sweepThreads;
 }
 
 /**

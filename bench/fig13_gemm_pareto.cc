@@ -8,9 +8,15 @@
  * datapath + cache. Over-allocated configurations show up as
  * duplicate runtimes at higher power — the paper's observation
  * motivating the co-design study of Figs. 14-15.
+ *
+ * The 20 points are independent simulations, so they are sharded
+ * over a SweepRunner pool (--sweep-threads); results are collected
+ * per point and printed in configuration order, identical to the
+ * serial output.
  */
 
 #include "common.hh"
+#include "drive/sweep_runner.hh"
 #include "hw/cacti_lite.hh"
 
 using namespace salam;
@@ -29,54 +35,89 @@ main(int argc, char **argv)
     constexpr unsigned gemmN = 32;
     constexpr unsigned unroll = 32;
 
-    for (unsigned fu_limit : {8u, 16u, 32u, 64u}) {
-        for (unsigned ports : {4u, 8u, 16u, 32u, 64u}) {
-            auto kernel = makeGemm(gemmN, unroll);
+    struct Config
+    {
+        unsigned fuLimit;
+        unsigned ports;
+    };
+    std::vector<Config> grid;
+    for (unsigned fu_limit : {8u, 16u, 32u, 64u})
+        for (unsigned ports : {4u, 8u, 16u, 32u, 64u})
+            grid.push_back({fu_limit, ports});
 
-            core::DeviceConfig dev;
-            dev.setFuLimit(hw::FuType::FpAddSubDouble, fu_limit);
-            dev.setFuLimit(hw::FuType::FpMultiplierDouble,
-                           fu_limit);
-            dev.readPortsPerCycle = ports;
-            dev.writePortsPerCycle = ports;
-            dev.readQueueSize = std::max(ports, 16u);
-            dev.writeQueueSize = std::max(ports, 16u);
+    struct Row
+    {
+        double timeUs;
+        double datapath;
+        double withSpm;
+        double withCache;
+    };
+    std::vector<Row> rows(grid.size());
 
-            BenchMemory memcfg;
-            memcfg.spmReadPorts = ports;
-            memcfg.spmWritePorts = ports;
+    drive::SweepRunner::Options sweep_opts;
+    sweep_opts.threads = effectiveSweepThreads();
+    drive::SweepRunner runner(sweep_opts);
+    auto results = runner.run(grid.size(), [&](std::size_t idx) {
+        const Config &cfg = grid[idx];
+        auto kernel = makeGemm(gemmN, unroll);
 
-            BenchRun run = runSalam(*kernel, dev, memcfg);
-            const hw::PowerBreakdown &p = run.report.power;
+        core::DeviceConfig dev;
+        dev.setFuLimit(hw::FuType::FpAddSubDouble, cfg.fuLimit);
+        dev.setFuLimit(hw::FuType::FpMultiplierDouble,
+                       cfg.fuLimit);
+        dev.readPortsPerCycle = cfg.ports;
+        dev.writePortsPerCycle = cfg.ports;
+        dev.readQueueSize = std::max(cfg.ports, 16u);
+        dev.writeQueueSize = std::max(cfg.ports, 16u);
 
-            double datapath = p.dynamicFuMw +
-                p.dynamicRegisterMw + p.staticFuMw +
-                p.staticRegisterMw;
-            double with_spm = datapath + p.dynamicSpmReadMw +
-                p.dynamicSpmWriteMw + p.staticSpmMw;
+        BenchMemory memcfg;
+        memcfg.spmReadPorts = cfg.ports;
+        memcfg.spmWritePorts = cfg.ports;
 
-            // Cache alternative: same accesses through a cache
-            // sized for the working set.
-            hw::SramConfig cache_cfg;
-            cache_cfg.sizeBytes = 16 * 1024;
-            cache_cfg.wordBytes = 8;
-            cache_cfg.ports = std::max(1u, ports / 8);
-            auto cache =
-                hw::CactiLite::evaluateCache(cache_cfg, 4);
-            double runtime_ns = run.report.runtimeNs;
-            double with_cache = datapath +
-                (static_cast<double>(run.spmReads) *
-                     cache.readEnergyPj +
-                 static_cast<double>(run.spmWrites) *
-                     cache.writeEnergyPj) /
-                    runtime_ns +
-                cache.leakagePowerMw;
+        BenchRun run = runSalam(*kernel, dev, memcfg);
+        const hw::PowerBreakdown &p = run.report.power;
 
-            std::printf("%-6u %-6u %10.2f | %12.3f %12.3f "
-                        "%12.3f\n",
-                        fu_limit, ports, run.runtimeUs(dev),
-                        datapath, with_spm, with_cache);
+        double datapath = p.dynamicFuMw + p.dynamicRegisterMw +
+            p.staticFuMw + p.staticRegisterMw;
+        double with_spm = datapath + p.dynamicSpmReadMw +
+            p.dynamicSpmWriteMw + p.staticSpmMw;
+
+        // Cache alternative: same accesses through a cache sized
+        // for the working set.
+        hw::SramConfig cache_cfg;
+        cache_cfg.sizeBytes = 16 * 1024;
+        cache_cfg.wordBytes = 8;
+        cache_cfg.ports = std::max(1u, cfg.ports / 8);
+        auto cache = hw::CactiLite::evaluateCache(cache_cfg, 4);
+        double runtime_ns = run.report.runtimeNs;
+        double with_cache = datapath +
+            (static_cast<double>(run.spmReads) *
+                 cache.readEnergyPj +
+             static_cast<double>(run.spmWrites) *
+                 cache.writeEnergyPj) /
+                runtime_ns +
+            cache.leakagePowerMw;
+
+        rows[idx] = {run.runtimeUs(dev), datapath, with_spm,
+                     with_cache};
+        return std::string();
+    });
+
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+        if (!results[i].ok) {
+            std::printf("%-6u %-6u     FAILED | %s\n",
+                        grid[i].fuLimit, grid[i].ports,
+                        results[i].error.c_str());
+            continue;
         }
+        std::printf("%-6u %-6u %10.2f | %12.3f %12.3f %12.3f\n",
+                    grid[i].fuLimit, grid[i].ports, rows[i].timeUs,
+                    rows[i].datapath, rows[i].withSpm,
+                    rows[i].withCache);
     }
+    std::printf("(%zu points, %u thread%s, %.2fs wall)\n",
+                grid.size(), runner.lastThreads(),
+                runner.lastThreads() == 1 ? "" : "s",
+                runner.lastWallSeconds());
     return 0;
 }

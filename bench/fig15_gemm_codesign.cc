@@ -14,6 +14,7 @@
  */
 
 #include "common.hh"
+#include "drive/sweep_runner.hh"
 
 using namespace salam;
 using namespace salam::bench;
@@ -33,21 +34,34 @@ main(int argc, char **argv)
         BenchRun run;
         core::DeviceConfig dev;
     };
-    std::vector<Row> rows;
+    const std::vector<unsigned> port_grid = {64u, 32u, 16u, 8u,
+                                             4u};
+    std::vector<Row> rows(port_grid.size());
 
-    for (unsigned ports : {64u, 32u, 16u, 8u, 4u}) {
-        auto kernel = makeGemm(gemmN, unroll);
-        core::DeviceConfig dev;
-        dev.setFuLimit(hw::FuType::FpAddSubDouble, fadd_units);
-        dev.readPortsPerCycle = ports;
-        dev.writePortsPerCycle = ports;
-        dev.readQueueSize = std::max(ports, 16u);
-        dev.writeQueueSize = std::max(ports, 16u);
-        BenchMemory memcfg;
-        memcfg.spmReadPorts = ports;
-        memcfg.spmWritePorts = ports;
-        rows.push_back({ports, runSalam(*kernel, dev, memcfg),
-                        dev});
+    drive::SweepRunner::Options sweep_opts;
+    sweep_opts.threads = effectiveSweepThreads();
+    drive::SweepRunner runner(sweep_opts);
+    auto results =
+        runner.run(port_grid.size(), [&](std::size_t idx) {
+            unsigned ports = port_grid[idx];
+            auto kernel = makeGemm(gemmN, unroll);
+            core::DeviceConfig dev;
+            dev.setFuLimit(hw::FuType::FpAddSubDouble, fadd_units);
+            dev.readPortsPerCycle = ports;
+            dev.writePortsPerCycle = ports;
+            dev.readQueueSize = std::max(ports, 16u);
+            dev.writeQueueSize = std::max(ports, 16u);
+            BenchMemory memcfg;
+            memcfg.spmReadPorts = ports;
+            memcfg.spmWritePorts = ports;
+            rows[idx] = {ports, runSalam(*kernel, dev, memcfg),
+                         dev};
+            return std::string();
+        });
+    for (const auto &r : results) {
+        if (!r.ok)
+            fatal("sweep point %zu failed: %s", r.index,
+                  r.error.c_str());
     }
 
     header("Fig. 15(a): datapath stalls vs memory ports "

@@ -11,62 +11,244 @@
  * average speedups of 123x (preprocess) and 697x (simulate); the
  * shape to reproduce is preprocessing much faster across the board
  * and simulation faster particularly for kernels with large traces.
+ *
+ * Beyond the table, this bench is the repo's simulation-rate probe:
+ * it writes BENCH_simrate.json with per-kernel simulated-ticks per
+ * wall-second plus a serial-vs-parallel GEMM sweep comparison, so
+ * perf regressions in the engine hot path are machine-checkable.
+ *
+ *   --simrate-out <file>   simulation-rate JSON path (default
+ *                          BENCH_simrate.json)
+ *   --gemm-only            probe mode: only the GEMM kernel and the
+ *                          sweep section (fast, used by check.sh)
  */
 
 #include <cmath>
+#include <fstream>
 
 #include "baseline/aladdin.hh"
 #include "common.hh"
+#include "drive/sweep_runner.hh"
 
 using namespace salam;
 using namespace salam::bench;
 using namespace salam::kernels;
 using namespace salam::baseline;
 
+namespace
+{
+
+struct KernelRate
+{
+    std::string name;
+    std::uint64_t cycles = 0;
+    double wallSeconds = 0.0;
+    double ticksPerSec = 0.0;
+};
+
+/**
+ * Time an 8-point GEMM port/FU sweep at the given worker count and
+ * return wall-clock seconds. The points are identical between calls
+ * so serial and parallel legs do the same work.
+ */
+double
+timedGemmSweep(unsigned threads)
+{
+    struct Config
+    {
+        unsigned fuLimit;
+        unsigned ports;
+    };
+    std::vector<Config> grid;
+    for (unsigned fu_limit : {16u, 64u})
+        for (unsigned ports : {4u, 8u, 16u, 32u})
+            grid.push_back({fu_limit, ports});
+
+    drive::SweepRunner::Options opts;
+    opts.threads = threads;
+    drive::SweepRunner runner(opts);
+    auto results = runner.run(grid.size(), [&](std::size_t idx) {
+        auto kernel = makeGemm(32, 32);
+        core::DeviceConfig dev;
+        dev.setFuLimit(hw::FuType::FpAddSubDouble,
+                       grid[idx].fuLimit);
+        dev.setFuLimit(hw::FuType::FpMultiplierDouble,
+                       grid[idx].fuLimit);
+        dev.readPortsPerCycle = grid[idx].ports;
+        dev.writePortsPerCycle = grid[idx].ports;
+        dev.readQueueSize = std::max(grid[idx].ports, 16u);
+        dev.writeQueueSize = std::max(grid[idx].ports, 16u);
+        BenchMemory memcfg;
+        memcfg.spmReadPorts = grid[idx].ports;
+        memcfg.spmWritePorts = grid[idx].ports;
+        runSalam(*kernel, dev, memcfg);
+        return std::string();
+    });
+    for (const auto &r : results) {
+        if (!r.ok)
+            fatal("sweep point %zu failed: %s", r.index,
+                  r.error.c_str());
+    }
+    return runner.lastWallSeconds();
+}
+
+void
+writeSimrateJson(const std::string &path,
+                 const std::vector<KernelRate> &rates,
+                 unsigned sweep_threads, double serial_seconds,
+                 double parallel_seconds)
+{
+    std::ofstream os(path);
+    if (!os) {
+        warn("cannot write %s", path.c_str());
+        return;
+    }
+    core::DeviceConfig dev;
+    os << "{\"bench\": \"table4_simulation_time\",\n";
+    os << " \"clock_period_ticks\": " << dev.clockPeriod << ",\n";
+    os << " \"kernels\": [\n";
+    for (std::size_t i = 0; i < rates.size(); ++i) {
+        const KernelRate &r = rates[i];
+        os << "  {\"kernel\": \"" << obs::jsonEscape(r.name)
+           << "\", \"cycles\": " << r.cycles
+           << ", \"wall_seconds\": " << obs::jsonNumber(r.wallSeconds)
+           << ", \"ticks_per_sec\": "
+           << obs::jsonNumber(r.ticksPerSec) << "}"
+           << (i + 1 < rates.size() ? "," : "") << "\n";
+    }
+    os << " ],\n";
+    os << " \"sweep\": {\"kernel\": \"gemm\", \"points\": 8,\n";
+    os << "  \"serial_wall_seconds\": "
+       << obs::jsonNumber(serial_seconds) << ",\n";
+    os << "  \"threads\": " << sweep_threads << ",\n";
+    os << "  \"parallel_wall_seconds\": "
+       << obs::jsonNumber(parallel_seconds) << ",\n";
+    os << "  \"speedup\": "
+       << obs::jsonNumber(parallel_seconds > 0.0
+                              ? serial_seconds / parallel_seconds
+                              : 0.0)
+       << "}}\n";
+    inform("wrote simulation rates to %s", path.c_str());
+}
+
+} // namespace
+
 int
 main(int argc, char **argv)
 {
-    salam::bench::parseObsArgs(argc, argv);
-    header("Table IV: simulator setup and runtime execution timing");
-    std::printf("%-14s | %10s %10s | %10s %10s | %9s %9s\n",
-                "Benchmark", "tracegen", "aladdin", "compile",
-                "salam", "pre.spd", "sim.spd");
-
-    double pre_product = 1.0, sim_product = 1.0;
-    int count = 0;
-    for (const auto &kernel : machsuiteKernels()) {
-        // Baseline: trace generation + trace-based simulation.
-        ir::Module mod("m");
-        ir::IRBuilder b(mod);
-        ir::Function *fn = kernel->buildOptimized(b);
-        ir::FlatMemory mem;
-        kernel->seed(mem, 0x10000);
-        AladdinSimulator baseline;
-        AladdinResult base = baseline.run(
-            *fn, kernel->args(0x10000), mem,
-            "/tmp/salam_table4_trace.txt");
-
-        // gem5-SALAM: compilation + engine simulation.
-        BenchRun salam_run = runSalam(*kernel);
-
-        double pre_speedup = base.traceGenSeconds /
-            std::max(salam_run.compileSeconds, 1e-9);
-        double sim_speedup = base.simulateSeconds /
-            std::max(salam_run.simulateSeconds, 1e-9);
-        pre_product *= pre_speedup;
-        sim_product *= sim_speedup;
-        ++count;
-
-        std::printf("%-14s | %9.4fs %9.4fs | %9.4fs %9.4fs | "
-                    "%8.1fx %8.1fx\n",
-                    kernel->name().c_str(), base.traceGenSeconds,
-                    base.simulateSeconds, salam_run.compileSeconds,
-                    salam_run.simulateSeconds, pre_speedup,
-                    sim_speedup);
+    // Bench-specific flags are peeled off before the shared parser
+    // (which fatals on anything it does not recognize).
+    std::string simrate_out = "BENCH_simrate.json";
+    bool gemm_only = false;
+    std::vector<char *> pass;
+    pass.push_back(argv[0]);
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--gemm-only") {
+            gemm_only = true;
+        } else if (arg == "--simrate-out" && i + 1 < argc) {
+            simrate_out = argv[++i];
+        } else {
+            pass.push_back(argv[i]);
+        }
     }
-    std::printf("\nGeomean speedup: preprocess %.1fx, simulate "
-                "%.1fx (paper averages: 123x / 697x)\n",
-                std::pow(pre_product, 1.0 / count),
-                std::pow(sim_product, 1.0 / count));
+    salam::bench::parseObsArgs(static_cast<int>(pass.size()),
+                               pass.data());
+
+    core::DeviceConfig default_dev;
+    std::vector<KernelRate> rates;
+
+    if (!gemm_only) {
+        header("Table IV: simulator setup and runtime execution "
+               "timing");
+        std::printf("%-14s | %10s %10s | %10s %10s | %9s %9s\n",
+                    "Benchmark", "tracegen", "aladdin", "compile",
+                    "salam", "pre.spd", "sim.spd");
+
+        double pre_product = 1.0, sim_product = 1.0;
+        int count = 0;
+        for (const auto &kernel : machsuiteKernels()) {
+            // Baseline: trace generation + trace-based simulation.
+            ir::Module mod("m");
+            ir::IRBuilder b(mod);
+            ir::Function *fn = kernel->buildOptimized(b);
+            ir::FlatMemory mem;
+            kernel->seed(mem, 0x10000);
+            AladdinSimulator baseline;
+            AladdinResult base = baseline.run(
+                *fn, kernel->args(0x10000), mem,
+                "/tmp/salam_table4_trace.txt");
+
+            // gem5-SALAM: compilation + engine simulation.
+            BenchRun salam_run = runSalam(*kernel);
+            rates.push_back(
+                {kernel->name(), salam_run.cycles,
+                 salam_run.simulateSeconds,
+                 static_cast<double>(salam_run.cycles) *
+                     static_cast<double>(default_dev.clockPeriod) /
+                     std::max(salam_run.simulateSeconds, 1e-9)});
+
+            double pre_speedup = base.traceGenSeconds /
+                std::max(salam_run.compileSeconds, 1e-9);
+            double sim_speedup = base.simulateSeconds /
+                std::max(salam_run.simulateSeconds, 1e-9);
+            pre_product *= pre_speedup;
+            sim_product *= sim_speedup;
+            ++count;
+
+            std::printf("%-14s | %9.4fs %9.4fs | %9.4fs %9.4fs | "
+                        "%8.1fx %8.1fx\n",
+                        kernel->name().c_str(),
+                        base.traceGenSeconds, base.simulateSeconds,
+                        salam_run.compileSeconds,
+                        salam_run.simulateSeconds, pre_speedup,
+                        sim_speedup);
+        }
+        std::printf("\nGeomean speedup: preprocess %.1fx, simulate "
+                    "%.1fx (paper averages: 123x / 697x)\n",
+                    std::pow(pre_product, 1.0 / count),
+                    std::pow(sim_product, 1.0 / count));
+    } else {
+        header("Simulation-rate probe (GEMM only)");
+        for (const auto &kernel : machsuiteKernels()) {
+            if (kernel->name() != "gemm")
+                continue;
+            BenchRun salam_run = runSalam(*kernel);
+            rates.push_back(
+                {kernel->name(), salam_run.cycles,
+                 salam_run.simulateSeconds,
+                 static_cast<double>(salam_run.cycles) *
+                     static_cast<double>(default_dev.clockPeriod) /
+                     std::max(salam_run.simulateSeconds, 1e-9)});
+        }
+        if (rates.empty())
+            fatal("no gemm kernel in the MachSuite set");
+    }
+
+    for (const KernelRate &r : rates) {
+        std::printf("%-14s %12llu cycles %9.4fs  %.3e ticks/s\n",
+                    r.name.c_str(),
+                    static_cast<unsigned long long>(r.cycles),
+                    r.wallSeconds, r.ticksPerSec);
+    }
+
+    // Serial vs parallel sweep: the same 8 GEMM points, once on one
+    // thread and once on the worker pool.
+    unsigned sweep_threads = obsOptions().sweepThreads != 1
+        ? effectiveSweepThreads() : 4;
+    if (sweep_threads == 0)
+        sweep_threads = 4;
+    header("GEMM sweep wall-clock: serial vs parallel");
+    double serial_seconds = timedGemmSweep(1);
+    double parallel_seconds = timedGemmSweep(sweep_threads);
+    std::printf("8 points serial:     %.3fs\n", serial_seconds);
+    std::printf("8 points, %u threads: %.3fs (%.2fx)\n",
+                sweep_threads, parallel_seconds,
+                parallel_seconds > 0.0
+                    ? serial_seconds / parallel_seconds
+                    : 0.0);
+
+    writeSimrateJson(simrate_out, rates, sweep_threads,
+                     serial_seconds, parallel_seconds);
     return 0;
 }

@@ -4,13 +4,21 @@
  * memory parameters independently and emit a CSV for Pareto
  * analysis (the decoupling that trace-based models cannot offer).
  *
- * Build & run:  ./build/examples/design_space_sweep > sweep.csv
+ * Each grid point is an independent Simulation, so the sweep runs
+ * on a SweepRunner pool: every point gets its own SimContext and
+ * the CSV rows come out in grid order no matter which worker
+ * finished first.
+ *
+ * Build & run:  ./build/examples/design_space_sweep [threads] > sweep.csv
+ *               (threads: worker count, 0 = all cores, default 1)
  */
 
 #include <cstdio>
+#include <cstdlib>
 
 #include "core/compute_unit.hh"
 #include "core/power_report.hh"
+#include "drive/sweep_runner.hh"
 #include "kernels/machsuite.hh"
 #include "mem/backdoor.hh"
 #include "mem/scratchpad.hh"
@@ -76,22 +84,51 @@ evaluate(unsigned unroll, unsigned fp_units, unsigned ports)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    struct Config
+    {
+        unsigned unroll;
+        unsigned fpUnits;
+        unsigned ports;
+    };
+    std::vector<Config> grid;
+    for (unsigned unroll : {4u, 8u, 16u})
+        for (unsigned fp_units : {2u, 4u, 8u, 16u})
+            for (unsigned ports : {2u, 4u, 8u, 16u})
+                grid.push_back({unroll, fp_units, ports});
+
+    drive::SweepRunner::Options opts;
+    if (argc > 1)
+        opts.threads = static_cast<unsigned>(
+            std::strtoul(argv[1], nullptr, 10));
+    drive::SweepRunner runner(opts);
+
+    std::vector<Point> points(grid.size());
+    auto results = runner.run(grid.size(), [&](std::size_t idx) {
+        const Config &c = grid[idx];
+        points[idx] = evaluate(c.unroll, c.fpUnits, c.ports);
+        return std::string();
+    });
+
     std::printf("unroll,fp_units,ports,cycles,time_us,power_mw,"
                 "area_um2\n");
-    for (unsigned unroll : {4u, 8u, 16u}) {
-        for (unsigned fp_units : {2u, 4u, 8u, 16u}) {
-            for (unsigned ports : {2u, 4u, 8u, 16u}) {
-                Point p = evaluate(unroll, fp_units, ports);
-                std::printf("%u,%u,%u,%llu,%.2f,%.3f,%.0f\n",
-                            unroll, fp_units, ports,
-                            static_cast<unsigned long long>(
-                                p.cycles),
-                            static_cast<double>(p.cycles) / 100.0,
-                            p.powerMw, p.areaUm2);
-            }
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+        if (!results[i].ok) {
+            std::fprintf(stderr, "point %zu failed: %s\n", i,
+                         results[i].error.c_str());
+            continue;
         }
+        const Config &c = grid[i];
+        const Point &p = points[i];
+        std::printf("%u,%u,%u,%llu,%.2f,%.3f,%.0f\n", c.unroll,
+                    c.fpUnits, c.ports,
+                    static_cast<unsigned long long>(p.cycles),
+                    static_cast<double>(p.cycles) / 100.0,
+                    p.powerMw, p.areaUm2);
     }
+    std::fprintf(stderr, "# %zu points, %u threads, %.2fs wall\n",
+                 grid.size(), runner.lastThreads(),
+                 runner.lastWallSeconds());
     return 0;
 }

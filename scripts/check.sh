@@ -5,7 +5,10 @@
 # Usage: scripts/check.sh [build-dir]
 #   build-dir defaults to build/ (reused if already configured).
 # The strict -Werror pass uses its own tree (build-strict/) so it
-# never pollutes the primary build's cache.
+# never pollutes the primary build's cache; likewise the sanitizer
+# trees (build-asan/, build-tsan/) and the Release perf tree
+# (build-perf/), which guards the GEMM simulation rate against a
+# >20% regression from the recorded BENCH_simrate.json baseline.
 
 set -euo pipefail
 
@@ -162,6 +165,69 @@ if c++ ${san_flags} -o "${smoke_dir}/probe" "${smoke_dir}/probe.cc" \
     echo "sanitizer job ok"
 else
     echo "sanitizers unavailable on this toolchain; skipping"
+fi
+
+echo "== sanitizers: TSan (sweep concurrency)"
+tsan_dir="${repo_root}/build-tsan"
+tsan_flags="-fsanitize=thread -g -O1"
+if c++ ${tsan_flags} -o "${smoke_dir}/tsan_probe" \
+        "${smoke_dir}/probe.cc" 2>/dev/null && \
+        "${smoke_dir}/tsan_probe"; then
+    cmake -S "${repo_root}" -B "${tsan_dir}" \
+        -DCMAKE_CXX_FLAGS="${tsan_flags}" \
+        -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread" \
+        >/dev/null
+    # Only the thread-parallel surface needs TSan coverage: the
+    # SweepRunner/SimContext tests and a real multi-threaded sweep.
+    cmake --build "${tsan_dir}" -j "${jobs}" \
+        --target drive_test sim_test fig13_gemm_pareto
+    TSAN_OPTIONS=halt_on_error=1 \
+        "${tsan_dir}/tests/drive/drive_test"
+    TSAN_OPTIONS=halt_on_error=1 \
+        "${tsan_dir}/tests/sim/sim_test" \
+        --gtest_filter='SimContext*'
+    TSAN_OPTIONS=halt_on_error=1 \
+        "${tsan_dir}/bench/fig13_gemm_pareto" --sweep-threads 4 \
+        >"${smoke_dir}/tsan_sweep.out"
+    echo "tsan job ok"
+else
+    echo "thread sanitizer unavailable on this toolchain; skipping"
+fi
+
+echo "== perf: Release GEMM simulation-rate smoke"
+perf_dir="${repo_root}/build-perf"
+cmake -S "${repo_root}" -B "${perf_dir}" \
+    -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build "${perf_dir}" -j "${jobs}" \
+    --target table4_simulation_time
+"${perf_dir}/bench/table4_simulation_time" --gemm-only \
+    --simrate-out "${smoke_dir}/simrate.json" \
+    >"${smoke_dir}/simrate.out"
+baseline_file="${repo_root}/BENCH_simrate.json"
+if [[ ! -f "${baseline_file}" ]]; then
+    cp "${smoke_dir}/simrate.json" "${baseline_file}"
+    echo "no recorded baseline; wrote ${baseline_file}"
+else
+    python3 - "${baseline_file}" "${smoke_dir}/simrate.json" <<'PYEOF'
+import json, sys
+
+def gemm_rate(path):
+    doc = json.load(open(path))
+    for k in doc["kernels"]:
+        if k["kernel"] == "gemm":
+            return k["ticks_per_sec"]
+    raise SystemExit(f"{path}: no gemm entry")
+
+base = gemm_rate(sys.argv[1])
+now = gemm_rate(sys.argv[2])
+ratio = now / base
+print(f"gemm simulation rate: baseline {base:.3e} ticks/s, "
+      f"now {now:.3e} ticks/s ({ratio:.2f}x)")
+# >20% below the recorded baseline fails the build; wall-clock
+# noise on shared runners stays well inside this margin.
+assert ratio >= 0.8, \
+    f"gemm ticks/sec regressed to {ratio:.2f}x of baseline"
+PYEOF
 fi
 
 echo "== strict: -Wall -Wextra -Werror build (${strict_dir})"

@@ -41,18 +41,7 @@ ComputeUnit::ComputeUnit(Simulation &sim, std::string name,
     : ClockedObject(sim, std::move(name), config.clockPeriod),
       cfg(validatedOrDie(config, fn)),
       staticCdfg(verifiedOrDie(fn), cfg), comm(comm),
-      engine(staticCdfg, cfg,
-             RuntimeEngine::Hooks{
-                 [this](DynInst *op) {
-                     return this->comm.issueMemory(op);
-                 },
-                 [this] { requestTick(); },
-                 [this] {
-                     this->comm.signalDone();
-                     if (onDone)
-                         onDone();
-                 },
-             }),
+      engine(staticCdfg, cfg, *this),
       tickEvent([this] { tick(); }, this->name() + ".tick",
                 Event::cpuTickPri)
 {

@@ -23,7 +23,7 @@ namespace salam::core
 {
 
 /** The accelerator compute unit. */
-class ComputeUnit : public ClockedObject
+class ComputeUnit : public ClockedObject, private EngineClient
 {
   public:
     /**
@@ -80,6 +80,19 @@ class ComputeUnit : public ClockedObject
     void tick();
 
     void requestTick();
+
+    // EngineClient: the engine's upcalls into its owner.
+    bool engineIssueMemory(DynInst *op) override
+    { return comm.issueMemory(op); }
+
+    void engineRequestTick() override { requestTick(); }
+
+    void engineDone() override
+    {
+        comm.signalDone();
+        if (onDone)
+            onDone();
+    }
 
     DeviceConfig cfg;
     StaticCdfg staticCdfg;

@@ -33,14 +33,18 @@ RuntimeEngine::issueLaneNames()
 }
 
 RuntimeEngine::RuntimeEngine(const StaticCdfg &cdfg,
-                             const DeviceConfig &config, Hooks hooks)
-    : staticCdfg(cdfg), cfg(config), hooks(std::move(hooks))
+                             const DeviceConfig &config,
+                             EngineClient &client)
+    : staticCdfg(cdfg), cfg(config), client(client)
 {
     for (std::size_t t = 0; t < numFuTypes; ++t) {
         unsigned limit = cfg.fuLimits[t];
         if (limit > 0)
             poolFreeAt[t].assign(limit, 0);
     }
+    latestInstance.assign(staticCdfg.numInstructions(), nullptr);
+    committedValues.assign(staticCdfg.numValueIds(), RuntimeValue{});
+    committedKnown.assign(staticCdfg.numValueIds(), 0);
 }
 
 void
@@ -52,8 +56,10 @@ RuntimeEngine::start(const std::vector<RuntimeValue> &args)
               fn.name().c_str(), fn.numArguments(), args.size());
     SALAM_ASSERT(!active);
 
-    for (std::size_t i = 0; i < args.size(); ++i)
-        committedValues[fn.argument(i)] = args[i];
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        committedValues[i] = args[i];
+        committedKnown[i] = 1;
+    }
 
     active = true;
     completed = false;
@@ -61,36 +67,49 @@ RuntimeEngine::start(const std::vector<RuntimeValue> &args)
     cycleCount = 0;
     importBlock(fn.entry(), nullptr);
     // The entry block may issue in cycle 0.
-    for (auto &di : window)
+    for (DynInst *di : window)
         di->minIssueCycle = 0;
-    hooks.requestTick();
+    client.engineRequestTick();
 }
 
 DynInst *
-RuntimeEngine::createDynInst(const Instruction *inst)
+RuntimeEngine::acquireDynInst()
 {
-    auto owned = std::make_unique<DynInst>();
-    DynInst *di = owned.get();
+    if (freeList.empty()) {
+        arena.push_back(std::make_unique<DynInst>());
+        return arena.back().get();
+    }
+    DynInst *di = freeList.back();
+    freeList.pop_back();
+    di->reset();
+    return di;
+}
+
+DynInst *
+RuntimeEngine::createDynInst(const StaticInstInfo &info)
+{
+    const Instruction *inst = info.inst;
+    DynInst *di = acquireDynInst();
     di->inst = inst;
-    di->staticInfo = &staticCdfg.info(inst);
+    di->staticInfo = &info;
     di->seq = nextSeq++;
     di->minIssueCycle = cycleCount + 1;
     di->ctrlParentSeq = importCtrlSeq;
     di->ctrlLinkCause = importCtrlCause;
     di->isLoad = inst->opcode() == Opcode::Load;
     di->isStore = inst->opcode() == Opcode::Store;
-    di->producers.resize(inst->numOperands(), nullptr);
-    di->operandValues.resize(inst->numOperands());
+    di->producers.assign(inst->numOperands(), nullptr);
+    di->operandValues.assign(inst->numOperands(), RuntimeValue{});
 
     // WAW/WAR chain against the previous dynamic instance.
-    auto latest = latestInstance.find(inst);
-    if (latest != latestInstance.end()) {
-        di->prevInstance = latest->second;
-        latest->second->nextInstance = di;
+    DynInst *&latest = latestInstance[info.id];
+    if (latest != nullptr) {
+        di->prevInstance = latest;
+        latest->nextInstance = di;
     }
-    latestInstance[inst] = di;
+    latest = di;
 
-    window.push_back(std::move(owned));
+    window.push_back(di);
     ++engineStats.dynamicInstructions;
     return di;
 }
@@ -99,13 +118,14 @@ void
 RuntimeEngine::importBlock(const BasicBlock *block,
                            const BasicBlock *from)
 {
-    if (block->size() > cfg.reservationQueueSize)
+    const StaticBlockInfo &binfo = staticCdfg.blockInfo(block);
+    if (binfo.numInsts > cfg.reservationQueueSize)
         fatal("engine: block '%s' (%zu instructions) exceeds the "
               "reservation queue (%u); raise "
               "DeviceConfig::reservationQueueSize",
               block->name().c_str(), block->size(),
               cfg.reservationQueueSize);
-    if (reservationQueue.size() + block->size() >
+    if (reservationLive() + binfo.numInsts >
         cfg.reservationQueueSize) {
         pendingImport = block;
         pendingImportFrom = from;
@@ -122,60 +142,76 @@ RuntimeEngine::importBlock(const BasicBlock *block,
                                      "import " + block->name());
     }
 
-    for (std::size_t i = 0; i < block->size(); ++i) {
-        const Instruction *inst = block->instruction(i);
-        DynInst *di = createDynInst(inst);
+    unsigned from_id = 0;
+    bool have_from = false;
+    if (from != nullptr) {
+        from_id = staticCdfg.blockInfo(from).id;
+        have_from = true;
+    }
 
-        // Resolve operands. Phis bind only the incoming value for
-        // the edge we arrived on; everything else binds all
-        // operands in order.
-        auto bind = [&](std::size_t slot, const Value *operand) {
-            if (operand->isConstant()) {
-                di->operandValues[slot] = evalConstant(operand);
+    for (unsigned i = 0; i < binfo.numInsts; ++i) {
+        const StaticInstInfo &sinfo =
+            staticCdfg.infoById(binfo.firstInstId + i);
+        DynInst *di = createDynInst(sinfo);
+
+        // Bind operands from the elaboration-time plans. A Producer
+        // plan checks the live-instance table first (RAW edge or
+        // in-window result), then falls back to the committed-value
+        // slot; Committed plans go straight there.
+        auto bind_plan = [&](std::size_t slot,
+                             const OperandPlan &plan) {
+            switch (plan.kind) {
+              case OperandPlan::Kind::Constant:
+                di->operandValues[slot] = plan.constant;
                 return;
-            }
-            if (operand->valueKind() ==
-                Value::ValueKind::BasicBlock ||
-                operand->valueKind() ==
-                    Value::ValueKind::Function) {
+              case OperandPlan::Kind::Control:
                 return; // control references carry no data
-            }
-            if (const auto *op_inst =
-                    dynamic_cast<const Instruction *>(operand)) {
-                auto latest = latestInstance.find(op_inst);
-                if (latest != latestInstance.end() &&
-                    !latest->second->committed) {
-                    di->producers[slot] = latest->second;
-                    ++latest->second->unissuedReaders;
+              case OperandPlan::Kind::Producer: {
+                DynInst *latest = latestInstance[plan.producerId];
+                if (latest != nullptr && !latest->committed) {
+                    di->producers[slot] = latest;
+                    ++latest->unissuedReaders;
                     return;
                 }
-                if (latest != latestInstance.end()) {
-                    di->operandValues[slot] =
-                        latest->second->result;
+                if (latest != nullptr) {
+                    di->operandValues[slot] = latest->result;
                     return;
                 }
+                break;
+              }
+              case OperandPlan::Kind::Committed:
+                break;
             }
-            auto it = committedValues.find(operand);
-            if (it == committedValues.end())
+            if (!committedKnown[plan.valueId]) {
                 panic("engine: operand %%%s of %%%s has no value",
-                      operand->name().c_str(),
+                      sinfo.isPhi
+                          ? "phi-incoming"
+                          : di->inst->operand(slot)->name().c_str(),
                       di->inst->name().c_str());
-            di->operandValues[slot] = it->second;
+            }
+            di->operandValues[slot] = committedValues[plan.valueId];
         };
 
-        if (const auto *phi = dynamic_cast<const PhiInst *>(inst)) {
-            Value *incoming =
-                from ? phi->valueFor(from) : nullptr;
-            if (incoming == nullptr)
+        if (sinfo.isPhi) {
+            const OperandPlan *plan = nullptr;
+            if (have_from) {
+                for (const auto &[pred_id, p] : sinfo.phiIncoming) {
+                    if (pred_id == from_id) {
+                        plan = &p;
+                        break;
+                    }
+                }
+            }
+            if (plan == nullptr)
                 panic("phi %%%s has no incoming for edge",
-                      phi->name().c_str());
+                      di->inst->name().c_str());
             // Keep exactly one live operand slot for the edge taken.
             di->producers.assign(1, nullptr);
             di->operandValues.assign(1, RuntimeValue{});
-            bind(0, incoming);
+            bind_plan(0, *plan);
         } else {
-            for (std::size_t o = 0; o < inst->numOperands(); ++o)
-                bind(o, inst->operand(o));
+            for (std::size_t o = 0; o < sinfo.operands.size(); ++o)
+                bind_plan(o, sinfo.operands[o]);
         }
 
         reservationQueue.push_back(di);
@@ -433,7 +469,8 @@ RuntimeEngine::commit(DynInst *di)
                        : di->isStore ? "store" : di->inst->name());
     }
     if (!di->inst->type()->isVoid()) {
-        committedValues[di->inst] = di->result;
+        committedValues[di->staticInfo->resultValueId] = di->result;
+        committedKnown[di->staticInfo->resultValueId] = 1;
         engineStats.registerWriteEnergyPj +=
             static_cast<double>(di->staticInfo->resultBits) *
             cfg.profile.registers().writeEnergyPjPerBit;
@@ -514,7 +551,7 @@ RuntimeEngine::memoryResponse(DynInst *op, const std::uint8_t *data,
     }
     commit(op);
     if (active)
-        hooks.requestTick();
+        client.engineRequestTick();
 }
 
 void
@@ -525,7 +562,7 @@ RuntimeEngine::pruneWindow()
     // result, and a newer instance of the same static instruction
     // has issued (so nothing consults it for WAW/WAR any more).
     while (!window.empty()) {
-        DynInst *front = window.front().get();
+        DynInst *front = window.front();
         if (!front->committed || front->unissuedReaders > 0)
             break;
         if (front->nextInstance != nullptr &&
@@ -538,11 +575,10 @@ RuntimeEngine::pruneWindow()
             // value instead. (A future instance then starts without
             // a WAW link to this long-retired one; by then the
             // initiation-interval spacing is trivially satisfied.)
-            auto it = latestInstance.find(front->inst);
-            if (it != latestInstance.end() &&
-                it->second == front) {
-                latestInstance.erase(it);
-            }
+            DynInst *&latest =
+                latestInstance[front->staticInfo->id];
+            if (latest == front)
+                latest = nullptr;
         } else {
             front->nextInstance->prevInstance = nullptr;
         }
@@ -552,6 +588,7 @@ RuntimeEngine::pruneWindow()
             memoryOrder.pop_front();
         }
         window.pop_front();
+        releaseDynInst(front);
     }
 }
 
@@ -701,8 +738,7 @@ RuntimeEngine::finish()
         observer.sink->recordInstant(obsNow(), observer.name,
                                      "engine", "kernel done");
     }
-    if (hooks.onDone)
-        hooks.onDone();
+    client.engineDone();
 }
 
 void
@@ -773,13 +809,21 @@ RuntimeEngine::cycle()
     bool ready_store_blocked = false;
     buildMemorySummary();
 
-    // Index-based scan: importBlock() appends to the deque during
-    // the walk (terminator evaluation), which invalidates iterators
-    // but not indices.
-    for (std::size_t idx = 0; idx < reservationQueue.size();) {
-        DynInst *di = reservationQueue[idx];
+    // Single-pass in-place compaction: entries that stay are slid
+    // to `write`, issued entries are dropped, and importBlock() may
+    // append during the walk (terminator evaluation) — appended
+    // entries are visited by the same scan (and kept: their
+    // minIssueCycle fence is next cycle). Visit order matches the
+    // old erase-in-place deque scan exactly, so timing is
+    // unchanged; rsvConsumed keeps the live count correct for the
+    // capacity check inside importBlock().
+    std::size_t write = 0;
+    rsvConsumed = 0;
+    for (std::size_t read = 0; read < reservationQueue.size();
+         ++read) {
+        DynInst *di = reservationQueue[read];
         if (di->minIssueCycle > cycleCount) {
-            ++idx;
+            reservationQueue[write++] = di;
             continue;
         }
         // Effective addresses resolve as soon as the pointer operand
@@ -788,7 +832,7 @@ RuntimeEngine::cycle()
         if (di->isMemory())
             resolveAddress(di);
         if (!operandsReady(*di)) {
-            ++idx;
+            reservationQueue[write++] = di;
             continue;
         }
 
@@ -817,12 +861,14 @@ RuntimeEngine::cycle()
                 pendingImportCtrlSeq = di->seq;
             } else {
                 importCtrlSeq = di->seq;
+                // The branch still occupies its queue slot during
+                // the import (it is dropped just below), matching
+                // the historical erase-after-import capacity
+                // accounting.
                 importBlock(target, cur);
                 importCtrlSeq = obs::noProfSeq;
             }
-            reservationQueue.erase(
-                reservationQueue.begin() +
-                static_cast<std::ptrdiff_t>(idx));
+            ++rsvConsumed;
             issued_any = true;
             ++engineStats.otherOpsIssued;
             if (observer.issueClasses)
@@ -837,9 +883,7 @@ RuntimeEngine::cycle()
             di->issueCycle = cycleCount;
             commit(di);
             retSeen = true;
-            reservationQueue.erase(
-                reservationQueue.begin() +
-                static_cast<std::ptrdiff_t>(idx));
+            ++rsvConsumed;
             issued_any = true;
             ++engineStats.otherOpsIssued;
             if (observer.issueClasses)
@@ -850,12 +894,12 @@ RuntimeEngine::cycle()
         if (di->isMemory()) {
             if (!di->addrKnown) {
                 // Pointer producer pending: stays a data wait.
-                ++idx;
+                reservationQueue[write++] = di;
                 continue;
             }
             if (!memoryOrderingAllows(*di)) {
                 di->waitCause = obs::ProfCause::MemOrdering;
-                ++idx;
+                reservationQueue[write++] = di;
                 continue;
             }
             bool is_load = di->isLoad;
@@ -864,7 +908,7 @@ RuntimeEngine::cycle()
                  loadsInFlight >= cfg.readQueueSize)) {
                 ready_load_blocked = true;
                 di->waitCause = obs::ProfCause::MemPort;
-                ++idx;
+                reservationQueue[write++] = di;
                 continue;
             }
             if (!is_load &&
@@ -872,16 +916,16 @@ RuntimeEngine::cycle()
                  storesInFlight >= cfg.writeQueueSize)) {
                 ready_store_blocked = true;
                 di->waitCause = obs::ProfCause::MemPort;
-                ++idx;
+                reservationQueue[write++] = di;
                 continue;
             }
             captureOperands(di);
-            if (!hooks.issueMemory(di)) {
+            if (!client.engineIssueMemory(di)) {
                 // Interface refused; operands stay captured, retry
                 // next cycle (captureOperands is idempotent once
                 // producers are cleared).
                 di->waitCause = obs::ProfCause::MemPort;
-                ++idx;
+                reservationQueue[write++] = di;
                 continue;
             }
             di->issued = true;
@@ -916,20 +960,19 @@ RuntimeEngine::cycle()
                     observer.issueClasses->add(laneStore);
             }
             issued_any = true;
-            reservationQueue.erase(
-                reservationQueue.begin() +
-                static_cast<std::ptrdiff_t>(idx));
+            ++rsvConsumed;
             continue;
         }
 
         // Compute ops (including phi and zero-latency wiring).
         if (!fuAvailable(*di)) {
             di->waitCause = obs::ProfCause::FuContention;
-            ++idx;
+            reservationQueue[write++] = di;
             continue;
         }
         issueCompute(di);
         issued_any = true;
+        ++rsvConsumed;
         if (isFloatingPointOp(op) ||
             di->staticInfo->fu == FuType::FpSpecial) {
             ++fp_issued;
@@ -945,10 +988,9 @@ RuntimeEngine::cycle()
             if (observer.issueClasses)
                 observer.issueClasses->add(laneOther);
         }
-        reservationQueue.erase(
-            reservationQueue.begin() +
-            static_cast<std::ptrdiff_t>(idx));
     }
+    reservationQueue.resize(write);
+    rsvConsumed = 0;
 
     SALAM_TRACE_AT(RuntimeEngine, obsNow(), observer.name,
                    "cyc %llu: issued=%d loads=%u stores=%u fp=%u "
@@ -973,7 +1015,7 @@ RuntimeEngine::cycle()
     }
 
     ++cycleCount;
-    hooks.requestTick();
+    client.engineRequestTick();
 }
 
 } // namespace salam::core

@@ -33,8 +33,6 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <list>
-#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -116,6 +114,43 @@ struct DynInst
     unsigned memServiceFlags = 0;
 
     bool isMemory() const { return isLoad || isStore; }
+
+    /**
+     * Return to freshly-constructed state, keeping the capacity of
+     * the producer/operand vectors (freelist-arena recycling).
+     */
+    void
+    reset()
+    {
+        inst = nullptr;
+        staticInfo = nullptr;
+        seq = 0;
+        minIssueCycle = 0;
+        issued = false;
+        committed = false;
+        unissuedReaders = 0;
+        prevInstance = nullptr;
+        nextInstance = nullptr;
+        producers.clear();
+        operandValues.clear();
+        result = ir::RuntimeValue{};
+        commitCycle = 0;
+        issueCycle = 0;
+        issueTick = 0;
+        isLoad = false;
+        isStore = false;
+        addrKnown = false;
+        memInFlight = false;
+        memAddr = 0;
+        memSize = 0;
+        memSeq = 0;
+        prodReadyCycle = 0;
+        prodParentSeq = obs::noProfSeq;
+        ctrlParentSeq = obs::noProfSeq;
+        ctrlLinkCause = obs::ProfCause::Control;
+        waitCause = obs::ProfCause::DataDep;
+        memServiceFlags = 0;
+    }
 };
 
 /** Per-run statistics, the raw material for Figs. 13-15. */
@@ -209,29 +244,37 @@ struct EngineObserver
     obs::Profiler *profiler = nullptr;
 };
 
+/**
+ * The owner-side interface the engine calls into (ComputeUnit in a
+ * full system, a scripted stub in unit tests). A narrow virtual
+ * interface instead of per-call std::function hooks: these are the
+ * engine's hottest upcalls (every memory issue, every cycle).
+ */
+class EngineClient
+{
+  public:
+    virtual ~EngineClient() = default;
+
+    /**
+     * Issue a memory operation to the communications interface.
+     * For stores, op->operandValues[0] holds the data. Returns
+     * false when the interface cannot accept it this cycle.
+     */
+    virtual bool engineIssueMemory(DynInst *op) = 0;
+
+    /** Called when the engine has future work to do. */
+    virtual void engineRequestTick() = 0;
+
+    /** Called once when execution completes. */
+    virtual void engineDone() {}
+};
+
 /** The dynamic engine. */
 class RuntimeEngine
 {
   public:
-    /** Hooks the owner (ComputeUnit) provides. */
-    struct Hooks
-    {
-        /**
-         * Issue a memory operation to the communications interface.
-         * For stores, op->operandValues[0] holds the data. Returns
-         * false when the interface cannot accept it this cycle.
-         */
-        std::function<bool(DynInst *op)> issueMemory;
-
-        /** Called when the engine has future work to do. */
-        std::function<void()> requestTick;
-
-        /** Called once when execution completes. */
-        std::function<void()> onDone;
-    };
-
     RuntimeEngine(const StaticCdfg &cdfg, const DeviceConfig &config,
-                  Hooks hooks);
+                  EngineClient &client);
 
     /** Begin execution with the given argument values. */
     void start(const std::vector<ir::RuntimeValue> &args);
@@ -315,8 +358,23 @@ class RuntimeEngine
     void importBlock(const ir::BasicBlock *block,
                      const ir::BasicBlock *from);
 
-    /** Create the dynamic instance of @p inst. */
-    DynInst *createDynInst(const ir::Instruction *inst);
+    /** Create the dynamic instance of @p info's instruction. */
+    DynInst *createDynInst(const StaticInstInfo &info);
+
+    /** Pop a recycled DynInst from the arena (or grow it). */
+    DynInst *acquireDynInst();
+
+    /** Return a retired DynInst to the arena freelist. */
+    void releaseDynInst(DynInst *di) { freeList.push_back(di); }
+
+    /** Reservation-queue entries alive right now: during the issue
+     *  scan, consumed entries await compaction and must not count
+     *  against the queue capacity. */
+    std::size_t
+    reservationLive() const
+    {
+        return reservationQueue.size() - rsvConsumed;
+    }
 
     bool operandsReady(const DynInst &di) const;
 
@@ -354,7 +412,7 @@ class RuntimeEngine
 
     const StaticCdfg &staticCdfg;
     DeviceConfig cfg;
-    Hooks hooks;
+    EngineClient &client;
 
     bool active = false;
     bool completed = false;
@@ -362,11 +420,28 @@ class RuntimeEngine
     std::uint64_t cycleCount = 0;
     std::uint64_t nextSeq = 0;
 
-    /** The instruction window (reservation + in-flight). */
-    std::list<std::unique_ptr<DynInst>> window;
+    /**
+     * The instruction window (reservation + in-flight), oldest
+     * first. Entries are arena-pooled: retirement returns them to
+     * the freelist instead of deallocating.
+     */
+    std::deque<DynInst *> window;
 
-    /** Unissued instructions, in program order. */
-    std::deque<DynInst *> reservationQueue;
+    /** Backing storage for every DynInst ever created (arena). */
+    std::vector<std::unique_ptr<DynInst>> arena;
+
+    /** Retired instances ready for reuse. */
+    std::vector<DynInst *> freeList;
+
+    /**
+     * Unissued instructions, in program order. The per-cycle issue
+     * scan compacts in place: consumed entries are counted in
+     * rsvConsumed until the scan's single erase at the end.
+     */
+    std::vector<DynInst *> reservationQueue;
+
+    /** Entries consumed so far by the in-progress issue scan. */
+    std::size_t rsvConsumed = 0;
 
     /** Issued compute ops waiting to commit, ordered by cycle. */
     std::vector<DynInst *> computeQueue;
@@ -394,11 +469,19 @@ class RuntimeEngine
     MemorySummary memSummary;
     std::uint64_t nextMemSeq = 0;
 
-    /** Latest in-window dynamic instance per static instruction. */
-    std::map<const ir::Instruction *, DynInst *> latestInstance;
+    /**
+     * Latest in-window dynamic instance per static instruction,
+     * indexed by StaticInstInfo::id (null = none in window).
+     */
+    std::vector<DynInst *> latestInstance;
 
-    /** Last committed value per static value (insts + arguments). */
-    std::map<const ir::Value *, ir::RuntimeValue> committedValues;
+    /**
+     * Last committed value per static value, indexed by the dense
+     * value id (arguments first, then instruction results);
+     * committedKnown marks slots that have ever committed.
+     */
+    std::vector<ir::RuntimeValue> committedValues;
+    std::vector<unsigned char> committedKnown;
 
     /** Pool FU release times: per type, per unit, free-at cycle. */
     std::array<std::vector<std::uint64_t>, hw::numFuTypes> poolFreeAt;

@@ -16,10 +16,20 @@ StaticCdfg::StaticCdfg(const Function &fn, const DeviceConfig &config)
     unsigned id = 0;
     for (std::size_t b = 0; b < fn.numBlocks(); ++b) {
         const BasicBlock *block = fn.block(b);
+        StaticBlockInfo binfo;
+        binfo.block = block;
+        binfo.id = static_cast<unsigned>(b);
+        binfo.firstInstId = id;
+        binfo.numInsts = static_cast<unsigned>(block->size());
+        blockIdOf.emplace(block, binfo.id);
+        blockInfos.push_back(binfo);
         for (const auto &inst : *block) {
             StaticInstInfo info;
             info.inst = inst.get();
             info.id = id++;
+            info.resultValueId =
+                static_cast<unsigned>(fn.numArguments()) + info.id;
+            info.isPhi = inst->opcode() == Opcode::Phi;
             info.fu = fuTypeFor(*inst);
             info.latency = profile.latencyFor(*inst);
             info.initiationInterval =
@@ -36,10 +46,12 @@ StaticCdfg::StaticCdfg(const Function &fn, const DeviceConfig &config)
             }
             regBits += info.resultBits;
 
-            infoMap.emplace(inst.get(), info);
-            infos.push_back(inst.get());
+            idOf.emplace(inst.get(), info.id);
+            infoVec.push_back(std::move(info));
         }
     }
+
+    buildPlans();
 
     // Apply resource constraints: the instantiated count is the
     // demand (1-to-1 default) or the user's cap, whichever is lower.
@@ -51,8 +63,7 @@ StaticCdfg::StaticCdfg(const Function &fn, const DeviceConfig &config)
         // Re-bind units for capped types (round-robin over the pool).
         if (limit != 0 && fuCounts[t] < demand) {
             unsigned next = 0;
-            for (const ir::Instruction *inst : infos) {
-                auto &info = infoMap.at(inst);
+            for (StaticInstInfo &info : infoVec) {
                 if (static_cast<std::size_t>(info.fu) == t) {
                     info.fuUnit = next;
                     next = (next + 1) % fuCounts[t];
@@ -75,13 +86,89 @@ StaticCdfg::StaticCdfg(const Function &fn, const DeviceConfig &config)
         regs.areaUm2PerBit;
 }
 
+OperandPlan
+StaticCdfg::planFor(const Value *operand,
+                    const Instruction *user) const
+{
+    OperandPlan plan;
+    if (operand->isConstant()) {
+        plan.kind = OperandPlan::Kind::Constant;
+        plan.constant = evalConstant(operand);
+        return plan;
+    }
+    switch (operand->valueKind()) {
+      case Value::ValueKind::BasicBlock:
+      case Value::ValueKind::Function:
+        plan.kind = OperandPlan::Kind::Control;
+        return plan;
+      case Value::ValueKind::Instruction: {
+        auto it = idOf.find(
+            static_cast<const Instruction *>(operand));
+        if (it == idOf.end()) {
+            panic("engine: operand %%%s of %%%s is outside the "
+                  "elaborated function",
+                  operand->name().c_str(), user->name().c_str());
+        }
+        plan.kind = OperandPlan::Kind::Producer;
+        plan.producerId = it->second;
+        plan.valueId =
+            static_cast<unsigned>(fn->numArguments()) + it->second;
+        return plan;
+      }
+      case Value::ValueKind::Argument:
+        plan.kind = OperandPlan::Kind::Committed;
+        plan.valueId =
+            static_cast<const Argument *>(operand)->index();
+        return plan;
+      default:
+        panic("engine: operand %%%s of %%%s has no value",
+              operand->name().c_str(), user->name().c_str());
+    }
+}
+
+void
+StaticCdfg::buildPlans()
+{
+    // A second pass so Producer plans can reference forward ids
+    // (loop-carried phis name instructions from later blocks).
+    for (StaticInstInfo &info : infoVec) {
+        const Instruction *inst = info.inst;
+        if (info.isPhi) {
+            const auto *phi = static_cast<const PhiInst *>(inst);
+            for (std::size_t i = 0; i < phi->numIncoming(); ++i) {
+                auto bit = blockIdOf.find(phi->incomingBlock(i));
+                if (bit == blockIdOf.end()) {
+                    panic("phi %%%s names a block outside the "
+                          "function", phi->name().c_str());
+                }
+                info.phiIncoming.emplace_back(
+                    bit->second,
+                    planFor(phi->incomingValue(i), inst));
+            }
+            continue;
+        }
+        info.operands.reserve(inst->numOperands());
+        for (std::size_t o = 0; o < inst->numOperands(); ++o)
+            info.operands.push_back(planFor(inst->operand(o), inst));
+    }
+}
+
 const StaticInstInfo &
 StaticCdfg::info(const ir::Instruction *inst) const
 {
-    auto it = infoMap.find(inst);
-    if (it == infoMap.end())
+    auto it = idOf.find(inst);
+    if (it == idOf.end())
         panic("instruction not in static CDFG");
-    return it->second;
+    return infoVec[it->second];
+}
+
+const StaticBlockInfo &
+StaticCdfg::blockInfo(const ir::BasicBlock *b) const
+{
+    auto it = blockIdOf.find(b);
+    if (it == blockIdOf.end())
+        panic("block not in static CDFG");
+    return blockInfos[it->second];
 }
 
 } // namespace salam::core

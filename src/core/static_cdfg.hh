@@ -15,15 +15,49 @@
 #define SALAM_CORE_STATIC_CDFG_HH
 
 #include <array>
-#include <map>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "device_config.hh"
 #include "hw/power_model.hh"
+#include "ir/eval.hh"
 #include "ir/function.hh"
 
 namespace salam::core
 {
+
+/**
+ * Precomputed binding recipe for one operand slot, resolved once at
+ * elaboration so the runtime engine's block import runs on dense
+ * integer indices instead of pointer-keyed map lookups.
+ */
+struct OperandPlan
+{
+    enum class Kind : unsigned char
+    {
+        /** Pre-evaluated constant; `constant` holds the value. */
+        Constant,
+        /** Block/function reference: carries no data. */
+        Control,
+        /**
+         * Produced by another instruction: check the live instance
+         * table at `producerId` first, then the committed-value
+         * slot at `valueId`.
+         */
+        Producer,
+        /** Function argument: read committed-value slot `valueId`. */
+        Committed,
+    };
+
+    Kind kind = Kind::Control;
+    /** Static id of the producing instruction (Producer only). */
+    unsigned producerId = 0;
+    /** Dense committed-value slot (Producer and Committed). */
+    unsigned valueId = 0;
+    /** The evaluated constant (Constant only). */
+    ir::RuntimeValue constant{};
+};
 
 /** Static information about one instruction in the datapath. */
 struct StaticInstInfo
@@ -38,6 +72,28 @@ struct StaticInstInfo
     unsigned initiationInterval = 1;
     /** Result register width in bits (0 for void results). */
     unsigned resultBits = 0;
+
+    /** Dense committed-value slot this result commits into. */
+    unsigned resultValueId = 0;
+
+    bool isPhi = false;
+
+    /** Per-operand binding plans (empty for phis). */
+    std::vector<OperandPlan> operands;
+
+    /** Phi only: (predecessor block id, plan) per incoming edge. */
+    std::vector<std::pair<unsigned, OperandPlan>> phiIncoming;
+};
+
+/** Static information about one basic block. */
+struct StaticBlockInfo
+{
+    const ir::BasicBlock *block = nullptr;
+    /** Dense block id, in function block order. */
+    unsigned id = 0;
+    /** Instruction ids are contiguous: [firstInstId, +numInsts). */
+    unsigned firstInstId = 0;
+    unsigned numInsts = 0;
 };
 
 /** The elaborated datapath skeleton. */
@@ -54,6 +110,25 @@ class StaticCdfg
 
     const StaticInstInfo &info(const ir::Instruction *inst) const;
 
+    /** Look up by dense instruction id (the hot-path accessor). */
+    const StaticInstInfo &infoById(unsigned id) const
+    { return infoVec[id]; }
+
+    const StaticBlockInfo &blockInfo(const ir::BasicBlock *b) const;
+
+    const StaticBlockInfo &blockInfoById(unsigned id) const
+    { return blockInfos[id]; }
+
+    std::size_t numBlocks() const { return blockInfos.size(); }
+
+    /**
+     * Size of the dense committed-value space: arguments take slots
+     * [0, numArguments), instruction results take
+     * numArguments + StaticInstInfo::id.
+     */
+    std::size_t numValueIds() const
+    { return fn->numArguments() + infoVec.size(); }
+
     /** Instantiated units of @p type (after applying limits). */
     unsigned fuCount(hw::FuType type) const
     { return fuCounts[static_cast<std::size_t>(type)]; }
@@ -65,6 +140,8 @@ class StaticCdfg
     /** Total internal register bits in the datapath. */
     std::uint64_t registerBits() const { return regBits; }
 
+    std::size_t numInstructions() const { return infoVec.size(); }
+
     /** Leakage power of functional units + registers (mW). */
     double staticFuPowerMw() const { return staticFuMw; }
 
@@ -73,12 +150,19 @@ class StaticCdfg
     /** Datapath area (FUs + registers), excluding memories. */
     hw::AreaBreakdown area() const { return areas; }
 
-    std::size_t numInstructions() const { return infos.size(); }
-
   private:
+    /** Build the per-operand binding plans (after ids exist). */
+    void buildPlans();
+
+    OperandPlan planFor(const ir::Value *operand,
+                        const ir::Instruction *user) const;
+
     const ir::Function *fn;
-    std::map<const ir::Instruction *, StaticInstInfo> infoMap;
-    std::vector<const ir::Instruction *> infos;
+    /** All instruction infos, indexed by dense id. */
+    std::vector<StaticInstInfo> infoVec;
+    std::unordered_map<const ir::Instruction *, unsigned> idOf;
+    std::vector<StaticBlockInfo> blockInfos;
+    std::unordered_map<const ir::BasicBlock *, unsigned> blockIdOf;
     std::array<unsigned, hw::numFuTypes> fuCounts{};
     std::array<unsigned, hw::numFuTypes> fuDemands{};
     std::uint64_t regBits = 0;

@@ -1,0 +1,144 @@
+#include "sweep_runner.hh"
+
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <fstream>
+#include <thread>
+
+#include "obs/json.hh"
+#include "sim/sim_context.hh"
+
+namespace salam::drive
+{
+
+std::vector<SweepPointResult>
+SweepRunner::run(std::size_t num_points, const PointFn &fn)
+{
+    using clock = std::chrono::steady_clock;
+
+    std::vector<SweepPointResult> results(num_points);
+    for (std::size_t i = 0; i < num_points; ++i)
+        results[i].index = i;
+
+    // Workers inherit the launching thread's debug-flag selection
+    // (so --debug-flags applies to every point) but nothing else.
+    const std::uint64_t flag_mask = SimContext::current().flagMask();
+
+    unsigned threads = opts.threads;
+    if (threads == 0) {
+        threads = std::thread::hardware_concurrency();
+        if (threads == 0)
+            threads = 1;
+    }
+    if (num_points < threads)
+        threads = static_cast<unsigned>(num_points ? num_points : 1);
+    usedThreads = threads;
+
+    std::atomic<std::size_t> next{0};
+    auto worker = [&] {
+        for (;;) {
+            std::size_t idx =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (idx >= num_points)
+                return;
+            SweepPointResult &r = results[idx];
+
+            // A fresh context per point: flag state, sinks, and
+            // termination hooks are isolated, and fatal() throws so
+            // one bad point cannot take down the sweep.
+            SimContext ctx;
+            ctx.setFlagMask(flag_mask);
+            ctx.setFatalMode(SimContext::FatalMode::Throw);
+            ScopedSimContext bind(ctx);
+
+            auto t0 = clock::now();
+            try {
+                r.payload = fn(idx);
+                r.ok = true;
+                r.outcome = "ok";
+            } catch (const FatalError &e) {
+                r.ok = false;
+                r.outcome = e.outcome();
+                r.error = e.what();
+            } catch (const std::exception &e) {
+                r.ok = false;
+                r.outcome = "error";
+                r.error = e.what();
+            }
+            r.wallSeconds =
+                std::chrono::duration<double>(clock::now() - t0)
+                    .count();
+        }
+    };
+
+    auto sweep_t0 = clock::now();
+    if (threads <= 1) {
+        worker();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(threads);
+        for (unsigned t = 0; t < threads; ++t)
+            pool.emplace_back(worker);
+        for (std::thread &t : pool)
+            t.join();
+    }
+    wallSeconds =
+        std::chrono::duration<double>(clock::now() - sweep_t0)
+            .count();
+    return results;
+}
+
+void
+SweepRunner::writeAggregateJson(
+    std::ostream &os, const std::string &name,
+    const std::vector<SweepPointResult> &results, unsigned threads,
+    double wall_seconds)
+{
+    double serial_seconds = 0.0;
+    std::size_t failed = 0;
+    for (const SweepPointResult &r : results) {
+        serial_seconds += r.wallSeconds;
+        if (!r.ok)
+            ++failed;
+    }
+    os << "{\"sweep\": \"" << obs::jsonEscape(name) << "\",\n";
+    os << " \"points\": " << results.size() << ",\n";
+    os << " \"failed_points\": " << failed << ",\n";
+    os << " \"threads\": " << threads << ",\n";
+    os << " \"wall_seconds\": " << obs::jsonNumber(wall_seconds)
+       << ",\n";
+    // Sum of per-point times: an estimate of the one-thread cost,
+    // for speedup bookkeeping without rerunning serially.
+    os << " \"point_seconds_sum\": "
+       << obs::jsonNumber(serial_seconds) << ",\n";
+    os << " \"results\": [\n";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const SweepPointResult &r = results[i];
+        os << "  {\"index\": " << r.index << ", \"outcome\": \""
+           << obs::jsonEscape(r.outcome) << "\", \"wall_seconds\": "
+           << obs::jsonNumber(r.wallSeconds);
+        if (!r.error.empty())
+            os << ", \"error\": \"" << obs::jsonEscape(r.error)
+               << "\"";
+        if (!r.payload.empty())
+            os << ", \"point\": " << r.payload;
+        os << "}" << (i + 1 < results.size() ? "," : "") << "\n";
+    }
+    os << " ]}\n";
+}
+
+bool
+SweepRunner::writeAggregateJsonFile(
+    const std::string &path, const std::string &name,
+    const std::vector<SweepPointResult> &results, unsigned threads,
+    double wall_seconds)
+{
+    std::ofstream os(path);
+    if (!os)
+        return false;
+    writeAggregateJson(os, name, results, threads, wall_seconds);
+    return static_cast<bool>(os);
+}
+
+} // namespace salam::drive

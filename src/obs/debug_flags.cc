@@ -2,6 +2,7 @@
 
 #include <cstdarg>
 #include <cstdio>
+#include <cstdlib>
 #include <vector>
 
 namespace salam::obs
@@ -10,7 +11,7 @@ namespace salam::obs
 DebugFlag::DebugFlag(const char *name, const char *desc)
     : _name(name), _desc(desc)
 {
-    DebugFlagRegistry::instance().registerFlag(this);
+    _id = DebugFlagRegistry::instance().registerFlag(this);
 }
 
 DebugFlagRegistry &
@@ -20,10 +21,18 @@ DebugFlagRegistry::instance()
     return registry;
 }
 
-void
+unsigned
 DebugFlagRegistry::registerFlag(DebugFlag *flag)
 {
+    // SimContext packs enable bits into one 64-bit mask; growing past
+    // that needs a wider mask, so fail loudly at static init.
+    if (entries.size() >= 64) {
+        std::fputs("too many debug flags for the SimContext mask\n",
+                   stderr);
+        std::abort();
+    }
     entries.push_back(flag);
+    return static_cast<unsigned>(entries.size() - 1);
 }
 
 DebugFlag *
@@ -117,17 +126,6 @@ DebugFlagRegistry::disableAll()
 {
     for (DebugFlag *flag : entries)
         flag->disable();
-}
-
-void
-DebugFlagRegistry::emit(const std::string &line) const
-{
-    if (sink) {
-        sink(line);
-        return;
-    }
-    std::fputs(line.c_str(), stderr);
-    std::fputc('\n', stderr);
 }
 
 void

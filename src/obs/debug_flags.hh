@@ -4,14 +4,15 @@
  *
  * Every traceable subsystem owns a named DebugFlag; SALAM_TRACE(flag,
  * fmt, ...) emits a tick-stamped, object-named line only while that
- * flag is enabled. Flags are registered in a process-wide registry so
- * they can be toggled by name at runtime ("RuntimeEngine,Cache", or
- * "All"), and the emission path goes through a replaceable sink so
- * tests can capture or silence trace output per flag instead of
- * process-wide.
+ * flag is enabled. Flag *names* are registered in a process-wide
+ * registry (immutable after static init) so they can be toggled by
+ * name at runtime ("RuntimeEngine,Cache", or "All"); the *enable
+ * state* and the output sink live in the bound SimContext, so
+ * concurrent simulations in one process (sweep workers) toggle and
+ * capture trace output independently.
  *
- * Cost when a flag is disabled is a single relaxed bool load — the
- * format arguments are never evaluated.
+ * Cost when a flag is disabled is one thread-local load plus a bit
+ * test — the format arguments are never evaluated.
  */
 
 #ifndef SALAM_OBS_DEBUG_FLAGS_HH
@@ -22,10 +23,16 @@
 #include <string>
 #include <vector>
 
+#include "sim/sim_context.hh"
+
 namespace salam::obs
 {
 
-/** One named, independently-toggleable trace flag. */
+/**
+ * One named, independently-toggleable trace flag. The flag object
+ * itself is immutable after registration; enabled() reads the bit
+ * for this flag's dense id from the calling thread's SimContext.
+ */
 class DebugFlag
 {
   public:
@@ -39,22 +46,30 @@ class DebugFlag
 
     const char *description() const { return _desc; }
 
-    bool enabled() const { return _enabled; }
+    /** Dense id, assigned in registration order; < 64. */
+    unsigned id() const { return _id; }
 
-    void enable() { _enabled = true; }
+    bool enabled() const
+    { return SimContext::current().flagEnabled(_id); }
 
-    void disable() { _enabled = false; }
+    void enable() const
+    { SimContext::current().setFlagEnabled(_id, true); }
+
+    void disable() const
+    { SimContext::current().setFlagEnabled(_id, false); }
 
   private:
     const char *_name;
     const char *_desc;
-    bool _enabled = false;
+    unsigned _id = 0;
 };
 
 /**
- * Process-wide flag registry and trace-output sink. Flags register
- * themselves at static-initialization time; the registry never owns
- * them.
+ * Process-wide flag *name* registry. Flags register themselves at
+ * static-initialization time and the list is immutable afterwards, so
+ * concurrent readers need no locking; all mutable state (enable bits,
+ * sink) lives in the SimContext. The by-name mutators and the sink
+ * setter operate on the calling thread's current context.
  */
 class DebugFlagRegistry
 {
@@ -63,7 +78,8 @@ class DebugFlagRegistry
 
     static DebugFlagRegistry &instance();
 
-    void registerFlag(DebugFlag *flag);
+    /** Register @p flag; returns its dense id (static init only). */
+    unsigned registerFlag(DebugFlag *flag);
 
     /** Find a flag by exact name; nullptr when absent. */
     DebugFlag *find(const std::string &name) const;
@@ -95,19 +111,21 @@ class DebugFlagRegistry
     const std::vector<DebugFlag *> &flags() const { return entries; }
 
     /**
-     * Replace the trace/log output sink. A null sink restores the
-     * default (stderr). Used by tests to capture output.
+     * Replace the trace/log output sink *of the current SimContext*.
+     * A null sink restores the default (stderr). Used by tests to
+     * capture output.
      */
-    void setSink(Sink sink) { this->sink = std::move(sink); }
+    void setSink(Sink sink)
+    { SimContext::current().setLogSink(std::move(sink)); }
 
-    /** Emit one already-formatted line through the current sink. */
-    void emit(const std::string &line) const;
+    /** Emit a formatted line through the current context's sink. */
+    void emit(const std::string &line) const
+    { SimContext::current().emitLog(line); }
 
   private:
     DebugFlagRegistry() = default;
 
     std::vector<DebugFlag *> entries;
-    Sink sink;
 };
 
 /**

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <mutex>
 #include <sstream>
 
 #include "json.hh"
@@ -69,6 +70,10 @@ RunReport::writeJson(std::ostream &os) const
 bool
 RunReport::appendToFile(const std::string &path) const
 {
+    // Sweep workers may append reports to one shared JSONL file;
+    // serialize so concurrent lines never interleave mid-record.
+    static std::mutex appendMutex;
+    std::lock_guard<std::mutex> lock(appendMutex);
     std::ofstream os(path, std::ios::app);
     if (!os)
         return false;

@@ -7,62 +7,6 @@
 namespace salam
 {
 
-namespace
-{
-
-struct HookEntry
-{
-    std::size_t id;
-    TerminationHook hook;
-};
-
-std::vector<HookEntry> &
-hooks()
-{
-    static std::vector<HookEntry> entries;
-    return entries;
-}
-
-std::size_t nextHookId = 1;
-
-const char *currentOutcome = "fault";
-
-bool inFatal = false;
-
-} // namespace
-
-std::size_t
-addTerminationHook(TerminationHook hook)
-{
-    std::size_t id = nextHookId++;
-    hooks().push_back({id, std::move(hook)});
-    return id;
-}
-
-void
-removeTerminationHook(std::size_t id)
-{
-    auto &entries = hooks();
-    for (auto it = entries.begin(); it != entries.end(); ++it) {
-        if (it->id == id) {
-            entries.erase(it);
-            return;
-        }
-    }
-}
-
-void
-setFatalOutcome(const char *outcome)
-{
-    currentOutcome = outcome;
-}
-
-const char *
-fatalOutcome()
-{
-    return currentOutcome;
-}
-
 namespace detail
 {
 
@@ -70,16 +14,7 @@ void
 fatalExit(const std::string &msg)
 {
     logMessage("fatal: ", msg, true);
-    // Run hooks newest-first so inner scopes (a bench's artifact
-    // flusher) fire before anything outer. A hook that fatal()s
-    // again must not recurse into the hook list.
-    if (!inFatal) {
-        inFatal = true;
-        auto entries = hooks();
-        for (auto it = entries.rbegin(); it != entries.rend(); ++it)
-            it->hook(currentOutcome, msg);
-    }
-    std::exit(1);
+    SimContext::current().failFatal(msg);
 }
 
 void

@@ -23,26 +23,29 @@
 #include <string>
 
 #include "obs/debug_flags.hh"
+#include "sim_context.hh"
 
 namespace salam
 {
 
-/**
- * Graceful-degradation hooks: callbacks run by fatal() (and the
- * watchdog, which terminates via fatal()) before the process exits,
- * so stats, traces, and run reports survive a failed run. Hooks run
- * newest-first; a hook that itself fatal()s does not recurse. The
- * @p outcome argument is the classification set via setFatalOutcome
- * ("fault" unless overridden, "deadlock" from the watchdog paths).
- */
-using TerminationHook =
-    std::function<void(const char *outcome, const std::string &message)>;
+// The hook type (TerminationHook) and the FatalError exception live
+// in sim_context.hh; the free functions below operate on the calling
+// thread's current SimContext, so every simulation (sweep point) has
+// its own hook list and outcome classification.
 
 /** Register a hook; returns an id for removeTerminationHook(). */
-std::size_t addTerminationHook(TerminationHook hook);
+inline std::size_t
+addTerminationHook(TerminationHook hook)
+{
+    return SimContext::current().addTerminationHook(std::move(hook));
+}
 
 /** Remove a previously registered hook (no-op on unknown id). */
-void removeTerminationHook(std::size_t id);
+inline void
+removeTerminationHook(std::size_t id)
+{
+    SimContext::current().removeTerminationHook(id);
+}
 
 /**
  * Classify the next fatal() for the termination hooks and the run
@@ -50,10 +53,18 @@ void removeTerminationHook(std::size_t id);
  * values: "deadlock" (watchdog / drained queue with unfinished
  * host), "fault" (the default: wrong results, bad config).
  */
-void setFatalOutcome(const char *outcome);
+inline void
+setFatalOutcome(const char *outcome)
+{
+    SimContext::current().setFatalOutcome(outcome);
+}
 
 /** The classification the next fatal() will report. */
-const char *fatalOutcome();
+inline const char *
+fatalOutcome()
+{
+    return SimContext::current().fatalOutcome();
+}
 
 /** RAII guard: registers a hook, removes it on scope exit. */
 class ScopedTerminationHook
@@ -108,7 +119,11 @@ void logMessage(const char *prefix, const std::string &msg,
 std::string formatString(const char *fmt, ...)
     __attribute__((format(printf, 1, 2)));
 
-/** Log @p msg, run the termination hooks, and exit(1). */
+/**
+ * Log @p msg, then hand off to the current SimContext: run its
+ * termination hooks and exit(1) or throw FatalError per its fatal
+ * mode.
+ */
 [[noreturn]] void fatalExit(const std::string &msg);
 
 } // namespace detail

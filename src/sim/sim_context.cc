@@ -1,0 +1,73 @@
+#include "sim_context.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace salam
+{
+
+constinit thread_local SimContext *SimContext::tlsContext = nullptr;
+
+SimContext &
+SimContext::processDefault()
+{
+    static SimContext ctx;
+    return ctx;
+}
+
+void
+SimContext::emitLog(const std::string &line) const
+{
+    if (_sink) {
+        _sink(line);
+        return;
+    }
+    std::fputs(line.c_str(), stderr);
+    std::fputc('\n', stderr);
+}
+
+std::size_t
+SimContext::addTerminationHook(TerminationHook hook)
+{
+    std::size_t id = _nextHookId++;
+    _hooks.push_back({id, std::move(hook)});
+    return id;
+}
+
+void
+SimContext::removeTerminationHook(std::size_t id)
+{
+    for (auto it = _hooks.begin(); it != _hooks.end(); ++it) {
+        if (it->id == id) {
+            _hooks.erase(it);
+            return;
+        }
+    }
+}
+
+void
+SimContext::failFatal(const std::string &message)
+{
+    // Run hooks newest-first so inner scopes (a bench's artifact
+    // flusher) fire before anything outer. A hook that fatal()s again
+    // must not recurse into the hook list; in Throw mode the inner
+    // throw propagates, so _inFatal must be restored even then for
+    // the context to stay usable after the catch.
+    if (!_inFatal) {
+        _inFatal = true;
+        auto entries = _hooks;
+        try {
+            for (auto it = entries.rbegin(); it != entries.rend(); ++it)
+                it->hook(_outcome, message);
+        } catch (...) {
+            _inFatal = false;
+            throw;
+        }
+        _inFatal = false;
+    }
+    if (_fatalMode == FatalMode::Throw)
+        throw FatalError(_outcome, message);
+    std::exit(1);
+}
+
+} // namespace salam

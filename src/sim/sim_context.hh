@@ -1,0 +1,204 @@
+/**
+ * @file
+ * SimContext: per-simulation ownership of what used to be process
+ * globals, so N independent Simulation instances can run concurrently
+ * in one process (thread-parallel design-space sweeps).
+ *
+ * A SimContext owns:
+ *  - the debug-flag enable state (a 64-bit mask indexed by each
+ *    DebugFlag's dense id — the flag *names* stay in the process-wide
+ *    DebugFlagRegistry, which is immutable after static init);
+ *  - the trace/log sink that SALAM_TRACE lines and inform()/warn()
+ *    messages are emitted through;
+ *  - the termination hooks, fatal-outcome classification, and the
+ *    fatal *mode* (exit the process, or throw FatalError so a sweep
+ *    worker can record the failure and move to the next point).
+ *
+ * Binding is thread-local: SimContext::current() returns the context
+ * bound to the calling thread, falling back to a shared process
+ * default so existing single-simulation code keeps working unchanged.
+ * ScopedSimContext binds a context for a scope (a sweep worker binds
+ * a fresh context around each point). Contexts are not internally
+ * synchronized — one context must only ever be used by one thread at
+ * a time, which the scoped binding enforces by construction.
+ */
+
+#ifndef SALAM_SIM_SIM_CONTEXT_HH
+#define SALAM_SIM_SIM_CONTEXT_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace salam
+{
+
+/**
+ * Graceful-degradation hooks: callbacks run by fatal() (and the
+ * watchdog, which terminates via fatal()) before the run terminates,
+ * so stats, traces, and run reports survive a failed run. Hooks run
+ * newest-first; a hook that itself fatal()s does not recurse. The
+ * @p outcome argument is the classification set via setFatalOutcome
+ * ("fault" unless overridden, "deadlock" from the watchdog paths).
+ */
+using TerminationHook =
+    std::function<void(const char *outcome, const std::string &message)>;
+
+/**
+ * Thrown by fatal() when the bound SimContext uses FatalMode::Throw.
+ * Carries the outcome classification ("fault", "deadlock", ...) the
+ * run report would have recorded.
+ */
+class FatalError : public std::runtime_error
+{
+  public:
+    FatalError(std::string outcome, const std::string &message)
+        : std::runtime_error(message), _outcome(std::move(outcome))
+    {}
+
+    const std::string &outcome() const { return _outcome; }
+
+  private:
+    std::string _outcome;
+};
+
+/** Per-simulation home for previously process-global mutable state. */
+class SimContext
+{
+  public:
+    /** What fatal() does after running the termination hooks. */
+    enum class FatalMode
+    {
+        Exit,  ///< std::exit(1) — the historical behaviour
+        Throw, ///< throw FatalError — sweep workers survive a point
+    };
+
+    SimContext() = default;
+
+    SimContext(const SimContext &) = delete;
+    SimContext &operator=(const SimContext &) = delete;
+
+    /**
+     * The shared fallback context used by any thread with no
+     * explicit binding. Single-simulation programs never need to
+     * know contexts exist.
+     */
+    static SimContext &processDefault();
+
+    /** The context bound to the calling thread (or the default). */
+    static SimContext &
+    current()
+    {
+        return tlsContext != nullptr ? *tlsContext : processDefault();
+    }
+
+    // --- debug-flag enable state (indexed by DebugFlag dense id) ---
+
+    bool
+    flagEnabled(unsigned id) const
+    {
+        return (_flagMask >> id) & 1u;
+    }
+
+    void
+    setFlagEnabled(unsigned id, bool on)
+    {
+        std::uint64_t bit = std::uint64_t{1} << id;
+        if (on)
+            _flagMask |= bit;
+        else
+            _flagMask &= ~bit;
+    }
+
+    /** Snapshot/restore the whole mask (sweep workers inherit it). */
+    std::uint64_t flagMask() const { return _flagMask; }
+
+    void setFlagMask(std::uint64_t mask) { _flagMask = mask; }
+
+    // --- trace/log sink ---
+
+    using LogSink = std::function<void(const std::string &line)>;
+
+    /** Replace the sink; a null sink restores the default (stderr). */
+    void setLogSink(LogSink sink) { _sink = std::move(sink); }
+
+    bool hasLogSink() const { return static_cast<bool>(_sink); }
+
+    /** Emit one already-formatted line through this context's sink. */
+    void emitLog(const std::string &line) const;
+
+    // --- termination hooks / fatal handling ---
+
+    /** Register a hook; returns an id for removeTerminationHook(). */
+    std::size_t addTerminationHook(TerminationHook hook);
+
+    /** Remove a previously registered hook (no-op on unknown id). */
+    void removeTerminationHook(std::size_t id);
+
+    void setFatalOutcome(const char *outcome)
+    { _outcome = outcome; }
+
+    const char *fatalOutcome() const { return _outcome; }
+
+    void setFatalMode(FatalMode mode) { _fatalMode = mode; }
+
+    FatalMode fatalMode() const { return _fatalMode; }
+
+    /**
+     * Terminate the current run: run this context's hooks
+     * newest-first, then exit(1) or throw FatalError per the fatal
+     * mode. Called by fatal() with the message already logged.
+     */
+    [[noreturn]] void failFatal(const std::string &message);
+
+  private:
+    friend class ScopedSimContext;
+
+    /**
+     * The thread's bound context; null means "use processDefault()".
+     * constinit: no static-init-order hazard with the DebugFlag
+     * constructors that run at static init and call current().
+     */
+    static constinit thread_local SimContext *tlsContext;
+
+    struct HookEntry
+    {
+        std::size_t id;
+        TerminationHook hook;
+    };
+
+    std::uint64_t _flagMask = 0;
+    LogSink _sink;
+    std::vector<HookEntry> _hooks;
+    std::size_t _nextHookId = 1;
+    const char *_outcome = "fault";
+    FatalMode _fatalMode = FatalMode::Exit;
+    bool _inFatal = false;
+};
+
+/** RAII thread-local binding of a SimContext. */
+class ScopedSimContext
+{
+  public:
+    explicit ScopedSimContext(SimContext &ctx)
+        : prev(SimContext::tlsContext)
+    {
+        SimContext::tlsContext = &ctx;
+    }
+
+    ~ScopedSimContext() { SimContext::tlsContext = prev; }
+
+    ScopedSimContext(const ScopedSimContext &) = delete;
+    ScopedSimContext &operator=(const ScopedSimContext &) = delete;
+
+  private:
+    SimContext *prev;
+};
+
+} // namespace salam
+
+#endif // SALAM_SIM_SIM_CONTEXT_HH

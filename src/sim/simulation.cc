@@ -5,7 +5,9 @@
 namespace salam
 {
 
-Simulation::Simulation()
+Simulation::Simulation() : Simulation(SimContext::current()) {}
+
+Simulation::Simulation(SimContext &context) : ctx(context)
 {
     // The simulation core instruments itself; member addresses are
     // stable (Simulation is non-copyable), so formulas can read the
@@ -34,6 +36,7 @@ Simulation::enableTracing()
 void
 Simulation::initAll()
 {
+    ScopedSimContext bind(ctx);
     if (initialized)
         return;
     initialized = true;
@@ -45,6 +48,10 @@ Simulation::initAll()
 Tick
 Simulation::run(Tick limit)
 {
+    // Everything that executes inside the event loop — traces,
+    // inform/warn, fatal hooks — resolves against this simulation's
+    // context, whatever thread run() is called from.
+    ScopedSimContext bind(ctx);
     initAll();
     return queue.run(limit);
 }
@@ -52,6 +59,7 @@ Simulation::run(Tick limit)
 void
 Simulation::finalizeAll()
 {
+    ScopedSimContext bind(ctx);
     if (finalized)
         return;
     finalized = true;

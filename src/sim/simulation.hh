@@ -18,6 +18,7 @@
 #include "event_queue.hh"
 #include "obs/profiler.hh"
 #include "obs/trace_sink.hh"
+#include "sim_context.hh"
 #include "statistics.hh"
 #include "types.hh"
 
@@ -35,10 +36,22 @@ class SimObject;
 class Simulation
 {
   public:
+    /** Binds to the calling thread's current SimContext. */
     Simulation();
+
+    /** Binds to an explicit context (sweep workers pass theirs). */
+    explicit Simulation(SimContext &ctx);
 
     Simulation(const Simulation &) = delete;
     Simulation &operator=(const Simulation &) = delete;
+
+    /**
+     * The SimContext this simulation belongs to. run(), initAll(),
+     * and finalizeAll() bind it for their duration, so flag state,
+     * trace sinks, and fatal() hooks resolve per-simulation even
+     * when several simulations run on different threads.
+     */
+    SimContext &context() const { return ctx; }
 
     EventQueue &eventQueue() { return queue; }
 
@@ -156,6 +169,7 @@ class Simulation
     void finalizeAll();
 
   private:
+    SimContext &ctx;
     EventQueue queue;
     StatRegistry registry;
     std::unique_ptr<obs::TraceSink> sink;

@@ -1,0 +1,210 @@
+/** @file SweepRunner: determinism, isolation, and aggregation. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/accel_fixture.hh"
+#include "drive/sweep_runner.hh"
+#include "kernels/machsuite.hh"
+#include "mem/backdoor.hh"
+#include "obs/run_report.hh"
+#include "sim/sim_context.hh"
+#include "support/minijson.hh"
+
+using namespace salam;
+using namespace salam::drive;
+using salam::testsupport::JsonParser;
+using salam::testsupport::JsonValue;
+
+namespace
+{
+
+/**
+ * One real simulation per point: GEMM on the accel fixture with a
+ * per-point port count, payload = cycles + full stats dump + run
+ * report. Any cross-point leakage (shared engine state, shared stat
+ * registry, shared context) shows up as a payload mismatch between
+ * serial and parallel runs.
+ */
+std::string
+simulatePoint(std::size_t idx)
+{
+    const unsigned ports = 1u << (idx % 4);
+
+    auto kernel = kernels::makeGemm(8, 2);
+    ir::Module mod("sweep");
+    ir::IRBuilder b(mod);
+    ir::Function *fn = kernel->buildOptimized(b);
+
+    core::DeviceConfig dev;
+    dev.readPortsPerCycle = ports;
+    dev.writePortsPerCycle = ports;
+
+    mem::ScratchpadConfig spm_cfg = test::AccelSystem::defaultSpm();
+    spm_cfg.readPorts = ports;
+    spm_cfg.writePorts = ports;
+    test::AccelSystem sys(*fn, dev, spm_cfg);
+
+    mem::ScratchpadBackdoor backdoor(*sys.spm);
+    kernel->seed(backdoor, test::spmBase);
+    std::uint64_t cycles = sys.run(kernel->args(test::spmBase));
+    std::string check = kernel->check(backdoor, test::spmBase);
+    if (!check.empty())
+        fatal("point %zu: %s", idx, check.c_str());
+
+    obs::RunReport report;
+    report.run = "gemm.p" + std::to_string(ports);
+    report.cycles = cycles;
+    report.outcome = "ok";
+    report.statsJson = sys.sim.stats().dumpJsonString();
+    std::ostringstream report_os;
+    report.writeJson(report_os);
+
+    std::ostringstream os;
+    os << "{\"cycles\": " << cycles
+       << ", \"report\": " << report_os.str() << "}";
+    return os.str();
+}
+
+} // namespace
+
+TEST(SweepRunner, SerialAndParallelPayloadsBitIdentical)
+{
+    constexpr std::size_t points = 8;
+
+    SweepRunner::Options serial_opts;
+    serial_opts.threads = 1;
+    SweepRunner serial(serial_opts);
+    auto serial_results = serial.run(points, simulatePoint);
+
+    SweepRunner::Options parallel_opts;
+    parallel_opts.threads = 4;
+    SweepRunner parallel(parallel_opts);
+    auto parallel_results = parallel.run(points, simulatePoint);
+
+    ASSERT_EQ(serial_results.size(), points);
+    ASSERT_EQ(parallel_results.size(), points);
+    EXPECT_EQ(serial.lastThreads(), 1u);
+    EXPECT_EQ(parallel.lastThreads(), 4u);
+
+    for (std::size_t i = 0; i < points; ++i) {
+        ASSERT_TRUE(serial_results[i].ok) << serial_results[i].error;
+        ASSERT_TRUE(parallel_results[i].ok)
+            << parallel_results[i].error;
+        EXPECT_EQ(serial_results[i].index, i);
+        EXPECT_EQ(parallel_results[i].index, i);
+        // The whole point of context isolation: per-point stats and
+        // report JSON must not depend on what ran concurrently.
+        EXPECT_EQ(serial_results[i].payload,
+                  parallel_results[i].payload)
+            << "payload diverged at point " << i;
+
+        JsonValue doc =
+            JsonParser(parallel_results[i].payload).parse();
+        EXPECT_GT(doc.at("cycles").number, 0.0);
+        EXPECT_EQ(doc.at("report").at("outcome").string, "ok");
+    }
+}
+
+TEST(SweepRunner, FailedPointIsIsolated)
+{
+    SweepRunner::Options opts;
+    opts.threads = 4;
+    SweepRunner runner(opts);
+    auto results = runner.run(6, [](std::size_t idx) {
+        if (idx == 2)
+            fatal("point %zu exploded", idx);
+        if (idx == 4)
+            throw std::runtime_error("plain failure");
+        return std::string("{\"idx\": ") + std::to_string(idx) +
+            "}";
+    });
+
+    ASSERT_EQ(results.size(), 6u);
+    for (std::size_t i : {0u, 1u, 3u, 5u}) {
+        EXPECT_TRUE(results[i].ok) << i;
+        EXPECT_EQ(results[i].outcome, "ok");
+    }
+    EXPECT_FALSE(results[2].ok);
+    EXPECT_EQ(results[2].outcome, "fault");
+    EXPECT_NE(results[2].error.find("point 2 exploded"),
+              std::string::npos);
+    EXPECT_FALSE(results[4].ok);
+    EXPECT_EQ(results[4].outcome, "error");
+    EXPECT_EQ(results[4].error, "plain failure");
+}
+
+TEST(SweepRunner, WorkerContextsInheritFlagMaskButNotMore)
+{
+    SimContext launcher;
+    launcher.setFlagMask(0b101);
+    launcher.addTerminationHook(
+        [](const std::string &, const std::string &) {
+            FAIL() << "worker fatal must not reach launcher hooks";
+        });
+    ScopedSimContext bind(launcher);
+
+    SweepRunner::Options opts;
+    opts.threads = 2;
+    SweepRunner runner(opts);
+    auto results = runner.run(4, [](std::size_t idx) {
+        if (SimContext::current().flagMask() != 0b101)
+            throw std::runtime_error("flag mask not inherited");
+        if (&SimContext::current() ==
+            &SimContext::processDefault()) {
+            throw std::runtime_error("worker not context-bound");
+        }
+        if (idx == 3)
+            fatal("deliberate");
+        return std::string();
+    });
+    for (std::size_t i : {0u, 1u, 2u})
+        EXPECT_TRUE(results[i].ok) << results[i].error;
+    EXPECT_FALSE(results[3].ok);
+    EXPECT_EQ(&SimContext::current(), &launcher);
+}
+
+TEST(SweepRunner, ThreadCountClampsToPointCount)
+{
+    SweepRunner::Options opts;
+    opts.threads = 16;
+    SweepRunner runner(opts);
+    auto results = runner.run(3, [](std::size_t) {
+        return std::string();
+    });
+    EXPECT_EQ(results.size(), 3u);
+    EXPECT_EQ(runner.lastThreads(), 3u);
+}
+
+TEST(SweepRunner, AggregateJsonIsWellFormed)
+{
+    SweepRunner::Options opts;
+    opts.threads = 2;
+    SweepRunner runner(opts);
+    auto results = runner.run(3, [](std::size_t idx) {
+        if (idx == 1)
+            throw std::runtime_error("bad \"point\"");
+        return std::string("{\"value\": ") + std::to_string(idx) +
+            "}";
+    });
+
+    std::ostringstream os;
+    SweepRunner::writeAggregateJson(os, "unit\"test", results,
+                                    runner.lastThreads(),
+                                    runner.lastWallSeconds());
+    JsonValue doc = JsonParser(os.str()).parse();
+    EXPECT_EQ(doc.at("sweep").string, "unit\"test");
+    EXPECT_EQ(doc.at("points").number, 3.0);
+    EXPECT_EQ(doc.at("failed_points").number, 1.0);
+    EXPECT_EQ(doc.at("threads").number, 2.0);
+    ASSERT_EQ(doc.at("results").array.size(), 3u);
+    EXPECT_EQ(doc.at("results").array[0].at("point")
+                  .at("value").number, 0.0);
+    EXPECT_EQ(doc.at("results").array[1].at("outcome").string,
+              "error");
+    EXPECT_EQ(doc.at("results").array[1].at("error").string,
+              "bad \"point\"");
+    EXPECT_EQ(doc.at("results").array[2].at("point")
+                  .at("value").number, 2.0);
+}

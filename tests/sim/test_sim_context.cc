@@ -1,0 +1,182 @@
+/** @file SimContext isolation: flags, sinks, hooks, fatal modes. */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/debug_flags.hh"
+#include "sim/logging.hh"
+#include "sim/sim_context.hh"
+#include "sim/sim_object.hh"
+#include "sim/simulation.hh"
+
+using namespace salam;
+
+TEST(SimContext, CurrentFallsBackToProcessDefault)
+{
+    EXPECT_EQ(&SimContext::current(),
+              &SimContext::processDefault());
+    SimContext ctx;
+    {
+        ScopedSimContext bind(ctx);
+        EXPECT_EQ(&SimContext::current(), &ctx);
+    }
+    EXPECT_EQ(&SimContext::current(),
+              &SimContext::processDefault());
+}
+
+TEST(SimContext, ScopedBindingNests)
+{
+    SimContext outer, inner;
+    ScopedSimContext bind_outer(outer);
+    {
+        ScopedSimContext bind_inner(inner);
+        EXPECT_EQ(&SimContext::current(), &inner);
+    }
+    EXPECT_EQ(&SimContext::current(), &outer);
+}
+
+TEST(SimContext, DebugFlagStateIsPerContext)
+{
+    SimContext a, b;
+    const unsigned id = obs::flag::Event.id();
+    {
+        ScopedSimContext bind(a);
+        obs::flag::Event.enable();
+        EXPECT_TRUE(obs::flag::Event.enabled());
+    }
+    {
+        ScopedSimContext bind(b);
+        EXPECT_FALSE(obs::flag::Event.enabled());
+    }
+    EXPECT_TRUE(a.flagEnabled(id));
+    EXPECT_FALSE(b.flagEnabled(id));
+    {
+        ScopedSimContext bind(a);
+        obs::flag::Event.disable();
+    }
+    EXPECT_FALSE(a.flagEnabled(id));
+}
+
+TEST(SimContext, LogSinkIsPerContext)
+{
+    SimContext a, b;
+    std::vector<std::string> lines_a, lines_b;
+    a.setLogSink([&](const std::string &l) {
+        lines_a.push_back(l);
+    });
+    b.setLogSink([&](const std::string &l) {
+        lines_b.push_back(l);
+    });
+    {
+        ScopedSimContext bind(a);
+        SimContext::current().emitLog("to-a");
+    }
+    {
+        ScopedSimContext bind(b);
+        SimContext::current().emitLog("to-b");
+    }
+    ASSERT_EQ(lines_a.size(), 1u);
+    EXPECT_EQ(lines_a[0], "to-a");
+    ASSERT_EQ(lines_b.size(), 1u);
+    EXPECT_EQ(lines_b[0], "to-b");
+}
+
+TEST(SimContext, TerminationHooksArePerContext)
+{
+    SimContext a, b;
+    a.setFatalMode(SimContext::FatalMode::Throw);
+    b.setFatalMode(SimContext::FatalMode::Throw);
+    int fired_a = 0, fired_b = 0;
+    a.addTerminationHook(
+        [&](const std::string &, const std::string &) {
+            ++fired_a;
+        });
+    b.addTerminationHook(
+        [&](const std::string &, const std::string &) {
+            ++fired_b;
+        });
+    {
+        ScopedSimContext bind(a);
+        EXPECT_THROW(SimContext::current().failFatal("boom"),
+                     FatalError);
+    }
+    EXPECT_EQ(fired_a, 1);
+    EXPECT_EQ(fired_b, 0);
+}
+
+TEST(SimContext, ThrowModeCarriesOutcomeAndMessage)
+{
+    SimContext ctx;
+    ctx.setFatalMode(SimContext::FatalMode::Throw);
+    ctx.setFatalOutcome("deadlock");
+    ScopedSimContext bind(ctx);
+    try {
+        fatal("engine stuck at cycle %d", 42);
+        FAIL() << "fatal() must not return in throw mode";
+    } catch (const FatalError &e) {
+        EXPECT_EQ(e.outcome(), "deadlock");
+        EXPECT_NE(std::string(e.what()).find("cycle 42"),
+                  std::string::npos);
+    }
+}
+
+TEST(SimContext, ContextSurvivesFailedFatalForReuse)
+{
+    // After a thrown FatalError the context must still be usable:
+    // sweep workers reuse the thread for the next point.
+    SimContext ctx;
+    ctx.setFatalMode(SimContext::FatalMode::Throw);
+    ScopedSimContext bind(ctx);
+    EXPECT_THROW(ctx.failFatal("first"), FatalError);
+    EXPECT_THROW(ctx.failFatal("second"), FatalError);
+}
+
+TEST(SimContext, BindingIsThreadLocal)
+{
+    SimContext main_ctx;
+    ScopedSimContext bind(main_ctx);
+    const SimContext *seen = nullptr;
+    std::thread worker([&] {
+        // A new thread starts unbound regardless of the spawning
+        // thread's binding.
+        seen = &SimContext::current();
+    });
+    worker.join();
+    EXPECT_EQ(seen, &SimContext::processDefault());
+    EXPECT_EQ(&SimContext::current(), &main_ctx);
+}
+
+TEST(SimContext, TwoSimulationsInOneProcessStayIsolated)
+{
+    SimContext ctx_a, ctx_b;
+    Simulation sim_a(ctx_a);
+    Simulation sim_b(ctx_b);
+
+    // Each simulation's stat registry and event queue are its own;
+    // context state set while one runs must not leak to the other.
+    auto &counter_a =
+        sim_a.stats().add("ticks", "events run");
+    auto &counter_b =
+        sim_b.stats().add("ticks", "events run");
+
+    ScopedSimContext bind(ctx_a);
+    obs::flag::Event.enable();
+    counter_a += 2;
+    ASSERT_TRUE(ctx_a.flagEnabled(obs::flag::Event.id()));
+
+    {
+        ScopedSimContext bind_b(ctx_b);
+        EXPECT_FALSE(obs::flag::Event.enabled());
+        counter_b += 5;
+    }
+
+    EXPECT_EQ(counter_a.value(), 2.0);
+    EXPECT_EQ(counter_b.value(), 5.0);
+    EXPECT_NE(sim_a.stats().dumpJsonString(),
+              sim_b.stats().dumpJsonString());
+    EXPECT_EQ(&sim_a.context(), &ctx_a);
+    EXPECT_EQ(&sim_b.context(), &ctx_b);
+}
