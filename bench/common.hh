@@ -23,6 +23,7 @@
 
 #include "core/compute_unit.hh"
 #include "core/power_report.hh"
+#include "drive/sweep_runner.hh"
 #include "inject/fault_injector.hh"
 #include "inject/progress_sentinel.hh"
 #include "kernels/machsuite.hh"
@@ -30,6 +31,7 @@
 #include "mem/scratchpad.hh"
 #include "obs/critical_path.hh"
 #include "obs/debug_flags.hh"
+#include "obs/host_telemetry.hh"
 #include "obs/interval_stats.hh"
 #include "obs/run_report.hh"
 #include "sim/simulation.hh"
@@ -80,6 +82,22 @@ struct ObsOptions
      */
     unsigned sweepThreads = 1;
 
+    /**
+     * Host-performance telemetry: attribute the simulator's own
+     * wall time to phases, count lock contention, and (in sweeps)
+     * record per-worker timelines. Sweep-safe: per-point telemetry
+     * is owned by the point's SimContext, so this does NOT force
+     * --sweep-threads 1.
+     */
+    bool hostTelemetry = false;
+
+    /**
+     * Host-telemetry output path. Single runs write the telemetry
+     * JSON here (last run wins); sweeps write the scaling summary
+     * here and a Chrome trace to "<path>.trace.json".
+     */
+    std::string hostTelemetryOut;
+
     /** The invoking command line (argv joined with spaces). */
     std::string commandLine;
 };
@@ -89,6 +107,19 @@ obsOptions()
 {
     static ObsOptions options;
     return options;
+}
+
+/**
+ * The bench process's main-thread HostTelemetry. parseObsArgs()
+ * attaches it to the launching thread's SimContext when
+ * --host-telemetry is given; sweep workers get their own per-point
+ * instances from SweepRunner instead.
+ */
+inline obs::HostTelemetry &
+mainHostTelemetry()
+{
+    static obs::HostTelemetry telemetry;
+    return telemetry;
 }
 
 /**
@@ -114,6 +145,16 @@ obsOptions()
  *                           state_dump.json)
  *   --sweep-threads <N>     worker threads for design-space sweeps
  *                           (0 = all hardware threads; default 1)
+ *   --host-telemetry        attribute the simulator's own wall time
+ *                           to host phases (elaboration, engine,
+ *                           memory model, event loop, stats, report
+ *                           I/O) and count lock contention
+ *   --host-telemetry-out <file>
+ *                           implies --host-telemetry; single runs
+ *                           write the telemetry JSON to <file>,
+ *                           sweeps write the scaling summary there
+ *                           plus a Chrome trace with per-worker
+ *                           host-time tracks to <file>.trace.json
  * fatal()s on anything it does not recognize.
  */
 inline void
@@ -204,15 +245,26 @@ parseObsArgs(int argc, char **argv)
             }
             options.sweepThreads =
                 static_cast<unsigned>(threads);
+        } else if (arg == "--host-telemetry") {
+            if (has_inline_value)
+                fatal("--host-telemetry takes no value (use "
+                      "--host-telemetry-out for a file)");
+            options.hostTelemetry = true;
+        } else if (arg == "--host-telemetry-out") {
+            options.hostTelemetryOut = next();
+            options.hostTelemetry = true;
         } else {
             fatal("unknown argument '%s' (expected --trace-out, "
                   "--report-out, --stats-out, --profile-out, "
                   "--stats-interval, --debug-flags, --verbose, "
                   "--inject, --inject-seed, --watchdog, "
-                  "--dump-out, or --sweep-threads)",
+                  "--dump-out, --sweep-threads, --host-telemetry, "
+                  "or --host-telemetry-out)",
                   arg.c_str());
         }
     }
+    if (options.hostTelemetry)
+        SimContext::current().setHostTelemetry(&mainHostTelemetry());
 }
 
 /**
@@ -237,6 +289,37 @@ effectiveSweepThreads()
         return 1;
     }
     return options.sweepThreads;
+}
+
+/**
+ * SweepRunner options honouring the bench flags: the effective
+ * thread count plus host telemetry when --host-telemetry is on.
+ */
+inline drive::SweepRunner::Options
+sweepRunnerOptions(unsigned threads)
+{
+    drive::SweepRunner::Options options;
+    options.threads = threads;
+    options.hostTelemetry = obsOptions().hostTelemetry;
+    return options;
+}
+
+/**
+ * After a sweep: write the scaling summary + per-worker Chrome
+ * trace when --host-telemetry-out was given. fatal()s on I/O
+ * failure — the user asked for the file.
+ */
+inline void
+writeSweepHostTelemetry(const drive::SweepRunner &runner,
+                        const std::string &name)
+{
+    const ObsOptions &options = obsOptions();
+    if (options.hostTelemetryOut.empty())
+        return;
+    if (!runner.writeHostTelemetryFiles(options.hostTelemetryOut,
+                                        name))
+        fatal("could not write host telemetry to '%s'",
+              options.hostTelemetryOut.c_str());
 }
 
 /**
@@ -379,6 +462,14 @@ runSalam(const kernels::Kernel &kernel,
     using clock = std::chrono::steady_clock;
     BenchRun out;
 
+    // Host telemetry (if attached to this thread's context) spans
+    // the whole run: everything from IR build to the first event is
+    // elaboration; sim.run() self-attributes via the event queue.
+    obs::HostTelemetry *tel =
+        SimContext::current().hostTelemetry();
+    if (tel != nullptr)
+        tel->beginPhase(obs::HostPhase::Elaboration);
+
     auto t0 = clock::now();
     ir::Module mod("bench");
     ir::IRBuilder builder(mod);
@@ -391,6 +482,10 @@ runSalam(const kernels::Kernel &kernel,
     ScopedTerminationHook flush_on_fatal =
         benchTerminationHook(sim, kernel.name());
     if (!obsOptions().traceOut.empty())
+        sim.enableTracing();
+    // A sweep may ask one representative point to capture its
+    // simulated-time trace for the host-telemetry Chrome dump.
+    if (tel != nullptr && tel->wantSimTraceCapture())
         sim.enableTracing();
     if (!obsOptions().profileOut.empty() ||
         obs::flag::Profile.enabled()) {
@@ -440,6 +535,9 @@ runSalam(const kernels::Kernel &kernel,
 
     installWatchdog(sim, [&cu] { return cu.finished(); });
 
+    if (tel != nullptr)
+        tel->endPhase(); // Elaboration
+
     auto t2 = clock::now();
     cu.start(kernel.args(spm_base));
     sim.run();
@@ -458,6 +556,10 @@ runSalam(const kernels::Kernel &kernel,
 
     out.cycles = cu.cycleCount();
     out.stats = cu.stats();
+    if (tel != nullptr) {
+        tel->noteArena(out.stats.arenaHits, out.stats.arenaMisses);
+        tel->samplePeakRss();
+    }
     out.report = core::buildReport(cu, &spm);
     out.spmReads = spm.readCount();
     out.spmWrites = spm.writeCount();
@@ -466,6 +568,8 @@ runSalam(const kernels::Kernel &kernel,
     out.simulateSeconds =
         std::chrono::duration<double>(t3 - t2).count();
 
+    if (tel != nullptr)
+        tel->beginPhase(obs::HostPhase::StatsEmit);
     sim.finalizeAll();
     if (intervals)
         intervals->finalize();
@@ -485,10 +589,16 @@ runSalam(const kernels::Kernel &kernel,
             fatal("could not write folded stacks to '%s'",
                   folded.c_str());
     }
-    if (obs::TraceSink *sink = sim.traceSink()) {
-        if (!sink->writeChromeTraceFile(options.traceOut))
-            fatal("could not write trace to '%s'",
-                  options.traceOut.c_str());
+    if (!options.traceOut.empty()) {
+        if (obs::TraceSink *sink = sim.traceSink()) {
+            if (!sink->writeChromeTraceFile(options.traceOut))
+                fatal("could not write trace to '%s'",
+                      options.traceOut.c_str());
+        }
+    }
+    if (tel != nullptr && tel->wantSimTraceCapture()) {
+        if (obs::TraceSink *sink = sim.traceSink())
+            tel->captureSimTrace(sink->events());
     }
     if (!options.statsOut.empty()) {
         std::ofstream os(options.statsOut);
@@ -499,6 +609,8 @@ runSalam(const kernels::Kernel &kernel,
                   options.statsOut.c_str());
         }
     }
+    if (tel != nullptr)
+        tel->endPhase(); // StatsEmit
     if (!options.reportOut.empty()) {
         obs::RunReport report;
         report.run = kernel.name();
@@ -528,11 +640,27 @@ runSalam(const kernels::Kernel &kernel,
                  static_cast<double>(injector->log().size())});
         }
         report.statsJson = sim.stats().dumpJsonString();
+        // Schema v4: host-side wall-time attribution for this
+        // context (cumulative over the runs it has executed).
+        if (tel != nullptr)
+            report.hostJson = tel->dumpJsonString();
         if (!report.appendToFile(options.reportOut))
             fatal("could not append run report to '%s'",
                   options.reportOut.c_str());
     }
     printInjectionLog(injector.get());
+    // Single-run telemetry dump (last run wins). Sweep workers run
+    // under per-point telemetry, not the main object, so a pool
+    // never races on this file — the sweep writes its own summary.
+    if (!options.hostTelemetryOut.empty() && tel != nullptr &&
+        tel == &mainHostTelemetry()) {
+        std::ofstream os(options.hostTelemetryOut);
+        if (!os)
+            fatal("could not write host telemetry to '%s'",
+                  options.hostTelemetryOut.c_str());
+        tel->writeJsonWithLocks(os);
+        os << "\n";
+    }
     return out;
 }
 

@@ -54,9 +54,8 @@ main(int argc, char **argv)
     };
     std::vector<Row> rows(grid.size());
 
-    drive::SweepRunner::Options sweep_opts;
-    sweep_opts.threads = effectiveSweepThreads();
-    drive::SweepRunner runner(sweep_opts);
+    drive::SweepRunner runner(
+        sweepRunnerOptions(effectiveSweepThreads()));
     auto results = runner.run(grid.size(), [&](std::size_t idx) {
         const Config &cfg = grid[idx];
         auto kernel = makeGemm(gemmN, unroll);
@@ -119,5 +118,6 @@ main(int argc, char **argv)
                 grid.size(), runner.lastThreads(),
                 runner.lastThreads() == 1 ? "" : "s",
                 runner.lastWallSeconds());
+    writeSweepHostTelemetry(runner, "fig13.gemm_pareto");
     return 0;
 }

@@ -38,9 +38,8 @@ main(int argc, char **argv)
                                              4u};
     std::vector<Row> rows(port_grid.size());
 
-    drive::SweepRunner::Options sweep_opts;
-    sweep_opts.threads = effectiveSweepThreads();
-    drive::SweepRunner runner(sweep_opts);
+    drive::SweepRunner runner(
+        sweepRunnerOptions(effectiveSweepThreads()));
     auto results =
         runner.run(port_grid.size(), [&](std::size_t idx) {
             unsigned ports = port_grid[idx];
@@ -137,5 +136,6 @@ main(int argc, char **argv)
                     100.0 * s.storesIssued / issued,
                     100.0 * s.fpOpsIssued / issued, datapath);
     }
+    writeSweepHostTelemetry(runner, "fig15.gemm_codesign");
     return 0;
 }

@@ -21,6 +21,9 @@
  *                          BENCH_simrate.json)
  *   --gemm-only            probe mode: only the GEMM kernel and the
  *                          sweep section (fast, used by check.sh)
+ *   --no-sweep             skip the serial-vs-parallel sweep legs
+ *                          (single-run timing only; the telemetry
+ *                          overhead gate uses this)
  */
 
 #include <cmath>
@@ -52,7 +55,8 @@ struct KernelRate
  * so serial and parallel legs do the same work.
  */
 double
-timedGemmSweep(unsigned threads)
+timedGemmSweep(unsigned threads,
+               drive::SweepHostSummary *host = nullptr)
 {
     struct Config
     {
@@ -66,6 +70,12 @@ timedGemmSweep(unsigned threads)
 
     drive::SweepRunner::Options opts;
     opts.threads = threads;
+    // The probe legs always carry host telemetry: the scaling
+    // summary (worker busy fractions, lock-wait share) goes into
+    // the simrate JSON so parallel-efficiency regressions are
+    // machine-checkable, not just the headline speedup.
+    opts.hostTelemetry = true;
+    opts.captureSimTracePoint = -1;
     drive::SweepRunner runner(opts);
     auto results = runner.run(grid.size(), [&](std::size_t idx) {
         auto kernel = makeGemm(32, 32);
@@ -89,6 +99,8 @@ timedGemmSweep(unsigned threads)
             fatal("sweep point %zu failed: %s", r.index,
                   r.error.c_str());
     }
+    if (host != nullptr)
+        *host = runner.hostSummary();
     return runner.lastWallSeconds();
 }
 
@@ -96,7 +108,8 @@ void
 writeSimrateJson(const std::string &path,
                  const std::vector<KernelRate> &rates,
                  unsigned sweep_threads, double serial_seconds,
-                 double parallel_seconds)
+                 double parallel_seconds,
+                 const drive::SweepHostSummary *parallel_host)
 {
     std::ofstream os(path);
     if (!os) {
@@ -126,8 +139,12 @@ writeSimrateJson(const std::string &path,
     os << "  \"speedup\": "
        << obs::jsonNumber(parallel_seconds > 0.0
                               ? serial_seconds / parallel_seconds
-                              : 0.0)
-       << "}}\n";
+                              : 0.0);
+    if (parallel_host != nullptr) {
+        os << ",\n  \"host\": ";
+        parallel_host->writeJson(os);
+    }
+    os << "}}\n";
     inform("wrote simulation rates to %s", path.c_str());
 }
 
@@ -140,12 +157,15 @@ main(int argc, char **argv)
     // (which fatals on anything it does not recognize).
     std::string simrate_out = "BENCH_simrate.json";
     bool gemm_only = false;
+    bool no_sweep = false;
     std::vector<char *> pass;
     pass.push_back(argv[0]);
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         if (arg == "--gemm-only") {
             gemm_only = true;
+        } else if (arg == "--no-sweep") {
+            no_sweep = true;
         } else if (arg == "--simrate-out" && i + 1 < argc) {
             simrate_out = argv[++i];
         } else {
@@ -232,15 +252,23 @@ main(int argc, char **argv)
                     r.wallSeconds, r.ticksPerSec);
     }
 
+    if (no_sweep) {
+        writeSimrateJson(simrate_out, rates, 0, 0.0, 0.0, nullptr);
+        return 0;
+    }
+
     // Serial vs parallel sweep: the same 8 GEMM points, once on one
-    // thread and once on the worker pool.
+    // thread and once on the worker pool. --sweep-threads 0 means
+    // "all hardware threads" (resolveThreads); the default probe
+    // width stays 4.
     unsigned sweep_threads = obsOptions().sweepThreads != 1
         ? effectiveSweepThreads() : 4;
-    if (sweep_threads == 0)
-        sweep_threads = 4;
+    sweep_threads = drive::SweepRunner::resolveThreads(sweep_threads);
     header("GEMM sweep wall-clock: serial vs parallel");
     double serial_seconds = timedGemmSweep(1);
-    double parallel_seconds = timedGemmSweep(sweep_threads);
+    drive::SweepHostSummary parallel_host;
+    double parallel_seconds =
+        timedGemmSweep(sweep_threads, &parallel_host);
     std::printf("8 points serial:     %.3fs\n", serial_seconds);
     std::printf("8 points, %u threads: %.3fs (%.2fx)\n",
                 sweep_threads, parallel_seconds,
@@ -249,6 +277,7 @@ main(int argc, char **argv)
                     : 0.0);
 
     writeSimrateJson(simrate_out, rates, sweep_threads,
-                     serial_seconds, parallel_seconds);
+                     serial_seconds, parallel_seconds,
+                     &parallel_host);
     return 0;
 }

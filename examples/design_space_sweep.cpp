@@ -9,8 +9,10 @@
  * the CSV rows come out in grid order no matter which worker
  * finished first.
  *
- * Build & run:  ./build/examples/design_space_sweep [threads] > sweep.csv
- *               (threads: worker count, 0 = all cores, default 1)
+ * Build & run:  ./build/examples/design_space_sweep [threads] [telemetry.json] > sweep.csv
+ *               (threads: worker count, 0 = all cores, default 1;
+ *               telemetry.json: host-telemetry summary + Chrome
+ *               trace of per-worker timelines)
  */
 
 #include <cstdio>
@@ -102,6 +104,11 @@ main(int argc, char **argv)
     if (argc > 1)
         opts.threads = static_cast<unsigned>(
             std::strtoul(argv[1], nullptr, 10));
+    // Optional second argument: host-telemetry output base — writes
+    // the scaling summary JSON there and a Chrome trace with
+    // per-worker tracks to "<path>.trace.json".
+    const char *telemetry_out = argc > 2 ? argv[2] : nullptr;
+    opts.hostTelemetry = telemetry_out != nullptr;
     drive::SweepRunner runner(opts);
 
     std::vector<Point> points(grid.size());
@@ -130,5 +137,11 @@ main(int argc, char **argv)
     std::fprintf(stderr, "# %zu points, %u threads, %.2fs wall\n",
                  grid.size(), runner.lastThreads(),
                  runner.lastWallSeconds());
+    if (telemetry_out != nullptr &&
+        !runner.writeHostTelemetryFiles(telemetry_out,
+                                        "design_space_sweep")) {
+        std::fprintf(stderr, "# could not write host telemetry\n");
+        return 1;
+    }
     return 0;
 }

@@ -230,6 +230,86 @@ assert ratio >= 0.8, \
 PYEOF
 fi
 
+echo "== host telemetry: sweep artifacts + overhead gate"
+cmake --build "${perf_dir}" -j "${jobs}" \
+    --target fig13_gemm_pareto table4_simulation_time
+"${perf_dir}/bench/fig13_gemm_pareto" --sweep-threads 4 \
+    --host-telemetry-out "${smoke_dir}/fig13_host.json" \
+    >"${smoke_dir}/fig13_host.out"
+python3 - "${smoke_dir}/fig13_host.json" <<'PYEOF'
+import json, sys
+path = sys.argv[1]
+
+host = json.load(open(path))["host"]
+assert host["schema"] == "sweep_host_telemetry_v1", host["schema"]
+assert host["threads"] == 4, host["threads"]
+workers = host["workers"]
+assert len(workers) == 4, f"expected 4 worker rows, got {len(workers)}"
+assert sum(w["points"] for w in workers) == len(host["points"]), \
+    "worker point counts do not cover every sweep point"
+for key in ("effective_speedup", "serial_share", "lock_wait_share"):
+    assert key in host, f"missing scaling metric '{key}'"
+tel = host["telemetry"]
+assert tel["phases"]["engine_schedule"]["count"] > 0, \
+    "no engine events attributed"
+assert tel["phases"]["memory_model"]["count"] > 0, \
+    "no memory events attributed"
+
+trace = json.load(open(path + ".trace.json"))
+events = trace["traceEvents"]
+worker_tracks = [
+    e for e in events
+    if e.get("ph") == "M" and e.get("name") == "thread_name"
+    and str(e.get("args", {}).get("name", "")).startswith("worker")]
+assert worker_tracks, "no per-worker host-time tracks in the trace"
+host_slices = [e for e in events
+               if e.get("ph") == "X" and e.get("pid") == 1]
+assert len(host_slices) >= len(host["points"]), \
+    "fewer host slices than sweep points"
+sim_records = [e for e in events
+               if e.get("ph") in ("X", "i", "C")
+               and e.get("pid") == 0]
+assert sim_records, "no simulated-time records beside host tracks"
+print(f"host telemetry ok: speedup "
+      f"{host['effective_speedup']:.2f}x, serial share "
+      f"{host['serial_share']:.2f}, lock-wait share "
+      f"{host['lock_wait_share']:.4f}, {len(host_slices)} host "
+      f"slices, {len(sim_records)} sim records")
+PYEOF
+
+# Telemetry must be near-free: median-of-3 single-run GEMM with
+# --host-telemetry within 3% of the run without it (interleaved so
+# host drift hits both legs equally).
+for n in 1 2 3; do
+    "${perf_dir}/bench/table4_simulation_time" --gemm-only \
+        --no-sweep --simrate-out "${smoke_dir}/oh_off.${n}.json" \
+        >/dev/null
+    "${perf_dir}/bench/table4_simulation_time" --gemm-only \
+        --no-sweep --host-telemetry \
+        --simrate-out "${smoke_dir}/oh_on.${n}.json" >/dev/null
+done
+python3 - "${smoke_dir}" <<'PYEOF'
+import json, statistics, sys
+d = sys.argv[1]
+
+def median_gemm_seconds(tag):
+    vals = []
+    for n in (1, 2, 3):
+        doc = json.load(open(f"{d}/{tag}.{n}.json"))
+        gemm = [k for k in doc["kernels"] if k["kernel"] == "gemm"]
+        assert gemm, f"{tag}.{n}: no gemm entry"
+        vals.append(gemm[0]["wall_seconds"])
+    return statistics.median(vals)
+
+off = median_gemm_seconds("oh_off")
+on = median_gemm_seconds("oh_on")
+ratio = on / off
+print(f"telemetry overhead: off {off*1e3:.1f} ms, "
+      f"on {on*1e3:.1f} ms ({ratio:.3f}x)")
+assert ratio <= 1.03, \
+    f"telemetry overhead {ratio:.3f}x exceeds the 3% budget"
+PYEOF
+
 echo "== strict: -Wall -Wextra -Werror build (${strict_dir})"
 cmake -S "${repo_root}" -B "${strict_dir}" \
     -DCMAKE_CXX_FLAGS="-Wall -Wextra -Werror" >/dev/null

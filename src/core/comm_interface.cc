@@ -14,7 +14,8 @@ CommInterface::CommInterface(Simulation &sim, std::string name,
       pioPort(*this),
       regs(config.mmrRange.size() / 8, 0),
       mmrEvent([this] { sendMmrResponses(); },
-               this->name() + ".mmr", Event::memoryResponsePri)
+               this->name() + ".mmr", Event::memoryResponsePri,
+               obs::HostPhase::MemoryModel)
 {
     if (cfg.mmrRange.size() == 0 || cfg.mmrRange.size() % 8 != 0)
         fatal("%s: MMR range must be a multiple of 8 bytes",

@@ -43,7 +43,7 @@ ComputeUnit::ComputeUnit(Simulation &sim, std::string name,
       staticCdfg(verifiedOrDie(fn), cfg), comm(comm),
       engine(staticCdfg, cfg, *this),
       tickEvent([this] { tick(); }, this->name() + ".tick",
-                Event::cpuTickPri)
+                Event::cpuTickPri, obs::HostPhase::EngineSchedule)
 {
     comm.setResponseHandler(
         [this](DynInst *op, const std::uint8_t *data, unsigned size) {

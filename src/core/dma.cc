@@ -14,8 +14,10 @@ Dma::Dma(Simulation &sim, std::string name, Tick clock_period,
     : ClockedObject(sim, std::move(name), clock_period), cfg(config),
       pioPort(*this), dmaPort(*this),
       mmrEvent([this] { sendMmrResponses(); },
-               this->name() + ".mmr", Event::memoryResponsePri),
-      pumpEvent([this] { pump(); }, this->name() + ".pump")
+               this->name() + ".mmr", Event::memoryResponsePri,
+               obs::HostPhase::MemoryModel),
+      pumpEvent([this] { pump(); }, this->name() + ".pump",
+                Event::defaultPri, obs::HostPhase::MemoryModel)
 {
     if (cfg.burstBytes == 0 || cfg.maxOutstanding == 0)
         fatal("%s: bad DMA configuration", this->name().c_str());

@@ -76,9 +76,11 @@ DynInst *
 RuntimeEngine::acquireDynInst()
 {
     if (freeList.empty()) {
+        ++engineStats.arenaMisses;
         arena.push_back(std::make_unique<DynInst>());
         return arena.back().get();
     }
+    ++engineStats.arenaHits;
     DynInst *di = freeList.back();
     freeList.pop_back();
     di->reset();

@@ -182,6 +182,12 @@ struct EngineStats
     /** Dynamic instructions retired (forward-progress signal). */
     std::uint64_t committedInstructions = 0;
 
+    // Allocation pressure (host telemetry): DynInst requests served
+    // from the freelist vs ones that grew the arena with a heap
+    // allocation.
+    std::uint64_t arenaHits = 0;
+    std::uint64_t arenaMisses = 0;
+
     // Cycle-granularity scheduling overlap (Fig. 15).
     std::uint64_t cyclesWithLoadIssue = 0;
     std::uint64_t cyclesWithStoreIssue = 0;

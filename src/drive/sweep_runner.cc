@@ -4,13 +4,24 @@
 #include <chrono>
 #include <exception>
 #include <fstream>
+#include <sstream>
 #include <thread>
 
 #include "obs/json.hh"
+#include "sim/logging.hh"
 #include "sim/sim_context.hh"
 
 namespace salam::drive
 {
+
+unsigned
+SweepRunner::resolveThreads(unsigned requested)
+{
+    if (requested != 0)
+        return requested;
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+}
 
 std::vector<SweepPointResult>
 SweepRunner::run(std::size_t num_points, const PointFn &fn)
@@ -25,24 +36,43 @@ SweepRunner::run(std::size_t num_points, const PointFn &fn)
     // (so --debug-flags applies to every point) but nothing else.
     const std::uint64_t flag_mask = SimContext::current().flagMask();
 
-    unsigned threads = opts.threads;
-    if (threads == 0) {
-        threads = std::thread::hardware_concurrency();
-        if (threads == 0)
-            threads = 1;
-    }
+    unsigned threads = resolveThreads(opts.threads);
     if (num_points < threads)
         threads = static_cast<unsigned>(num_points ? num_points : 1);
     usedThreads = threads;
 
+    summary = SweepHostSummary{};
+    summary.enabled = opts.hostTelemetry;
+    summary.threads = threads;
+    summary.timelines.resize(num_points);
+    summary.workerBusySeconds.assign(threads, 0.0);
+    summary.workerBusyFraction.assign(threads, 0.0);
+    summary.workerPoints.assign(threads, 0);
+
+    // Per-point telemetry slots: each index is touched by exactly
+    // one worker, and the joins publish them back to this thread.
+    std::vector<obs::HostTelemetry> point_tel(
+        opts.hostTelemetry ? num_points : 0);
+
+    const std::uint64_t lock_wait_before =
+        obs::TimedMutex::totalWaitNanos();
+    const std::uint64_t sweep_start_ns = obs::hostNowNs();
+
     std::atomic<std::size_t> next{0};
+    std::atomic<unsigned> worker_ids{0};
     auto worker = [&] {
+        const unsigned wid =
+            worker_ids.fetch_add(1, std::memory_order_relaxed);
         for (;;) {
             std::size_t idx =
                 next.fetch_add(1, std::memory_order_relaxed);
             if (idx >= num_points)
                 return;
             SweepPointResult &r = results[idx];
+            SweepPointTimeline &tl = summary.timelines[idx];
+            tl.index = idx;
+            tl.worker = wid;
+            tl.pickedNs = obs::hostNowNs() - sweep_start_ns;
 
             // A fresh context per point: flag state, sinks, and
             // termination hooks are isolated, and fatal() throws so
@@ -51,6 +81,14 @@ SweepRunner::run(std::size_t num_points, const PointFn &fn)
             ctx.setFlagMask(flag_mask);
             ctx.setFatalMode(SimContext::FatalMode::Throw);
             ScopedSimContext bind(ctx);
+            if (opts.hostTelemetry) {
+                if (opts.captureSimTracePoint >= 0 &&
+                    idx == static_cast<std::size_t>(
+                               opts.captureSimTracePoint))
+                    point_tel[idx].setSimTraceCapture(true);
+                ctx.setHostTelemetry(&point_tel[idx]);
+            }
+            tl.setupEndNs = obs::hostNowNs() - sweep_start_ns;
 
             auto t0 = clock::now();
             try {
@@ -69,6 +107,16 @@ SweepRunner::run(std::size_t num_points, const PointFn &fn)
             r.wallSeconds =
                 std::chrono::duration<double>(clock::now() - t0)
                     .count();
+            tl.runEndNs = obs::hostNowNs() - sweep_start_ns;
+            if (opts.hostTelemetry) {
+                point_tel[idx].samplePeakRss();
+                tl.reportIoNs =
+                    point_tel[idx]
+                        .phase(obs::HostPhase::ReportIo)
+                        .selfNanos;
+                ctx.setHostTelemetry(nullptr);
+            }
+            tl.endNs = obs::hostNowNs() - sweep_start_ns;
         }
     };
 
@@ -86,14 +134,196 @@ SweepRunner::run(std::size_t num_points, const PointFn &fn)
     wallSeconds =
         std::chrono::duration<double>(clock::now() - sweep_t0)
             .count();
+
+    // --- scaling-efficiency summary (workers have joined; all
+    // per-point state is safely visible to this thread) ---
+    summary.wallSeconds = wallSeconds;
+    double busy_total = 0.0;
+    for (std::size_t i = 0; i < num_points; ++i) {
+        const SweepPointTimeline &tl = summary.timelines[i];
+        double busy = static_cast<double>(tl.endNs - tl.pickedNs) /
+                      1e9;
+        summary.workerBusySeconds[tl.worker] += busy;
+        summary.workerPoints[tl.worker] += 1;
+        busy_total += busy;
+        summary.pointSecondsSum += results[i].wallSeconds;
+        if (opts.hostTelemetry)
+            summary.merged.mergeFrom(point_tel[i]);
+    }
+    for (unsigned w = 0; w < threads; ++w)
+        summary.workerBusyFraction[w] =
+            wallSeconds > 0.0
+                ? summary.workerBusySeconds[w] / wallSeconds
+                : 0.0;
+    summary.effectiveSpeedup =
+        wallSeconds > 0.0 ? summary.pointSecondsSum / wallSeconds
+                          : 0.0;
+    double capacity = wallSeconds * threads;
+    summary.serialSeconds =
+        capacity > 0.0 ? (capacity - busy_total) / threads : 0.0;
+    if (summary.serialSeconds < 0.0)
+        summary.serialSeconds = 0.0;
+    summary.serialShare =
+        wallSeconds > 0.0 ? summary.serialSeconds / wallSeconds
+                          : 0.0;
+    summary.lockWaitSeconds =
+        static_cast<double>(obs::TimedMutex::totalWaitNanos() -
+                            lock_wait_before) /
+        1e9;
+    summary.lockWaitShare =
+        capacity > 0.0 ? summary.lockWaitSeconds / capacity : 0.0;
+    summary.locks = obs::TimedMutex::snapshotAll();
+
+    // Retrieve the one captured simulated-time trace (if any) so
+    // writeHostTelemetryFiles can show both time domains.
+    if (opts.hostTelemetry && opts.captureSimTracePoint >= 0 &&
+        static_cast<std::size_t>(opts.captureSimTracePoint) <
+            num_points) {
+        summary.merged.captureSimTrace(
+            point_tel[static_cast<std::size_t>(
+                          opts.captureSimTracePoint)]
+                .capturedSimTrace());
+    }
+
+    if (threads > 1 && summary.effectiveSpeedup < 1.0 &&
+        num_points > 0) {
+        warn("parallel sweep ran %.2fx the serial estimate with %u "
+             "threads (%zu points, %.3fs wall, %.3fs points-sum) — "
+             "check hardware concurrency and serial sections",
+             summary.effectiveSpeedup, threads, num_points,
+             wallSeconds, summary.pointSecondsSum);
+    }
+
     return results;
+}
+
+void
+SweepHostSummary::writeJson(std::ostream &os) const
+{
+    os << "{\"schema\": \"sweep_host_telemetry_v1\""
+       << ", \"enabled\": " << (enabled ? "true" : "false")
+       << ", \"threads\": " << threads
+       << ", \"wall_seconds\": " << obs::jsonNumber(wallSeconds)
+       << ", \"point_seconds_sum\": "
+       << obs::jsonNumber(pointSecondsSum)
+       << ", \"effective_speedup\": "
+       << obs::jsonNumber(effectiveSpeedup)
+       << ", \"serial_seconds\": " << obs::jsonNumber(serialSeconds)
+       << ", \"serial_share\": " << obs::jsonNumber(serialShare)
+       << ", \"lock_wait_seconds\": "
+       << obs::jsonNumber(lockWaitSeconds)
+       << ", \"lock_wait_share\": "
+       << obs::jsonNumber(lockWaitShare);
+    os << ", \"workers\": [";
+    for (unsigned w = 0; w < threads; ++w) {
+        if (w)
+            os << ",";
+        os << "{\"worker\": " << w << ", \"busy_seconds\": "
+           << obs::jsonNumber(workerBusySeconds[w])
+           << ", \"busy_fraction\": "
+           << obs::jsonNumber(workerBusyFraction[w])
+           << ", \"points\": " << workerPoints[w] << "}";
+    }
+    os << "]";
+    os << ", \"locks\": [";
+    for (std::size_t i = 0; i < locks.size(); ++i) {
+        if (i)
+            os << ",";
+        os << "{\"name\": \"" << obs::jsonEscape(locks[i].name)
+           << "\", \"acquisitions\": " << locks[i].acquisitions
+           << ", \"contended\": " << locks[i].contended
+           << ", \"wait_seconds\": "
+           << obs::jsonNumber(
+                  static_cast<double>(locks[i].waitNanos) / 1e9)
+           << "}";
+    }
+    os << "]";
+    if (enabled)
+        os << ", \"telemetry\": " << merged.dumpJsonString();
+    os << ", \"points\": [";
+    for (std::size_t i = 0; i < timelines.size(); ++i) {
+        const SweepPointTimeline &tl = timelines[i];
+        if (i)
+            os << ",";
+        os << "{\"index\": " << tl.index
+           << ", \"worker\": " << tl.worker
+           << ", \"queue_wait_seconds\": "
+           << obs::jsonNumber(static_cast<double>(tl.pickedNs) /
+                              1e9)
+           << ", \"setup_seconds\": "
+           << obs::jsonNumber(
+                  static_cast<double>(tl.setupEndNs - tl.pickedNs) /
+                  1e9)
+           << ", \"run_seconds\": "
+           << obs::jsonNumber(
+                  static_cast<double>(tl.runEndNs - tl.setupEndNs) /
+                  1e9)
+           << ", \"teardown_seconds\": "
+           << obs::jsonNumber(
+                  static_cast<double>(tl.endNs - tl.runEndNs) / 1e9)
+           << ", \"report_io_seconds\": "
+           << obs::jsonNumber(static_cast<double>(tl.reportIoNs) /
+                              1e9)
+           << "}";
+    }
+    os << "]}";
+}
+
+bool
+SweepRunner::writeHostTelemetryFiles(const std::string &json_path,
+                                     const std::string &name) const
+{
+    {
+        std::ofstream os(json_path);
+        if (!os)
+            return false;
+        os << "{\"sweep\": \"" << obs::jsonEscape(name)
+           << "\", \"host\": ";
+        summary.writeJson(os);
+        os << "}\n";
+        if (!os)
+            return false;
+    }
+
+    // Chrome trace: host-time worker tracks in pid 1 (wall ns
+    // rendered as ticks, i.e. x1000 to ps so the ps->us writer
+    // lands on microseconds), simulated-time tracks of the captured
+    // point in pid 0.
+    obs::TraceSink sink;
+    for (const obs::TraceRecord &rec :
+         summary.merged.capturedSimTrace())
+        sink.pushRecord(rec);
+    for (const SweepPointTimeline &tl : summary.timelines) {
+        std::string track = "worker " + std::to_string(tl.worker);
+        std::string point = "p" + std::to_string(tl.index);
+        auto ticks = [](std::uint64_t ns) { return ns * 1000; };
+        if (tl.setupEndNs > tl.pickedNs)
+            sink.recordSlice(ticks(tl.pickedNs),
+                             ticks(tl.setupEndNs - tl.pickedNs),
+                             track, "sweep", point + ":setup", {},
+                             obs::tracePidHost);
+        sink.recordSlice(
+            ticks(tl.setupEndNs), ticks(tl.runEndNs - tl.setupEndNs),
+            track, "sweep", point + ":run",
+            {{"queue_wait_ms",
+              static_cast<double>(tl.pickedNs) / 1e6},
+             {"report_io_ms",
+              static_cast<double>(tl.reportIoNs) / 1e6}},
+            obs::tracePidHost);
+        if (tl.endNs > tl.runEndNs)
+            sink.recordSlice(ticks(tl.runEndNs),
+                             ticks(tl.endNs - tl.runEndNs), track,
+                             "sweep", point + ":teardown", {},
+                             obs::tracePidHost);
+    }
+    return sink.writeChromeTraceFile(json_path + ".trace.json");
 }
 
 void
 SweepRunner::writeAggregateJson(
     std::ostream &os, const std::string &name,
     const std::vector<SweepPointResult> &results, unsigned threads,
-    double wall_seconds)
+    double wall_seconds, const SweepHostSummary *host)
 {
     double serial_seconds = 0.0;
     std::size_t failed = 0;
@@ -112,6 +342,11 @@ SweepRunner::writeAggregateJson(
     // for speedup bookkeeping without rerunning serially.
     os << " \"point_seconds_sum\": "
        << obs::jsonNumber(serial_seconds) << ",\n";
+    if (host != nullptr) {
+        os << " \"host\": ";
+        host->writeJson(os);
+        os << ",\n";
+    }
     os << " \"results\": [\n";
     for (std::size_t i = 0; i < results.size(); ++i) {
         const SweepPointResult &r = results[i];
@@ -128,16 +363,27 @@ SweepRunner::writeAggregateJson(
     os << " ]}\n";
 }
 
+void
+SweepRunner::writeAggregateJson(
+    std::ostream &os, const std::string &name,
+    const std::vector<SweepPointResult> &results, unsigned threads,
+    double wall_seconds)
+{
+    writeAggregateJson(os, name, results, threads, wall_seconds,
+                       nullptr);
+}
+
 bool
 SweepRunner::writeAggregateJsonFile(
     const std::string &path, const std::string &name,
     const std::vector<SweepPointResult> &results, unsigned threads,
-    double wall_seconds)
+    double wall_seconds, const SweepHostSummary *host)
 {
     std::ofstream os(path);
     if (!os)
         return false;
-    writeAggregateJson(os, name, results, threads, wall_seconds);
+    writeAggregateJson(os, name, results, threads, wall_seconds,
+                       host);
     return static_cast<bool>(os);
 }
 

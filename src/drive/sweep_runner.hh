@@ -22,10 +22,13 @@
 #define SALAM_DRIVE_SWEEP_RUNNER_HH
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <iosfwd>
 #include <string>
 #include <vector>
+
+#include "obs/host_telemetry.hh"
 
 namespace salam::drive
 {
@@ -53,6 +56,70 @@ struct SweepPointResult
     double wallSeconds = 0.0;
 };
 
+/**
+ * Host-time spans of one point's life on its worker, all in
+ * nanoseconds relative to the sweep's start. Every point is enqueued
+ * at sweep start, so pickedNs doubles as the point's queue wait.
+ */
+struct SweepPointTimeline
+{
+    std::size_t index = 0;
+    unsigned worker = 0;
+    std::uint64_t pickedNs = 0;   ///< dequeued (queue wait ends)
+    std::uint64_t setupEndNs = 0; ///< SimContext bound, fn starting
+    std::uint64_t runEndNs = 0;   ///< fn returned or threw
+    std::uint64_t endNs = 0;      ///< result recorded, context gone
+    /** ReportIo self time inside the point (file-append span). */
+    std::uint64_t reportIoNs = 0;
+};
+
+/**
+ * Scaling-efficiency summary of one sweep: where the pool's
+ * wall-clock capacity (threads x wall) went. serialSeconds is the
+ * pool-idle share — capacity no worker was running a point on —
+ * which on a saturated machine is the serial-section cost.
+ */
+struct SweepHostSummary
+{
+    /** True when Options::hostTelemetry was set for the run. */
+    bool enabled = false;
+
+    unsigned threads = 0;
+    double wallSeconds = 0.0;
+    double pointSecondsSum = 0.0;
+
+    /** pointSecondsSum / wallSeconds — the speedup actually won. */
+    double effectiveSpeedup = 0.0;
+
+    /** Pool-idle capacity: wall - sum(worker busy)/threads. */
+    double serialSeconds = 0.0;
+    double serialShare = 0.0;
+
+    /** TimedMutex wait accrued during the run (process-wide delta). */
+    double lockWaitSeconds = 0.0;
+    /** lockWaitSeconds as a share of pool capacity. */
+    double lockWaitShare = 0.0;
+
+    /** Per-worker busy seconds (points executing on that worker). */
+    std::vector<double> workerBusySeconds;
+    /** Per-worker busy fraction of the sweep wall clock. */
+    std::vector<double> workerBusyFraction;
+    /** Per-worker point count. */
+    std::vector<std::size_t> workerPoints;
+
+    /** Per-point host-time spans, indexed by point. */
+    std::vector<SweepPointTimeline> timelines;
+
+    /** Phase/alloc totals merged over all points (telemetry runs). */
+    obs::HostTelemetry merged;
+
+    /** End-of-run TimedMutex snapshot (cumulative, process-wide). */
+    std::vector<obs::TimedMutex::Stats> locks;
+
+    /** Write the summary as one JSON object (no trailing newline). */
+    void writeJson(std::ostream &os) const;
+};
+
 /** Thread-pool executor for independent simulation points. */
 class SweepRunner
 {
@@ -61,6 +128,21 @@ class SweepRunner
     {
         /** Worker threads; 0 picks the hardware concurrency. */
         unsigned threads = 1;
+
+        /**
+         * Attach a fresh HostTelemetry to every point's SimContext,
+         * merge them into hostSummary().merged, and record lock
+         * deltas. Timelines are recorded either way (four clock
+         * reads per point).
+         */
+        bool hostTelemetry = false;
+
+        /**
+         * With hostTelemetry: the point whose simulated-time trace
+         * is captured into its telemetry (so the host trace can
+         * show both time domains). Negative disables capture.
+         */
+        long captureSimTracePoint = 0;
     };
 
     SweepRunner() = default;
@@ -88,10 +170,28 @@ class SweepRunner
     /** Wall-clock seconds of the last run(), all points included. */
     double lastWallSeconds() const { return wallSeconds; }
 
+    /** Host-time summary of the last run(). */
+    const SweepHostSummary &hostSummary() const { return summary; }
+
+    /**
+     * Resolve a requested thread count: 0 means "use the hardware
+     * concurrency" (min 1). The bench --sweep-threads flag feeds
+     * through here.
+     */
+    static unsigned resolveThreads(unsigned requested);
+
     /**
      * Write the aggregate sweep dump: sweep-level wall clock and
      * thread count plus every point's outcome, timing, and payload.
+     * With @p host, a "host" object carrying the scaling-efficiency
+     * summary is included.
      */
+    static void writeAggregateJson(
+        std::ostream &os, const std::string &name,
+        const std::vector<SweepPointResult> &results,
+        unsigned threads, double wall_seconds,
+        const SweepHostSummary *host);
+
     static void writeAggregateJson(
         std::ostream &os, const std::string &name,
         const std::vector<SweepPointResult> &results,
@@ -101,12 +201,23 @@ class SweepRunner
     static bool writeAggregateJsonFile(
         const std::string &path, const std::string &name,
         const std::vector<SweepPointResult> &results,
-        unsigned threads, double wall_seconds);
+        unsigned threads, double wall_seconds,
+        const SweepHostSummary *host = nullptr);
+
+    /**
+     * Write the last run's host telemetry: the summary JSON to
+     * @p json_path and a Chrome trace to "<json_path>.trace.json"
+     * with per-worker host-time tracks (pid 1) beside any captured
+     * simulated-time tracks (pid 0). False on I/O failure.
+     */
+    bool writeHostTelemetryFiles(const std::string &json_path,
+                                 const std::string &name) const;
 
   private:
     Options opts;
     unsigned usedThreads = 0;
     double wallSeconds = 0.0;
+    SweepHostSummary summary;
 };
 
 } // namespace salam::drive

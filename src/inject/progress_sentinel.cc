@@ -107,7 +107,8 @@ reportHang(Simulation &sim, const std::string &reason,
 ProgressSentinel::ProgressSentinel(Simulation &sim, std::string name,
                                    Config cfg_)
     : SimObject(sim, std::move(name)), cfg(std::move(cfg_)),
-      checkEvent([this] { check(); }, this->name() + ".check")
+      checkEvent([this] { check(); }, this->name() + ".check",
+                 Event::defaultPri, obs::HostPhase::Other)
 {
     if (cfg.windowTicks == 0)
         fatal("%s: watchdog window must be non-zero",

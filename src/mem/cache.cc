@@ -13,7 +13,8 @@ Cache::Cache(Simulation &sim, std::string name, Tick clock_period,
       numSets(0), cpuPort(*this), memPort(*this),
       responseEvent([this] { trySendResponses(); },
                     this->name() + ".response",
-                    Event::memoryResponsePri)
+                    Event::memoryResponsePri,
+                    obs::HostPhase::MemoryModel)
 {
     if (cfg.blockBytes == 0 || cfg.sizeBytes % cfg.blockBytes != 0)
         fatal("%s: size must be a multiple of the block size",

@@ -11,10 +11,12 @@ Crossbar::Crossbar(Simulation &sim, std::string name,
                    Tick clock_period, const CrossbarConfig &config)
     : ClockedObject(sim, std::move(name), clock_period), cfg(config),
       requestEvent([this] { pumpRequests(); },
-                   this->name() + ".req"),
+                   this->name() + ".req", Event::defaultPri,
+                   obs::HostPhase::MemoryModel),
       responseEvent([this] { pumpResponses(); },
                     this->name() + ".resp",
-                    Event::memoryResponsePri)
+                    Event::memoryResponsePri,
+                    obs::HostPhase::MemoryModel)
 {
 }
 

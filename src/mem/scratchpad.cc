@@ -14,10 +14,12 @@ Scratchpad::Scratchpad(Simulation &sim, std::string name,
     : ClockedObject(sim, std::move(name), clock_period), cfg(config),
       store(config.range.size(), 0),
       serviceEvent([this] { serviceCycle(); },
-                   this->name() + ".service"),
+                   this->name() + ".service", Event::defaultPri,
+                   obs::HostPhase::MemoryModel),
       responseEvent([this] { trySendResponses(); },
                     this->name() + ".response",
-                    Event::memoryResponsePri)
+                    Event::memoryResponsePri,
+                    obs::HostPhase::MemoryModel)
 {
     if (cfg.range.size() == 0)
         fatal("%s: scratchpad range is empty", this->name().c_str());

@@ -13,7 +13,8 @@ SimpleDram::SimpleDram(Simulation &sim, std::string name,
       store(config.range.size(), 0), responsePort(*this),
       responseEvent([this] { trySendResponses(); },
                     this->name() + ".response",
-                    Event::memoryResponsePri)
+                    Event::memoryResponsePri,
+                    obs::HostPhase::MemoryModel)
 {
     if (cfg.range.size() == 0)
         fatal("%s: DRAM range is empty", this->name().c_str());

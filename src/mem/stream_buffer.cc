@@ -8,7 +8,8 @@ StreamBuffer::StreamBuffer(Simulation &sim, std::string name,
                            const StreamBufferConfig &config)
     : ClockedObject(sim, std::move(name), clock_period), cfg(config),
       producerPort(*this, true), consumerPort(*this, false),
-      pumpEvent([this] { pump(); }, this->name() + ".pump")
+      pumpEvent([this] { pump(); }, this->name() + ".pump",
+                Event::defaultPri, obs::HostPhase::MemoryModel)
 {
     if (cfg.capacityBytes == 0)
         fatal("%s: stream buffer capacity must be non-zero",

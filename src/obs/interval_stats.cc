@@ -34,7 +34,8 @@ void
 IntervalStats::scheduleNext()
 {
     queue.schedule(lastBoundary + config.intervalTicks,
-                   [this] { onBoundary(); }, "interval_stats");
+                   [this] { onBoundary(); }, "interval_stats",
+                   obs::HostPhase::StatsEmit);
 }
 
 void

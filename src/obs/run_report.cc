@@ -5,6 +5,7 @@
 #include <mutex>
 #include <sstream>
 
+#include "host_telemetry.hh"
 #include "json.hh"
 
 namespace salam::obs
@@ -64,6 +65,8 @@ RunReport::writeJson(std::ostream &os) const
         os << ",\"" << jsonEscape(key) << "\":" << jsonNumber(value);
     if (!statsJson.empty())
         os << ",\"stats\":" << statsJson;
+    if (!hostJson.empty())
+        os << ",\"host\":" << hostJson;
     os << "}";
 }
 
@@ -72,13 +75,21 @@ RunReport::appendToFile(const std::string &path) const
 {
     // Sweep workers may append reports to one shared JSONL file;
     // serialize so concurrent lines never interleave mid-record.
-    static std::mutex appendMutex;
-    std::lock_guard<std::mutex> lock(appendMutex);
+    // Serialization to text happens *outside* the lock so workers
+    // only contend for the file append itself, not for JSON
+    // rendering; the instrumented mutex lets host telemetry report
+    // how much wall time that residual contention costs.
+    ScopedHostPhase phase(HostPhase::ReportIo);
+    std::ostringstream line;
+    writeJson(line);
+    line << "\n";
+
+    static TimedMutex appendMutex("run_report_append");
+    std::lock_guard<TimedMutex> lock(appendMutex);
     std::ofstream os(path, std::ios::app);
     if (!os)
         return false;
-    writeJson(os);
-    os << "\n";
+    os << line.str();
     return static_cast<bool>(os);
 }
 

@@ -41,8 +41,10 @@ struct RunReport
      *   2: adds schema_version, simulator_version, config_hash, and
      *      command_line metadata
      *   3: adds outcome ("ok" | "deadlock" | "fault")
+     *   4: adds optional host (host-telemetry summary: wall-time
+     *      phase attribution, lock contention, allocation pressure)
      */
-    static constexpr unsigned schemaVersion = 3;
+    static constexpr unsigned schemaVersion = 4;
 
     /** Experiment or kernel identifier, e.g. "fig14.gemm". */
     std::string run;
@@ -77,6 +79,12 @@ struct RunReport
 
     /** StatRegistry::dumpJson output (a JSON object), or empty. */
     std::string statsJson;
+
+    /**
+     * HostTelemetry::dumpJsonString output (a JSON object), or
+     * empty. Host wall-time attribution for this run; schema v4.
+     */
+    std::string hostJson;
 
     /** Write the report as one self-contained JSON object. */
     void writeJson(std::ostream &os) const;

@@ -42,36 +42,56 @@ writeArgs(std::ostream &os,
 void
 TraceSink::writeChromeTrace(std::ostream &os) const
 {
-    // Stable object -> tid mapping in first-seen order, announced
-    // with thread_name metadata so viewers label the tracks.
-    std::map<std::string, int> tids;
+    // Stable (pid, object) -> tid mapping in first-seen order,
+    // announced with thread_name metadata so viewers label the
+    // tracks. Tids are per-pid: Chrome namespaces them by process.
+    std::map<std::pair<int, std::string>, int> tids;
+    std::map<int, int> nextTid;
+    bool multiPid = false;
     for (const TraceRecord &record : records) {
-        if (tids.find(record.object) == tids.end()) {
-            int tid = static_cast<int>(tids.size());
-            tids.emplace(record.object, tid);
-        }
+        std::pair<int, std::string> key{record.pid, record.object};
+        if (tids.find(key) == tids.end())
+            tids.emplace(key, nextTid[record.pid]++);
     }
+    multiPid = nextTid.size() > 1;
 
     os << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
     bool first = true;
-    for (const auto &[object, tid] : tids) {
+    // Name the process groups only when both time domains are
+    // present; single-domain traces keep the historical layout.
+    if (multiPid) {
+        for (int pid : {tracePidSimulated, tracePidHost}) {
+            if (nextTid.find(pid) == nextTid.end())
+                continue;
+            if (!first)
+                os << ",";
+            first = false;
+            os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":"
+               << pid << ",\"tid\":0,\"args\":{\"name\":\""
+               << (pid == tracePidHost ? "host (wall time)"
+                                       : "simulated time")
+               << "\"}}";
+        }
+    }
+    for (const auto &[key, tid] : tids) {
         if (!first)
             os << ",";
         first = false;
-        os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,"
-           << "\"tid\":" << tid << ",\"args\":{\"name\":\""
-           << jsonEscape(object) << "\"}}";
+        os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":"
+           << key.first << ",\"tid\":" << tid
+           << ",\"args\":{\"name\":\"" << jsonEscape(key.second)
+           << "\"}}";
     }
     for (const TraceRecord &record : records) {
         if (!first)
             os << ",";
         first = false;
-        int tid = tids[record.object];
+        int tid = tids[{record.pid, record.object}];
         os << "{\"name\":\"" << jsonEscape(record.name)
            << "\",\"cat\":\"" << jsonEscape(record.category)
            << "\",\"ph\":\"" << record.phase
            << "\",\"ts\":" << ticksToUs(record.tick)
-           << ",\"pid\":0,\"tid\":" << tid;
+           << ",\"pid\":" << record.pid << ",\"tid\":" << tid;
         if (record.phase == 'X')
             os << ",\"dur\":" << ticksToUs(record.dur);
         if (record.phase == 'i')

@@ -26,6 +26,16 @@
 namespace salam::obs
 {
 
+/**
+ * Process scopes for trace records. Simulated-time tracks live in
+ * pid 0; host-telemetry tracks (sweep-worker timelines, whose "tick"
+ * axis is wall nanoseconds × 1000) live in pid 1 so Perfetto shows
+ * the two time domains as separate, side-by-side process groups in
+ * one file.
+ */
+inline constexpr int tracePidSimulated = 0;
+inline constexpr int tracePidHost = 1;
+
 /** One recorded trace event. */
 struct TraceRecord
 {
@@ -37,6 +47,8 @@ struct TraceRecord
     std::string name;        ///< event or counter-group name
     /** Numeric arguments; for counters these are the series. */
     std::vector<std::pair<std::string, double>> args;
+    /** Chrome process id (tracePidSimulated / tracePidHost). */
+    int pid = tracePidSimulated;
 };
 
 /** Collects trace records and exports Chrome trace_event JSON. */
@@ -53,20 +65,23 @@ class TraceSink
     recordSlice(std::uint64_t start_tick, std::uint64_t duration,
                 std::string object, std::string category,
                 std::string name,
-                std::vector<std::pair<std::string, double>> args = {})
+                std::vector<std::pair<std::string, double>> args = {},
+                int pid = tracePidSimulated)
     {
         push({'X', start_tick, duration, std::move(object),
-              std::move(category), std::move(name), std::move(args)});
+              std::move(category), std::move(name), std::move(args),
+              pid});
     }
 
     /** A zero-duration marker. */
     void
     recordInstant(std::uint64_t tick, std::string object,
                   std::string category, std::string name,
-                  std::vector<std::pair<std::string, double>> args = {})
+                  std::vector<std::pair<std::string, double>> args = {},
+                  int pid = tracePidSimulated)
     {
         push({'i', tick, 0, std::move(object), std::move(category),
-              std::move(name), std::move(args)});
+              std::move(name), std::move(args), pid});
     }
 
     /**
@@ -76,11 +91,15 @@ class TraceSink
     void
     recordCounter(std::uint64_t tick, std::string object,
                   std::string name,
-                  std::vector<std::pair<std::string, double>> series)
+                  std::vector<std::pair<std::string, double>> series,
+                  int pid = tracePidSimulated)
     {
         push({'C', tick, 0, std::move(object), "counter",
-              std::move(name), std::move(series)});
+              std::move(name), std::move(series), pid});
     }
+
+    /** Append an already-built record (trace merging). */
+    void pushRecord(TraceRecord record) { push(std::move(record)); }
 
     std::size_t size() const { return records.size(); }
 

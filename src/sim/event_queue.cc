@@ -85,10 +85,11 @@ EventQueue::reschedule(Event *event, Tick when)
 
 void
 EventQueue::schedule(Tick when, std::function<void()> callback,
-                     std::string name)
+                     std::string name, obs::HostPhase host_phase)
 {
     auto *event = new OwnedLambdaEvent(std::move(callback),
-                                       std::move(name));
+                                       std::move(name),
+                                       Event::defaultPri, host_phase);
     schedule(event, when);
     ++liveLambdas;
 }
@@ -129,10 +130,59 @@ EventQueue::step()
 Tick
 EventQueue::run(Tick limit)
 {
+    obs::HostTelemetry *tel =
+        SimContext::current().hostTelemetry();
+    if (tel == nullptr) {
+        while (!queue.empty()) {
+            if (queue.top().when > limit)
+                break;
+            step();
+        }
+        return _curTick;
+    }
+
+    // Batched wall-time attribution: the clock is read only when the
+    // phase of the next event differs from the running phase, so long
+    // runs of same-class events (engine ticks, memory responses) cost
+    // roughly one clock read per phase *transition* rather than two
+    // per event. Queue bookkeeping between events of one phase is
+    // attributed to that phase; the pre-first-event and residual time
+    // lands in EventLoop.
+    constexpr unsigned n = obs::numHostPhases;
+    std::uint64_t nanos[n] = {};
+    std::uint64_t counts[n] = {};
+    obs::HostPhase current = obs::HostPhase::EventLoop;
+    std::uint64_t stamp = obs::hostNowNs();
     while (!queue.empty()) {
-        if (queue.top().when > limit)
+        Entry top = queue.top();
+        // Drop stale entries here so the classification below always
+        // sees the event step() will actually service (step() skips
+        // them too; this mirrors its logic).
+        if (!top.event->_scheduled ||
+            top.event->_sequence != top.sequence) {
+            queue.pop();
+            if (!top.event->_scheduled && isQueueOwned(top.event))
+                delete top.event;
+            continue;
+        }
+        if (top.when > limit)
             break;
+        obs::HostPhase phase = top.event->hostPhase();
+        if (phase != current) {
+            std::uint64_t now = obs::hostNowNs();
+            nanos[static_cast<unsigned>(current)] += now - stamp;
+            stamp = now;
+            current = phase;
+        }
+        ++counts[static_cast<unsigned>(phase)];
         step();
+    }
+    nanos[static_cast<unsigned>(current)] +=
+        obs::hostNowNs() - stamp;
+    for (unsigned i = 0; i < n; ++i) {
+        if (nanos[i] != 0 || counts[i] != 0)
+            tel->addPhaseTime(static_cast<obs::HostPhase>(i),
+                              nanos[i], counts[i]);
     }
     return _curTick;
 }

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "logging.hh"
+#include "obs/host_telemetry.hh"
 #include "types.hh"
 
 namespace salam
@@ -43,8 +44,10 @@ class Event
         cpuTickPri = 10,
     };
 
-    explicit Event(std::string name, int priority = defaultPri)
-        : _name(std::move(name)), _priority(priority)
+    explicit Event(std::string name, int priority = defaultPri,
+                   obs::HostPhase host_phase = obs::HostPhase::EventLoop)
+        : _name(std::move(name)), _priority(priority),
+          _hostPhase(host_phase)
     {}
 
     virtual ~Event();
@@ -56,6 +59,13 @@ class Event
 
     int priority() const { return _priority; }
 
+    /**
+     * Host-telemetry class this event's process() time is attributed
+     * to (engine scheduling, memory modeling, ...). Fixed at
+     * construction; EventLoop for unclassified events.
+     */
+    obs::HostPhase hostPhase() const { return _hostPhase; }
+
     bool scheduled() const { return _scheduled; }
 
     /** Tick this event is scheduled for; valid only when scheduled. */
@@ -66,6 +76,7 @@ class Event
 
     std::string _name;
     int _priority;
+    obs::HostPhase _hostPhase = obs::HostPhase::EventLoop;
     bool _scheduled = false;
     Tick _when = 0;
     std::uint64_t _sequence = 0;
@@ -76,8 +87,10 @@ class EventFunctionWrapper : public Event
 {
   public:
     EventFunctionWrapper(std::function<void()> callback, std::string name,
-                         int priority = defaultPri)
-        : Event(std::move(name), priority), callback(std::move(callback))
+                         int priority = defaultPri,
+                         obs::HostPhase host_phase = obs::HostPhase::EventLoop)
+        : Event(std::move(name), priority, host_phase),
+          callback(std::move(callback))
     {}
 
     void process() override { callback(); }
@@ -114,7 +127,8 @@ class EventQueue
 
     /** Schedule a one-shot callback owned by the queue. */
     void schedule(Tick when, std::function<void()> callback,
-                  std::string name = "lambda");
+                  std::string name = "lambda",
+                  obs::HostPhase host_phase = obs::HostPhase::EventLoop);
 
     /** True when no events remain. */
     bool empty() const { return queue.empty(); }

@@ -37,6 +37,11 @@
 namespace salam
 {
 
+namespace obs
+{
+class HostTelemetry;
+} // namespace obs
+
 /**
  * Graceful-degradation hooks: callbacks run by fatal() (and the
  * watchdog, which terminates via fatal()) before the run terminates,
@@ -119,6 +124,20 @@ class SimContext
 
     void setFlagMask(std::uint64_t mask) { _flagMask = mask; }
 
+    // --- host-performance telemetry ---
+
+    /**
+     * The host-telemetry accumulator for runs under this context, or
+     * null (the default: zero-overhead). Non-owning — the attacher
+     * (bench main(), a sweep worker) keeps the object alive and
+     * detaches before it dies. Only the thread the context is bound
+     * to may mutate the telemetry through this pointer.
+     */
+    obs::HostTelemetry *hostTelemetry() const { return _telemetry; }
+
+    void setHostTelemetry(obs::HostTelemetry *telemetry)
+    { _telemetry = telemetry; }
+
     // --- trace/log sink ---
 
     using LogSink = std::function<void(const std::string &line)>;
@@ -172,6 +191,7 @@ class SimContext
     };
 
     std::uint64_t _flagMask = 0;
+    obs::HostTelemetry *_telemetry = nullptr;
     LogSink _sink;
     std::vector<HookEntry> _hooks;
     std::size_t _nextHookId = 1;

@@ -34,7 +34,7 @@ DriverCpu::DriverCpu(Simulation &sim, std::string name,
     : ClockedObject(sim, std::move(name), clock_period),
       cpuPort(*this), gic(gic),
       stepEvent([this] { step(); }, this->name() + ".step",
-                Event::cpuTickPri)
+                Event::cpuTickPri, obs::HostPhase::Other)
 {
     if (gic != nullptr)
         gic->setSink([this](unsigned id) { handleIrq(id); });

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <fstream>
 #include <sstream>
 
 #include "core/accel_fixture.hh"
@@ -207,4 +208,135 @@ TEST(SweepRunner, AggregateJsonIsWellFormed)
               "bad \"point\"");
     EXPECT_EQ(doc.at("results").array[2].at("point")
                   .at("value").number, 2.0);
+}
+
+TEST(SweepRunner, HostTelemetryRecordsTimelinesAndWorkers)
+{
+    constexpr std::size_t points = 6;
+    SweepRunner::Options opts;
+    opts.threads = 2;
+    opts.hostTelemetry = true;
+    opts.captureSimTracePoint = -1;
+    SweepRunner runner(opts);
+    auto results = runner.run(points, simulatePoint);
+    for (const auto &r : results)
+        ASSERT_TRUE(r.ok) << r.error;
+
+    const SweepHostSummary &host = runner.hostSummary();
+    EXPECT_TRUE(host.enabled);
+    EXPECT_EQ(host.threads, 2u);
+    EXPECT_GT(host.wallSeconds, 0.0);
+    EXPECT_GT(host.effectiveSpeedup, 0.0);
+
+    // Every point has a complete, ordered span set on a valid
+    // worker.
+    ASSERT_EQ(host.timelines.size(), points);
+    std::size_t worker_points = 0;
+    for (std::size_t i = 0; i < points; ++i) {
+        const SweepPointTimeline &tl = host.timelines[i];
+        EXPECT_EQ(tl.index, i);
+        EXPECT_LT(tl.worker, host.threads) << i;
+        EXPECT_LE(tl.pickedNs, tl.setupEndNs) << i;
+        EXPECT_LE(tl.setupEndNs, tl.runEndNs) << i;
+        EXPECT_LE(tl.runEndNs, tl.endNs) << i;
+        EXPECT_GT(tl.runEndNs - tl.setupEndNs, 0u) << i;
+    }
+    ASSERT_EQ(host.workerPoints.size(), host.threads);
+    for (unsigned w = 0; w < host.threads; ++w)
+        worker_points += host.workerPoints[w];
+    EXPECT_EQ(worker_points, points);
+
+    // The merged telemetry saw real engine/memory event time.
+    EXPECT_GT(host.merged.phase(obs::HostPhase::EngineSchedule)
+                  .count, 0u);
+    EXPECT_GT(host.merged.phase(obs::HostPhase::MemoryModel).count,
+              0u);
+    EXPECT_GT(host.merged.selfNanosTotal(), 0u);
+}
+
+TEST(SweepRunner, HostAggregateJsonAccountsForAllPoints)
+{
+    constexpr std::size_t points = 5;
+    SweepRunner::Options opts;
+    opts.threads = 4;
+    opts.hostTelemetry = true;
+    opts.captureSimTracePoint = -1;
+    SweepRunner runner(opts);
+    auto results = runner.run(points, simulatePoint);
+
+    std::ostringstream os;
+    SweepRunner::writeAggregateJson(os, "host-e2e", results,
+                                    runner.lastThreads(),
+                                    runner.lastWallSeconds(),
+                                    &runner.hostSummary());
+    JsonValue doc = JsonParser(os.str()).parse();
+    EXPECT_EQ(doc.at("points").number,
+              static_cast<double>(points));
+    const JsonValue &host = doc.at("host");
+    EXPECT_EQ(host.at("schema").string, "sweep_host_telemetry_v1");
+    EXPECT_EQ(host.at("threads").number,
+              static_cast<double>(runner.lastThreads()));
+    ASSERT_EQ(host.at("workers").array.size(),
+              runner.lastThreads());
+    double worker_points = 0.0;
+    for (const JsonValue &w : host.at("workers").array) {
+        EXPECT_GE(w.at("busy_fraction").number, 0.0);
+        worker_points += w.at("points").number;
+    }
+    EXPECT_EQ(worker_points, static_cast<double>(points));
+    ASSERT_EQ(host.at("points").array.size(), points);
+    for (std::size_t i = 0; i < points; ++i) {
+        const JsonValue &p = host.at("points").array[i];
+        EXPECT_EQ(p.at("index").number, static_cast<double>(i));
+        EXPECT_LT(p.at("worker").number,
+                  static_cast<double>(runner.lastThreads()));
+        EXPECT_GT(p.at("run_seconds").number, 0.0);
+    }
+    EXPECT_TRUE(host.at("telemetry").isObject());
+    EXPECT_TRUE(host.at("locks").isArray());
+}
+
+TEST(SweepRunner, HostTelemetryFilesAreWellFormed)
+{
+    SweepRunner::Options opts;
+    opts.threads = 2;
+    opts.hostTelemetry = true;
+    opts.captureSimTracePoint = -1;
+    SweepRunner runner(opts);
+    auto results = runner.run(4, simulatePoint);
+    for (const auto &r : results)
+        ASSERT_TRUE(r.ok) << r.error;
+
+    const std::string path = "ut_sweep_host_telemetry.json";
+    ASSERT_TRUE(runner.writeHostTelemetryFiles(path, "ut-sweep"));
+
+    std::ifstream json_in(path);
+    ASSERT_TRUE(json_in.good());
+    std::stringstream json_ss;
+    json_ss << json_in.rdbuf();
+    JsonValue doc = JsonParser(json_ss.str()).parse();
+    EXPECT_EQ(doc.at("sweep").string, "ut-sweep");
+    EXPECT_TRUE(doc.at("host").at("telemetry").isObject());
+
+    // The Chrome trace carries host-scope (pid 1) worker tracks.
+    std::ifstream trace_in(path + ".trace.json");
+    ASSERT_TRUE(trace_in.good());
+    std::stringstream trace_ss;
+    trace_ss << trace_in.rdbuf();
+    JsonValue trace = JsonParser(trace_ss.str()).parse();
+    bool saw_worker_track = false;
+    bool saw_host_slice = false;
+    for (const JsonValue &ev : trace.at("traceEvents").array) {
+        if (ev.at("ph").string == "M" &&
+            ev.at("name").string == "thread_name" &&
+            ev.at("args").at("name").string.rfind("worker", 0) ==
+                0) {
+            saw_worker_track = true;
+        }
+        if (ev.at("ph").string == "X" &&
+            ev.at("pid").number == 1.0)
+            saw_host_slice = true;
+    }
+    EXPECT_TRUE(saw_worker_track);
+    EXPECT_TRUE(saw_host_slice);
 }
