@@ -18,6 +18,7 @@
 #include <fstream>
 #include <functional>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -33,6 +34,7 @@
 #include "obs/debug_flags.hh"
 #include "obs/host_telemetry.hh"
 #include "obs/interval_stats.hh"
+#include "obs/result_store.hh"
 #include "obs/run_report.hh"
 #include "sim/simulation.hh"
 
@@ -98,6 +100,17 @@ struct ObsOptions
      */
     std::string hostTelemetryOut;
 
+    /**
+     * Result-store directory (--store-out). Every run appends a
+     * queryable record here (and sweeps add per-point records); the
+     * store is multi-writer safe, so this does NOT force
+     * --sweep-threads 1.
+     */
+    std::string storeOut;
+
+    /** This bench's name (argv[0] basename), stamped on records. */
+    std::string benchName;
+
     /** The invoking command line (argv joined with spaces). */
     std::string commandLine;
 };
@@ -123,42 +136,171 @@ mainHostTelemetry()
 }
 
 /**
- * Parse the shared observability arguments:
- *   --trace-out <file>      write a Chrome trace_event JSON trace
- *   --report-out <file>     append one RunReport JSON line per run
- *   --stats-out <file>      write the statistics dump as JSON
- *   --profile-out <file>    write the critical-path hotspot report
- *                           (JSON; folded stacks to <file>.folded)
- *                           and enable dynamic-CDFG profiling
- *   --stats-interval <N>    dump+reset statistics every N engine
- *                           cycles (JSONL time series next to
- *                           --stats-out, or stats.intervals.jsonl)
- *   --debug-flags <spec>    enable debug flags, e.g. "Cache,DMA" or
- *                           "All,-Event"; unknown names are fatal
- *   --verbose               enable inform()/warn() output
- *   --inject <spec>         inject a fault, "kind@site[:key=value]*"
- *                           (repeatable; see src/inject/fault_plan.hh
- *                           for kinds and keys)
- *   --inject-seed <N>       campaign seed for unspecified nth/bit
- *   --watchdog <ticks>      forward-progress watchdog window
- *   --dump-out <file>       hang state-dump path (default
- *                           state_dump.json)
- *   --sweep-threads <N>     worker threads for design-space sweeps
- *                           (0 = all hardware threads; default 1)
- *   --host-telemetry        attribute the simulator's own wall time
- *                           to host phases (elaboration, engine,
- *                           memory model, event loop, stats, report
- *                           I/O) and count lock contention
- *   --host-telemetry-out <file>
- *                           implies --host-telemetry; single runs
- *                           write the telemetry JSON to <file>,
- *                           sweeps write the scaling summary there
- *                           plus a Chrome trace with per-worker
- *                           host-time tracks to <file>.trace.json
- * fatal()s on anything it does not recognize.
+ * One command-line option a bench accepts. The shared observability
+ * options live in one table (sharedBenchOptions()); a bench passes
+ * its extra options to parseObsArgs() instead of hand-peeling argv,
+ * so every binary gets the same "--opt value"/"--opt=value"
+ * handling, the same unknown-argument listing, --help for free, and
+ * parent-directory creation on every output path.
+ */
+struct BenchOption
+{
+    /** Flag spelling, e.g. "--trace-out". */
+    std::string name;
+
+    /** Placeholder in help, e.g. "<file>"; empty = boolean flag. */
+    std::string valueName;
+
+    /** One-line help text. */
+    std::string help;
+
+    /** Applies the parsed value (flags receive ""). May fatal(). */
+    std::function<void(const std::string &value)> apply;
+
+    /**
+     * The value names a file (or directory) this bench will write:
+     * missing parent directories are created at parse time.
+     */
+    bool outputPath = false;
+};
+
+using BenchOptionList = std::vector<BenchOption>;
+
+/** Parse an unsigned integer option value; fatal()s on junk. */
+inline std::uint64_t
+benchParseUint(const std::string &flag, const std::string &value,
+               int base = 10)
+{
+    char *end = nullptr;
+    unsigned long long v = std::strtoull(value.c_str(), &end, base);
+    if (end == value.c_str() || *end != '\0')
+        fatal("%s needs a number, got '%s'", flag.c_str(),
+              value.c_str());
+    return v;
+}
+
+/** Process-wide --store-out store slot; see benchStore(). */
+inline std::unique_ptr<obs::ResultStore> &
+benchStoreSlot()
+{
+    static std::unique_ptr<obs::ResultStore> store;
+    return store;
+}
+
+/**
+ * The bench's --store-out result store, or null when not requested.
+ * Opened by parseObsArgs(); the static slot's destructor flushes any
+ * queued records at process exit (fatal() in Exit mode runs static
+ * destructors too, so graceful-fatal runs still land).
+ */
+inline obs::ResultStore *
+benchStore()
+{
+    return benchStoreSlot().get();
+}
+
+/** The shared observability option table. */
+inline BenchOptionList
+sharedBenchOptions()
+{
+    auto o = []() -> ObsOptions & { return obsOptions(); };
+    return {
+        {"--trace-out", "<file>",
+         "write a Chrome trace_event JSON trace (last run wins)",
+         [o](const std::string &v) { o().traceOut = v; }, true},
+        {"--report-out", "<file>",
+         "append one RunReport JSON line per run",
+         [o](const std::string &v) { o().reportOut = v; }, true},
+        {"--stats-out", "<file>",
+         "write the statistics dump as JSON (last run wins)",
+         [o](const std::string &v) { o().statsOut = v; }, true},
+        {"--profile-out", "<file>",
+         "write the critical-path hotspot report (JSON; folded "
+         "stacks to <file>.folded) and enable profiling",
+         [o](const std::string &v) { o().profileOut = v; }, true},
+        {"--store-out", "<dir>",
+         "append queryable run records to a result store "
+         "(inspect with salam-query; sweep-safe)",
+         [o](const std::string &v) { o().storeOut = v; }, false},
+        {"--stats-interval", "<N>",
+         "dump+reset statistics every N engine cycles (JSONL "
+         "series next to --stats-out, or stats.intervals.jsonl)",
+         [o](const std::string &v) {
+             std::uint64_t cycles =
+                 benchParseUint("--stats-interval", v);
+             if (cycles == 0)
+                 fatal("--stats-interval needs a positive cycle "
+                       "count");
+             o().statsInterval = cycles;
+         }},
+        {"--debug-flags", "<spec>",
+         "enable debug flags, e.g. \"Cache,DMA\" or \"All,-Event\"",
+         [](const std::string &v) {
+             std::string error = obs::DebugFlagRegistry::instance()
+                                     .applySpecStrict(v);
+             if (!error.empty())
+                 fatal("%s", error.c_str());
+         }},
+        {"--verbose", "", "enable inform()/warn() output",
+         [](const std::string &) { LogControl::setVerbose(true); }},
+        {"--inject", "<spec>",
+         "inject a fault, \"kind@site[:key=value]*\" (repeatable)",
+         [o](const std::string &v) { o().injectSpecs.push_back(v); }},
+        {"--inject-seed", "<N>",
+         "campaign seed for unspecified nth/bit",
+         [o](const std::string &v) {
+             o().injectSeed = benchParseUint("--inject-seed", v, 0);
+         }},
+        {"--watchdog", "<ticks>",
+         "forward-progress watchdog window",
+         [o](const std::string &v) {
+             std::uint64_t ticks = benchParseUint("--watchdog", v, 0);
+             if (ticks == 0)
+                 fatal("--watchdog needs a positive tick count");
+             o().watchdogTicks = ticks;
+         }},
+        {"--dump-out", "<file>",
+         "hang state-dump path (default state_dump.json)",
+         [o](const std::string &v) { o().dumpOut = v; }, true},
+        {"--sweep-threads", "<N>",
+         "worker threads for design-space sweeps (0 = all hardware "
+         "threads; default 1)",
+         [o](const std::string &v) {
+             std::uint64_t threads =
+                 benchParseUint("--sweep-threads", v);
+             if (threads > 1024)
+                 fatal("--sweep-threads needs a thread count "
+                       "(0 = hardware concurrency), got '%s'",
+                       v.c_str());
+             o().sweepThreads = static_cast<unsigned>(threads);
+         }},
+        {"--host-telemetry", "",
+         "attribute the simulator's own wall time to host phases "
+         "and count lock contention",
+         [o](const std::string &) { o().hostTelemetry = true; }},
+        {"--host-telemetry-out", "<file>",
+         "implies --host-telemetry; single runs write the telemetry "
+         "JSON here, sweeps the scaling summary plus "
+         "<file>.trace.json",
+         [o](const std::string &v) {
+             o().hostTelemetryOut = v;
+             o().hostTelemetry = true;
+         }, true},
+    };
+}
+
+/**
+ * Parse the shared observability arguments (see
+ * sharedBenchOptions() for the list) plus this bench's @p extra
+ * options. Recognizes "--opt value" and "--opt=value"; --help prints
+ * the combined table and exits; anything unrecognized is fatal with
+ * the full option listing. Output-path option values get their
+ * missing parent directories created here, at parse time, so a typo
+ * fails before a long simulation instead of after it.
  */
 inline void
-parseObsArgs(int argc, char **argv)
+parseObsArgs(int argc, char **argv,
+             const BenchOptionList &extra = {})
 {
     ObsOptions &options = obsOptions();
     for (int i = 0; i < argc; ++i) {
@@ -166,6 +308,16 @@ parseObsArgs(int argc, char **argv)
             options.commandLine += ' ';
         options.commandLine += argv[i];
     }
+    if (argc > 0) {
+        options.benchName = argv[0];
+        if (auto slash = options.benchName.find_last_of('/');
+            slash != std::string::npos)
+            options.benchName.erase(0, slash + 1);
+    }
+
+    BenchOptionList table = sharedBenchOptions();
+    table.insert(table.end(), extra.begin(), extra.end());
+
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         // Accept both "--opt value" and "--opt=value".
@@ -176,95 +328,65 @@ parseObsArgs(int argc, char **argv)
             has_inline_value = true;
             arg.erase(eq);
         }
-        auto next = [&]() -> std::string {
-            if (has_inline_value)
-                return inline_value;
-            if (i + 1 >= argc)
-                fatal("%s needs a value", arg.c_str());
-            return argv[++i];
-        };
-        if (arg == "--trace-out") {
-            options.traceOut = next();
-        } else if (arg == "--report-out") {
-            options.reportOut = next();
-        } else if (arg == "--stats-out") {
-            options.statsOut = next();
-        } else if (arg == "--profile-out") {
-            options.profileOut = next();
-        } else if (arg == "--stats-interval") {
-            std::string value = next();
-            char *end = nullptr;
-            unsigned long long cycles =
-                std::strtoull(value.c_str(), &end, 10);
-            if (end == value.c_str() || *end != '\0' || cycles == 0)
-                fatal("--stats-interval needs a positive cycle "
-                      "count, got '%s'",
-                      value.c_str());
-            options.statsInterval = cycles;
-        } else if (arg == "--debug-flags") {
-            std::string error = obs::DebugFlagRegistry::instance()
-                                    .applySpecStrict(next());
-            if (!error.empty())
-                fatal("%s", error.c_str());
-        } else if (arg == "--verbose") {
-            if (has_inline_value)
-                fatal("--verbose takes no value");
-            LogControl::setVerbose(true);
-        } else if (arg == "--inject") {
-            options.injectSpecs.push_back(next());
-        } else if (arg == "--inject-seed") {
-            std::string value = next();
-            char *end = nullptr;
-            options.injectSeed =
-                std::strtoull(value.c_str(), &end, 0);
-            if (end == value.c_str() || *end != '\0')
-                fatal("--inject-seed needs a number, got '%s'",
-                      value.c_str());
-        } else if (arg == "--watchdog") {
-            std::string value = next();
-            char *end = nullptr;
-            unsigned long long ticks =
-                std::strtoull(value.c_str(), &end, 0);
-            if (end == value.c_str() || *end != '\0' || ticks == 0)
-                fatal("--watchdog needs a positive tick count, "
-                      "got '%s'",
-                      value.c_str());
-            options.watchdogTicks = ticks;
-        } else if (arg == "--dump-out") {
-            options.dumpOut = next();
-        } else if (arg == "--sweep-threads") {
-            std::string value = next();
-            char *end = nullptr;
-            unsigned long long threads =
-                std::strtoull(value.c_str(), &end, 10);
-            if (end == value.c_str() || *end != '\0' ||
-                threads > 1024) {
-                fatal("--sweep-threads needs a thread count "
-                      "(0 = hardware concurrency), got '%s'",
-                      value.c_str());
+
+        if (arg == "--help") {
+            std::printf("usage: %s [options]\n\noptions:\n",
+                        options.benchName.c_str());
+            for (const BenchOption &opt : table) {
+                std::string head = opt.name;
+                if (!opt.valueName.empty())
+                    head += " " + opt.valueName;
+                std::printf("  %-26s %s\n", head.c_str(),
+                            opt.help.c_str());
             }
-            options.sweepThreads =
-                static_cast<unsigned>(threads);
-        } else if (arg == "--host-telemetry") {
-            if (has_inline_value)
-                fatal("--host-telemetry takes no value (use "
-                      "--host-telemetry-out for a file)");
-            options.hostTelemetry = true;
-        } else if (arg == "--host-telemetry-out") {
-            options.hostTelemetryOut = next();
-            options.hostTelemetry = true;
-        } else {
-            fatal("unknown argument '%s' (expected --trace-out, "
-                  "--report-out, --stats-out, --profile-out, "
-                  "--stats-interval, --debug-flags, --verbose, "
-                  "--inject, --inject-seed, --watchdog, "
-                  "--dump-out, --sweep-threads, --host-telemetry, "
-                  "or --host-telemetry-out)",
-                  arg.c_str());
+            std::exit(0);
         }
+
+        const BenchOption *opt = nullptr;
+        for (const BenchOption &candidate : table) {
+            if (candidate.name == arg) {
+                opt = &candidate;
+                break;
+            }
+        }
+        if (opt == nullptr) {
+            std::string known;
+            for (std::size_t k = 0; k < table.size(); ++k) {
+                if (k)
+                    known += k + 1 == table.size() ? ", or " : ", ";
+                known += table[k].name;
+            }
+            fatal("unknown argument '%s' (expected %s)", arg.c_str(),
+                  known.c_str());
+        }
+
+        std::string value;
+        if (opt->valueName.empty()) {
+            if (has_inline_value)
+                fatal("%s takes no value", arg.c_str());
+        } else if (has_inline_value) {
+            value = inline_value;
+        } else if (i + 1 >= argc) {
+            fatal("%s needs a value", arg.c_str());
+        } else {
+            value = argv[++i];
+        }
+        if (opt->outputPath && !value.empty() &&
+            !obs::ensureParentDir(value))
+            fatal("%s: cannot create parent directory of '%s'",
+                  arg.c_str(), value.c_str());
+        opt->apply(value);
     }
+
     if (options.hostTelemetry)
         SimContext::current().setHostTelemetry(&mainHostTelemetry());
+    if (!options.storeOut.empty()) {
+        std::string error;
+        benchStoreSlot() =
+            obs::ResultStore::open(options.storeOut, &error);
+        if (benchStore() == nullptr)
+            fatal("--store-out: %s", error.c_str());
+    }
 }
 
 /**
@@ -293,7 +415,8 @@ effectiveSweepThreads()
 
 /**
  * SweepRunner options honouring the bench flags: the effective
- * thread count plus host telemetry when --host-telemetry is on.
+ * thread count, host telemetry when --host-telemetry is on, and the
+ * --store-out store (sweeps add per-point and summary records).
  */
 inline drive::SweepRunner::Options
 sweepRunnerOptions(unsigned threads)
@@ -301,6 +424,8 @@ sweepRunnerOptions(unsigned threads)
     drive::SweepRunner::Options options;
     options.threads = threads;
     options.hostTelemetry = obsOptions().hostTelemetry;
+    options.store = benchStore();
+    options.storeName = obsOptions().benchName;
     return options;
 }
 
@@ -399,7 +524,8 @@ benchTerminationHook(Simulation &sim, std::string run_name)
                 if (os)
                     sim.stats().dumpJson(os);
             }
-            if (!options.reportOut.empty()) {
+            if (!options.reportOut.empty() ||
+                benchStore() != nullptr) {
                 obs::RunReport report;
                 report.run = run_name;
                 report.commandLine = options.commandLine;
@@ -410,7 +536,15 @@ benchTerminationHook(Simulation &sim, std::string run_name)
                          obs::fnv1aHash(message) & 0xFFFFFFFFull)},
                 };
                 report.statsJson = sim.stats().dumpJsonString();
-                report.appendToFile(options.reportOut);
+                if (!options.reportOut.empty())
+                    report.appendToFile(options.reportOut);
+                if (obs::ResultStore *store = benchStore()) {
+                    store->appendRunReport(report,
+                                           options.benchName);
+                    // The process may be about to exit(1); make the
+                    // fatal record durable now.
+                    store->flush();
+                }
             }
         });
 }
@@ -611,11 +745,13 @@ runSalam(const kernels::Kernel &kernel,
     }
     if (tel != nullptr)
         tel->endPhase(); // StatsEmit
-    if (!options.reportOut.empty()) {
+    if (!options.reportOut.empty() || benchStore() != nullptr) {
         obs::RunReport report;
         report.run = kernel.name();
         report.commandLine = options.commandLine;
-        // Fingerprint the knobs that shape this run's timing.
+        // Fingerprint the knobs that shape this run's timing. Also
+        // the store's memoization key: findByConfigHash() answers
+        // "has this exact configuration already been simulated?".
         report.configHash = obs::fnv1aHash(
             kernel.name() + "|clk=" +
             std::to_string(dev.clockPeriod) + "|rp=" +
@@ -633,6 +769,10 @@ runSalam(const kernels::Kernel &kernel,
              static_cast<double>(out.stats.stallCycles)},
             {"dynamic_insts",
              static_cast<double>(out.stats.dynamicInstructions)},
+            // Lets salam-query regress compute ticks/sec from a
+            // record alone, whatever clock this point used.
+            {"clock_period_ticks",
+             static_cast<double>(dev.clockPeriod)},
         };
         if (injector) {
             report.extra.push_back(
@@ -640,13 +780,29 @@ runSalam(const kernels::Kernel &kernel,
                  static_cast<double>(injector->log().size())});
         }
         report.statsJson = sim.stats().dumpJsonString();
-        // Schema v4: host-side wall-time attribution for this
-        // context (cumulative over the runs it has executed).
+        // Host-side wall-time attribution for this context
+        // (cumulative over the runs it has executed).
         if (tel != nullptr)
             report.hostJson = tel->dumpJsonString();
-        if (!report.appendToFile(options.reportOut))
+        if (!options.reportOut.empty() &&
+            !report.appendToFile(options.reportOut))
             fatal("could not append run report to '%s'",
                   options.reportOut.c_str());
+        if (obs::ResultStore *store = benchStore()) {
+            store->appendRunReport(report, options.benchName);
+            if (sim.profilingEnabled() &&
+                !sim.profilers().empty()) {
+                std::ostringstream prof;
+                out.profile.writeJson(prof);
+                obs::StoreRecord rec;
+                rec.kind = "profile";
+                rec.bench = options.benchName;
+                rec.kernel = kernel.name();
+                rec.configHash = report.configHash;
+                rec.json = prof.str();
+                store->append(std::move(rec));
+            }
+        }
     }
     printInjectionLog(injector.get());
     // Single-run telemetry dump (last run wins). Sweep workers run

@@ -26,7 +26,29 @@ using namespace salam::kernels;
 int
 main(int argc, char **argv)
 {
-    salam::bench::parseObsArgs(argc, argv);
+    // --fu-limits trims the FU axis (e.g. "16" for a 5-point slice);
+    // check.sh diffs two such slices with salam-query.
+    std::vector<unsigned> fu_limits = {8u, 16u, 32u, 64u};
+    salam::bench::parseObsArgs(
+        argc, argv,
+        {{"--fu-limits", "<a,b,...>",
+          "comma-separated FU-allocation axis (default 8,16,32,64)",
+          [&](const std::string &v) {
+              fu_limits.clear();
+              std::string item;
+              std::istringstream is(v);
+              while (std::getline(is, item, ',')) {
+                  std::uint64_t limit =
+                      benchParseUint("--fu-limits", item);
+                  if (limit == 0 || limit > 4096)
+                      fatal("--fu-limits: bad FU count '%s'",
+                            item.c_str());
+                  fu_limits.push_back(
+                      static_cast<unsigned>(limit));
+              }
+              if (fu_limits.empty())
+                  fatal("--fu-limits needs at least one count");
+          }}});
     header("Fig. 13: GEMM design space Pareto sweep");
     std::printf("%-6s %-6s %10s | %12s %12s %12s\n", "fu", "ports",
                 "time(us)", "datapath(mW)", "+SPM(mW)",
@@ -41,7 +63,7 @@ main(int argc, char **argv)
         unsigned ports;
     };
     std::vector<Config> grid;
-    for (unsigned fu_limit : {8u, 16u, 32u, 64u})
+    for (unsigned fu_limit : fu_limits)
         for (unsigned ports : {4u, 8u, 16u, 32u, 64u})
             grid.push_back({fu_limit, ports});
 

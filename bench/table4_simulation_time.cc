@@ -76,6 +76,8 @@ timedGemmSweep(unsigned threads,
     // machine-checkable, not just the headline speedup.
     opts.hostTelemetry = true;
     opts.captureSimTracePoint = -1;
+    opts.store = benchStore();
+    opts.storeName = obsOptions().benchName;
     drive::SweepRunner runner(opts);
     auto results = runner.run(grid.size(), [&](std::size_t idx) {
         auto kernel = makeGemm(32, 32);
@@ -153,27 +155,20 @@ writeSimrateJson(const std::string &path,
 int
 main(int argc, char **argv)
 {
-    // Bench-specific flags are peeled off before the shared parser
-    // (which fatals on anything it does not recognize).
     std::string simrate_out = "BENCH_simrate.json";
     bool gemm_only = false;
     bool no_sweep = false;
-    std::vector<char *> pass;
-    pass.push_back(argv[0]);
-    for (int i = 1; i < argc; ++i) {
-        std::string arg = argv[i];
-        if (arg == "--gemm-only") {
-            gemm_only = true;
-        } else if (arg == "--no-sweep") {
-            no_sweep = true;
-        } else if (arg == "--simrate-out" && i + 1 < argc) {
-            simrate_out = argv[++i];
-        } else {
-            pass.push_back(argv[i]);
-        }
-    }
-    salam::bench::parseObsArgs(static_cast<int>(pass.size()),
-                               pass.data());
+    salam::bench::parseObsArgs(
+        argc, argv,
+        {{"--simrate-out", "<file>",
+          "simulation-rate JSON path (default BENCH_simrate.json)",
+          [&](const std::string &v) { simrate_out = v; }, true},
+         {"--gemm-only", "",
+          "probe mode: only the GEMM kernel and the sweep section",
+          [&](const std::string &) { gemm_only = true; }},
+         {"--no-sweep", "",
+          "skip the serial-vs-parallel sweep legs",
+          [&](const std::string &) { no_sweep = true; }}});
 
     core::DeviceConfig default_dev;
     std::vector<KernelRate> rates;

@@ -178,57 +178,101 @@ if c++ ${tsan_flags} -o "${smoke_dir}/tsan_probe" \
         -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread" \
         >/dev/null
     # Only the thread-parallel surface needs TSan coverage: the
-    # SweepRunner/SimContext tests and a real multi-threaded sweep.
+    # SweepRunner/SimContext tests, the result-store writer, and a
+    # real multi-threaded sweep (which now also appends to a store).
     cmake --build "${tsan_dir}" -j "${jobs}" \
-        --target drive_test sim_test fig13_gemm_pareto
+        --target drive_test sim_test obs_test fig13_gemm_pareto
     TSAN_OPTIONS=halt_on_error=1 \
         "${tsan_dir}/tests/drive/drive_test"
     TSAN_OPTIONS=halt_on_error=1 \
         "${tsan_dir}/tests/sim/sim_test" \
         --gtest_filter='SimContext*'
     TSAN_OPTIONS=halt_on_error=1 \
+        "${tsan_dir}/tests/obs/obs_test" \
+        --gtest_filter='StoreTest*:ReportBufferTest*'
+    TSAN_OPTIONS=halt_on_error=1 \
         "${tsan_dir}/bench/fig13_gemm_pareto" --sweep-threads 4 \
+        --store-out "${smoke_dir}/tsan_store" \
         >"${smoke_dir}/tsan_sweep.out"
     echo "tsan job ok"
 else
     echo "thread sanitizer unavailable on this toolchain; skipping"
 fi
 
-echo "== perf: Release GEMM simulation-rate smoke"
+echo "== perf: Release GEMM simulation-rate gate (salam-query)"
 perf_dir="${repo_root}/build-perf"
 cmake -S "${repo_root}" -B "${perf_dir}" \
     -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "${perf_dir}" -j "${jobs}" \
-    --target table4_simulation_time
+    --target table4_simulation_time salam-query
+salam_query="${perf_dir}/src/tools/salam-query"
 "${perf_dir}/bench/table4_simulation_time" --gemm-only \
     --simrate-out "${smoke_dir}/simrate.json" \
+    --store-out "${smoke_dir}/simrate_store" \
     >"${smoke_dir}/simrate.out"
 baseline_file="${repo_root}/BENCH_simrate.json"
 if [[ ! -f "${baseline_file}" ]]; then
     cp "${smoke_dir}/simrate.json" "${baseline_file}"
     echo "no recorded baseline; wrote ${baseline_file}"
 else
-    python3 - "${baseline_file}" "${smoke_dir}/simrate.json" <<'PYEOF'
+    # >20% below the recorded baseline fails the build; wall-clock
+    # noise on shared runners stays well inside this margin.
+    "${salam_query}" regress "${smoke_dir}/simrate_store" \
+        --baseline "${baseline_file}" --max-drop-pct 20 \
+        --kernel gemm
+    # The gate must actually bite: against a baseline doctored 10x
+    # faster, regress has to exit 2 (regression detected).
+    python3 - "${baseline_file}" "${smoke_dir}/fast_baseline.json" \
+        <<'PYEOF'
 import json, sys
-
-def gemm_rate(path):
-    doc = json.load(open(path))
-    for k in doc["kernels"]:
-        if k["kernel"] == "gemm":
-            return k["ticks_per_sec"]
-    raise SystemExit(f"{path}: no gemm entry")
-
-base = gemm_rate(sys.argv[1])
-now = gemm_rate(sys.argv[2])
-ratio = now / base
-print(f"gemm simulation rate: baseline {base:.3e} ticks/s, "
-      f"now {now:.3e} ticks/s ({ratio:.2f}x)")
-# >20% below the recorded baseline fails the build; wall-clock
-# noise on shared runners stays well inside this margin.
-assert ratio >= 0.8, \
-    f"gemm ticks/sec regressed to {ratio:.2f}x of baseline"
+doc = json.load(open(sys.argv[1]))
+for k in doc["kernels"]:
+    k["ticks_per_sec"] *= 10
+json.dump(doc, open(sys.argv[2], "w"))
 PYEOF
+    got=0
+    "${salam_query}" regress "${smoke_dir}/simrate_store" \
+        --baseline "${smoke_dir}/fast_baseline.json" \
+        --max-drop-pct 20 >/dev/null || got=$?
+    if [[ "${got}" -ne 2 ]]; then
+        echo "regress exited ${got} against a 10x baseline," \
+             "expected 2"
+        exit 1
+    fi
+    echo "regress gate bites (exit 2 on doctored baseline)"
 fi
+
+echo "== store: fig13 sweep ingest + salam-query list/diff"
+cmake --build "${perf_dir}" -j "${jobs}" --target fig13_gemm_pareto
+"${perf_dir}/bench/fig13_gemm_pareto" --sweep-threads 4 \
+    --fu-limits 16 --store-out "${smoke_dir}/store_a" \
+    >"${smoke_dir}/store_a.out"
+"${perf_dir}/bench/fig13_gemm_pareto" --sweep-threads 4 \
+    --fu-limits 64 --store-out "${smoke_dir}/store_b" \
+    >"${smoke_dir}/store_b.out"
+"${salam_query}" list "${smoke_dir}/store_a" \
+    >"${smoke_dir}/store_list.out"
+grep -q "fig13_gemm_pareto" "${smoke_dir}/store_list.out"
+"${salam_query}" diff "${smoke_dir}/store_a" \
+    "${smoke_dir}/store_b" --json \
+    >"${smoke_dir}/store_diff.json"
+python3 - "${smoke_dir}/store_diff.json" <<'PYEOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+# 5 ports points per FU slice, paired point-by-point.
+assert doc["paired"] == 5, f"expected 5 paired rows: {doc['paired']}"
+assert doc["only_in_a"] == 0 and doc["only_in_b"] == 0, \
+    "sweeps of equal shape left unpaired rows"
+for row in doc["rows"]:
+    assert row["kernel"] == "gemm", row
+    for field in ("cycles", "stall_cycles"):
+        assert field in row["fields"], \
+            f"point {row['point']}: no {field} delta in diff"
+changed = [r["point"] for r in doc["rows"] if r["changed"]]
+assert changed, "16 vs 64 FUs produced identical results everywhere"
+print(f"store diff ok: 5 paired points, "
+      f"cycle/stall deltas at points {changed}")
+PYEOF
 
 echo "== host telemetry: sweep artifacts + overhead gate"
 cmake --build "${perf_dir}" -j "${jobs}" \

@@ -8,6 +8,8 @@
 #include <thread>
 
 #include "obs/json.hh"
+#include "obs/result_store.hh"
+#include "obs/run_report.hh"
 #include "sim/logging.hh"
 #include "sim/sim_context.hh"
 
@@ -63,11 +65,15 @@ SweepRunner::run(std::size_t num_points, const PointFn &fn)
     auto worker = [&] {
         const unsigned wid =
             worker_ids.fetch_add(1, std::memory_order_relaxed);
+        // All RunReport appends from this worker's points buffer
+        // here and hit the filesystem once, when the worker drains —
+        // the per-point lock-during-I/O bottleneck is gone.
+        obs::ReportBuffer report_buffer;
         for (;;) {
             std::size_t idx =
                 next.fetch_add(1, std::memory_order_relaxed);
             if (idx >= num_points)
-                return;
+                break;
             SweepPointResult &r = results[idx];
             SweepPointTimeline &tl = summary.timelines[idx];
             tl.index = idx;
@@ -80,6 +86,8 @@ SweepRunner::run(std::size_t num_points, const PointFn &fn)
             SimContext ctx;
             ctx.setFlagMask(flag_mask);
             ctx.setFatalMode(SimContext::FatalMode::Throw);
+            ctx.setReportSink(&report_buffer);
+            ctx.setSweepPointIndex(static_cast<long>(idx));
             ScopedSimContext bind(ctx);
             if (opts.hostTelemetry) {
                 if (opts.captureSimTracePoint >= 0 &&
@@ -118,6 +126,8 @@ SweepRunner::run(std::size_t num_points, const PointFn &fn)
             }
             tl.endNs = obs::hostNowNs() - sweep_start_ns;
         }
+        if (!report_buffer.flush())
+            warn("sweep worker %u: report-buffer flush failed", wid);
     };
 
     auto sweep_t0 = clock::now();
@@ -183,6 +193,49 @@ SweepRunner::run(std::size_t num_points, const PointFn &fn)
             point_tel[static_cast<std::size_t>(
                           opts.captureSimTracePoint)]
                 .capturedSimTrace());
+    }
+
+    if (opts.store != nullptr) {
+        std::size_t failed = 0;
+        for (std::size_t i = 0; i < num_points; ++i) {
+            const SweepPointResult &r = results[i];
+            if (!r.ok)
+                ++failed;
+            obs::StoreRecord rec;
+            rec.kind = "sweep_point";
+            rec.bench = opts.storeName;
+            rec.outcome = r.outcome;
+            rec.point = static_cast<long>(i);
+            std::ostringstream payload;
+            payload << "{\"index\":" << i << ",\"outcome\":\""
+                    << obs::jsonEscape(r.outcome)
+                    << "\",\"wall_seconds\":"
+                    << obs::jsonNumber(r.wallSeconds);
+            if (!r.error.empty())
+                payload << ",\"error\":\"" << obs::jsonEscape(r.error)
+                        << "\"";
+            if (!r.payload.empty())
+                payload << ",\"point\":" << r.payload;
+            payload << "}";
+            rec.json = payload.str();
+            opts.store->append(std::move(rec));
+        }
+        obs::StoreRecord rec;
+        rec.kind = "sweep";
+        rec.bench = opts.storeName;
+        rec.outcome = failed == 0 ? "ok" : "error";
+        std::ostringstream payload;
+        payload << "{\"points\":" << num_points
+                << ",\"failed_points\":" << failed
+                << ",\"threads\":" << threads << ",\"wall_seconds\":"
+                << obs::jsonNumber(wallSeconds)
+                << ",\"point_seconds_sum\":"
+                << obs::jsonNumber(summary.pointSecondsSum) << "}";
+        rec.json = payload.str();
+        opts.store->append(std::move(rec));
+        if (!opts.store->flush())
+            warn("sweep '%s': result-store flush failed",
+                 opts.storeName.c_str());
     }
 
     if (threads > 1 && summary.effectiveSpeedup < 1.0 &&

@@ -30,6 +30,11 @@
 
 #include "obs/host_telemetry.hh"
 
+namespace salam::obs
+{
+class ResultStore;
+} // namespace salam::obs
+
 namespace salam::drive
 {
 
@@ -143,6 +148,20 @@ class SweepRunner
          * show both time domains). Negative disables capture.
          */
         long captureSimTracePoint = 0;
+
+        /**
+         * Destination result store (caller-owned, may be null).
+         * Every point gets a kind="sweep_point" record and the run
+         * gets one kind="sweep" summary record; the store is flushed
+         * once at the end of run(). Point functions that build
+         * RunReports also land kind="run" records here via their
+         * bench wiring — this field only covers the sweep-level
+         * bookkeeping.
+         */
+        obs::ResultStore *store = nullptr;
+
+        /** Bench name stamped on store records. */
+        std::string storeName;
     };
 
     SweepRunner() = default;

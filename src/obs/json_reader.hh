@@ -1,0 +1,318 @@
+/**
+ * @file
+ * A minimal recursive-descent JSON reader for the observability
+ * layer's own outputs.
+ *
+ * Historically the simulator only *emitted* JSON and parsing lived in
+ * the tests. The run-results store changed that: `ResultStore` record
+ * files and `salam-query` both read back the JSON the emitters
+ * produced, so the parser now lives here and the test-support header
+ * aliases it. It supports the full grammar the emitters use — objects,
+ * arrays, strings with escapes, numbers, booleans, null — and throws
+ * std::runtime_error with a byte offset on malformed input, which
+ * lets store loading skip-and-warn on exactly the corrupt line.
+ */
+
+#ifndef SALAM_OBS_JSON_READER_HH
+#define SALAM_OBS_JSON_READER_HH
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace salam::obs
+{
+
+/** One parsed JSON value. */
+struct JsonValue
+{
+    enum class Kind
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object
+    };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string string;
+    std::vector<JsonValue> array;
+    std::map<std::string, JsonValue> object;
+
+    bool isObject() const { return kind == Kind::Object; }
+
+    bool isArray() const { return kind == Kind::Array; }
+
+    bool isNumber() const { return kind == Kind::Number; }
+
+    bool isString() const { return kind == Kind::String; }
+
+    bool has(const std::string &key) const
+    { return isObject() && object.count(key) > 0; }
+
+    /** Member access; throws when absent (loud failures). */
+    const JsonValue &
+    at(const std::string &key) const
+    {
+        auto it = object.find(key);
+        if (it == object.end())
+            throw std::runtime_error("missing key '" + key + "'");
+        return it->second;
+    }
+
+    /** object[key] as a string, or @p dflt when absent/not string. */
+    std::string
+    stringOr(const std::string &key, const std::string &dflt) const
+    {
+        auto it = object.find(key);
+        if (it == object.end() || !it->second.isString())
+            return dflt;
+        return it->second.string;
+    }
+
+    /** object[key] as a number, or @p dflt when absent/not number. */
+    double
+    numberOr(const std::string &key, double dflt) const
+    {
+        auto it = object.find(key);
+        if (it == object.end() || !it->second.isNumber())
+            return dflt;
+        return it->second.number;
+    }
+};
+
+/** Parser state over one input string. */
+class JsonReader
+{
+  public:
+    explicit JsonReader(const std::string &text) : text(text) {}
+
+    JsonValue
+    parse()
+    {
+        JsonValue value = parseValue();
+        skipSpace();
+        if (pos != text.size())
+            fail("trailing characters");
+        return value;
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const std::string &what) const
+    {
+        throw std::runtime_error("JSON error at byte " +
+                                 std::to_string(pos) + ": " + what);
+    }
+
+    void
+    skipSpace()
+    {
+        while (pos < text.size() &&
+               std::isspace(static_cast<unsigned char>(text[pos]))) {
+            ++pos;
+        }
+    }
+
+    char
+    peek()
+    {
+        skipSpace();
+        if (pos >= text.size())
+            fail("unexpected end of input");
+        return text[pos];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            fail(std::string("expected '") + c + "'");
+        ++pos;
+    }
+
+    bool
+    consumeLiteral(const char *literal)
+    {
+        std::size_t len = std::string(literal).size();
+        if (text.compare(pos, len, literal) == 0) {
+            pos += len;
+            return true;
+        }
+        return false;
+    }
+
+    JsonValue
+    parseValue()
+    {
+        switch (peek()) {
+          case '{':
+            return parseObject();
+          case '[':
+            return parseArray();
+          case '"': {
+            JsonValue v;
+            v.kind = JsonValue::Kind::String;
+            v.string = parseString();
+            return v;
+          }
+          case 't':
+          case 'f': {
+            JsonValue v;
+            v.kind = JsonValue::Kind::Bool;
+            if (consumeLiteral("true"))
+                v.boolean = true;
+            else if (consumeLiteral("false"))
+                v.boolean = false;
+            else
+                fail("bad literal");
+            return v;
+          }
+          case 'n': {
+            if (!consumeLiteral("null"))
+                fail("bad literal");
+            return JsonValue{};
+          }
+          default:
+            return parseNumber();
+        }
+    }
+
+    JsonValue
+    parseObject()
+    {
+        expect('{');
+        JsonValue v;
+        v.kind = JsonValue::Kind::Object;
+        if (peek() == '}') {
+            ++pos;
+            return v;
+        }
+        while (true) {
+            std::string key = parseString();
+            expect(':');
+            v.object[key] = parseValue();
+            char c = peek();
+            ++pos;
+            if (c == '}')
+                return v;
+            if (c != ',')
+                fail("expected ',' or '}' in object");
+        }
+    }
+
+    JsonValue
+    parseArray()
+    {
+        expect('[');
+        JsonValue v;
+        v.kind = JsonValue::Kind::Array;
+        if (peek() == ']') {
+            ++pos;
+            return v;
+        }
+        while (true) {
+            v.array.push_back(parseValue());
+            char c = peek();
+            ++pos;
+            if (c == ']')
+                return v;
+            if (c != ',')
+                fail("expected ',' or ']' in array");
+        }
+    }
+
+    std::string
+    parseString()
+    {
+        expect('"');
+        std::string out;
+        while (true) {
+            if (pos >= text.size())
+                fail("unterminated string");
+            char c = text[pos++];
+            if (c == '"')
+                return out;
+            if (c != '\\') {
+                out.push_back(c);
+                continue;
+            }
+            if (pos >= text.size())
+                fail("dangling escape");
+            char esc = text[pos++];
+            switch (esc) {
+              case '"': out.push_back('"'); break;
+              case '\\': out.push_back('\\'); break;
+              case '/': out.push_back('/'); break;
+              case 'b': out.push_back('\b'); break;
+              case 'f': out.push_back('\f'); break;
+              case 'n': out.push_back('\n'); break;
+              case 'r': out.push_back('\r'); break;
+              case 't': out.push_back('\t'); break;
+              case 'u': {
+                if (pos + 4 > text.size())
+                    fail("short \\u escape");
+                // Byte fidelity only needed for ASCII escapes (the
+                // emitters never produce anything else).
+                unsigned code = static_cast<unsigned>(std::strtoul(
+                    text.substr(pos, 4).c_str(), nullptr, 16));
+                pos += 4;
+                if (code < 0x80) {
+                    out.push_back(static_cast<char>(code));
+                } else {
+                    out.push_back('?');
+                }
+                break;
+              }
+              default:
+                fail("bad escape");
+            }
+        }
+    }
+
+    JsonValue
+    parseNumber()
+    {
+        skipSpace();
+        std::size_t start = pos;
+        if (pos < text.size() && (text[pos] == '-' || text[pos] == '+'))
+            ++pos;
+        bool any = false;
+        while (pos < text.size() &&
+               (std::isdigit(static_cast<unsigned char>(text[pos])) ||
+                text[pos] == '.' || text[pos] == 'e' ||
+                text[pos] == 'E' || text[pos] == '-' ||
+                text[pos] == '+')) {
+            ++pos;
+            any = true;
+        }
+        if (!any)
+            fail("expected a number");
+        JsonValue v;
+        v.kind = JsonValue::Kind::Number;
+        v.number = std::strtod(text.substr(start, pos - start).c_str(),
+                               nullptr);
+        return v;
+    }
+
+    const std::string &text;
+    std::size_t pos = 0;
+};
+
+/** Parse @p text; throws std::runtime_error on malformed input. */
+inline JsonValue
+parseJson(const std::string &text)
+{
+    return JsonReader(text).parse();
+}
+
+} // namespace salam::obs
+
+#endif // SALAM_OBS_JSON_READER_HH

@@ -1,12 +1,15 @@
 #include "run_report.hh"
 
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
+#include <map>
 #include <mutex>
 #include <sstream>
 
 #include "host_telemetry.hh"
 #include "json.hh"
+#include "sim/sim_context.hh"
 
 namespace salam::obs
 {
@@ -15,6 +18,49 @@ const char *
 simulatorVersionString()
 {
     return "salam-0.2";
+}
+
+const char *
+gitShaString()
+{
+#ifdef SALAM_GIT_SHA
+    return SALAM_GIT_SHA;
+#else
+    return "unknown";
+#endif
+}
+
+const char *
+buildTypeString()
+{
+#ifdef SALAM_BUILD_TYPE
+    return SALAM_BUILD_TYPE;
+#else
+    return "unknown";
+#endif
+}
+
+const char *
+sanitizersString()
+{
+#ifdef SALAM_SANITIZERS
+    return SALAM_SANITIZERS;
+#else
+    return "";
+#endif
+}
+
+std::string
+buildInfoJson()
+{
+    std::string out = "{\"git_sha\":\"";
+    out += jsonEscape(gitShaString());
+    out += "\",\"build_type\":\"";
+    out += jsonEscape(buildTypeString());
+    out += "\",\"sanitizers\":\"";
+    out += jsonEscape(sanitizersString());
+    out += "\"}";
+    return out;
 }
 
 std::uint64_t
@@ -26,6 +72,18 @@ fnv1aHash(const std::string &text)
         hash *= 0x100000001b3ull;
     }
     return hash;
+}
+
+bool
+ensureParentDir(const std::string &path)
+{
+    std::filesystem::path parent =
+        std::filesystem::path(path).parent_path();
+    if (parent.empty())
+        return true;
+    std::error_code ec;
+    std::filesystem::create_directories(parent, ec);
+    return !ec || std::filesystem::is_directory(parent);
 }
 
 namespace
@@ -40,7 +98,49 @@ hex64(std::uint64_t v)
     return buf;
 }
 
+/**
+ * Append @p data to @p path under the shared append lock. The lock
+ * guards only the file operation — callers serialize to text first —
+ * and the instrumented mutex lets host telemetry report how much
+ * wall time the residual contention costs.
+ */
+bool
+lockedAppend(const std::string &path, const std::string &data)
+{
+    static TimedMutex appendMutex("run_report_append");
+    std::lock_guard<TimedMutex> lock(appendMutex);
+    if (!ensureParentDir(path))
+        return false;
+    std::ofstream os(path, std::ios::app);
+    if (!os)
+        return false;
+    os << data;
+    return static_cast<bool>(os);
+}
+
 } // namespace
+
+ReportBuffer::~ReportBuffer()
+{
+    flush();
+}
+
+bool
+ReportBuffer::flush()
+{
+    if (entries.empty())
+        return true;
+    // Group by destination so each path is opened once per flush; a
+    // sweep's worth of lines lands in one append per worker.
+    std::map<std::string, std::string> by_path;
+    for (auto &[path, line] : entries)
+        by_path[path] += line;
+    entries.clear();
+    bool ok = true;
+    for (const auto &[path, data] : by_path)
+        ok = lockedAppend(path, data) && ok;
+    return ok;
+}
 
 void
 RunReport::writeJson(std::ostream &os) const
@@ -55,6 +155,7 @@ RunReport::writeJson(std::ostream &os) const
        // double-precision round trip most JSON readers apply.
        << ",\"config_hash\":\"" << hex64(configHash) << "\""
        << ",\"command_line\":\"" << jsonEscape(commandLine) << "\""
+       << ",\"build\":" << buildInfoJson()
        << ",\"outcome\":\""
        << jsonEscape(outcome.empty() ? "ok" : outcome) << "\""
        << ",\"run\":\"" << jsonEscape(run) << "\""
@@ -70,27 +171,29 @@ RunReport::writeJson(std::ostream &os) const
     os << "}";
 }
 
+std::string
+RunReport::jsonString() const
+{
+    std::ostringstream os;
+    writeJson(os);
+    return os.str();
+}
+
 bool
 RunReport::appendToFile(const std::string &path) const
 {
-    // Sweep workers may append reports to one shared JSONL file;
-    // serialize so concurrent lines never interleave mid-record.
-    // Serialization to text happens *outside* the lock so workers
-    // only contend for the file append itself, not for JSON
-    // rendering; the instrumented mutex lets host telemetry report
-    // how much wall time that residual contention costs.
     ScopedHostPhase phase(HostPhase::ReportIo);
     std::ostringstream line;
     writeJson(line);
     line << "\n";
 
-    static TimedMutex appendMutex("run_report_append");
-    std::lock_guard<TimedMutex> lock(appendMutex);
-    std::ofstream os(path, std::ios::app);
-    if (!os)
-        return false;
-    os << line.str();
-    return static_cast<bool>(os);
+    // A sweep worker buffers worker-locally (no lock, no I/O); the
+    // buffer's end-of-sweep flush performs the one real append.
+    if (ReportBuffer *sink = SimContext::current().reportSink()) {
+        sink->add(path, line.str());
+        return true;
+    }
+    return lockedAppend(path, line.str());
 }
 
 } // namespace salam::obs

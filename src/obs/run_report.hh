@@ -7,6 +7,14 @@
  * instead of hand-copied console output. The stats payload is the
  * StatRegistry::dumpJson rendering, embedded verbatim; the report
  * itself stays dependency-free so any layer can produce one.
+ *
+ * Output routing: appendToFile() consults the calling thread's
+ * SimContext. With no report sink bound it appends directly to the
+ * file (serialization happens outside the lock; the lock guards only
+ * the append). When a sweep has bound a per-worker ReportBuffer, the
+ * line is buffered worker-locally with no locking at all and flushed
+ * once when the sweep ends — the fix for the per-point
+ * mutex-during-I/O contention the parallel-sweep work kept hitting.
  */
 
 #ifndef SALAM_OBS_RUN_REPORT_HH
@@ -25,10 +33,65 @@ namespace salam::obs
 const char *simulatorVersionString();
 
 /**
+ * Build attribution baked in at configure time: the git commit the
+ * tree was built from (short SHA; "unknown" outside a checkout), the
+ * CMake build type, and any sanitizers in the compile flags. These go
+ * into every run report so store records remain attributable across
+ * machines and build trees.
+ */
+const char *gitShaString();
+const char *buildTypeString();
+const char *sanitizersString();
+
+/** {"git_sha":...,"build_type":...,"sanitizers":...} as JSON. */
+std::string buildInfoJson();
+
+/**
  * FNV-1a over @p text; used to fingerprint run configurations so
  * downstream tooling can group or reject dumps by exact config.
  */
 std::uint64_t fnv1aHash(const std::string &text);
+
+/**
+ * Create the parent directory of @p path (and any missing ancestors)
+ * so opening the file for writing cannot fail on a missing directory.
+ * Returns false when creation failed; a path with no directory part
+ * is trivially true.
+ */
+bool ensureParentDir(const std::string &path);
+
+/**
+ * Per-worker buffer of run-report lines, keyed by destination path.
+ * Not thread-safe by design: one buffer belongs to one worker thread
+ * (bound via SimContext::setReportSink), and flush() happens after
+ * the worker is done — one file append per path per sweep instead of
+ * one lock acquisition per point. The destructor flushes.
+ */
+class ReportBuffer
+{
+  public:
+    ReportBuffer() = default;
+
+    ~ReportBuffer();
+
+    ReportBuffer(const ReportBuffer &) = delete;
+    ReportBuffer &operator=(const ReportBuffer &) = delete;
+
+    /** Buffer one already-serialized line (newline included). */
+    void
+    add(std::string path, std::string line)
+    {
+        entries.emplace_back(std::move(path), std::move(line));
+    }
+
+    /** Append every buffered line to its file; false on I/O error. */
+    bool flush();
+
+    std::size_t pendingLines() const { return entries.size(); }
+
+  private:
+    std::vector<std::pair<std::string, std::string>> entries;
+};
 
 /** Everything worth persisting about one run. */
 struct RunReport
@@ -36,15 +99,18 @@ struct RunReport
     /**
      * Schema version of the emitted JSON. Bump whenever the layout
      * changes incompatibly; readers reject versions they do not
-     * know.
+     * know. The consolidated v1→v5 history lives in DESIGN.md
+     * ("RunReport schema history").
      *   1: run/cycles/sim_seconds/compile_seconds/extra/stats (PR 1)
      *   2: adds schema_version, simulator_version, config_hash, and
      *      command_line metadata
      *   3: adds outcome ("ok" | "deadlock" | "fault")
      *   4: adds optional host (host-telemetry summary: wall-time
      *      phase attribution, lock contention, allocation pressure)
+     *   5: adds build (git SHA, build type, sanitizers), always
+     *      present
      */
-    static constexpr unsigned schemaVersion = 4;
+    static constexpr unsigned schemaVersion = 5;
 
     /** Experiment or kernel identifier, e.g. "fig14.gemm". */
     std::string run;
@@ -89,9 +155,14 @@ struct RunReport
     /** Write the report as one self-contained JSON object. */
     void writeJson(std::ostream &os) const;
 
+    /** writeJson as a string (the JSONL/store line body). */
+    std::string jsonString() const;
+
     /**
-     * Append the report as one line of JSON (JSONL) to @p path.
-     * @return false on I/O failure.
+     * Append the report as one line of JSON (JSONL) to @p path,
+     * through the current SimContext's report sink when one is
+     * bound (see the file comment). Creates missing parent
+     * directories. @return false on I/O failure.
      */
     bool appendToFile(const std::string &path) const;
 };

@@ -1,0 +1,233 @@
+#include "store_query.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <set>
+
+namespace salam::obs
+{
+
+namespace
+{
+
+/** Envelope/meta payload keys that are never worth diffing. */
+bool
+comparableField(const std::string &key)
+{
+    return key != "schema_version" && key != "timestamp_ns";
+}
+
+/**
+ * Wall-clock fields jitter run to run; they are reported in the diff
+ * but never decide whether a row "changed" — that is reserved for
+ * deterministic simulation results (cycles, stalls, counters).
+ */
+bool
+noisyField(const std::string &key)
+{
+    return key.size() >= 8 &&
+           key.compare(key.size() - 8, 8, "_seconds") == 0;
+}
+
+} // namespace
+
+std::vector<const LoadedRecord *>
+orderedRuns(const StoreReader &reader, const RecordFilter &filter)
+{
+    RecordFilter f = filter;
+    if (f.kind.empty())
+        f.kind = "run";
+    std::vector<const LoadedRecord *> runs = reader.select(f);
+    std::stable_sort(
+        runs.begin(), runs.end(),
+        [](const LoadedRecord *x, const LoadedRecord *y) {
+            if (x->kernel != y->kernel)
+                return x->kernel < y->kernel;
+            // Points first, in index order; non-sweep records keep
+            // their load order after them.
+            long px = x->point < 0 ? std::numeric_limits<long>::max()
+                                   : x->point;
+            long py = y->point < 0 ? std::numeric_limits<long>::max()
+                                   : y->point;
+            if (px != py)
+                return px < py;
+            return x->seq < y->seq;
+        });
+    return runs;
+}
+
+DiffReport
+diffStores(const StoreReader &a, const StoreReader &b,
+           const RecordFilter &filter, const std::string &only_field)
+{
+    DiffReport report;
+    std::vector<const LoadedRecord *> runs_a = orderedRuns(a, filter);
+    std::vector<const LoadedRecord *> runs_b = orderedRuns(b, filter);
+
+    std::size_t n = std::max(runs_a.size(), runs_b.size());
+    for (std::size_t i = 0; i < n; ++i) {
+        DiffRow row;
+        row.a = i < runs_a.size() ? runs_a[i] : nullptr;
+        row.b = i < runs_b.size() ? runs_b[i] : nullptr;
+        const LoadedRecord *any = row.a ? row.a : row.b;
+        row.kernel = any->kernel;
+        row.point = any->point;
+        if (row.a == nullptr) {
+            ++report.onlyInB;
+            report.rows.push_back(std::move(row));
+            continue;
+        }
+        if (row.b == nullptr) {
+            ++report.onlyInA;
+            report.rows.push_back(std::move(row));
+            continue;
+        }
+        ++report.pairedRows;
+
+        // Compare every numeric field the two payloads share.
+        std::set<std::string> keys;
+        for (const auto &[key, value] : row.a->record.object) {
+            if (value.isNumber() && comparableField(key))
+                keys.insert(key);
+        }
+        for (const std::string &key : keys) {
+            if (!only_field.empty() && key != only_field)
+                continue;
+            if (!row.b->record.has(key) ||
+                !row.b->record.at(key).isNumber())
+                continue;
+            DiffField field;
+            field.key = key;
+            field.a = row.a->record.at(key).number;
+            field.b = row.b->record.at(key).number;
+            field.delta = field.b - field.a;
+            field.pct = field.a != 0.0
+                            ? 100.0 * field.delta / field.a
+                            : 0.0;
+            if (field.delta != 0.0 && !noisyField(key))
+                row.changed = true;
+            row.fields.push_back(std::move(field));
+        }
+        if (row.changed)
+            ++report.changedRows;
+        report.rows.push_back(std::move(row));
+    }
+    return report;
+}
+
+RegressReport
+regressAgainstBaseline(const StoreReader &reader,
+                       const std::string &baseline_json,
+                       double max_drop_pct, const std::string &kernel)
+{
+    RegressReport report;
+    report.maxDropPct = max_drop_pct;
+
+    JsonValue baseline;
+    try {
+        baseline = parseJson(baseline_json);
+    } catch (const std::exception &e) {
+        report.error = std::string("bad baseline JSON: ") + e.what();
+        return report;
+    }
+    if (!baseline.isObject() || !baseline.has("kernels") ||
+        !baseline.at("kernels").isArray()) {
+        report.error = "baseline has no kernels array";
+        return report;
+    }
+    double baseline_clock = baseline.numberOr("clock_period_ticks", 0);
+
+    RecordFilter filter;
+    filter.kind = "run";
+    filter.outcome = "ok";
+    std::vector<const LoadedRecord *> runs = reader.select(filter);
+
+    bool all_pass = true;
+    for (const JsonValue &entry : baseline.at("kernels").array) {
+        if (!entry.isObject())
+            continue;
+        std::string name = entry.stringOr("kernel", "");
+        if (name.empty() || (!kernel.empty() && name != kernel))
+            continue;
+        double base_rate = entry.numberOr("ticks_per_sec", 0.0);
+        if (base_rate <= 0.0)
+            continue;
+
+        // Best observed rate across this kernel's ok records.
+        double best = 0.0;
+        for (const LoadedRecord *rec : runs) {
+            if (rec->kernel != name)
+                continue;
+            double cycles = rec->number("cycles");
+            double seconds = rec->number("sim_seconds");
+            double clock =
+                rec->number("clock_period_ticks", baseline_clock);
+            if (cycles <= 0.0 || seconds <= 0.0 || clock <= 0.0)
+                continue;
+            best = std::max(best, cycles * clock / seconds);
+        }
+        if (best <= 0.0) {
+            report.missingKernels.push_back(name);
+            continue;
+        }
+
+        RegressRow row;
+        row.kernel = name;
+        row.baselineTicksPerSec = base_rate;
+        row.currentTicksPerSec = best;
+        row.ratio = best / base_rate;
+        row.pass = row.ratio >= 1.0 - max_drop_pct / 100.0;
+        all_pass = all_pass && row.pass;
+        report.rows.push_back(std::move(row));
+    }
+
+    report.pass = all_pass && !report.rows.empty();
+    if (report.rows.empty() && report.error.empty())
+        report.error = "no store record matches any baseline kernel";
+    return report;
+}
+
+std::vector<TopEntry>
+topHotspots(const StoreReader &reader, std::size_t limit)
+{
+    RecordFilter filter;
+    filter.kind = "profile";
+    std::map<std::string, TopEntry> merged;
+    for (const LoadedRecord *rec : reader.select(filter)) {
+        if (!rec->record.has("by_instruction") ||
+            !rec->record.at("by_instruction").isArray())
+            continue;
+        for (const JsonValue &spot :
+             rec->record.at("by_instruction").array) {
+            if (!spot.isObject())
+                continue;
+            std::string label = spot.stringOr("label", "");
+            if (label.empty())
+                continue;
+            TopEntry &entry = merged[label];
+            entry.label = label;
+            entry.cycles += static_cast<std::uint64_t>(
+                spot.numberOr("cycles", 0.0));
+            entry.instances += static_cast<std::uint64_t>(
+                spot.numberOr("instances", 0.0));
+            entry.runs += 1;
+        }
+    }
+    std::vector<TopEntry> out;
+    out.reserve(merged.size());
+    for (auto &[label, entry] : merged)
+        out.push_back(std::move(entry));
+    std::sort(out.begin(), out.end(),
+              [](const TopEntry &x, const TopEntry &y) {
+                  if (x.cycles != y.cycles)
+                      return x.cycles > y.cycles;
+                  return x.label < y.label;
+              });
+    if (out.size() > limit)
+        out.resize(limit);
+    return out;
+}
+
+} // namespace salam::obs

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Query operations over run-result stores: the logic behind the
+ * `salam-query` CLI (list/show/diff/regress/top), kept as a library
+ * so tests can drive it on synthetic stores without spawning the
+ * tool.
+ *
+ * All operations work on StoreReader snapshots. Run records from a
+ * sweep are ordered by (kernel, sweep point, load order) before
+ * pairing, so diffing two sweeps compares point i against point i
+ * regardless of which worker happened to finish first.
+ */
+
+#ifndef SALAM_OBS_STORE_QUERY_HH
+#define SALAM_OBS_STORE_QUERY_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "result_store.hh"
+
+namespace salam::obs
+{
+
+/** Run records matching @p filter in stable comparison order. */
+std::vector<const LoadedRecord *>
+orderedRuns(const StoreReader &reader, const RecordFilter &filter);
+
+/** One numeric field compared between two paired records. */
+struct DiffField
+{
+    std::string key;
+    double a = 0.0;
+    double b = 0.0;
+    double delta = 0.0;
+
+    /** Percent change b vs a; 0 when a == 0. */
+    double pct = 0.0;
+};
+
+/** One pair of records (same position in both stores). */
+struct DiffRow
+{
+    const LoadedRecord *a = nullptr; ///< null: only in store B
+    const LoadedRecord *b = nullptr; ///< null: only in store A
+    std::string kernel;
+    long point = -1;
+    std::vector<DiffField> fields;
+
+    /** True when any compared field differs. */
+    bool changed = false;
+};
+
+/** Field-level comparison of two stores' run records. */
+struct DiffReport
+{
+    std::vector<DiffRow> rows;
+    std::size_t pairedRows = 0;
+    std::size_t changedRows = 0;
+    std::size_t onlyInA = 0;
+    std::size_t onlyInB = 0;
+};
+
+/**
+ * Diff the run records of @p a and @p b (after @p filter), pairing
+ * by (kernel, point, order). Every shared top-level numeric payload
+ * field is compared; @p only_field restricts to one field when
+ * non-empty. schema_version and timestamps are never compared.
+ */
+DiffReport diffStores(const StoreReader &a, const StoreReader &b,
+                      const RecordFilter &filter,
+                      const std::string &only_field = "");
+
+/** One kernel's simulation-rate comparison against the baseline. */
+struct RegressRow
+{
+    std::string kernel;
+    double baselineTicksPerSec = 0.0;
+    double currentTicksPerSec = 0.0;
+
+    /** current / baseline. */
+    double ratio = 0.0;
+    bool pass = false;
+};
+
+/** Outcome of regressAgainstBaseline(). */
+struct RegressReport
+{
+    std::vector<RegressRow> rows;
+
+    /** Baseline kernels with no store record to compare. */
+    std::vector<std::string> missingKernels;
+
+    double maxDropPct = 0.0;
+
+    /** True when every compared kernel stayed inside the budget
+     *  and at least one comparison happened. */
+    bool pass = false;
+
+    std::string error; ///< non-empty when the baseline was unusable
+};
+
+/**
+ * Gate a store against a recorded BENCH_simrate.json baseline
+ * ({"clock_period_ticks":N,"kernels":[{"kernel","ticks_per_sec"}]}).
+ * For each baseline kernel, the store's best observed simulation
+ * rate (max over ok run records of cycles * clock_period /
+ * sim_seconds; clock period from the record's clock_period_ticks
+ * field, else the baseline's) must be within @p max_drop_pct percent
+ * of the recorded rate. Best-of is used because a store may mix
+ * configurations and oversubscribed parallel legs; a real engine
+ * regression shifts the maximum too.
+ */
+RegressReport regressAgainstBaseline(const StoreReader &reader,
+                                     const std::string &baseline_json,
+                                     double max_drop_pct,
+                                     const std::string &kernel = "");
+
+/** One hotspot aggregated across profile records. */
+struct TopEntry
+{
+    std::string label;
+    std::uint64_t cycles = 0;
+    std::uint64_t instances = 0;
+    std::size_t runs = 0; ///< profile records naming this label
+};
+
+/**
+ * Rank critical-path hotspots across every kind="profile" record
+ * (by_instruction entries merged by label, descending cycles).
+ */
+std::vector<TopEntry> topHotspots(const StoreReader &reader,
+                                  std::size_t limit = 20);
+
+} // namespace salam::obs
+
+#endif // SALAM_OBS_STORE_QUERY_HH

@@ -40,6 +40,7 @@ namespace salam
 namespace obs
 {
 class HostTelemetry;
+class ReportBuffer;
 } // namespace obs
 
 /**
@@ -138,6 +139,31 @@ class SimContext
     void setHostTelemetry(obs::HostTelemetry *telemetry)
     { _telemetry = telemetry; }
 
+    // --- run-report output routing ---
+
+    /**
+     * Where RunReport::appendToFile() sends its lines: null appends
+     * straight to the file (single-run behaviour); non-null buffers
+     * into a per-worker ReportBuffer that a sweep flushes once at
+     * the end, so workers never take the file-append lock per point.
+     * Non-owning; the attacher keeps the buffer alive.
+     */
+    obs::ReportBuffer *reportSink() const { return _reportSink; }
+
+    void setReportSink(obs::ReportBuffer *sink)
+    { _reportSink = sink; }
+
+    /**
+     * Index of the sweep point running under this context, or -1
+     * outside a sweep. SweepRunner stamps it so records a point
+     * appends to a ResultStore carry a stable point identity —
+     * `salam-query diff` pairs two sweeps' records by it regardless
+     * of which worker finished first.
+     */
+    long sweepPointIndex() const { return _sweepPoint; }
+
+    void setSweepPointIndex(long index) { _sweepPoint = index; }
+
     // --- trace/log sink ---
 
     using LogSink = std::function<void(const std::string &line)>;
@@ -192,6 +218,8 @@ class SimContext
 
     std::uint64_t _flagMask = 0;
     obs::HostTelemetry *_telemetry = nullptr;
+    obs::ReportBuffer *_reportSink = nullptr;
+    long _sweepPoint = -1;
     LogSink _sink;
     std::vector<HookEntry> _hooks;
     std::size_t _nextHookId = 1;

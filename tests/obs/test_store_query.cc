@@ -1,0 +1,306 @@
+/**
+ * @file
+ * Store query coverage: diff (field-level comparison of two stores),
+ * regress (simulation-rate gate against a recorded baseline), and
+ * top (hotspot ranking across profile records), all on synthetic
+ * stores.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+
+#include "obs/result_store.hh"
+#include "obs/store_query.hh"
+
+using namespace salam;
+using namespace salam::obs;
+
+namespace fs = std::filesystem;
+
+namespace
+{
+
+class QueryTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        base = (fs::temp_directory_path() /
+                ("salam_query_test_" +
+                 std::string(::testing::UnitTest::GetInstance()
+                                 ->current_test_info()
+                                 ->name())))
+                   .string();
+        fs::remove_all(base);
+    }
+
+    void TearDown() override { fs::remove_all(base); }
+
+    std::string
+    makeStore(const std::string &name,
+              const std::vector<StoreRecord> &records)
+    {
+        std::string dir = base + "/" + name;
+        auto store = ResultStore::open(dir);
+        EXPECT_NE(store, nullptr);
+        for (StoreRecord rec : records)
+            store->append(std::move(rec));
+        EXPECT_TRUE(store->flush());
+        return dir;
+    }
+
+    std::string base;
+};
+
+StoreRecord
+runRecord(const std::string &kernel, long point, double cycles,
+          double stalls, double sim_seconds = 0.5)
+{
+    StoreRecord rec;
+    rec.kind = "run";
+    rec.bench = "unit";
+    rec.kernel = kernel;
+    rec.point = point;
+    rec.json = "{\"cycles\":" + std::to_string(cycles) +
+               ",\"stall_cycles\":" + std::to_string(stalls) +
+               ",\"sim_seconds\":" + std::to_string(sim_seconds) +
+               ",\"clock_period_ticks\":1000}";
+    return rec;
+}
+
+StoreRecord
+profileRecord(const std::string &kernel, const std::string &label,
+              double cycles, double instances)
+{
+    StoreRecord rec;
+    rec.kind = "profile";
+    rec.bench = "unit";
+    rec.kernel = kernel;
+    rec.json = "{\"by_instruction\":[{\"label\":\"" + label +
+               "\",\"cycles\":" + std::to_string(cycles) +
+               ",\"instances\":" + std::to_string(instances) + "}]}";
+    return rec;
+}
+
+} // namespace
+
+TEST_F(QueryTest, DiffPairsByKernelAndPoint)
+{
+    // Store B's records are written in a different order than A's —
+    // pairing must go by (kernel, point), not file position.
+    std::string a = makeStore(
+        "a", {runRecord("gemm", 0, 1000, 50),
+              runRecord("gemm", 1, 2000, 80),
+              runRecord("fft", 0, 500, 5)});
+    std::string b = makeStore(
+        "b", {runRecord("fft", 0, 500, 5),
+              runRecord("gemm", 1, 2400, 90),
+              runRecord("gemm", 0, 1000, 50)});
+
+    StoreReader ra = StoreReader::load(a);
+    StoreReader rb = StoreReader::load(b);
+    ASSERT_TRUE(ra.ok());
+    ASSERT_TRUE(rb.ok());
+
+    DiffReport report = diffStores(ra, rb, RecordFilter{});
+    EXPECT_EQ(report.pairedRows, 3u);
+    EXPECT_EQ(report.changedRows, 1u);
+    EXPECT_EQ(report.onlyInA, 0u);
+    EXPECT_EQ(report.onlyInB, 0u);
+
+    // Ordered fft:0, gemm:0, gemm:1.
+    ASSERT_EQ(report.rows.size(), 3u);
+    EXPECT_EQ(report.rows[0].kernel, "fft");
+    EXPECT_FALSE(report.rows[0].changed);
+    EXPECT_FALSE(report.rows[1].changed);
+    const DiffRow &changed = report.rows[2];
+    EXPECT_EQ(changed.kernel, "gemm");
+    EXPECT_EQ(changed.point, 1);
+    EXPECT_TRUE(changed.changed);
+
+    bool saw_cycles = false, saw_stalls = false;
+    for (const DiffField &field : changed.fields) {
+        if (field.key == "cycles") {
+            saw_cycles = true;
+            EXPECT_DOUBLE_EQ(field.delta, 400.0);
+            EXPECT_NEAR(field.pct, 20.0, 1e-9);
+        }
+        if (field.key == "stall_cycles") {
+            saw_stalls = true;
+            EXPECT_DOUBLE_EQ(field.delta, 10.0);
+        }
+    }
+    EXPECT_TRUE(saw_cycles);
+    EXPECT_TRUE(saw_stalls);
+}
+
+TEST_F(QueryTest, DiffCountsUnpairedRows)
+{
+    std::string a =
+        makeStore("a", {runRecord("gemm", 0, 1000, 50),
+                        runRecord("gemm", 1, 2000, 80)});
+    std::string b = makeStore("b", {runRecord("gemm", 0, 1000, 50)});
+
+    StoreReader ra = StoreReader::load(a);
+    StoreReader rb = StoreReader::load(b);
+    DiffReport report = diffStores(ra, rb, RecordFilter{});
+    EXPECT_EQ(report.pairedRows, 1u);
+    EXPECT_EQ(report.onlyInA, 1u);
+    EXPECT_EQ(report.onlyInB, 0u);
+}
+
+TEST_F(QueryTest, DiffWallTimeJitterIsNotAChange)
+{
+    // Only sim_seconds differs — reported, but not a "change".
+    std::string a =
+        makeStore("a", {runRecord("gemm", 0, 1000, 50, 0.5)});
+    std::string b =
+        makeStore("b", {runRecord("gemm", 0, 1000, 50, 0.9)});
+
+    StoreReader ra = StoreReader::load(a);
+    StoreReader rb = StoreReader::load(b);
+    DiffReport report = diffStores(ra, rb, RecordFilter{});
+    ASSERT_EQ(report.rows.size(), 1u);
+    EXPECT_FALSE(report.rows[0].changed);
+    EXPECT_EQ(report.changedRows, 0u);
+    bool saw_seconds = false;
+    for (const DiffField &field : report.rows[0].fields) {
+        if (field.key == "sim_seconds") {
+            saw_seconds = true;
+            EXPECT_NE(field.delta, 0.0);
+        }
+    }
+    EXPECT_TRUE(saw_seconds);
+}
+
+TEST_F(QueryTest, DiffSingleFieldRestriction)
+{
+    std::string a =
+        makeStore("a", {runRecord("gemm", 0, 1000, 50)});
+    std::string b =
+        makeStore("b", {runRecord("gemm", 0, 1200, 99)});
+
+    StoreReader ra = StoreReader::load(a);
+    StoreReader rb = StoreReader::load(b);
+    DiffReport report =
+        diffStores(ra, rb, RecordFilter{}, "cycles");
+    ASSERT_EQ(report.rows.size(), 1u);
+    ASSERT_EQ(report.rows[0].fields.size(), 1u);
+    EXPECT_EQ(report.rows[0].fields[0].key, "cycles");
+}
+
+TEST_F(QueryTest, RegressPassAndFail)
+{
+    // cycles * clock / sim_seconds = 1000 * 1000 / 0.5 = 2e6.
+    std::string dir =
+        makeStore("s", {runRecord("gemm", 0, 1000, 50, 0.5)});
+    StoreReader reader = StoreReader::load(dir);
+    ASSERT_TRUE(reader.ok());
+
+    auto baseline = [](double rate) {
+        return std::string("{\"clock_period_ticks\":1000,"
+                           "\"kernels\":[{\"kernel\":\"gemm\","
+                           "\"ticks_per_sec\":") +
+               std::to_string(rate) + "}]}";
+    };
+
+    // Store matches the baseline exactly: pass.
+    RegressReport pass =
+        regressAgainstBaseline(reader, baseline(2e6), 20.0);
+    EXPECT_TRUE(pass.error.empty()) << pass.error;
+    ASSERT_EQ(pass.rows.size(), 1u);
+    EXPECT_TRUE(pass.pass);
+    EXPECT_NEAR(pass.rows[0].ratio, 1.0, 1e-9);
+
+    // Baseline 2x faster than the store: 0.5 ratio, beyond 20%.
+    RegressReport fail =
+        regressAgainstBaseline(reader, baseline(4e6), 20.0);
+    ASSERT_EQ(fail.rows.size(), 1u);
+    EXPECT_FALSE(fail.pass);
+    EXPECT_FALSE(fail.rows[0].pass);
+    EXPECT_NEAR(fail.rows[0].ratio, 0.5, 1e-9);
+
+    // Same drop but within a 60% budget: pass.
+    RegressReport loose =
+        regressAgainstBaseline(reader, baseline(4e6), 60.0);
+    EXPECT_TRUE(loose.pass);
+}
+
+TEST_F(QueryTest, RegressPicksBestRecordAndSkipsFailedRuns)
+{
+    // A slow oversubscribed point (4e5) and a fast one (2e6): the
+    // gate compares the best. The "fault" record is never counted.
+    StoreRecord bad = runRecord("gemm", 2, 5000, 0, 0.1);
+    bad.outcome = "fault";
+    std::string dir = makeStore(
+        "s", {runRecord("gemm", 0, 1000, 50, 2.5),
+              runRecord("gemm", 1, 1000, 50, 0.5), bad});
+    StoreReader reader = StoreReader::load(dir);
+
+    RegressReport report = regressAgainstBaseline(
+        reader,
+        "{\"clock_period_ticks\":1000,\"kernels\":[{\"kernel\":"
+        "\"gemm\",\"ticks_per_sec\":2e6}]}",
+        20.0);
+    ASSERT_EQ(report.rows.size(), 1u);
+    EXPECT_NEAR(report.rows[0].currentTicksPerSec, 2e6, 1.0);
+    EXPECT_TRUE(report.pass);
+}
+
+TEST_F(QueryTest, RegressMissingKernelAndBadBaseline)
+{
+    std::string dir =
+        makeStore("s", {runRecord("gemm", 0, 1000, 50)});
+    StoreReader reader = StoreReader::load(dir);
+
+    // Baseline names a kernel the store has no data for.
+    RegressReport missing = regressAgainstBaseline(
+        reader,
+        "{\"clock_period_ticks\":1000,\"kernels\":["
+        "{\"kernel\":\"gemm\",\"ticks_per_sec\":2e6},"
+        "{\"kernel\":\"bfs\",\"ticks_per_sec\":1e6}]}",
+        20.0);
+    ASSERT_EQ(missing.missingKernels.size(), 1u);
+    EXPECT_EQ(missing.missingKernels[0], "bfs");
+    EXPECT_EQ(missing.rows.size(), 1u);
+
+    // Unparseable baseline: error, no crash.
+    RegressReport bad =
+        regressAgainstBaseline(reader, "not json", 20.0);
+    EXPECT_FALSE(bad.error.empty());
+    EXPECT_FALSE(bad.pass);
+
+    // No overlap at all: error.
+    RegressReport none = regressAgainstBaseline(
+        reader,
+        "{\"clock_period_ticks\":1000,\"kernels\":[{\"kernel\":"
+        "\"bfs\",\"ticks_per_sec\":1e6}]}",
+        20.0);
+    EXPECT_FALSE(none.pass);
+    EXPECT_FALSE(none.error.empty());
+}
+
+TEST_F(QueryTest, TopMergesAcrossProfileRecords)
+{
+    std::string dir = makeStore(
+        "s", {profileRecord("gemm", "gemm:j:%j.iv (phi)", 600, 50),
+              profileRecord("gemm", "gemm:j:%j.iv (phi)", 400, 30),
+              profileRecord("gemm", "gemm:i:% (br)", 100, 10),
+              // Run records must not contaminate the ranking.
+              runRecord("gemm", 0, 1000, 50)});
+    StoreReader reader = StoreReader::load(dir);
+    ASSERT_TRUE(reader.ok());
+
+    std::vector<TopEntry> top = topHotspots(reader);
+    ASSERT_EQ(top.size(), 2u);
+    EXPECT_EQ(top[0].label, "gemm:j:%j.iv (phi)");
+    EXPECT_EQ(top[0].cycles, 1000u);
+    EXPECT_EQ(top[0].instances, 80u);
+    EXPECT_EQ(top[0].runs, 2u);
+    EXPECT_EQ(top[1].label, "gemm:i:% (br)");
+
+    EXPECT_EQ(topHotspots(reader, 1).size(), 1u);
+}

@@ -1,297 +1,24 @@
 /**
  * @file
- * A minimal recursive-descent JSON parser for test assertions.
+ * Test-support alias for the JSON reader.
  *
- * The observability layer emits JSON (stats dumps, Chrome traces, run
- * reports); tests must check well-formedness by parsing the output
- * back, not by grepping substrings. This parser supports the full
- * JSON grammar the emitters use — objects, arrays, strings with
- * escapes, numbers, booleans, null — and throws std::runtime_error
- * with a byte offset on malformed input, which makes a failing test
- * point at the corruption.
- *
- * Test-support code only; the simulator itself never parses JSON.
+ * The parser used to live here, test-only; the run-results store made
+ * JSON reading a simulator capability, so the implementation moved to
+ * src/obs/json_reader.hh and this header just re-exports it under the
+ * historical salam::testsupport names.
  */
 
 #ifndef SALAM_TESTS_SUPPORT_MINIJSON_HH
 #define SALAM_TESTS_SUPPORT_MINIJSON_HH
 
-#include <cctype>
-#include <cstdlib>
-#include <map>
-#include <memory>
-#include <stdexcept>
-#include <string>
-#include <vector>
+#include "obs/json_reader.hh"
 
 namespace salam::testsupport
 {
 
-/** One parsed JSON value. */
-struct JsonValue
-{
-    enum class Kind
-    {
-        Null,
-        Bool,
-        Number,
-        String,
-        Array,
-        Object
-    };
-
-    Kind kind = Kind::Null;
-    bool boolean = false;
-    double number = 0.0;
-    std::string string;
-    std::vector<JsonValue> array;
-    std::map<std::string, JsonValue> object;
-
-    bool isObject() const { return kind == Kind::Object; }
-
-    bool isArray() const { return kind == Kind::Array; }
-
-    bool isNumber() const { return kind == Kind::Number; }
-
-    bool isString() const { return kind == Kind::String; }
-
-    bool has(const std::string &key) const
-    { return isObject() && object.count(key) > 0; }
-
-    /** Member access; throws when absent (tests want loud failures). */
-    const JsonValue &
-    at(const std::string &key) const
-    {
-        auto it = object.find(key);
-        if (it == object.end())
-            throw std::runtime_error("missing key '" + key + "'");
-        return it->second;
-    }
-};
-
-/** Parser state over one input string. */
-class JsonParser
-{
-  public:
-    explicit JsonParser(const std::string &text) : text(text) {}
-
-    JsonValue
-    parse()
-    {
-        JsonValue value = parseValue();
-        skipSpace();
-        if (pos != text.size())
-            fail("trailing characters");
-        return value;
-    }
-
-  private:
-    [[noreturn]] void
-    fail(const std::string &what) const
-    {
-        throw std::runtime_error("JSON error at byte " +
-                                 std::to_string(pos) + ": " + what);
-    }
-
-    void
-    skipSpace()
-    {
-        while (pos < text.size() &&
-               std::isspace(static_cast<unsigned char>(text[pos]))) {
-            ++pos;
-        }
-    }
-
-    char
-    peek()
-    {
-        skipSpace();
-        if (pos >= text.size())
-            fail("unexpected end of input");
-        return text[pos];
-    }
-
-    void
-    expect(char c)
-    {
-        if (peek() != c)
-            fail(std::string("expected '") + c + "'");
-        ++pos;
-    }
-
-    bool
-    consumeLiteral(const char *literal)
-    {
-        std::size_t len = std::string(literal).size();
-        if (text.compare(pos, len, literal) == 0) {
-            pos += len;
-            return true;
-        }
-        return false;
-    }
-
-    JsonValue
-    parseValue()
-    {
-        switch (peek()) {
-          case '{':
-            return parseObject();
-          case '[':
-            return parseArray();
-          case '"': {
-            JsonValue v;
-            v.kind = JsonValue::Kind::String;
-            v.string = parseString();
-            return v;
-          }
-          case 't':
-          case 'f': {
-            JsonValue v;
-            v.kind = JsonValue::Kind::Bool;
-            if (consumeLiteral("true"))
-                v.boolean = true;
-            else if (consumeLiteral("false"))
-                v.boolean = false;
-            else
-                fail("bad literal");
-            return v;
-          }
-          case 'n': {
-            if (!consumeLiteral("null"))
-                fail("bad literal");
-            return JsonValue{};
-          }
-          default:
-            return parseNumber();
-        }
-    }
-
-    JsonValue
-    parseObject()
-    {
-        expect('{');
-        JsonValue v;
-        v.kind = JsonValue::Kind::Object;
-        if (peek() == '}') {
-            ++pos;
-            return v;
-        }
-        while (true) {
-            std::string key = parseString();
-            expect(':');
-            v.object[key] = parseValue();
-            char c = peek();
-            ++pos;
-            if (c == '}')
-                return v;
-            if (c != ',')
-                fail("expected ',' or '}' in object");
-        }
-    }
-
-    JsonValue
-    parseArray()
-    {
-        expect('[');
-        JsonValue v;
-        v.kind = JsonValue::Kind::Array;
-        if (peek() == ']') {
-            ++pos;
-            return v;
-        }
-        while (true) {
-            v.array.push_back(parseValue());
-            char c = peek();
-            ++pos;
-            if (c == ']')
-                return v;
-            if (c != ',')
-                fail("expected ',' or ']' in array");
-        }
-    }
-
-    std::string
-    parseString()
-    {
-        expect('"');
-        std::string out;
-        while (true) {
-            if (pos >= text.size())
-                fail("unterminated string");
-            char c = text[pos++];
-            if (c == '"')
-                return out;
-            if (c != '\\') {
-                out.push_back(c);
-                continue;
-            }
-            if (pos >= text.size())
-                fail("dangling escape");
-            char esc = text[pos++];
-            switch (esc) {
-              case '"': out.push_back('"'); break;
-              case '\\': out.push_back('\\'); break;
-              case '/': out.push_back('/'); break;
-              case 'b': out.push_back('\b'); break;
-              case 'f': out.push_back('\f'); break;
-              case 'n': out.push_back('\n'); break;
-              case 'r': out.push_back('\r'); break;
-              case 't': out.push_back('\t'); break;
-              case 'u': {
-                if (pos + 4 > text.size())
-                    fail("short \\u escape");
-                // Tests only need byte fidelity for ASCII escapes.
-                unsigned code = static_cast<unsigned>(std::strtoul(
-                    text.substr(pos, 4).c_str(), nullptr, 16));
-                pos += 4;
-                if (code < 0x80) {
-                    out.push_back(static_cast<char>(code));
-                } else {
-                    out.push_back('?');
-                }
-                break;
-              }
-              default:
-                fail("bad escape");
-            }
-        }
-    }
-
-    JsonValue
-    parseNumber()
-    {
-        skipSpace();
-        std::size_t start = pos;
-        if (pos < text.size() && (text[pos] == '-' || text[pos] == '+'))
-            ++pos;
-        bool any = false;
-        while (pos < text.size() &&
-               (std::isdigit(static_cast<unsigned char>(text[pos])) ||
-                text[pos] == '.' || text[pos] == 'e' ||
-                text[pos] == 'E' || text[pos] == '-' ||
-                text[pos] == '+')) {
-            ++pos;
-            any = true;
-        }
-        if (!any)
-            fail("expected a number");
-        JsonValue v;
-        v.kind = JsonValue::Kind::Number;
-        v.number = std::strtod(text.substr(start, pos - start).c_str(),
-                               nullptr);
-        return v;
-    }
-
-    const std::string &text;
-    std::size_t pos = 0;
-};
-
-/** Parse @p text; throws std::runtime_error on malformed input. */
-inline JsonValue
-parseJson(const std::string &text)
-{
-    return JsonParser(text).parse();
-}
+using JsonValue = obs::JsonValue;
+using JsonParser = obs::JsonReader;
+using obs::parseJson;
 
 } // namespace salam::testsupport
 
