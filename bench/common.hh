@@ -108,6 +108,22 @@ struct ObsOptions
      */
     std::string storeOut;
 
+    /**
+     * Per-point wall-clock budget for sweeps (--point-timeout,
+     * seconds; 0 disables). A point that exceeds it is terminated
+     * with outcome "timeout" plus a hang dump and the pool moves on.
+     */
+    double pointTimeoutSeconds = 0.0;
+
+    /** Extra attempts per failed sweep point (--point-retries). */
+    unsigned pointRetries = 0;
+
+    /**
+     * Resume store path (--resume): sweep points that already have
+     * an ok record there are skipped with outcome "cached".
+     */
+    std::string resumePath;
+
     /** This bench's name (argv[0] basename), stamped on records. */
     std::string benchName;
 
@@ -274,6 +290,31 @@ sharedBenchOptions()
                        v.c_str());
              o().sweepThreads = static_cast<unsigned>(threads);
          }},
+        {"--point-timeout", "<seconds>",
+         "per-point wall-clock budget in sweeps; a hung point is "
+         "classified outcome=timeout and the pool moves on "
+         "(0 disables)",
+         [o](const std::string &v) {
+             char *end = nullptr;
+             double seconds = std::strtod(v.c_str(), &end);
+             if (end == v.c_str() || *end != '\0' || seconds < 0.0)
+                 fatal("--point-timeout needs a non-negative "
+                       "seconds value, got '%s'",
+                       v.c_str());
+             o().pointTimeoutSeconds = seconds;
+         }},
+        {"--point-retries", "<N>",
+         "extra attempts for a failed sweep point, with exponential "
+         "backoff (default 0)",
+         [o](const std::string &v) {
+             o().pointRetries = static_cast<unsigned>(
+                 benchParseUint("--point-retries", v));
+         }},
+        {"--resume", "<store>",
+         "skip sweep points that already have an ok record in this "
+         "result store (outcome=cached); pair with --store-out to "
+         "checkpoint into the same store",
+         [o](const std::string &v) { o().resumePath = v; }},
         {"--host-telemetry", "",
          "attribute the simulator's own wall time to host phases "
          "and count lock contention",
@@ -426,7 +467,30 @@ sweepRunnerOptions(unsigned threads)
     options.hostTelemetry = obsOptions().hostTelemetry;
     options.store = benchStore();
     options.storeName = obsOptions().benchName;
+    options.pointTimeoutSeconds = obsOptions().pointTimeoutSeconds;
+    options.pointRetries = obsOptions().pointRetries;
+    options.resumePath = obsOptions().resumePath;
+    // Durable per-point checkpoints whenever records are kept: a
+    // killed sweep then loses at most its in-flight points.
+    options.durable = options.store != nullptr;
     return options;
+}
+
+/**
+ * The process exit code after a sweep: interruptedExitCode (75,
+ * EX_TEMPFAIL) when the run was drained by SIGINT/SIGTERM — distinct
+ * from both success and failure so wrappers know to --resume — else 0.
+ */
+inline int
+sweepExitCode(const drive::SweepRunner &runner)
+{
+    if (!runner.interrupted())
+        return 0;
+    const std::string &store = obsOptions().storeOut;
+    warn("sweep interrupted; finish the remaining points with "
+         "--resume %s",
+         store.empty() ? "<store>" : store.c_str());
+    return drive::SweepRunner::interruptedExitCode;
 }
 
 /**
@@ -584,6 +648,39 @@ struct BenchRun
 };
 
 /**
+ * Fingerprint of the timing-relevant knobs of one testbench run —
+ * the RunReport configHash that runSalam() records. Factored out so
+ * a sweep can compute the hash of a point it has NOT run yet: the
+ * --resume lookup key (SweepRunner::Options::pointHash).
+ */
+inline std::uint64_t
+runConfigHash(const std::string &kernel_name,
+              const core::DeviceConfig &dev,
+              const BenchMemory &memcfg)
+{
+    std::string key = kernel_name + "|clk=" +
+        std::to_string(dev.clockPeriod) + "|drp=" +
+        std::to_string(dev.readPortsPerCycle) + "|dwp=" +
+        std::to_string(dev.writePortsPerCycle) + "|rq=" +
+        std::to_string(dev.readQueueSize) + "|wq=" +
+        std::to_string(dev.writeQueueSize) + "|seq=" +
+        std::to_string(dev.blockSequentialImport ? 1 : 0);
+    // Only non-default FU limits enter the key, so configurations
+    // that never touch a unit type hash the same across profiles
+    // that add new types.
+    for (std::size_t t = 0; t < dev.fuLimits.size(); ++t) {
+        if (dev.fuLimits[t] != 0)
+            key += "|fu" + std::to_string(t) + "=" +
+                std::to_string(dev.fuLimits[t]);
+    }
+    key += "|rp=" + std::to_string(memcfg.spmReadPorts) + "|wp=" +
+        std::to_string(memcfg.spmWritePorts) + "|lat=" +
+        std::to_string(memcfg.spmLatency) + "|banks=" +
+        std::to_string(memcfg.spmBanks);
+    return obs::fnv1aHash(key);
+}
+
+/**
  * Run @p kernel on the single-accelerator SALAM testbench.
  * fatal()s if the functional check fails — an experiment over wrong
  * results is meaningless.
@@ -669,6 +766,15 @@ runSalam(const kernels::Kernel &kernel,
 
     installWatchdog(sim, [&cu] { return cu.finished(); });
 
+    // Per-point deadline (no-op unless the SweepRunner armed one on
+    // this context via --point-timeout). Point-suffixed dump path so
+    // parallel workers never clobber each other's hang dumps.
+    std::string deadline_dump = obsOptions().dumpOut;
+    if (long pt = SimContext::current().sweepPointIndex(); pt >= 0)
+        deadline_dump += ".point" + std::to_string(pt) + ".json";
+    inject::armPointDeadline(sim, [&cu] { return cu.finished(); },
+                             deadline_dump);
+
     if (tel != nullptr)
         tel->endPhase(); // Elaboration
 
@@ -751,14 +857,10 @@ runSalam(const kernels::Kernel &kernel,
         report.commandLine = options.commandLine;
         // Fingerprint the knobs that shape this run's timing. Also
         // the store's memoization key: findByConfigHash() answers
-        // "has this exact configuration already been simulated?".
-        report.configHash = obs::fnv1aHash(
-            kernel.name() + "|clk=" +
-            std::to_string(dev.clockPeriod) + "|rp=" +
-            std::to_string(memcfg.spmReadPorts) + "|wp=" +
-            std::to_string(memcfg.spmWritePorts) + "|lat=" +
-            std::to_string(memcfg.spmLatency) + "|banks=" +
-            std::to_string(memcfg.spmBanks));
+        // "has this exact configuration already been simulated?",
+        // and --resume skips points whose hash already has an ok
+        // record.
+        report.configHash = runConfigHash(kernel.name(), dev, memcfg);
         report.cycles = out.cycles;
         report.simSeconds = out.simulateSeconds;
         report.compileSeconds = out.compileSeconds;

@@ -140,7 +140,7 @@ main(int argc, char **argv)
                 injector ? injector->log().size()
                          : static_cast<std::size_t>(0));
 
-    if (!options.reportOut.empty()) {
+    if (!options.reportOut.empty() || benchStore() != nullptr) {
         obs::RunReport report;
         report.run = "fault_campaign.relu";
         report.commandLine = options.commandLine;
@@ -152,9 +152,38 @@ main(int argc, char **argv)
                       : 0.0},
         };
         report.statsJson = sim.stats().dumpJsonString();
-        if (!report.appendToFile(options.reportOut))
+        if (!options.reportOut.empty() &&
+            !report.appendToFile(options.reportOut))
             fatal("could not append run report to '%s'",
                   options.reportOut.c_str());
+        if (obs::ResultStore *store = benchStore()) {
+            store->appendRunReport(report, options.benchName);
+            // One queryable record per fired fault, so a campaign
+            // over many seeds can be sliced by site/kind with
+            // salam-query instead of scraping stdout.
+            if (injector) {
+                for (const inject::InjectionRecord &rec :
+                     injector->log()) {
+                    obs::StoreRecord srec;
+                    srec.kind = "injection";
+                    srec.bench = options.benchName;
+                    srec.kernel =
+                        inject::faultKindName(rec.kind);
+                    std::ostringstream payload;
+                    payload << "{\"tick\":" << rec.tick
+                            << ",\"fault_kind\":\""
+                            << obs::jsonEscape(
+                                   inject::faultKindName(rec.kind))
+                            << "\",\"site\":\""
+                            << obs::jsonEscape(rec.site)
+                            << "\",\"detail\":\""
+                            << obs::jsonEscape(rec.detail) << "\"}";
+                    srec.json = payload.str();
+                    store->append(std::move(srec));
+                }
+            }
+            store->flush();
+        }
     }
     return 0;
 }

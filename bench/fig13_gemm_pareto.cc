@@ -76,8 +76,26 @@ main(int argc, char **argv)
     };
     std::vector<Row> rows(grid.size());
 
-    drive::SweepRunner runner(
-        sweepRunnerOptions(effectiveSweepThreads()));
+    auto sweep_opts = sweepRunnerOptions(effectiveSweepThreads());
+    // Resume identity: mirror the dev/memcfg construction inside the
+    // point function, so the hash of an unrun point matches the
+    // RunReport a completed run of it recorded.
+    const std::string kernel_name = makeGemm(gemmN, unroll)->name();
+    sweep_opts.pointHash = [&](std::size_t idx) {
+        const Config &cfg = grid[idx];
+        core::DeviceConfig dev;
+        dev.setFuLimit(hw::FuType::FpAddSubDouble, cfg.fuLimit);
+        dev.setFuLimit(hw::FuType::FpMultiplierDouble, cfg.fuLimit);
+        dev.readPortsPerCycle = cfg.ports;
+        dev.writePortsPerCycle = cfg.ports;
+        dev.readQueueSize = std::max(cfg.ports, 16u);
+        dev.writeQueueSize = std::max(cfg.ports, 16u);
+        BenchMemory memcfg;
+        memcfg.spmReadPorts = cfg.ports;
+        memcfg.spmWritePorts = cfg.ports;
+        return runConfigHash(kernel_name, dev, memcfg);
+    };
+    drive::SweepRunner runner(sweep_opts);
     auto results = runner.run(grid.size(), [&](std::size_t idx) {
         const Config &cfg = grid[idx];
         auto kernel = makeGemm(gemmN, unroll);
@@ -125,6 +143,18 @@ main(int argc, char **argv)
     });
 
     for (std::size_t i = 0; i < grid.size(); ++i) {
+        if (results[i].outcome == "cached") {
+            std::printf("%-6u %-6u     cached | ok in resume "
+                        "store\n",
+                        grid[i].fuLimit, grid[i].ports);
+            continue;
+        }
+        if (results[i].outcome == "skipped") {
+            std::printf("%-6u %-6u    skipped | shutdown drain; "
+                        "re-run with --resume\n",
+                        grid[i].fuLimit, grid[i].ports);
+            continue;
+        }
         if (!results[i].ok) {
             std::printf("%-6u %-6u     FAILED | %s\n",
                         grid[i].fuLimit, grid[i].ports,
@@ -141,5 +171,5 @@ main(int argc, char **argv)
                 runner.lastThreads() == 1 ? "" : "s",
                 runner.lastWallSeconds());
     writeSweepHostTelemetry(runner, "fig13.gemm_pareto");
-    return 0;
+    return sweepExitCode(runner);
 }

@@ -57,11 +57,23 @@ main(int argc, char **argv)
                          dev};
             return std::string();
         });
+    // Interrupted (skipped) and resume-cached points carry no fresh
+    // row data; drop them from the tables instead of printing
+    // zeroed rows. Real failures still abort the experiment.
+    std::vector<Row> fresh;
     for (const auto &r : results) {
+        if (r.outcome == "skipped" || r.outcome == "cached")
+            continue;
         if (!r.ok)
             fatal("sweep point %zu failed: %s", r.index,
                   r.error.c_str());
+        fresh.push_back(rows[r.index]);
     }
+    if (fresh.size() != rows.size())
+        std::printf("(%zu of %zu points have fresh data; "
+                    "cached/skipped rows omitted)\n",
+                    fresh.size(), rows.size());
+    rows = std::move(fresh);
 
     header("Fig. 15(a): datapath stalls vs memory ports "
            "(FADD = 64)");
@@ -137,5 +149,5 @@ main(int argc, char **argv)
                     100.0 * s.fpOpsIssued / issued, datapath);
     }
     writeSweepHostTelemetry(runner, "fig15.gemm_codesign");
-    return 0;
+    return sweepExitCode(runner);
 }

@@ -97,7 +97,10 @@ timedGemmSweep(unsigned threads,
         return std::string();
     });
     for (const auto &r : results) {
-        if (!r.ok)
+        // "skipped" = SIGINT/SIGTERM drain: the probe is cut short
+        // but should still exit through the interrupted path, not
+        // fatal() over a point that never ran.
+        if (!r.ok && r.outcome != "skipped")
             fatal("sweep point %zu failed: %s", r.index,
                   r.error.c_str());
     }
@@ -274,5 +277,9 @@ main(int argc, char **argv)
     writeSimrateJson(simrate_out, rates, sweep_threads,
                      serial_seconds, parallel_seconds,
                      &parallel_host);
+    // An interrupted probe produced a truncated timing comparison;
+    // the distinct exit code tells wrappers not to trust it.
+    if (drive::SweepRunner::shutdownRequested())
+        return drive::SweepRunner::interruptedExitCode;
     return 0;
 }

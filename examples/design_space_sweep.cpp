@@ -143,5 +143,7 @@ main(int argc, char **argv)
         std::fprintf(stderr, "# could not write host telemetry\n");
         return 1;
     }
+    if (runner.interrupted())
+        return drive::SweepRunner::interruptedExitCode;
     return 0;
 }

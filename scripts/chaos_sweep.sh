@@ -1,0 +1,152 @@
+#!/usr/bin/env bash
+# Chaos harness for crash-resilient sweeps: repeatedly kill a
+# store-backed design-space sweep mid-run (SIGTERM for the graceful
+# drain path, SIGKILL for the durability path), resume it from its own
+# store until it completes, then prove the merged store is equivalent
+# to an uninterrupted baseline run:
+#
+#   - `salam-query diff` pairs every point with the baseline, with no
+#     unpaired rows and no changed fields (determinism survives the
+#     kill/resume cycle);
+#   - every point of the grid has a terminal ok/cached sweep_point
+#     record, and only the final pass's sweep record reports "ok"
+#     (exact accounting).
+#
+# Usage: scripts/chaos_sweep.sh [--build-dir D] [--seed N] [--kills N]
+#                               [--threads N] [--keep]
+#   --build-dir  tree holding bench/fig13_gemm_pareto and
+#                src/tools/salam-query (default: build/)
+#   --seed       RNG seed for the kill schedule (default: 1)
+#   --kills      interruptions to attempt before letting the sweep
+#                finish unharmed (default: 3)
+#   --threads    sweep worker threads (default: 4)
+#   --keep       keep the scratch directory for inspection
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${repo_root}/build"
+seed=1
+kills=3
+threads=4
+keep=0
+
+while [[ $# -gt 0 ]]; do
+    case "$1" in
+        --build-dir) build_dir="$2"; shift 2 ;;
+        --seed)      seed="$2"; shift 2 ;;
+        --kills)     kills="$2"; shift 2 ;;
+        --threads)   threads="$2"; shift 2 ;;
+        --keep)      keep=1; shift ;;
+        *) echo "unknown argument: $1" >&2; exit 2 ;;
+    esac
+done
+
+bench="${build_dir}/bench/fig13_gemm_pareto"
+query="${build_dir}/src/tools/salam-query"
+for bin in "${bench}" "${query}"; do
+    if [[ ! -x "${bin}" ]]; then
+        echo "missing ${bin}; build fig13_gemm_pareto and" \
+             "salam-query first" >&2
+        exit 2
+    fi
+done
+
+scratch="$(mktemp -d -t chaos_sweep.XXXXXX)"
+cleanup() { [[ "${keep}" -eq 1 ]] || rm -rf "${scratch}"; }
+trap cleanup EXIT
+echo "chaos_sweep: seed=${seed} kills=${kills} threads=${threads}" \
+     "scratch=${scratch}"
+
+# Seeded kill schedule: bash's RANDOM is a deterministic LCG per seed,
+# so a failing schedule can be replayed exactly with --seed.
+RANDOM="${seed}"
+
+echo "== baseline: uninterrupted sweep"
+"${bench}" --sweep-threads "${threads}" \
+    --store-out "${scratch}/baseline" \
+    --dump-out "${scratch}/baseline_dump.json" \
+    >"${scratch}/baseline.out" 2>&1
+
+chaos_store="${scratch}/chaos"
+run_args=(--sweep-threads "${threads}" --store-out "${chaos_store}"
+          --resume "${chaos_store}"
+          --dump-out "${scratch}/chaos_dump.json")
+
+echo "== chaos: kill/resume loop"
+attempt=0
+killed=0
+while :; do
+    attempt=$((attempt + 1))
+    if [[ "${attempt}" -gt $((kills + 10)) ]]; then
+        echo "chaos loop did not converge after ${attempt} passes" >&2
+        exit 1
+    fi
+    "${bench}" "${run_args[@]}" \
+        >"${scratch}/chaos.${attempt}.out" 2>&1 &
+    pid=$!
+    if [[ "${killed}" -lt "${kills}" ]]; then
+        # Strike inside the sweep's lifetime (it runs a couple of
+        # seconds); alternate graceful and hard kills by seed.
+        delay_ms=$((200 + RANDOM % 1200))
+        sig=SIGTERM
+        [[ $((RANDOM % 2)) -eq 0 ]] && sig=SIGKILL
+        sleep "$(awk "BEGIN{print ${delay_ms}/1000}")"
+        kill "-${sig}" "${pid}" 2>/dev/null || true
+        killed=$((killed + 1))
+    fi
+    got=0
+    wait "${pid}" || got=$?
+    case "${got}" in
+        0)
+            echo "pass ${attempt}: complete (exit 0)"
+            break ;;
+        75)
+            echo "pass ${attempt}: drained (exit 75), resuming" ;;
+        137|143)
+            echo "pass ${attempt}: killed (${got}), resuming" ;;
+        *)
+            echo "pass ${attempt}: unexpected exit ${got}" >&2
+            cat "${scratch}/chaos.${attempt}.out" >&2
+            exit 1 ;;
+    esac
+done
+
+echo "== verify: merged store vs baseline"
+"${query}" diff "${scratch}/baseline" "${chaos_store}" \
+    --kind run --outcome ok --json >"${scratch}/diff.json"
+"${query}" list "${chaos_store}" --json >"${scratch}/chaos_list.json"
+python3 - "${scratch}/diff.json" "${scratch}/chaos_list.json" \
+    "${attempt}" <<'PYEOF'
+import json, sys
+diff = json.load(open(sys.argv[1]))
+records = json.load(open(sys.argv[2]))
+passes = int(sys.argv[3])
+
+assert diff["paired"] == 20, \
+    f"expected 20 paired points, got {diff['paired']}"
+assert diff["only_in_a"] == 0 and diff["only_in_b"] == 0, \
+    f"unpaired rows: {diff['only_in_a']}/{diff['only_in_b']}"
+changed = [r["point"] for r in diff["rows"] if r["changed"]]
+assert not changed, f"kill/resume changed results at {changed}"
+
+# Exact accounting: a terminal ok/cached record per grid point, and
+# only the final pass's sweep record finished clean.
+done = {r["point"] for r in records
+        if r["kind"] == "sweep_point"
+        and r["outcome"] in ("ok", "cached")}
+missing = sorted(set(range(20)) - done)
+assert not missing, f"points with no terminal record: {missing}"
+# A SIGKILLed pass dies before writing its sweep record, so the
+# count is bounded by the pass count rather than equal to it.
+sweeps = [r for r in records if r["kind"] == "sweep"]
+assert 1 <= len(sweeps) <= passes, \
+    f"{len(sweeps)} sweep records for {passes} passes"
+assert sweeps[-1]["outcome"] == "ok", sweeps[-1]["outcome"]
+assert all(s["outcome"] != "ok" for s in sweeps[:-1]), \
+    "a non-final pass claims a clean finish"
+print(f"chaos ok: 20/20 points paired and unchanged, "
+      f"{len(sweeps)} passes, terminal records complete")
+PYEOF
+
+echo "chaos_sweep: all invariants held"

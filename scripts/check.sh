@@ -194,6 +194,16 @@ if c++ ${tsan_flags} -o "${smoke_dir}/tsan_probe" \
         "${tsan_dir}/bench/fig13_gemm_pareto" --sweep-threads 4 \
         --store-out "${smoke_dir}/tsan_store" \
         >"${smoke_dir}/tsan_sweep.out"
+    # Resume over the just-written store: the checkpoint/resume and
+    # durable-flush paths (signal flags, per-point store appends)
+    # race-checked under TSan. drive_test above already covers the
+    # in-process chaos/interrupt/retry suite.
+    TSAN_OPTIONS=halt_on_error=1 \
+        "${tsan_dir}/bench/fig13_gemm_pareto" --sweep-threads 4 \
+        --store-out "${smoke_dir}/tsan_store" \
+        --resume "${smoke_dir}/tsan_store" \
+        >"${smoke_dir}/tsan_resume.out"
+    grep -q "cached" "${smoke_dir}/tsan_resume.out"
     echo "tsan job ok"
 else
     echo "thread sanitizer unavailable on this toolchain; skipping"
@@ -273,6 +283,106 @@ assert changed, "16 vs 64 FUs produced identical results everywhere"
 print(f"store diff ok: 5 paired points, "
       f"cycle/stall deltas at points {changed}")
 PYEOF
+
+echo "== robustness: kill-and-resume, timeouts, retry records"
+rb_dir="${smoke_dir}/robust"
+mkdir -p "${rb_dir}"
+# Uninterrupted baseline over the full 20-point fig13 grid.
+"${perf_dir}/bench/fig13_gemm_pareto" --sweep-threads 4 \
+    --store-out "${rb_dir}/baseline" \
+    --dump-out "${rb_dir}/baseline_dump.json" \
+    >"${rb_dir}/baseline.out" 2>&1
+
+# SIGTERM a 4-thread sweep mid-run: the pool must drain gracefully
+# and exit 75 (EX_TEMPFAIL, "interrupted — resume me"). A machine
+# fast enough to finish the sweep before the signal lands exits 0;
+# either way the resume pass below must converge on a clean store.
+"${perf_dir}/bench/fig13_gemm_pareto" --sweep-threads 4 \
+    --store-out "${rb_dir}/chaos" \
+    --dump-out "${rb_dir}/chaos_dump.json" \
+    >"${rb_dir}/chaos.out" 2>&1 &
+chaos_pid=$!
+sleep 0.5
+kill -TERM "${chaos_pid}" 2>/dev/null || true
+got=0
+wait "${chaos_pid}" || got=$?
+if [[ "${got}" -ne 75 && "${got}" -ne 0 ]]; then
+    echo "interrupted sweep exited ${got}, expected 75 (or 0 if" \
+         "it finished first)"
+    cat "${rb_dir}/chaos.out"
+    exit 1
+fi
+echo "interrupted sweep exit ${got}"
+
+# Resume from the store until the sweep completes (bounded).
+for pass in 1 2 3 4 5; do
+    got=0
+    "${perf_dir}/bench/fig13_gemm_pareto" --sweep-threads 4 \
+        --store-out "${rb_dir}/chaos" --resume "${rb_dir}/chaos" \
+        --dump-out "${rb_dir}/chaos_dump.json" \
+        >"${rb_dir}/resume.${pass}.out" 2>&1 || got=$?
+    [[ "${got}" -eq 0 ]] && break
+    if [[ "${got}" -ne 75 ]]; then
+        echo "resume pass ${pass} exited ${got}"
+        cat "${rb_dir}/resume.${pass}.out"
+        exit 1
+    fi
+done
+if [[ "${got}" -ne 0 ]]; then
+    echo "resume did not converge after ${pass} passes"
+    exit 1
+fi
+
+# The merged kill+resume store must be equivalent to the
+# uninterrupted baseline: every point paired, nothing changed.
+"${salam_query}" diff "${rb_dir}/baseline" "${rb_dir}/chaos" \
+    --kind run --outcome ok --json >"${rb_dir}/diff.json"
+python3 - "${rb_dir}/diff.json" <<'PYEOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["paired"] == 20, f"expected 20 paired: {doc['paired']}"
+assert doc["only_in_a"] == 0 and doc["only_in_b"] == 0, \
+    f"unpaired rows: {doc['only_in_a']}/{doc['only_in_b']}"
+changed = [r["point"] for r in doc["rows"] if r["changed"]]
+assert not changed, f"kill/resume changed results at {changed}"
+print("kill-and-resume ok: 20/20 points paired, nothing changed")
+PYEOF
+
+# Deliberately-starved deadline: every point must classify as
+# "timeout" without stalling the pool or aborting the process, and
+# --point-retries must leave one kind="attempt" record per attempt
+# for salam-query attempts to aggregate.
+got=0
+timeout 120 "${perf_dir}/bench/fig13_gemm_pareto" --sweep-threads 4 \
+    --point-timeout 0.05 --point-retries 1 \
+    --store-out "${rb_dir}/timeouts" \
+    --dump-out "${rb_dir}/timeout_dump.json" \
+    >"${rb_dir}/timeouts.out" 2>&1 || got=$?
+if [[ "${got}" -ne 0 ]]; then
+    echo "timeout sweep exited ${got} (hang or abort?)"
+    cat "${rb_dir}/timeouts.out"
+    exit 1
+fi
+"${salam_query}" list "${rb_dir}/timeouts" --kind sweep_point \
+    --json >"${rb_dir}/timeout_points.json"
+"${salam_query}" attempts "${rb_dir}/timeouts" --json \
+    >"${rb_dir}/timeout_attempts.json"
+python3 - "${rb_dir}" <<'PYEOF'
+import json, sys
+d = sys.argv[1]
+points = json.load(open(f"{d}/timeout_points.json"))
+assert len(points) == 20, f"{len(points)} sweep_point records"
+bad = [p["point"] for p in points if p["outcome"] != "timeout"]
+assert not bad, f"points not classified timeout: {bad}"
+attempts = json.load(open(f"{d}/timeout_attempts.json"))
+assert len(attempts) == 40, \
+    f"expected 2 attempts x 20 points, got {len(attempts)}"
+print("timeout classification ok: 20 timeouts, 40 attempt records")
+PYEOF
+
+echo "== robustness: chaos harness (seeded kill/resume campaign)"
+"${repo_root}/scripts/chaos_sweep.sh" --build-dir "${perf_dir}" \
+    --seed 11 --kills 2
 
 echo "== host telemetry: sweep artifacts + overhead gate"
 cmake --build "${perf_dir}" -j "${jobs}" \

@@ -2,10 +2,13 @@
 
 #include <atomic>
 #include <chrono>
+#include <csignal>
 #include <exception>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <thread>
+#include <unordered_set>
 
 #include "obs/json.hh"
 #include "obs/result_store.hh"
@@ -15,6 +18,200 @@
 
 namespace salam::drive
 {
+
+namespace
+{
+
+// Shutdown state shared between the async signal handlers and the
+// worker pool. One flag pair per process: concurrent SweepRunners are
+// not a supported configuration (the benches run one), and a signal
+// aimed at the process should drain all of them anyway.
+std::atomic<bool> g_shutdown{false};
+std::atomic<bool> g_cancel{false};
+std::atomic<int> g_signalCount{0};
+
+extern "C" void
+sweepSignalHandler(int)
+{
+    // Async-signal-safe: atomics only. First signal drains (finish
+    // in-flight points, skip the queue); a second escalates to
+    // cancelling in-flight points at their next event-loop check.
+    int seen = g_signalCount.fetch_add(1, std::memory_order_relaxed);
+    g_shutdown.store(true, std::memory_order_relaxed);
+    if (seen >= 1)
+        g_cancel.store(true, std::memory_order_relaxed);
+}
+
+/** Installs SIGINT/SIGTERM drain handlers for one run() scope. */
+class ScopedSignalHandlers
+{
+  public:
+    ScopedSignalHandlers()
+    {
+#ifdef __unix__
+        struct sigaction sa = {};
+        sa.sa_handler = sweepSignalHandler;
+        sigemptyset(&sa.sa_mask);
+        sa.sa_flags = 0;
+        sigaction(SIGINT, &sa, &oldInt);
+        sigaction(SIGTERM, &sa, &oldTerm);
+#endif
+    }
+
+    ~ScopedSignalHandlers()
+    {
+#ifdef __unix__
+        sigaction(SIGINT, &oldInt, nullptr);
+        sigaction(SIGTERM, &oldTerm, nullptr);
+#endif
+    }
+
+    ScopedSignalHandlers(const ScopedSignalHandlers &) = delete;
+    ScopedSignalHandlers &
+    operator=(const ScopedSignalHandlers &) = delete;
+
+  private:
+#ifdef __unix__
+    struct sigaction oldInt = {};
+    struct sigaction oldTerm = {};
+#endif
+};
+
+/**
+ * The done-set a resume store implies: configurations (by hash) and
+ * points (by bench-scoped index) that already have an ok record.
+ * Only ok records count — a fault/timeout/truncated record means the
+ * point must run again.
+ */
+struct ResumeIndex
+{
+    bool loaded = false;
+    std::unordered_set<std::uint64_t> okHashes;
+    std::unordered_set<long> okPoints;
+};
+
+ResumeIndex
+buildResumeIndex(const std::string &path, const std::string &bench)
+{
+    ResumeIndex index;
+    if (path.empty())
+        return index;
+    obs::StoreReader reader = obs::StoreReader::load(path);
+    if (!reader.ok()) {
+        // First run of a resumable sweep: nothing to resume from is
+        // the normal cold-start case, not an error.
+        warn("--resume: %s; starting from scratch",
+             reader.error().c_str());
+        return index;
+    }
+    for (const std::string &warning : reader.warnings())
+        warn("--resume: %s", warning.c_str());
+    for (const obs::LoadedRecord &rec : reader.records()) {
+        const bool ok_run =
+            rec.kind == "run" && rec.outcome == "ok";
+        const bool ok_point =
+            rec.kind == "sweep_point" &&
+            (rec.outcome == "ok" || rec.outcome == "cached");
+        if (!ok_run && !ok_point)
+            continue;
+        if (ok_run && rec.configHash != 0)
+            index.okHashes.insert(rec.configHash);
+        if (rec.point >= 0 &&
+            (bench.empty() || rec.bench.empty() ||
+             rec.bench == bench))
+            index.okPoints.insert(rec.point);
+    }
+    index.loaded = true;
+    return index;
+}
+
+/** Outcome histogram over a result set, insertion-stable enough. */
+std::map<std::string, std::size_t>
+outcomeCounts(const std::vector<SweepPointResult> &results)
+{
+    std::map<std::string, std::size_t> counts;
+    for (const SweepPointResult &r : results)
+        ++counts[r.outcome];
+    return counts;
+}
+
+/**
+ * A failed point, for exit-status and summary purposes: not ok and
+ * not merely deferred ("skipped" re-runs on resume, "cached" is a
+ * success).
+ */
+bool
+isFailed(const SweepPointResult &r)
+{
+    return !r.ok && r.outcome != "skipped";
+}
+
+void
+appendPointRecord(obs::ResultStore &store, const std::string &bench,
+                  const SweepPointResult &r)
+{
+    obs::StoreRecord rec;
+    rec.kind = "sweep_point";
+    rec.bench = bench;
+    rec.outcome = r.outcome;
+    rec.point = static_cast<long>(r.index);
+    std::ostringstream payload;
+    payload << "{\"index\":" << r.index << ",\"outcome\":\""
+            << obs::jsonEscape(r.outcome)
+            << "\",\"attempts\":" << r.attempts
+            << ",\"wall_seconds\":" << obs::jsonNumber(r.wallSeconds);
+    if (!r.error.empty())
+        payload << ",\"error\":\"" << obs::jsonEscape(r.error)
+                << "\"";
+    if (!r.payload.empty())
+        payload << ",\"point\":" << r.payload;
+    payload << "}";
+    rec.json = payload.str();
+    store.append(std::move(rec));
+}
+
+void
+appendAttemptRecord(obs::ResultStore &store, const std::string &bench,
+                    std::size_t index, unsigned attempt,
+                    const std::string &outcome, double wall_seconds,
+                    const std::string &error)
+{
+    obs::StoreRecord rec;
+    rec.kind = "attempt";
+    rec.bench = bench;
+    rec.outcome = outcome;
+    rec.point = static_cast<long>(index);
+    std::ostringstream payload;
+    payload << "{\"index\":" << index << ",\"attempt\":" << attempt
+            << ",\"outcome\":\"" << obs::jsonEscape(outcome)
+            << "\",\"wall_seconds\":" << obs::jsonNumber(wall_seconds);
+    if (!error.empty())
+        payload << ",\"error\":\"" << obs::jsonEscape(error) << "\"";
+    payload << "}";
+    rec.json = payload.str();
+    store.append(std::move(rec));
+}
+
+} // namespace
+
+void
+SweepRunner::requestShutdown()
+{
+    g_shutdown.store(true, std::memory_order_relaxed);
+}
+
+void
+SweepRunner::requestCancel()
+{
+    g_shutdown.store(true, std::memory_order_relaxed);
+    g_cancel.store(true, std::memory_order_relaxed);
+}
+
+bool
+SweepRunner::shutdownRequested()
+{
+    return g_shutdown.load(std::memory_order_relaxed);
+}
 
 unsigned
 SweepRunner::resolveThreads(unsigned requested)
@@ -43,6 +240,19 @@ SweepRunner::run(std::size_t num_points, const PointFn &fn)
         threads = static_cast<unsigned>(num_points ? num_points : 1);
     usedThreads = threads;
 
+    // Reset process shutdown state for this run — a resume started in
+    // the same process must not inherit the previous interrupt — and
+    // install the SIGINT/SIGTERM drain handlers for the run() scope.
+    g_shutdown.store(false, std::memory_order_relaxed);
+    g_cancel.store(false, std::memory_order_relaxed);
+    g_signalCount.store(0, std::memory_order_relaxed);
+    wasInterrupted = false;
+    ScopedSignalHandlers signal_guard;
+
+    const ResumeIndex resume =
+        buildResumeIndex(opts.resumePath, opts.storeName);
+    const unsigned max_attempts = 1 + opts.pointRetries;
+
     summary = SweepHostSummary{};
     summary.enabled = opts.hostTelemetry;
     summary.threads = threads;
@@ -70,6 +280,11 @@ SweepRunner::run(std::size_t num_points, const PointFn &fn)
         // the per-point lock-during-I/O bottleneck is gone.
         obs::ReportBuffer report_buffer;
         for (;;) {
+            // Shutdown drain: stop dequeuing; points never picked up
+            // keep the default outcome "skipped" and re-run on the
+            // next --resume.
+            if (g_shutdown.load(std::memory_order_relaxed))
+                break;
             std::size_t idx =
                 next.fetch_add(1, std::memory_order_relaxed);
             if (idx >= num_points)
@@ -80,51 +295,123 @@ SweepRunner::run(std::size_t num_points, const PointFn &fn)
             tl.worker = wid;
             tl.pickedNs = obs::hostNowNs() - sweep_start_ns;
 
-            // A fresh context per point: flag state, sinks, and
-            // termination hooks are isolated, and fatal() throws so
-            // one bad point cannot take down the sweep.
-            SimContext ctx;
-            ctx.setFlagMask(flag_mask);
-            ctx.setFatalMode(SimContext::FatalMode::Throw);
-            ctx.setReportSink(&report_buffer);
-            ctx.setSweepPointIndex(static_cast<long>(idx));
-            ScopedSimContext bind(ctx);
-            if (opts.hostTelemetry) {
-                if (opts.captureSimTracePoint >= 0 &&
-                    idx == static_cast<std::size_t>(
-                               opts.captureSimTracePoint))
-                    point_tel[idx].setSimTraceCapture(true);
-                ctx.setHostTelemetry(&point_tel[idx]);
-            }
-            tl.setupEndNs = obs::hostNowNs() - sweep_start_ns;
-
-            auto t0 = clock::now();
-            try {
-                r.payload = fn(idx);
+            // Resume short-circuit: an ok record for this point's
+            // configuration already exists in the resume store.
+            if (resume.loaded &&
+                (opts.pointHash
+                     ? resume.okHashes.count(opts.pointHash(idx)) != 0
+                     : resume.okPoints.count(
+                           static_cast<long>(idx)) != 0)) {
                 r.ok = true;
-                r.outcome = "ok";
-            } catch (const FatalError &e) {
-                r.ok = false;
-                r.outcome = e.outcome();
-                r.error = e.what();
-            } catch (const std::exception &e) {
-                r.ok = false;
-                r.outcome = "error";
-                r.error = e.what();
+                r.outcome = "cached";
+                r.attempts = 0;
+                std::uint64_t now = obs::hostNowNs() - sweep_start_ns;
+                tl.setupEndNs = tl.runEndNs = tl.endNs = now;
+                if (opts.store != nullptr) {
+                    appendPointRecord(*opts.store, opts.storeName, r);
+                    if (opts.durable)
+                        opts.store->flush();
+                }
+                continue;
             }
-            r.wallSeconds =
-                std::chrono::duration<double>(clock::now() - t0)
-                    .count();
-            tl.runEndNs = obs::hostNowNs() - sweep_start_ns;
-            if (opts.hostTelemetry) {
-                point_tel[idx].samplePeakRss();
-                tl.reportIoNs =
-                    point_tel[idx]
-                        .phase(obs::HostPhase::ReportIo)
-                        .selfNanos;
-                ctx.setHostTelemetry(nullptr);
+
+            for (unsigned attempt = 1; attempt <= max_attempts;
+                 ++attempt) {
+                // A fresh context per attempt: flag state, sinks, and
+                // termination hooks are isolated, fatal() throws so
+                // one bad point cannot take down the sweep, and the
+                // host-side limits (deadline, cancel flag) are armed
+                // where the event loop and the deadline sentinel can
+                // see them.
+                SimContext ctx;
+                ctx.setFlagMask(flag_mask);
+                ctx.setFatalMode(SimContext::FatalMode::Throw);
+                ctx.setReportSink(&report_buffer);
+                ctx.setSweepPointIndex(static_cast<long>(idx));
+                ctx.setCancelFlag(&g_cancel);
+                if (opts.pointTimeoutSeconds > 0.0)
+                    ctx.setPointDeadlineNs(
+                        obs::hostNowNs() +
+                        static_cast<std::uint64_t>(
+                            opts.pointTimeoutSeconds * 1e9));
+                ScopedSimContext bind(ctx);
+                if (opts.hostTelemetry) {
+                    if (opts.captureSimTracePoint >= 0 &&
+                        idx == static_cast<std::size_t>(
+                                   opts.captureSimTracePoint))
+                        point_tel[idx].setSimTraceCapture(true);
+                    ctx.setHostTelemetry(&point_tel[idx]);
+                }
+                tl.setupEndNs = obs::hostNowNs() - sweep_start_ns;
+
+                auto t0 = clock::now();
+                r.error.clear();
+                r.payload.clear();
+                try {
+                    r.payload = fn(idx);
+                    r.ok = true;
+                    r.outcome = "ok";
+                } catch (const FatalError &e) {
+                    r.ok = false;
+                    r.outcome = e.outcome();
+                    r.error = e.what();
+                } catch (const std::exception &e) {
+                    r.ok = false;
+                    r.outcome = "error";
+                    r.error = e.what();
+                }
+                r.wallSeconds =
+                    std::chrono::duration<double>(clock::now() - t0)
+                        .count();
+                r.attempts = attempt;
+                tl.runEndNs = obs::hostNowNs() - sweep_start_ns;
+                if (opts.hostTelemetry) {
+                    point_tel[idx].samplePeakRss();
+                    tl.reportIoNs =
+                        point_tel[idx]
+                            .phase(obs::HostPhase::ReportIo)
+                            .selfNanos;
+                    ctx.setHostTelemetry(nullptr);
+                }
+
+                if (opts.store != nullptr && opts.pointRetries > 0)
+                    appendAttemptRecord(*opts.store, opts.storeName,
+                                        idx, attempt, r.outcome,
+                                        r.wallSeconds, r.error);
+
+                // "skipped" here means the attempt was cancelled by a
+                // shutdown escalation — retrying would fight the
+                // drain, and a resume re-runs the point anyway.
+                if (r.ok || r.outcome == "skipped")
+                    break;
+                if (attempt == max_attempts ||
+                    g_shutdown.load(std::memory_order_relaxed))
+                    break;
+                std::uint64_t backoff_ms =
+                    static_cast<std::uint64_t>(opts.retryBackoffMs)
+                    << (attempt - 1);
+                if (backoff_ms > 5000)
+                    backoff_ms = 5000;
+                warn("sweep point %zu attempt %u/%u failed (%s); "
+                     "retrying in %llums",
+                     idx, attempt, max_attempts, r.outcome.c_str(),
+                     static_cast<unsigned long long>(backoff_ms));
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(backoff_ms));
             }
             tl.endNs = obs::hostNowNs() - sweep_start_ns;
+
+            // Checkpoint the point as soon as it completes. With
+            // Options::durable the flush also lands any kind="run"
+            // record the point function appended, so a killed process
+            // (SIGKILL, OOM) loses only in-flight points.
+            if (opts.store != nullptr) {
+                appendPointRecord(*opts.store, opts.storeName, r);
+                if (opts.durable && !opts.store->flush())
+                    warn("sweep point %zu: durable store flush "
+                         "failed",
+                         idx);
+            }
         }
         if (!report_buffer.flush())
             warn("sweep worker %u: report-buffer flush failed", wid);
@@ -195,38 +482,39 @@ SweepRunner::run(std::size_t num_points, const PointFn &fn)
                 .capturedSimTrace());
     }
 
+    wasInterrupted = g_shutdown.load(std::memory_order_relaxed);
+
+    std::size_t failed_points = 0;
+    std::size_t cached_points = 0;
+    std::size_t skipped_points = 0;
+    for (const SweepPointResult &r : results) {
+        if (isFailed(r))
+            ++failed_points;
+        if (r.outcome == "cached")
+            ++cached_points;
+        if (r.outcome == "skipped")
+            ++skipped_points;
+    }
+
     if (opts.store != nullptr) {
-        std::size_t failed = 0;
-        for (std::size_t i = 0; i < num_points; ++i) {
-            const SweepPointResult &r = results[i];
-            if (!r.ok)
-                ++failed;
-            obs::StoreRecord rec;
-            rec.kind = "sweep_point";
-            rec.bench = opts.storeName;
-            rec.outcome = r.outcome;
-            rec.point = static_cast<long>(i);
-            std::ostringstream payload;
-            payload << "{\"index\":" << i << ",\"outcome\":\""
-                    << obs::jsonEscape(r.outcome)
-                    << "\",\"wall_seconds\":"
-                    << obs::jsonNumber(r.wallSeconds);
-            if (!r.error.empty())
-                payload << ",\"error\":\"" << obs::jsonEscape(r.error)
-                        << "\"";
-            if (!r.payload.empty())
-                payload << ",\"point\":" << r.payload;
-            payload << "}";
-            rec.json = payload.str();
-            opts.store->append(std::move(rec));
+        // Per-point records for completed points were appended by the
+        // workers; the drain leftovers get theirs here so the store
+        // accounts for every point of the grid.
+        for (const SweepPointResult &r : results) {
+            if (r.outcome == "skipped" && r.attempts == 0)
+                appendPointRecord(*opts.store, opts.storeName, r);
         }
         obs::StoreRecord rec;
         rec.kind = "sweep";
         rec.bench = opts.storeName;
-        rec.outcome = failed == 0 ? "ok" : "error";
+        rec.outcome = wasInterrupted      ? "interrupted"
+                      : failed_points != 0 ? "error"
+                                           : "ok";
         std::ostringstream payload;
         payload << "{\"points\":" << num_points
-                << ",\"failed_points\":" << failed
+                << ",\"failed_points\":" << failed_points
+                << ",\"cached_points\":" << cached_points
+                << ",\"skipped_points\":" << skipped_points
                 << ",\"threads\":" << threads << ",\"wall_seconds\":"
                 << obs::jsonNumber(wallSeconds)
                 << ",\"point_seconds_sum\":"
@@ -239,7 +527,8 @@ SweepRunner::run(std::size_t num_points, const PointFn &fn)
     }
 
     if (threads > 1 && summary.effectiveSpeedup < 1.0 &&
-        num_points > 0) {
+        num_points > 0 && !wasInterrupted && cached_points == 0 &&
+        skipped_points == 0) {
         warn("parallel sweep ran %.2fx the serial estimate with %u "
              "threads (%zu points, %.3fs wall, %.3fs points-sum) — "
              "check hardware concurrency and serial sections",
@@ -380,14 +669,39 @@ SweepRunner::writeAggregateJson(
 {
     double serial_seconds = 0.0;
     std::size_t failed = 0;
+    std::size_t cached = 0;
+    std::size_t skipped = 0;
     for (const SweepPointResult &r : results) {
         serial_seconds += r.wallSeconds;
-        if (!r.ok)
+        if (isFailed(r))
             ++failed;
+        if (r.outcome == "cached")
+            ++cached;
+        if (r.outcome == "skipped")
+            ++skipped;
     }
     os << "{\"sweep\": \"" << obs::jsonEscape(name) << "\",\n";
     os << " \"points\": " << results.size() << ",\n";
     os << " \"failed_points\": " << failed << ",\n";
+    os << " \"cached_points\": " << cached << ",\n";
+    os << " \"skipped_points\": " << skipped << ",\n";
+    {
+        // Outcome histogram so downstream tooling can split the
+        // deferred classes (skipped/cached) from real failures
+        // without re-deriving the taxonomy.
+        std::map<std::string, std::size_t> counts =
+            outcomeCounts(results);
+        os << " \"outcomes\": {";
+        bool first = true;
+        for (const auto &[outcome, count] : counts) {
+            if (!first)
+                os << ", ";
+            first = false;
+            os << "\"" << obs::jsonEscape(outcome)
+               << "\": " << count;
+        }
+        os << "},\n";
+    }
     os << " \"threads\": " << threads << ",\n";
     os << " \"wall_seconds\": " << obs::jsonNumber(wall_seconds)
        << ",\n";
@@ -404,7 +718,9 @@ SweepRunner::writeAggregateJson(
     for (std::size_t i = 0; i < results.size(); ++i) {
         const SweepPointResult &r = results[i];
         os << "  {\"index\": " << r.index << ", \"outcome\": \""
-           << obs::jsonEscape(r.outcome) << "\", \"wall_seconds\": "
+           << obs::jsonEscape(r.outcome)
+           << "\", \"attempts\": " << r.attempts
+           << ", \"wall_seconds\": "
            << obs::jsonNumber(r.wallSeconds);
         if (!r.error.empty())
             os << ", \"error\": \"" << obs::jsonEscape(r.error)

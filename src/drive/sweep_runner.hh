@@ -16,6 +16,23 @@
  * output. The point function may also write into caller-owned
  * per-point slots (each index runs exactly once, and the joins
  * establish the happens-before edge back to the caller).
+ *
+ * Fault tolerance (a sweep is a durable job, not a fragile process):
+ *  - per-point deadlines (Options::pointTimeoutSeconds) arm a host
+ *    wall-clock limit on each attempt; a hung point is cancelled by
+ *    the event-loop backstop or the deadline sentinel, classified
+ *    outcome "timeout", and the pool moves on;
+ *  - retry with exponential backoff (Options::pointRetries) re-runs
+ *    failed points, recording one kind="attempt" store record per
+ *    attempt so flakiness is auditable with `salam-query`;
+ *  - checkpoint/resume (Options::resumePath) skips points whose
+ *    config hash (or point index) already has an ok record in a
+ *    ResultStore — outcome "cached" — so a killed sweep restarted
+ *    with the same grid finishes only the remaining work;
+ *  - graceful shutdown: SIGINT/SIGTERM drain in-flight points, flush
+ *    buffers and the store, and the bench exits with
+ *    interruptedExitCode; a second signal cancels in-flight points
+ *    too (outcome "skipped", re-run by the next resume).
  */
 
 #ifndef SALAM_DRIVE_SWEEP_RUNNER_HH
@@ -45,11 +62,24 @@ struct SweepPointResult
 
     bool ok = false;
 
-    /** "ok", or the fatal classification ("fault", "deadlock"). */
+    /**
+     * Terminal classification of the point:
+     *  - "ok":       ran and passed;
+     *  - "cached":   resume hit — an ok record for this
+     *                configuration already existed (ok == true);
+     *  - "skipped":  never ran (shutdown drain) or cancelled
+     *                in-flight by a shutdown escalation;
+     *  - "timeout":  per-point deadline expired;
+     *  - "fault" / "deadlock" / "error": the fatal or exception
+     *    classification of the last attempt.
+     */
     std::string outcome = "skipped";
 
     /** The fatal/exception message when !ok. */
     std::string error;
+
+    /** Attempts actually executed (0 for cached/skipped points). */
+    unsigned attempts = 0;
 
     /**
      * The point function's return value: a raw JSON fragment (or
@@ -162,6 +192,58 @@ class SweepRunner
 
         /** Bench name stamped on store records. */
         std::string storeName;
+
+        /**
+         * Host wall-clock budget per attempt; 0 disables. An attempt
+         * that exceeds it is terminated (outcome "timeout") by the
+         * deadline sentinel the point function arms — or, for a
+         * simulation whose tick is frozen, by the event loop's own
+         * backstop — without stalling the rest of the pool.
+         */
+        double pointTimeoutSeconds = 0.0;
+
+        /**
+         * Extra attempts for a point whose attempt ends in a
+         * retryable outcome (timeout, fault, deadlock, error); 0
+         * disables retry. Each attempt is recorded as a
+         * kind="attempt" store record when a store is attached.
+         */
+        unsigned pointRetries = 0;
+
+        /**
+         * First retry backoff; doubles per subsequent attempt,
+         * capped at 5s. Shutdown interrupts the wait.
+         */
+        unsigned retryBackoffMs = 50;
+
+        /**
+         * Checkpoint/resume: a ResultStore path (directory or bare
+         * JSONL) whose ok records mark points as already done. A
+         * point whose pointHash (or, without a hash callback, whose
+         * (storeName, index) pair) matches an ok kind="run" or
+         * kind="sweep_point" record is skipped with outcome
+         * "cached". Empty disables. A missing or empty store is a
+         * warning, not an error — the first run of a resumable
+         * sweep resumes from nothing.
+         */
+        std::string resumePath;
+
+        /**
+         * Config fingerprint of a point, matching the RunReport
+         * configHash its point function would record (see
+         * bench::runConfigHash). Enables exact resume matching
+         * across grid reorderings; without it resume falls back to
+         * (storeName, point index) identity.
+         */
+        std::function<std::uint64_t(std::size_t)> pointHash;
+
+        /**
+         * Flush the store after every completed point, so a killed
+         * process (SIGKILL, OOM) loses at most the in-flight points
+         * — the property chaos testing relies on. The benches turn
+         * this on whenever a store is attached.
+         */
+        bool durable = false;
     };
 
     SweepRunner() = default;
@@ -185,6 +267,35 @@ class SweepRunner
 
     /** Threads the last run() actually used. */
     unsigned lastThreads() const { return usedThreads; }
+
+    /**
+     * True when the last run() was drained by a shutdown request
+     * (SIGINT/SIGTERM or requestShutdown()): some points carry
+     * outcome "skipped" and the bench should exit with
+     * interruptedExitCode so callers can tell "interrupted, resume
+     * me" from success and from failure.
+     */
+    bool interrupted() const { return wasInterrupted; }
+
+    /** Process exit code for an interrupted sweep (EX_TEMPFAIL). */
+    static constexpr int interruptedExitCode = 75;
+
+    /**
+     * Programmatic equivalent of one SIGINT/SIGTERM: in-flight
+     * points finish, queued points are skipped. Used by tests; the
+     * signal handlers installed during run() call the same path.
+     */
+    static void requestShutdown();
+
+    /**
+     * Programmatic equivalent of a second signal: additionally
+     * cancels in-flight points at the next event-loop limit check
+     * (their outcome becomes "skipped").
+     */
+    static void requestCancel();
+
+    /** True once a shutdown has been requested for the current run. */
+    static bool shutdownRequested();
 
     /** Wall-clock seconds of the last run(), all points included. */
     double lastWallSeconds() const { return wallSeconds; }
@@ -236,6 +347,7 @@ class SweepRunner
     Options opts;
     unsigned usedThreads = 0;
     double wallSeconds = 0.0;
+    bool wasInterrupted = false;
     SweepHostSummary summary;
 };
 

@@ -3,6 +3,7 @@
 #include <fstream>
 
 #include "fault_injector.hh"
+#include "obs/host_telemetry.hh"
 #include "sim/logging.hh"
 #include "sim/simulation.hh"
 
@@ -81,7 +82,7 @@ writeStateDump(const std::string &path, const std::string &json)
 
 void
 reportHang(Simulation &sim, const std::string &reason,
-           const std::string &dump_path)
+           const std::string &dump_path, const char *outcome)
 {
     if (!dump_path.empty())
         writeStateDump(dump_path, buildStateDump(sim, reason));
@@ -95,7 +96,7 @@ reportHang(Simulation &sim, const std::string &reason,
     if (who.empty())
         who = "no component reports a stuck reason";
 
-    setFatalOutcome("deadlock");
+    setFatalOutcome(outcome);
     if (dump_path.empty()) {
         fatal("%s — stuck: %s", reason.c_str(), who.c_str());
     } else {
@@ -129,16 +130,47 @@ ProgressSentinel::check()
 {
     if (cfg.done())
         return;
-    std::uint64_t now = simulation().progressEvents();
-    if (now == lastCount) {
+    if (cfg.hostDeadlineNs != 0 &&
+        obs::hostNowNs() > cfg.hostDeadlineNs) {
         reportHang(simulation(),
-                   "no forward progress for " +
-                       std::to_string(cfg.windowTicks) +
-                       " ticks (watchdog)",
-                   cfg.dumpPath);
+                   "point deadline exceeded (host wall clock)",
+                   cfg.dumpPath, "timeout");
     }
-    lastCount = now;
+    if (cfg.watchProgress) {
+        std::uint64_t now = simulation().progressEvents();
+        if (now == lastCount) {
+            reportHang(simulation(),
+                       "no forward progress for " +
+                           std::to_string(cfg.windowTicks) +
+                           " ticks (watchdog)",
+                       cfg.dumpPath);
+        }
+        lastCount = now;
+    }
     schedule(checkEvent, curTick() + cfg.windowTicks);
+}
+
+ProgressSentinel *
+armPointDeadline(Simulation &sim, std::function<bool()> done,
+                 const std::string &dump_path)
+{
+    std::uint64_t deadline =
+        SimContext::current().pointDeadlineNs();
+    if (deadline == 0)
+        return nullptr;
+    ProgressSentinel::Config cfg;
+    // The window only sets the polling cadence here; keep it small
+    // relative to any realistic kernel so the dump-producing path
+    // fires well before a caller-side timeout would.
+    cfg.windowTicks = 100'000;
+    cfg.dumpPath = dump_path;
+    cfg.done = std::move(done);
+    cfg.hostDeadlineNs = deadline;
+    cfg.watchProgress = false;
+    auto &sentinel = sim.create<ProgressSentinel>(
+        "point_deadline", std::move(cfg));
+    sentinel.start();
+    return &sentinel;
 }
 
 } // namespace salam::inject

@@ -50,11 +50,13 @@ bool writeStateDump(const std::string &path, const std::string &json);
 /**
  * Terminal hang path shared by the sentinel and the queue-drain
  * checks: write the state dump (if @p dump_path is non-empty), set
- * the fatal outcome to "deadlock", and fatal() with a message naming
- * the stuck components.
+ * the fatal outcome (@p outcome: "deadlock" for the classic hang
+ * modes, "timeout" for a host-deadline expiry), and fatal() with a
+ * message naming the stuck components.
  */
 [[noreturn]] void reportHang(Simulation &sim, const std::string &reason,
-                             const std::string &dump_path);
+                             const std::string &dump_path,
+                             const char *outcome = "deadlock");
 
 /** Watchdog for livelock (events still firing, nothing retiring). */
 class ProgressSentinel : public SimObject
@@ -74,6 +76,22 @@ class ProgressSentinel : public SimObject
          * would keep an otherwise-finished run alive forever.
          */
         std::function<bool()> done;
+
+        /**
+         * Absolute host-time deadline (obs::hostNowNs() value); 0
+         * disables. When the wall clock passes it before done(),
+         * the run is terminated with outcome "timeout" and a state
+         * dump — the per-point deadline a sweep worker arms so a
+         * hung configuration cannot stall the pool.
+         */
+        std::uint64_t hostDeadlineNs = 0;
+
+        /**
+         * Watch the retirement-progress counter (the classic
+         * livelock watchdog). Deadline-only sentinels disable it so
+         * a slow-but-progressing point is judged purely on time.
+         */
+        bool watchProgress = true;
     };
 
     ProgressSentinel(Simulation &sim, std::string name, Config cfg);
@@ -90,6 +108,19 @@ class ProgressSentinel : public SimObject
     std::uint64_t lastCount = 0;
     EventFunctionWrapper checkEvent;
 };
+
+/**
+ * Arm a deadline-only sentinel over @p sim when the calling thread's
+ * SimContext carries a point deadline (SweepRunner sets one per
+ * attempt from --point-timeout). Returns null when no deadline is
+ * set. The sentinel produces the structured hang dump at @p dump_path
+ * and classifies the run "timeout"; the event loop's own backstop
+ * (dump-less) still covers the frozen-tick case where no event can
+ * fire.
+ */
+ProgressSentinel *armPointDeadline(Simulation &sim,
+                                   std::function<bool()> done,
+                                   const std::string &dump_path);
 
 } // namespace salam::inject
 

@@ -9,7 +9,9 @@
 #include <fstream>
 #include <mutex>
 #include <sstream>
+#include <stdexcept>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "host_telemetry.hh"
 #include "json.hh"
@@ -98,6 +100,8 @@ struct ResultStore::Impl
     /** Serializes flush()es of this store. */
     TimedMutex fileMutex;
     std::vector<std::string> pending;
+    /** This writer's record file has been registered in STORE.json. */
+    bool manifestRegistered = false;
 };
 
 ResultStore::ResultStore(std::string dir, std::string record_path)
@@ -196,18 +200,48 @@ ResultStore::flush()
     if (lines.empty())
         return true;
     std::lock_guard<TimedMutex> io(impl->fileMutex);
-    std::ofstream os(impl->recordPath, std::ios::app);
-    if (!os) {
-        // Put the records back so a later flush can retry.
-        std::lock_guard<TimedMutex> lock(impl->pendingMutex);
-        impl->pending.insert(impl->pending.begin(),
-                             std::make_move_iterator(lines.begin()),
-                             std::make_move_iterator(lines.end()));
-        return false;
+    {
+        std::ofstream os(impl->recordPath, std::ios::app);
+        if (!os) {
+            // Put the records back so a later flush can retry.
+            std::lock_guard<TimedMutex> lock(impl->pendingMutex);
+            impl->pending.insert(
+                impl->pending.begin(),
+                std::make_move_iterator(lines.begin()),
+                std::make_move_iterator(lines.end()));
+            return false;
+        }
+        for (const std::string &line : lines)
+            os << line;
+        if (!os)
+            return false;
     }
-    for (const std::string &line : lines)
-        os << line;
-    return static_cast<bool>(os);
+
+    // First successful flush: register this writer's record file in
+    // the manifest (one appended JSON line; O_APPEND keeps concurrent
+    // writers' lines intact). Registration after the record write
+    // means a crash in between leaves an unmanifested record file —
+    // the reader loads it anyway with a warning, never silently drops
+    // it.
+    if (!impl->manifestRegistered) {
+        fs::path manifest = fs::path(storeDir) / manifestName();
+        std::string base =
+            fs::path(impl->recordPath).filename().string();
+        std::ofstream ms(manifest, std::ios::app);
+        if (ms) {
+            ms << "{\"record_file\":\"" << jsonEscape(base)
+               << "\"}\n";
+        }
+        if (ms) {
+            impl->manifestRegistered = true;
+        } else {
+            std::fprintf(stderr,
+                         "warn: result store: cannot register '%s' "
+                         "in manifest '%s'\n",
+                         base.c_str(), manifest.string().c_str());
+        }
+    }
+    return true;
 }
 
 std::size_t
@@ -329,6 +363,70 @@ loadFile(const std::string &path, std::vector<LoadedRecord> &recs,
     }
 }
 
+/**
+ * Parse the store manifest: the header line (schema version) followed
+ * by one registration line per record file a writer has flushed.
+ * Corrupt or truncated lines (a writer killed mid-append) are skipped
+ * with a warning — the manifest is advisory, never load-fatal.
+ * Returns false when the manifest is missing or unreadable.
+ */
+bool
+readManifest(const std::string &dir,
+             std::vector<std::string> &registered,
+             std::vector<std::string> &warnings)
+{
+    fs::path manifest = fs::path(dir) / ResultStore::manifestName();
+    std::ifstream is(manifest);
+    if (!is) {
+        warnings.push_back("store manifest '" + manifest.string() +
+                           "' is missing or unreadable; loading "
+                           "record files by directory scan only");
+        return false;
+    }
+    std::string line;
+    unsigned lineno = 0;
+    while (std::getline(is, line)) {
+        ++lineno;
+        if (line.find_first_not_of(" \t\r") == std::string::npos)
+            continue;
+        JsonValue value;
+        try {
+            value = parseJson(line);
+            if (!value.isObject())
+                throw std::runtime_error(
+                    "manifest line is not a JSON object");
+        } catch (const std::exception &e) {
+            warnings.push_back(manifest.string() + ":" +
+                               std::to_string(lineno) +
+                               ": skipped manifest line (" +
+                               std::string(e.what()) + ")");
+            continue;
+        }
+        std::string file = value.stringOr("record_file", "");
+        if (!file.empty()) {
+            registered.push_back(std::move(file));
+            continue;
+        }
+        if (value.has("store_schema")) {
+            double schema = value.numberOr("store_schema", 0.0);
+            if (schema >
+                static_cast<double>(ResultStore::storeSchemaVersion))
+                warnings.push_back(
+                    "store manifest declares schema " +
+                    std::to_string(static_cast<long>(schema)) +
+                    " (this reader understands " +
+                    std::to_string(ResultStore::storeSchemaVersion) +
+                    "); unknown fields are preserved verbatim");
+            continue;
+        }
+        warnings.push_back(manifest.string() + ":" +
+                           std::to_string(lineno) +
+                           ": skipped manifest line (no record_file "
+                           "or store_schema key)");
+    }
+    return true;
+}
+
 } // namespace
 
 StoreReader
@@ -350,6 +448,42 @@ StoreReader::load(const std::string &path)
         }
         // Deterministic load order regardless of directory order.
         std::sort(files.begin(), files.end());
+
+        // Cross-check the manifest against the directory: a record
+        // file the manifest lists but the scan did not find means
+        // data was lost (or the store was pruned by hand); a record
+        // file on disk that no writer registered means the writer
+        // died between its record flush and the manifest append.
+        // Both are warnings — every readable record still loads, and
+        // resume treats anything unreadable as not-done.
+        std::vector<std::string> registered;
+        if (readManifest(path, registered, reader.loadWarnings) &&
+            !registered.empty()) {
+            std::unordered_set<std::string> present;
+            for (const std::string &file : files)
+                present.insert(fs::path(file).filename().string());
+            std::unordered_set<std::string> known(registered.begin(),
+                                                  registered.end());
+            for (const std::string &name : registered) {
+                if (present.count(name) == 0)
+                    reader.loadWarnings.push_back(
+                        "manifest lists '" + name +
+                        "' but the file is missing (partial flush "
+                        "or pruned store); its records are treated "
+                        "as not done");
+            }
+            for (const std::string &file : files) {
+                std::string base =
+                    fs::path(file).filename().string();
+                if (known.count(base) == 0)
+                    reader.loadWarnings.push_back(
+                        "record file '" + base +
+                        "' is not registered in the manifest "
+                        "(writer interrupted before registration?); "
+                        "loaded anyway");
+            }
+        }
+
         for (const std::string &file : files)
             loadFile(file, reader.recs, reader.loadWarnings, false);
         reader.loadOk = true;

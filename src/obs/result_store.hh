@@ -9,7 +9,9 @@
  * list, compare, or regress across runs. The store makes results a
  * managed collection with no external database dependency:
  *
- *   <dir>/STORE.json              manifest (store schema version)
+ *   <dir>/STORE.json              manifest: schema header plus one
+ *                                 registration line per record file
+ *                                 (appended on a writer's first flush)
  *   <dir>/records-<pid>-<n>.jsonl one record file per writer process
  *
  * Each record is one line: a small envelope carrying the query keys
@@ -51,7 +53,11 @@ struct RunReport;
 /** One record on its way into the store. */
 struct StoreRecord
 {
-    /** Record class: "run", "profile", "sweep_point", "sweep". */
+    /**
+     * Record class: "run", "profile", "sweep_point", "sweep",
+     * "attempt" (one per retry of a sweep point), "injection" (one
+     * per fired fault of a campaign).
+     */
     std::string kind = "run";
 
     /** Producing bench/sweep, e.g. "fig13_gemm_pareto". */
@@ -60,7 +66,10 @@ struct StoreRecord
     /** Kernel / run identifier, e.g. "gemm"; may be empty. */
     std::string kernel;
 
-    /** "ok" | "fault" | "deadlock" | "error". */
+    /**
+     * "ok" | "fault" | "deadlock" | "error" | "timeout" |
+     * "cached" | "skipped" | "interrupted".
+     */
     std::string outcome = "ok";
 
     /** RunReport config fingerprint; 0 = not applicable. */

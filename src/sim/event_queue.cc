@@ -27,9 +27,41 @@ isQueueOwned(Event *event)
     return dynamic_cast<OwnedLambdaEvent *>(event) != nullptr;
 }
 
+/**
+ * Slow path of the host-limit backstop: terminate the run when the
+ * bound SimContext's cancel flag is raised or its point deadline has
+ * passed. This is the only hang guard that works when the simulated
+ * clock is frozen (an event rescheduling itself at the same tick):
+ * a sentinel scheduled at curTick + window never fires there, but
+ * events keep being serviced, so this check still runs.
+ */
+void
+checkHostLimits()
+{
+    SimContext &ctx = SimContext::current();
+    if (ctx.cancelRequested()) {
+        ctx.setFatalOutcome("skipped");
+        fatal("simulation cancelled (shutdown requested)");
+    }
+    std::uint64_t deadline = ctx.pointDeadlineNs();
+    if (deadline != 0 && obs::hostNowNs() > deadline) {
+        ctx.setFatalOutcome("timeout");
+        fatal("point deadline exceeded (event-loop backstop)");
+    }
+}
+
+/** Events serviced between host-limit checks (power of two). */
+constexpr std::uint64_t hostLimitStride = 4096;
+
 } // namespace
 
 EventQueue::~EventQueue()
+{
+    drainAll();
+}
+
+void
+EventQueue::drainAll()
 {
     // Drain remaining entries, releasing queue-owned lambdas.
     while (!queue.empty()) {
@@ -132,11 +164,16 @@ EventQueue::run(Tick limit)
 {
     obs::HostTelemetry *tel =
         SimContext::current().hostTelemetry();
+    std::uint64_t until_check = hostLimitStride;
     if (tel == nullptr) {
         while (!queue.empty()) {
             if (queue.top().when > limit)
                 break;
             step();
+            if (--until_check == 0) {
+                until_check = hostLimitStride;
+                checkHostLimits();
+            }
         }
         return _curTick;
     }
@@ -176,6 +213,10 @@ EventQueue::run(Tick limit)
         }
         ++counts[static_cast<unsigned>(phase)];
         step();
+        if (--until_check == 0) {
+            until_check = hostLimitStride;
+            checkHostLimits();
+        }
     }
     nanos[static_cast<unsigned>(current)] +=
         obs::hostNowNs() - stamp;

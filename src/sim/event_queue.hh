@@ -147,6 +147,16 @@ class EventQueue
     /** Service exactly one event. @return false if the queue is empty. */
     bool step();
 
+    /**
+     * Pop every pending entry without firing it, clearing the
+     * events' scheduled flags and releasing queue-owned lambdas.
+     * ~Simulation calls this before destroying SimObjects so that a
+     * simulation abandoned mid-run (a FatalError unwinding out of
+     * run() on a timeout or cancellation) does not destroy objects
+     * whose member events are still scheduled.
+     */
+    void drainAll();
+
     /** Number of events serviced since construction. */
     std::uint64_t numServiced() const { return serviced; }
 

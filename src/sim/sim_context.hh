@@ -26,6 +26,7 @@
 #ifndef SALAM_SIM_SIM_CONTEXT_HH
 #define SALAM_SIM_SIM_CONTEXT_HH
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
@@ -164,6 +165,39 @@ class SimContext
 
     void setSweepPointIndex(long index) { _sweepPoint = index; }
 
+    // --- host-side execution limits (per-point deadlines, cancel) ---
+
+    /**
+     * Absolute host deadline for the simulation running under this
+     * context, as an obs::hostNowNs() value; 0 means no deadline.
+     * The event loop checks it periodically and fatal()s with
+     * outcome "timeout" once it passes — the backstop that catches a
+     * hung point even when the simulated clock is frozen and no
+     * sentinel event can ever fire. Plain field: only the bound
+     * thread reads or writes it.
+     */
+    std::uint64_t pointDeadlineNs() const { return _pointDeadlineNs; }
+
+    void setPointDeadlineNs(std::uint64_t deadline_ns)
+    { _pointDeadlineNs = deadline_ns; }
+
+    /**
+     * External cancellation flag, or null. A signal handler (or a
+     * shutdown escalation) sets the pointed-to atomic from another
+     * thread; the event loop polls it and fatal()s with outcome
+     * "skipped" so the in-flight point unwinds promptly and can be
+     * re-run by a later resume. Non-owning.
+     */
+    void setCancelFlag(const std::atomic<bool> *flag)
+    { _cancelFlag = flag; }
+
+    bool
+    cancelRequested() const
+    {
+        return _cancelFlag != nullptr &&
+               _cancelFlag->load(std::memory_order_relaxed);
+    }
+
     // --- trace/log sink ---
 
     using LogSink = std::function<void(const std::string &line)>;
@@ -220,6 +254,8 @@ class SimContext
     obs::HostTelemetry *_telemetry = nullptr;
     obs::ReportBuffer *_reportSink = nullptr;
     long _sweepPoint = -1;
+    std::uint64_t _pointDeadlineNs = 0;
+    const std::atomic<bool> *_cancelFlag = nullptr;
     LogSink _sink;
     std::vector<HookEntry> _hooks;
     std::size_t _nextHookId = 1;

@@ -7,6 +7,16 @@ namespace salam
 
 Simulation::Simulation() : Simulation(SimContext::current()) {}
 
+Simulation::~Simulation()
+{
+    // Members destroy in reverse declaration order, so `objects`
+    // would go before `queue` — fatal for a simulation abandoned
+    // mid-run (timeout/cancel unwinding out of run()), whose
+    // SimObjects still have member events scheduled. Deschedule
+    // everything first so their destructors see clean events.
+    queue.drainAll();
+}
+
 Simulation::Simulation(SimContext &context) : ctx(context)
 {
     // The simulation core instruments itself; member addresses are

@@ -42,6 +42,9 @@ class Simulation
     /** Binds to an explicit context (sweep workers pass theirs). */
     explicit Simulation(SimContext &ctx);
 
+    /** Drains the event queue before SimObjects are destroyed. */
+    ~Simulation();
+
     Simulation(const Simulation &) = delete;
     Simulation &operator=(const Simulation &) = delete;
 

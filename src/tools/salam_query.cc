@@ -9,6 +9,11 @@
  *   salam-query regress <store> --baseline <file>
  *                       [--max-drop-pct P] [--kernel K]
  *   salam-query top     <store> [--limit N] [--json]
+ *   salam-query attempts <store> [--bench B] [--json]
+ *
+ * `attempts` audits sweep flakiness: every kind="attempt" record a
+ * retrying sweep wrote (one per try of a point), plus which points
+ * needed more than one attempt.
  *
  * Filters: --bench B --kernel K --outcome O --kind D.
  * A <store> is a directory written with --store-out, or a bare
@@ -21,6 +26,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -48,7 +54,8 @@ usage(const char *msg = nullptr)
         "                      [--bench B] [--field F] [--json]\n"
         "  salam-query regress <store> --baseline <file>\n"
         "                      [--max-drop-pct P] [--kernel K]\n"
-        "  salam-query top     <store> [--limit N] [--json]\n");
+        "  salam-query top     <store> [--limit N] [--json]\n"
+        "  salam-query attempts <store> [--bench B] [--json]\n");
     return 1;
 }
 
@@ -216,9 +223,88 @@ cmdList(const Args &args)
                     rec->point, rec->number("cycles"),
                     hex64(rec->configHash).c_str());
     }
+    // Outcome histogram: one line splitting the deferred classes
+    // (cached, skipped) from real failures at a glance.
+    if (!selected.empty()) {
+        std::map<std::string, std::size_t> outcomes;
+        for (const obs::LoadedRecord *rec : selected)
+            ++outcomes[rec->outcome];
+        std::printf("outcomes:");
+        for (const auto &[outcome, count] : outcomes)
+            std::printf(" %s=%zu", outcome.c_str(), count);
+        std::printf("\n");
+    }
     std::printf("%zu record%s (%zu total in store)\n", selected.size(),
                 selected.size() == 1 ? "" : "s",
                 reader.records().size());
+    return 0;
+}
+
+int
+cmdAttempts(const Args &args)
+{
+    int rc = 0;
+    obs::StoreReader reader = loadOrDie(args.positional[0], rc);
+    if (rc != 0)
+        return rc;
+    obs::RecordFilter filter = args.filter;
+    filter.kind = "attempt";
+    std::vector<const obs::LoadedRecord *> selected =
+        reader.select(filter);
+    if (args.json) {
+        std::printf("[");
+        for (std::size_t i = 0; i < selected.size(); ++i) {
+            const obs::LoadedRecord *rec = selected[i];
+            std::printf(
+                "%s{\"point\":%ld,\"attempt\":%s,"
+                "\"outcome\":\"%s\",\"wall_seconds\":%s,"
+                "\"error\":\"%s\"}",
+                i ? "," : "", rec->point,
+                obs::jsonNumber(rec->number("attempt")).c_str(),
+                obs::jsonEscape(rec->outcome).c_str(),
+                obs::jsonNumber(rec->number("wall_seconds")).c_str(),
+                obs::jsonEscape(rec->record.stringOr("error", ""))
+                    .c_str());
+        }
+        std::printf("]\n");
+        return 0;
+    }
+    if (selected.empty()) {
+        std::printf("no attempt records in store (sweeps write them "
+                    "when --point-retries > 0)\n");
+        return 0;
+    }
+    std::printf("%-6s %-8s %-9s %12s  %s\n", "point", "attempt",
+                "outcome", "wall(s)", "error");
+    std::map<long, unsigned> tries;
+    std::map<long, bool> recovered;
+    for (const obs::LoadedRecord *rec : selected) {
+        std::printf("%-6ld %-8.0f %-9s %12.3f  %s\n", rec->point,
+                    rec->number("attempt"), rec->outcome.c_str(),
+                    rec->number("wall_seconds"),
+                    rec->record.stringOr("error", "").c_str());
+        unsigned attempt =
+            static_cast<unsigned>(rec->number("attempt"));
+        if (attempt > tries[rec->point])
+            tries[rec->point] = attempt;
+        if (rec->outcome == "ok")
+            recovered[rec->point] = true;
+    }
+    std::size_t flaky = 0;
+    std::size_t rescued = 0;
+    for (const auto &[point, n] : tries) {
+        if (n > 1) {
+            ++flaky;
+            if (recovered.count(point) != 0)
+                ++rescued;
+        }
+    }
+    std::printf("%zu attempt record%s over %zu point%s; %zu point%s "
+                "needed more than one attempt (%zu recovered by "
+                "retry)\n",
+                selected.size(), selected.size() == 1 ? "" : "s",
+                tries.size(), tries.size() == 1 ? "" : "s", flaky,
+                flaky == 1 ? "" : "s", rescued);
     return 0;
 }
 
@@ -454,5 +540,7 @@ main(int argc, char **argv)
         return cmdRegress(args);
     if (cmd == "top")
         return cmdTop(args);
+    if (cmd == "attempts")
+        return cmdAttempts(args);
     return usage(("unknown command '" + cmd + "'").c_str());
 }

@@ -307,7 +307,9 @@ TEST(SweepRunner, HostTelemetryFilesAreWellFormed)
     for (const auto &r : results)
         ASSERT_TRUE(r.ok) << r.error;
 
-    const std::string path = "ut_sweep_host_telemetry.json";
+    // Under the test harness's temp dir, never the source tree.
+    const std::string path = ::testing::TempDir() +
+        "ut_sweep_host_telemetry.json";
     ASSERT_TRUE(runner.writeHostTelemetryFiles(path, "ut-sweep"));
 
     std::ifstream json_in(path);

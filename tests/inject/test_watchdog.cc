@@ -182,7 +182,9 @@ TEST(Watchdog, WriteStateDumpRoundTrips)
 {
     Simulation sim;
     sim.create<Pulser>("unit", true, 1);
-    std::string path = "watchdog_test_dump.json";
+    // Under the test harness's temp dir, never the source tree.
+    std::string path = ::testing::TempDir() +
+        "watchdog_test_dump.json";
     ASSERT_TRUE(writeStateDump(path, buildStateDump(sim, "probe")));
 
     std::ifstream in(path);
