@@ -23,8 +23,13 @@
 #include <vector>
 
 #include "core/compute_unit.hh"
+#include "core/dyn_trace.hh"
 #include "core/power_report.hh"
+#include "core/static_cdfg.hh"
+#include "drive/options.hh"
 #include "drive/sweep_runner.hh"
+#include "drive/sweep_spec.hh"
+#include "drive/trace_replay.hh"
 #include "inject/fault_injector.hh"
 #include "inject/progress_sentinel.hh"
 #include "kernels/machsuite.hh"
@@ -124,6 +129,17 @@ struct ObsOptions
      */
     std::string resumePath;
 
+    /**
+     * Simulation mode for sweep points (--sim-mode):
+     *  - "full": every point is a complete event-driven simulation;
+     *  - "fast": capture the kernel's dynamic trace once, then
+     *    re-schedule it per point (trace-reuse fast path), falling
+     *    back to full simulation with a warning when a point's
+     *    configuration could change control flow;
+     *  - "auto": like "fast" but falls back silently.
+     */
+    std::string simMode = "full";
+
     /** This bench's name (argv[0] basename), stamped on records. */
     std::string benchName;
 
@@ -152,47 +168,24 @@ mainHostTelemetry()
 }
 
 /**
- * One command-line option a bench accepts. The shared observability
- * options live in one table (sharedBenchOptions()); a bench passes
- * its extra options to parseObsArgs() instead of hand-peeling argv,
- * so every binary gets the same "--opt value"/"--opt=value"
- * handling, the same unknown-argument listing, --help for free, and
+ * One command-line option a bench accepts — the shared table-driven
+ * parser from drive/options.hh. The shared observability options
+ * live in one table (sharedBenchOptions()); a bench passes its extra
+ * options to parseObsArgs() instead of hand-peeling argv, so every
+ * binary gets the same "--opt value"/"--opt=value" handling, the
+ * same unknown-argument listing, --help for free, and
  * parent-directory creation on every output path.
  */
-struct BenchOption
-{
-    /** Flag spelling, e.g. "--trace-out". */
-    std::string name;
+using BenchOption = drive::Option;
 
-    /** Placeholder in help, e.g. "<file>"; empty = boolean flag. */
-    std::string valueName;
-
-    /** One-line help text. */
-    std::string help;
-
-    /** Applies the parsed value (flags receive ""). May fatal(). */
-    std::function<void(const std::string &value)> apply;
-
-    /**
-     * The value names a file (or directory) this bench will write:
-     * missing parent directories are created at parse time.
-     */
-    bool outputPath = false;
-};
-
-using BenchOptionList = std::vector<BenchOption>;
+using BenchOptionList = drive::OptionList;
 
 /** Parse an unsigned integer option value; fatal()s on junk. */
 inline std::uint64_t
 benchParseUint(const std::string &flag, const std::string &value,
                int base = 10)
 {
-    char *end = nullptr;
-    unsigned long long v = std::strtoull(value.c_str(), &end, base);
-    if (end == value.c_str() || *end != '\0')
-        fatal("%s needs a number, got '%s'", flag.c_str(),
-              value.c_str());
-    return v;
+    return drive::parseUint(flag, value, base);
 }
 
 /** Process-wide --store-out store slot; see benchStore(). */
@@ -315,6 +308,17 @@ sharedBenchOptions()
          "result store (outcome=cached); pair with --store-out to "
          "checkpoint into the same store",
          [o](const std::string &v) { o().resumePath = v; }},
+        {"--sim-mode", "<mode>",
+         "sweep-point simulation mode: full (default), fast "
+         "(trace-reuse re-scheduling; warns on fallback), or auto "
+         "(fast with silent fallback)",
+         [o](const std::string &v) {
+             if (v != "full" && v != "fast" && v != "auto")
+                 fatal("--sim-mode needs full, fast, or auto, got "
+                       "'%s'",
+                       v.c_str());
+             o().simMode = v;
+         }},
         {"--host-telemetry", "",
          "attribute the simulator's own wall time to host phases "
          "and count lock contention",
@@ -359,65 +363,9 @@ parseObsArgs(int argc, char **argv,
     BenchOptionList table = sharedBenchOptions();
     table.insert(table.end(), extra.begin(), extra.end());
 
-    for (int i = 1; i < argc; ++i) {
-        std::string arg = argv[i];
-        // Accept both "--opt value" and "--opt=value".
-        std::string inline_value;
-        bool has_inline_value = false;
-        if (auto eq = arg.find('='); eq != std::string::npos) {
-            inline_value = arg.substr(eq + 1);
-            has_inline_value = true;
-            arg.erase(eq);
-        }
-
-        if (arg == "--help") {
-            std::printf("usage: %s [options]\n\noptions:\n",
-                        options.benchName.c_str());
-            for (const BenchOption &opt : table) {
-                std::string head = opt.name;
-                if (!opt.valueName.empty())
-                    head += " " + opt.valueName;
-                std::printf("  %-26s %s\n", head.c_str(),
-                            opt.help.c_str());
-            }
-            std::exit(0);
-        }
-
-        const BenchOption *opt = nullptr;
-        for (const BenchOption &candidate : table) {
-            if (candidate.name == arg) {
-                opt = &candidate;
-                break;
-            }
-        }
-        if (opt == nullptr) {
-            std::string known;
-            for (std::size_t k = 0; k < table.size(); ++k) {
-                if (k)
-                    known += k + 1 == table.size() ? ", or " : ", ";
-                known += table[k].name;
-            }
-            fatal("unknown argument '%s' (expected %s)", arg.c_str(),
-                  known.c_str());
-        }
-
-        std::string value;
-        if (opt->valueName.empty()) {
-            if (has_inline_value)
-                fatal("%s takes no value", arg.c_str());
-        } else if (has_inline_value) {
-            value = inline_value;
-        } else if (i + 1 >= argc) {
-            fatal("%s needs a value", arg.c_str());
-        } else {
-            value = argv[++i];
-        }
-        if (opt->outputPath && !value.empty() &&
-            !obs::ensureParentDir(value))
-            fatal("%s: cannot create parent directory of '%s'",
-                  arg.c_str(), value.c_str());
-        opt->apply(value);
-    }
+    drive::ParsePolicy policy;
+    policy.program = options.benchName;
+    drive::parseOptions(argc, argv, table, policy);
 
     if (options.hostTelemetry)
         SimContext::current().setHostTelemetry(&mainHostTelemetry());
@@ -638,6 +586,14 @@ struct BenchRun
     std::string checkFailure;
     /** Critical-path analysis; empty unless profiling was on. */
     obs::CriticalPathReport profile;
+    /**
+     * How this run was produced: "full" (event-driven simulation),
+     * "fast" (trace-reuse replay), or "full-fallback" (fast was
+     * requested but a blocker forced full simulation).
+     */
+    std::string simMode = "full";
+    /** Why the fast path was declined (simMode "full-fallback"). */
+    std::string fallbackReason;
 
     double
     runtimeUs(const core::DeviceConfig &dev) const
@@ -684,11 +640,20 @@ runConfigHash(const std::string &kernel_name,
  * Run @p kernel on the single-accelerator SALAM testbench.
  * fatal()s if the functional check fails — an experiment over wrong
  * results is meaningless.
+ *
+ * @param capture When non-null, record the run's dynamic trace here
+ *        (the trace-reuse fast path's input; see runSalamMode).
+ * @param suppress_artifacts Skip every user-facing artifact: traces,
+ *        stats/profile files, run reports, and store records. Set
+ *        for internal runs (trace capture) that must not pollute the
+ *        experiment's outputs or pair up in `salam-query diff`.
  */
 inline BenchRun
 runSalam(const kernels::Kernel &kernel,
          const core::DeviceConfig &dev = {},
-         const BenchMemory &memcfg = {})
+         const BenchMemory &memcfg = {},
+         core::DynTrace *capture = nullptr,
+         bool suppress_artifacts = false)
 {
     using clock = std::chrono::steady_clock;
     BenchRun out;
@@ -712,15 +677,17 @@ runSalam(const kernels::Kernel &kernel,
         makeFaultInjector(sim);
     ScopedTerminationHook flush_on_fatal =
         benchTerminationHook(sim, kernel.name());
-    if (!obsOptions().traceOut.empty())
-        sim.enableTracing();
-    // A sweep may ask one representative point to capture its
-    // simulated-time trace for the host-telemetry Chrome dump.
-    if (tel != nullptr && tel->wantSimTraceCapture())
-        sim.enableTracing();
-    if (!obsOptions().profileOut.empty() ||
-        obs::flag::Profile.enabled()) {
-        sim.enableProfiling();
+    if (!suppress_artifacts) {
+        if (!obsOptions().traceOut.empty())
+            sim.enableTracing();
+        // A sweep may ask one representative point to capture its
+        // simulated-time trace for the host-telemetry Chrome dump.
+        if (tel != nullptr && tel->wantSimTraceCapture())
+            sim.enableTracing();
+        if (!obsOptions().profileOut.empty() ||
+            obs::flag::Profile.enabled()) {
+            sim.enableProfiling();
+        }
     }
     constexpr std::uint64_t spm_base = 0x10000;
     std::uint64_t spm_bytes =
@@ -743,12 +710,14 @@ runSalam(const kernels::Kernel &kernel,
     mem::bindPorts(comm.dataPort(0), spm.port(0));
     auto &cu =
         sim.create<core::ComputeUnit>("acc", *fn, dev, comm);
+    if (capture != nullptr)
+        cu.enableTraceCapture(capture);
 
     mem::ScratchpadBackdoor backdoor(spm);
     kernel.seed(backdoor, spm_base);
 
     std::unique_ptr<obs::IntervalStats> intervals;
-    if (obsOptions().statsInterval > 0) {
+    if (!suppress_artifacts && obsOptions().statsInterval > 0) {
         obs::IntervalStats::Config icfg;
         icfg.intervalTicks = obsOptions().statsInterval *
             static_cast<Tick>(dev.clockPeriod);
@@ -803,6 +772,11 @@ runSalam(const kernels::Kernel &kernel,
     out.report = core::buildReport(cu, &spm);
     out.spmReads = spm.readCount();
     out.spmWrites = spm.writeCount();
+    if (capture != nullptr) {
+        capture->capturedBlockSequential = dev.blockSequentialImport;
+        capture->sourceConfigHash =
+            runConfigHash(kernel.name(), dev, memcfg);
+    }
     out.compileSeconds =
         std::chrono::duration<double>(t1 - t0).count();
     out.simulateSeconds =
@@ -820,7 +794,7 @@ runSalam(const kernels::Kernel &kernel,
     const ObsOptions &options = obsOptions();
     // The user explicitly asked for these files; failing to produce
     // one is an error, not a warning hidden behind the Warn flag.
-    if (!options.profileOut.empty()) {
+    if (!suppress_artifacts && !options.profileOut.empty()) {
         if (!out.profile.writeJsonFile(options.profileOut))
             fatal("could not write profile to '%s'",
                   options.profileOut.c_str());
@@ -840,7 +814,7 @@ runSalam(const kernels::Kernel &kernel,
         if (obs::TraceSink *sink = sim.traceSink())
             tel->captureSimTrace(sink->events());
     }
-    if (!options.statsOut.empty()) {
+    if (!suppress_artifacts && !options.statsOut.empty()) {
         std::ofstream os(options.statsOut);
         if (os) {
             sim.stats().dumpJson(os);
@@ -851,7 +825,8 @@ runSalam(const kernels::Kernel &kernel,
     }
     if (tel != nullptr)
         tel->endPhase(); // StatsEmit
-    if (!options.reportOut.empty() || benchStore() != nullptr) {
+    if (!suppress_artifacts &&
+        (!options.reportOut.empty() || benchStore() != nullptr)) {
         obs::RunReport report;
         report.run = kernel.name();
         report.commandLine = options.commandLine;
@@ -910,8 +885,8 @@ runSalam(const kernels::Kernel &kernel,
     // Single-run telemetry dump (last run wins). Sweep workers run
     // under per-point telemetry, not the main object, so a pool
     // never races on this file — the sweep writes its own summary.
-    if (!options.hostTelemetryOut.empty() && tel != nullptr &&
-        tel == &mainHostTelemetry()) {
+    if (!suppress_artifacts && !options.hostTelemetryOut.empty() &&
+        tel != nullptr && tel == &mainHostTelemetry()) {
         std::ofstream os(options.hostTelemetryOut);
         if (!os)
             fatal("could not write host telemetry to '%s'",
@@ -920,6 +895,213 @@ runSalam(const kernels::Kernel &kernel,
         os << "\n";
     }
     return out;
+}
+
+/**
+ * Process-wide trace cache for --sim-mode fast/auto sweeps: one
+ * capture run per (kernel, input) key, shared by every sweep worker.
+ */
+inline drive::TraceCache &
+benchTraceCache()
+{
+    static drive::TraceCache cache;
+    return cache;
+}
+
+/**
+ * Capture @p kernel's dynamic trace plus the IR the replays will
+ * re-schedule. The capture run uses the cheapest sound
+ * configuration — dedicated FUs and wide memory minimize its cycle
+ * count — while matching @p dev's block-sequential import regime,
+ * the one knob that must agree between capture and replay.
+ */
+inline drive::TraceCache::Entry
+captureTraceEntry(const kernels::Kernel &kernel,
+                  const core::DeviceConfig &dev)
+{
+    using clock = std::chrono::steady_clock;
+    auto t0 = clock::now();
+    drive::TraceCache::Entry entry;
+
+    core::DeviceConfig cap;
+    cap.blockSequentialImport = dev.blockSequentialImport;
+    cap.readPortsPerCycle = 64;
+    cap.writePortsPerCycle = 64;
+    cap.readQueueSize = 64;
+    cap.writeQueueSize = 64;
+    BenchMemory capmem;
+    capmem.spmReadPorts = 64;
+    capmem.spmWritePorts = 64;
+    runSalam(kernel, cap, capmem, &entry.trace,
+             /*suppress_artifacts=*/true);
+
+    // The replays' static CDFG is rebuilt per point from this IR
+    // (FU binding and latency tables depend on the point's
+    // DeviceConfig); kernel IR construction is deterministic, so
+    // its static ids match the capture run's.
+    auto mod = std::make_shared<ir::Module>("replay");
+    ir::IRBuilder builder(*mod);
+    entry.fn = kernel.buildOptimized(builder);
+    entry.holder = mod;
+
+    // The trace's scheduling skeleton (producer/conflict edges) is
+    // config-independent, so compute it once here and share it with
+    // every replay; any elaboration of this IR works for that.
+    core::StaticCdfg prep_cdfg(*entry.fn, cap);
+    entry.prep = std::make_shared<const drive::ReplayPrep>(
+        drive::buildReplayPrep(prep_cdfg, entry.trace));
+
+    entry.captureSeconds =
+        std::chrono::duration<double>(clock::now() - t0).count();
+    return entry;
+}
+
+/**
+ * Trace-reuse fast path for one sweep point: re-schedule the cached
+ * trace under (@p dev, @p memcfg) without re-executing the kernel.
+ * Emits a RunReport/store record with the same configHash and the
+ * same numeric fields as a full run of the point, so `salam-query
+ * diff` pairs fast and full stores and proves their cycle counts
+ * identical. Returns simMode "fast", or falls back to full
+ * simulation (simMode "full-fallback") if the replay reports a
+ * trace/static mismatch.
+ */
+inline BenchRun
+runSalamReplay(const kernels::Kernel &kernel,
+               const drive::TraceCache::Entry &entry,
+               const core::DeviceConfig &dev,
+               const BenchMemory &memcfg)
+{
+    using clock = std::chrono::steady_clock;
+    auto t0 = clock::now();
+    core::StaticCdfg cdfg(*entry.fn, dev);
+    auto t1 = clock::now();
+
+    constexpr std::uint64_t spm_base = 0x10000;
+    std::uint64_t spm_bytes =
+        ((kernel.footprintBytes() + 0xFFF) & ~0xFFFull) + 0x1000;
+    drive::ReplaySpmConfig spm;
+    spm.rangeStart = spm_base;
+    spm.latencyCycles = memcfg.spmLatency;
+    spm.readPorts = memcfg.spmReadPorts;
+    spm.writePorts = memcfg.spmWritePorts;
+    spm.banks = memcfg.spmBanks;
+    spm.wordBytes = mem::ScratchpadConfig{}.wordBytes;
+
+    drive::TraceReplayer replayer(cdfg, dev, entry.trace, spm,
+                                  entry.prep.get());
+    drive::ReplayResult res = replayer.run();
+    auto t2 = clock::now();
+    if (!res.ok) {
+        warn("trace replay failed (%s); falling back to full "
+             "simulation",
+             res.error.c_str());
+        BenchRun full = runSalam(kernel, dev, memcfg);
+        full.simMode = "full-fallback";
+        full.fallbackReason = res.error;
+        return full;
+    }
+
+    BenchRun out;
+    out.simMode = "fast";
+    out.cycles = res.stats.totalCycles;
+    out.stats = res.stats;
+    out.spmReads = res.spmReads;
+    out.spmWrites = res.spmWrites;
+    core::SpmUsage usage;
+    usage.sizeBytes = spm_bytes;
+    usage.wordBytes = spm.wordBytes;
+    usage.readPorts = memcfg.spmReadPorts;
+    usage.writePorts = memcfg.spmWritePorts;
+    usage.banks = memcfg.spmBanks;
+    usage.reads = res.spmReads;
+    usage.writes = res.spmWrites;
+    out.report = core::buildReport(cdfg, dev, res.stats, &usage);
+    out.compileSeconds =
+        std::chrono::duration<double>(t1 - t0).count();
+    out.simulateSeconds =
+        std::chrono::duration<double>(t2 - t1).count();
+
+    const ObsOptions &options = obsOptions();
+    if (!options.reportOut.empty() || benchStore() != nullptr) {
+        obs::RunReport report;
+        report.run = kernel.name();
+        report.commandLine = options.commandLine;
+        report.configHash = runConfigHash(kernel.name(), dev, memcfg);
+        report.cycles = out.cycles;
+        report.simSeconds = out.simulateSeconds;
+        report.compileSeconds = out.compileSeconds;
+        report.extra = {
+            {"spm_reads", static_cast<double>(out.spmReads)},
+            {"spm_writes", static_cast<double>(out.spmWrites)},
+            {"stall_cycles",
+             static_cast<double>(out.stats.stallCycles)},
+            {"dynamic_insts",
+             static_cast<double>(out.stats.dynamicInstructions)},
+            {"clock_period_ticks",
+             static_cast<double>(dev.clockPeriod)},
+            // Fast-path-only keys: unshared keys are never compared
+            // by `salam-query diff`, and *_seconds fields are noisy
+            // by convention, so these don't perturb the
+            // fast-vs-full equivalence gate.
+            {"fast_path", 1.0},
+            {"capture_seconds", entry.captureSeconds},
+        };
+        if (!options.reportOut.empty() &&
+            !report.appendToFile(options.reportOut))
+            fatal("could not append run report to '%s'",
+                  options.reportOut.c_str());
+        if (obs::ResultStore *store = benchStore())
+            store->appendRunReport(report, options.benchName);
+    }
+    return out;
+}
+
+/**
+ * Run one sweep point under the --sim-mode policy: "full" simulates,
+ * "fast"/"auto" replay the kernel's cached dynamic trace, falling
+ * back to full simulation when fastPathBlocker() reports the point's
+ * configuration could change data-dependent control flow (or fault
+ * injection is active). "fast" warns on fallback, "auto" is silent.
+ *
+ * @param trace_key Identity of the (kernel variant, input) pair
+ *        beyond kernel.name() — e.g. "n32u32" for a GEMM size and
+ *        unroll. Two calls with the same name and key MUST build
+ *        identical IR and seed identical data.
+ */
+inline BenchRun
+runSalamMode(const kernels::Kernel &kernel,
+             const std::string &trace_key,
+             const core::DeviceConfig &dev = {},
+             const BenchMemory &memcfg = {})
+{
+    const ObsOptions &options = obsOptions();
+    if (options.simMode == "full")
+        return runSalam(kernel, dev, memcfg);
+
+    std::string blocker;
+    drive::TraceCache::EntryPtr entry;
+    if (!options.injectSpecs.empty()) {
+        blocker = "fault injection makes outcomes "
+                  "schedule-dependent";
+    } else {
+        entry = benchTraceCache().getOrBuild(
+            kernel.name() + "|" + trace_key,
+            [&] { return captureTraceEntry(kernel, dev); });
+        blocker =
+            drive::fastPathBlocker(entry->trace, dev, false);
+    }
+    if (!blocker.empty()) {
+        if (options.simMode == "fast")
+            warn("--sim-mode fast: falling back to full "
+                 "simulation: %s",
+                 blocker.c_str());
+        BenchRun full = runSalam(kernel, dev, memcfg);
+        full.simMode = "full-fallback";
+        full.fallbackReason = blocker;
+        return full;
+    }
+    return runSalamReplay(kernel, *entry, dev, memcfg);
 }
 
 /** Percent error of @p measured against @p reference. */

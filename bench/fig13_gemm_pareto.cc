@@ -57,15 +57,29 @@ main(int argc, char **argv)
     constexpr unsigned gemmN = 32;
     constexpr unsigned unroll = 32;
 
-    struct Config
-    {
-        unsigned fuLimit;
-        unsigned ports;
+    // Declarative grid: first axis slowest, so the point numbering
+    // matches the historical nested fu/ports loops (resume compat).
+    drive::SweepSpec spec;
+    spec.axis("fu_limit", {fu_limits.begin(), fu_limits.end()})
+        .axis("ports", {4, 8, 16, 32, 64});
+
+    // The dev/memcfg a grid point denotes, shared by the point
+    // function and the resume-hash callback.
+    auto point_config = [&spec](std::size_t idx,
+                                core::DeviceConfig &dev,
+                                BenchMemory &memcfg) {
+        auto fu_limit = static_cast<unsigned>(spec.value(idx, 0));
+        auto ports = static_cast<unsigned>(spec.value(idx, 1));
+        dev.setFuLimit(hw::FuType::FpAddSubDouble, fu_limit);
+        dev.setFuLimit(hw::FuType::FpMultiplierDouble, fu_limit);
+        dev.readPortsPerCycle = ports;
+        dev.writePortsPerCycle = ports;
+        dev.readQueueSize = std::max(ports, 16u);
+        dev.writeQueueSize = std::max(ports, 16u);
+        memcfg.spmReadPorts = ports;
+        memcfg.spmWritePorts = ports;
+        return ports;
     };
-    std::vector<Config> grid;
-    for (unsigned fu_limit : fu_limits)
-        for (unsigned ports : {4u, 8u, 16u, 32u, 64u})
-            grid.push_back({fu_limit, ports});
 
     struct Row
     {
@@ -74,7 +88,7 @@ main(int argc, char **argv)
         double withSpm;
         double withCache;
     };
-    std::vector<Row> rows(grid.size());
+    std::vector<Row> rows(spec.numPoints());
 
     auto sweep_opts = sweepRunnerOptions(effectiveSweepThreads());
     // Resume identity: mirror the dev/memcfg construction inside the
@@ -82,38 +96,23 @@ main(int argc, char **argv)
     // RunReport a completed run of it recorded.
     const std::string kernel_name = makeGemm(gemmN, unroll)->name();
     sweep_opts.pointHash = [&](std::size_t idx) {
-        const Config &cfg = grid[idx];
         core::DeviceConfig dev;
-        dev.setFuLimit(hw::FuType::FpAddSubDouble, cfg.fuLimit);
-        dev.setFuLimit(hw::FuType::FpMultiplierDouble, cfg.fuLimit);
-        dev.readPortsPerCycle = cfg.ports;
-        dev.writePortsPerCycle = cfg.ports;
-        dev.readQueueSize = std::max(cfg.ports, 16u);
-        dev.writeQueueSize = std::max(cfg.ports, 16u);
         BenchMemory memcfg;
-        memcfg.spmReadPorts = cfg.ports;
-        memcfg.spmWritePorts = cfg.ports;
+        point_config(idx, dev, memcfg);
         return runConfigHash(kernel_name, dev, memcfg);
     };
+    sweep_opts.pointAxes = [&](std::size_t idx) {
+        return spec.axesJson(idx);
+    };
     drive::SweepRunner runner(sweep_opts);
-    auto results = runner.run(grid.size(), [&](std::size_t idx) {
-        const Config &cfg = grid[idx];
+    auto results =
+        runner.run(spec.numPoints(), [&](std::size_t idx) {
         auto kernel = makeGemm(gemmN, unroll);
-
         core::DeviceConfig dev;
-        dev.setFuLimit(hw::FuType::FpAddSubDouble, cfg.fuLimit);
-        dev.setFuLimit(hw::FuType::FpMultiplierDouble,
-                       cfg.fuLimit);
-        dev.readPortsPerCycle = cfg.ports;
-        dev.writePortsPerCycle = cfg.ports;
-        dev.readQueueSize = std::max(cfg.ports, 16u);
-        dev.writeQueueSize = std::max(cfg.ports, 16u);
-
         BenchMemory memcfg;
-        memcfg.spmReadPorts = cfg.ports;
-        memcfg.spmWritePorts = cfg.ports;
+        unsigned ports = point_config(idx, dev, memcfg);
 
-        BenchRun run = runSalam(*kernel, dev, memcfg);
+        BenchRun run = runSalamMode(*kernel, "n32u32", dev, memcfg);
         const hw::PowerBreakdown &p = run.report.power;
 
         double datapath = p.dynamicFuMw + p.dynamicRegisterMw +
@@ -126,7 +125,7 @@ main(int argc, char **argv)
         hw::SramConfig cache_cfg;
         cache_cfg.sizeBytes = 16 * 1024;
         cache_cfg.wordBytes = 8;
-        cache_cfg.ports = std::max(1u, cfg.ports / 8);
+        cache_cfg.ports = std::max(1u, ports / 8);
         auto cache = hw::CactiLite::evaluateCache(cache_cfg, 4);
         double runtime_ns = run.report.runtimeNs;
         double with_cache = datapath +
@@ -139,35 +138,35 @@ main(int argc, char **argv)
 
         rows[idx] = {run.runtimeUs(dev), datapath, with_spm,
                      with_cache};
-        return std::string();
+        return "{\"mode\":\"" + run.simMode + "\"}";
     });
 
-    for (std::size_t i = 0; i < grid.size(); ++i) {
+    for (std::size_t i = 0; i < spec.numPoints(); ++i) {
+        auto fu = static_cast<unsigned>(spec.value(i, 0));
+        auto ports = static_cast<unsigned>(spec.value(i, 1));
         if (results[i].outcome == "cached") {
             std::printf("%-6u %-6u     cached | ok in resume "
                         "store\n",
-                        grid[i].fuLimit, grid[i].ports);
+                        fu, ports);
             continue;
         }
         if (results[i].outcome == "skipped") {
             std::printf("%-6u %-6u    skipped | shutdown drain; "
                         "re-run with --resume\n",
-                        grid[i].fuLimit, grid[i].ports);
+                        fu, ports);
             continue;
         }
         if (!results[i].ok) {
-            std::printf("%-6u %-6u     FAILED | %s\n",
-                        grid[i].fuLimit, grid[i].ports,
+            std::printf("%-6u %-6u     FAILED | %s\n", fu, ports,
                         results[i].error.c_str());
             continue;
         }
         std::printf("%-6u %-6u %10.2f | %12.3f %12.3f %12.3f\n",
-                    grid[i].fuLimit, grid[i].ports, rows[i].timeUs,
-                    rows[i].datapath, rows[i].withSpm,
-                    rows[i].withCache);
+                    fu, ports, rows[i].timeUs, rows[i].datapath,
+                    rows[i].withSpm, rows[i].withCache);
     }
     std::printf("(%zu points, %u thread%s, %.2fs wall)\n",
-                grid.size(), runner.lastThreads(),
+                spec.numPoints(), runner.lastThreads(),
                 runner.lastThreads() == 1 ? "" : "s",
                 runner.lastWallSeconds());
     writeSweepHostTelemetry(runner, "fig13.gemm_pareto");

@@ -34,15 +34,18 @@ main(int argc, char **argv)
         BenchRun run;
         core::DeviceConfig dev;
     };
-    const std::vector<unsigned> port_grid = {64u, 32u, 16u, 8u,
-                                             4u};
-    std::vector<Row> rows(port_grid.size());
+    drive::SweepSpec spec;
+    spec.axis("ports", {64, 32, 16, 8, 4});
+    std::vector<Row> rows(spec.numPoints());
 
-    drive::SweepRunner runner(
-        sweepRunnerOptions(effectiveSweepThreads()));
+    auto sweep_opts = sweepRunnerOptions(effectiveSweepThreads());
+    sweep_opts.pointAxes = [&](std::size_t idx) {
+        return spec.axesJson(idx);
+    };
+    drive::SweepRunner runner(sweep_opts);
     auto results =
-        runner.run(port_grid.size(), [&](std::size_t idx) {
-            unsigned ports = port_grid[idx];
+        runner.run(spec.numPoints(), [&](std::size_t idx) {
+            auto ports = static_cast<unsigned>(spec.value(idx, 0));
             auto kernel = makeGemm(gemmN, unroll);
             core::DeviceConfig dev;
             dev.setFuLimit(hw::FuType::FpAddSubDouble, fadd_units);
@@ -53,9 +56,11 @@ main(int argc, char **argv)
             BenchMemory memcfg;
             memcfg.spmReadPorts = ports;
             memcfg.spmWritePorts = ports;
-            rows[idx] = {ports, runSalam(*kernel, dev, memcfg),
+            rows[idx] = {ports,
+                         runSalamMode(*kernel, "n32u32", dev,
+                                      memcfg),
                          dev};
-            return std::string();
+            return "{\"mode\":\"" + rows[idx].run.simMode + "\"}";
         });
     // Interrupted (skipped) and resume-cached points carry no fresh
     // row data; drop them from the tables instead of printing

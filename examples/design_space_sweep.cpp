@@ -21,6 +21,7 @@
 #include "core/compute_unit.hh"
 #include "core/power_report.hh"
 #include "drive/sweep_runner.hh"
+#include "drive/sweep_spec.hh"
 #include "kernels/machsuite.hh"
 #include "mem/backdoor.hh"
 #include "mem/scratchpad.hh"
@@ -88,19 +89,17 @@ evaluate(unsigned unroll, unsigned fp_units, unsigned ports)
 int
 main(int argc, char **argv)
 {
-    struct Config
-    {
-        unsigned unroll;
-        unsigned fpUnits;
-        unsigned ports;
-    };
-    std::vector<Config> grid;
-    for (unsigned unroll : {4u, 8u, 16u})
-        for (unsigned fp_units : {2u, 4u, 8u, 16u})
-            for (unsigned ports : {2u, 4u, 8u, 16u})
-                grid.push_back({unroll, fp_units, ports});
+    // The grid, declared once: axes expand row-major (first axis
+    // slowest), exactly the order of the nested loops this replaces.
+    drive::SweepSpec spec;
+    spec.axis("unroll", {4, 8, 16})
+        .axisPow("fp_units", 2, 16)
+        .axisPow("ports", 2, 16);
 
     drive::SweepRunner::Options opts;
+    opts.pointAxes = [&](std::size_t idx) {
+        return spec.axesJson(idx);
+    };
     if (argc > 1)
         opts.threads = static_cast<unsigned>(
             std::strtoul(argv[1], nullptr, 10));
@@ -111,31 +110,37 @@ main(int argc, char **argv)
     opts.hostTelemetry = telemetry_out != nullptr;
     drive::SweepRunner runner(opts);
 
-    std::vector<Point> points(grid.size());
-    auto results = runner.run(grid.size(), [&](std::size_t idx) {
-        const Config &c = grid[idx];
-        points[idx] = evaluate(c.unroll, c.fpUnits, c.ports);
-        return std::string();
-    });
+    std::vector<Point> points(spec.numPoints());
+    auto results =
+        runner.run(spec.numPoints(), [&](std::size_t idx) {
+            auto v = spec.valuesAt(idx);
+            points[idx] =
+                evaluate(static_cast<unsigned>(v[0]),
+                         static_cast<unsigned>(v[1]),
+                         static_cast<unsigned>(v[2]));
+            return std::string();
+        });
 
     std::printf("unroll,fp_units,ports,cycles,time_us,power_mw,"
                 "area_um2\n");
-    for (std::size_t i = 0; i < grid.size(); ++i) {
+    for (std::size_t i = 0; i < spec.numPoints(); ++i) {
         if (!results[i].ok) {
             std::fprintf(stderr, "point %zu failed: %s\n", i,
                          results[i].error.c_str());
             continue;
         }
-        const Config &c = grid[i];
+        auto v = spec.valuesAt(i);
         const Point &p = points[i];
-        std::printf("%u,%u,%u,%llu,%.2f,%.3f,%.0f\n", c.unroll,
-                    c.fpUnits, c.ports,
+        std::printf("%llu,%llu,%llu,%llu,%.2f,%.3f,%.0f\n",
+                    static_cast<unsigned long long>(v[0]),
+                    static_cast<unsigned long long>(v[1]),
+                    static_cast<unsigned long long>(v[2]),
                     static_cast<unsigned long long>(p.cycles),
                     static_cast<double>(p.cycles) / 100.0,
                     p.powerMw, p.areaUm2);
     }
     std::fprintf(stderr, "# %zu points, %u threads, %.2fs wall\n",
-                 grid.size(), runner.lastThreads(),
+                 spec.numPoints(), runner.lastThreads(),
                  runner.lastWallSeconds());
     if (telemetry_out != nullptr &&
         !runner.writeHostTelemetryFiles(telemetry_out,

@@ -284,6 +284,36 @@ print(f"store diff ok: 5 paired points, "
       f"cycle/stall deltas at points {changed}")
 PYEOF
 
+echo "== fast path: fig13 slice, full vs --sim-mode fast bit-identical"
+# Same slice in both sim modes; the diff must pair every point and
+# report ZERO changes — the trace-replay fast path's correctness
+# contract (wall-clock fields are ignored by diff by convention).
+"${perf_dir}/bench/fig13_gemm_pareto" --sweep-threads 4 \
+    --fu-limits 8 --sim-mode full \
+    --store-out "${smoke_dir}/store_fastgate_full" \
+    >"${smoke_dir}/store_fastgate_full.out"
+"${perf_dir}/bench/fig13_gemm_pareto" --sweep-threads 4 \
+    --fu-limits 8 --sim-mode fast \
+    --store-out "${smoke_dir}/store_fastgate_fast" \
+    >"${smoke_dir}/store_fastgate_fast.out"
+# The sweep CSVs themselves must match too (modulo the wall line).
+diff <(grep -v wall "${smoke_dir}/store_fastgate_full.out") \
+     <(grep -v wall "${smoke_dir}/store_fastgate_fast.out")
+"${salam_query}" diff "${smoke_dir}/store_fastgate_full" \
+    "${smoke_dir}/store_fastgate_fast" --json \
+    >"${smoke_dir}/store_fastgate_diff.json"
+python3 - "${smoke_dir}/store_fastgate_diff.json" <<'PYEOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["paired"] == 5, f"expected 5 paired rows: {doc['paired']}"
+assert doc["only_in_a"] == 0 and doc["only_in_b"] == 0, \
+    "fast store did not pair with the full store"
+changed = [r["point"] for r in doc["rows"] if r["changed"]]
+assert not changed, \
+    f"fast path diverged from full simulation at points {changed}"
+print("fast-path gate ok: 5 paired points, 0 changed")
+PYEOF
+
 echo "== robustness: kill-and-resume, timeouts, retry records"
 rb_dir="${smoke_dir}/robust"
 mkdir -p "${rb_dir}"

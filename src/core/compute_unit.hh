@@ -68,6 +68,13 @@ class ComputeUnit : public ClockedObject, private EngineClient
 
     const StaticCdfg &cdfg() const { return staticCdfg; }
 
+    /**
+     * Capture this unit's dynamic trace into @p trace (the
+     * trace-reuse fast path's input). Call before start().
+     */
+    void enableTraceCapture(DynTrace *trace)
+    { engine.setTraceCapture(trace); }
+
     const DeviceConfig &deviceConfig() const { return cfg; }
 
     CommInterface &commInterface() { return comm; }

@@ -8,10 +8,25 @@ namespace salam::core
 AcceleratorReport
 buildReport(const ComputeUnit &cu, const mem::Scratchpad *private_spm)
 {
-    const EngineStats &stats = cu.stats();
-    const StaticCdfg &cdfg = cu.cdfg();
-    const DeviceConfig &cfg = cu.deviceConfig();
+    SpmUsage usage;
+    if (private_spm != nullptr) {
+        const mem::ScratchpadConfig &scfg = private_spm->config();
+        usage.sizeBytes = scfg.range.size();
+        usage.wordBytes = scfg.wordBytes;
+        usage.readPorts = scfg.readPorts;
+        usage.writePorts = scfg.writePorts;
+        usage.banks = scfg.banks;
+        usage.reads = private_spm->readCount();
+        usage.writes = private_spm->writeCount();
+    }
+    return buildReport(cu.cdfg(), cu.deviceConfig(), cu.stats(),
+                       private_spm != nullptr ? &usage : nullptr);
+}
 
+AcceleratorReport
+buildReport(const StaticCdfg &cdfg, const DeviceConfig &cfg,
+            const EngineStats &stats, const SpmUsage *spm)
+{
     AcceleratorReport report;
     report.cycles = stats.totalCycles;
     report.runtimeNs = static_cast<double>(stats.totalCycles) *
@@ -33,20 +48,19 @@ buildReport(const ComputeUnit &cu, const mem::Scratchpad *private_spm)
     report.power.staticRegisterMw = cdfg.staticRegisterPowerMw();
     report.area = cdfg.area();
 
-    if (private_spm != nullptr) {
-        const mem::ScratchpadConfig &scfg = private_spm->config();
+    if (spm != nullptr) {
         hw::SramConfig sram;
-        sram.sizeBytes = scfg.range.size();
-        sram.wordBytes = scfg.wordBytes;
-        sram.ports = std::max(scfg.readPorts, scfg.writePorts);
-        sram.banks = scfg.banks;
+        sram.sizeBytes = spm->sizeBytes;
+        sram.wordBytes = spm->wordBytes;
+        sram.ports = std::max(spm->readPorts, spm->writePorts);
+        sram.banks = spm->banks;
         hw::SramMetrics metrics = hw::CactiLite::evaluate(sram);
 
         report.power.dynamicSpmReadMw =
-            static_cast<double>(private_spm->readCount()) *
-            metrics.readEnergyPj / report.runtimeNs;
+            static_cast<double>(spm->reads) * metrics.readEnergyPj /
+            report.runtimeNs;
         report.power.dynamicSpmWriteMw =
-            static_cast<double>(private_spm->writeCount()) *
+            static_cast<double>(spm->writes) *
             metrics.writeEnergyPj / report.runtimeNs;
         report.power.staticSpmMw = metrics.leakagePowerMw;
         report.area.spmUm2 = metrics.areaUm2;

@@ -41,6 +41,34 @@ buildReport(const ComputeUnit &cu,
             const mem::Scratchpad *private_spm = nullptr);
 
 /**
+ * SPM usage summary for the SimObject-free overload below: the same
+ * facts buildReport(cu, spm) reads off a live Scratchpad, supplied
+ * directly — how a trace replay (which builds no SimObjects) scores
+ * its scratchpad.
+ */
+struct SpmUsage
+{
+    std::uint64_t sizeBytes = 0;
+    unsigned wordBytes = 4;
+    unsigned readPorts = 1;
+    unsigned writePorts = 1;
+    unsigned banks = 1;
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+};
+
+/**
+ * Build the report from raw ingredients — identical arithmetic to
+ * buildReport(cu, spm), without a ComputeUnit or Scratchpad. Used by
+ * the trace-reuse fast path, whose replays produce EngineStats
+ * without elaborating a simulation.
+ */
+AcceleratorReport
+buildReport(const StaticCdfg &cdfg, const DeviceConfig &cfg,
+            const EngineStats &stats,
+            const SpmUsage *spm = nullptr);
+
+/**
  * Accumulated dynamic energy (pJ) of @p cu so far: functional-unit
  * and register activity, plus SPM access energy when a private
  * scratchpad is attached. Monotonically non-decreasing over a run,

@@ -113,6 +113,9 @@ RuntimeEngine::createDynInst(const StaticInstInfo &info)
 
     window.push_back(di);
     ++engineStats.dynamicInstructions;
+    if (capture != nullptr)
+        capture->insts.push_back({info.id, DynTrace::noBranchTarget,
+                                  0, 0});
     return di;
 }
 
@@ -342,6 +345,11 @@ RuntimeEngine::resolveAddress(DynInst *di)
             store->value()->type()->storeSize());
     }
     di->addrKnown = true;
+    if (capture != nullptr) {
+        DynTraceInst &rec = capture->insts[di->seq];
+        rec.memAddr = di->memAddr;
+        rec.memSize = di->memSize;
+    }
 }
 
 void
@@ -854,6 +862,10 @@ RuntimeEngine::cycle()
             di->issued = true;
             di->issueCycle = cycleCount;
             commit(di);
+            if (capture != nullptr) {
+                capture->insts[di->seq].branchTarget =
+                    staticCdfg.blockInfo(target).id;
+            }
             const BasicBlock *cur = di->inst->parent();
             if (cfg.blockSequentialImport && target != cur &&
                 pendingImport == nullptr) {

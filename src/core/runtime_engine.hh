@@ -37,6 +37,7 @@
 #include <string>
 #include <vector>
 
+#include "dyn_trace.hh"
 #include "ir/eval.hh"
 #include "obs/json.hh"
 #include "obs/profiler.hh"
@@ -315,6 +316,16 @@ class RuntimeEngine
     /** Attach (or replace) the observability wiring. */
     void setObserver(EngineObserver obs) { observer = std::move(obs); }
 
+    /**
+     * Capture this run's dynamic trace into @p trace (see
+     * dyn_trace.hh): one record per dynamic instance, with branch
+     * outcomes and resolved addresses filled in as the run decides
+     * them. Attach before start(); pass nullptr to detach. The
+     * engine only appends — identity fields (kernelKey, ...) are the
+     * caller's.
+     */
+    void setTraceCapture(DynTrace *trace) { capture = trace; }
+
     /** Lane names for EngineObserver::stallCauses, in lane order. */
     static const std::vector<std::string> &stallLaneNames();
 
@@ -524,6 +535,9 @@ class RuntimeEngine
 
     EngineStats engineStats;
     EngineObserver observer;
+
+    /** Dynamic-trace capture sink; null = capture off (hot path). */
+    DynTrace *capture = nullptr;
 };
 
 } // namespace salam::core

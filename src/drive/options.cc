@@ -1,0 +1,140 @@
+#include "drive/options.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "obs/run_report.hh"
+#include "sim/logging.hh"
+
+namespace salam::drive
+{
+
+std::uint64_t
+parseUint(const std::string &flag, const std::string &value, int base)
+{
+    char *end = nullptr;
+    unsigned long long v = std::strtoull(value.c_str(), &end, base);
+    if (end == value.c_str() || *end != '\0')
+        fatal("%s needs a number, got '%s'", flag.c_str(),
+              value.c_str());
+    return v;
+}
+
+void
+printOptionTable(const OptionList &table)
+{
+    for (const Option &opt : table) {
+        std::string head = opt.name;
+        if (!opt.valueName.empty())
+            head += " " + opt.valueName;
+        std::printf("  %-26s %s\n", head.c_str(), opt.help.c_str());
+    }
+}
+
+namespace
+{
+
+/** The "--trace-out, --report-out, ..., or --help" error listing. */
+std::string
+knownOptionListing(const OptionList &table)
+{
+    std::string known;
+    for (std::size_t k = 0; k < table.size(); ++k) {
+        if (k)
+            known += k + 1 == table.size() ? ", or " : ", ";
+        known += table[k].name;
+    }
+    return known;
+}
+
+ParseResult
+parseError(const ParsePolicy &policy, const OptionList &table,
+           std::string message, bool list_known)
+{
+    if (policy.fatalErrors) {
+        if (list_known)
+            fatal("%s (expected %s)", message.c_str(),
+                  knownOptionListing(table).c_str());
+        fatal("%s", message.c_str());
+    }
+    ParseResult result;
+    result.ok = false;
+    result.error = std::move(message);
+    return result;
+}
+
+} // namespace
+
+ParseResult
+parseOptions(int argc, char **argv, const OptionList &table,
+             const ParsePolicy &policy)
+{
+    for (int i = policy.firstArg; i < argc; ++i) {
+        std::string arg = argv[i];
+
+        if (policy.positionals != nullptr &&
+            arg.rfind("--", 0) != 0) {
+            policy.positionals->push_back(arg);
+            continue;
+        }
+
+        std::string inline_value;
+        bool has_inline_value = false;
+        if (policy.inlineValues) {
+            if (auto eq = arg.find('='); eq != std::string::npos) {
+                inline_value = arg.substr(eq + 1);
+                has_inline_value = true;
+                arg.erase(eq);
+            }
+        }
+
+        if (policy.handleHelp && arg == "--help") {
+            std::printf("usage: %s [options]\n\noptions:\n",
+                        policy.program.c_str());
+            printOptionTable(table);
+            std::exit(0);
+        }
+
+        const Option *opt = nullptr;
+        for (const Option &candidate : table) {
+            if (candidate.name == arg) {
+                opt = &candidate;
+                break;
+            }
+        }
+        if (opt == nullptr) {
+            // The bench-style fatal appends the known-option listing;
+            // the soft error is terse because the caller prints its
+            // own usage synopsis.
+            return parseError(policy, table,
+                              policy.fatalErrors
+                                  ? "unknown argument '" + arg + "'"
+                                  : "unknown option '" + arg + "'",
+                              true);
+        }
+
+        std::string value;
+        if (opt->valueName.empty()) {
+            if (has_inline_value)
+                return parseError(policy, table,
+                                  arg + " takes no value", false);
+        } else if (has_inline_value) {
+            value = inline_value;
+        } else if (i + 1 >= argc) {
+            return parseError(policy, table, arg + " needs a value",
+                              false);
+        } else {
+            value = argv[++i];
+        }
+        if (opt->outputPath && !value.empty() &&
+            !obs::ensureParentDir(value))
+            return parseError(policy, table,
+                              arg + ": cannot create parent "
+                                    "directory of '" + value + "'",
+                              false);
+        opt->apply(value);
+    }
+    return {};
+}
+
+} // namespace salam::drive

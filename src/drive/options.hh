@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Table-driven command-line option parsing shared by the benches,
+ * salam-query, and future tools.
+ *
+ * Every binary in the repo declares its options as a table of
+ * {flag, value placeholder, help, apply-callback} rows and hands
+ * argv to parseOptions(). One engine then provides consistent
+ * "--opt value"/"--opt=value" handling, an unknown-argument listing,
+ * a generated --help table, and parent-directory creation for
+ * output-path values.
+ *
+ * The engine serves two policies through ParsePolicy:
+ *  - benches: errors are fatal() (the process is about to run a long
+ *    simulation — die loudly before it), --help prints the table and
+ *    exits 0, and stray positional arguments are errors.
+ *  - query-style tools: errors are returned as a message for the
+ *    tool's own usage() text (soft, exit code 1), and positional
+ *    arguments (store paths) are collected for the caller.
+ */
+
+#ifndef SALAM_DRIVE_OPTIONS_HH
+#define SALAM_DRIVE_OPTIONS_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace salam::drive
+{
+
+/** One command-line option a tool accepts. */
+struct Option
+{
+    /** Flag spelling, e.g. "--trace-out". */
+    std::string name;
+
+    /** Placeholder in help, e.g. "<file>"; empty = boolean flag. */
+    std::string valueName;
+
+    /** One-line help text. */
+    std::string help;
+
+    /** Applies the parsed value (flags receive ""). May fatal(). */
+    std::function<void(const std::string &value)> apply;
+
+    /**
+     * The value names a file (or directory) the tool will write:
+     * missing parent directories are created at parse time, so a
+     * typo fails before a long simulation instead of after it.
+     */
+    bool outputPath = false;
+};
+
+using OptionList = std::vector<Option>;
+
+/** Parse an unsigned integer option value; fatal()s on junk. */
+std::uint64_t parseUint(const std::string &flag,
+                        const std::string &value, int base = 10);
+
+/** How parseOptions() reacts to the non-table parts of argv. */
+struct ParsePolicy
+{
+    /** Program name for the --help header (argv[0] basename ok). */
+    std::string program;
+
+    /** First argv index to parse (2 for subcommand tools). */
+    int firstArg = 1;
+
+    /** Accept "--opt=value" in addition to "--opt value". */
+    bool inlineValues = true;
+
+    /**
+     * Print the option table and std::exit(0) on --help. When
+     * false, --help is an unknown option like any other.
+     */
+    bool handleHelp = true;
+
+    /**
+     * Errors (unknown option, missing value) call fatal() with the
+     * known-option listing. When false they are returned in
+     * ParseResult::error instead, for the tool's own usage() text.
+     */
+    bool fatalErrors = true;
+
+    /**
+     * Collect non-option arguments here instead of treating them as
+     * errors. Null = positionals are unknown-argument errors.
+     */
+    std::vector<std::string> *positionals = nullptr;
+};
+
+/** Outcome of a soft-error parse (fatalErrors never returns !ok). */
+struct ParseResult
+{
+    bool ok = true;
+    std::string error;
+};
+
+/**
+ * Parse argv against @p table under @p policy. Recognizes
+ * "--opt value" (and "--opt=value" when the policy allows it);
+ * output-path option values get their missing parent directories
+ * created here, at parse time.
+ */
+ParseResult parseOptions(int argc, char **argv,
+                         const OptionList &table,
+                         const ParsePolicy &policy);
+
+/** Print the --help table ("  --opt <v>   help") to stdout. */
+void printOptionTable(const OptionList &table);
+
+} // namespace salam::drive
+
+#endif // SALAM_DRIVE_OPTIONS_HH

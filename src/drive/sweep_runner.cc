@@ -148,7 +148,8 @@ isFailed(const SweepPointResult &r)
 
 void
 appendPointRecord(obs::ResultStore &store, const std::string &bench,
-                  const SweepPointResult &r)
+                  const SweepPointResult &r,
+                  const std::string &axes_json)
 {
     obs::StoreRecord rec;
     rec.kind = "sweep_point";
@@ -160,6 +161,8 @@ appendPointRecord(obs::ResultStore &store, const std::string &bench,
             << obs::jsonEscape(r.outcome)
             << "\",\"attempts\":" << r.attempts
             << ",\"wall_seconds\":" << obs::jsonNumber(r.wallSeconds);
+    if (!axes_json.empty())
+        payload << ",\"axes\":" << axes_json;
     if (!r.error.empty())
         payload << ",\"error\":\"" << obs::jsonEscape(r.error)
                 << "\"";
@@ -308,7 +311,10 @@ SweepRunner::run(std::size_t num_points, const PointFn &fn)
                 std::uint64_t now = obs::hostNowNs() - sweep_start_ns;
                 tl.setupEndNs = tl.runEndNs = tl.endNs = now;
                 if (opts.store != nullptr) {
-                    appendPointRecord(*opts.store, opts.storeName, r);
+                    appendPointRecord(*opts.store, opts.storeName, r,
+                                  opts.pointAxes
+                                      ? opts.pointAxes(r.index)
+                                      : std::string());
                     if (opts.durable)
                         opts.store->flush();
                 }
@@ -406,7 +412,10 @@ SweepRunner::run(std::size_t num_points, const PointFn &fn)
             // record the point function appended, so a killed process
             // (SIGKILL, OOM) loses only in-flight points.
             if (opts.store != nullptr) {
-                appendPointRecord(*opts.store, opts.storeName, r);
+                appendPointRecord(*opts.store, opts.storeName, r,
+                                  opts.pointAxes
+                                      ? opts.pointAxes(r.index)
+                                      : std::string());
                 if (opts.durable && !opts.store->flush())
                     warn("sweep point %zu: durable store flush "
                          "failed",
@@ -502,7 +511,10 @@ SweepRunner::run(std::size_t num_points, const PointFn &fn)
         // accounts for every point of the grid.
         for (const SweepPointResult &r : results) {
             if (r.outcome == "skipped" && r.attempts == 0)
-                appendPointRecord(*opts.store, opts.storeName, r);
+                appendPointRecord(*opts.store, opts.storeName, r,
+                                  opts.pointAxes
+                                      ? opts.pointAxes(r.index)
+                                      : std::string());
         }
         obs::StoreRecord rec;
         rec.kind = "sweep";

@@ -244,6 +244,14 @@ class SweepRunner
          * this on whenever a store is attached.
          */
         bool durable = false;
+
+        /**
+         * Axis values of a point as a compact JSON object (see
+         * SweepSpec::axesJson), embedded as "axes" in the point's
+         * kind="sweep_point" store record so query output is
+         * self-describing. Empty/unset omits the field.
+         */
+        std::function<std::string(std::size_t)> pointAxes;
     };
 
     SweepRunner() = default;

@@ -1,0 +1,112 @@
+#include "sweep_spec.hh"
+
+#include "sim/logging.hh"
+
+namespace salam::drive
+{
+
+SweepSpec &
+SweepSpec::axis(std::string name, std::vector<std::uint64_t> values)
+{
+    if (values.empty())
+        fatal("sweep axis '%s' has no values", name.c_str());
+    axes.push_back({std::move(name), std::move(values)});
+    return *this;
+}
+
+SweepSpec &
+SweepSpec::axisRange(std::string name, std::uint64_t first,
+                     std::uint64_t last, std::uint64_t step)
+{
+    if (step == 0)
+        fatal("sweep axis '%s' has step 0", name.c_str());
+    std::vector<std::uint64_t> values;
+    for (std::uint64_t v = first; v <= last; v += step) {
+        values.push_back(v);
+        if (last - v < step)
+            break; // avoid wraparound near UINT64_MAX
+    }
+    return axis(std::move(name), std::move(values));
+}
+
+SweepSpec &
+SweepSpec::axisPow(std::string name, std::uint64_t first,
+                   std::uint64_t last, std::uint64_t factor)
+{
+    if (first == 0 || factor < 2)
+        fatal("sweep axis '%s' needs first > 0 and factor >= 2",
+              name.c_str());
+    std::vector<std::uint64_t> values;
+    for (std::uint64_t v = first; v <= last; v *= factor) {
+        values.push_back(v);
+        if (v > last / factor)
+            break; // next multiply would overflow
+    }
+    return axis(std::move(name), std::move(values));
+}
+
+std::size_t
+SweepSpec::numPoints() const
+{
+    if (axes.empty())
+        return 0;
+    std::size_t n = 1;
+    for (const SweepAxis &a : axes)
+        n *= a.values.size();
+    return n;
+}
+
+std::uint64_t
+SweepSpec::value(std::size_t point, std::size_t axis) const
+{
+    SALAM_ASSERT(axis < axes.size());
+    SALAM_ASSERT(point < numPoints());
+    // Row-major: the last axis varies fastest, so the divisor for
+    // axis i is the product of the sizes of all later axes.
+    std::size_t divisor = 1;
+    for (std::size_t a = axes.size(); a-- > axis + 1;)
+        divisor *= axes[a].values.size();
+    std::size_t i = (point / divisor) % axes[axis].values.size();
+    return axes[axis].values[i];
+}
+
+std::vector<std::uint64_t>
+SweepSpec::valuesAt(std::size_t point) const
+{
+    std::vector<std::uint64_t> values(axes.size());
+    std::size_t remainder = point;
+    for (std::size_t a = axes.size(); a-- > 0;) {
+        std::size_t size = axes[a].values.size();
+        values[a] = axes[a].values[remainder % size];
+        remainder /= size;
+    }
+    return values;
+}
+
+std::string
+SweepSpec::axesJson(std::size_t point) const
+{
+    std::vector<std::uint64_t> values = valuesAt(point);
+    std::string json = "{";
+    for (std::size_t a = 0; a < axes.size(); ++a) {
+        if (a > 0)
+            json += ",";
+        json += "\"" + axes[a].name +
+            "\":" + std::to_string(values[a]);
+    }
+    json += "}";
+    return json;
+}
+
+void
+SweepSpec::forEachPoint(
+    const std::function<void(std::size_t,
+                             const std::vector<std::uint64_t> &)>
+        &fn) const
+{
+    std::size_t n = numPoints();
+    for (std::size_t p = 0; p < n; ++p)
+        fn(p, valuesAt(p));
+}
+
+} // namespace salam::drive

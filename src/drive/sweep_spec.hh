@@ -1,0 +1,91 @@
+/**
+ * @file
+ * SweepSpec: declarative design-space sweep grids.
+ *
+ * A sweep is a cartesian product of named axes ("fu_limit" x
+ * "spm_ports" x ...). The benches used to hand-roll nested loops,
+ * which scattered the grid shape, the point count, and the axis
+ * naming across each bench. SweepSpec centralizes it: declare the
+ * axes once, expand to point vectors, and carry the axis names into
+ * the result store so `salam-query` output is self-describing.
+ *
+ * Expansion order is row-major with the FIRST axis slowest — the
+ * exact order of the equivalent nested loops — so ports of existing
+ * benches keep their historical point numbering (and with it,
+ * resume/config-hash compatibility).
+ */
+
+#ifndef SALAM_DRIVE_SWEEP_SPEC_HH
+#define SALAM_DRIVE_SWEEP_SPEC_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace salam::drive
+{
+
+/** One named sweep dimension and the values it takes. */
+struct SweepAxis
+{
+    std::string name;
+    std::vector<std::uint64_t> values;
+};
+
+/** A cartesian sweep grid built from named axes. */
+class SweepSpec
+{
+  public:
+    /** Add an axis with an explicit value list. */
+    SweepSpec &axis(std::string name,
+                    std::vector<std::uint64_t> values);
+
+    /**
+     * Add an axis covering [first, last] in steps of @p step
+     * (inclusive of @p last when the stride lands on it).
+     */
+    SweepSpec &axisRange(std::string name, std::uint64_t first,
+                         std::uint64_t last, std::uint64_t step = 1);
+
+    /** Add an axis where each value is first * factor^k <= last. */
+    SweepSpec &axisPow(std::string name, std::uint64_t first,
+                       std::uint64_t last, std::uint64_t factor = 2);
+
+    std::size_t numAxes() const { return axes.size(); }
+
+    const SweepAxis &axisAt(std::size_t i) const { return axes[i]; }
+
+    /** Total grid points (product of axis sizes; 0 when empty). */
+    std::size_t numPoints() const;
+
+    /**
+     * The axis values of grid point @p point, first axis first.
+     * Point 0 is every axis at its first value; the LAST axis
+     * varies fastest.
+     */
+    std::vector<std::uint64_t> valuesAt(std::size_t point) const;
+
+    /** Value of axis @p axis at grid point @p point. */
+    std::uint64_t value(std::size_t point, std::size_t axis) const;
+
+    /**
+     * Compact JSON object mapping axis names to the point's values,
+     * e.g. {"fu_limit":8,"spm_ports":4} — the store's sweep-point
+     * "axes" payload.
+     */
+    std::string axesJson(std::size_t point) const;
+
+    /** Invoke @p fn for every point in expansion order. */
+    void forEachPoint(
+        const std::function<void(
+            std::size_t, const std::vector<std::uint64_t> &)> &fn)
+        const;
+
+  private:
+    std::vector<SweepAxis> axes;
+};
+
+} // namespace salam::drive
+
+#endif // SALAM_DRIVE_SWEEP_SPEC_HH

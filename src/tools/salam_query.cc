@@ -30,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "drive/options.hh"
 #include "obs/json.hh"
 #include "obs/result_store.hh"
 #include "obs/store_query.hh"
@@ -75,85 +76,50 @@ struct Args
 bool
 parseArgs(int argc, char **argv, Args &args, std::string &error)
 {
-    for (int i = 2; i < argc; ++i) {
-        std::string arg = argv[i];
-        auto next = [&]() -> const char * {
-            if (i + 1 >= argc)
-                return nullptr;
-            return argv[++i];
-        };
-        const char *value = nullptr;
-        if (arg == "--bench") {
-            if ((value = next()) == nullptr) {
-                error = arg + " needs a value";
-                return false;
-            }
-            args.filter.bench = value;
-        } else if (arg == "--kernel") {
-            if ((value = next()) == nullptr) {
-                error = arg + " needs a value";
-                return false;
-            }
-            args.filter.kernel = value;
-        } else if (arg == "--outcome") {
-            if ((value = next()) == nullptr) {
-                error = arg + " needs a value";
-                return false;
-            }
-            args.filter.outcome = value;
-        } else if (arg == "--kind") {
-            if ((value = next()) == nullptr) {
-                error = arg + " needs a value";
-                return false;
-            }
-            args.filter.kind = value;
-        } else if (arg == "--field") {
-            if ((value = next()) == nullptr) {
-                error = arg + " needs a value";
-                return false;
-            }
-            args.field = value;
-        } else if (arg == "--baseline") {
-            if ((value = next()) == nullptr) {
-                error = arg + " needs a value";
-                return false;
-            }
-            args.baseline = value;
-        } else if (arg == "--hash") {
-            if ((value = next()) == nullptr) {
-                error = arg + " needs a value";
-                return false;
-            }
-            args.hash = value;
-        } else if (arg == "--seq") {
-            if ((value = next()) == nullptr) {
-                error = arg + " needs a value";
-                return false;
-            }
-            args.seq = std::strtol(value, nullptr, 10);
-        } else if (arg == "--max-drop-pct") {
-            if ((value = next()) == nullptr) {
-                error = arg + " needs a value";
-                return false;
-            }
-            args.maxDropPct = std::strtod(value, nullptr);
-        } else if (arg == "--limit") {
-            if ((value = next()) == nullptr) {
-                error = arg + " needs a value";
-                return false;
-            }
-            args.limit = static_cast<std::size_t>(
-                std::strtoul(value, nullptr, 10));
-        } else if (arg == "--json") {
-            args.json = true;
-        } else if (arg.rfind("--", 0) == 0) {
-            error = "unknown option '" + arg + "'";
-            return false;
-        } else {
-            args.positional.push_back(arg);
-        }
-    }
-    return true;
+    // Shared table-driven parser (drive/options.hh) in soft-error
+    // mode: failures land in usage() with exit code 1, and the store
+    // paths arrive as positional arguments.
+    drive::OptionList table = {
+        {"--bench", "<B>", "filter records by bench",
+         [&](const std::string &v) { args.filter.bench = v; }},
+        {"--kernel", "<K>", "filter records by kernel",
+         [&](const std::string &v) { args.filter.kernel = v; }},
+        {"--outcome", "<O>", "filter records by outcome",
+         [&](const std::string &v) { args.filter.outcome = v; }},
+        {"--kind", "<D>", "filter records by kind",
+         [&](const std::string &v) { args.filter.kind = v; }},
+        {"--field", "<F>", "diff only this payload field",
+         [&](const std::string &v) { args.field = v; }},
+        {"--baseline", "<file>", "regress baseline JSON",
+         [&](const std::string &v) { args.baseline = v; }},
+        {"--hash", "<H>", "select a record by config hash",
+         [&](const std::string &v) { args.hash = v; }},
+        {"--seq", "<N>", "select a record by store sequence",
+         [&](const std::string &v) {
+             args.seq = std::strtol(v.c_str(), nullptr, 10);
+         }},
+        {"--max-drop-pct", "<P>", "regression budget in percent",
+         [&](const std::string &v) {
+             args.maxDropPct = std::strtod(v.c_str(), nullptr);
+         }},
+        {"--limit", "<N>", "top-N entry budget",
+         [&](const std::string &v) {
+             args.limit = static_cast<std::size_t>(
+                 std::strtoul(v.c_str(), nullptr, 10));
+         }},
+        {"--json", "", "machine-readable output",
+         [&](const std::string &) { args.json = true; }},
+    };
+    drive::ParsePolicy policy;
+    policy.program = "salam-query";
+    policy.firstArg = 2;
+    policy.handleHelp = false;
+    policy.fatalErrors = false;
+    policy.positionals = &args.positional;
+    drive::ParseResult result =
+        drive::parseOptions(argc, argv, table, policy);
+    error = result.error;
+    return result.ok;
 }
 
 obs::StoreReader

@@ -1,0 +1,106 @@
+/** @file SweepSpec: grid expansion order and axis builders. */
+
+#include <gtest/gtest.h>
+
+#include "drive/sweep_spec.hh"
+
+using salam::drive::SweepSpec;
+
+TEST(SweepSpec, EmptySpecHasNoPoints)
+{
+    SweepSpec spec;
+    EXPECT_EQ(spec.numPoints(), 0u);
+    EXPECT_EQ(spec.numAxes(), 0u);
+}
+
+TEST(SweepSpec, NumPointsIsCartesianProduct)
+{
+    SweepSpec spec;
+    spec.axis("a", {1, 2, 3}).axis("b", {10, 20}).axis("c", {7});
+    EXPECT_EQ(spec.numAxes(), 3u);
+    EXPECT_EQ(spec.numPoints(), 3u * 2u * 1u);
+}
+
+/**
+ * Row-major with the FIRST axis slowest — the order of the nested
+ * loops the spec replaces, and thus the historical point numbering
+ * the benches' resume/config-hash machinery depends on.
+ */
+TEST(SweepSpec, ExpansionIsRowMajorFirstAxisSlowest)
+{
+    SweepSpec spec;
+    spec.axis("outer", {1, 2}).axis("inner", {10, 20, 30});
+
+    const std::uint64_t expect[6][2] = {
+        {1, 10}, {1, 20}, {1, 30}, {2, 10}, {2, 20}, {2, 30},
+    };
+    ASSERT_EQ(spec.numPoints(), 6u);
+    for (std::size_t p = 0; p < 6; ++p) {
+        auto v = spec.valuesAt(p);
+        ASSERT_EQ(v.size(), 2u);
+        EXPECT_EQ(v[0], expect[p][0]) << "point " << p;
+        EXPECT_EQ(v[1], expect[p][1]) << "point " << p;
+        // value(point, axis) must agree with valuesAt(point).
+        EXPECT_EQ(spec.value(p, 0), v[0]);
+        EXPECT_EQ(spec.value(p, 1), v[1]);
+    }
+}
+
+TEST(SweepSpec, SingletonAxisKeepsOrdering)
+{
+    SweepSpec wide;
+    wide.axis("a", {1, 2}).axis("b", {10, 20});
+    SweepSpec padded;
+    padded.axis("a", {1, 2}).axis("one", {42}).axis("b", {10, 20});
+
+    ASSERT_EQ(wide.numPoints(), padded.numPoints());
+    for (std::size_t p = 0; p < wide.numPoints(); ++p) {
+        auto w = wide.valuesAt(p);
+        auto v = padded.valuesAt(p);
+        EXPECT_EQ(v[0], w[0]) << "point " << p;
+        EXPECT_EQ(v[1], 42u) << "point " << p;
+        EXPECT_EQ(v[2], w[1]) << "point " << p;
+    }
+}
+
+TEST(SweepSpec, AxisRangeIsInclusiveWhenStrideLands)
+{
+    SweepSpec spec;
+    spec.axisRange("hit", 2, 8, 3).axisRange("miss", 0, 10, 4);
+    EXPECT_EQ(spec.axisAt(0).values,
+              (std::vector<std::uint64_t>{2, 5, 8}));
+    EXPECT_EQ(spec.axisAt(1).values,
+              (std::vector<std::uint64_t>{0, 4, 8}));
+}
+
+TEST(SweepSpec, AxisPowExpandsGeometrically)
+{
+    SweepSpec spec;
+    spec.axisPow("p2", 2, 16).axisPow("p3", 3, 20, 2);
+    EXPECT_EQ(spec.axisAt(0).values,
+              (std::vector<std::uint64_t>{2, 4, 8, 16}));
+    EXPECT_EQ(spec.axisAt(1).values,
+              (std::vector<std::uint64_t>{3, 6, 12}));
+}
+
+TEST(SweepSpec, AxesJsonNamesEveryAxis)
+{
+    SweepSpec spec;
+    spec.axis("fu_limit", {8, 16}).axis("spm_ports", {2, 4});
+    EXPECT_EQ(spec.axesJson(0), "{\"fu_limit\":8,\"spm_ports\":2}");
+    EXPECT_EQ(spec.axesJson(3), "{\"fu_limit\":16,\"spm_ports\":4}");
+}
+
+TEST(SweepSpec, ForEachPointVisitsInExpansionOrder)
+{
+    SweepSpec spec;
+    spec.axis("a", {1, 2}).axis("b", {10, 20});
+
+    std::size_t next = 0;
+    spec.forEachPoint([&](std::size_t p,
+                          const std::vector<std::uint64_t> &v) {
+        EXPECT_EQ(p, next++);
+        EXPECT_EQ(v, spec.valuesAt(p));
+    });
+    EXPECT_EQ(next, spec.numPoints());
+}

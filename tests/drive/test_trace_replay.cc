@@ -1,0 +1,294 @@
+/** @file Trace-reuse fast path: replay fidelity and fallback. */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/accel_fixture.hh"
+#include "core/dyn_trace.hh"
+#include "core/static_cdfg.hh"
+#include "drive/trace_replay.hh"
+#include "kernels/machsuite.hh"
+#include "mem/backdoor.hh"
+
+using namespace salam;
+
+namespace
+{
+
+/** One full simulation of a (dev, spm) point; the replay oracle. */
+struct FullRun
+{
+    core::EngineStats stats;
+    std::uint64_t spmReads = 0;
+    std::uint64_t spmWrites = 0;
+};
+
+FullRun
+runFull(const core::DeviceConfig &dev,
+        const mem::ScratchpadConfig &spm_cfg,
+        core::DynTrace *capture = nullptr)
+{
+    // Fresh IR per run, like the benches: kernel IR construction is
+    // deterministic, so static ids agree across builds.
+    auto kernel = kernels::makeGemm(8, 2);
+    ir::Module mod("replay_full");
+    ir::IRBuilder b(mod);
+    ir::Function *fn = kernel->buildOptimized(b);
+
+    test::AccelSystem sys(*fn, dev, spm_cfg);
+    if (capture != nullptr)
+        sys.cu->enableTraceCapture(capture);
+
+    mem::ScratchpadBackdoor backdoor(*sys.spm);
+    kernel->seed(backdoor, test::spmBase);
+    sys.run(kernel->args(test::spmBase));
+    EXPECT_EQ(kernel->check(backdoor, test::spmBase), "");
+
+    FullRun out;
+    out.stats = sys.cu->stats();
+    out.spmReads = sys.spm->readCount();
+    out.spmWrites = sys.spm->writeCount();
+    return out;
+}
+
+/** Captured trace + replay IR, shared by every replay in the file. */
+struct Captured
+{
+    core::DynTrace trace;
+    std::shared_ptr<ir::Module> mod;
+    ir::Function *fn = nullptr;
+    drive::ReplayPrep prep;
+};
+
+/**
+ * Capture regime mirroring captureTraceEntry(): wide ports so the
+ * capture run is cheap, block-sequential import left at the replay
+ * configs' (default) value — the one knob that must agree.
+ */
+const Captured &
+captured()
+{
+    static Captured c = [] {
+        Captured out;
+        core::DeviceConfig cap;
+        cap.readPortsPerCycle = 64;
+        cap.writePortsPerCycle = 64;
+        cap.readQueueSize = 64;
+        cap.writeQueueSize = 64;
+        mem::ScratchpadConfig scfg = test::AccelSystem::defaultSpm();
+        scfg.readPorts = 64;
+        scfg.writePorts = 64;
+        runFull(cap, scfg, &out.trace);
+
+        auto kernel = kernels::makeGemm(8, 2);
+        out.mod = std::make_shared<ir::Module>("replay_ir");
+        ir::IRBuilder b(*out.mod);
+        out.fn = kernel->buildOptimized(b);
+        core::StaticCdfg cdfg(*out.fn, cap);
+        out.prep = drive::buildReplayPrep(cdfg, out.trace);
+        return out;
+    }();
+    return c;
+}
+
+drive::ReplayResult
+replayPoint(const core::DeviceConfig &dev,
+            const mem::ScratchpadConfig &spm_cfg)
+{
+    const Captured &c = captured();
+    core::StaticCdfg cdfg(*c.fn, dev);
+    drive::ReplaySpmConfig spm;
+    spm.rangeStart = test::spmBase;
+    spm.latencyCycles = spm_cfg.latencyCycles;
+    spm.readPorts = spm_cfg.readPorts;
+    spm.writePorts = spm_cfg.writePorts;
+    spm.banks = spm_cfg.banks;
+    spm.wordBytes = spm_cfg.wordBytes;
+    drive::TraceReplayer replayer(cdfg, dev, c.trace, spm, &c.prep);
+    return replayer.run();
+}
+
+/**
+ * Field-by-field: the fast path promises the stats are
+ * bit-identical, not merely close, so doubles compare exactly too.
+ */
+void
+expectStatsEqual(const core::EngineStats &fast,
+                 const core::EngineStats &full)
+{
+#define SALAM_EXPECT_FIELD_EQ(f) EXPECT_EQ(fast.f, full.f) << #f
+    SALAM_EXPECT_FIELD_EQ(totalCycles);
+    SALAM_EXPECT_FIELD_EQ(newExecCycles);
+    SALAM_EXPECT_FIELD_EQ(stallCycles);
+    SALAM_EXPECT_FIELD_EQ(stallLoadOnly);
+    SALAM_EXPECT_FIELD_EQ(stallStoreOnly);
+    SALAM_EXPECT_FIELD_EQ(stallComputeOnly);
+    SALAM_EXPECT_FIELD_EQ(stallLoadCompute);
+    SALAM_EXPECT_FIELD_EQ(stallStoreCompute);
+    SALAM_EXPECT_FIELD_EQ(stallLoadStore);
+    SALAM_EXPECT_FIELD_EQ(stallLoadStoreCompute);
+    SALAM_EXPECT_FIELD_EQ(stallEmpty);
+    SALAM_EXPECT_FIELD_EQ(loadsIssued);
+    SALAM_EXPECT_FIELD_EQ(storesIssued);
+    SALAM_EXPECT_FIELD_EQ(fpOpsIssued);
+    SALAM_EXPECT_FIELD_EQ(intOpsIssued);
+    SALAM_EXPECT_FIELD_EQ(otherOpsIssued);
+    SALAM_EXPECT_FIELD_EQ(dynamicInstructions);
+    SALAM_EXPECT_FIELD_EQ(committedInstructions);
+    SALAM_EXPECT_FIELD_EQ(arenaHits);
+    SALAM_EXPECT_FIELD_EQ(arenaMisses);
+    SALAM_EXPECT_FIELD_EQ(cyclesWithLoadIssue);
+    SALAM_EXPECT_FIELD_EQ(cyclesWithStoreIssue);
+    SALAM_EXPECT_FIELD_EQ(cyclesWithFpIssue);
+    SALAM_EXPECT_FIELD_EQ(cyclesWithLoadAndStoreIssue);
+    SALAM_EXPECT_FIELD_EQ(cyclesWithLoadAndFpIssue);
+    SALAM_EXPECT_FIELD_EQ(fuEnergyPj);
+    SALAM_EXPECT_FIELD_EQ(registerReadEnergyPj);
+    SALAM_EXPECT_FIELD_EQ(registerWriteEnergyPj);
+#undef SALAM_EXPECT_FIELD_EQ
+    for (std::size_t t = 0; t < hw::numFuTypes; ++t) {
+        EXPECT_EQ(fast.fuBusyCycleSum[t], full.fuBusyCycleSum[t])
+            << "fuBusyCycleSum[" << t << "]";
+    }
+}
+
+/** One replay configuration of the equivalence grid. */
+struct PointConfig
+{
+    const char *name;
+    unsigned ports;      // engine issue ports + SPM ports
+    unsigned fpLimit;    // 0 = dedicated FUs
+    unsigned spmLatency;
+    unsigned banks;
+};
+
+void
+toConfigs(const PointConfig &p, core::DeviceConfig &dev,
+          mem::ScratchpadConfig &spm)
+{
+    dev = core::DeviceConfig{};
+    dev.readPortsPerCycle = p.ports;
+    dev.writePortsPerCycle = p.ports;
+    if (p.fpLimit != 0) {
+        dev.setFuLimit(hw::FuType::FpAddSubDouble, p.fpLimit);
+        dev.setFuLimit(hw::FuType::FpMultiplierDouble, p.fpLimit);
+    }
+    spm = test::AccelSystem::defaultSpm();
+    spm.readPorts = p.ports;
+    spm.writePorts = p.ports;
+    spm.latencyCycles = p.spmLatency;
+    spm.banks = p.banks;
+}
+
+} // namespace
+
+TEST(TraceReplay, PrepBuildsCleanly)
+{
+    const Captured &c = captured();
+    ASSERT_FALSE(c.trace.empty());
+    EXPECT_EQ(c.prep.error, "");
+}
+
+/**
+ * The tentpole guarantee: replaying the captured trace under a
+ * different FU/port/latency/bank configuration produces the exact
+ * EngineStats a full simulation of that configuration produces.
+ */
+TEST(TraceReplay, FastMatchesFullAcrossConfigs)
+{
+    const PointConfig grid[] = {
+        {"default", 2, 0, 1, 1},
+        {"narrow_ports", 1, 0, 1, 1},
+        {"fu_limited", 2, 1, 1, 1},
+        {"slow_banked_spm", 4, 2, 4, 2},
+    };
+    for (const PointConfig &p : grid) {
+        SCOPED_TRACE(p.name);
+        core::DeviceConfig dev;
+        mem::ScratchpadConfig spm;
+        toConfigs(p, dev, spm);
+
+        FullRun full = runFull(dev, spm);
+        drive::ReplayResult fast = replayPoint(dev, spm);
+        ASSERT_TRUE(fast.ok) << fast.error;
+        expectStatsEqual(fast.stats, full.stats);
+        EXPECT_EQ(fast.spmReads, full.spmReads);
+        EXPECT_EQ(fast.spmWrites, full.spmWrites);
+    }
+}
+
+/** The grid must actually exercise different schedules. */
+TEST(TraceReplay, ConfigsChangeTheSchedule)
+{
+    core::DeviceConfig dev;
+    mem::ScratchpadConfig spm;
+    toConfigs({"narrow", 1, 1, 4, 1}, dev, spm);
+    drive::ReplayResult narrow = replayPoint(dev, spm);
+    ASSERT_TRUE(narrow.ok) << narrow.error;
+
+    toConfigs({"wide", 4, 0, 1, 1}, dev, spm);
+    drive::ReplayResult wide = replayPoint(dev, spm);
+    ASSERT_TRUE(wide.ok) << wide.error;
+
+    EXPECT_LT(wide.stats.totalCycles, narrow.stats.totalCycles);
+}
+
+/**
+ * Directed fallback: every condition that makes trace reuse unsound
+ * must be reported by fastPathBlocker(), and a sound configuration
+ * must not be.
+ */
+TEST(TraceReplay, FallbackBlockers)
+{
+    core::DeviceConfig dev;
+
+    core::DynTrace empty;
+    EXPECT_NE(drive::fastPathBlocker(empty, dev, false), "");
+
+    const Captured &c = captured();
+    EXPECT_EQ(drive::fastPathBlocker(c.trace, dev, false), "");
+
+    // Fault injection makes outcomes schedule-dependent.
+    EXPECT_NE(drive::fastPathBlocker(c.trace, dev, true), "");
+
+    // Block-sequential import changes the capture regime itself.
+    core::DeviceConfig seq = dev;
+    seq.blockSequentialImport = !c.trace.capturedBlockSequential;
+    EXPECT_NE(drive::fastPathBlocker(c.trace, seq, false), "");
+}
+
+/** A trace that does not match the static CDFG is rejected, not
+ * replayed wrong. */
+TEST(TraceReplay, MismatchedTraceIsRejected)
+{
+    const Captured &c = captured();
+    core::DynTrace corrupt = c.trace;
+    corrupt.insts[0].staticId = 0xFFFFFFu;
+
+    core::DeviceConfig dev;
+    core::StaticCdfg cdfg(*c.fn, dev);
+    drive::ReplayPrep prep = drive::buildReplayPrep(cdfg, corrupt);
+    EXPECT_NE(prep.error, "");
+
+    drive::ReplaySpmConfig spm;
+    spm.rangeStart = test::spmBase;
+    drive::TraceReplayer replayer(cdfg, dev, corrupt, spm);
+    drive::ReplayResult res = replayer.run();
+    EXPECT_FALSE(res.ok);
+    EXPECT_NE(res.error, "");
+}
+
+/** An empty trace cannot be replayed. */
+TEST(TraceReplay, EmptyTraceFailsGracefully)
+{
+    const Captured &c = captured();
+    core::DynTrace empty;
+    core::DeviceConfig dev;
+    core::StaticCdfg cdfg(*c.fn, dev);
+    drive::ReplaySpmConfig spm;
+    spm.rangeStart = test::spmBase;
+    drive::TraceReplayer replayer(cdfg, dev, empty, spm);
+    drive::ReplayResult res = replayer.run();
+    EXPECT_FALSE(res.ok);
+}
