@@ -34,6 +34,7 @@
 #include "inject/progress_sentinel.hh"
 #include "kernels/machsuite.hh"
 #include "mem/backdoor.hh"
+#include "mem/interconnect.hh"
 #include "mem/scratchpad.hh"
 #include "obs/critical_path.hh"
 #include "obs/debug_flags.hh"
@@ -568,6 +569,80 @@ struct BenchMemory
     unsigned spmWritePorts = 2;
     unsigned spmLatency = 1;
     unsigned spmBanks = 1;
+
+    /**
+     * Insert a modeled interconnect between the accelerator's data
+     * port and the SPM. Default false: the historical direct port
+     * bind (zero fabric latency). When true, @ref interconnect
+     * selects the fabric kind and its parameters.
+     */
+    bool useInterconnect = false;
+    mem::InterconnectConfig interconnect;
+};
+
+/**
+ * Shared --interconnect/--bus-width/--ic-credits handling: a bench
+ * keeps one of these alive across parseObsArgs (append options() to
+ * its extra list) and calls apply() on each BenchMemory it builds.
+ */
+struct InterconnectChoice
+{
+    /** "direct" (historical port bind), "xbar", or "axi". */
+    std::string kind = "direct";
+    unsigned busWidthBytes = 64;
+    unsigned credits = mem::unlimitedCredits;
+
+    bool direct() const { return kind == "direct"; }
+
+    mem::InterconnectConfig
+    config() const
+    {
+        mem::InterconnectConfig ic;
+        ic.kind = kind == "axi" ? mem::InterconnectKind::AxiBus
+                                : mem::InterconnectKind::Crossbar;
+        ic.busWidthBytes = busWidthBytes;
+        ic.maxOutstandingPerRequester = credits;
+        return ic;
+    }
+
+    void
+    apply(BenchMemory &memcfg) const
+    {
+        memcfg.useInterconnect = !direct();
+        if (memcfg.useInterconnect)
+            memcfg.interconnect = config();
+    }
+
+    BenchOptionList
+    options()
+    {
+        return {
+            {"--interconnect", "<kind>",
+             "fabric between accelerator and memory: direct "
+             "(default), xbar, or axi",
+             [this](const std::string &v) {
+                 if (v != "direct" && v != "xbar" && v != "axi")
+                     fatal("--interconnect needs direct, xbar, or "
+                           "axi, got '%s'",
+                           v.c_str());
+                 kind = v;
+             }},
+            {"--bus-width", "<bytes>",
+             "AXI-like bus data-channel beat width in bytes "
+             "(default 64)",
+             [this](const std::string &v) {
+                 busWidthBytes = static_cast<unsigned>(
+                     benchParseUint("--bus-width", v));
+             }},
+            {"--ic-credits", "<N>",
+             "outstanding-transaction credits per requester "
+             "(default unlimited; 0 is rejected at elaboration)",
+             [this](const std::string &v) {
+                 credits = static_cast<unsigned>(
+                     benchParseUint("--ic-credits", v));
+             }},
+        };
+    }
 };
 
 /** Everything an experiment wants to know about one run. */
@@ -633,6 +708,18 @@ runConfigHash(const std::string &kernel_name,
         std::to_string(memcfg.spmWritePorts) + "|lat=" +
         std::to_string(memcfg.spmLatency) + "|banks=" +
         std::to_string(memcfg.spmBanks);
+    // Interconnect keys only enter the hash when a fabric is in the
+    // path, so direct-bind configurations hash exactly as they did
+    // before the interconnect existed (resume/store compatibility).
+    if (memcfg.useInterconnect) {
+        const mem::InterconnectConfig &ic = memcfg.interconnect;
+        key += std::string("|ic=") + interconnectKindName(ic.kind) +
+            "|icf=" + std::to_string(ic.forwardLatency) + "|icr=" +
+            std::to_string(ic.responseLatency) + "|icq=" +
+            std::to_string(ic.requestsPerCycle) + "|icw=" +
+            std::to_string(ic.busWidthBytes) + "|icc=" +
+            std::to_string(ic.maxOutstandingPerRequester);
+    }
     return obs::fnv1aHash(key);
 }
 
@@ -707,7 +794,18 @@ runSalam(const kernels::Kernel &kernel,
     ccfg.dataPorts.push_back({"spm", {scfg.range}});
     auto &comm = sim.create<core::CommInterface>(
         "comm", dev.clockPeriod, ccfg);
-    mem::bindPorts(comm.dataPort(0), spm.port(0));
+    if (memcfg.useInterconnect) {
+        // Route the accelerator's data traffic through a modeled
+        // fabric instead of the direct bind. Validation happens in
+        // makeInterconnect — before any CDFG is built.
+        mem::Interconnect &fabric = mem::makeInterconnect(
+            sim, "fabric", dev.clockPeriod, memcfg.interconnect);
+        fabric.connectDevice(spm.port(0), scfg.range);
+        mem::bindPorts(comm.dataPort(0),
+                       fabric.addRequester("acc.data"));
+    } else {
+        mem::bindPorts(comm.dataPort(0), spm.port(0));
+    }
     auto &cu =
         sim.create<core::ComputeUnit>("acc", *fn, dev, comm);
     if (capture != nullptr)
@@ -1088,8 +1186,8 @@ runSalamMode(const kernels::Kernel &kernel,
         entry = benchTraceCache().getOrBuild(
             kernel.name() + "|" + trace_key,
             [&] { return captureTraceEntry(kernel, dev); });
-        blocker =
-            drive::fastPathBlocker(entry->trace, dev, false);
+        blocker = drive::fastPathBlocker(entry->trace, dev, false,
+                                         memcfg.useInterconnect);
     }
     if (!blocker.empty()) {
         if (options.simMode == "fast")

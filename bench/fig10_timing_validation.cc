@@ -24,7 +24,12 @@ using namespace salam::hls;
 int
 main(int argc, char **argv)
 {
-    salam::bench::parseObsArgs(argc, argv);
+    // --interconnect xbar/axi reruns the validation with a modeled
+    // fabric between accelerator and SPM; the check.sh A/B gate uses
+    // it to prove a wide bus with unlimited credits is
+    // cycle-identical to the crossbar.
+    InterconnectChoice fabric;
+    salam::bench::parseObsArgs(argc, argv, fabric.options());
     header("Fig. 10: performance validation (cycles vs HLS)");
     std::printf("%-14s %12s %12s %9s\n", "Benchmark",
                 "gem5-SALAM", "HLS", "error");
@@ -47,6 +52,7 @@ main(int argc, char **argv)
         BenchMemory memcfg;
         memcfg.spmReadPorts = 2;
         memcfg.spmWritePorts = 2;
+        fabric.apply(memcfg);
         BenchRun salam_run = runSalam(*kernel, dev, memcfg);
 
         // HLS surrogate on the same optimized IR.

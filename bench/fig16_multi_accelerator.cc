@@ -102,11 +102,13 @@ spmProto()
 /** Scenario (a): private SPMs, DMA transfers, host-sequenced. */
 Tick
 scenarioPrivate(const std::vector<float> &image,
-                const std::vector<float> &expected)
+                const std::vector<float> &expected,
+                const InterconnectConfig &icfg)
 {
     Simulation sim;
     SalamSystem sys(sim);
-    auto &cluster = sys.addCluster("c0", periodFromMhz(100));
+    auto &cluster = sys.addCluster("c0", periodFromMhz(100), 0,
+                                   icfg);
 
     auto &conv_spm = cluster.addSpm("conv_spm", 16 * 1024,
                                     spmProto());
@@ -193,11 +195,13 @@ scenarioPrivate(const std::vector<float> &image,
 /** Scenario (b): shared SPM, host-sequenced (central control). */
 Tick
 scenarioShared(const std::vector<float> &image,
-               const std::vector<float> &expected)
+               const std::vector<float> &expected,
+               const InterconnectConfig &icfg)
 {
     Simulation sim;
     SalamSystem sys(sim);
-    auto &cluster = sys.addCluster("c0", periodFromMhz(100));
+    auto &cluster = sys.addCluster("c0", periodFromMhz(100), 0,
+                                   icfg);
 
     // Multi-ported shared SPM: one direct port per accelerator
     // (the paper's shared-scratchpad organization) plus one routed
@@ -276,11 +280,13 @@ scenarioShared(const std::vector<float> &image,
 /** Scenario (c): direct stream-buffer pipeline, self-synchronized. */
 Tick
 scenarioStream(const std::vector<float> &image,
-               const std::vector<float> &expected)
+               const std::vector<float> &expected,
+               const InterconnectConfig &icfg)
 {
     Simulation sim;
     SalamSystem sys(sim);
-    auto &cluster = sys.addCluster("c0", periodFromMhz(100));
+    auto &cluster = sys.addCluster("c0", periodFromMhz(100), 0,
+                                   icfg);
 
     auto &conv_spm = cluster.addSpm("conv_spm", 16 * 1024,
                                     spmProto());
@@ -375,16 +381,25 @@ scenarioStream(const std::vector<float> &image,
 int
 main(int argc, char **argv)
 {
-    salam::bench::parseObsArgs(argc, argv);
+    // --interconnect selects the cluster-local fabric: "direct"
+    // keeps the historical default crossbar; "xbar"/"axi" (with
+    // --bus-width/--ic-credits) rerun all three scenarios with the
+    // chosen fabric carrying the DMA and host-MMIO traffic. The
+    // check.sh contention smoke compares xbar against a narrow AXI
+    // bus here.
+    InterconnectChoice fabric;
+    salam::bench::parseObsArgs(argc, argv, fabric.options());
+    InterconnectConfig icfg =
+        fabric.direct() ? InterconnectConfig{} : fabric.config();
     auto image = makeImage();
     auto expected = golden(image);
 
     header("Fig. 16: producer-consumer accelerator scenarios "
            "(CNN layer: conv3x3 -> ReLU -> maxpool2x2)");
 
-    Tick t_private = scenarioPrivate(image, expected);
-    Tick t_shared = scenarioShared(image, expected);
-    Tick t_stream = scenarioStream(image, expected);
+    Tick t_private = scenarioPrivate(image, expected, icfg);
+    Tick t_shared = scenarioShared(image, expected, icfg);
+    Tick t_stream = scenarioStream(image, expected, icfg);
 
     auto us = [](Tick t) { return static_cast<double>(t) / 1e6; };
     std::printf("%-28s %12s %10s\n", "Scenario", "end-to-end(us)",
@@ -401,6 +416,40 @@ main(int argc, char **argv)
                     static_cast<double>(t_stream));
     std::printf("\n(paper: (b) ~1.25x, (c) ~2.08x over the "
                 "baseline)\n");
+
+    // Machine-parseable summary for check.sh's contention compare.
+    std::printf("fig16-summary kind=%s width=%u credits=%u "
+                "private=%llu shared=%llu stream=%llu\n",
+                fabric.kind.c_str(), fabric.busWidthBytes,
+                fabric.credits,
+                static_cast<unsigned long long>(t_private),
+                static_cast<unsigned long long>(t_shared),
+                static_cast<unsigned long long>(t_stream));
+
+    // --store-out: one record per fabric configuration, queryable
+    // with salam-query (the configHash distinguishes fabric knobs,
+    // so xbar vs narrow-axi runs land as separate records).
+    if (obs::ResultStore *store = benchStore()) {
+        obs::RunReport report;
+        report.run = "fig16-contention";
+        report.commandLine = obsOptions().commandLine;
+        report.configHash = obs::fnv1aHash(
+            std::string("fig16|ic=") + fabric.kind + "|icw=" +
+            std::to_string(fabric.busWidthBytes) + "|icc=" +
+            std::to_string(fabric.credits));
+        report.cycles = t_private; // baseline scenario
+        report.extra = {
+            {"t_private_ticks", static_cast<double>(t_private)},
+            {"t_shared_ticks", static_cast<double>(t_shared)},
+            {"t_stream_ticks", static_cast<double>(t_stream)},
+            {"bus_width_bytes",
+             static_cast<double>(fabric.busWidthBytes)},
+            {"credits", fabric.credits == mem::unlimitedCredits
+                 ? -1.0
+                 : static_cast<double>(fabric.credits)},
+        };
+        store->appendRunReport(report, obsOptions().benchName);
+    }
 
     bool shape = t_shared < t_private && t_stream < t_shared;
     std::printf("Shape check (a > b > c): %s\n",

@@ -28,6 +28,7 @@
 
 #include <cmath>
 #include <fstream>
+#include <thread>
 
 #include "baseline/aladdin.hh"
 #include "common.hh"
@@ -139,6 +140,10 @@ writeSimrateJson(const std::string &path,
     os << "  \"serial_wall_seconds\": "
        << obs::jsonNumber(serial_seconds) << ",\n";
     os << "  \"threads\": " << sweep_threads << ",\n";
+    // Speedup is only interpretable against the machine that
+    // measured it: a 4-thread sweep on 2 cores SHOULD look bad.
+    os << "  \"host_cores\": "
+       << std::thread::hardware_concurrency() << ",\n";
     os << "  \"parallel_wall_seconds\": "
        << obs::jsonNumber(parallel_seconds) << ",\n";
     os << "  \"speedup\": "

@@ -181,7 +181,8 @@ if c++ ${tsan_flags} -o "${smoke_dir}/tsan_probe" \
     # SweepRunner/SimContext tests, the result-store writer, and a
     # real multi-threaded sweep (which now also appends to a store).
     cmake --build "${tsan_dir}" -j "${jobs}" \
-        --target drive_test sim_test obs_test fig13_gemm_pareto
+        --target drive_test sim_test obs_test fig13_gemm_pareto \
+        interconnect_sweep
     TSAN_OPTIONS=halt_on_error=1 \
         "${tsan_dir}/tests/drive/drive_test"
     TSAN_OPTIONS=halt_on_error=1 \
@@ -204,6 +205,14 @@ if c++ ${tsan_flags} -o "${smoke_dir}/tsan_probe" \
         --resume "${smoke_dir}/tsan_store" \
         >"${smoke_dir}/tsan_resume.out"
     grep -q "cached" "${smoke_dir}/tsan_resume.out"
+    # Interconnect axes under worker concurrency: fabric points all
+    # fall back to full simulation, so this drives the AXI bus and
+    # crossbar credit paths from 4 sweep threads at once.
+    TSAN_OPTIONS=halt_on_error=1 \
+        "${tsan_dir}/bench/interconnect_sweep" --sweep-threads 4 \
+        --skip-cluster-curve --sim-mode auto \
+        --store-out "${smoke_dir}/tsan_ic_store" \
+        >"${smoke_dir}/tsan_ic.out"
     echo "tsan job ok"
 else
     echo "thread sanitizer unavailable on this toolchain; skipping"
@@ -312,6 +321,87 @@ changed = [r["point"] for r in doc["rows"] if r["changed"]]
 assert not changed, \
     f"fast path diverged from full simulation at points {changed}"
 print("fast-path gate ok: 5 paired points, 0 changed")
+PYEOF
+
+echo "== interconnect: crossbar-vs-bus A/B, contention, auto fallback"
+ic_dir="${smoke_dir}/interconnect"
+mkdir -p "${ic_dir}"
+cmake --build "${perf_dir}" -j "${jobs}" \
+    --target fig10_timing_validation fig16_multi_accelerator \
+    interconnect_sweep
+
+# A/B gate: an AXI-like bus wide enough for every access (64B beats)
+# with unlimited credits degrades to pure handshake timing, so fig10
+# must be cycle-identical to the crossbar — byte-identical output.
+"${perf_dir}/bench/fig10_timing_validation" --interconnect xbar \
+    >"${ic_dir}/fig10_xbar.out"
+"${perf_dir}/bench/fig10_timing_validation" --interconnect axi \
+    --bus-width 64 >"${ic_dir}/fig10_axi.out"
+if ! diff "${ic_dir}/fig10_xbar.out" "${ic_dir}/fig10_axi.out"; then
+    echo "wide AXI bus is not cycle-identical to the crossbar"
+    exit 1
+fi
+echo "fig10 A/B ok: wide bus == crossbar, byte-identical"
+
+# Contention smoke on fig16's multi-accelerator cluster: a 1-credit
+# fabric must measurably stretch the DMA-heavy baseline scenario,
+# and both runs must land as queryable store records.
+"${perf_dir}/bench/fig16_multi_accelerator" --interconnect xbar \
+    --store-out "${ic_dir}/fig16_store" >"${ic_dir}/fig16_xbar.out"
+"${perf_dir}/bench/fig16_multi_accelerator" --interconnect axi \
+    --bus-width 4 --ic-credits 1 \
+    --store-out "${ic_dir}/fig16_store" >"${ic_dir}/fig16_axi.out"
+"${salam_query}" list "${ic_dir}/fig16_store" \
+    >"${ic_dir}/fig16_list.out"
+if [[ "$(grep -c "fig16-contention" "${ic_dir}/fig16_list.out")" \
+        -ne 2 ]]; then
+    echo "expected 2 fig16-contention store records:"
+    cat "${ic_dir}/fig16_list.out"
+    exit 1
+fi
+python3 - "${ic_dir}" <<'PYEOF'
+import re, sys
+d = sys.argv[1]
+
+def summary(tag):
+    for line in open(f"{d}/fig16_{tag}.out"):
+        m = re.match(r"fig16-summary .*private=(\d+)", line)
+        if m:
+            return int(m.group(1))
+    raise AssertionError(f"no fig16-summary line in {tag} run")
+
+xbar = summary("xbar")
+axi = summary("axi")
+assert axi >= 1.05 * xbar, (
+    f"narrow 1-credit bus shows no contention: {axi} vs {xbar}")
+print(f"fig16 contention ok: narrow/low-credit bus "
+      f"{axi / xbar:.2f}x the crossbar baseline")
+PYEOF
+
+# Sweeping an interconnect axis under --sim-mode auto must fall back
+# to full simulation on every fabric point (the trace replay models
+# a private scratchpad only) and produce bit-identical results.
+"${perf_dir}/bench/interconnect_sweep" --skip-cluster-curve \
+    --sim-mode full --store-out "${ic_dir}/ic_full" \
+    >"${ic_dir}/ic_full.out"
+"${perf_dir}/bench/interconnect_sweep" --skip-cluster-curve \
+    --sim-mode auto --store-out "${ic_dir}/ic_auto" \
+    >"${ic_dir}/ic_auto.out"
+grep -q "full-fallback" "${ic_dir}/ic_auto.out"
+"${salam_query}" diff "${ic_dir}/ic_auto" "${ic_dir}/ic_full" \
+    --json >"${ic_dir}/ic_diff.json"
+python3 - "${ic_dir}/ic_diff.json" <<'PYEOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+# 8 grid points + the direct baseline.
+assert doc["paired"] == 9, f"expected 9 paired rows: {doc['paired']}"
+assert doc["only_in_a"] == 0 and doc["only_in_b"] == 0, \
+    "auto store did not pair with the full store"
+changed = [r["point"] for r in doc["rows"] if r["changed"]]
+assert not changed, \
+    f"auto mode diverged from full simulation at points {changed}"
+print("interconnect auto-fallback gate ok: 9 paired points, "
+      "0 changed")
 PYEOF
 
 echo "== robustness: kill-and-resume, timeouts, retry records"

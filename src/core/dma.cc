@@ -122,6 +122,10 @@ Dma::pump()
         auto *pkt = new Packet(MemCmd::ReadReq, srcCursor, chunk);
         // Stash the destination for this chunk in the context.
         pkt->context = reinterpret_cast<void *>(dstCursor);
+        // Mark the chunk's place in the logical burst train so a
+        // burst-aware interconnect can attribute arbitration time.
+        pkt->firstBeat = bytesRemainingToRead == regs[3];
+        pkt->lastBeat = chunk == bytesRemainingToRead;
         if (!dmaPort.sendTimingReq(pkt)) {
             delete pkt;
             return; // retried via recvReqRetry
@@ -143,6 +147,8 @@ Dma::handleDataResponse(PacketPtr pkt)
         auto dst = reinterpret_cast<std::uint64_t>(pkt->context);
         auto *wr = new Packet(MemCmd::WriteReq, dst, pkt->size());
         wr->setData(pkt->data(), pkt->size());
+        wr->firstBeat = pkt->firstBeat;
+        wr->lastBeat = pkt->lastBeat;
         if (!blockedWrites.empty() || !dmaPort.sendTimingReq(wr)) {
             // Refused (or behind an earlier refusal): keep ordering
             // and resend from pump() on the next retry.

@@ -527,6 +527,10 @@ RuntimeEngine::recordProfile(DynInst *di)
             node.execCause = obs::ProfCause::BankConflict;
         else if (flags & mem::svcDmaWait)
             node.execCause = obs::ProfCause::DmaWait;
+        else if (flags & mem::svcCreditStall)
+            node.execCause = obs::ProfCause::CreditStall;
+        else if (flags & mem::svcBusArbitration)
+            node.execCause = obs::ProfCause::BusArbitration;
         else if (flags & mem::svcQueued)
             node.execCause = obs::ProfCause::MemQueue;
         else

@@ -13,12 +13,17 @@ using namespace salam::hw;
 
 std::string
 fastPathBlocker(const DynTrace &trace, const DeviceConfig &dev,
-                bool fault_injection_active)
+                bool fault_injection_active,
+                bool interconnect_in_path)
 {
     if (trace.empty())
         return "no captured trace";
     if (fault_injection_active) {
         return "fault injection makes outcomes schedule-dependent";
+    }
+    if (interconnect_in_path) {
+        return "memory path crosses a modeled interconnect; replay "
+               "models a private scratchpad only";
     }
     if (dev.blockSequentialImport != trace.capturedBlockSequential) {
         return "block-sequential import differs from the capture "

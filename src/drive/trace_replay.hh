@@ -154,10 +154,14 @@ ReplayPrep buildReplayPrep(const core::StaticCdfg &cdfg,
  * sound. The rule is conservative: any delta that changes the
  * capture regime (block-sequential import) or makes outcomes
  * schedule-dependent (fault injection) forces full simulation.
+ * @p interconnect_in_path declares that the accelerator's memory
+ * traffic crosses a modeled interconnect; replay models a private
+ * SPM only, so that also forces full simulation.
  */
 std::string fastPathBlocker(const core::DynTrace &trace,
                             const core::DeviceConfig &dev,
-                            bool fault_injection_active);
+                            bool fault_injection_active,
+                            bool interconnect_in_path = false);
 
 /** One-shot re-scheduler: construct, run() once, read the result. */
 class TraceReplayer

@@ -35,6 +35,11 @@ Crossbar::init()
                    [this] {
                        return static_cast<double>(throughputStalls);
                    });
+    reg.addFormula(n + ".xbar.credit_stalls",
+                   "requests refused for exhausted credits",
+                   [this] {
+                       return static_cast<double>(creditStalls);
+                   });
 }
 
 ResponsePort &
@@ -42,6 +47,9 @@ Crossbar::addRequester(const std::string &label)
 {
     upstream.push_back(std::make_unique<UpstreamPort>(
         *this, static_cast<unsigned>(upstream.size()), label));
+    outstanding.push_back(0);
+    creditRetryPending.push_back(false);
+    wasCreditStalled.push_back(false);
     return *upstream.back();
 }
 
@@ -104,6 +112,20 @@ Crossbar::handleRequest(PacketPtr pkt, unsigned upstream_index)
             },
             name() + ".injected_retry");
         return false;
+    }
+    // Per-requester outstanding-transaction credits: at the limit,
+    // refuse and owe a retry for when a response frees a credit.
+    if (cfg.maxOutstandingPerRequester != unlimitedCredits &&
+        outstanding[upstream_index] >=
+            cfg.maxOutstandingPerRequester) {
+        ++creditStalls;
+        creditRetryPending[upstream_index] = true;
+        return false;
+    }
+    ++outstanding[upstream_index];
+    if (wasCreditStalled[upstream_index]) {
+        pkt->serviceFlags |= svcCreditStall;
+        wasCreditStalled[upstream_index] = false;
     }
     unsigned target = routeFor(pkt);
     if (requestQueueOccupancy) {
@@ -180,6 +202,11 @@ Crossbar::dumpDiagnostics(obs::JsonBuilder &json) const
     json.field("queued_responses",
                static_cast<std::uint64_t>(responseQueue.size()));
     json.field("forwarded", forwarded);
+    json.field("credit_stalls", creditStalls);
+    json.beginArray("outstanding_per_requester");
+    for (unsigned count : outstanding)
+        json.value(static_cast<std::uint64_t>(count));
+    json.endArray();
     auto emit = [&json](const char *key,
                         const std::deque<RoutedPacket> &q) {
         json.beginArray(key);
@@ -228,7 +255,21 @@ Crossbar::pumpResponses()
         }
         if (!upstream[front.portIndex]->sendTimingResp(front.pkt))
             return;
+        unsigned up = front.portIndex;
         responseQueue.pop_front();
+        releaseCredit(up);
+    }
+}
+
+void
+Crossbar::releaseCredit(unsigned upstream_index)
+{
+    SALAM_ASSERT(outstanding[upstream_index] > 0);
+    --outstanding[upstream_index];
+    if (creditRetryPending[upstream_index]) {
+        creditRetryPending[upstream_index] = false;
+        wasCreditStalled[upstream_index] = true;
+        upstream[upstream_index]->sendReqRetry();
     }
 }
 

@@ -17,6 +17,7 @@
 #include <memory>
 #include <vector>
 
+#include "interconnect.hh"
 #include "port.hh"
 #include "sim/sim_object.hh"
 #include "sim/simulation.hh"
@@ -33,10 +34,17 @@ struct CrossbarConfig
     unsigned responseLatency = 1;
     /** Max requests forwarded per cycle; 0 means unlimited. */
     unsigned requestsPerCycle = 0;
+    /**
+     * Outstanding-transaction credits per requester: an upstream
+     * port at the limit has further sends refused (retry signalled
+     * when a response frees a credit). unlimitedCredits disables
+     * the limit, preserving the historical unbounded behavior.
+     */
+    unsigned maxOutstandingPerRequester = unlimitedCredits;
 };
 
 /** The crossbar switch. */
-class Crossbar : public ClockedObject
+class Crossbar : public ClockedObject, public Interconnect
 {
   public:
     Crossbar(Simulation &sim, std::string name, Tick clock_period,
@@ -49,26 +57,30 @@ class Crossbar : public ClockedObject
      * Create an upstream endpoint for one requester; bind the
      * requester's RequestPort to the returned port.
      */
-    ResponsePort &addRequester(const std::string &label);
+    ResponsePort &addRequester(const std::string &label) override;
 
     /**
      * Attach a downstream device servicing @p range. The crossbar
      * creates and binds an internal request port to @p device_port.
      */
-    void connectDevice(ResponsePort &device_port, AddrRange range);
+    void connectDevice(ResponsePort &device_port,
+                       AddrRange range) override;
 
     /**
      * Attach the default downstream: packets whose address matches
      * no device range are forwarded here (e.g. a cluster-local
      * crossbar forwarding everything else to the global crossbar).
      */
-    void connectDefault(ResponsePort &device_port);
+    void connectDefault(ResponsePort &device_port) override;
 
     /** Ranges currently routed (for diagnostics/tests). */
-    const std::vector<AddrRange> &routedRanges() const
+    const std::vector<AddrRange> &routedRanges() const override
     { return ranges; }
 
     std::uint64_t forwardedRequests() const { return forwarded; }
+
+    /** Requests refused for an exhausted per-requester credit. */
+    std::uint64_t creditStallCount() const { return creditStalls; }
 
     void dumpDiagnostics(obs::JsonBuilder &json) const override;
 
@@ -137,6 +149,9 @@ class Crossbar : public ClockedObject
 
     bool handleResponse(PacketPtr pkt, unsigned downstream_index);
 
+    /** Free one credit for @p upstream_index and wake it if blocked. */
+    void releaseCredit(unsigned upstream_index);
+
     void pumpRequests();
 
     void pumpResponses();
@@ -156,6 +171,16 @@ class Crossbar : public ClockedObject
     unsigned requestsThisCycle = 0;
     std::uint64_t forwarded = 0;
     std::uint64_t throughputStalls = 0;
+    std::uint64_t creditStalls = 0;
+
+    /** In-flight requests per upstream (credit accounting). */
+    std::vector<unsigned> outstanding;
+
+    /** Upstreams refused for credits, owed a retry. */
+    std::vector<bool> creditRetryPending;
+
+    /** Upstreams whose next accepted request carries svcCreditStall. */
+    std::vector<bool> wasCreditStalled;
 
     /** Sampled per incoming request once init() registered it. */
     Histogram *requestQueueOccupancy = nullptr;

@@ -1,0 +1,61 @@
+#include "interconnect.hh"
+
+#include "axi_bus.hh"
+#include "crossbar.hh"
+#include "sim/simulation.hh"
+
+namespace salam::mem
+{
+
+const char *
+interconnectKindName(InterconnectKind kind)
+{
+    switch (kind) {
+      case InterconnectKind::Crossbar:
+        return "xbar";
+      case InterconnectKind::AxiBus:
+        return "axi";
+    }
+    return "?";
+}
+
+std::string
+InterconnectConfig::validate() const
+{
+    if (maxOutstandingPerRequester == 0) {
+        return "outstanding-transaction credit limit of 0 can never "
+               "accept a request (use unlimitedCredits for no limit)";
+    }
+    if (kind == InterconnectKind::AxiBus && busWidthBytes == 0)
+        return "bus beat width of 0 bytes";
+    if (forwardLatency == 0 && responseLatency == 0) {
+        return "zero forward and response latency would deliver "
+               "responses in the requesting cycle";
+    }
+    return {};
+}
+
+Interconnect &
+makeInterconnect(Simulation &sim, const std::string &name,
+                 Tick clock_period, const InterconnectConfig &cfg)
+{
+    std::string diag = cfg.validate();
+    if (!diag.empty())
+        fatal("%s: %s", name.c_str(), diag.c_str());
+    switch (cfg.kind) {
+      case InterconnectKind::AxiBus:
+        return sim.create<AxiLikeBus>(name, clock_period, cfg);
+      case InterconnectKind::Crossbar:
+      default: {
+        CrossbarConfig xcfg;
+        xcfg.forwardLatency = cfg.forwardLatency;
+        xcfg.responseLatency = cfg.responseLatency;
+        xcfg.requestsPerCycle = cfg.requestsPerCycle;
+        xcfg.maxOutstandingPerRequester =
+            cfg.maxOutstandingPerRequester;
+        return sim.create<Crossbar>(name, clock_period, xcfg);
+      }
+    }
+}
+
+} // namespace salam::mem

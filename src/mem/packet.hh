@@ -68,6 +68,12 @@ enum ServiceFlags : unsigned
 
     /** Serialized behind external (e.g. DMA) traffic. */
     svcDmaWait = 1u << 3,
+
+    /** Waited for a bus data channel occupied by another burst. */
+    svcBusArbitration = 1u << 4,
+
+    /** Refused at least once for exhausted outstanding credits. */
+    svcCreditStall = 1u << 5,
 };
 
 /** A memory request/response in flight. */
@@ -156,8 +162,35 @@ class Packet
 
     bool hasSenderState() const { return !senderStack.empty(); }
 
+    /**
+     * Record the burst shape a finite-width data channel gave this
+     * packet: ceil(size / beat width) beats of @p beat_bytes each.
+     */
+    void
+    setBurst(unsigned beats, unsigned beat_bytes)
+    {
+        burstBeats = beats > 0 ? beats : 1;
+        beatBytes = beat_bytes;
+    }
+
     /** Opaque requester context (owned by the original requester). */
     void *context = nullptr;
+
+    /**
+     * Data-channel beats this packet occupies on a burst-capable
+     * interconnect (1 on fabrics that move packets whole).
+     */
+    unsigned burstBeats = 1;
+
+    /** Beat width that produced burstBeats; 0 = never burstified. */
+    unsigned beatBytes = 0;
+
+    /**
+     * First/last packet of a logical burst train (e.g. the chunks of
+     * one DMA transfer). Single-packet transactions are both.
+     */
+    bool firstBeat = true;
+    bool lastBeat = true;
 
     /** Monotonic id for debugging/tracing. */
     std::uint64_t id = 0;

@@ -109,7 +109,9 @@ struct CriticalPathReport
             causeCycles[unsigned(ProfCause::CacheMiss)] +
             causeCycles[unsigned(ProfCause::BankConflict)] +
             causeCycles[unsigned(ProfCause::MemQueue)] +
-            causeCycles[unsigned(ProfCause::DmaWait)];
+            causeCycles[unsigned(ProfCause::DmaWait)] +
+            causeCycles[unsigned(ProfCause::BusArbitration)] +
+            causeCycles[unsigned(ProfCause::CreditStall)];
     }
 
     /** Hotspot-report JSON (one object; minijson-parseable). */

@@ -171,6 +171,7 @@ DebugFlag Cache("Cache", "cache hits, misses, and fills");
 DebugFlag Scratchpad("Scratchpad",
                      "scratchpad service and bank conflicts");
 DebugFlag Crossbar("Crossbar", "crossbar routing");
+DebugFlag AxiBus("AxiBus", "AXI-like bus arbitration and bursts");
 DebugFlag Port("Port", "port binding and protocol");
 DebugFlag Scheduler("Scheduler", "HLS static scheduler");
 DebugFlag Event("Event", "event-queue servicing");

@@ -146,6 +146,7 @@ extern DebugFlag DMA;           ///< DMA transfers and bursts
 extern DebugFlag Cache;         ///< cache hits/misses/fills
 extern DebugFlag Scratchpad;    ///< SPM service and bank conflicts
 extern DebugFlag Crossbar;      ///< crossbar routing
+extern DebugFlag AxiBus;        ///< AXI-like bus arbitration/bursts
 extern DebugFlag Port;          ///< port binding and protocol
 extern DebugFlag Scheduler;     ///< HLS static scheduler
 extern DebugFlag Event;         ///< event-queue servicing

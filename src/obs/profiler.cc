@@ -19,6 +19,8 @@ profCauseName(ProfCause cause)
       case ProfCause::BankConflict: return "bank_conflict";
       case ProfCause::MemQueue: return "mem_queue";
       case ProfCause::DmaWait: return "dma_wait";
+      case ProfCause::BusArbitration: return "bus_arbitration";
+      case ProfCause::CreditStall: return "credit_stall";
     }
     return "unknown";
 }

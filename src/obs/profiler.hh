@@ -56,9 +56,11 @@ enum class ProfCause : unsigned char
     BankConflict, ///< round trip deferred by an SPM bank conflict
     MemQueue,     ///< round trip queued behind other requests
     DmaWait,      ///< round trip serialized behind external/DMA traffic
+    BusArbitration, ///< round trip held by bus data-channel arbitration
+    CreditStall,  ///< request refused for exhausted interconnect credits
 };
 
-constexpr unsigned numProfCauses = 12;
+constexpr unsigned numProfCauses = 14;
 
 /** Stable lower-case identifier, e.g. "fu_contention". */
 const char *profCauseName(ProfCause cause);

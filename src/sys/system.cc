@@ -12,9 +12,9 @@ SalamSystem::SalamSystem(Simulation &sim, const SystemConfig &config)
     interruptController = &sim.create<Gic>("gic");
     hostCpu = &sim.create<DriverCpu>("host", cfg.hostClockPeriod,
                                      interruptController);
-    global = &sim.create<Crossbar>("global_xbar",
-                                   cfg.busClockPeriod,
-                                   cfg.globalXbar);
+    global = &makeInterconnect(sim, "global_xbar",
+                               cfg.busClockPeriod,
+                               cfg.globalInterconnect);
     mainMemory =
         &sim.create<SimpleDram>("dram", cfg.busClockPeriod,
                                 cfg.dram);
@@ -24,13 +24,14 @@ SalamSystem::SalamSystem(Simulation &sim, const SystemConfig &config)
 
 AcceleratorCluster &
 SalamSystem::addCluster(const std::string &name,
-                        Tick accel_clock_period, unsigned index)
+                        Tick accel_clock_period, unsigned index,
+                        const mem::InterconnectConfig &interconnect)
 {
     std::uint64_t base = SystemAddressMap::clusterBase +
         index * SystemAddressMap::clusterStride;
     clusters.push_back(std::make_unique<AcceleratorCluster>(
         *this, name, accel_clock_period, base,
-        SystemAddressMap::clusterStride));
+        SystemAddressMap::clusterStride, interconnect));
     return *clusters.back();
 }
 
@@ -58,18 +59,19 @@ SalamSystem::run()
     return end;
 }
 
-AcceleratorCluster::AcceleratorCluster(SalamSystem &system,
-                                       std::string name,
-                                       Tick clock_period,
-                                       std::uint64_t window_base,
-                                       std::uint64_t window_size)
+AcceleratorCluster::AcceleratorCluster(
+    SalamSystem &system, std::string name, Tick clock_period,
+    std::uint64_t window_base, std::uint64_t window_size,
+    const mem::InterconnectConfig &interconnect)
     : system(system), clusterName(std::move(name)),
       clockPeriod(clock_period),
       clusterWindow{window_base, window_base + window_size},
       allocCursor(window_base)
 {
-    local = &system.simulation().create<Crossbar>(
-        clusterName + ".xbar", clock_period);
+    local = &makeInterconnect(
+        system.simulation(),
+        clusterName + "." + interconnectKindName(interconnect.kind),
+        clock_period, interconnect);
     // Bridge: cluster-internal misses go out to the global
     // crossbar; the cluster window routes in from the global side.
     local->connectDefault(

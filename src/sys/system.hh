@@ -31,6 +31,7 @@
 #include "inject/progress_sentinel.hh"
 #include "mem/cache.hh"
 #include "mem/crossbar.hh"
+#include "mem/interconnect.hh"
 #include "mem/scratchpad.hh"
 #include "mem/simple_dram.hh"
 #include "mem/stream_buffer.hh"
@@ -53,7 +54,12 @@ struct SystemConfig
     Tick hostClockPeriod = periodFromGhz(1.2);
     Tick busClockPeriod = periodFromMhz(300);
     mem::DramConfig dram;
-    mem::CrossbarConfig globalXbar;
+
+    /**
+     * Fabric between the host, clusters, and DRAM: kind plus
+     * parameters, validated at elaboration like DeviceConfig.
+     */
+    mem::InterconnectConfig globalInterconnect;
 
     /**
      * Forward-progress watchdog window; 0 disables the periodic
@@ -88,7 +94,7 @@ class SalamSystem
 
     Gic &gic() { return *interruptController; }
 
-    mem::Crossbar &globalXbar() { return *global; }
+    mem::Interconnect &globalXbar() { return *global; }
 
     mem::SimpleDram &dram() { return *mainMemory; }
 
@@ -101,9 +107,10 @@ class SalamSystem
      * Create a cluster occupying the @p index-th cluster address
      * window (bridged to the global crossbar in both directions).
      */
-    AcceleratorCluster &addCluster(const std::string &name,
-                                   Tick accel_clock_period,
-                                   unsigned index = 0);
+    AcceleratorCluster &
+    addCluster(const std::string &name, Tick accel_clock_period,
+               unsigned index = 0,
+               const mem::InterconnectConfig &interconnect = {});
 
     /** Run until the host program (and all events) complete. */
     Tick run();
@@ -113,7 +120,7 @@ class SalamSystem
     SystemConfig cfg;
     Gic *interruptController;
     DriverCpu *hostCpu;
-    mem::Crossbar *global;
+    mem::Interconnect *global;
     mem::SimpleDram *mainMemory;
     inject::ProgressSentinel *watchdog = nullptr;
     unsigned nextIrq = 32;
@@ -142,13 +149,15 @@ class AcceleratorCluster
   public:
     AcceleratorCluster(SalamSystem &system, std::string name,
                        Tick clock_period, std::uint64_t window_base,
-                       std::uint64_t window_size);
+                       std::uint64_t window_size,
+                       const mem::InterconnectConfig &interconnect
+                       = {});
 
     const std::string &name() const { return clusterName; }
 
     SalamSystem &parent() { return system; }
 
-    mem::Crossbar &localXbar() { return *local; }
+    mem::Interconnect &localXbar() { return *local; }
 
     mem::AddrRange window() const { return clusterWindow; }
 
@@ -198,7 +207,7 @@ class AcceleratorCluster
     SalamSystem &system;
     std::string clusterName;
     Tick clockPeriod;
-    mem::Crossbar *local;
+    mem::Interconnect *local;
     mem::AddrRange clusterWindow;
     std::uint64_t allocCursor;
     std::vector<std::unique_ptr<ClusterAccelerator>> accels;

@@ -256,6 +256,12 @@ TEST(TraceReplay, FallbackBlockers)
     core::DeviceConfig seq = dev;
     seq.blockSequentialImport = !c.trace.capturedBlockSequential;
     EXPECT_NE(drive::fastPathBlocker(c.trace, seq, false), "");
+
+    // A modeled interconnect in the memory path: the replay models
+    // a private scratchpad only, so fabric arbitration/credit
+    // timing would be silently dropped.
+    EXPECT_NE(drive::fastPathBlocker(c.trace, dev, false, true), "");
+    EXPECT_EQ(drive::fastPathBlocker(c.trace, dev, false, false), "");
 }
 
 /** A trace that does not match the static CDFG is rejected, not

@@ -3,6 +3,7 @@
 #ifndef SALAM_TESTS_MEM_TEST_HARNESS_HH
 #define SALAM_TESTS_MEM_TEST_HARNESS_HH
 
+#include <deque>
 #include <map>
 #include <vector>
 
@@ -79,6 +80,82 @@ class TestRequester : public mem::RequestPort
     }
 
     std::vector<Response> responses;
+    int retries = 0;
+
+  private:
+    Simulation &sim;
+};
+
+/**
+ * A requester that honors backpressure: a refused send parks the
+ * packet and recvReqRetry() re-issues in FIFO order. TestRequester
+ * SALAM_ASSERTs on refusal, so credit/saturation tests (where
+ * refusal is the point) use this one.
+ */
+class RetryRequester : public mem::RequestPort
+{
+  public:
+    explicit RetryRequester(Simulation &sim,
+                            std::string name = "retry_req")
+        : mem::RequestPort(std::move(name)), sim(sim)
+    {}
+
+    struct Response
+    {
+        mem::PacketPtr pkt;
+        Tick at;
+    };
+
+    bool
+    recvTimingResp(mem::PacketPtr pkt) override
+    {
+        responses.push_back(Response{pkt, sim.curTick()});
+        return true;
+    }
+
+    void
+    recvReqRetry() override
+    {
+        ++retries;
+        while (!blocked.empty()) {
+            mem::PacketPtr pkt = blocked.front();
+            if (!sendTimingReq(pkt))
+                return; // still refused; another retry is owed
+            blocked.pop_front();
+        }
+    }
+
+    /** Issue a read at tick @p when, queueing on refusal. */
+    mem::PacketPtr
+    read(Tick when, std::uint64_t addr, unsigned size)
+    {
+        auto *pkt = new mem::Packet(mem::MemCmd::ReadReq, addr, size);
+        sim.eventQueue().schedule(when, [this, pkt] {
+            if (!blocked.empty() || !sendTimingReq(pkt))
+                blocked.push_back(pkt);
+        });
+        return pkt;
+    }
+
+    /** Response arrival tick for @p pkt; 0 when not received. */
+    Tick
+    arrivalOf(mem::PacketPtr pkt) const
+    {
+        for (const auto &r : responses) {
+            if (r.pkt == pkt)
+                return r.at;
+        }
+        return 0;
+    }
+
+    ~RetryRequester() override
+    {
+        for (auto &r : responses)
+            delete r.pkt;
+    }
+
+    std::vector<Response> responses;
+    std::deque<mem::PacketPtr> blocked;
     int retries = 0;
 
   private:
